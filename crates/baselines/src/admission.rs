@@ -1,0 +1,184 @@
+//! Deadline-based admission control.
+//!
+//! A classic time-critical-systems mechanism the paper family assumes away:
+//! under overload, starting a job whose deadline can no longer be met — even
+//! at its maximum parallelism on its fastest node class — only steals capacity
+//! from jobs that could still make their deadlines. [`AdmissionAdapter`] wraps
+//! any scheduler and drops such hopeless `Start` actions; everything else
+//! passes through unchanged. It composes with every baseline and with the DRL
+//! agent (any [`Scheduler`]), so the experiments can quantify how much of a
+//! policy's utility loss under overload is simply wasted work on doomed jobs.
+
+use tcrm_sim::{Action, ClusterView, PendingJobView, Scheduler};
+
+/// Wraps a scheduler and refuses to start jobs whose deadline is already
+/// unreachable.
+#[derive(Debug, Clone)]
+pub struct AdmissionAdapter<S> {
+    inner: S,
+    name: String,
+    /// Extra slack (seconds) a job must retain to be admitted; 0 admits
+    /// anything that could still finish exactly at its deadline.
+    margin: f64,
+    rejected: u64,
+}
+
+impl<S: Scheduler> AdmissionAdapter<S> {
+    /// Wrap a scheduler with a zero admission margin.
+    pub fn new(inner: S) -> Self {
+        Self::with_margin(inner, 0.0)
+    }
+
+    /// Wrap a scheduler, requiring `margin` seconds of slack at admission.
+    pub fn with_margin(inner: S, margin: f64) -> Self {
+        let name = format!("{}+admission", inner.name());
+        AdmissionAdapter {
+            inner,
+            name,
+            margin,
+            rejected: 0,
+        }
+    }
+
+    /// The wrapped scheduler.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Number of start actions dropped so far (resets with the simulation).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// True when the job could still meet its deadline (plus the margin) on
+    /// at least one node class at some parallelism within its range, ignoring
+    /// current occupancy (admission asks "is it *ever* feasible from now on",
+    /// not "does it fit right now" — the wrapped scheduler already handles
+    /// the latter).
+    fn admissible(&self, job: &PendingJobView, view: &ClusterView) -> bool {
+        view.classes.iter().any(|class| {
+            job.slack_on(view.time, class, job.max_parallelism) >= self.margin
+        })
+    }
+}
+
+impl<S: Scheduler> Scheduler for AdmissionAdapter<S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_simulation_start(&mut self) {
+        self.rejected = 0;
+        self.inner.on_simulation_start();
+    }
+
+    fn decide(&mut self, view: &ClusterView) -> Vec<Action> {
+        let mut actions = self.inner.decide(view);
+        actions.retain(|action| match action {
+            Action::Start { job, .. } => match view.pending_job(*job) {
+                Some(pending) => {
+                    let keep = self.admissible(pending, view);
+                    if !keep {
+                        self.rejected += 1;
+                    }
+                    keep
+                }
+                None => true, // unknown job: let the engine reject it
+            },
+            _ => true,
+        });
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edf::EdfScheduler;
+    use crate::fifo::FifoScheduler;
+    use crate::util::fixtures::{job, run, small_hetero_spec};
+    use tcrm_sim::prelude::*;
+
+    #[test]
+    fn hopeless_jobs_are_never_started() {
+        let mut cfg = SimConfig::default();
+        cfg.decision_interval = None;
+        let mut sim = Simulator::new(small_hetero_spec(), cfg);
+        // Deadline 1 s away but 100 units of work: unreachable even at the
+        // maximum parallelism on the fast class.
+        let hopeless = job(0, 0.0, 100.0, 1.0);
+        let feasible = job(1, 0.0, 10.0, 500.0);
+        sim.start(vec![hopeless, feasible]);
+        let mut guard = 0;
+        while sim.view().pending.len() < 2 {
+            assert!(sim.advance());
+            guard += 1;
+            assert!(guard < 16);
+        }
+        let view = sim.view();
+        let mut sched = AdmissionAdapter::new(EdfScheduler::new());
+        let actions = sched.decide(&view);
+        let started: Vec<JobId> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Start { job, .. } => Some(*job),
+                _ => None,
+            })
+            .collect();
+        assert!(!started.contains(&JobId(0)), "hopeless job was admitted");
+        assert!(started.contains(&JobId(1)), "feasible job must still start");
+        assert_eq!(sched.rejected(), 1);
+    }
+
+    #[test]
+    fn name_and_margin_compose() {
+        let sched = AdmissionAdapter::with_margin(FifoScheduler::new(), 5.0);
+        assert_eq!(sched.name(), "fifo+admission");
+        assert_eq!(sched.rejected(), 0);
+        assert_eq!(sched.inner().name(), "fifo");
+    }
+
+    #[test]
+    fn admission_does_not_hurt_utility_under_overload() {
+        // An overloaded stream where half the jobs arrive with already-dead
+        // deadlines: dropping them must not reduce the utility the wrapped
+        // scheduler earns on the rest (it usually increases it).
+        let make = || {
+            (0..16u64)
+                .map(|i| {
+                    let arrival = i as f64 * 2.0;
+                    if i % 2 == 0 {
+                        // Dead on arrival.
+                        job(i, arrival, 80.0, arrival + 2.0)
+                    } else {
+                        job(i, arrival, 15.0, arrival + 60.0)
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        let plain = run(&mut EdfScheduler::new(), make());
+        let admitted = run(&mut AdmissionAdapter::new(EdfScheduler::new()), make());
+        assert!(
+            admitted.summary.total_utility >= plain.summary.total_utility - 1e-9,
+            "admission control ({}) should not earn less utility than plain EDF ({})",
+            admitted.summary.total_utility,
+            plain.summary.total_utility
+        );
+        // The feasible half must still complete.
+        assert!(admitted.summary.completed_jobs >= 8);
+    }
+
+    #[test]
+    fn no_effect_on_a_feasible_workload() {
+        let make = || {
+            (0..8u64)
+                .map(|i| job(i, i as f64 * 10.0, 10.0, i as f64 * 10.0 + 300.0))
+                .collect::<Vec<_>>()
+        };
+        let plain = run(&mut EdfScheduler::new(), make());
+        let admitted = run(&mut AdmissionAdapter::new(EdfScheduler::new()), make());
+        assert_eq!(plain.summary.completed_jobs, admitted.summary.completed_jobs);
+        assert_eq!(plain.summary.missed_jobs, admitted.summary.missed_jobs);
+        assert!((plain.summary.total_utility - admitted.summary.total_utility).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,130 @@
+//! # tcrm-baselines — classical schedulers the DRL agent is compared against
+//!
+//! Every scheduler in the paper's comparison tables that is not the DRL agent
+//! lives here. All of them implement [`tcrm_sim::Scheduler`] and can therefore
+//! be dropped into the same simulations, sweeps and benchmark harness as the
+//! agent:
+//!
+//! * [`FifoScheduler`] — strict first-come-first-served, no backfilling,
+//! * [`SjfScheduler`] — shortest (best-case service time) job first,
+//! * [`EdfScheduler`] — earliest-deadline-first with deadline-aware
+//!   parallelism selection,
+//! * [`TetrisScheduler`] — multi-resource packing by demand/free alignment
+//!   score,
+//! * [`LeastLoadedScheduler`] — joins the least-utilised node class,
+//! * [`RandomScheduler`] — uniformly random feasible decisions (seeded),
+//! * [`GreedyElasticScheduler`] — a deadline-proportional elasticity
+//!   heuristic: starts jobs EDF-ordered at the *cheapest* parallelism that
+//!   still meets the deadline and re-scales running jobs as their slack
+//!   changes,
+//! * [`EasyBackfillScheduler`] — EDF order with EASY-style backfilling around
+//!   a blocked head-of-queue reservation,
+//! * [`HeftScheduler`] — heterogeneous earliest-finish-time placement,
+//! * [`SlackPackScheduler`] — Tetris-style packing blended with a deadline
+//!   urgency term,
+//! * [`RigidAdapter`] — wraps any scheduler, forcing minimum parallelism and
+//!   dropping scale actions (the rigid ablation),
+//! * [`AdmissionAdapter`] — wraps any scheduler, refusing to start jobs whose
+//!   deadline is already unreachable (deadline-based admission control).
+
+pub mod admission;
+pub mod backfill;
+pub mod edf;
+pub mod fifo;
+pub mod greedy_elastic;
+pub mod heft;
+pub mod least_loaded;
+pub mod random;
+pub mod rigid;
+pub mod sjf;
+pub mod slack_pack;
+pub mod tetris;
+pub mod util;
+
+pub use admission::AdmissionAdapter;
+pub use backfill::EasyBackfillScheduler;
+pub use edf::EdfScheduler;
+pub use fifo::FifoScheduler;
+pub use greedy_elastic::GreedyElasticScheduler;
+pub use heft::HeftScheduler;
+pub use least_loaded::LeastLoadedScheduler;
+pub use random::RandomScheduler;
+pub use rigid::RigidAdapter;
+pub use sjf::SjfScheduler;
+pub use slack_pack::SlackPackScheduler;
+pub use tetris::TetrisScheduler;
+
+use tcrm_sim::Scheduler;
+
+/// The identifiers of the baseline schedulers used by the headline
+/// comparison tables, in the order those tables list them.
+pub const BASELINE_NAMES: [&str; 7] = [
+    "fifo",
+    "sjf",
+    "edf",
+    "tetris",
+    "least-loaded",
+    "random",
+    "greedy-elastic",
+];
+
+/// The identifiers of the additional heuristics used by the extended
+/// comparison (EASY backfilling, HEFT-style earliest-finish-time, and
+/// deadline-aware packing). They are kept out of [`BASELINE_NAMES`] so the
+/// headline tables keep the paper's scheduler set.
+pub const EXTENDED_BASELINE_NAMES: [&str; 3] = ["backfill", "heft", "slack-pack"];
+
+/// Every baseline this crate ships, headline set first.
+pub fn all_baseline_names() -> Vec<&'static str> {
+    BASELINE_NAMES
+        .iter()
+        .chain(EXTENDED_BASELINE_NAMES.iter())
+        .copied()
+        .collect()
+}
+
+/// Construct a baseline scheduler by name (as listed in [`BASELINE_NAMES`]
+/// or [`EXTENDED_BASELINE_NAMES`]); `seed` only affects the random scheduler.
+pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn Scheduler>> {
+    match name {
+        "fifo" => Some(Box::new(FifoScheduler::new())),
+        "sjf" => Some(Box::new(SjfScheduler::new())),
+        "edf" => Some(Box::new(EdfScheduler::new())),
+        "tetris" => Some(Box::new(TetrisScheduler::new())),
+        "least-loaded" => Some(Box::new(LeastLoadedScheduler::new())),
+        "random" => Some(Box::new(RandomScheduler::new(seed))),
+        "greedy-elastic" => Some(Box::new(GreedyElasticScheduler::new())),
+        "backfill" => Some(Box::new(EasyBackfillScheduler::new())),
+        "heft" => Some(Box::new(HeftScheduler::new())),
+        "slack-pack" => Some(Box::new(SlackPackScheduler::new())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_name_covers_every_listed_baseline() {
+        for name in BASELINE_NAMES {
+            let sched = by_name(name, 0).unwrap_or_else(|| panic!("missing baseline {name}"));
+            assert_eq!(sched.name(), name);
+        }
+        assert!(by_name("does-not-exist", 0).is_none());
+    }
+
+    #[test]
+    fn by_name_covers_every_extended_baseline() {
+        for name in EXTENDED_BASELINE_NAMES {
+            let sched = by_name(name, 0).unwrap_or_else(|| panic!("missing baseline {name}"));
+            assert_eq!(sched.name(), name);
+        }
+        let all = all_baseline_names();
+        assert_eq!(all.len(), BASELINE_NAMES.len() + EXTENDED_BASELINE_NAMES.len());
+        let mut dedup = all.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len(), "baseline names must be unique");
+    }
+}

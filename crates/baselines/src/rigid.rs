@@ -1,0 +1,104 @@
+//! The rigid ablation adapter: strips elasticity from any scheduler.
+
+use tcrm_sim::{Action, ClusterView, Scheduler};
+
+/// Wraps another scheduler and removes every use of elasticity from its
+/// decisions: `Start` actions are forced to the job's minimum parallelism and
+/// `Scale` actions are dropped entirely. Running the same policy with and
+/// without this adapter isolates the benefit of elasticity-compatible
+/// allocation (Figure 6).
+#[derive(Debug, Clone)]
+pub struct RigidAdapter<S> {
+    inner: S,
+    name: String,
+}
+
+impl<S: Scheduler> RigidAdapter<S> {
+    /// Wrap a scheduler.
+    pub fn new(inner: S) -> Self {
+        let name = format!("{}-rigid", inner.name());
+        RigidAdapter { inner, name }
+    }
+
+    /// The wrapped scheduler.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Scheduler> Scheduler for RigidAdapter<S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_simulation_start(&mut self) {
+        self.inner.on_simulation_start();
+    }
+
+    fn decide(&mut self, view: &ClusterView) -> Vec<Action> {
+        self.inner
+            .decide(view)
+            .into_iter()
+            .filter_map(|action| match action {
+                Action::Start { job, class, .. } => {
+                    let min = view
+                        .pending_job(job)
+                        .map(|j| j.min_parallelism)
+                        .unwrap_or(1);
+                    Some(Action::Start {
+                        job,
+                        class,
+                        parallelism: min,
+                    })
+                }
+                Action::Scale { .. } => None,
+                Action::Wait => Some(Action::Wait),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy_elastic::GreedyElasticScheduler;
+    use crate::util::fixtures::{job, run};
+
+    #[test]
+    fn name_reflects_the_wrapped_scheduler() {
+        let rigid = RigidAdapter::new(GreedyElasticScheduler::new());
+        assert_eq!(rigid.name(), "greedy-elastic-rigid");
+        assert_eq!(rigid.inner().name(), "greedy-elastic");
+    }
+
+    #[test]
+    fn rigid_wrapper_never_scales_and_runs_at_min_parallelism() {
+        let tight = job(0, 0.0, 60.0, 20.0);
+        let result = run(&mut RigidAdapter::new(GreedyElasticScheduler::new()), vec![tight]);
+        assert_eq!(result.summary.completed_jobs, 1);
+        assert_eq!(result.summary.scale_events, 0);
+        assert!((result.completed[0].avg_parallelism - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn elasticity_reduces_misses_compared_to_rigid() {
+        // Deadlines that require parallelism above the minimum: the rigid
+        // variant must miss more.
+        let make = || {
+            (0..8u64)
+                .map(|i| {
+                    let arrival = i as f64 * 10.0;
+                    job(i, arrival, 40.0, arrival + 18.0)
+                })
+                .collect::<Vec<_>>()
+        };
+        let elastic = run(&mut GreedyElasticScheduler::new(), make());
+        let rigid = run(&mut RigidAdapter::new(GreedyElasticScheduler::new()), make());
+        assert!(
+            elastic.summary.miss_rate < rigid.summary.miss_rate,
+            "elastic ({}) should miss fewer deadlines than rigid ({})",
+            elastic.summary.miss_rate,
+            rigid.summary.miss_rate
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Deadline-aware multi-resource packing.
+//!
+//! Tetris-style packing is throughput-oriented and deadline-blind; EDF is
+//! deadline-driven and packing-blind. This scheduler combines the two signals
+//! the way the "Tetris + SRTF" hybrid of the original Tetris paper combines
+//! packing with completion time: every feasible `(job, node class)` pair is
+//! scored as `alignment + urgency_weight × urgency`, where alignment is the
+//! normalised demand/free dot product and urgency grows as the job's slack
+//! shrinks. Jobs start at the cheapest parallelism that still meets their
+//! deadline, so it participates in the elasticity comparison as a
+//! "packing-aware EDF" contender.
+
+use crate::util;
+use tcrm_sim::{Action, ClusterView, NodeClassId, PendingJobView, Scheduler};
+
+/// Relative weight of the urgency term against the packing term.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlackPackConfig {
+    /// Weight of the urgency (deadline) term; `0.0` degenerates to pure
+    /// packing, large values degenerate to EDF.
+    pub urgency_weight: f64,
+    /// Slack (seconds) at which urgency saturates to 1.
+    pub slack_scale: f64,
+}
+
+impl Default for SlackPackConfig {
+    fn default() -> Self {
+        SlackPackConfig {
+            urgency_weight: 2.0,
+            slack_scale: 60.0,
+        }
+    }
+}
+
+/// The combined packing + urgency scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct SlackPackScheduler {
+    config: SlackPackConfig,
+}
+
+impl SlackPackScheduler {
+    /// Create the scheduler with default weights.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create the scheduler with explicit weights.
+    pub fn with_config(config: SlackPackConfig) -> Self {
+        SlackPackScheduler { config }
+    }
+
+    fn alignment(job: &PendingJobView, view: &ClusterView, class: NodeClassId) -> f64 {
+        let class_view = view.class(class);
+        let demand = job
+            .demand_per_unit
+            .normalized_by(&class_view.total_capacity);
+        let free = class_view
+            .free_capacity
+            .normalized_by(&class_view.total_capacity);
+        demand.dot(&free)
+    }
+
+    /// Urgency in `[0, 1]`: 0 when the job has at least `slack_scale` seconds
+    /// of slack at its cheapest feasible speed, 1 when the deadline is already
+    /// unreachable.
+    fn urgency(&self, job: &PendingJobView, view: &ClusterView, class: NodeClassId) -> f64 {
+        let class_view = view.class(class);
+        let best_slack = (job.min_parallelism..=job.max_parallelism)
+            .map(|p| job.slack_on(view.time, class_view, p))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if !best_slack.is_finite() {
+            return 1.0;
+        }
+        (1.0 - best_slack / self.config.slack_scale).clamp(0.0, 1.0)
+    }
+
+    fn score(&self, job: &PendingJobView, view: &ClusterView, class: NodeClassId) -> f64 {
+        Self::alignment(job, view, class)
+            + self.config.urgency_weight * self.urgency(job, view, class)
+    }
+}
+
+impl Scheduler for SlackPackScheduler {
+    fn name(&self) -> &str {
+        "slack-pack"
+    }
+
+    fn decide(&mut self, view: &ClusterView) -> Vec<Action> {
+        let mut scored: Vec<(f64, &PendingJobView, NodeClassId)> = Vec::new();
+        for job in &view.pending {
+            for class in &view.classes {
+                if view.can_start(job, class.id, job.min_parallelism) {
+                    scored.push((self.score(job, view, class.id), job, class.id));
+                }
+            }
+        }
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.id.cmp(&b.1.id))
+        });
+        let mut actions = Vec::new();
+        let mut started = std::collections::HashSet::new();
+        for (_, job, class) in scored {
+            if started.insert(job.id) {
+                let parallelism =
+                    util::deadline_parallelism(job, view, class).unwrap_or(job.min_parallelism);
+                actions.push(Action::Start {
+                    job: job.id,
+                    class,
+                    parallelism,
+                });
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fifo::FifoScheduler;
+    use crate::tetris::TetrisScheduler;
+    use crate::util::fixtures::{job, run, small_hetero_spec};
+    use tcrm_sim::prelude::*;
+
+    #[test]
+    fn urgency_grows_as_the_deadline_tightens() {
+        let mut cfg = SimConfig::default();
+        cfg.decision_interval = None;
+        let mut sim = Simulator::new(small_hetero_spec(), cfg);
+        sim.start(vec![job(0, 0.0, 20.0, 500.0)]);
+        assert!(sim.advance());
+        let view = sim.view();
+        let sched = SlackPackScheduler::new();
+        let relaxed = view.pending[0].clone();
+        let mut tight = relaxed.clone();
+        tight.deadline = view.time + 10.0;
+        let mut hopeless = relaxed.clone();
+        hopeless.deadline = view.time - 1.0;
+        let u_relaxed = sched.urgency(&relaxed, &view, NodeClassId(0));
+        let u_tight = sched.urgency(&tight, &view, NodeClassId(0));
+        let u_hopeless = sched.urgency(&hopeless, &view, NodeClassId(0));
+        assert!(u_relaxed <= u_tight, "{u_relaxed} vs {u_tight}");
+        assert!(u_tight <= u_hopeless, "{u_tight} vs {u_hopeless}");
+        assert!((0.0..=1.0).contains(&u_relaxed));
+        assert!((u_hopeless - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_urgency_weight_matches_tetris_job_choice_shape() {
+        // With the urgency term off, the schedule is a packing schedule: every
+        // pending job is started at most once, like Tetris.
+        let mut cfg = SimConfig::default();
+        cfg.decision_interval = None;
+        let mut sim = Simulator::new(small_hetero_spec(), cfg);
+        sim.start(vec![job(0, 0.0, 10.0, 1000.0), job(1, 0.0, 10.0, 1000.0)]);
+        assert!(sim.advance());
+        let view = sim.view();
+        let mut pure_pack = SlackPackScheduler::with_config(SlackPackConfig {
+            urgency_weight: 0.0,
+            slack_scale: 60.0,
+        });
+        let a = pure_pack.decide(&view);
+        let b = TetrisScheduler::new().decide(&view);
+        let count = |acts: &[Action]| {
+            acts.iter()
+                .filter(|x| matches!(x, Action::Start { .. }))
+                .count()
+        };
+        assert_eq!(count(&a), count(&b));
+    }
+
+    #[test]
+    fn beats_fifo_and_tetris_on_miss_rate_under_deadline_pressure() {
+        let make = || {
+            (0..14u64)
+                .map(|i| {
+                    let arrival = i as f64 * 3.0;
+                    let (work, deadline) = if i % 2 == 0 {
+                        (28.0, arrival + 24.0)
+                    } else {
+                        (10.0, arrival + 300.0)
+                    };
+                    job(i, arrival, work, deadline)
+                })
+                .collect::<Vec<_>>()
+        };
+        let sp = run(&mut SlackPackScheduler::new(), make());
+        let fifo = run(&mut FifoScheduler::new(), make());
+        let tetris = run(&mut TetrisScheduler::new(), make());
+        assert!(
+            sp.summary.miss_rate <= fifo.summary.miss_rate + 1e-9,
+            "slack-pack ({}) should not miss more than FIFO ({})",
+            sp.summary.miss_rate,
+            fifo.summary.miss_rate
+        );
+        assert!(
+            sp.summary.miss_rate <= tetris.summary.miss_rate + 1e-9,
+            "slack-pack ({}) should not miss more than Tetris ({})",
+            sp.summary.miss_rate,
+            tetris.summary.miss_rate
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Criterion bench: per-decision latency of each scheduler on a loaded view,
+//! as a function of cluster size (the data behind Table 4's latency column).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tcrm_core::{ActionSpace, AgentConfig, DrlScheduler, StateEncoder};
+use tcrm_rl::CategoricalPolicy;
+use tcrm_sim::{Action, ClusterSpec, ClusterView, NodeClassId, Scheduler, SimConfig, Simulator};
+use tcrm_workload::{generate, WorkloadSpec};
+
+/// Build a mid-simulation view with a populated queue and running set.
+fn loaded_view(scale: f64) -> ClusterView {
+    let cluster = ClusterSpec::icpp_scaled(scale);
+    let workload = WorkloadSpec::icpp_default()
+        .with_num_jobs(60)
+        .with_load(1.2);
+    let jobs = generate(&workload, &cluster, 5);
+    let mut cfg = SimConfig::default();
+    cfg.decision_interval = Some(5.0);
+    let mut sim = Simulator::new(cluster, cfg);
+    sim.start(jobs);
+    // Start a handful of jobs to occupy the cluster, then accumulate a queue.
+    for _ in 0..40 {
+        if !sim.advance() {
+            break;
+        }
+        let view = sim.view();
+        if let Some(job) = view.pending.first() {
+            if view.running.len() < 6 {
+                let _ = sim.apply(&Action::Start {
+                    job: job.id,
+                    class: NodeClassId(0),
+                    parallelism: job.min_parallelism,
+                });
+            }
+        }
+    }
+    sim.view()
+}
+
+fn untrained_agent(num_classes: usize) -> DrlScheduler {
+    let config = AgentConfig::default();
+    let encoder = StateEncoder::new(&config, num_classes);
+    let actions = ActionSpace::new(&config, num_classes);
+    let policy = CategoricalPolicy::new(
+        encoder.observation_dim(),
+        &config.policy_hidden,
+        actions.action_count(),
+        0,
+    );
+    DrlScheduler::new(policy, config, num_classes)
+}
+
+fn bench_decisions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decision_latency");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    for &scale in &[1.0f64, 4.0] {
+        let view = loaded_view(scale);
+        let nodes = view.spec.num_nodes();
+        let mut edf = tcrm_baselines::EdfScheduler::new();
+        group.bench_with_input(BenchmarkId::new("edf", nodes), &view, |b, view| {
+            b.iter(|| edf.decide(view).len())
+        });
+        let mut tetris = tcrm_baselines::TetrisScheduler::new();
+        group.bench_with_input(BenchmarkId::new("tetris", nodes), &view, |b, view| {
+            b.iter(|| tetris.decide(view).len())
+        });
+        let mut elastic = tcrm_baselines::GreedyElasticScheduler::new();
+        group.bench_with_input(
+            BenchmarkId::new("greedy-elastic", nodes),
+            &view,
+            |b, view| b.iter(|| elastic.decide(view).len()),
+        );
+        let mut drl = untrained_agent(view.num_classes());
+        group.bench_with_input(BenchmarkId::new("drl", nodes), &view, |b, view| {
+            b.iter(|| drl.decide(view).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decisions);
+criterion_main!(benches);

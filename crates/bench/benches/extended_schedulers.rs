@@ -1,0 +1,116 @@
+//! Criterion bench: decision latency of the extended heuristics (EASY
+//! backfilling, HEFT, slack-pack), greedy Q-value inference of the DQN
+//! ablation agent, and the cost of the energy/fairness post-processing added
+//! to the metrics pipeline (the data behind Table 5 / Figure 10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use tcrm_baselines::by_name;
+use tcrm_rl::{DqnAgent, DqnConfig};
+use tcrm_sim::{Action, ClusterSpec, ClusterView, NodeClassId, SimConfig, Simulator};
+use tcrm_workload::{generate, WorkloadSpec};
+
+/// Build a mid-simulation view with a populated queue and running set.
+fn loaded_view(scale: f64) -> ClusterView {
+    let cluster = ClusterSpec::icpp_scaled(scale);
+    let workload = WorkloadSpec::icpp_default()
+        .with_num_jobs(60)
+        .with_load(1.2);
+    let jobs = generate(&workload, &cluster, 5);
+    let mut cfg = SimConfig::default();
+    cfg.decision_interval = Some(5.0);
+    let mut sim = Simulator::new(cluster, cfg);
+    sim.start(jobs);
+    for _ in 0..40 {
+        if !sim.advance() {
+            break;
+        }
+        let view = sim.view();
+        if let Some(job) = view.pending.first() {
+            if view.running.len() < 6 {
+                let _ = sim.apply(&Action::Start {
+                    job: job.id,
+                    class: NodeClassId(0),
+                    parallelism: job.min_parallelism,
+                });
+            }
+        }
+    }
+    sim.view()
+}
+
+fn bench_extended_decisions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extended_decision_latency");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    for &scale in &[1.0f64, 4.0] {
+        let view = loaded_view(scale);
+        let nodes = view.spec.num_nodes();
+        for name in ["backfill", "heft", "slack-pack", "edf"] {
+            group.bench_with_input(
+                BenchmarkId::new(name, nodes),
+                &view,
+                |b, view| {
+                    let mut scheduler = by_name(name, 1).expect("known baseline");
+                    b.iter(|| black_box(scheduler.decide(black_box(view))));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_dqn_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dqn_inference");
+    group.sample_size(30);
+    group.measurement_time(Duration::from_secs(2));
+    // Shapes matching the default scheduling agent (≈260-dim observation,
+    // ≈130 actions).
+    let obs_dim = 260;
+    let action_count = 131;
+    let agent = DqnAgent::new(obs_dim, action_count, &[128, 64], 7, DqnConfig::default());
+    let obs: Vec<f32> = (0..obs_dim).map(|i| (i as f32 * 0.01).sin()).collect();
+    let mask: Vec<bool> = (0..action_count).map(|i| i % 3 != 0).collect();
+    group.bench_function("greedy_masked_q", |b| {
+        b.iter(|| {
+            black_box(
+                agent
+                    .q_network()
+                    .greedy_masked(black_box(&obs), black_box(&mask)),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_energy_report(c: &mut Criterion) {
+    let mut group = c.benchmark_group("energy_report");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    let cluster = ClusterSpec::icpp_default();
+    let workload = WorkloadSpec::icpp_default()
+        .with_num_jobs(200)
+        .with_load(0.9);
+    let jobs = generate(&workload, &cluster, 3);
+    let mut scheduler = by_name("edf", 3).unwrap();
+    let result = Simulator::new(cluster.clone(), SimConfig::default()).run(jobs, &mut scheduler);
+    group.bench_function("from_trace", |b| {
+        b.iter(|| {
+            black_box(
+                result
+                    .trace
+                    .energy_report(black_box(&cluster), result.summary.completed_jobs),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_extended_decisions,
+    bench_dqn_inference,
+    bench_energy_report
+);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: policy-network forward and forward+backward cost at the
+//! sizes the agent actually uses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tcrm_nn::{Activation, Matrix, Mlp, MlpConfig};
+
+fn bench_nn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_forward");
+    group.sample_size(30);
+    group.measurement_time(Duration::from_secs(2));
+    // The default agent: ~250-dim observation, 128x64 hidden, ~131 actions.
+    let cfg = MlpConfig::new(256, &[128, 64], 131, Activation::Tanh);
+    let net = Mlp::new(&cfg, 0);
+    let single = Matrix::zeros(1, 256);
+    group.bench_function("forward_single", |b| {
+        b.iter(|| net.forward(&single).sum())
+    });
+    let batch = Matrix::zeros(64, 256);
+    group.bench_function("forward_batch64", |b| b.iter(|| net.forward(&batch).sum()));
+    group.bench_function("forward_backward_batch64", |b| {
+        b.iter(|| {
+            let mut train_net = net.clone();
+            let out = train_net.forward_train(&batch);
+            train_net.zero_grad();
+            train_net.backward(&out);
+            train_net.grad_norm()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nn);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench: discrete-event engine throughput (jobs simulated per
+//! second) under the EDF and greedy-elastic baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tcrm_baselines::{EdfScheduler, GreedyElasticScheduler};
+use tcrm_sim::{ClusterSpec, SimConfig, Simulator};
+use tcrm_workload::{generate, WorkloadSpec};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    let cluster = ClusterSpec::icpp_default();
+    for &jobs in &[100usize, 400] {
+        let workload = WorkloadSpec::icpp_default()
+            .with_num_jobs(jobs)
+            .with_load(0.9);
+        let trace = generate(&workload, &cluster, 7);
+        group.bench_with_input(BenchmarkId::new("edf", jobs), &trace, |b, trace| {
+            b.iter(|| {
+                let mut sched = EdfScheduler::new();
+                Simulator::new(cluster.clone(), SimConfig::default())
+                    .run(trace.clone(), &mut sched)
+                    .summary
+                    .completed_jobs
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("greedy-elastic", jobs),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let mut sched = GreedyElasticScheduler::new();
+                    Simulator::new(cluster.clone(), SimConfig::default())
+                        .run(trace.clone(), &mut sched)
+                        .summary
+                        .completed_jobs
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

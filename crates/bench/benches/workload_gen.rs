@@ -1,0 +1,33 @@
+//! Criterion bench: workload generation throughput (jobs per second) for the
+//! Poisson and bursty arrival processes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tcrm_sim::ClusterSpec;
+use tcrm_workload::{generate, ArrivalProcess, WorkloadSpec};
+
+fn bench_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_gen");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    let cluster = ClusterSpec::icpp_default();
+    for &jobs in &[1000usize, 5000] {
+        let poisson = WorkloadSpec::icpp_default().with_num_jobs(jobs);
+        group.bench_with_input(BenchmarkId::new("poisson", jobs), &poisson, |b, spec| {
+            b.iter(|| generate(spec, &cluster, 3).len())
+        });
+        let bursty = WorkloadSpec::icpp_default()
+            .with_num_jobs(jobs)
+            .with_arrivals(ArrivalProcess::Bursty {
+                burst_factor: 5.0,
+                burst_period: 120.0,
+            });
+        group.bench_with_input(BenchmarkId::new("bursty", jobs), &bursty, |b, spec| {
+            b.iter(|| generate(spec, &cluster, 3).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workload);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Experiment driver: regenerates the tables and figures of the evaluation.
+//!
+//! ```text
+//! cargo run -p tcrm-bench --release --bin expdriver -- all --quick
+//! cargo run -p tcrm-bench --release --bin expdriver -- table2 fig3 --out results
+//! cargo run -p tcrm-bench --release --bin expdriver -- fig6 --full
+//! ```
+//!
+//! `--quick` (default) trains small agents and uses small workloads so the
+//! whole suite finishes in minutes; `--full` runs the paper-scale
+//! configuration. Outputs are written as `<out>/<experiment>.{md,csv}` and a
+//! combined `REPORT.md`.
+
+use std::env;
+use std::path::PathBuf;
+use tcrm_bench::experiments::{ExperimentOutput, Lab, ALL_EXPERIMENTS};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: expdriver <experiment ...|all> [--quick|--full] [--out <dir>]\n  experiments: {}",
+        ALL_EXPERIMENTS.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut quick = true;
+    let mut out_dir = PathBuf::from("results");
+    let mut experiments: Vec<String> = Vec::new();
+    let mut iter = args.into_iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--full" => quick = false,
+            "--out" => {
+                out_dir = PathBuf::from(iter.next().unwrap_or_else(|| usage()));
+            }
+            "all" => experiments.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        usage();
+    }
+    experiments.dedup();
+
+    let lab = Lab::new(quick, &out_dir);
+    println!(
+        "# TCRM experiment driver — mode: {}, output: {}",
+        if quick { "quick" } else { "full" },
+        out_dir.display()
+    );
+
+    let mut report = String::from("# TCRM evaluation report\n\n");
+    report.push_str(&format!(
+        "Mode: **{}**. Regenerate with `cargo run -p tcrm-bench --release --bin expdriver -- all {}`.\n\n",
+        if quick { "quick" } else { "full" },
+        if quick { "--quick" } else { "--full" }
+    ));
+
+    let mut ran: Vec<ExperimentOutput> = Vec::new();
+    for name in &experiments {
+        let started = std::time::Instant::now();
+        match lab.run(name) {
+            Some(output) => {
+                println!("== {} (done in {:.1}s) ==", name, started.elapsed().as_secs_f64());
+                println!("{}", output.markdown);
+                if let Err(e) = output.write_to(&out_dir) {
+                    eprintln!("warning: could not write {name}: {e}");
+                }
+                report.push_str(&output.markdown);
+                report.push('\n');
+                ran.push(output);
+            }
+            None => {
+                eprintln!("unknown experiment '{name}' — skipping");
+            }
+        }
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir)
+        .and_then(|_| std::fs::write(out_dir.join("REPORT.md"), &report))
+    {
+        eprintln!("warning: could not write REPORT.md: {e}");
+    }
+    println!(
+        "Wrote {} experiment outputs to {}",
+        ran.len(),
+        out_dir.display()
+    );
+}

@@ -1,0 +1,21 @@
+//! # tcrm-bench — experiment harness and benchmark suite
+//!
+//! Regenerates every table and figure of the (reconstructed) evaluation:
+//!
+//! * [`runner`] — run `(scheduler × workload × seed)` grids in parallel and
+//!   aggregate the summaries;
+//! * [`results`] — row/aggregate types plus CSV and markdown emitters;
+//! * [`experiments`] — one function per table/figure (`table1` … `fig9`),
+//!   exactly as indexed in `DESIGN.md` and `EXPERIMENTS.md`;
+//! * the `expdriver` binary — `cargo run -p tcrm-bench --release --bin
+//!   expdriver -- <experiment|all> [--quick]`;
+//! * Criterion benches (`benches/`) — engine throughput, per-scheduler
+//!   decision latency vs cluster size, network forward/backward cost,
+//!   training-update cost and workload-generation throughput.
+
+pub mod experiments;
+pub mod results;
+pub mod runner;
+
+pub use results::{Aggregate, ResultRow, ResultTable};
+pub use runner::{evaluate, evaluate_grid, EvalConfig, SchedulerSpec};

@@ -1,0 +1,301 @@
+//! Result containers and table emitters (CSV + markdown).
+
+use serde::{Deserialize, Serialize};
+use tcrm_sim::stats;
+use tcrm_sim::Summary;
+
+/// One `(scheduler, parameter point, seed)` simulation outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResultRow {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// The swept parameter (offered load, slack factor, cluster scale, …).
+    pub parameter: f64,
+    /// Seed of the replication.
+    pub seed: u64,
+    /// Full summary of the run.
+    pub summary: Summary,
+}
+
+/// Aggregate over the seeds of one `(scheduler, parameter)` cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Aggregate {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// The swept parameter value.
+    pub parameter: f64,
+    /// Number of seeds aggregated.
+    pub replications: usize,
+    /// Mean deadline-miss rate.
+    pub miss_rate: f64,
+    /// Standard deviation of the miss rate across seeds.
+    pub miss_rate_std: f64,
+    /// Mean of the mean bounded slowdown.
+    pub mean_slowdown: f64,
+    /// Mean 95th-percentile slowdown.
+    pub p95_slowdown: f64,
+    /// Mean utility ratio (accrued / achievable).
+    pub utility_ratio: f64,
+    /// Mean cluster utilisation.
+    pub utilization: f64,
+    /// Mean queueing delay.
+    pub mean_wait: f64,
+    /// Mean degree of parallelism of completed jobs.
+    pub mean_parallelism: f64,
+    /// Mean number of elastic re-scaling operations per run.
+    pub scale_events: f64,
+}
+
+impl Aggregate {
+    /// Aggregate a group of rows (all expected to share scheduler and
+    /// parameter).
+    pub fn from_rows(rows: &[&ResultRow]) -> Aggregate {
+        assert!(!rows.is_empty(), "cannot aggregate zero rows");
+        let collect = |f: &dyn Fn(&Summary) -> f64| -> Vec<f64> {
+            rows.iter().map(|r| f(&r.summary)).collect()
+        };
+        let miss: Vec<f64> = collect(&|s| s.miss_rate);
+        Aggregate {
+            scheduler: rows[0].scheduler.clone(),
+            parameter: rows[0].parameter,
+            replications: rows.len(),
+            miss_rate: stats::mean(&miss),
+            miss_rate_std: stats::std_dev(&miss),
+            mean_slowdown: stats::mean(&collect(&|s| s.mean_slowdown)),
+            p95_slowdown: stats::mean(&collect(&|s| s.p95_slowdown)),
+            utility_ratio: stats::mean(&collect(&|s| s.utility_ratio)),
+            utilization: stats::mean(&collect(&|s| s.mean_utilization)),
+            mean_wait: stats::mean(&collect(&|s| s.mean_wait)),
+            mean_parallelism: stats::mean(&collect(&|s| s.mean_parallelism)),
+            scale_events: stats::mean(&collect(&|s| s.scale_events as f64)),
+        }
+    }
+}
+
+/// A named collection of rows plus the aggregates derived from them — the
+/// in-memory form of one table or one figure's data series.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ResultTable {
+    /// Experiment identifier (`table2`, `fig3`, …).
+    pub experiment: String,
+    /// Human-readable caption.
+    pub caption: String,
+    /// Name of the swept parameter (`load`, `slack`, `nodes`, …).
+    pub parameter_name: String,
+    /// Raw per-seed rows.
+    pub rows: Vec<ResultRow>,
+}
+
+impl ResultTable {
+    /// Create an empty table.
+    pub fn new(
+        experiment: impl Into<String>,
+        caption: impl Into<String>,
+        parameter_name: impl Into<String>,
+    ) -> Self {
+        ResultTable {
+            experiment: experiment.into(),
+            caption: caption.into(),
+            parameter_name: parameter_name.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append rows.
+    pub fn extend(&mut self, rows: Vec<ResultRow>) {
+        self.rows.extend(rows);
+    }
+
+    /// Group rows into `(scheduler, parameter)` aggregates, ordered by
+    /// parameter then scheduler.
+    pub fn aggregates(&self) -> Vec<Aggregate> {
+        let mut keys: Vec<(String, u64)> = self
+            .rows
+            .iter()
+            .map(|r| (r.scheduler.clone(), r.parameter.to_bits()))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        let mut out: Vec<Aggregate> = keys
+            .into_iter()
+            .map(|(scheduler, bits)| {
+                let param = f64::from_bits(bits);
+                let group: Vec<&ResultRow> = self
+                    .rows
+                    .iter()
+                    .filter(|r| r.scheduler == scheduler && r.parameter.to_bits() == bits)
+                    .collect();
+                let _ = param;
+                Aggregate::from_rows(&group)
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            a.parameter
+                .partial_cmp(&b.parameter)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.scheduler.cmp(&b.scheduler))
+        });
+        out
+    }
+
+    /// Aggregates of one scheduler, ordered by parameter (one figure series).
+    pub fn series(&self, scheduler: &str) -> Vec<Aggregate> {
+        self.aggregates()
+            .into_iter()
+            .filter(|a| a.scheduler == scheduler)
+            .collect()
+    }
+
+    /// Scheduler names present, sorted.
+    pub fn schedulers(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.rows.iter().map(|r| r.scheduler.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// CSV rendering of the aggregates.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "scheduler,parameter,replications,miss_rate,miss_rate_std,mean_slowdown,p95_slowdown,utility_ratio,utilization,mean_wait,mean_parallelism,scale_events\n",
+        );
+        for a in self.aggregates() {
+            out.push_str(&format!(
+                "{},{:.4},{},{:.4},{:.4},{:.3},{:.3},{:.4},{:.4},{:.2},{:.2},{:.1}\n",
+                a.scheduler,
+                a.parameter,
+                a.replications,
+                a.miss_rate,
+                a.miss_rate_std,
+                a.mean_slowdown,
+                a.p95_slowdown,
+                a.utility_ratio,
+                a.utilization,
+                a.mean_wait,
+                a.mean_parallelism,
+                a.scale_events
+            ));
+        }
+        out
+    }
+
+    /// Markdown rendering of the aggregates (one row per scheduler/parameter
+    /// cell), mirroring the layout of the paper's tables.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {} — {}\n\n", self.experiment, self.caption);
+        out.push_str(&format!(
+            "| scheduler | {} | miss rate | slowdown (mean / p95) | utility ratio | utilisation | mean wait |\n",
+            self.parameter_name
+        ));
+        out.push_str("|---|---|---|---|---|---|---|\n");
+        for a in self.aggregates() {
+            out.push_str(&format!(
+                "| {} | {:.2} | {:.1}% ± {:.1} | {:.2} / {:.2} | {:.2} | {:.2} | {:.1}s |\n",
+                a.scheduler,
+                a.parameter,
+                a.miss_rate * 100.0,
+                a.miss_rate_std * 100.0,
+                a.mean_slowdown,
+                a.p95_slowdown,
+                a.utility_ratio,
+                a.utilization,
+                a.mean_wait
+            ));
+        }
+        out
+    }
+
+    /// Serialise the full table (rows + metadata) to JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcrm_sim::JobClass;
+
+    fn summary(miss: f64, slowdown: f64) -> Summary {
+        Summary {
+            total_jobs: 10,
+            completed_jobs: 10,
+            unfinished_jobs: 0,
+            missed_jobs: (miss * 10.0) as usize,
+            miss_rate: miss,
+            mean_slowdown: slowdown,
+            p50_slowdown: slowdown,
+            p95_slowdown: slowdown * 2.0,
+            p99_slowdown: slowdown * 3.0,
+            mean_wait: 5.0,
+            mean_response: 20.0,
+            total_utility: 10.0 * (1.0 - miss),
+            max_total_utility: 10.0,
+            utility_ratio: 1.0 - miss,
+            makespan: 100.0,
+            mean_utilization: 0.5,
+            per_class_miss_rate: [miss; JobClass::COUNT],
+            per_class_mean_slowdown: [slowdown; JobClass::COUNT],
+            slowdown_fairness: 1.0,
+            mean_parallelism: 2.0,
+            scale_events: 3,
+            invalid_actions: 0,
+            decision_epochs: 50,
+        }
+    }
+
+    fn row(sched: &str, param: f64, seed: u64, miss: f64) -> ResultRow {
+        ResultRow {
+            scheduler: sched.into(),
+            parameter: param,
+            seed,
+            summary: summary(miss, 2.0),
+        }
+    }
+
+    #[test]
+    fn aggregates_average_over_seeds() {
+        let mut table = ResultTable::new("table2", "test", "load");
+        table.extend(vec![
+            row("edf", 0.9, 0, 0.2),
+            row("edf", 0.9, 1, 0.4),
+            row("drl", 0.9, 0, 0.1),
+        ]);
+        let aggs = table.aggregates();
+        assert_eq!(aggs.len(), 2);
+        let edf = aggs.iter().find(|a| a.scheduler == "edf").unwrap();
+        assert!((edf.miss_rate - 0.3).abs() < 1e-12);
+        assert_eq!(edf.replications, 2);
+        assert!(edf.miss_rate_std > 0.0);
+        let drl = table.series("drl");
+        assert_eq!(drl.len(), 1);
+        assert_eq!(table.schedulers(), vec!["drl".to_string(), "edf".to_string()]);
+    }
+
+    #[test]
+    fn aggregates_are_ordered_by_parameter_then_name() {
+        let mut table = ResultTable::new("fig3", "test", "load");
+        table.extend(vec![
+            row("edf", 1.1, 0, 0.3),
+            row("edf", 0.5, 0, 0.1),
+            row("drl", 0.5, 0, 0.05),
+        ]);
+        let aggs = table.aggregates();
+        assert_eq!(aggs[0].parameter, 0.5);
+        assert_eq!(aggs[0].scheduler, "drl");
+        assert_eq!(aggs[2].parameter, 1.1);
+    }
+
+    #[test]
+    fn emitters_contain_all_schedulers() {
+        let mut table = ResultTable::new("table2", "caption text", "load");
+        table.extend(vec![row("edf", 0.9, 0, 0.2), row("fifo", 0.9, 0, 0.5)]);
+        let csv = table.to_csv();
+        assert!(csv.lines().count() == 3);
+        assert!(csv.contains("edf") && csv.contains("fifo"));
+        let md = table.to_markdown();
+        assert!(md.contains("caption text"));
+        assert!(md.contains("| edf |") && md.contains("| fifo |"));
+        assert!(table.to_json().unwrap().contains("\"experiment\""));
+    }
+}

@@ -1,0 +1,187 @@
+//! Running `(scheduler × workload point × seed)` grids and collecting rows.
+
+use crate::results::ResultRow;
+use rayon::prelude::*;
+use tcrm_baselines::{by_name, RigidAdapter};
+use tcrm_core::DrlScheduler;
+use tcrm_sim::{ClusterSpec, Scheduler, SimConfig, Simulator};
+use tcrm_workload::{generate, WorkloadSpec};
+
+/// A scheduler that can be instantiated fresh for every replication.
+#[derive(Debug, Clone)]
+pub enum SchedulerSpec {
+    /// One of the named heuristics from `tcrm-baselines`.
+    Baseline(String),
+    /// A baseline wrapped in the rigid adapter (elasticity stripped).
+    RigidBaseline(String),
+    /// A (trained or untrained) DRL agent; cloned per replication.
+    Drl(Box<DrlScheduler>),
+}
+
+impl SchedulerSpec {
+    /// Convenience constructor for a named baseline.
+    pub fn baseline(name: &str) -> Self {
+        SchedulerSpec::Baseline(name.to_string())
+    }
+
+    /// Convenience constructor for a DRL agent.
+    pub fn drl(agent: DrlScheduler) -> Self {
+        SchedulerSpec::Drl(Box::new(agent))
+    }
+
+    /// The display name used in result tables.
+    pub fn name(&self) -> String {
+        match self {
+            SchedulerSpec::Baseline(name) => name.clone(),
+            SchedulerSpec::RigidBaseline(name) => format!("{name}-rigid"),
+            SchedulerSpec::Drl(agent) => agent.name().to_string(),
+        }
+    }
+
+    /// Instantiate a fresh scheduler for one replication.
+    pub fn build(&self, seed: u64) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerSpec::Baseline(name) => {
+                by_name(name, seed).unwrap_or_else(|| panic!("unknown baseline '{name}'"))
+            }
+            SchedulerSpec::RigidBaseline(name) => {
+                let inner =
+                    by_name(name, seed).unwrap_or_else(|| panic!("unknown baseline '{name}'"));
+                Box::new(RigidAdapter::new(inner))
+            }
+            SchedulerSpec::Drl(agent) => Box::new((**agent).clone()),
+        }
+    }
+}
+
+/// One evaluation point: cluster, engine knobs, workload family and the seeds
+/// to replicate over.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Cluster specification.
+    pub cluster: ClusterSpec,
+    /// Engine configuration.
+    pub sim: SimConfig,
+    /// Workload family (including the offered load and job count).
+    pub workload: WorkloadSpec,
+    /// Replication seeds.
+    pub seeds: Vec<u64>,
+}
+
+impl EvalConfig {
+    /// A small default evaluation configuration.
+    pub fn new(cluster: ClusterSpec, workload: WorkloadSpec, seeds: Vec<u64>) -> Self {
+        EvalConfig {
+            cluster,
+            sim: SimConfig::default(),
+            workload,
+            seeds,
+        }
+    }
+}
+
+/// Evaluate one scheduler on one workload point, one row per seed.
+/// Replications run in parallel (rayon); each replication is itself fully
+/// deterministic, so the result set does not depend on the thread schedule.
+pub fn evaluate(spec: &SchedulerSpec, config: &EvalConfig, parameter: f64) -> Vec<ResultRow> {
+    config
+        .seeds
+        .par_iter()
+        .map(|&seed| {
+            let jobs = generate(&config.workload, &config.cluster, seed);
+            let mut scheduler = spec.build(seed);
+            let result = Simulator::new(config.cluster.clone(), config.sim.clone())
+                .run(jobs, &mut scheduler);
+            ResultRow {
+                scheduler: spec.name(),
+                parameter,
+                seed,
+                summary: result.summary,
+            }
+        })
+        .collect()
+}
+
+/// Evaluate a set of schedulers over a set of `(parameter, workload)` points.
+pub fn evaluate_grid(
+    specs: &[SchedulerSpec],
+    points: &[(f64, WorkloadSpec)],
+    cluster: &ClusterSpec,
+    sim: &SimConfig,
+    seeds: &[u64],
+) -> Vec<ResultRow> {
+    let mut rows = Vec::new();
+    for (parameter, workload) in points {
+        let config = EvalConfig {
+            cluster: cluster.clone(),
+            sim: sim.clone(),
+            workload: workload.clone(),
+            seeds: seeds.to_vec(),
+        };
+        for spec in specs {
+            rows.extend(evaluate(spec, &config, *parameter));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(load: f64) -> EvalConfig {
+        EvalConfig::new(
+            ClusterSpec::icpp_default(),
+            WorkloadSpec::icpp_default()
+                .with_num_jobs(30)
+                .with_load(load),
+            vec![1, 2],
+        )
+    }
+
+    #[test]
+    fn evaluate_produces_one_row_per_seed() {
+        let rows = evaluate(&SchedulerSpec::baseline("edf"), &quick_config(0.7), 0.7);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.scheduler == "edf"));
+        assert!(rows.iter().all(|r| r.summary.total_jobs == 30));
+        assert!(rows.iter().all(|r| r.parameter == 0.7));
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_across_calls() {
+        let spec = SchedulerSpec::baseline("greedy-elastic");
+        let a = evaluate(&spec, &quick_config(0.9), 0.9);
+        let b = evaluate(&spec, &quick_config(0.9), 0.9);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.summary, y.summary);
+        }
+    }
+
+    #[test]
+    fn grid_covers_all_cells() {
+        let specs = vec![
+            SchedulerSpec::baseline("fifo"),
+            SchedulerSpec::RigidBaseline("greedy-elastic".into()),
+        ];
+        let points = vec![
+            (0.5, WorkloadSpec::icpp_default().with_num_jobs(20).with_load(0.5)),
+            (0.9, WorkloadSpec::icpp_default().with_num_jobs(20).with_load(0.9)),
+        ];
+        let rows = evaluate_grid(
+            &specs,
+            &points,
+            &ClusterSpec::icpp_default(),
+            &SimConfig::default(),
+            &[3],
+        );
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().any(|r| r.scheduler == "greedy-elastic-rigid"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_baseline_panics() {
+        SchedulerSpec::baseline("no-such-policy").build(0);
+    }
+}

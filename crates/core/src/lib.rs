@@ -1,0 +1,55 @@
+//! # tcrm-core — the paper's primary contribution
+//!
+//! Deep-reinforcement-learning based, **elasticity-compatible**,
+//! **heterogeneous** resource management for **time-critical** computing
+//! (ICPP 2020 reproduction).
+//!
+//! The crate assembles the scheduler the paper proposes from the substrates
+//! in the rest of the workspace:
+//!
+//! * [`state::StateEncoder`] — compact observation of the heterogeneous
+//!   cluster (per node class free capacity and speed factors), the head of
+//!   the deadline-sorted job queue, the running jobs most at risk, and global
+//!   backlog aggregates;
+//! * [`action::ActionSpace`] — a discrete action space whose start actions
+//!   jointly pick *which job*, *which node class* and *which degree of
+//!   parallelism*, and whose scale actions grow/shrink running malleable jobs
+//!   (the elasticity-compatible part), with full feasibility masking;
+//! * [`reward::RewardTracker`] — time-utility reward shaping (plus the
+//!   miss-penalty and slowdown variants used by the reward ablation);
+//! * [`env::SchedulingEnv`] — the MDP formulation: an [`tcrm_rl::Environment`]
+//!   wrapping the discrete-event simulator;
+//! * [`train::train_agent`] — training orchestration over REINFORCE / A2C /
+//!   PPO learners;
+//! * [`agent::DrlScheduler`] — the trained policy packaged as a
+//!   [`tcrm_sim::Scheduler`], directly comparable with every baseline, with
+//!   JSON checkpointing.
+//!
+//! ```no_run
+//! use tcrm_core::{train_agent, TrainSetup};
+//!
+//! // Train a small agent and let it schedule a fresh workload.
+//! let outcome = train_agent(&TrainSetup::smoke());
+//! let cluster = tcrm_sim::ClusterSpec::tiny();
+//! let jobs = tcrm_workload::generate(&tcrm_workload::WorkloadSpec::tiny(), &cluster, 7);
+//! let mut agent = outcome.agent;
+//! let result = tcrm_sim::Simulator::new(cluster, tcrm_sim::SimConfig::default())
+//!     .run(jobs, &mut agent);
+//! println!("miss rate: {:.1}%", result.summary.miss_rate * 100.0);
+//! ```
+
+pub mod action;
+pub mod agent;
+pub mod config;
+pub mod env;
+pub mod reward;
+pub mod state;
+pub mod train;
+
+pub use action::{ActionMeaning, ActionSpace};
+pub use agent::DrlScheduler;
+pub use config::{AgentConfig, LearnerKind, RewardConfig, RewardKind, TrainConfig};
+pub use env::{SchedulingEnv, WorkloadSource};
+pub use reward::RewardTracker;
+pub use state::StateEncoder;
+pub use train::{train_agent, TrainOutcome, TrainSetup};

@@ -1,0 +1,222 @@
+//! Reward shaping for the time-critical scheduling MDP.
+
+use crate::config::{RewardConfig, RewardKind};
+use serde::{Deserialize, Serialize};
+use tcrm_sim::{ClusterView, CompletedJob};
+
+/// Computes per-step rewards from the events of a decision interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RewardTracker {
+    config: RewardConfig,
+}
+
+impl RewardTracker {
+    /// Create a tracker with the given shaping configuration.
+    pub fn new(config: RewardConfig) -> Self {
+        RewardTracker { config }
+    }
+
+    /// The shaping configuration.
+    pub fn config(&self) -> &RewardConfig {
+        &self.config
+    }
+
+    /// Reward for one environment step.
+    ///
+    /// * `new_completions` — jobs that finished since the previous step,
+    /// * `dt` — simulated time elapsed since the previous step,
+    /// * `view` — the snapshot *after* the step (used for the shaping terms
+    ///   that look at the jobs still in the system).
+    pub fn step_reward(
+        &self,
+        new_completions: &[CompletedJob],
+        dt: f64,
+        view: &ClusterView,
+    ) -> f64 {
+        match self.config.kind {
+            RewardKind::Utility => {
+                let mut reward = 0.0;
+                for job in new_completions {
+                    reward += self.config.utility_scale * job.utility;
+                    if job.missed {
+                        reward -= self.config.miss_penalty;
+                    }
+                }
+                // Penalise letting pending jobs become infeasible (their
+                // deadline can no longer be met even at maximum parallelism on
+                // the fastest class).
+                let infeasible = view
+                    .pending
+                    .iter()
+                    .filter(|j| {
+                        view.classes
+                            .iter()
+                            .map(|c| j.slack_on(view.time, c, j.max_parallelism))
+                            .fold(f64::NEG_INFINITY, f64::max)
+                            < 0.0
+                    })
+                    .count();
+                reward -= self.config.infeasible_pending_penalty * infeasible as f64;
+                reward
+            }
+            RewardKind::MissPenalty => {
+                let mut reward = 0.0;
+                for job in new_completions {
+                    reward += if job.missed { -1.0 } else { 1.0 };
+                }
+                reward
+            }
+            RewardKind::Slowdown => {
+                if dt <= 0.0 {
+                    return 0.0;
+                }
+                // DeepRM-style: every job in the system costs dt normalised by
+                // its best-case service time, which the optimal policy
+                // minimises by clearing jobs quickly.
+                let mut cost = 0.0;
+                for job in &view.pending {
+                    let best = best_case_service_pending(job, view);
+                    cost += dt / best.max(1.0);
+                }
+                for job in &view.running {
+                    let best: f64 = view
+                        .classes
+                        .iter()
+                        .map(|c| {
+                            job.total_work
+                                / (c.speed_factor(job.class).max(1e-9)
+                                    * job.speedup.speedup(job.max_parallelism))
+                        })
+                        .fold(f64::INFINITY, f64::min);
+                    cost += dt / best.max(1.0);
+                }
+                -cost
+            }
+        }
+    }
+
+    /// The maximum reward one job can contribute under this shaping (used to
+    /// sanity-check reward scales in tests).
+    pub fn max_per_job(&self, utility_value: f64) -> f64 {
+        match self.config.kind {
+            RewardKind::Utility => self.config.utility_scale * utility_value,
+            RewardKind::MissPenalty => 1.0,
+            RewardKind::Slowdown => 0.0,
+        }
+    }
+}
+
+fn best_case_service_pending(job: &tcrm_sim::PendingJobView, view: &ClusterView) -> f64 {
+    view.classes
+        .iter()
+        .map(|c| job.service_time_on(c, job.max_parallelism))
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RewardConfig;
+    use tcrm_sim::prelude::*;
+    use tcrm_sim::JobClass;
+
+    fn completed(missed: bool, utility: f64) -> CompletedJob {
+        CompletedJob {
+            id: JobId(0),
+            class: JobClass::Batch,
+            arrival: 0.0,
+            start: 1.0,
+            finish: 10.0,
+            deadline: if missed { 5.0 } else { 50.0 },
+            wait: 1.0,
+            response: 10.0,
+            best_case_service: 5.0,
+            slowdown: 2.0,
+            missed,
+            utility,
+            max_utility: 1.0,
+            avg_parallelism: 1.0,
+            scale_count: 0,
+        }
+    }
+
+    fn empty_view() -> ClusterView {
+        let mut cfg = SimConfig::default();
+        cfg.decision_interval = None;
+        let mut sim = Simulator::new(ClusterSpec::tiny(), cfg);
+        sim.start(vec![Job::builder(JobId(0), JobClass::Batch)
+            .arrival(0.0)
+            .total_work(5.0)
+            .deadline(100.0)
+            .build()]);
+        sim.advance();
+        sim.view()
+    }
+
+    #[test]
+    fn utility_reward_credits_completions_and_penalises_misses() {
+        let tracker = RewardTracker::new(RewardConfig::default());
+        let view = empty_view();
+        let on_time = tracker.step_reward(&[completed(false, 1.0)], 5.0, &view);
+        let missed = tracker.step_reward(&[completed(true, 0.0)], 5.0, &view);
+        assert!(on_time > 0.9);
+        assert!(missed < -0.9);
+        assert!(on_time > missed);
+    }
+
+    #[test]
+    fn utility_reward_penalises_infeasible_pending_jobs() {
+        let tracker = RewardTracker::new(RewardConfig::default());
+        // Build a view whose single pending job can no longer meet its
+        // deadline.
+        let mut cfg = SimConfig::default();
+        cfg.decision_interval = Some(10.0);
+        let mut sim = Simulator::new(ClusterSpec::tiny(), cfg);
+        sim.start(vec![Job::builder(JobId(0), JobClass::Batch)
+            .arrival(0.0)
+            .total_work(500.0)
+            .deadline(5.0)
+            .build()]);
+        sim.advance();
+        let view = sim.view();
+        let r = tracker.step_reward(&[], 1.0, &view);
+        assert!(r < 0.0, "expected infeasible-pending penalty, got {r}");
+    }
+
+    #[test]
+    fn miss_penalty_reward_is_plus_minus_one() {
+        let cfg = RewardConfig {
+            kind: RewardKind::MissPenalty,
+            ..Default::default()
+        };
+        let tracker = RewardTracker::new(cfg);
+        let view = empty_view();
+        assert_eq!(tracker.step_reward(&[completed(false, 1.0)], 1.0, &view), 1.0);
+        assert_eq!(tracker.step_reward(&[completed(true, 0.0)], 1.0, &view), -1.0);
+        assert_eq!(tracker.step_reward(&[], 1.0, &view), 0.0);
+    }
+
+    #[test]
+    fn slowdown_reward_charges_jobs_in_system() {
+        let cfg = RewardConfig {
+            kind: RewardKind::Slowdown,
+            ..Default::default()
+        };
+        let tracker = RewardTracker::new(cfg);
+        let view = empty_view(); // one pending job
+        let r = tracker.step_reward(&[], 10.0, &view);
+        assert!(r < 0.0);
+        assert_eq!(tracker.step_reward(&[], 0.0, &view), 0.0);
+    }
+
+    #[test]
+    fn max_per_job_reflects_kind() {
+        let utility = RewardTracker::new(RewardConfig::default());
+        assert_eq!(utility.max_per_job(2.5), 2.5);
+        let miss = RewardTracker::new(RewardConfig {
+            kind: RewardKind::MissPenalty,
+            ..Default::default()
+        });
+        assert_eq!(miss.max_per_job(2.5), 1.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Activation functions used by the policy/value networks.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Supported element-wise activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Identity (used by output layers that emit raw logits or values).
+    Identity,
+}
+
+impl Activation {
+    /// Apply the activation element-wise.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        match self {
+            Activation::Relu => x.map(|v| v.max(0.0)),
+            Activation::Tanh => x.map(|v| v.tanh()),
+            Activation::Identity => x.clone(),
+        }
+    }
+
+    /// Derivative of the activation with respect to its *pre-activation*
+    /// input, evaluated element-wise at `pre`.
+    pub fn derivative(&self, pre: &Matrix) -> Matrix {
+        match self {
+            Activation::Relu => pre.map(|v| if v > 0.0 { 1.0 } else { 0.0 }),
+            Activation::Tanh => pre.map(|v| {
+                let t = v.tanh();
+                1.0 - t * t
+            }),
+            Activation::Identity => pre.map(|_| 1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Matrix::from_rows(&[&[-1.0, 0.0, 2.0]]);
+        let y = Activation::Relu.forward(&x);
+        assert_eq!(y.row(0), &[0.0, 0.0, 2.0]);
+        let d = Activation::Relu.derivative(&x);
+        assert_eq!(d.row(0), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn tanh_bounds_and_derivative() {
+        let x = Matrix::from_rows(&[&[-10.0, 0.0, 10.0]]);
+        let y = Activation::Tanh.forward(&x);
+        assert!(y.data().iter().all(|v| v.abs() <= 1.0));
+        assert_eq!(y.get(0, 1), 0.0);
+        let d = Activation::Tanh.derivative(&x);
+        assert!((d.get(0, 1) - 1.0).abs() < 1e-6);
+        assert!(d.get(0, 0) < 1e-6);
+    }
+
+    #[test]
+    fn identity_is_a_no_op() {
+        let x = Matrix::from_rows(&[&[1.5, -2.5]]);
+        assert_eq!(Activation::Identity.forward(&x), x);
+        assert_eq!(Activation::Identity.derivative(&x).row(0), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn finite_difference_matches_derivative() {
+        let eps = 1e-3f32;
+        for act in [Activation::Relu, Activation::Tanh] {
+            for &v in &[-0.7f32, 0.3, 1.2] {
+                let x = Matrix::from_rows(&[&[v]]);
+                let xp = Matrix::from_rows(&[&[v + eps]]);
+                let xm = Matrix::from_rows(&[&[v - eps]]);
+                let numeric =
+                    (act.forward(&xp).get(0, 0) - act.forward(&xm).get(0, 0)) / (2.0 * eps);
+                let analytic = act.derivative(&x).get(0, 0);
+                assert!(
+                    (numeric - analytic).abs() < 1e-2,
+                    "{act:?} at {v}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Weight initialisation schemes.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialisation for a `fan_in × fan_out` weight
+/// matrix: samples from `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+/// A good default for tanh layers.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    sample_uniform(fan_in, fan_out, a, rng)
+}
+
+/// He/Kaiming uniform initialisation: `U(-a, a)` with `a = sqrt(6 / fan_in)`.
+/// A good default for ReLU layers.
+pub fn he_uniform(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Matrix {
+    let a = (6.0 / fan_in as f32).sqrt();
+    sample_uniform(fan_in, fan_out, a, rng)
+}
+
+fn sample_uniform(rows: usize, cols: usize, a: f32, rng: &mut StdRng) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.data_mut() {
+        *v = rng.gen_range(-a..=a);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds_and_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = xavier_uniform(64, 32, &mut rng);
+        assert_eq!(w.rows(), 64);
+        assert_eq!(w.cols(), 32);
+        let bound = (6.0f32 / 96.0).sqrt();
+        assert!(w.data().iter().all(|v| v.abs() <= bound + 1e-6));
+        // Not all zero.
+        assert!(w.norm() > 0.0);
+    }
+
+    #[test]
+    fn he_has_wider_bound_than_xavier_for_same_fan_in() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let he = he_uniform(10, 10, &mut rng);
+        let he_bound = (6.0f32 / 10.0).sqrt();
+        assert!(he.data().iter().all(|v| v.abs() <= he_bound + 1e-6));
+        let xavier_bound = (6.0f32 / 20.0).sqrt();
+        assert!(he_bound > xavier_bound);
+    }
+
+    #[test]
+    fn initialisation_is_seed_deterministic() {
+        let a = xavier_uniform(8, 8, &mut StdRng::seed_from_u64(7));
+        let b = xavier_uniform(8, 8, &mut StdRng::seed_from_u64(7));
+        let c = xavier_uniform(8, 8, &mut StdRng::seed_from_u64(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

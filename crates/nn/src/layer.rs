@@ -1,0 +1,212 @@
+//! Fully-connected layers with manual backpropagation.
+
+use crate::activation::Activation;
+use crate::init;
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// A dense layer `y = act(x · W + b)`.
+///
+/// Shapes: input `batch × in_dim`, weights `in_dim × out_dim`, bias
+/// `out_dim`, output `batch × out_dim`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    /// Weight matrix (`in_dim × out_dim`).
+    pub weights: Matrix,
+    /// Bias vector (`out_dim`).
+    pub bias: Vec<f32>,
+    /// Activation applied to the affine output.
+    pub activation: Activation,
+    /// Accumulated weight gradient (same shape as `weights`).
+    #[serde(skip)]
+    pub grad_weights: Option<Matrix>,
+    /// Accumulated bias gradient.
+    #[serde(skip)]
+    pub grad_bias: Option<Vec<f32>>,
+    /// Cached input of the last `forward_train` call.
+    #[serde(skip)]
+    cache_input: Option<Matrix>,
+    /// Cached pre-activation of the last `forward_train` call.
+    #[serde(skip)]
+    cache_pre: Option<Matrix>,
+}
+
+impl Dense {
+    /// Create a layer with activation-appropriate initialisation (He for
+    /// ReLU, Xavier otherwise) and zero bias.
+    pub fn new(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut StdRng) -> Self {
+        let weights = match activation {
+            Activation::Relu => init::he_uniform(in_dim, out_dim, rng),
+            _ => init::xavier_uniform(in_dim, out_dim, rng),
+        };
+        Dense {
+            weights,
+            bias: vec![0.0; out_dim],
+            activation,
+            grad_weights: None,
+            grad_bias: None,
+            cache_input: None,
+            cache_pre: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Number of trainable parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.bias.len()
+    }
+
+    /// Inference-mode forward pass (no caches kept).
+    pub fn forward(&self, input: &Matrix) -> Matrix {
+        let pre = input.matmul(&self.weights).add_row_broadcast(&self.bias);
+        self.activation.forward(&pre)
+    }
+
+    /// Training-mode forward pass: caches the input and pre-activation so a
+    /// subsequent [`Self::backward`] can compute gradients.
+    pub fn forward_train(&mut self, input: &Matrix) -> Matrix {
+        let pre = input.matmul(&self.weights).add_row_broadcast(&self.bias);
+        let out = self.activation.forward(&pre);
+        self.cache_input = Some(input.clone());
+        self.cache_pre = Some(pre);
+        out
+    }
+
+    /// Backward pass: given `dL/d(output)`, accumulate `dL/dW` and `dL/db`
+    /// and return `dL/d(input)`. Must follow a `forward_train` call.
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self
+            .cache_input
+            .as_ref()
+            .expect("backward called without forward_train");
+        let pre = self.cache_pre.as_ref().expect("missing pre-activation");
+        // dL/d(pre) = dL/d(out) ⊙ act'(pre)
+        let grad_pre = grad_output.hadamard(&self.activation.derivative(pre));
+        // dL/dW = xᵀ · dL/d(pre)
+        let gw = input.transpose().matmul(&grad_pre);
+        let gb = grad_pre.sum_rows();
+        match &mut self.grad_weights {
+            Some(existing) => *existing = existing.add(&gw),
+            None => self.grad_weights = Some(gw),
+        }
+        match &mut self.grad_bias {
+            Some(existing) => {
+                for (e, g) in existing.iter_mut().zip(gb.iter()) {
+                    *e += g;
+                }
+            }
+            None => self.grad_bias = Some(gb),
+        }
+        // dL/dx = dL/d(pre) · Wᵀ
+        grad_pre.matmul(&self.weights.transpose())
+    }
+
+    /// Reset accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_weights = None;
+        self.grad_bias = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let layer = Dense::new(4, 3, Activation::Relu, &mut rng());
+        let x = Matrix::zeros(5, 4);
+        let y = layer.forward(&x);
+        assert_eq!(y.rows(), 5);
+        assert_eq!(y.cols(), 3);
+        assert_eq!(layer.num_parameters(), 4 * 3 + 3);
+        assert_eq!(layer.in_dim(), 4);
+        assert_eq!(layer.out_dim(), 3);
+    }
+
+    #[test]
+    fn forward_train_matches_forward() {
+        let mut layer = Dense::new(4, 3, Activation::Tanh, &mut rng());
+        let x = Matrix::from_rows(&[&[0.1, -0.2, 0.3, 0.4]]);
+        let a = layer.forward(&x);
+        let b = layer.forward_train(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gradient_check_weights_and_input() {
+        // Loss L = sum(output). Finite-difference the weights and input.
+        let mut layer = Dense::new(3, 2, Activation::Tanh, &mut rng());
+        let x = Matrix::from_rows(&[&[0.3, -0.1, 0.8], &[-0.5, 0.2, 0.4]]);
+        let out = layer.forward_train(&x);
+        let grad_out = out.map(|_| 1.0);
+        let grad_in = layer.backward(&grad_out);
+        let gw = layer.grad_weights.clone().unwrap();
+
+        let eps = 1e-3f32;
+        // Check a few weight entries.
+        for (r, c) in [(0, 0), (1, 1), (2, 0)] {
+            let mut plus = layer.clone();
+            plus.weights.set(r, c, plus.weights.get(r, c) + eps);
+            let mut minus = layer.clone();
+            minus.weights.set(r, c, minus.weights.get(r, c) - eps);
+            let numeric = (plus.forward(&x).sum() - minus.forward(&x).sum()) / (2.0 * eps);
+            assert!(
+                (numeric - gw.get(r, c)).abs() < 1e-2,
+                "dW[{r},{c}] numeric {numeric} analytic {}",
+                gw.get(r, c)
+            );
+        }
+        // Check an input entry.
+        let mut xp = x.clone();
+        xp.set(0, 1, xp.get(0, 1) + eps);
+        let mut xm = x.clone();
+        xm.set(0, 1, xm.get(0, 1) - eps);
+        let numeric = (layer.forward(&xp).sum() - layer.forward(&xm).sum()) / (2.0 * eps);
+        assert!((numeric - grad_in.get(0, 1)).abs() < 1e-2);
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut layer = Dense::new(2, 2, Activation::Identity, &mut rng());
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let out = layer.forward_train(&x);
+        let g = out.map(|_| 1.0);
+        layer.backward(&g);
+        let first = layer.grad_weights.clone().unwrap();
+        layer.forward_train(&x);
+        layer.backward(&g);
+        let second = layer.grad_weights.clone().unwrap();
+        assert!((second.get(0, 0) - 2.0 * first.get(0, 0)).abs() < 1e-6);
+        layer.zero_grad();
+        assert!(layer.grad_weights.is_none());
+        assert!(layer.grad_bias.is_none());
+    }
+
+    #[test]
+    fn serde_skips_caches() {
+        let mut layer = Dense::new(2, 2, Activation::Relu, &mut rng());
+        let x = Matrix::from_rows(&[&[1.0, -1.0]]);
+        layer.forward_train(&x);
+        let json = serde_json::to_string(&layer).unwrap();
+        let back: Dense = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.weights, layer.weights);
+        assert_eq!(back.bias, layer.bias);
+        assert!(back.grad_weights.is_none());
+    }
+}

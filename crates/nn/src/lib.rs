@@ -1,0 +1,56 @@
+//! # tcrm-nn — a small, dependency-free neural-network substrate
+//!
+//! The DRL scheduler of the paper uses small multi-layer perceptrons (two
+//! hidden layers, a few hundred units) for its policy and value functions.
+//! The Rust RL ecosystem is thin and `tch`/libtorch would pull a native
+//! dependency into an otherwise pure-Rust reproduction, so this crate
+//! implements exactly the machinery those networks need, from scratch:
+//!
+//! * a row-major [`Matrix`] type with the handful of BLAS-like operations used
+//!   by dense layers,
+//! * [`Dense`] layers with ReLU/Tanh/Identity activations and manual
+//!   backpropagation,
+//! * an [`Mlp`] container with forward / backward / gradient accumulation,
+//! * [`Adam`] and [`Sgd`] optimisers,
+//! * numerically stable softmax / log-softmax / cross-entropy helpers with
+//!   support for **action masking** (infeasible scheduling actions receive
+//!   probability zero),
+//! * serde-based checkpointing of network weights.
+//!
+//! Everything is `f32` and CPU-only; the networks involved are small enough
+//! that this trains the agent in seconds to minutes.
+//!
+//! ```
+//! use tcrm_nn::{Activation, Mlp, MlpConfig, Matrix, Adam, Optimizer};
+//!
+//! // Fit y = 2x with a tiny network.
+//! let cfg = MlpConfig::new(1, &[8], 1, Activation::Tanh);
+//! let mut net = Mlp::new(&cfg, 0);
+//! let mut opt = Adam::new(net.num_parameters(), 1e-2);
+//! for _ in 0..400 {
+//!     let x = Matrix::from_rows(&[&[0.1], &[0.5], &[-0.3], &[0.8]]);
+//!     let target = x.map(|v| 2.0 * v);
+//!     let out = net.forward_train(&x);
+//!     let grad = out.sub(&target).scale(2.0 / 4.0);
+//!     net.zero_grad();
+//!     net.backward(&grad);
+//!     opt.step(&mut net);
+//! }
+//! let pred = net.forward(&Matrix::from_rows(&[&[0.25]]));
+//! assert!((pred.get(0, 0) - 0.5).abs() < 0.1);
+//! ```
+
+pub mod activation;
+pub mod init;
+pub mod layer;
+pub mod loss;
+pub mod matrix;
+pub mod mlp;
+pub mod optim;
+
+pub use activation::Activation;
+pub use layer::Dense;
+pub use loss::{cross_entropy_from_logits, log_softmax, masked_softmax, softmax};
+pub use matrix::Matrix;
+pub use mlp::{Mlp, MlpConfig};
+pub use optim::{Adam, Optimizer, Sgd};

@@ -1,0 +1,137 @@
+//! Numerically-stable softmax / cross-entropy helpers with action masking.
+
+/// Softmax of a logits slice (stable: subtracts the max).
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    if sum <= 0.0 || !sum.is_finite() {
+        // Degenerate input (all -inf or NaN): fall back to uniform.
+        return vec![1.0 / logits.len() as f32; logits.len()];
+    }
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+/// Log-softmax of a logits slice (stable).
+pub fn log_softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let log_sum: f32 = logits
+        .iter()
+        .map(|&l| (l - max).exp())
+        .sum::<f32>()
+        .ln()
+        + max;
+    logits.iter().map(|&l| l - log_sum).collect()
+}
+
+/// Softmax restricted to the actions whose mask entry is `true`; masked-out
+/// entries receive exactly zero probability. If no action is feasible the
+/// distribution is uniform over all actions (callers should avoid this, but
+/// it keeps the math finite).
+pub fn masked_softmax(logits: &[f32], mask: &[bool]) -> Vec<f32> {
+    assert_eq!(logits.len(), mask.len(), "mask length mismatch");
+    if !mask.iter().any(|&m| m) {
+        return vec![1.0 / logits.len() as f32; logits.len()];
+    }
+    let max = logits
+        .iter()
+        .zip(mask.iter())
+        .filter(|(_, &m)| m)
+        .map(|(&l, _)| l)
+        .fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits
+        .iter()
+        .zip(mask.iter())
+        .map(|(&l, &m)| if m { (l - max).exp() } else { 0.0 })
+        .collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+/// Cross-entropy loss `-log p[target]` computed from raw logits, plus the
+/// gradient with respect to the logits (`softmax - onehot(target)`).
+pub fn cross_entropy_from_logits(logits: &[f32], target: usize) -> (f32, Vec<f32>) {
+    assert!(target < logits.len(), "target out of range");
+    let log_probs = log_softmax(logits);
+    let probs = softmax(logits);
+    let loss = -log_probs[target];
+    let mut grad = probs;
+    grad[target] -= 1.0;
+    (loss, grad)
+}
+
+/// Entropy of a probability distribution (natural log).
+pub fn entropy(probs: &[f32]) -> f32 {
+    -probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| p * p.ln())
+        .sum::<f32>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders_correctly() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[1001.0, 1002.0, 1003.0]);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        assert!(b.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let logits = [0.5, -1.0, 2.0, 0.0];
+        let ls = log_softmax(&logits);
+        let p = softmax(&logits);
+        for (l, q) in ls.iter().zip(p.iter()) {
+            assert!((l.exp() - q).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn masked_softmax_zeroes_masked_entries() {
+        let p = masked_softmax(&[1.0, 5.0, 2.0], &[true, false, true]);
+        assert_eq!(p[1], 0.0);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[0]);
+    }
+
+    #[test]
+    fn masked_softmax_all_masked_falls_back_to_uniform() {
+        let p = masked_softmax(&[1.0, 2.0], &[false, false]);
+        assert_eq!(p, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_softmax_minus_onehot() {
+        let logits = [0.2, 0.7, -0.3];
+        let (loss, grad) = cross_entropy_from_logits(&logits, 1);
+        let p = softmax(&logits);
+        assert!((loss + p[1].ln()).abs() < 1e-6);
+        assert!((grad[1] - (p[1] - 1.0)).abs() < 1e-6);
+        assert!((grad[0] - p[0]).abs() < 1e-6);
+        // Gradient sums to zero.
+        assert!(grad.iter().sum::<f32>().abs() < 1e-6);
+    }
+
+    #[test]
+    fn entropy_is_maximised_by_uniform() {
+        let uniform = entropy(&[0.25; 4]);
+        let peaked = entropy(&[0.97, 0.01, 0.01, 0.01]);
+        assert!(uniform > peaked);
+        assert!((uniform - (4.0f32).ln()).abs() < 1e-6);
+        assert_eq!(entropy(&[1.0, 0.0]), 0.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Multi-layer perceptrons: the policy and value function approximators.
+
+use crate::activation::Activation;
+use crate::layer::Dense;
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Architecture description of an MLP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Input dimensionality.
+    pub input_dim: usize,
+    /// Hidden layer widths.
+    pub hidden: Vec<usize>,
+    /// Output dimensionality.
+    pub output_dim: usize,
+    /// Activation of the hidden layers (the output layer is always linear).
+    pub activation: Activation,
+}
+
+impl MlpConfig {
+    /// Build a configuration.
+    pub fn new(input_dim: usize, hidden: &[usize], output_dim: usize, activation: Activation) -> Self {
+        MlpConfig {
+            input_dim,
+            hidden: hidden.to_vec(),
+            output_dim,
+            activation,
+        }
+    }
+}
+
+/// A feed-forward network with linear output layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    config: MlpConfig,
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Create a network with freshly initialised weights (deterministic for a
+    /// given seed).
+    pub fn new(config: &MlpConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dims = vec![config.input_dim];
+        dims.extend_from_slice(&config.hidden);
+        dims.push(config.output_dim);
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for i in 0..dims.len() - 1 {
+            let activation = if i == dims.len() - 2 {
+                Activation::Identity
+            } else {
+                config.activation
+            };
+            layers.push(Dense::new(dims[i], dims[i + 1], activation, &mut rng));
+        }
+        Mlp {
+            config: config.clone(),
+            layers,
+        }
+    }
+
+    /// The architecture.
+    pub fn config(&self) -> &MlpConfig {
+        &self.config
+    }
+
+    /// The layers (read-only).
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Mutable layer access (used by the optimisers).
+    pub fn layers_mut(&mut self) -> &mut [Dense] {
+        &mut self.layers
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.layers.iter().map(|l| l.num_parameters()).sum()
+    }
+
+    /// Inference forward pass.
+    pub fn forward(&self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Convenience: forward a single observation vector, returning the output
+    /// row.
+    pub fn forward_vec(&self, input: &[f32]) -> Vec<f32> {
+        let out = self.forward(&Matrix::row_vector(input));
+        out.row(0).to_vec()
+    }
+
+    /// Training forward pass (caches activations for backprop).
+    pub fn forward_train(&mut self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward_train(&x);
+        }
+        x
+    }
+
+    /// Backward pass from `dL/d(output)`; accumulates gradients in every
+    /// layer and returns `dL/d(input)`.
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut grad = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        grad
+    }
+
+    /// Reset all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Global L2 norm of the accumulated gradients.
+    pub fn grad_norm(&self) -> f32 {
+        let mut sq = 0.0f32;
+        for layer in &self.layers {
+            if let Some(gw) = &layer.grad_weights {
+                sq += gw.data().iter().map(|v| v * v).sum::<f32>();
+            }
+            if let Some(gb) = &layer.grad_bias {
+                sq += gb.iter().map(|v| v * v).sum::<f32>();
+            }
+        }
+        sq.sqrt()
+    }
+
+    /// Scale all accumulated gradients so the global norm does not exceed
+    /// `max_norm` (gradient clipping). Returns the pre-clip norm.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for layer in &mut self.layers {
+                if let Some(gw) = &mut layer.grad_weights {
+                    *gw = gw.scale(scale);
+                }
+                if let Some(gb) = &mut layer.grad_bias {
+                    for g in gb.iter_mut() {
+                        *g *= scale;
+                    }
+                }
+            }
+        }
+        norm
+    }
+
+    /// Serialise the weights to JSON (checkpointing).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Restore a network from JSON.
+    pub fn from_json(json: &str) -> serde_json::Result<Mlp> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Optimizer};
+
+    fn xor_data() -> (Matrix, Matrix) {
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let y = Matrix::from_rows(&[&[0.0], &[1.0], &[1.0], &[0.0]]);
+        (x, y)
+    }
+
+    #[test]
+    fn construction_shapes() {
+        let cfg = MlpConfig::new(10, &[32, 16], 5, Activation::Relu);
+        let net = Mlp::new(&cfg, 0);
+        assert_eq!(net.layers().len(), 3);
+        assert_eq!(net.num_parameters(), 10 * 32 + 32 + 32 * 16 + 16 + 16 * 5 + 5);
+        let out = net.forward(&Matrix::zeros(3, 10));
+        assert_eq!(out.rows(), 3);
+        assert_eq!(out.cols(), 5);
+        assert_eq!(net.forward_vec(&[0.0; 10]).len(), 5);
+    }
+
+    #[test]
+    fn same_seed_same_network() {
+        let cfg = MlpConfig::new(4, &[8], 2, Activation::Tanh);
+        assert_eq!(Mlp::new(&cfg, 5), Mlp::new(&cfg, 5));
+        assert_ne!(Mlp::new(&cfg, 5), Mlp::new(&cfg, 6));
+    }
+
+    #[test]
+    fn gradient_check_end_to_end() {
+        let cfg = MlpConfig::new(3, &[5], 2, Activation::Tanh);
+        let mut net = Mlp::new(&cfg, 1);
+        let x = Matrix::from_rows(&[&[0.2, -0.4, 0.6]]);
+        let out = net.forward_train(&x);
+        // L = sum(out^2)
+        let grad_out = out.scale(2.0);
+        net.zero_grad();
+        net.backward(&grad_out);
+        let analytic = net.layers()[0].grad_weights.clone().unwrap();
+        let eps = 1e-3f32;
+        for (r, c) in [(0, 0), (2, 4)] {
+            let original = net.layers()[0].weights.get(r, c);
+            let mut plus = net.clone();
+            plus.layers_mut()[0].weights.set(r, c, original + eps);
+            let mut minus = net.clone();
+            minus.layers_mut()[0].weights.set(r, c, original - eps);
+            let f = |n: &Mlp| n.forward(&x).map(|v| v * v).sum();
+            let numeric = (f(&plus) - f(&minus)) / (2.0 * eps);
+            assert!(
+                (numeric - analytic.get(r, c)).abs() < 2e-2,
+                "dW[{r},{c}]: numeric {numeric} vs analytic {}",
+                analytic.get(r, c)
+            );
+        }
+    }
+
+    #[test]
+    fn learns_xor() {
+        let cfg = MlpConfig::new(2, &[16, 16], 1, Activation::Tanh);
+        let mut net = Mlp::new(&cfg, 7);
+        let mut opt = Adam::new(net.num_parameters(), 5e-3);
+        let (x, y) = xor_data();
+        for _ in 0..2000 {
+            let out = net.forward_train(&x);
+            let grad = out.sub(&y).scale(2.0 / 4.0);
+            net.zero_grad();
+            net.backward(&grad);
+            opt.step(&mut net);
+        }
+        let pred = net.forward(&x);
+        let mse = pred.sub(&y).map(|v| v * v).mean();
+        assert!(mse < 0.05, "XOR not learned, mse = {mse}");
+    }
+
+    #[test]
+    fn grad_clipping_bounds_the_norm() {
+        let cfg = MlpConfig::new(4, &[8], 3, Activation::Relu);
+        let mut net = Mlp::new(&cfg, 2);
+        let x = Matrix::from_rows(&[&[10.0, -10.0, 5.0, 2.0]]);
+        let out = net.forward_train(&x);
+        net.zero_grad();
+        net.backward(&out.scale(100.0));
+        let before = net.grad_norm();
+        assert!(before > 1.0);
+        let reported = net.clip_grad_norm(1.0);
+        assert!((reported - before).abs() < 1e-4);
+        assert!(net.grad_norm() <= 1.0 + 1e-4);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_outputs() {
+        let cfg = MlpConfig::new(6, &[12], 4, Activation::Relu);
+        let net = Mlp::new(&cfg, 9);
+        let json = net.to_json().unwrap();
+        let back = Mlp::from_json(&json).unwrap();
+        let x = Matrix::from_rows(&[&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6]]);
+        assert_eq!(net.forward(&x), back.forward(&x));
+        assert_eq!(net.config(), back.config());
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests of the neural-network substrate: matrix algebra,
+//! softmax/masking invariants and gradient linearity.
+
+use proptest::prelude::*;
+use tcrm_nn::{log_softmax, masked_softmax, softmax, Activation, Matrix, Mlp, MlpConfig};
+
+fn arb_logits(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-20.0f32..20.0, n..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ------------------------------------------------------------------
+    // Matrix algebra
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in prop::collection::vec(-5.0f32..5.0, 6),
+        b in prop::collection::vec(-5.0f32..5.0, 6),
+        c in prop::collection::vec(-5.0f32..5.0, 6),
+    ) {
+        // (A + B) · C == A·C + B·C for 2x3 and 3x2 matrices.
+        let a = Matrix::from_vec(2, 3, a);
+        let b = Matrix::from_vec(2, 3, b);
+        let c = Matrix::from_vec(3, 2, c);
+        let lhs = a.add(&b).matmul(&c);
+        let rhs = a.matmul(&c).add(&b.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive_and_swaps_matmul(
+        a in prop::collection::vec(-3.0f32..3.0, 6),
+        b in prop::collection::vec(-3.0f32..3.0, 8),
+    ) {
+        let a = Matrix::from_vec(2, 3, a);
+        let b = Matrix::from_vec(3, 4, b.into_iter().take(12).chain(std::iter::repeat(0.0)).take(12).collect());
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        // (A·B)ᵀ == Bᵀ·Aᵀ
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn sum_rows_matches_manual_sum(rows in 1usize..5, cols in 1usize..5, seed in 0u64..100) {
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i as u64 * 31 + seed) % 17) as f32 - 8.0)
+            .collect();
+        let m = Matrix::from_vec(rows, cols, data.clone());
+        let sums = m.sum_rows();
+        for c in 0..cols {
+            let manual: f32 = (0..rows).map(|r| data[r * cols + c]).sum();
+            prop_assert!((sums[c] - manual).abs() < 1e-4);
+        }
+        prop_assert!((m.sum() - data.iter().sum::<f32>()).abs() < 1e-3);
+    }
+
+    // ------------------------------------------------------------------
+    // Softmax family
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn softmax_is_a_distribution(logits in arb_logits(8)) {
+        let p = softmax(&logits);
+        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&x| x >= 0.0 && x <= 1.0 + 1e-6));
+        // Order preserving: the largest logit has the largest probability.
+        let argmax_logit = logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let argmax_prob = p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        prop_assert!((p[argmax_logit] - p[argmax_prob]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_exponentiates_to_softmax(logits in arb_logits(6)) {
+        let ls = log_softmax(&logits);
+        let p = softmax(&logits);
+        for (l, q) in ls.iter().zip(p.iter()) {
+            prop_assert!((l.exp() - q).abs() < 1e-4);
+            prop_assert!(*l <= 1e-6);
+        }
+    }
+
+    #[test]
+    fn masked_softmax_respects_mask_and_normalises(
+        logits in arb_logits(10),
+        mask in prop::collection::vec(any::<bool>(), 10),
+    ) {
+        let p = masked_softmax(&logits, &mask);
+        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        if mask.iter().any(|&m| m) {
+            for (i, &m) in mask.iter().enumerate() {
+                if !m {
+                    prop_assert_eq!(p[i], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_softmax_with_full_mask_equals_softmax(logits in arb_logits(7)) {
+        let full = masked_softmax(&logits, &vec![true; 7]);
+        let plain = softmax(&logits);
+        for (a, b) in full.iter().zip(plain.iter()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Gradients
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn gradient_scales_linearly_with_upstream_gradient(seed in 0u64..50, scale in 1.0f32..4.0) {
+        let cfg = MlpConfig::new(4, &[6], 3, Activation::Tanh);
+        let x = Matrix::from_vec(
+            2,
+            4,
+            (0..8).map(|i| ((i as u64 + seed) % 7) as f32 / 7.0 - 0.5).collect(),
+        );
+        let grad = Matrix::from_vec(2, 3, vec![1.0; 6]);
+
+        let mut net_a = Mlp::new(&cfg, seed);
+        net_a.forward_train(&x);
+        net_a.zero_grad();
+        net_a.backward(&grad);
+        let norm_a = net_a.grad_norm();
+
+        let mut net_b = Mlp::new(&cfg, seed);
+        net_b.forward_train(&x);
+        net_b.zero_grad();
+        net_b.backward(&grad.scale(scale));
+        let norm_b = net_b.grad_norm();
+
+        prop_assert!((norm_b - scale * norm_a).abs() < 1e-2 * (1.0 + norm_a));
+    }
+
+    #[test]
+    fn clipping_never_increases_gradient_norm(seed in 0u64..50, max_norm in 0.01f32..10.0) {
+        let cfg = MlpConfig::new(5, &[8], 4, Activation::Relu);
+        let mut net = Mlp::new(&cfg, seed);
+        let x = Matrix::from_vec(1, 5, vec![1.0, -2.0, 3.0, -4.0, 5.0]);
+        let out = net.forward_train(&x);
+        net.zero_grad();
+        net.backward(&out.scale(10.0));
+        let before = net.grad_norm();
+        net.clip_grad_norm(max_norm);
+        let after = net.grad_norm();
+        prop_assert!(after <= before + 1e-5);
+        prop_assert!(after <= max_norm + 1e-4);
+    }
+}

@@ -1,0 +1,782 @@
+//! Policy-gradient algorithms: REINFORCE with baseline, advantage actor-critic
+//! (A2C) and PPO with a clipped surrogate objective.
+//!
+//! All three share the masked categorical policy from [`crate::policy`] and
+//! differ only in how they turn a batch of trajectories into a gradient, so
+//! the ablation experiments can swap the learner without touching the
+//! scheduling environment.
+
+use crate::buffer::{discounted_returns, gae, normalize_advantages, Trajectory};
+use crate::policy::CategoricalPolicy;
+use crate::value::ValueNet;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tcrm_nn::loss::entropy;
+use tcrm_nn::{masked_softmax, Adam, Matrix, Optimizer};
+
+/// Diagnostics returned by one [`Algorithm::update`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UpdateStats {
+    /// Mean policy (surrogate) loss over the batch.
+    pub policy_loss: f64,
+    /// Mean value-function loss (0 for critic-free algorithms).
+    pub value_loss: f64,
+    /// Mean policy entropy over the batch.
+    pub entropy: f64,
+    /// Pre-clip global gradient norm of the policy network.
+    pub grad_norm: f64,
+    /// Number of environment steps used for the update.
+    pub steps: usize,
+}
+
+/// A learner that improves a masked categorical policy from trajectories.
+pub trait Algorithm {
+    /// Short name used in logs and the convergence figure legend.
+    fn name(&self) -> &str;
+
+    /// The behaviour policy (used by the trainer to roll out episodes).
+    fn policy(&self) -> &CategoricalPolicy;
+
+    /// Mutable access to the policy (checkpoint restore).
+    fn policy_mut(&mut self) -> &mut CategoricalPolicy;
+
+    /// Critic estimate of the value of an observation (0 for critic-free
+    /// algorithms); the trainer records it in trajectories so GAE can be
+    /// computed at update time.
+    fn value_estimate(&self, _obs: &[f32]) -> f32 {
+        0.0
+    }
+
+    /// Consume a batch of trajectories and update the policy (and critic).
+    fn update(&mut self, trajectories: &[Trajectory]) -> UpdateStats;
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+/// Flattened view of a batch of trajectories.
+struct FlatBatch {
+    observations: Matrix,
+    masks: Vec<Vec<bool>>,
+    actions: Vec<usize>,
+    old_log_probs: Vec<f32>,
+    advantages: Vec<f64>,
+    value_targets: Vec<f64>,
+    returns: Vec<f64>,
+}
+
+impl FlatBatch {
+    fn len(&self) -> usize {
+        self.actions.len()
+    }
+}
+
+fn flatten(
+    trajectories: &[Trajectory],
+    gamma: f64,
+    lambda: Option<f64>,
+    normalize: bool,
+) -> FlatBatch {
+    let obs_dim = trajectories
+        .iter()
+        .flat_map(|t| t.observations.first())
+        .map(|o| o.len())
+        .next()
+        .unwrap_or(0);
+    let total: usize = trajectories.iter().map(|t| t.len()).sum();
+    let mut obs_data = Vec::with_capacity(total * obs_dim);
+    let mut masks = Vec::with_capacity(total);
+    let mut actions = Vec::with_capacity(total);
+    let mut old_log_probs = Vec::with_capacity(total);
+    let mut advantages = Vec::with_capacity(total);
+    let mut value_targets = Vec::with_capacity(total);
+    let mut returns = Vec::with_capacity(total);
+    for t in trajectories {
+        if t.is_empty() {
+            continue;
+        }
+        let ep_returns = discounted_returns(&t.rewards, &t.dones, gamma);
+        let (adv, targets) = match lambda {
+            Some(l) => gae(&t.rewards, &t.values, &t.dones, 0.0, gamma, l),
+            None => {
+                // Monte-Carlo advantage against the recorded values (zero for
+                // critic-free learners).
+                let adv: Vec<f64> = ep_returns
+                    .iter()
+                    .zip(t.values.iter())
+                    .map(|(g, v)| g - *v as f64)
+                    .collect();
+                (adv, ep_returns.clone())
+            }
+        };
+        for step in 0..t.len() {
+            obs_data.extend_from_slice(&t.observations[step]);
+            masks.push(t.masks[step].clone());
+            actions.push(t.actions[step]);
+            old_log_probs.push(t.log_probs[step]);
+            advantages.push(adv[step]);
+            value_targets.push(targets[step]);
+            returns.push(ep_returns[step]);
+        }
+    }
+    if normalize {
+        normalize_advantages(&mut advantages);
+    }
+    FlatBatch {
+        observations: Matrix::from_vec(total, obs_dim.max(1), {
+            if obs_dim == 0 {
+                vec![0.0; total]
+            } else {
+                obs_data
+            }
+        }),
+        masks,
+        actions,
+        old_log_probs,
+        advantages,
+        value_targets,
+        returns,
+    }
+}
+
+/// Compute the policy-gradient contribution of one sample:
+/// `coeff · (p − onehot(a)) + ent_coef · p ⊙ (ln p + H)` — the gradient of
+/// `−coeff·log π(a|s) − ent_coef·H(π(·|s))` with respect to the logits.
+fn policy_grad_row(
+    probs: &[f32],
+    action: usize,
+    coeff: f64,
+    ent_coef: f64,
+    grad_row: &mut [f32],
+) -> (f64, f64) {
+    let h = entropy(probs) as f64;
+    for (j, &p) in probs.iter().enumerate() {
+        let onehot = if j == action { 1.0 } else { 0.0 };
+        let mut g = coeff * (p as f64 - onehot);
+        if ent_coef != 0.0 && p > 0.0 {
+            g += ent_coef * p as f64 * ((p as f64).ln() + h);
+        }
+        grad_row[j] += g as f32;
+    }
+    let log_prob = probs[action].max(1e-12).ln() as f64;
+    (-coeff * log_prob, h)
+}
+
+fn value_update(
+    value_net: &mut ValueNet,
+    opt: &mut Adam,
+    observations: &Matrix,
+    targets: &[f64],
+) -> f64 {
+    let preds = value_net.forward_train(observations);
+    let n = targets.len().max(1) as f32;
+    let mut grad = Matrix::zeros(preds.rows(), 1);
+    let mut loss = 0.0;
+    for (r, &target) in targets.iter().enumerate() {
+        let diff = preds.get(r, 0) - target as f32;
+        loss += (diff * diff) as f64;
+        grad.set(r, 0, 2.0 * diff / n);
+    }
+    value_net.network_mut().zero_grad();
+    value_net.network_mut().backward(&grad);
+    value_net.network_mut().clip_grad_norm(5.0);
+    opt.step(value_net.network_mut());
+    loss / targets.len().max(1) as f64
+}
+
+// ---------------------------------------------------------------------------
+// REINFORCE
+// ---------------------------------------------------------------------------
+
+/// Configuration of [`Reinforce`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReinforceConfig {
+    /// Discount factor.
+    pub gamma: f64,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Entropy-bonus coefficient.
+    pub entropy_coef: f64,
+    /// Use an exponential-moving-average return baseline.
+    pub use_baseline: bool,
+    /// Normalise advantages per batch.
+    pub normalize_advantages: bool,
+    /// Global gradient-norm clip.
+    pub max_grad_norm: f32,
+}
+
+impl Default for ReinforceConfig {
+    fn default() -> Self {
+        ReinforceConfig {
+            gamma: 0.99,
+            learning_rate: 3e-3,
+            entropy_coef: 0.01,
+            use_baseline: true,
+            normalize_advantages: true,
+            max_grad_norm: 5.0,
+        }
+    }
+}
+
+/// Monte-Carlo policy gradient with an EMA baseline — the learner DeepRM used
+/// and the simplest member of the family.
+#[derive(Debug, Clone)]
+pub struct Reinforce {
+    config: ReinforceConfig,
+    policy: CategoricalPolicy,
+    optimizer: Adam,
+    baseline: f64,
+    baseline_initialized: bool,
+}
+
+impl Reinforce {
+    /// Create a REINFORCE learner around a fresh policy.
+    pub fn new(policy: CategoricalPolicy, config: ReinforceConfig) -> Self {
+        let optimizer = Adam::new(policy.network().num_parameters(), config.learning_rate);
+        Reinforce {
+            config,
+            policy,
+            optimizer,
+            baseline: 0.0,
+            baseline_initialized: false,
+        }
+    }
+
+    /// Current EMA baseline (for tests and diagnostics).
+    pub fn baseline(&self) -> f64 {
+        self.baseline
+    }
+}
+
+impl Algorithm for Reinforce {
+    fn name(&self) -> &str {
+        "reinforce"
+    }
+
+    fn policy(&self) -> &CategoricalPolicy {
+        &self.policy
+    }
+
+    fn policy_mut(&mut self) -> &mut CategoricalPolicy {
+        &mut self.policy
+    }
+
+    fn update(&mut self, trajectories: &[Trajectory]) -> UpdateStats {
+        let mut batch = flatten(trajectories, self.config.gamma, None, false);
+        if batch.len() == 0 {
+            return UpdateStats {
+                policy_loss: 0.0,
+                value_loss: 0.0,
+                entropy: 0.0,
+                grad_norm: 0.0,
+                steps: 0,
+            };
+        }
+        // Baseline: EMA over batch-mean return.
+        if self.config.use_baseline {
+            let mean_return = batch.returns.iter().sum::<f64>() / batch.len() as f64;
+            if self.baseline_initialized {
+                self.baseline = 0.9 * self.baseline + 0.1 * mean_return;
+            } else {
+                self.baseline = mean_return;
+                self.baseline_initialized = true;
+            }
+            for (a, g) in batch.advantages.iter_mut().zip(batch.returns.iter()) {
+                *a = g - self.baseline;
+            }
+        } else {
+            batch.advantages = batch.returns.clone();
+        }
+        if self.config.normalize_advantages {
+            normalize_advantages(&mut batch.advantages);
+        }
+
+        let n = batch.len();
+        let logits = self.policy.forward_train(&batch.observations);
+        let mut grad = Matrix::zeros(n, logits.cols());
+        let mut policy_loss = 0.0;
+        let mut mean_entropy = 0.0;
+        for i in 0..n {
+            let probs = masked_softmax(logits.row(i), &batch.masks[i]);
+            let (loss, h) = policy_grad_row(
+                &probs,
+                batch.actions[i],
+                batch.advantages[i] / n as f64,
+                self.config.entropy_coef / n as f64,
+                grad.row_mut(i),
+            );
+            policy_loss += loss;
+            mean_entropy += h / n as f64;
+        }
+        self.policy.network_mut().zero_grad();
+        self.policy.network_mut().backward(&grad);
+        let grad_norm = self.policy.network_mut().clip_grad_norm(self.config.max_grad_norm);
+        self.optimizer.step(self.policy.network_mut());
+        UpdateStats {
+            policy_loss,
+            value_loss: 0.0,
+            entropy: mean_entropy,
+            grad_norm: grad_norm as f64,
+            steps: n,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A2C
+// ---------------------------------------------------------------------------
+
+/// Configuration of [`A2c`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct A2cConfig {
+    /// Discount factor.
+    pub gamma: f64,
+    /// GAE λ.
+    pub gae_lambda: f64,
+    /// Policy learning rate.
+    pub learning_rate: f32,
+    /// Critic learning rate.
+    pub value_learning_rate: f32,
+    /// Entropy-bonus coefficient.
+    pub entropy_coef: f64,
+    /// Normalise advantages per batch.
+    pub normalize_advantages: bool,
+    /// Global gradient-norm clip.
+    pub max_grad_norm: f32,
+}
+
+impl Default for A2cConfig {
+    fn default() -> Self {
+        A2cConfig {
+            gamma: 0.99,
+            gae_lambda: 0.95,
+            learning_rate: 1e-3,
+            value_learning_rate: 2e-3,
+            entropy_coef: 0.01,
+            normalize_advantages: true,
+            max_grad_norm: 5.0,
+        }
+    }
+}
+
+/// Advantage actor-critic: synchronous batch updates with a learned critic
+/// and GAE.
+#[derive(Debug, Clone)]
+pub struct A2c {
+    config: A2cConfig,
+    policy: CategoricalPolicy,
+    value: ValueNet,
+    policy_opt: Adam,
+    value_opt: Adam,
+}
+
+impl A2c {
+    /// Create an A2C learner around fresh policy and value networks.
+    pub fn new(policy: CategoricalPolicy, value: ValueNet, config: A2cConfig) -> Self {
+        let policy_opt = Adam::new(policy.network().num_parameters(), config.learning_rate);
+        let value_opt = Adam::new(
+            value.network().num_parameters(),
+            config.value_learning_rate,
+        );
+        A2c {
+            config,
+            policy,
+            value,
+            policy_opt,
+            value_opt,
+        }
+    }
+
+    /// The critic (read access for diagnostics and checkpoints).
+    pub fn value_net(&self) -> &ValueNet {
+        &self.value
+    }
+
+    /// Mutable critic access (checkpoint restore).
+    pub fn value_net_mut(&mut self) -> &mut ValueNet {
+        &mut self.value
+    }
+}
+
+impl Algorithm for A2c {
+    fn name(&self) -> &str {
+        "a2c"
+    }
+
+    fn policy(&self) -> &CategoricalPolicy {
+        &self.policy
+    }
+
+    fn policy_mut(&mut self) -> &mut CategoricalPolicy {
+        &mut self.policy
+    }
+
+    fn value_estimate(&self, obs: &[f32]) -> f32 {
+        self.value.value(obs)
+    }
+
+    fn update(&mut self, trajectories: &[Trajectory]) -> UpdateStats {
+        let batch = flatten(
+            trajectories,
+            self.config.gamma,
+            Some(self.config.gae_lambda),
+            self.config.normalize_advantages,
+        );
+        if batch.len() == 0 {
+            return UpdateStats {
+                policy_loss: 0.0,
+                value_loss: 0.0,
+                entropy: 0.0,
+                grad_norm: 0.0,
+                steps: 0,
+            };
+        }
+        let n = batch.len();
+        let logits = self.policy.forward_train(&batch.observations);
+        let mut grad = Matrix::zeros(n, logits.cols());
+        let mut policy_loss = 0.0;
+        let mut mean_entropy = 0.0;
+        for i in 0..n {
+            let probs = masked_softmax(logits.row(i), &batch.masks[i]);
+            let (loss, h) = policy_grad_row(
+                &probs,
+                batch.actions[i],
+                batch.advantages[i] / n as f64,
+                self.config.entropy_coef / n as f64,
+                grad.row_mut(i),
+            );
+            policy_loss += loss;
+            mean_entropy += h / n as f64;
+        }
+        self.policy.network_mut().zero_grad();
+        self.policy.network_mut().backward(&grad);
+        let grad_norm = self.policy.network_mut().clip_grad_norm(self.config.max_grad_norm);
+        self.policy_opt.step(self.policy.network_mut());
+
+        let value_loss = value_update(
+            &mut self.value,
+            &mut self.value_opt,
+            &batch.observations,
+            &batch.value_targets,
+        );
+        UpdateStats {
+            policy_loss,
+            value_loss,
+            entropy: mean_entropy,
+            grad_norm: grad_norm as f64,
+            steps: n,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PPO
+// ---------------------------------------------------------------------------
+
+/// Configuration of [`Ppo`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PpoConfig {
+    /// Discount factor.
+    pub gamma: f64,
+    /// GAE λ.
+    pub gae_lambda: f64,
+    /// Clipping parameter ε.
+    pub clip_epsilon: f64,
+    /// Optimisation epochs per batch.
+    pub epochs: usize,
+    /// Minibatch size (0 ⇒ full batch).
+    pub minibatch_size: usize,
+    /// Policy learning rate.
+    pub learning_rate: f32,
+    /// Critic learning rate.
+    pub value_learning_rate: f32,
+    /// Entropy-bonus coefficient.
+    pub entropy_coef: f64,
+    /// Global gradient-norm clip.
+    pub max_grad_norm: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for PpoConfig {
+    fn default() -> Self {
+        PpoConfig {
+            gamma: 0.99,
+            gae_lambda: 0.95,
+            clip_epsilon: 0.2,
+            epochs: 4,
+            minibatch_size: 256,
+            learning_rate: 1e-3,
+            value_learning_rate: 2e-3,
+            entropy_coef: 0.01,
+            max_grad_norm: 5.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Proximal Policy Optimisation with the clipped surrogate objective.
+#[derive(Debug, Clone)]
+pub struct Ppo {
+    config: PpoConfig,
+    policy: CategoricalPolicy,
+    value: ValueNet,
+    policy_opt: Adam,
+    value_opt: Adam,
+    rng: StdRng,
+}
+
+impl Ppo {
+    /// Create a PPO learner around fresh policy and value networks.
+    pub fn new(policy: CategoricalPolicy, value: ValueNet, config: PpoConfig) -> Self {
+        let policy_opt = Adam::new(policy.network().num_parameters(), config.learning_rate);
+        let value_opt = Adam::new(
+            value.network().num_parameters(),
+            config.value_learning_rate,
+        );
+        let rng = StdRng::seed_from_u64(config.seed);
+        Ppo {
+            config,
+            policy,
+            value,
+            policy_opt,
+            value_opt,
+            rng,
+        }
+    }
+
+    /// The critic.
+    pub fn value_net(&self) -> &ValueNet {
+        &self.value
+    }
+
+    /// Mutable critic access.
+    pub fn value_net_mut(&mut self) -> &mut ValueNet {
+        &mut self.value
+    }
+}
+
+impl Algorithm for Ppo {
+    fn name(&self) -> &str {
+        "ppo"
+    }
+
+    fn policy(&self) -> &CategoricalPolicy {
+        &self.policy
+    }
+
+    fn policy_mut(&mut self) -> &mut CategoricalPolicy {
+        &mut self.policy
+    }
+
+    fn value_estimate(&self, obs: &[f32]) -> f32 {
+        self.value.value(obs)
+    }
+
+    fn update(&mut self, trajectories: &[Trajectory]) -> UpdateStats {
+        let batch = flatten(
+            trajectories,
+            self.config.gamma,
+            Some(self.config.gae_lambda),
+            true,
+        );
+        if batch.len() == 0 {
+            return UpdateStats {
+                policy_loss: 0.0,
+                value_loss: 0.0,
+                entropy: 0.0,
+                grad_norm: 0.0,
+                steps: 0,
+            };
+        }
+        let n = batch.len();
+        let obs_dim = batch.observations.cols();
+        let minibatch = if self.config.minibatch_size == 0 {
+            n
+        } else {
+            self.config.minibatch_size.min(n)
+        };
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut policy_loss_acc = 0.0;
+        let mut value_loss_acc = 0.0;
+        let mut entropy_acc = 0.0;
+        let mut grad_norm_acc = 0.0;
+        let mut update_count = 0usize;
+
+        for _ in 0..self.config.epochs.max(1) {
+            indices.shuffle(&mut self.rng);
+            for chunk in indices.chunks(minibatch) {
+                let m = chunk.len();
+                // Gather the minibatch.
+                let mut obs_data = Vec::with_capacity(m * obs_dim);
+                for &i in chunk {
+                    obs_data.extend_from_slice(batch.observations.row(i));
+                }
+                let mb_obs = Matrix::from_vec(m, obs_dim, obs_data);
+                let logits = self.policy.forward_train(&mb_obs);
+                let mut grad = Matrix::zeros(m, logits.cols());
+                let mut mb_policy_loss = 0.0;
+                let mut mb_entropy = 0.0;
+                for (row, &i) in chunk.iter().enumerate() {
+                    let probs = masked_softmax(logits.row(row), &batch.masks[i]);
+                    let action = batch.actions[i];
+                    let adv = batch.advantages[i];
+                    let new_log_prob = probs[action].max(1e-12).ln() as f64;
+                    let ratio = (new_log_prob - batch.old_log_probs[i] as f64).exp();
+                    let clipped_out = (adv >= 0.0 && ratio > 1.0 + self.config.clip_epsilon)
+                        || (adv < 0.0 && ratio < 1.0 - self.config.clip_epsilon);
+                    // Surrogate loss value (for reporting): -min(rA, clip(r)A)
+                    let unclipped = ratio * adv;
+                    let clipped = ratio
+                        .clamp(
+                            1.0 - self.config.clip_epsilon,
+                            1.0 + self.config.clip_epsilon,
+                        )
+                        * adv;
+                    mb_policy_loss += -unclipped.min(clipped) / m as f64;
+                    let coeff = if clipped_out {
+                        0.0
+                    } else {
+                        // d(-r·A)/dlogits = -A·r·(onehot - p) = A·r·(p - onehot)
+                        adv * ratio / m as f64
+                    };
+                    let (_, h) = policy_grad_row(
+                        &probs,
+                        action,
+                        coeff,
+                        self.config.entropy_coef / m as f64,
+                        grad.row_mut(row),
+                    );
+                    mb_entropy += h / m as f64;
+                }
+                self.policy.network_mut().zero_grad();
+                self.policy.network_mut().backward(&grad);
+                let gn = self
+                    .policy
+                    .network_mut()
+                    .clip_grad_norm(self.config.max_grad_norm);
+                self.policy_opt.step(self.policy.network_mut());
+
+                let targets: Vec<f64> = chunk.iter().map(|&i| batch.value_targets[i]).collect();
+                let vl = value_update(&mut self.value, &mut self.value_opt, &mb_obs, &targets);
+
+                policy_loss_acc += mb_policy_loss;
+                value_loss_acc += vl;
+                entropy_acc += mb_entropy;
+                grad_norm_acc += gn as f64;
+                update_count += 1;
+            }
+        }
+        let k = update_count.max(1) as f64;
+        UpdateStats {
+            policy_loss: policy_loss_acc / k,
+            value_loss: value_loss_acc / k,
+            entropy: entropy_acc / k,
+            grad_norm: grad_norm_acc / k,
+            steps: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::test_envs::ChainEnv;
+    use crate::trainer::{Trainer, TrainerConfig};
+
+    fn chain_policy() -> CategoricalPolicy {
+        CategoricalPolicy::new(5, &[16], 2, 0)
+    }
+
+    fn train_and_return<A: Algorithm>(algo: A, iterations: usize) -> (f64, f64) {
+        let mut env = ChainEnv::new(5, 8);
+        let cfg = TrainerConfig {
+            episodes_per_iteration: 8,
+            iterations,
+            seed: 3,
+            ..Default::default()
+        };
+        let mut trainer = Trainer::new(cfg);
+        let history = trainer.train(&mut env, algo);
+        let first = history.iterations.first().unwrap().mean_return;
+        let last = history.iterations.last().unwrap().mean_return;
+        (first, last)
+    }
+
+    #[test]
+    fn reinforce_improves_on_chain() {
+        let algo = Reinforce::new(chain_policy(), ReinforceConfig::default());
+        let (first, last) = train_and_return(algo, 30);
+        assert!(
+            last > first + 0.5,
+            "REINFORCE did not improve: {first} -> {last}"
+        );
+        assert!(last > 6.0, "final return too low: {last}");
+    }
+
+    #[test]
+    fn a2c_improves_on_chain() {
+        let algo = A2c::new(chain_policy(), ValueNet::new(5, &[16], 1), A2cConfig::default());
+        let (first, last) = train_and_return(algo, 30);
+        assert!(last > first + 0.5, "A2C did not improve: {first} -> {last}");
+    }
+
+    #[test]
+    fn ppo_improves_on_chain() {
+        let cfg = PpoConfig {
+            epochs: 3,
+            minibatch_size: 64,
+            ..Default::default()
+        };
+        let algo = Ppo::new(chain_policy(), ValueNet::new(5, &[16], 1), cfg);
+        let (first, last) = train_and_return(algo, 30);
+        assert!(last > first + 0.5, "PPO did not improve: {first} -> {last}");
+        assert!(last > 6.0, "final return too low: {last}");
+    }
+
+    #[test]
+    fn update_on_empty_batch_is_a_no_op() {
+        let mut algo = Reinforce::new(chain_policy(), ReinforceConfig::default());
+        let stats = algo.update(&[]);
+        assert_eq!(stats.steps, 0);
+        let mut a2c = A2c::new(chain_policy(), ValueNet::new(5, &[8], 0), A2cConfig::default());
+        assert_eq!(a2c.update(&[Trajectory::new()]).steps, 0);
+        let mut ppo = Ppo::new(chain_policy(), ValueNet::new(5, &[8], 0), PpoConfig::default());
+        assert_eq!(ppo.update(&[]).steps, 0);
+    }
+
+    #[test]
+    fn reinforce_baseline_tracks_returns() {
+        let mut algo = Reinforce::new(chain_policy(), ReinforceConfig::default());
+        let mut t = Trajectory::new();
+        for i in 0..5 {
+            t.push(vec![0.0; 5], vec![true, true], i % 2, 2.0, -0.5, 0.0, i == 4);
+        }
+        algo.update(&[t]);
+        assert!(algo.baseline() > 0.0);
+    }
+
+    #[test]
+    fn policy_grad_row_matches_cross_entropy_shape() {
+        // With coeff=1 and no entropy term the gradient must be p - onehot.
+        let probs = vec![0.2f32, 0.5, 0.3];
+        let mut grad = vec![0.0f32; 3];
+        let (loss, h) = policy_grad_row(&probs, 1, 1.0, 0.0, &mut grad);
+        assert!((grad[1] - (0.5 - 1.0)).abs() < 1e-6);
+        assert!((grad[0] - 0.2).abs() < 1e-6);
+        assert!((loss + 0.5f32.ln() as f64).abs() < 1e-6);
+        assert!(h > 0.0);
+    }
+
+    #[test]
+    fn masked_actions_keep_zero_gradient() {
+        let probs = vec![0.0f32, 0.6, 0.4];
+        let mut grad = vec![0.0f32; 3];
+        policy_grad_row(&probs, 1, 1.0, 0.05, &mut grad);
+        assert_eq!(grad[0], 0.0);
+        assert!(grad.iter().all(|g| g.is_finite()));
+    }
+}

@@ -1,0 +1,225 @@
+//! Trajectory storage, discounted returns and Generalised Advantage
+//! Estimation.
+
+use serde::{Deserialize, Serialize};
+
+/// One episode (or rollout segment) of experience.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trajectory {
+    /// Observations, one per step.
+    pub observations: Vec<Vec<f32>>,
+    /// Action masks, one per step.
+    pub masks: Vec<Vec<bool>>,
+    /// Actions taken.
+    pub actions: Vec<usize>,
+    /// Rewards received.
+    pub rewards: Vec<f64>,
+    /// Log-probabilities of the taken actions under the behaviour policy.
+    pub log_probs: Vec<f32>,
+    /// Critic value estimates at each step (empty for critic-free algorithms).
+    pub values: Vec<f32>,
+    /// Episode-termination flags (true on the final step of an episode).
+    pub dones: Vec<bool>,
+}
+
+impl Trajectory {
+    /// An empty trajectory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one transition.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push(
+        &mut self,
+        observation: Vec<f32>,
+        mask: Vec<bool>,
+        action: usize,
+        reward: f64,
+        log_prob: f32,
+        value: f32,
+        done: bool,
+    ) {
+        self.observations.push(observation);
+        self.masks.push(mask);
+        self.actions.push(action);
+        self.rewards.push(reward);
+        self.log_probs.push(log_prob);
+        self.values.push(value);
+        self.dones.push(done);
+    }
+
+    /// Number of steps stored.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// True if no steps are stored.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Undiscounted episode return (sum of rewards).
+    pub fn total_reward(&self) -> f64 {
+        self.rewards.iter().sum()
+    }
+}
+
+/// Discounted returns `G_t = r_t + γ G_{t+1}`, resetting at episode
+/// boundaries (`dones`).
+pub fn discounted_returns(rewards: &[f64], dones: &[bool], gamma: f64) -> Vec<f64> {
+    assert_eq!(rewards.len(), dones.len());
+    let mut returns = vec![0.0; rewards.len()];
+    let mut acc = 0.0;
+    for t in (0..rewards.len()).rev() {
+        if dones[t] {
+            acc = 0.0;
+        }
+        acc = rewards[t] + gamma * acc;
+        returns[t] = acc;
+    }
+    returns
+}
+
+/// Generalised Advantage Estimation.
+///
+/// Returns `(advantages, targets)` where `targets[t] = advantages[t] +
+/// values[t]` is the regression target for the critic. The bootstrap value
+/// after the final step is taken as 0 when that step is terminal, otherwise
+/// `bootstrap_value`.
+pub fn gae(
+    rewards: &[f64],
+    values: &[f32],
+    dones: &[bool],
+    bootstrap_value: f32,
+    gamma: f64,
+    lambda: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(rewards.len(), values.len());
+    assert_eq!(rewards.len(), dones.len());
+    let n = rewards.len();
+    let mut advantages = vec![0.0; n];
+    let mut next_value = bootstrap_value as f64;
+    let mut next_advantage = 0.0;
+    for t in (0..n).rev() {
+        let non_terminal = if dones[t] { 0.0 } else { 1.0 };
+        if dones[t] {
+            next_advantage = 0.0;
+        }
+        let delta = rewards[t] + gamma * next_value * non_terminal - values[t] as f64;
+        next_advantage = delta + gamma * lambda * non_terminal * next_advantage;
+        advantages[t] = next_advantage;
+        next_value = values[t] as f64;
+    }
+    let targets: Vec<f64> = advantages
+        .iter()
+        .zip(values.iter())
+        .map(|(a, v)| a + *v as f64)
+        .collect();
+    (advantages, targets)
+}
+
+/// Normalise advantages to zero mean and unit variance (standard variance
+/// reduction). A tiny epsilon guards against constant advantages.
+pub fn normalize_advantages(advantages: &mut [f64]) {
+    if advantages.len() < 2 {
+        return;
+    }
+    let mean = advantages.iter().sum::<f64>() / advantages.len() as f64;
+    let var =
+        advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / advantages.len() as f64;
+    let std = var.sqrt().max(1e-8);
+    for a in advantages.iter_mut() {
+        *a = (*a - mean) / std;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trajectory_push_and_totals() {
+        let mut t = Trajectory::new();
+        assert!(t.is_empty());
+        t.push(vec![0.0], vec![true], 0, 1.0, -0.1, 0.5, false);
+        t.push(vec![1.0], vec![true], 1, 2.0, -0.2, 0.4, true);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_reward(), 3.0);
+    }
+
+    #[test]
+    fn returns_with_full_discount_reduce_to_suffix_sums() {
+        let rewards = [1.0, 1.0, 1.0];
+        let dones = [false, false, true];
+        let r = discounted_returns(&rewards, &dones, 1.0);
+        assert_eq!(r, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn returns_discount_correctly() {
+        let rewards = [0.0, 0.0, 1.0];
+        let dones = [false, false, true];
+        let r = discounted_returns(&rewards, &dones, 0.5);
+        assert_eq!(r, vec![0.25, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn returns_reset_at_episode_boundaries() {
+        let rewards = [1.0, 1.0, 5.0, 5.0];
+        let dones = [false, true, false, true];
+        let r = discounted_returns(&rewards, &dones, 1.0);
+        assert_eq!(r, vec![2.0, 1.0, 10.0, 5.0]);
+    }
+
+    #[test]
+    fn gae_with_lambda_one_matches_mc_advantage() {
+        let rewards = [1.0, 2.0, 3.0];
+        let values = [0.5, 0.5, 0.5];
+        let dones = [false, false, true];
+        let gamma = 0.9;
+        let (adv, targets) = gae(&rewards, &values, &dones, 0.0, gamma, 1.0);
+        let returns = discounted_returns(&rewards, &dones, gamma);
+        for t in 0..3 {
+            assert!((adv[t] - (returns[t] - values[t] as f64)).abs() < 1e-9);
+            assert!((targets[t] - (adv[t] + values[t] as f64)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gae_with_lambda_zero_is_one_step_td() {
+        let rewards = [1.0, 2.0];
+        let values = [0.3, 0.7];
+        let dones = [false, true];
+        let gamma = 0.95;
+        let (adv, _) = gae(&rewards, &values, &dones, 0.0, gamma, 0.0);
+        assert!((adv[0] - (1.0 + gamma * 0.7 - 0.3)).abs() < 1e-6);
+        assert!((adv[1] - (2.0 - 0.7)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gae_uses_bootstrap_for_truncated_rollouts() {
+        let rewards = [1.0];
+        let values = [0.0];
+        let dones = [false]; // truncated, not terminal
+        let (adv, _) = gae(&rewards, &values, &dones, 10.0, 0.9, 1.0);
+        assert!((adv[0] - (1.0 + 0.9 * 10.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normalisation_produces_zero_mean_unit_std() {
+        let mut adv = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        normalize_advantages(&mut adv);
+        let mean: f64 = adv.iter().sum::<f64>() / 5.0;
+        let var: f64 = adv.iter().map(|a| a * a).sum::<f64>() / 5.0;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-6);
+        // Degenerate cases do not blow up.
+        let mut single = vec![3.0];
+        normalize_advantages(&mut single);
+        assert_eq!(single, vec![3.0]);
+        let mut constant = vec![2.0, 2.0, 2.0];
+        normalize_advantages(&mut constant);
+        assert!(constant.iter().all(|a| a.abs() < 1e-6));
+    }
+}

@@ -1,0 +1,612 @@
+//! Deep Q-learning with experience replay and a target network.
+//!
+//! The headline agent of the paper family is a policy-gradient learner, but
+//! value-based control (DQN) is the standard ablation point in the
+//! DeepRM/Decima lineage, so the RL substrate ships one: a masked
+//! [`QNetwork`], a ring [`ReplayBuffer`], ε-greedy exploration that respects
+//! the environment's action mask, an optional double-DQN target, and a small
+//! episode loop ([`DqnAgent::run_episode`]) mirroring what
+//! [`crate::Trainer`] does for the policy-gradient learners.
+
+use crate::env::{Environment, Step};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use tcrm_nn::{Activation, Adam, Matrix, Mlp, MlpConfig, Optimizer};
+
+/// Hyper-parameters of the [`DqnAgent`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DqnConfig {
+    /// Discount factor.
+    pub gamma: f64,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Replay-buffer capacity (transitions).
+    pub buffer_capacity: usize,
+    /// Minibatch size per gradient step.
+    pub batch_size: usize,
+    /// Number of stored transitions before learning starts.
+    pub warmup: usize,
+    /// Environment steps between gradient steps.
+    pub train_interval: usize,
+    /// Gradient steps between target-network synchronisations.
+    pub target_sync_interval: usize,
+    /// Initial exploration rate.
+    pub epsilon_start: f64,
+    /// Final exploration rate.
+    pub epsilon_end: f64,
+    /// Environment steps over which ε decays linearly from start to end.
+    pub epsilon_decay_steps: usize,
+    /// Use the double-DQN target (action chosen by the online network,
+    /// evaluated by the target network).
+    pub double_dqn: bool,
+    /// Global gradient-norm clip.
+    pub grad_clip: f32,
+}
+
+impl Default for DqnConfig {
+    fn default() -> Self {
+        DqnConfig {
+            gamma: 0.99,
+            learning_rate: 1e-3,
+            buffer_capacity: 20_000,
+            batch_size: 64,
+            warmup: 256,
+            train_interval: 1,
+            target_sync_interval: 200,
+            epsilon_start: 1.0,
+            epsilon_end: 0.05,
+            epsilon_decay_steps: 5_000,
+            double_dqn: true,
+            grad_clip: 5.0,
+        }
+    }
+}
+
+/// One stored environment transition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayTransition {
+    /// Observation the action was taken in.
+    pub observation: Vec<f32>,
+    /// Action index.
+    pub action: usize,
+    /// Immediate reward.
+    pub reward: f64,
+    /// Next observation.
+    pub next_observation: Vec<f32>,
+    /// Feasibility mask at the next observation (bounds the bootstrap max).
+    pub next_mask: Vec<bool>,
+    /// True when the transition ended the episode (no bootstrap).
+    pub done: bool,
+}
+
+/// A bounded FIFO replay buffer with uniform sampling.
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    storage: VecDeque<ReplayTransition>,
+}
+
+impl ReplayBuffer {
+    /// Create a buffer holding at most `capacity` transitions.
+    pub fn new(capacity: usize) -> Self {
+        ReplayBuffer {
+            capacity: capacity.max(1),
+            storage: VecDeque::with_capacity(capacity.max(1).min(65_536)),
+        }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.storage.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.storage.is_empty()
+    }
+
+    /// Maximum number of transitions retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append a transition, evicting the oldest when full.
+    pub fn push(&mut self, transition: ReplayTransition) {
+        if self.storage.len() == self.capacity {
+            self.storage.pop_front();
+        }
+        self.storage.push_back(transition);
+    }
+
+    /// Sample `count` transitions uniformly with replacement (cloned).
+    pub fn sample(&self, count: usize, rng: &mut StdRng) -> Vec<ReplayTransition> {
+        (0..count)
+            .filter_map(|_| {
+                if self.storage.is_empty() {
+                    None
+                } else {
+                    let idx = rng.gen_range(0..self.storage.len());
+                    Some(self.storage[idx].clone())
+                }
+            })
+            .collect()
+    }
+}
+
+/// A Q-value network `obs_dim → hidden… → action_count`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QNetwork {
+    net: Mlp,
+}
+
+impl QNetwork {
+    /// Build a Q-network with ReLU hidden layers.
+    pub fn new(obs_dim: usize, hidden: &[usize], action_count: usize, seed: u64) -> Self {
+        let cfg = MlpConfig::new(obs_dim, hidden, action_count, Activation::Relu);
+        QNetwork {
+            net: Mlp::new(&cfg, seed),
+        }
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &Mlp {
+        &self.net
+    }
+
+    /// Mutable access for the optimiser.
+    pub fn network_mut(&mut self) -> &mut Mlp {
+        &mut self.net
+    }
+
+    /// Q-values of every action for one observation.
+    pub fn q_values(&self, obs: &[f32]) -> Vec<f32> {
+        self.net.forward_vec(obs)
+    }
+
+    /// The feasible action with the highest Q-value. Falls back to the first
+    /// feasible action when all Q-values are non-finite, and to action 0 when
+    /// the mask is empty (the environment contract forbids that, but a
+    /// deterministic fallback keeps the agent total).
+    pub fn greedy_masked(&self, obs: &[f32], mask: &[bool]) -> usize {
+        let q = self.q_values(obs);
+        best_masked_action(&q, mask).unwrap_or(0)
+    }
+
+    /// Highest Q-value among feasible actions, or `None` when nothing is
+    /// feasible.
+    pub fn max_masked(&self, obs: &[f32], mask: &[bool]) -> Option<f32> {
+        let q = self.q_values(obs);
+        best_masked_action(&q, mask).map(|a| q[a])
+    }
+}
+
+fn best_masked_action(q: &[f32], mask: &[bool]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &value) in q.iter().enumerate() {
+        if !mask.get(i).copied().unwrap_or(false) || !value.is_finite() {
+            continue;
+        }
+        match best {
+            Some((_, b)) if b >= value => {}
+            _ => best = Some((i, value)),
+        }
+    }
+    best.map(|(i, _)| i)
+        .or_else(|| mask.iter().position(|&m| m))
+}
+
+/// Diagnostics of one learning step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DqnUpdateStats {
+    /// Mean squared TD error over the minibatch.
+    pub td_loss: f64,
+    /// Mean absolute TD error.
+    pub mean_abs_td: f64,
+    /// Exploration rate at the time of the update.
+    pub epsilon: f64,
+    /// Total gradient steps taken so far.
+    pub updates: u64,
+}
+
+/// A deep Q-learning agent with experience replay and a target network.
+#[derive(Debug)]
+pub struct DqnAgent {
+    online: QNetwork,
+    target: QNetwork,
+    optimizer: Adam,
+    buffer: ReplayBuffer,
+    config: DqnConfig,
+    rng: StdRng,
+    env_steps: u64,
+    updates: u64,
+    action_count: usize,
+}
+
+impl DqnAgent {
+    /// Create an agent for `obs_dim`-dimensional observations and
+    /// `action_count` discrete actions.
+    pub fn new(
+        obs_dim: usize,
+        action_count: usize,
+        hidden: &[usize],
+        seed: u64,
+        config: DqnConfig,
+    ) -> Self {
+        let online = QNetwork::new(obs_dim, hidden, action_count, seed);
+        let target = online.clone();
+        let optimizer = Adam::new(online.network().num_parameters(), config.learning_rate);
+        DqnAgent {
+            online,
+            target,
+            optimizer,
+            buffer: ReplayBuffer::new(config.buffer_capacity),
+            config,
+            rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            env_steps: 0,
+            updates: 0,
+            action_count,
+        }
+    }
+
+    /// The online Q-network.
+    pub fn q_network(&self) -> &QNetwork {
+        &self.online
+    }
+
+    /// The configuration the agent was built with.
+    pub fn config(&self) -> &DqnConfig {
+        &self.config
+    }
+
+    /// Number of stored transitions.
+    pub fn replay_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Gradient steps taken so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Current exploration rate (linear decay over `epsilon_decay_steps`).
+    pub fn epsilon(&self) -> f64 {
+        let c = &self.config;
+        if c.epsilon_decay_steps == 0 {
+            return c.epsilon_end;
+        }
+        let frac = (self.env_steps as f64 / c.epsilon_decay_steps as f64).min(1.0);
+        c.epsilon_start + (c.epsilon_end - c.epsilon_start) * frac
+    }
+
+    /// ε-greedy action selection respecting the feasibility mask.
+    pub fn select_action(&mut self, step: &Step) -> usize {
+        let explore = self.rng.gen::<f64>() < self.epsilon();
+        if explore {
+            let feasible: Vec<usize> = step
+                .action_mask
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &m)| if m { Some(i) } else { None })
+                .collect();
+            if feasible.is_empty() {
+                return 0;
+            }
+            feasible[self.rng.gen_range(0..feasible.len())]
+        } else {
+            self.greedy_action(step)
+        }
+    }
+
+    /// Greedy (exploitation-only) action.
+    pub fn greedy_action(&self, step: &Step) -> usize {
+        self.online
+            .greedy_masked(&step.observation, &step.action_mask)
+    }
+
+    /// Store a transition and, when due, take a gradient step. Returns the
+    /// update statistics when a gradient step was taken.
+    pub fn observe(
+        &mut self,
+        observation: Vec<f32>,
+        action: usize,
+        reward: f64,
+        next: &Step,
+        done: bool,
+    ) -> Option<DqnUpdateStats> {
+        self.env_steps += 1;
+        self.buffer.push(ReplayTransition {
+            observation,
+            action,
+            reward,
+            next_observation: next.observation.clone(),
+            next_mask: next.action_mask.clone(),
+            done,
+        });
+        let due = self.config.train_interval.max(1) as u64;
+        if self.buffer.len() >= self.config.warmup.max(self.config.batch_size)
+            && self.env_steps % due == 0
+        {
+            Some(self.train_step())
+        } else {
+            None
+        }
+    }
+
+    /// One gradient step on a uniformly sampled minibatch.
+    pub fn train_step(&mut self) -> DqnUpdateStats {
+        let batch = self.buffer.sample(self.config.batch_size, &mut self.rng);
+        let n = batch.len().max(1);
+        let obs_dim = batch
+            .first()
+            .map(|t| t.observation.len())
+            .unwrap_or(1)
+            .max(1);
+
+        // Bootstrap targets from the target network (optionally double DQN).
+        let mut targets = Vec::with_capacity(n);
+        for t in &batch {
+            let bootstrap = if t.done {
+                0.0
+            } else if self.config.double_dqn {
+                // Online network picks the action, target network rates it.
+                match best_masked_action(
+                    &self.online.q_values(&t.next_observation),
+                    &t.next_mask,
+                ) {
+                    Some(a) => self.target.q_values(&t.next_observation)[a] as f64,
+                    None => 0.0,
+                }
+            } else {
+                self.target
+                    .max_masked(&t.next_observation, &t.next_mask)
+                    .map(|q| q as f64)
+                    .unwrap_or(0.0)
+            };
+            targets.push(t.reward + self.config.gamma * bootstrap);
+        }
+
+        // Forward pass and TD-error gradient only on the taken actions.
+        let mut obs_data = Vec::with_capacity(n * obs_dim);
+        for t in &batch {
+            obs_data.extend_from_slice(&t.observation);
+        }
+        let obs = Matrix::from_vec(n, obs_dim, obs_data);
+        let preds = self.online.network_mut().forward_train(&obs);
+        let mut grad = Matrix::zeros(n, self.action_count);
+        let mut loss = 0.0;
+        let mut abs_td = 0.0;
+        for (r, (t, &target)) in batch.iter().zip(targets.iter()).enumerate() {
+            let q_sa = preds.get(r, t.action) as f64;
+            let diff = q_sa - target;
+            loss += diff * diff;
+            abs_td += diff.abs();
+            grad.set(r, t.action, (2.0 * diff / n as f64) as f32);
+        }
+        self.online.network_mut().zero_grad();
+        self.online.network_mut().backward(&grad);
+        self.online.network_mut().clip_grad_norm(self.config.grad_clip);
+        self.optimizer.step(self.online.network_mut());
+
+        self.updates += 1;
+        if self.config.target_sync_interval > 0
+            && self.updates % self.config.target_sync_interval as u64 == 0
+        {
+            self.sync_target();
+        }
+        DqnUpdateStats {
+            td_loss: loss / n as f64,
+            mean_abs_td: abs_td / n as f64,
+            epsilon: self.epsilon(),
+            updates: self.updates,
+        }
+    }
+
+    /// Copy the online weights into the target network.
+    pub fn sync_target(&mut self) {
+        self.target = self.online.clone();
+    }
+
+    /// Roll one episode, learning along the way when `learn` is true.
+    /// Returns the undiscounted episode return.
+    pub fn run_episode<E: Environment>(&mut self, env: &mut E, seed: u64, learn: bool) -> f64 {
+        let mut step = env.reset(seed);
+        let mut total = 0.0;
+        loop {
+            let action = if learn {
+                self.select_action(&step)
+            } else {
+                self.greedy_action(&step)
+            };
+            let transition = env.step(action);
+            total += transition.reward;
+            if learn {
+                self.observe(
+                    step.observation.clone(),
+                    action,
+                    transition.reward,
+                    &transition.next,
+                    transition.done,
+                );
+            }
+            if transition.done {
+                break;
+            }
+            step = transition.next;
+        }
+        total
+    }
+
+    /// Train for `episodes` episodes and return the per-episode returns.
+    pub fn train<E: Environment>(&mut self, env: &mut E, episodes: usize, seed: u64) -> Vec<f64> {
+        (0..episodes)
+            .map(|i| self.run_episode(env, seed.wrapping_add(i as u64), true))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::test_envs::{ChainEnv, MaskedEnv};
+
+    fn quick_config() -> DqnConfig {
+        DqnConfig {
+            buffer_capacity: 2_000,
+            batch_size: 32,
+            warmup: 64,
+            target_sync_interval: 25,
+            epsilon_decay_steps: 400,
+            ..DqnConfig::default()
+        }
+    }
+
+    #[test]
+    fn replay_buffer_evicts_oldest_when_full() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5usize {
+            buf.push(ReplayTransition {
+                observation: vec![i as f32],
+                action: i,
+                reward: i as f64,
+                next_observation: vec![0.0],
+                next_mask: vec![true],
+                done: false,
+            });
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.capacity(), 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let sampled = buf.sample(20, &mut rng);
+        assert_eq!(sampled.len(), 20);
+        // Only the last three transitions survive.
+        assert!(sampled.iter().all(|t| t.action >= 2));
+    }
+
+    #[test]
+    fn empty_replay_buffer_samples_nothing() {
+        let buf = ReplayBuffer::new(4);
+        assert!(buf.is_empty());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(buf.sample(8, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn q_network_shapes_and_masked_argmax() {
+        let q = QNetwork::new(4, &[8], 3, 7);
+        let values = q.q_values(&[0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(values.len(), 3);
+        // Masked argmax never returns a masked-out action.
+        let masked = q.greedy_masked(&[0.1, 0.2, 0.3, 0.4], &[false, true, false]);
+        assert_eq!(masked, 1);
+        // max_masked agrees with the chosen index.
+        let m = q.max_masked(&[0.1, 0.2, 0.3, 0.4], &[false, true, false]).unwrap();
+        assert!((m - values[1]).abs() < 1e-6);
+        assert!(q.max_masked(&[0.1, 0.2, 0.3, 0.4], &[false, false, false]).is_none());
+    }
+
+    #[test]
+    fn epsilon_decays_linearly_with_env_steps() {
+        let mut agent = DqnAgent::new(5, 2, &[8], 1, quick_config());
+        let start = agent.epsilon();
+        let mut env = ChainEnv::new(5, 20);
+        agent.run_episode(&mut env, 0, true);
+        let later = agent.epsilon();
+        assert!(start > later, "epsilon must decay: {start} -> {later}");
+        assert!(later >= agent.config().epsilon_end - 1e-12);
+    }
+
+    #[test]
+    fn target_sync_copies_online_weights() {
+        let mut agent = DqnAgent::new(5, 2, &[8], 3, quick_config());
+        let mut env = ChainEnv::new(5, 30);
+        // Learn enough that online and target diverge.
+        for ep in 0..10 {
+            agent.run_episode(&mut env, ep, true);
+        }
+        let obs = vec![1.0, 0.0, 0.0, 0.0, 0.0];
+        let before_online = agent.online.q_values(&obs);
+        let before_target = agent.target.q_values(&obs);
+        assert!(
+            before_online
+                .iter()
+                .zip(before_target.iter())
+                .any(|(a, b)| (a - b).abs() > 1e-6),
+            "online and target should have diverged after training"
+        );
+        agent.sync_target();
+        let after_target = agent.target.q_values(&obs);
+        for (a, b) in agent.online.q_values(&obs).iter().zip(after_target.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dqn_improves_on_the_chain_mdp() {
+        let mut env = ChainEnv::new(6, 12);
+        let mut agent = DqnAgent::new(6, 2, &[32], 11, quick_config());
+        // Greedy return before training (epsilon ignored in evaluation).
+        let before: f64 = (0..5)
+            .map(|s| agent.run_episode(&mut env, s, false))
+            .sum::<f64>()
+            / 5.0;
+        agent.train(&mut env, 120, 100);
+        let after: f64 = (0..5)
+            .map(|s| agent.run_episode(&mut env, s, false))
+            .sum::<f64>()
+            / 5.0;
+        assert!(
+            after >= before,
+            "training should not make the greedy policy worse ({before} -> {after})"
+        );
+        assert!(
+            after >= 10.0,
+            "trained agent should move right nearly every step ({after}/12)"
+        );
+        assert!(agent.updates() > 0);
+    }
+
+    #[test]
+    fn dqn_never_selects_masked_actions() {
+        let mut env = MaskedEnv { steps: 0 };
+        let mut agent = DqnAgent::new(2, 3, &[8], 5, quick_config());
+        for ep in 0..20 {
+            let mut step = env.reset(ep);
+            loop {
+                let action = agent.select_action(&step);
+                assert!(
+                    step.action_mask[action],
+                    "selected masked action {action} with mask {:?}",
+                    step.action_mask
+                );
+                let t = env.step(action);
+                agent.observe(step.observation.clone(), action, t.reward, &t.next, t.done);
+                if t.done {
+                    break;
+                }
+                step = t.next;
+            }
+        }
+    }
+
+    #[test]
+    fn double_and_vanilla_targets_both_learn() {
+        for double in [true, false] {
+            let cfg = DqnConfig {
+                double_dqn: double,
+                ..quick_config()
+            };
+            let mut env = ChainEnv::new(5, 10);
+            let mut agent = DqnAgent::new(5, 2, &[16], 21, cfg);
+            agent.train(&mut env, 80, 7);
+            let ret = agent.run_episode(&mut env, 99, false);
+            assert!(
+                ret >= 7.0,
+                "{} DQN should reach at least 7/10 on the chain, got {ret}",
+                if double { "double" } else { "vanilla" }
+            );
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # tcrm-rl — policy-gradient reinforcement learning on `tcrm-nn`
+//!
+//! The paper's scheduler is a deep policy-gradient agent. This crate provides
+//! the algorithm family it belongs to, built on the pure-Rust MLPs of
+//! `tcrm-nn`:
+//!
+//! * an [`Environment`] trait with **action masking** (a scheduling decision
+//!   epoch exposes only feasible actions),
+//! * a masked [`CategoricalPolicy`] and a [`ValueNet`] critic,
+//! * trajectory storage with discounted returns and Generalised Advantage
+//!   Estimation ([`buffer`]),
+//! * three interchangeable algorithms — [`Reinforce`] (with moving-average
+//!   baseline), [`A2c`] and [`Ppo`] (clipped surrogate) — behind a common
+//!   [`Algorithm`] trait,
+//! * a value-based ablation: [`DqnAgent`] with experience replay, a target
+//!   network and masked ε-greedy exploration ([`dqn`]),
+//! * a [`Trainer`] that rolls out episodes, feeds the algorithm and records a
+//!   [`TrainingHistory`] (the data behind the training-convergence figure).
+//!
+//! The crate is scheduler-agnostic; `tcrm-core` plugs its
+//! `SchedulingEnv` in as the [`Environment`].
+
+pub mod algorithm;
+pub mod buffer;
+pub mod dqn;
+pub mod env;
+pub mod policy;
+pub mod trainer;
+pub mod value;
+
+pub use algorithm::{
+    A2c, A2cConfig, Algorithm, Ppo, PpoConfig, Reinforce, ReinforceConfig, UpdateStats,
+};
+pub use buffer::{discounted_returns, gae, normalize_advantages, Trajectory};
+pub use dqn::{DqnAgent, DqnConfig, DqnUpdateStats, QNetwork, ReplayBuffer, ReplayTransition};
+pub use env::{Environment, Step, Transition};
+pub use policy::CategoricalPolicy;
+pub use trainer::{EpisodeStats, Trainer, TrainerConfig, TrainingHistory};
+pub use value::ValueNet;

@@ -1,0 +1,269 @@
+//! The training loop: roll out episodes, update the learner, record history.
+
+use crate::algorithm::{Algorithm, UpdateStats};
+use crate::buffer::Trajectory;
+use crate::env::Environment;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Trainer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// Episodes collected per update.
+    pub episodes_per_iteration: usize,
+    /// Number of update iterations.
+    pub iterations: usize,
+    /// Maximum steps per episode (guards against non-terminating
+    /// environments).
+    pub max_steps_per_episode: usize,
+    /// Base seed: episode `e` of iteration `i` uses
+    /// `seed + i * episodes_per_iteration + e` so every rollout is
+    /// reproducible and distinct.
+    pub seed: u64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            episodes_per_iteration: 8,
+            iterations: 100,
+            max_steps_per_episode: 10_000,
+            seed: 0,
+        }
+    }
+}
+
+/// Aggregate statistics of one training iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeStats {
+    /// Iteration index.
+    pub iteration: usize,
+    /// Mean undiscounted episode return.
+    pub mean_return: f64,
+    /// Minimum episode return in the batch.
+    pub min_return: f64,
+    /// Maximum episode return in the batch.
+    pub max_return: f64,
+    /// Mean episode length.
+    pub mean_length: f64,
+    /// Learner diagnostics for the update that followed.
+    pub update: UpdateStats,
+}
+
+/// The per-iteration history of a training run (the data behind the
+/// training-convergence figure).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrainingHistory {
+    /// One entry per iteration, in order.
+    pub iterations: Vec<EpisodeStats>,
+}
+
+impl TrainingHistory {
+    /// Mean return of the last `k` iterations (or fewer if the run was
+    /// shorter).
+    pub fn final_mean_return(&self, k: usize) -> f64 {
+        if self.iterations.is_empty() {
+            return 0.0;
+        }
+        let tail: Vec<f64> = self
+            .iterations
+            .iter()
+            .rev()
+            .take(k.max(1))
+            .map(|s| s.mean_return)
+            .collect();
+        tail.iter().sum::<f64>() / tail.len() as f64
+    }
+
+    /// Best iteration mean return seen.
+    pub fn best_mean_return(&self) -> f64 {
+        self.iterations
+            .iter()
+            .map(|s| s.mean_return)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Rolls out episodes with the learner's policy and feeds them back for
+/// updates.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainerConfig,
+}
+
+impl Trainer {
+    /// Create a trainer.
+    pub fn new(config: TrainerConfig) -> Self {
+        Trainer { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// Roll out one episode with the current policy (stochastic actions) and
+    /// record it as a trajectory.
+    pub fn rollout<E: Environment + ?Sized, A: Algorithm + ?Sized>(
+        &self,
+        env: &mut E,
+        algo: &A,
+        seed: u64,
+    ) -> Trajectory {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut trajectory = Trajectory::new();
+        let mut step = env.reset(seed);
+        for _ in 0..self.config.max_steps_per_episode {
+            let (action, log_prob, _) =
+                algo.policy()
+                    .sample(&step.observation, &step.action_mask, &mut rng);
+            let value = algo.value_estimate(&step.observation);
+            let transition = env.step(action);
+            trajectory.push(
+                step.observation.clone(),
+                step.action_mask.clone(),
+                action,
+                transition.reward,
+                log_prob,
+                value,
+                transition.done,
+            );
+            if transition.done {
+                break;
+            }
+            step = transition.next;
+        }
+        trajectory
+    }
+
+    /// Run a full training loop and return the learner together with its
+    /// history.
+    pub fn train<E: Environment + ?Sized, A: Algorithm>(
+        &mut self,
+        env: &mut E,
+        mut algo: A,
+    ) -> TrainingHistory {
+        let history = self.train_in_place(env, &mut algo);
+        history
+    }
+
+    /// Like [`Self::train`] but keeps ownership of the learner with the
+    /// caller (used when the caller wants the trained policy afterwards).
+    pub fn train_in_place<E: Environment + ?Sized, A: Algorithm + ?Sized>(
+        &mut self,
+        env: &mut E,
+        algo: &mut A,
+    ) -> TrainingHistory {
+        let mut history = TrainingHistory::default();
+        for iteration in 0..self.config.iterations {
+            let mut trajectories = Vec::with_capacity(self.config.episodes_per_iteration);
+            for e in 0..self.config.episodes_per_iteration {
+                let seed = self.config.seed
+                    + (iteration * self.config.episodes_per_iteration + e) as u64;
+                trajectories.push(self.rollout(env, algo, seed));
+            }
+            let returns: Vec<f64> = trajectories.iter().map(|t| t.total_reward()).collect();
+            let lengths: Vec<f64> = trajectories.iter().map(|t| t.len() as f64).collect();
+            let update = algo.update(&trajectories);
+            history.iterations.push(EpisodeStats {
+                iteration,
+                mean_return: mean(&returns),
+                min_return: returns.iter().cloned().fold(f64::INFINITY, f64::min),
+                max_return: returns.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                mean_length: mean(&lengths),
+                update,
+            });
+        }
+        history
+    }
+}
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{Reinforce, ReinforceConfig};
+    use crate::env::test_envs::{ChainEnv, MaskedEnv};
+    use crate::policy::CategoricalPolicy;
+
+    #[test]
+    fn rollout_respects_masks_and_episode_length() {
+        let trainer = Trainer::new(TrainerConfig::default());
+        let mut env = MaskedEnv { steps: 0 };
+        let algo = Reinforce::new(CategoricalPolicy::new(2, &[8], 3, 0), ReinforceConfig::default());
+        let t = trainer.rollout(&mut env, &algo, 1);
+        assert_eq!(t.len(), 6);
+        for (mask, action) in t.masks.iter().zip(t.actions.iter()) {
+            assert!(mask[*action], "policy acted outside the mask");
+        }
+        assert!(*t.dones.last().unwrap());
+    }
+
+    #[test]
+    fn max_steps_bounds_non_terminating_rollouts() {
+        let cfg = TrainerConfig {
+            max_steps_per_episode: 5,
+            ..Default::default()
+        };
+        let trainer = Trainer::new(cfg);
+        let mut env = ChainEnv::new(4, 1_000_000);
+        let algo = Reinforce::new(CategoricalPolicy::new(4, &[8], 2, 0), ReinforceConfig::default());
+        let t = trainer.rollout(&mut env, &algo, 2);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn history_helpers() {
+        let mut h = TrainingHistory::default();
+        assert_eq!(h.final_mean_return(5), 0.0);
+        for (i, r) in [1.0, 2.0, 3.0, 4.0].iter().enumerate() {
+            h.iterations.push(EpisodeStats {
+                iteration: i,
+                mean_return: *r,
+                min_return: *r,
+                max_return: *r,
+                mean_length: 1.0,
+                update: UpdateStats {
+                    policy_loss: 0.0,
+                    value_loss: 0.0,
+                    entropy: 0.0,
+                    grad_norm: 0.0,
+                    steps: 1,
+                },
+            });
+        }
+        assert_eq!(h.best_mean_return(), 4.0);
+        assert!((h.final_mean_return(2) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn training_is_reproducible_for_a_fixed_seed() {
+        let run = || {
+            let mut env = ChainEnv::new(5, 6);
+            let cfg = TrainerConfig {
+                episodes_per_iteration: 4,
+                iterations: 5,
+                seed: 11,
+                ..Default::default()
+            };
+            let algo = Reinforce::new(
+                CategoricalPolicy::new(5, &[8], 2, 1),
+                ReinforceConfig::default(),
+            );
+            Trainer::new(cfg).train(&mut env, algo)
+        };
+        let a = run();
+        let b = run();
+        let ra: Vec<f64> = a.iterations.iter().map(|s| s.mean_return).collect();
+        let rb: Vec<f64> = b.iterations.iter().map(|s| s.mean_return).collect();
+        assert_eq!(ra, rb);
+    }
+}

@@ -1,0 +1,80 @@
+//! State-value critic network.
+
+use serde::{Deserialize, Serialize};
+use tcrm_nn::{Activation, Matrix, Mlp, MlpConfig};
+
+/// A critic V(s) parameterised by an MLP with a single linear output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ValueNet {
+    net: Mlp,
+}
+
+impl ValueNet {
+    /// Create a value network `obs_dim → hidden… → 1`.
+    pub fn new(obs_dim: usize, hidden: &[usize], seed: u64) -> Self {
+        let cfg = MlpConfig::new(obs_dim, hidden, 1, Activation::Tanh);
+        ValueNet {
+            net: Mlp::new(&cfg, seed),
+        }
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &Mlp {
+        &self.net
+    }
+
+    /// Mutable access for optimisers.
+    pub fn network_mut(&mut self) -> &mut Mlp {
+        &mut self.net
+    }
+
+    /// Value estimate for a single observation.
+    pub fn value(&self, obs: &[f32]) -> f32 {
+        self.net.forward_vec(obs)[0]
+    }
+
+    /// Value estimates for a batch of observations (one per row).
+    pub fn values(&self, batch: &Matrix) -> Vec<f32> {
+        let out = self.net.forward(batch);
+        (0..out.rows()).map(|r| out.get(r, 0)).collect()
+    }
+
+    /// Training-mode forward pass (caches activations).
+    pub fn forward_train(&mut self, batch: &Matrix) -> Matrix {
+        self.net.forward_train(batch)
+    }
+
+    /// Serialise the weights.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Restore from JSON.
+    pub fn from_json(json: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_shapes() {
+        let v = ValueNet::new(6, &[8], 3);
+        let single = v.value(&[0.0; 6]);
+        assert!(single.is_finite());
+        let batch = Matrix::zeros(4, 6);
+        let vals = v.values(&batch);
+        assert_eq!(vals.len(), 4);
+        // All-zero inputs map to the same value.
+        assert!(vals.iter().all(|x| (x - single).abs() < 1e-6));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let v = ValueNet::new(3, &[4], 7);
+        let back = ValueNet::from_json(&v.to_json().unwrap()).unwrap();
+        assert_eq!(v.value(&[0.1, 0.2, 0.3]), back.value(&[0.1, 0.2, 0.3]));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the DQN substrate: replay-buffer bounds, masked
+//! greedy selection, and ε-decay monotonicity.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tcrm_rl::{DqnAgent, DqnConfig, QNetwork, ReplayBuffer, ReplayTransition, Step};
+
+fn transition(tag: usize) -> ReplayTransition {
+    ReplayTransition {
+        observation: vec![tag as f32, 1.0],
+        action: tag % 3,
+        reward: tag as f64,
+        next_observation: vec![0.0, 0.0],
+        next_mask: vec![true, true, true],
+        done: tag % 5 == 0,
+    }
+}
+
+proptest! {
+    /// The replay buffer never exceeds its capacity and always retains the
+    /// most recent transitions.
+    #[test]
+    fn replay_buffer_respects_capacity(capacity in 1usize..128, pushes in 0usize..400) {
+        let mut buf = ReplayBuffer::new(capacity);
+        for i in 0..pushes {
+            buf.push(transition(i));
+        }
+        prop_assert!(buf.len() <= capacity);
+        prop_assert_eq!(buf.len(), pushes.min(capacity));
+        if pushes > 0 {
+            let mut rng = StdRng::seed_from_u64(1);
+            let sample = buf.sample(32, &mut rng);
+            prop_assert_eq!(sample.len(), 32);
+            // Every sampled transition is one of the `capacity` most recent.
+            let oldest_kept = pushes.saturating_sub(capacity);
+            for t in sample {
+                prop_assert!(t.reward as usize >= oldest_kept);
+            }
+        }
+    }
+
+    /// Masked greedy selection never returns an infeasible action, for any
+    /// observation and any non-empty mask.
+    #[test]
+    fn greedy_masked_never_selects_masked_actions(
+        obs in prop::collection::vec(-5.0f32..5.0, 6),
+        mask_bits in prop::collection::vec(prop::bool::ANY, 4),
+        seed in 0u64..1000,
+    ) {
+        let mut mask = mask_bits;
+        if !mask.iter().any(|&m| m) {
+            mask[0] = true; // the environment contract guarantees one feasible action
+        }
+        let q = QNetwork::new(6, &[8], 4, seed);
+        let action = q.greedy_masked(&obs, &mask);
+        prop_assert!(mask[action], "picked masked action {action} with mask {mask:?}");
+        // And the reported maximum matches the picked action's Q-value.
+        let values = q.q_values(&obs);
+        let m = q.max_masked(&obs, &mask).unwrap();
+        prop_assert!((m - values[action]).abs() < 1e-6);
+    }
+
+    /// ε-greedy selection also respects the mask, for any exploration rate.
+    #[test]
+    fn select_action_respects_mask(
+        eps in 0.0f64..1.0,
+        mask_bits in prop::collection::vec(prop::bool::ANY, 5),
+        seed in 0u64..500,
+    ) {
+        let mut mask = mask_bits;
+        if !mask.iter().any(|&m| m) {
+            mask[2] = true;
+        }
+        let cfg = DqnConfig {
+            epsilon_start: eps,
+            epsilon_end: eps,
+            epsilon_decay_steps: 1,
+            ..DqnConfig::default()
+        };
+        let mut agent = DqnAgent::new(3, 5, &[4], seed, cfg);
+        let step = Step::new(vec![0.1, -0.2, 0.3], mask.clone());
+        for _ in 0..20 {
+            let a = agent.select_action(&step);
+            prop_assert!(mask[a], "ε-greedy picked masked action {a} with mask {mask:?}");
+        }
+    }
+
+    /// ε decays monotonically from start to end as environment steps accrue.
+    #[test]
+    fn epsilon_is_monotone_nonincreasing(start in 0.2f64..1.0, end in 0.0f64..0.2, decay in 1usize..200) {
+        let cfg = DqnConfig {
+            epsilon_start: start,
+            epsilon_end: end,
+            epsilon_decay_steps: decay,
+            warmup: usize::MAX, // never train inside this test
+            ..DqnConfig::default()
+        };
+        let mut agent = DqnAgent::new(2, 2, &[4], 9, cfg);
+        let next = Step::new(vec![0.0, 0.0], vec![true, true]);
+        let mut last = agent.epsilon();
+        prop_assert!((last - start).abs() < 1e-12);
+        for _ in 0..decay + 10 {
+            agent.observe(vec![0.0, 0.0], 0, 0.0, &next, false);
+            let eps = agent.epsilon();
+            prop_assert!(eps <= last + 1e-12, "epsilon increased: {last} -> {eps}");
+            last = eps;
+        }
+        prop_assert!((last - end).abs() < 1e-9, "epsilon should reach its floor");
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests of the RL substrate: return/GAE invariants and the
+//! masked categorical policy.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tcrm_rl::{discounted_returns, gae, normalize_advantages, CategoricalPolicy};
+
+fn arb_rewards(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-5.0f64..5.0, 1..n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ------------------------------------------------------------------
+    // Returns
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn returns_satisfy_the_bellman_recursion(rewards in arb_rewards(40), gamma in 0.5f64..1.0) {
+        let mut dones = vec![false; rewards.len()];
+        *dones.last_mut().unwrap() = true;
+        let returns = discounted_returns(&rewards, &dones, gamma);
+        for t in 0..rewards.len() {
+            let expected = if t + 1 < rewards.len() && !dones[t] {
+                rewards[t] + gamma * returns[t + 1]
+            } else {
+                rewards[t]
+            };
+            prop_assert!((returns[t] - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn returns_are_bounded_by_geometric_series(rewards in arb_rewards(40), gamma in 0.0f64..0.99) {
+        let mut dones = vec![false; rewards.len()];
+        *dones.last_mut().unwrap() = true;
+        let returns = discounted_returns(&rewards, &dones, gamma);
+        let max_abs = rewards.iter().map(|r| r.abs()).fold(0.0f64, f64::max);
+        let bound = max_abs / (1.0 - gamma) + 1e-9;
+        prop_assert!(returns.iter().all(|g| g.abs() <= bound));
+    }
+
+    #[test]
+    fn episode_boundaries_isolate_returns(
+        first in arb_rewards(10),
+        second in arb_rewards(10),
+        gamma in 0.5f64..1.0,
+    ) {
+        // Concatenating two episodes must give the same returns as computing
+        // them separately.
+        let mut rewards = first.clone();
+        rewards.extend(second.clone());
+        let mut dones = vec![false; rewards.len()];
+        dones[first.len() - 1] = true;
+        *dones.last_mut().unwrap() = true;
+
+        let combined = discounted_returns(&rewards, &dones, gamma);
+        let mut d1 = vec![false; first.len()];
+        *d1.last_mut().unwrap() = true;
+        let mut d2 = vec![false; second.len()];
+        *d2.last_mut().unwrap() = true;
+        let separate: Vec<f64> = discounted_returns(&first, &d1, gamma)
+            .into_iter()
+            .chain(discounted_returns(&second, &d2, gamma))
+            .collect();
+        for (a, b) in combined.iter().zip(separate.iter()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // GAE
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn gae_targets_equal_advantage_plus_value(
+        rewards in arb_rewards(30),
+        gamma in 0.8f64..1.0,
+        lambda in 0.0f64..1.0,
+    ) {
+        let values: Vec<f32> = rewards.iter().map(|r| (*r as f32) * 0.3).collect();
+        let mut dones = vec![false; rewards.len()];
+        *dones.last_mut().unwrap() = true;
+        let (adv, targets) = gae(&rewards, &values, &dones, 0.0, gamma, lambda);
+        for t in 0..rewards.len() {
+            prop_assert!((targets[t] - (adv[t] + values[t] as f64)).abs() < 1e-9);
+            prop_assert!(adv[t].is_finite());
+        }
+    }
+
+    #[test]
+    fn gae_with_perfect_critic_gives_zero_advantage(
+        values in prop::collection::vec(-3.0f64..3.0, 2..20),
+        gamma in 0.5f64..1.0,
+    ) {
+        // If rewards are exactly the one-step TD-consistent values, λ=0
+        // advantages are zero.
+        let n = values.len();
+        let mut rewards = vec![0.0; n];
+        let mut dones = vec![false; n];
+        dones[n - 1] = true;
+        for t in 0..n {
+            let next = if t + 1 < n { values[t + 1] } else { 0.0 };
+            rewards[t] = values[t] - gamma * next;
+        }
+        let values_f32: Vec<f32> = values.iter().map(|v| *v as f32).collect();
+        let (adv, _) = gae(&rewards, &values_f32, &dones, 0.0, gamma, 0.0);
+        prop_assert!(adv.iter().all(|a| a.abs() < 1e-3), "advantages {adv:?}");
+    }
+
+    #[test]
+    fn advantage_normalisation_is_affine_invariant_in_ranking(
+        mut adv in prop::collection::vec(-10.0f64..10.0, 3..30),
+    ) {
+        let original = adv.clone();
+        normalize_advantages(&mut adv);
+        let mean: f64 = adv.iter().sum::<f64>() / adv.len() as f64;
+        prop_assert!(mean.abs() < 1e-6);
+        // Ranking is preserved.
+        for i in 0..adv.len() {
+            for j in 0..adv.len() {
+                if original[i] < original[j] {
+                    prop_assert!(adv[i] <= adv[j] + 1e-9);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Masked categorical policy
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn policy_probabilities_are_valid_distributions(
+        seed in 0u64..100,
+        obs in prop::collection::vec(-1.0f32..1.0, 6),
+        mask in prop::collection::vec(any::<bool>(), 9),
+    ) {
+        let policy = CategoricalPolicy::new(6, &[12], 9, seed);
+        let probs = policy.probabilities(&obs, &mask);
+        prop_assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        if mask.iter().any(|&m| m) {
+            for (p, &m) in probs.iter().zip(mask.iter()) {
+                if !m {
+                    prop_assert_eq!(*p, 0.0);
+                }
+            }
+            // Greedy and sampled actions are always feasible.
+            let greedy = policy.greedy(&obs, &mask);
+            prop_assert!(mask[greedy]);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..20 {
+                let (a, log_prob, _) = policy.sample(&obs, &mask, &mut rng);
+                prop_assert!(mask[a]);
+                prop_assert!(log_prob <= 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn policy_entropy_is_bounded_by_log_of_feasible_actions(
+        seed in 0u64..50,
+        obs in prop::collection::vec(-1.0f32..1.0, 5),
+        mask in prop::collection::vec(any::<bool>(), 7),
+    ) {
+        prop_assume!(mask.iter().any(|&m| m));
+        let policy = CategoricalPolicy::new(5, &[8], 7, seed);
+        let entropy = policy.entropy(&obs, &mask);
+        let feasible = mask.iter().filter(|&&m| m).count() as f32;
+        prop_assert!(entropy >= -1e-6);
+        prop_assert!(entropy <= feasible.ln() + 1e-4);
+    }
+}

@@ -1,0 +1,320 @@
+//! The cluster: a set of heterogeneous nodes plus placement logic.
+
+use crate::allocation::Placement;
+use crate::config::ClusterSpec;
+use crate::job::JobClass;
+use crate::node::{Node, NodeClassId, NodeId};
+use crate::resources::{ResourceVector, NUM_RESOURCES};
+use serde::{Deserialize, Serialize};
+
+/// A concrete cluster instantiated from a [`ClusterSpec`].
+///
+/// The cluster owns the node capacity bookkeeping and the placement search.
+/// It does not know about jobs or time; the [`crate::engine::Simulator`] maps
+/// jobs to placements through it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cluster {
+    spec: ClusterSpec,
+    nodes: Vec<Node>,
+}
+
+impl Cluster {
+    /// Instantiate all nodes described by the spec.
+    pub fn new(spec: ClusterSpec) -> Self {
+        let nodes = spec.build_nodes();
+        Cluster { spec, nodes }
+    }
+
+    /// The spec this cluster was built from.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of machines.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of node classes.
+    pub fn num_classes(&self) -> usize {
+        self.spec.num_classes()
+    }
+
+    /// One node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Nodes of one class.
+    pub fn nodes_of_class(&self, class: NodeClassId) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(move |n| n.class == class)
+    }
+
+    /// Free capacity aggregated over one node class.
+    pub fn free_capacity_of_class(&self, class: NodeClassId) -> ResourceVector {
+        self.nodes_of_class(class)
+            .fold(ResourceVector::zero(), |acc, n| acc + n.free())
+    }
+
+    /// Total capacity of one node class.
+    pub fn total_capacity_of_class(&self, class: NodeClassId) -> ResourceVector {
+        self.spec.class_capacity(class)
+    }
+
+    /// Free capacity aggregated over the whole cluster.
+    pub fn free_capacity(&self) -> ResourceVector {
+        self.nodes
+            .iter()
+            .fold(ResourceVector::zero(), |acc, n| acc + n.free())
+    }
+
+    /// Per-dimension utilisation of one class in `[0, 1]`.
+    pub fn class_utilization(&self, class: NodeClassId) -> ResourceVector {
+        let total = self.total_capacity_of_class(class);
+        let free = self.free_capacity_of_class(class);
+        let used = total.saturating_sub(&free);
+        used.normalized_by(&total)
+    }
+
+    /// Average utilisation across classes and dimensions (scalar in `[0,1]`),
+    /// weighting each dimension of each class by its capacity share.
+    pub fn overall_utilization(&self) -> f64 {
+        let total = self.spec.total_capacity();
+        let free = self.free_capacity();
+        let used = total.saturating_sub(&free);
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..NUM_RESOURCES {
+            if total.0[i] > 0.0 {
+                num += used.0[i];
+                den += total.0[i];
+            }
+        }
+        if den > 0.0 {
+            num / den
+        } else {
+            0.0
+        }
+    }
+
+    /// How many units of `per_unit` demand can still be placed on machines of
+    /// `class` (summing per-node fits, i.e. respecting fragmentation).
+    pub fn units_available(&self, class: NodeClassId, per_unit: &ResourceVector) -> u32 {
+        self.nodes_of_class(class)
+            .map(|n| {
+                let u = n.units_that_fit(per_unit);
+                if u == u32::MAX {
+                    0 // zero-demand jobs are handled by the caller
+                } else {
+                    u
+                }
+            })
+            .sum()
+    }
+
+    /// Find a placement for `units` parallel units of `per_unit` demand on
+    /// machines of `class`, or `None` if the class cannot host them.
+    ///
+    /// The policy is worst-fit across the class (fill the emptiest machine
+    /// first) which spreads elastic jobs and leaves room to grow; ties break
+    /// on the lower node id so the search is deterministic.
+    pub fn find_placement(
+        &self,
+        class: NodeClassId,
+        per_unit: &ResourceVector,
+        units: u32,
+    ) -> Option<Vec<Placement>> {
+        if units == 0 {
+            return None;
+        }
+        // Zero-demand units trivially fit on the first machine of the class.
+        if per_unit.total() <= 0.0 {
+            return self
+                .nodes_of_class(class)
+                .next()
+                .map(|n| vec![Placement { node: n.id, units }]);
+        }
+        let mut candidates: Vec<(&Node, u32)> = self
+            .nodes_of_class(class)
+            .map(|n| (n, n.units_that_fit(per_unit)))
+            .filter(|(_, fit)| *fit > 0)
+            .collect();
+        // Emptiest (largest remaining unit count) first, then lowest id.
+        candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.id.cmp(&b.0.id)));
+        let mut remaining = units;
+        let mut placements = Vec::new();
+        for (node, fit) in candidates {
+            if remaining == 0 {
+                break;
+            }
+            let take = fit.min(remaining);
+            placements.push(Placement {
+                node: node.id,
+                units: take,
+            });
+            remaining -= take;
+        }
+        if remaining == 0 {
+            Some(placements)
+        } else {
+            None
+        }
+    }
+
+    /// The largest number of units (≤ `max_units`) for which a placement on
+    /// `class` exists. Returns 0 if even one unit does not fit.
+    pub fn max_placeable_units(
+        &self,
+        class: NodeClassId,
+        per_unit: &ResourceVector,
+        max_units: u32,
+    ) -> u32 {
+        if per_unit.total() <= 0.0 {
+            return max_units;
+        }
+        self.units_available(class, per_unit).min(max_units)
+    }
+
+    /// Reserve resources for a placement. Panics in debug builds if the
+    /// placement does not fit (placements must come from [`Self::find_placement`]
+    /// against the current state).
+    pub fn apply_placement(&mut self, per_unit: &ResourceVector, placements: &[Placement]) {
+        for p in placements {
+            let demand = per_unit.scaled(p.units as f64);
+            let ok = self.nodes[p.node.0].allocate(&demand);
+            debug_assert!(ok, "placement on {} does not fit", p.node);
+            if !ok {
+                // Defensive: force the accounting anyway so release stays
+                // symmetric; callers validate with find_placement first.
+                self.nodes[p.node.0].used += demand;
+            }
+        }
+    }
+
+    /// Release the resources of a placement.
+    pub fn release_placement(&mut self, per_unit: &ResourceVector, placements: &[Placement]) {
+        for p in placements {
+            let demand = per_unit.scaled(p.units as f64);
+            self.nodes[p.node.0].release(&demand);
+        }
+    }
+
+    /// Speed factor a job class enjoys on a node class.
+    pub fn speed_factor(&self, class: NodeClassId, job_class: JobClass) -> f64 {
+        self.spec.speed_factor(class, job_class)
+    }
+
+    /// Iterate over class ids.
+    pub fn class_ids(&self) -> impl Iterator<Item = NodeClassId> {
+        (0..self.spec.num_classes()).map(NodeClassId)
+    }
+
+    /// Sanity check used by tests and debug assertions: no node exceeds its
+    /// capacity and usage is non-negative.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for n in &self.nodes {
+            if !n.used.is_non_negative() {
+                return Err(format!("{} has negative usage {}", n.id, n.used));
+            }
+            if !n.used.fits_in(&n.capacity) {
+                return Err(format!(
+                    "{} over capacity: used {} capacity {}",
+                    n.id, n.used, n.capacity
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterSpec::icpp_default())
+    }
+
+    #[test]
+    fn construction_matches_spec() {
+        let c = cluster();
+        assert_eq!(c.num_nodes(), 24);
+        assert_eq!(c.num_classes(), 4);
+        assert_eq!(c.free_capacity(), c.spec().total_capacity());
+        assert!(c.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn placement_spreads_worst_fit() {
+        let mut c = Cluster::new(ClusterSpec::tiny());
+        let per_unit = ResourceVector::of(2.0, 4.0, 0.0, 1.0);
+        // Ask for 6 units: each tiny node fits 4 (cpu bottleneck 8/2), so it
+        // must span both machines.
+        let placement = c
+            .find_placement(NodeClassId(0), &per_unit, 6)
+            .expect("placement exists");
+        assert_eq!(placement.iter().map(|p| p.units).sum::<u32>(), 6);
+        assert!(placement.len() == 2);
+        c.apply_placement(&per_unit, &placement);
+        assert!(c.check_invariants().is_ok());
+        // Remaining capacity only fits 2 more units.
+        assert_eq!(c.max_placeable_units(NodeClassId(0), &per_unit, 100), 2);
+        c.release_placement(&per_unit, &placement);
+        assert_eq!(c.free_capacity(), c.spec().total_capacity());
+    }
+
+    #[test]
+    fn placement_fails_when_class_is_full() {
+        let mut c = Cluster::new(ClusterSpec::tiny());
+        let per_unit = ResourceVector::of(8.0, 1.0, 0.0, 0.0);
+        let placement = c.find_placement(NodeClassId(0), &per_unit, 2).unwrap();
+        c.apply_placement(&per_unit, &placement);
+        assert!(c.find_placement(NodeClassId(0), &per_unit, 1).is_none());
+    }
+
+    #[test]
+    fn gpu_demand_only_fits_gpu_class() {
+        let c = cluster();
+        let per_unit = ResourceVector::of(1.0, 1.0, 1.0, 0.0);
+        // Class 2 is the GPU class in the default spec.
+        assert!(c.find_placement(NodeClassId(2), &per_unit, 1).is_some());
+        assert!(c.find_placement(NodeClassId(0), &per_unit, 1).is_none());
+        assert!(c.find_placement(NodeClassId(3), &per_unit, 1).is_none());
+    }
+
+    #[test]
+    fn utilization_tracks_allocations() {
+        let mut c = Cluster::new(ClusterSpec::tiny());
+        assert_eq!(c.overall_utilization(), 0.0);
+        let per_unit = ResourceVector::of(4.0, 16.0, 0.5, 5.0);
+        let placement = c.find_placement(NodeClassId(0), &per_unit, 2).unwrap();
+        c.apply_placement(&per_unit, &placement);
+        let util = c.overall_utilization();
+        assert!(util > 0.3 && util <= 1.0, "util={util}");
+        let class_util = c.class_utilization(NodeClassId(0));
+        assert!((class_util.0[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn units_available_respects_fragmentation() {
+        let mut c = Cluster::new(ClusterSpec::tiny());
+        // Fill 6 of 8 cores on node 0.
+        let filler = ResourceVector::of(6.0, 1.0, 0.0, 0.0);
+        c.apply_placement(
+            &filler,
+            &[Placement {
+                node: NodeId(0),
+                units: 1,
+            }],
+        );
+        // A 4-core unit now only fits on node 1 even though 10 cores are free
+        // cluster-wide.
+        let per_unit = ResourceVector::of(4.0, 1.0, 0.0, 0.0);
+        assert_eq!(c.units_available(NodeClassId(0), &per_unit), 2);
+    }
+}

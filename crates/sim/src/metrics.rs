@@ -1,0 +1,582 @@
+//! Metrics collection: per-job completion records, utilisation traces and the
+//! summary statistics reported in every table and figure of the evaluation.
+
+use crate::config::ClusterSpec;
+use crate::job::{JobClass, JobId};
+use crate::resources::ResourceVector;
+use crate::stats;
+use serde::{Deserialize, Serialize};
+
+/// The record kept for every job that finished.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompletedJob {
+    /// Job id.
+    pub id: JobId,
+    /// Workload class.
+    pub class: JobClass,
+    /// Arrival time.
+    pub arrival: f64,
+    /// Time the job started executing.
+    pub start: f64,
+    /// Completion time.
+    pub finish: f64,
+    /// Absolute deadline.
+    pub deadline: f64,
+    /// Queueing delay (start − arrival).
+    pub wait: f64,
+    /// Response time (finish − arrival).
+    pub response: f64,
+    /// Best-case service time (maximum parallelism on the fastest node class)
+    /// used as the slowdown denominator.
+    pub best_case_service: f64,
+    /// Bounded slowdown: response / max(best_case_service, 1s).
+    pub slowdown: f64,
+    /// True if the job finished after its deadline.
+    pub missed: bool,
+    /// Utility accrued according to the job's time-utility function.
+    pub utility: f64,
+    /// Maximum utility the job could have earned.
+    pub max_utility: f64,
+    /// Time-averaged degree of parallelism while running.
+    pub avg_parallelism: f64,
+    /// Number of elastic re-scaling operations applied to the job.
+    pub scale_count: u32,
+}
+
+/// One sample of the utilisation trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationSample {
+    /// Sample time.
+    pub time: f64,
+    /// Per node class utilisation vectors (fraction of capacity in use).
+    pub per_class: Vec<ResourceVector>,
+    /// Capacity-weighted scalar utilisation over the whole cluster.
+    pub overall: f64,
+    /// Number of pending jobs at the sample time.
+    pub pending: usize,
+    /// Number of running jobs at the sample time.
+    pub running: usize,
+}
+
+/// The utilisation timeline of one simulation (Figure 5).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationTrace {
+    /// Samples in time order.
+    pub samples: Vec<UtilizationSample>,
+}
+
+/// Estimated electrical energy drawn during one simulation, derived from the
+/// utilisation trace and the per-class [`crate::config::PowerModel`]s
+/// (utilisation-proportional power, integrated over the trace with the
+/// trapezoid-free left-Riemann sum the sampling interval justifies).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Total energy over the run, in joules.
+    pub total_joules: f64,
+    /// Total energy over the run, in kilowatt-hours.
+    pub total_kwh: f64,
+    /// Energy per node class in joules ([`crate::config::ClusterSpec`] class
+    /// order).
+    pub per_class_joules: Vec<f64>,
+    /// Energy divided by the number of jobs that completed (joules per job);
+    /// 0 when nothing completed.
+    pub joules_per_completed_job: f64,
+    /// Duration covered by the trace, in seconds.
+    pub duration: f64,
+}
+
+impl EnergyReport {
+    /// Mean electrical power over the run, in watts.
+    pub fn mean_watts(&self) -> f64 {
+        if self.duration > 0.0 {
+            self.total_joules / self.duration
+        } else {
+            0.0
+        }
+    }
+}
+
+impl UtilizationTrace {
+    /// Mean overall utilisation across samples.
+    pub fn mean_overall(&self) -> f64 {
+        stats::mean(&self.samples.iter().map(|s| s.overall).collect::<Vec<_>>())
+    }
+
+    /// Estimate the energy drawn over the traced interval for a cluster
+    /// described by `spec`, using each class's utilisation-proportional
+    /// [`crate::config::PowerModel`]. `completed_jobs` is only used for the
+    /// per-job normalisation. Returns an all-zero report for traces with
+    /// fewer than two samples.
+    pub fn energy_report(&self, spec: &ClusterSpec, completed_jobs: usize) -> EnergyReport {
+        let num_classes = spec.num_classes();
+        let mut per_class_joules = vec![0.0; num_classes];
+        if self.samples.len() >= 2 {
+            for pair in self.samples.windows(2) {
+                let dt = (pair[1].time - pair[0].time).max(0.0);
+                if dt <= 0.0 {
+                    continue;
+                }
+                for (ci, class) in spec.node_classes.iter().enumerate() {
+                    // Scalar class utilisation: mean over the dimensions the
+                    // class actually provides (same convention as
+                    // `mean_class_overall`).
+                    let util = pair[0]
+                        .per_class
+                        .get(ci)
+                        .map(|v| {
+                            let nz: Vec<f64> = v.0.iter().cloned().filter(|x| *x > 0.0).collect();
+                            if nz.is_empty() {
+                                0.0
+                            } else {
+                                stats::mean(&nz)
+                            }
+                        })
+                        .unwrap_or(0.0);
+                    let watts = class.power.watts_at(util) * class.count as f64;
+                    per_class_joules[ci] += watts * dt;
+                }
+            }
+        }
+        let total_joules: f64 = per_class_joules.iter().sum();
+        let duration = if self.samples.len() >= 2 {
+            (self.samples.last().unwrap().time - self.samples[0].time).max(0.0)
+        } else {
+            0.0
+        };
+        EnergyReport {
+            total_joules,
+            total_kwh: total_joules / 3.6e6,
+            per_class_joules,
+            joules_per_completed_job: if completed_jobs > 0 {
+                total_joules / completed_jobs as f64
+            } else {
+                0.0
+            },
+            duration,
+        }
+    }
+
+    /// Mean utilisation of one node class (scalar, capacity-weighted over the
+    /// class's dimensions is approximated by the mean of non-zero dimensions).
+    pub fn mean_class_overall(&self, class_index: usize) -> f64 {
+        let vals: Vec<f64> = self
+            .samples
+            .iter()
+            .filter_map(|s| s.per_class.get(class_index))
+            .map(|v| {
+                let nz: Vec<f64> = v.0.iter().cloned().filter(|x| *x > 0.0).collect();
+                if nz.is_empty() {
+                    0.0
+                } else {
+                    stats::mean(&nz)
+                }
+            })
+            .collect();
+        stats::mean(&vals)
+    }
+}
+
+/// Aggregate statistics of one simulation run. This is the row format of the
+/// comparison tables (Tables 2–3) and the y-axes of most figures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Total jobs submitted.
+    pub total_jobs: usize,
+    /// Jobs that finished before the simulation ended.
+    pub completed_jobs: usize,
+    /// Jobs that were never started (e.g. unschedulable or the run aborted).
+    pub unfinished_jobs: usize,
+    /// Jobs that finished after their deadline.
+    pub missed_jobs: usize,
+    /// Deadline-miss rate over submitted jobs (unfinished jobs count as
+    /// missed).
+    pub miss_rate: f64,
+    /// Mean bounded slowdown over completed jobs.
+    pub mean_slowdown: f64,
+    /// Median bounded slowdown.
+    pub p50_slowdown: f64,
+    /// 95th percentile bounded slowdown.
+    pub p95_slowdown: f64,
+    /// 99th percentile bounded slowdown.
+    pub p99_slowdown: f64,
+    /// Mean queueing delay.
+    pub mean_wait: f64,
+    /// Mean response time.
+    pub mean_response: f64,
+    /// Total utility accrued.
+    pub total_utility: f64,
+    /// Maximum achievable utility (every job meets its deadline).
+    pub max_total_utility: f64,
+    /// `total_utility / max_total_utility`.
+    pub utility_ratio: f64,
+    /// Completion time of the last job minus arrival of the first.
+    pub makespan: f64,
+    /// Mean cluster utilisation over the run.
+    pub mean_utilization: f64,
+    /// Per-job-class deadline-miss rate ([`JobClass::ALL`] order).
+    pub per_class_miss_rate: [f64; JobClass::COUNT],
+    /// Per-job-class mean bounded slowdown ([`JobClass::ALL`] order); 0 for
+    /// classes with no completed jobs.
+    #[serde(default)]
+    pub per_class_mean_slowdown: [f64; JobClass::COUNT],
+    /// Jain fairness index over completed-job slowdowns: 1 means every job
+    /// was slowed equally, small values mean a few jobs bore most of the
+    /// queueing pain.
+    #[serde(default = "default_fairness")]
+    pub slowdown_fairness: f64,
+    /// Mean degree of parallelism over completed jobs.
+    pub mean_parallelism: f64,
+    /// Total number of elastic re-scaling operations.
+    pub scale_events: u64,
+    /// Number of scheduler actions the engine rejected.
+    pub invalid_actions: u64,
+    /// Number of decision epochs.
+    pub decision_epochs: u64,
+}
+
+fn default_fairness() -> f64 {
+    1.0
+}
+
+impl Summary {
+    /// Compute a summary from raw collector state.
+    fn from_collector(c: &MetricsCollector, total_jobs: usize) -> Summary {
+        let completed = &c.completed;
+        let slowdowns: Vec<f64> = completed.iter().map(|j| j.slowdown).collect();
+        let waits: Vec<f64> = completed.iter().map(|j| j.wait).collect();
+        let responses: Vec<f64> = completed.iter().map(|j| j.response).collect();
+        let parallelism: Vec<f64> = completed.iter().map(|j| j.avg_parallelism).collect();
+        let missed = completed.iter().filter(|j| j.missed).count();
+        let unfinished = total_jobs.saturating_sub(completed.len());
+        let total_utility: f64 = completed.iter().map(|j| j.utility).sum();
+        // Unfinished jobs forfeit their utility; count their maximum toward
+        // the achievable total so the ratio penalises them.
+        let max_total_utility: f64 = completed.iter().map(|j| j.max_utility).sum::<f64>()
+            + c.unfinished_max_utility;
+        let first_arrival = completed
+            .iter()
+            .map(|j| j.arrival)
+            .fold(f64::INFINITY, f64::min);
+        let last_finish = completed
+            .iter()
+            .map(|j| j.finish)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let makespan = if completed.is_empty() {
+            0.0
+        } else {
+            (last_finish - first_arrival).max(0.0)
+        };
+        let mut per_class_miss_rate = [0.0; JobClass::COUNT];
+        let mut per_class_mean_slowdown = [0.0; JobClass::COUNT];
+        for class in JobClass::ALL {
+            let of_class: Vec<&CompletedJob> =
+                completed.iter().filter(|j| j.class == class).collect();
+            if !of_class.is_empty() {
+                per_class_miss_rate[class.index()] =
+                    of_class.iter().filter(|j| j.missed).count() as f64 / of_class.len() as f64;
+                per_class_mean_slowdown[class.index()] =
+                    stats::mean(&of_class.iter().map(|j| j.slowdown).collect::<Vec<_>>());
+            }
+        }
+        let effective_missed = missed + unfinished;
+        Summary {
+            total_jobs,
+            completed_jobs: completed.len(),
+            unfinished_jobs: unfinished,
+            missed_jobs: missed,
+            miss_rate: if total_jobs > 0 {
+                effective_missed as f64 / total_jobs as f64
+            } else {
+                0.0
+            },
+            mean_slowdown: stats::mean(&slowdowns),
+            p50_slowdown: stats::percentile(&slowdowns, 50.0),
+            p95_slowdown: stats::percentile(&slowdowns, 95.0),
+            p99_slowdown: stats::percentile(&slowdowns, 99.0),
+            mean_wait: stats::mean(&waits),
+            mean_response: stats::mean(&responses),
+            total_utility,
+            max_total_utility,
+            utility_ratio: if max_total_utility > 0.0 {
+                total_utility / max_total_utility
+            } else {
+                0.0
+            },
+            makespan,
+            mean_utilization: c.trace.mean_overall(),
+            per_class_miss_rate,
+            per_class_mean_slowdown,
+            slowdown_fairness: stats::jain_fairness(&slowdowns),
+            mean_parallelism: stats::mean(&parallelism),
+            scale_events: c.scale_events,
+            invalid_actions: c.invalid_actions,
+            decision_epochs: c.decision_epochs,
+        }
+    }
+}
+
+/// Accumulates metrics while a simulation runs.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsCollector {
+    /// Completion records.
+    pub completed: Vec<CompletedJob>,
+    /// Utilisation trace.
+    pub trace: UtilizationTrace,
+    /// Count of rejected scheduler actions.
+    pub invalid_actions: u64,
+    /// Count of applied scale actions.
+    pub scale_events: u64,
+    /// Count of decision epochs.
+    pub decision_epochs: u64,
+    /// Maximum utility of jobs that never finished (filled in at the end of a
+    /// run for jobs still pending/running when the engine gave up).
+    pub unfinished_max_utility: f64,
+}
+
+impl MetricsCollector {
+    /// Fresh collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a finished job.
+    pub fn record_completion(&mut self, job: CompletedJob) {
+        self.completed.push(job);
+    }
+
+    /// Record a utilisation sample.
+    pub fn record_sample(&mut self, sample: UtilizationSample) {
+        self.trace.samples.push(sample);
+    }
+
+    /// Count an invalid action.
+    pub fn record_invalid_action(&mut self) {
+        self.invalid_actions += 1;
+    }
+
+    /// Count an applied scale action.
+    pub fn record_scale_event(&mut self) {
+        self.scale_events += 1;
+    }
+
+    /// Count a decision epoch.
+    pub fn record_decision_epoch(&mut self) {
+        self.decision_epochs += 1;
+    }
+
+    /// Add forfeited utility for a job that never finished.
+    pub fn record_unfinished(&mut self, max_utility: f64) {
+        self.unfinished_max_utility += max_utility;
+    }
+
+    /// Produce the summary for `total_jobs` submitted jobs.
+    pub fn summarize(&self, total_jobs: usize) -> Summary {
+        Summary::from_collector(self, total_jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, missed: bool, slowdown: f64, utility: f64) -> CompletedJob {
+        CompletedJob {
+            id: JobId(id),
+            class: JobClass::Batch,
+            arrival: 0.0,
+            start: 1.0,
+            finish: 11.0,
+            deadline: if missed { 5.0 } else { 50.0 },
+            wait: 1.0,
+            response: 11.0,
+            best_case_service: 10.0,
+            slowdown,
+            missed,
+            utility,
+            max_utility: 1.0,
+            avg_parallelism: 2.0,
+            scale_count: 0,
+        }
+    }
+
+    #[test]
+    fn summary_counts_and_rates() {
+        let mut c = MetricsCollector::new();
+        c.record_completion(record(1, false, 1.0, 1.0));
+        c.record_completion(record(2, true, 3.0, 0.0));
+        c.record_completion(record(3, false, 2.0, 1.0));
+        let s = c.summarize(4); // one job never finished
+        assert_eq!(s.total_jobs, 4);
+        assert_eq!(s.completed_jobs, 3);
+        assert_eq!(s.unfinished_jobs, 1);
+        assert_eq!(s.missed_jobs, 1);
+        assert!((s.miss_rate - 0.5).abs() < 1e-12); // (1 missed + 1 unfinished) / 4
+        assert!((s.mean_slowdown - 2.0).abs() < 1e-12);
+        assert!((s.total_utility - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utility_ratio_penalises_unfinished_jobs() {
+        let mut c = MetricsCollector::new();
+        c.record_completion(record(1, false, 1.0, 1.0));
+        c.record_unfinished(1.0);
+        let s = c.summarize(2);
+        assert!((s.utility_ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_class_miss_rates_are_isolated() {
+        let mut c = MetricsCollector::new();
+        let mut a = record(1, true, 1.0, 0.0);
+        a.class = JobClass::MlTraining;
+        let mut b = record(2, false, 1.0, 1.0);
+        b.class = JobClass::MlTraining;
+        c.record_completion(a);
+        c.record_completion(b);
+        c.record_completion(record(3, false, 1.0, 1.0));
+        let s = c.summarize(3);
+        assert!((s.per_class_miss_rate[JobClass::MlTraining.index()] - 0.5).abs() < 1e-12);
+        assert_eq!(s.per_class_miss_rate[JobClass::Batch.index()], 0.0);
+        assert_eq!(s.per_class_miss_rate[JobClass::Stream.index()], 0.0);
+    }
+
+    #[test]
+    fn empty_collector_summarizes_to_zeros() {
+        let s = MetricsCollector::new().summarize(0);
+        assert_eq!(s.total_jobs, 0);
+        assert_eq!(s.miss_rate, 0.0);
+        assert_eq!(s.mean_slowdown, 0.0);
+        assert_eq!(s.makespan, 0.0);
+        assert_eq!(s.utility_ratio, 0.0);
+    }
+
+    #[test]
+    fn summary_reports_per_class_slowdown_and_fairness() {
+        let mut c = MetricsCollector::new();
+        let mut a = record(1, false, 4.0, 1.0);
+        a.class = JobClass::Stream;
+        c.record_completion(a);
+        c.record_completion(record(2, false, 1.0, 1.0));
+        c.record_completion(record(3, false, 3.0, 1.0));
+        let s = c.summarize(3);
+        assert!((s.per_class_mean_slowdown[JobClass::Stream.index()] - 4.0).abs() < 1e-12);
+        assert!((s.per_class_mean_slowdown[JobClass::Batch.index()] - 2.0).abs() < 1e-12);
+        assert_eq!(s.per_class_mean_slowdown[JobClass::MlTraining.index()], 0.0);
+        let expected = crate::stats::jain_fairness(&[4.0, 1.0, 3.0]);
+        assert!((s.slowdown_fairness - expected).abs() < 1e-12);
+        assert!(s.slowdown_fairness > 0.0 && s.slowdown_fairness <= 1.0);
+    }
+
+    #[test]
+    fn equal_slowdowns_are_perfectly_fair() {
+        let mut c = MetricsCollector::new();
+        for i in 0..5 {
+            c.record_completion(record(i, false, 2.5, 1.0));
+        }
+        let s = c.summarize(5);
+        assert!((s.slowdown_fairness - 1.0).abs() < 1e-12);
+    }
+
+    fn spec_for_energy() -> ClusterSpec {
+        use crate::config::{NodeClassSpec, PowerModel};
+        use crate::node::SpeedProfile;
+        ClusterSpec::new(vec![
+            NodeClassSpec::new(
+                "a",
+                2,
+                ResourceVector::of(8.0, 32.0, 0.0, 10.0),
+                SpeedProfile::uniform(1.0),
+            )
+            .with_power(PowerModel::new(100.0, 300.0)),
+            NodeClassSpec::new(
+                "b",
+                1,
+                ResourceVector::of(16.0, 64.0, 4.0, 10.0),
+                SpeedProfile::uniform(1.0),
+            )
+            .with_power(PowerModel::new(200.0, 800.0)),
+        ])
+    }
+
+    fn sample(time: f64, util_a: f64, util_b: f64) -> UtilizationSample {
+        UtilizationSample {
+            time,
+            per_class: vec![
+                ResourceVector::splat(util_a),
+                ResourceVector::splat(util_b),
+            ],
+            overall: (util_a + util_b) / 2.0,
+            pending: 0,
+            running: 0,
+        }
+    }
+
+    #[test]
+    fn idle_cluster_still_draws_idle_power() {
+        let spec = spec_for_energy();
+        let mut trace = UtilizationTrace::default();
+        trace.samples.push(sample(0.0, 0.0, 0.0));
+        trace.samples.push(sample(100.0, 0.0, 0.0));
+        let report = trace.energy_report(&spec, 0);
+        // 2 × 100 W + 1 × 200 W = 400 W over 100 s = 40 kJ.
+        assert!((report.total_joules - 40_000.0).abs() < 1e-6);
+        assert!((report.per_class_joules[0] - 20_000.0).abs() < 1e-6);
+        assert!((report.per_class_joules[1] - 20_000.0).abs() < 1e-6);
+        assert!((report.mean_watts() - 400.0).abs() < 1e-9);
+        assert_eq!(report.joules_per_completed_job, 0.0);
+        assert!((report.total_kwh - 40_000.0 / 3.6e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_grows_with_utilization() {
+        let spec = spec_for_energy();
+        let mut idle = UtilizationTrace::default();
+        idle.samples.push(sample(0.0, 0.0, 0.0));
+        idle.samples.push(sample(50.0, 0.0, 0.0));
+        let mut busy = UtilizationTrace::default();
+        busy.samples.push(sample(0.0, 0.8, 0.9));
+        busy.samples.push(sample(50.0, 0.8, 0.9));
+        let e_idle = idle.energy_report(&spec, 10);
+        let e_busy = busy.energy_report(&spec, 10);
+        assert!(e_busy.total_joules > e_idle.total_joules);
+        assert!(e_busy.joules_per_completed_job > e_idle.joules_per_completed_job);
+        // Full utilisation is bounded by peak power × duration.
+        let peak_bound = (2.0 * 300.0 + 800.0) * 50.0;
+        assert!(e_busy.total_joules <= peak_bound + 1e-6);
+    }
+
+    #[test]
+    fn degenerate_traces_report_zero_energy() {
+        let spec = spec_for_energy();
+        let empty = UtilizationTrace::default();
+        assert_eq!(empty.energy_report(&spec, 3).total_joules, 0.0);
+        let mut single = UtilizationTrace::default();
+        single.samples.push(sample(0.0, 0.5, 0.5));
+        let report = single.energy_report(&spec, 3);
+        assert_eq!(report.total_joules, 0.0);
+        assert_eq!(report.duration, 0.0);
+        assert_eq!(report.mean_watts(), 0.0);
+    }
+
+    #[test]
+    fn trace_means() {
+        let mut trace = UtilizationTrace::default();
+        trace.samples.push(UtilizationSample {
+            time: 0.0,
+            per_class: vec![ResourceVector::of(0.5, 0.5, 0.0, 0.0)],
+            overall: 0.4,
+            pending: 1,
+            running: 1,
+        });
+        trace.samples.push(UtilizationSample {
+            time: 5.0,
+            per_class: vec![ResourceVector::of(1.0, 0.5, 0.0, 0.0)],
+            overall: 0.6,
+            pending: 0,
+            running: 2,
+        });
+        assert!((trace.mean_overall() - 0.5).abs() < 1e-12);
+        assert!((trace.mean_class_overall(0) - 0.625).abs() < 1e-12);
+        assert_eq!(trace.mean_class_overall(5), 0.0);
+    }
+}

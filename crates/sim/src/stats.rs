@@ -1,0 +1,197 @@
+//! Small statistics helpers shared by the metrics module, the workload
+//! generator and the benchmark harness.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation; 0.0 for fewer than two samples.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64;
+    var.sqrt()
+}
+
+/// Percentile via linear interpolation between closest ranks.
+/// `p` is in `[0, 100]`. Returns 0.0 for an empty slice.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Minimum; 0.0 for an empty slice.
+pub fn min(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().cloned().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum; 0.0 for an empty slice.
+pub fn max(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Jain's fairness index: `(Σx)² / (n · Σx²)`.
+///
+/// It is 1 when every value is identical and approaches `1/n` when a single
+/// value dominates. Values are expected to be non-negative (per-job slowdowns,
+/// per-class allocations, …); an empty slice or an all-zero slice returns 1.0
+/// (perfectly fair by convention: nobody got anything or nobody was delayed).
+pub fn jain_fairness(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if sum_sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (values.len() as f64 * sum_sq)
+}
+
+/// Online mean/variance accumulator (Welford's algorithm). Useful when the
+/// benchmark harness streams per-seed results without storing them all.
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one sample in.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Current mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (0.0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&v) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+        assert!((percentile(&v, 50.0) - 3.0).abs() < 1e-12);
+        assert!((percentile(&v, 25.0) - 2.0).abs() < 1e-12);
+        assert!((percentile(&v, 90.0) - 4.6).abs() < 1e-12);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn min_max_handle_empty() {
+        let v = [3.0, -1.0, 2.0];
+        assert_eq!(min(&v), -1.0);
+        assert_eq!(max(&v), 3.0);
+        assert_eq!(min(&[]), 0.0);
+        assert_eq!(max(&[]), 0.0);
+    }
+
+    #[test]
+    fn jain_fairness_bounds_and_extremes() {
+        // Identical values are perfectly fair.
+        assert!((jain_fairness(&[3.0, 3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12);
+        // One dominant value approaches 1/n.
+        let skewed = jain_fairness(&[100.0, 0.0, 0.0, 0.0]);
+        assert!((skewed - 0.25).abs() < 1e-12);
+        // Known textbook value: (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+        assert!((jain_fairness(&[1.0, 2.0, 3.0]) - 36.0 / 42.0).abs() < 1e-12);
+        // Conventions for degenerate inputs.
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+        // Always within (0, 1].
+        let v = [0.1, 5.0, 2.2, 7.9, 0.4];
+        let f = jain_fairness(&v);
+        assert!(f > 0.0 && f <= 1.0);
+    }
+
+    #[test]
+    fn welford_matches_batch() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for x in v {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - mean(&v)).abs() < 1e-12);
+        // Welford computes the *sample* std dev, convert batch population std.
+        let sample_var = v.iter().map(|x| (x - 5.0) * (x - 5.0)).sum::<f64>() / 7.0;
+        assert!((w.variance() - sample_var).abs() < 1e-12);
+        assert_eq!(Welford::new().mean(), 0.0);
+    }
+}

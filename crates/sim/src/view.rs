@@ -1,0 +1,435 @@
+//! Scheduler-facing snapshot of the simulation state.
+//!
+//! A [`ClusterView`] is built by the engine at every decision epoch. It owns
+//! its data (no borrows into the engine) so policies can keep it around, ship
+//! it to an RL replay buffer, or serialise it for debugging.
+
+use crate::config::ClusterSpec;
+use crate::job::{Job, JobClass, JobId, SpeedupModel};
+use crate::node::NodeClassId;
+use crate::resources::ResourceVector;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Per-node-class aggregate information.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeClassView {
+    /// Class id.
+    pub id: NodeClassId,
+    /// Human-readable name.
+    pub name: String,
+    /// Number of machines in the class.
+    pub node_count: usize,
+    /// Total capacity of the class.
+    pub total_capacity: ResourceVector,
+    /// Free capacity aggregated over the class.
+    pub free_capacity: ResourceVector,
+    /// Free capacity of each machine in the class (for fragmentation-aware
+    /// feasibility checks), in node-id order.
+    pub node_free: Vec<ResourceVector>,
+    /// Speed factor per job class ([`JobClass::ALL`] order).
+    pub speed_factors: [f64; JobClass::COUNT],
+}
+
+impl NodeClassView {
+    /// How many units of `per_unit` demand can still be placed on this class,
+    /// respecting per-node fragmentation.
+    pub fn units_available(&self, per_unit: &ResourceVector) -> u32 {
+        if per_unit.total() <= 0.0 {
+            return u32::MAX;
+        }
+        self.node_free
+            .iter()
+            .map(|free| {
+                let mut fit = u32::MAX;
+                for i in 0..crate::resources::NUM_RESOURCES {
+                    let d = per_unit.0[i];
+                    if d > 0.0 {
+                        fit = fit.min(((free.0[i] + 1e-9) / d).floor().max(0.0) as u32);
+                    }
+                }
+                if fit == u32::MAX {
+                    0
+                } else {
+                    fit
+                }
+            })
+            .sum()
+    }
+
+    /// Speed factor for one job class.
+    pub fn speed_factor(&self, class: JobClass) -> f64 {
+        self.speed_factors[class.index()]
+    }
+
+    /// Scalar utilisation of the class (capacity-weighted across dimensions).
+    pub fn utilization(&self) -> f64 {
+        let used = self.total_capacity.saturating_sub(&self.free_capacity);
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..crate::resources::NUM_RESOURCES {
+            if self.total_capacity.0[i] > 0.0 {
+                num += used.0[i];
+                den += self.total_capacity.0[i];
+            }
+        }
+        if den > 0.0 {
+            num / den
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A job waiting in the queue, as seen by the scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PendingJobView {
+    /// Job id.
+    pub id: JobId,
+    /// Workload class.
+    pub class: JobClass,
+    /// Arrival time.
+    pub arrival: f64,
+    /// Absolute deadline.
+    pub deadline: f64,
+    /// Total work.
+    pub total_work: f64,
+    /// Per-unit resource demand.
+    pub demand_per_unit: ResourceVector,
+    /// Minimum parallelism.
+    pub min_parallelism: u32,
+    /// Maximum parallelism.
+    pub max_parallelism: u32,
+    /// Speedup model.
+    pub speedup: SpeedupModel,
+    /// Whether the job may be re-scaled after starting.
+    pub malleable: bool,
+    /// Utility earned when meeting the deadline.
+    pub utility_value: f64,
+    /// How long the job has been waiting (now − arrival).
+    pub wait: f64,
+}
+
+impl PendingJobView {
+    fn from_job(job: &Job, now: f64) -> Self {
+        PendingJobView {
+            id: job.id,
+            class: job.class,
+            arrival: job.arrival,
+            deadline: job.deadline,
+            total_work: job.total_work,
+            demand_per_unit: job.demand_per_unit,
+            min_parallelism: job.min_parallelism,
+            max_parallelism: job.max_parallelism,
+            speedup: job.speedup,
+            malleable: job.malleable,
+            utility_value: job.utility.value,
+            wait: (now - job.arrival).max(0.0),
+        }
+    }
+
+    /// Time remaining until the deadline (may be negative).
+    pub fn time_to_deadline(&self, now: f64) -> f64 {
+        self.deadline - now
+    }
+
+    /// Estimated service time on a node class at a given parallelism.
+    pub fn service_time_on(&self, class: &NodeClassView, parallelism: u32) -> f64 {
+        let speed = class.speed_factor(self.class).max(1e-9);
+        self.total_work / (speed * self.speedup.speedup(parallelism))
+    }
+
+    /// Slack if started now on `class` with `parallelism` units: time to
+    /// deadline minus estimated service time. Negative means the deadline
+    /// would be missed even if started immediately.
+    pub fn slack_on(&self, now: f64, class: &NodeClassView, parallelism: u32) -> f64 {
+        self.time_to_deadline(now) - self.service_time_on(class, parallelism)
+    }
+
+    /// The smallest parallelism (within the job's range) whose slack on
+    /// `class` is non-negative, or `None` if even the maximum parallelism
+    /// misses the deadline.
+    pub fn min_parallelism_meeting_deadline(
+        &self,
+        now: f64,
+        class: &NodeClassView,
+    ) -> Option<u32> {
+        (self.min_parallelism..=self.max_parallelism)
+            .find(|&p| self.slack_on(now, class, p) >= 0.0)
+    }
+}
+
+/// A running job, as seen by the scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunningJobView {
+    /// Job id.
+    pub id: JobId,
+    /// Workload class.
+    pub class: JobClass,
+    /// Node class the job is placed on.
+    pub node_class: NodeClassId,
+    /// Current degree of parallelism.
+    pub units: u32,
+    /// Remaining work.
+    pub remaining_work: f64,
+    /// Total work at submission.
+    pub total_work: f64,
+    /// Arrival time.
+    pub arrival: f64,
+    /// Time the job started executing.
+    pub started_at: f64,
+    /// Absolute deadline.
+    pub deadline: f64,
+    /// Per-unit demand.
+    pub demand_per_unit: ResourceVector,
+    /// Minimum parallelism.
+    pub min_parallelism: u32,
+    /// Maximum parallelism.
+    pub max_parallelism: u32,
+    /// Speedup model.
+    pub speedup: SpeedupModel,
+    /// Whether the job may be re-scaled.
+    pub malleable: bool,
+    /// Current execution rate in work units per second.
+    pub rate: f64,
+    /// Utility earned when meeting the deadline.
+    pub utility_value: f64,
+    /// True when the engine would currently accept a re-scaling of this job
+    /// (scaling enabled and the reconfiguration cooldown has elapsed).
+    pub scale_ready: bool,
+}
+
+impl RunningJobView {
+    /// Expected finish time at the current rate.
+    pub fn expected_finish(&self, now: f64) -> f64 {
+        now + self.remaining_work / self.rate.max(1e-9)
+    }
+
+    /// Slack at the current rate (negative means the deadline will be missed
+    /// without scaling up).
+    pub fn slack(&self, now: f64) -> f64 {
+        self.deadline - self.expected_finish(now)
+    }
+}
+
+/// The complete decision-epoch snapshot handed to a [`crate::scheduler::Scheduler`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterView {
+    /// Current simulated time.
+    pub time: f64,
+    /// Cluster specification (shared, cheap to clone).
+    pub spec: Arc<ClusterSpec>,
+    /// Per node class aggregates, indexed by `NodeClassId`.
+    pub classes: Vec<NodeClassView>,
+    /// Pending jobs in arrival order.
+    pub pending: Vec<PendingJobView>,
+    /// Running jobs in start order.
+    pub running: Vec<RunningJobView>,
+    /// Number of jobs that have not yet arrived.
+    pub future_arrivals: usize,
+}
+
+impl ClusterView {
+    /// Build a view (used by the engine; exposed for tests of downstream
+    /// schedulers that want to fabricate synthetic views).
+    pub fn new(
+        time: f64,
+        spec: Arc<ClusterSpec>,
+        classes: Vec<NodeClassView>,
+        pending: Vec<PendingJobView>,
+        running: Vec<RunningJobView>,
+        future_arrivals: usize,
+    ) -> Self {
+        ClusterView {
+            time,
+            spec,
+            classes,
+            pending,
+            running,
+            future_arrivals,
+        }
+    }
+
+    /// One class view by id.
+    pub fn class(&self, id: NodeClassId) -> &NodeClassView {
+        &self.classes[id.0]
+    }
+
+    /// Number of node classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Find a pending job by id.
+    pub fn pending_job(&self, id: JobId) -> Option<&PendingJobView> {
+        self.pending.iter().find(|j| j.id == id)
+    }
+
+    /// Find a running job by id.
+    pub fn running_job(&self, id: JobId) -> Option<&RunningJobView> {
+        self.running.iter().find(|j| j.id == id)
+    }
+
+    /// Can `parallelism` units of this pending job be placed on `class` right
+    /// now? (Fragmentation-aware.)
+    pub fn can_start(&self, job: &PendingJobView, class: NodeClassId, parallelism: u32) -> bool {
+        if parallelism < job.min_parallelism || parallelism > job.max_parallelism {
+            return false;
+        }
+        self.classes[class.0].units_available(&job.demand_per_unit) >= parallelism
+    }
+
+    /// The largest feasible parallelism for `job` on `class`, capped by the
+    /// job's maximum, or `None` if not even the minimum fits.
+    pub fn max_feasible_parallelism(
+        &self,
+        job: &PendingJobView,
+        class: NodeClassId,
+    ) -> Option<u32> {
+        let available = self.classes[class.0].units_available(&job.demand_per_unit);
+        let feasible = available.min(job.max_parallelism);
+        if feasible >= job.min_parallelism {
+            Some(feasible)
+        } else {
+            None
+        }
+    }
+
+    /// Overall cluster utilisation in `[0, 1]` (capacity weighted).
+    pub fn overall_utilization(&self) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for c in &self.classes {
+            let used = c.total_capacity.saturating_sub(&c.free_capacity);
+            for i in 0..crate::resources::NUM_RESOURCES {
+                if c.total_capacity.0[i] > 0.0 {
+                    num += used.0[i];
+                    den += c.total_capacity.0[i];
+                }
+            }
+        }
+        if den > 0.0 {
+            num / den
+        } else {
+            0.0
+        }
+    }
+
+    /// Build the pending-job view (helper for the engine and for synthetic
+    /// views in tests).
+    pub fn pending_view_of(job: &Job, now: f64) -> PendingJobView {
+        PendingJobView::from_job(job, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterSpec, NodeClassSpec};
+    use crate::node::SpeedProfile;
+
+    fn make_view() -> ClusterView {
+        let spec = Arc::new(ClusterSpec::new(vec![NodeClassSpec::new(
+            "generic",
+            2,
+            ResourceVector::of(8.0, 32.0, 0.0, 10.0),
+            SpeedProfile::uniform(2.0),
+        )]));
+        let class_view = NodeClassView {
+            id: NodeClassId(0),
+            name: "generic".into(),
+            node_count: 2,
+            total_capacity: ResourceVector::of(16.0, 64.0, 0.0, 20.0),
+            free_capacity: ResourceVector::of(12.0, 48.0, 0.0, 16.0),
+            node_free: vec![
+                ResourceVector::of(4.0, 16.0, 0.0, 6.0),
+                ResourceVector::of(8.0, 32.0, 0.0, 10.0),
+            ],
+            speed_factors: [2.0; JobClass::COUNT],
+        };
+        let job = Job::builder(JobId(1), JobClass::Batch)
+            .arrival(0.0)
+            .total_work(40.0)
+            .demand_per_unit(ResourceVector::of(2.0, 4.0, 0.0, 1.0))
+            .parallelism_range(1, 6)
+            .deadline(30.0)
+            .build();
+        ClusterView::new(
+            10.0,
+            spec,
+            vec![class_view],
+            vec![ClusterView::pending_view_of(&job, 10.0)],
+            vec![],
+            3,
+        )
+    }
+
+    #[test]
+    fn units_available_respects_fragmentation() {
+        let view = make_view();
+        let per_unit = ResourceVector::of(3.0, 4.0, 0.0, 1.0);
+        // node 0 fits 1 (4/3), node 1 fits 2 (8/3) -> 3
+        assert_eq!(view.classes[0].units_available(&per_unit), 3);
+    }
+
+    #[test]
+    fn pending_view_carries_wait_and_slack() {
+        let view = make_view();
+        let j = &view.pending[0];
+        assert!((j.wait - 10.0).abs() < 1e-9);
+        // service time at p=1: 40 / (2*1) = 20, time to deadline = 20 -> slack 0
+        assert!((j.slack_on(10.0, &view.classes[0], 1)).abs() < 1e-9);
+        assert!(j.slack_on(10.0, &view.classes[0], 4) > 0.0);
+        assert_eq!(j.min_parallelism_meeting_deadline(10.0, &view.classes[0]), Some(1));
+    }
+
+    #[test]
+    fn can_start_checks_range_and_capacity() {
+        let view = make_view();
+        let j = view.pending[0].clone();
+        assert!(view.can_start(&j, NodeClassId(0), 1));
+        assert!(view.can_start(&j, NodeClassId(0), 6));
+        assert!(!view.can_start(&j, NodeClassId(0), 7)); // above job max
+        let fat = PendingJobView {
+            demand_per_unit: ResourceVector::of(5.0, 4.0, 0.0, 1.0),
+            ..j
+        };
+        // node0 fits 0, node1 fits 1 -> max feasible 1
+        assert_eq!(view.max_feasible_parallelism(&fat, NodeClassId(0)), Some(1));
+        assert!(!view.can_start(&fat, NodeClassId(0), 2));
+    }
+
+    #[test]
+    fn running_view_slack() {
+        let r = RunningJobView {
+            id: JobId(2),
+            class: JobClass::Stream,
+            node_class: NodeClassId(0),
+            units: 2,
+            remaining_work: 10.0,
+            total_work: 20.0,
+            arrival: 0.0,
+            started_at: 1.0,
+            deadline: 20.0,
+            demand_per_unit: ResourceVector::of(1.0, 1.0, 0.0, 0.1),
+            min_parallelism: 1,
+            max_parallelism: 4,
+            speedup: SpeedupModel::Linear,
+            malleable: true,
+            rate: 2.0,
+            utility_value: 1.0,
+            scale_ready: true,
+        };
+        assert!((r.expected_finish(10.0) - 15.0).abs() < 1e-9);
+        assert!((r.slack(10.0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_of_synthetic_view() {
+        let view = make_view();
+        let u = view.overall_utilization();
+        assert!(u > 0.0 && u < 1.0);
+        let cu = view.classes[0].utilization();
+        assert!((cu - u).abs() < 1e-9); // single class
+    }
+}

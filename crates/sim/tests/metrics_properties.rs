@@ -1,0 +1,121 @@
+//! Property-based tests for the fairness and energy accounting added on top
+//! of the core metrics: Jain-index bounds, scale invariance, and the
+//! idle/peak power envelope of the energy report.
+
+use proptest::prelude::*;
+use tcrm_sim::config::PowerModel;
+use tcrm_sim::stats::jain_fairness;
+use tcrm_sim::{
+    ClusterSpec, NodeClassSpec, ResourceVector, UtilizationSample, UtilizationTrace,
+};
+
+fn small_cluster(idle: f64, peak: f64) -> ClusterSpec {
+    use tcrm_sim::node::SpeedProfile;
+    ClusterSpec::new(vec![
+        NodeClassSpec::new(
+            "a",
+            3,
+            ResourceVector::of(8.0, 32.0, 0.0, 10.0),
+            SpeedProfile::uniform(1.0),
+        )
+        .with_power(PowerModel::new(idle, peak)),
+        NodeClassSpec::new(
+            "b",
+            2,
+            ResourceVector::of(16.0, 64.0, 2.0, 10.0),
+            SpeedProfile::uniform(1.5),
+        )
+        .with_power(PowerModel::new(idle * 1.5, peak * 1.5)),
+    ])
+}
+
+fn trace_from_utils(utils: &[(f64, f64)], dt: f64) -> UtilizationTrace {
+    let mut trace = UtilizationTrace::default();
+    for (i, &(ua, ub)) in utils.iter().enumerate() {
+        trace.samples.push(UtilizationSample {
+            time: i as f64 * dt,
+            per_class: vec![ResourceVector::splat(ua), ResourceVector::splat(ub)],
+            overall: (ua + ub) / 2.0,
+            pending: 0,
+            running: 0,
+        });
+    }
+    trace
+}
+
+proptest! {
+    /// Jain's index always lies in (0, 1] for non-negative inputs, is exactly
+    /// 1 for constant inputs, and is invariant under positive scaling.
+    #[test]
+    fn jain_index_bounds_and_scale_invariance(
+        values in prop::collection::vec(0.0f64..1e4, 1..64),
+        scale in 0.001f64..1000.0,
+    ) {
+        let f = jain_fairness(&values);
+        prop_assert!(f > 0.0 && f <= 1.0 + 1e-12, "index {f} out of range");
+
+        let scaled: Vec<f64> = values.iter().map(|v| v * scale).collect();
+        let fs = jain_fairness(&scaled);
+        prop_assert!((f - fs).abs() < 1e-9, "not scale invariant: {f} vs {fs}");
+
+        let n = values.len() as f64;
+        prop_assert!(f >= 1.0 / n - 1e-12, "index below 1/n");
+    }
+
+    /// A constant vector is perfectly fair regardless of its value.
+    #[test]
+    fn constant_vectors_are_perfectly_fair(v in 0.0f64..1e6, n in 1usize..50) {
+        let values = vec![v; n];
+        let f = jain_fairness(&values);
+        prop_assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    /// The energy report always lies between the idle floor and the peak
+    /// ceiling, and is monotone when every utilisation sample rises.
+    #[test]
+    fn energy_between_idle_and_peak_and_monotone_in_utilisation(
+        utils in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..40),
+        dt in 0.5f64..60.0,
+        idle in 10.0f64..200.0,
+        headroom in 1.0f64..500.0,
+        bump in 0.0f64..0.5,
+    ) {
+        let peak = idle + headroom;
+        let spec = small_cluster(idle, peak);
+        let trace = trace_from_utils(&utils, dt);
+        let report = trace.energy_report(&spec, 1);
+
+        let duration = (utils.len() - 1) as f64 * dt;
+        let idle_floor: f64 = spec
+            .node_classes
+            .iter()
+            .map(|c| c.power.idle_watts * c.count as f64)
+            .sum::<f64>() * duration;
+        let peak_ceiling: f64 = spec
+            .node_classes
+            .iter()
+            .map(|c| c.power.peak_watts * c.count as f64)
+            .sum::<f64>() * duration;
+        prop_assert!(report.total_joules >= idle_floor - 1e-6);
+        prop_assert!(report.total_joules <= peak_ceiling + 1e-6);
+        prop_assert!((report.total_kwh * 3.6e6 - report.total_joules).abs() < 1e-3);
+        prop_assert_eq!(report.per_class_joules.len(), spec.num_classes());
+
+        // Raising every utilisation sample (clamped to 1) never lowers energy.
+        let bumped: Vec<(f64, f64)> = utils
+            .iter()
+            .map(|&(a, b)| ((a + bump).min(1.0), (b + bump).min(1.0)))
+            .collect();
+        let bumped_report = trace_from_utils(&bumped, dt).energy_report(&spec, 1);
+        prop_assert!(bumped_report.total_joules >= report.total_joules - 1e-6);
+    }
+
+    /// Power interpolation stays within [idle, peak] for any utilisation.
+    #[test]
+    fn power_model_is_bounded(idle in 0.0f64..500.0, extra in 0.0f64..1500.0, util in -2.0f64..3.0) {
+        let p = PowerModel::new(idle, idle + extra);
+        let w = p.watts_at(util);
+        prop_assert!(w >= idle - 1e-9);
+        prop_assert!(w <= idle + extra + 1e-9);
+    }
+}

@@ -1,0 +1,255 @@
+//! Small, self-contained probability distributions.
+//!
+//! The offline crate set does not include `rand_distr`, so the handful of
+//! distributions the workload generator needs (exponential inter-arrivals,
+//! log-normal work sizes, bounded-Pareto heavy tails, weighted categorical
+//! choice) are implemented here on top of `rand`'s uniform source. Each is a
+//! few lines of inverse-transform or Box–Muller sampling, with unit tests
+//! checking their first moments.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    /// Rate parameter (events per unit time).
+    pub lambda: f64,
+}
+
+impl Exponential {
+    /// Create an exponential distribution. `lambda` must be positive.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0, "lambda must be positive");
+        Exponential { lambda }
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+
+    /// Draw one sample by inverse-transform sampling.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 1 - u is in (0, 1]; ln of it is finite.
+        let u: f64 = rng.gen::<f64>();
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+/// Log-normal distribution parameterised by the underlying normal's mean and
+/// standard deviation (`mu`, `sigma`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormal {
+    /// Mean of the underlying normal.
+    pub mu: f64,
+    /// Standard deviation of the underlying normal.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Create from the underlying normal parameters.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        LogNormal { mu, sigma }
+    }
+
+    /// Create a log-normal with a target *arithmetic* mean and coefficient of
+    /// variation — the natural way workload specs express job-size spread.
+    pub fn from_mean_cv(mean: f64, cv: f64) -> Self {
+        assert!(mean > 0.0, "mean must be positive");
+        let cv = cv.max(0.0);
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        LogNormal {
+            mu,
+            sigma: sigma2.sqrt(),
+        }
+    }
+
+    /// Arithmetic mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// Draw one sample (Box–Muller for the underlying normal).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+/// Bounded Pareto distribution on `[low, high]` with shape `alpha` — the
+/// classic heavy-tailed job-size model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundedPareto {
+    /// Shape parameter (> 0); smaller means heavier tail.
+    pub alpha: f64,
+    /// Lower bound (> 0).
+    pub low: f64,
+    /// Upper bound (> low).
+    pub high: f64,
+}
+
+impl BoundedPareto {
+    /// Create a bounded Pareto distribution.
+    pub fn new(alpha: f64, low: f64, high: f64) -> Self {
+        assert!(alpha > 0.0 && low > 0.0 && high > low);
+        BoundedPareto { alpha, low, high }
+    }
+
+    /// Draw one sample by inverse-transform sampling.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen::<f64>().min(1.0 - 1e-12);
+        let la = self.low.powf(self.alpha);
+        let ha = self.high.powf(self.alpha);
+        let x = (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / self.alpha);
+        x.clamp(self.low, self.high)
+    }
+}
+
+/// Weighted categorical choice over `0..weights.len()`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedChoice {
+    cumulative: Vec<f64>,
+}
+
+impl WeightedChoice {
+    /// Build from non-negative weights (not necessarily normalised). At least
+    /// one weight must be positive.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "weights must not be empty");
+        assert!(
+            weights.iter().all(|w| *w >= 0.0),
+            "weights must be non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "at least one weight must be positive");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in weights {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+        // Guard against rounding leaving the last entry slightly below 1.
+        *cumulative.last_mut().unwrap() = 1.0;
+        WeightedChoice { cumulative }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if there are no categories (never: the constructor forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Sample a category index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cumulative
+            .iter()
+            .position(|c| u <= *c)
+            .unwrap_or(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Exponential::new(0.5);
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean = {mean}");
+        assert_eq!(d.mean(), 2.0);
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let d = Exponential::new(3.0);
+        let mut r = rng();
+        assert!((0..1000).all(|_| d.sample(&mut r) >= 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn exponential_rejects_non_positive_rate() {
+        Exponential::new(0.0);
+    }
+
+    #[test]
+    fn lognormal_mean_cv_roundtrip() {
+        let d = LogNormal::from_mean_cv(50.0, 1.5);
+        assert!((d.mean() - 50.0).abs() < 1e-9);
+        let mut r = rng();
+        let n = 40_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 50.0).abs() / 50.0 < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn lognormal_zero_sigma_is_constant() {
+        let d = LogNormal::new(2.0, 0.0);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert!((d.sample(&mut r) - 2.0f64.exp()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds() {
+        let d = BoundedPareto::new(1.1, 2.0, 100.0);
+        let mut r = rng();
+        for _ in 0..5000 {
+            let x = d.sample(&mut r);
+            assert!((2.0..=100.0).contains(&x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_is_right_skewed() {
+        let d = BoundedPareto::new(1.5, 1.0, 1000.0);
+        let mut r = rng();
+        let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(mean > median, "mean {mean} should exceed median {median}");
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let d = WeightedChoice::new(&[1.0, 0.0, 3.0]);
+        let mut r = rng();
+        let mut counts = [0usize; 3];
+        for _ in 0..20_000 {
+            counts[d.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio = {ratio}");
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn weighted_choice_rejects_all_zero() {
+        WeightedChoice::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,223 @@
+//! Turning a [`WorkloadSpec`] into a concrete list of jobs.
+
+use crate::distributions::{Exponential, LogNormal, WeightedChoice};
+use crate::spec::{ArrivalProcess, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tcrm_sim::{ClusterSpec, Job, JobId, TimeUtility};
+
+/// Generate `spec.num_jobs` jobs for the given cluster, deterministically from
+/// the seed. Jobs are returned sorted by arrival time with dense ids.
+///
+/// The arrival rate is derived from the offered load: the cluster's aggregate
+/// work capacity (work units per second, computed from the spec's class mix
+/// and the node speed profiles) times `spec.load`, divided by the mean work
+/// per job.
+pub fn generate(spec: &WorkloadSpec, cluster: &ClusterSpec, seed: u64) -> Vec<Job> {
+    spec.validate().expect("invalid workload spec");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mix = spec.class_mix();
+    let capacity = cluster.work_capacity(&mix).max(1e-6);
+    let mean_work = spec.mean_work().max(1e-9);
+    let arrival_rate = spec.load * capacity / mean_work;
+    let base_interarrival = Exponential::new(arrival_rate.max(1e-9));
+
+    let class_choice = WeightedChoice::new(
+        &spec
+            .classes
+            .iter()
+            .map(|c| c.weight)
+            .collect::<Vec<f64>>(),
+    );
+    let work_dists: Vec<LogNormal> = spec
+        .classes
+        .iter()
+        .map(|c| LogNormal::from_mean_cv(c.work_mean, c.work_cv))
+        .collect();
+
+    // Bursty arrivals: alternate between calm and bursty states.
+    let mut in_burst = false;
+    let mut state_left: f64 = match spec.arrivals {
+        ArrivalProcess::Bursty { burst_period, .. } => burst_period,
+        ArrivalProcess::Poisson => f64::INFINITY,
+    };
+
+    let mut time = 0.0;
+    let mut jobs = Vec::with_capacity(spec.num_jobs);
+    for i in 0..spec.num_jobs {
+        // Advance the arrival clock.
+        let rate_multiplier = match spec.arrivals {
+            ArrivalProcess::Poisson => 1.0,
+            ArrivalProcess::Bursty { burst_factor, .. } => {
+                if in_burst {
+                    burst_factor
+                } else {
+                    1.0 / burst_factor.max(1.0)
+                }
+            }
+        };
+        let gap = base_interarrival.sample(&mut rng) / rate_multiplier.max(1e-9);
+        time += gap;
+        if let ArrivalProcess::Bursty { burst_period, .. } = spec.arrivals {
+            state_left -= gap;
+            if state_left <= 0.0 {
+                in_burst = !in_burst;
+                state_left = burst_period;
+            }
+        }
+
+        // Pick a class template and draw the job's parameters.
+        let ci = class_choice.sample(&mut rng);
+        let template = &spec.classes[ci];
+        let work = work_dists[ci].sample(&mut rng).max(1.0);
+        let min_p = rng.gen_range(
+            template.elasticity.min_parallelism.0..=template.elasticity.min_parallelism.1,
+        );
+        let max_p = rng
+            .gen_range(
+                template.elasticity.max_parallelism.0..=template.elasticity.max_parallelism.1,
+            )
+            .max(min_p);
+        let malleable = rng.gen_bool(template.elasticity.malleable_probability.clamp(0.0, 1.0));
+
+        // Deadline: slack × best-case service time on the fastest class at the
+        // maximum parallelism the job supports.
+        let best_speed = cluster.best_speed_factor(template.class);
+        let best_case = work / (best_speed * template.speedup.speedup(max_p)).max(1e-9);
+        let slack = rng.gen_range(spec.deadlines.slack_min..=spec.deadlines.slack_max);
+        let deadline = time + slack * best_case;
+
+        let job = Job::builder(JobId(i as u64), template.class)
+            .arrival(time)
+            .total_work(work)
+            .demand_per_unit(template.demand_per_unit)
+            .parallelism_range(min_p, max_p)
+            .speedup(template.speedup)
+            .deadline(deadline)
+            .utility(TimeUtility::soft(
+                template.utility_value,
+                spec.deadlines.grace_fraction,
+            ))
+            .malleable(malleable)
+            .build();
+        jobs.push(job);
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcrm_sim::JobClass;
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::icpp_default()
+    }
+
+    #[test]
+    fn generates_requested_count_with_dense_ids() {
+        let spec = WorkloadSpec::icpp_default().with_num_jobs(200);
+        let jobs = generate(&spec, &cluster(), 1);
+        assert_eq!(jobs.len(), 200);
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id, JobId(i as u64));
+            assert!(j.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_non_negative() {
+        let spec = WorkloadSpec::icpp_default().with_num_jobs(300);
+        let jobs = generate(&spec, &cluster(), 2);
+        assert!(jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(jobs.iter().all(|j| j.arrival >= 0.0));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed_and_different_otherwise() {
+        let spec = WorkloadSpec::icpp_default().with_num_jobs(50);
+        let a = generate(&spec, &cluster(), 7);
+        let b = generate(&spec, &cluster(), 7);
+        let c = generate(&spec, &cluster(), 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn deadlines_always_allow_a_feasible_best_case() {
+        let spec = WorkloadSpec::icpp_default().with_num_jobs(300).with_slack(1.2, 3.0);
+        let cl = cluster();
+        let jobs = generate(&spec, &cl, 3);
+        for j in &jobs {
+            let best_speed = cl.best_speed_factor(j.class);
+            let best_case = j.service_time(best_speed, j.max_parallelism);
+            assert!(
+                j.relative_deadline() >= best_case * 1.19,
+                "deadline tighter than slack_min allows"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_load_compresses_arrivals() {
+        let low = generate(
+            &WorkloadSpec::icpp_default().with_num_jobs(400).with_load(0.4),
+            &cluster(),
+            5,
+        );
+        let high = generate(
+            &WorkloadSpec::icpp_default().with_num_jobs(400).with_load(1.2),
+            &cluster(),
+            5,
+        );
+        let span_low = low.last().unwrap().arrival;
+        let span_high = high.last().unwrap().arrival;
+        assert!(
+            span_high < span_low,
+            "load 1.2 should produce a shorter trace ({span_high} vs {span_low})"
+        );
+    }
+
+    #[test]
+    fn class_mix_roughly_matches_weights() {
+        let spec = WorkloadSpec::icpp_default().with_num_jobs(4000);
+        let jobs = generate(&spec, &cluster(), 11);
+        let batch = jobs.iter().filter(|j| j.class == JobClass::Batch).count() as f64
+            / jobs.len() as f64;
+        assert!((batch - 0.4).abs() < 0.05, "batch fraction = {batch}");
+    }
+
+    #[test]
+    fn rigid_spec_produces_rigid_jobs() {
+        let spec = WorkloadSpec::icpp_default().with_num_jobs(100).all_rigid();
+        let jobs = generate(&spec, &cluster(), 13);
+        assert!(jobs.iter().all(|j| !j.malleable));
+    }
+
+    #[test]
+    fn bursty_arrivals_have_higher_variance_of_gaps() {
+        let n = 2000;
+        let poisson = generate(
+            &WorkloadSpec::icpp_default().with_num_jobs(n),
+            &cluster(),
+            17,
+        );
+        let bursty = generate(
+            &WorkloadSpec::icpp_default()
+                .with_num_jobs(n)
+                .with_arrivals(ArrivalProcess::Bursty {
+                    burst_factor: 6.0,
+                    burst_period: 50.0,
+                }),
+            &cluster(),
+            17,
+        );
+        let cv = |jobs: &[Job]| {
+            let gaps: Vec<f64> = jobs.windows(2).map(|w| w[1].arrival - w[0].arrival).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+            var.sqrt() / mean
+        };
+        assert!(cv(&bursty) > cv(&poisson));
+    }
+}

@@ -1,0 +1,35 @@
+//! # tcrm-workload — synthetic workload generation for time-critical clusters
+//!
+//! The original paper evaluates on cluster traces we do not have; this crate
+//! synthesises statistically equivalent workloads: Poisson (or bursty)
+//! arrivals, heavy-tailed job sizes, class mixes with heterogeneous resource
+//! demands and GPU affinity, elastic parallelism ranges, and deadlines drawn
+//! from a slack-factor distribution relative to each job's best-case service
+//! time.
+//!
+//! The entry point is [`WorkloadSpec`] (what the workload looks like) plus
+//! [`generate`] (turn a spec, a cluster and a seed into a concrete job list).
+//! Load sweeps and trace serialisation live in [`sweep`] and [`trace`].
+//!
+//! ```
+//! use tcrm_sim::ClusterSpec;
+//! use tcrm_workload::{generate, WorkloadSpec};
+//!
+//! let cluster = ClusterSpec::icpp_default();
+//! let spec = WorkloadSpec::icpp_default().with_num_jobs(50).with_load(0.8);
+//! let jobs = generate(&spec, &cluster, 42);
+//! assert_eq!(jobs.len(), 50);
+//! assert!(jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+//! ```
+
+pub mod distributions;
+pub mod generator;
+pub mod spec;
+pub mod sweep;
+pub mod trace;
+
+pub use distributions::{BoundedPareto, Exponential, LogNormal, WeightedChoice};
+pub use generator::generate;
+pub use spec::{ArrivalProcess, ClassTemplate, DeadlineSpec, ElasticitySpec, WorkloadSpec};
+pub use sweep::{load_sweep, slack_sweep};
+pub use trace::Trace;

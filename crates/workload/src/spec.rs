@@ -1,0 +1,380 @@
+//! Workload specifications: the knobs that define a synthetic trace.
+
+use serde::{Deserialize, Serialize};
+use tcrm_sim::{JobClass, ResourceVector, SpeedupModel};
+
+/// How job arrivals are spaced in time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Poisson process: i.i.d. exponential inter-arrival times.
+    Poisson,
+    /// A two-state Markov-modulated Poisson process: the arrival rate
+    /// alternates between a calm rate and `burst_factor ×` that rate, with
+    /// mean sojourn `burst_period` seconds in each state. Models the bursty
+    /// arrivals time-critical systems see in practice.
+    Bursty {
+        /// Multiplier applied to the base rate while in the bursty state.
+        burst_factor: f64,
+        /// Mean time spent in each state, in seconds.
+        burst_period: f64,
+    },
+}
+
+/// Per-job-class template: size distribution, per-unit demand, elasticity
+/// range and value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassTemplate {
+    /// Which job class this template describes.
+    pub class: JobClass,
+    /// Probability weight of this class in the mix.
+    pub weight: f64,
+    /// Mean total work (work units).
+    pub work_mean: f64,
+    /// Coefficient of variation of the work distribution (log-normal).
+    pub work_cv: f64,
+    /// Resource demand of one parallel unit.
+    pub demand_per_unit: ResourceVector,
+    /// Elasticity of the class.
+    pub elasticity: ElasticitySpec,
+    /// Speedup model of the class.
+    pub speedup: SpeedupModel,
+    /// Utility earned when a job of this class meets its deadline.
+    pub utility_value: f64,
+}
+
+/// Elasticity (malleability) parameters of a job class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ElasticitySpec {
+    /// Inclusive range the minimum parallelism is drawn from (uniform).
+    pub min_parallelism: (u32, u32),
+    /// Inclusive range the maximum parallelism is drawn from (uniform);
+    /// clamped to be at least the drawn minimum.
+    pub max_parallelism: (u32, u32),
+    /// Probability that a job of this class is malleable at all. Rigid jobs
+    /// run at their minimum parallelism forever.
+    pub malleable_probability: f64,
+}
+
+impl ElasticitySpec {
+    /// A rigid spec: parallelism fixed at `p`.
+    pub fn rigid(p: u32) -> Self {
+        ElasticitySpec {
+            min_parallelism: (p, p),
+            max_parallelism: (p, p),
+            malleable_probability: 0.0,
+        }
+    }
+}
+
+/// How deadlines are assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeadlineSpec {
+    /// Deadline = arrival + slack × best-case service time, with slack drawn
+    /// uniformly from `[slack_min, slack_max]`.
+    pub slack_min: f64,
+    /// Upper bound of the slack factor.
+    pub slack_max: f64,
+    /// Fraction of a job's relative deadline over which utility decays to
+    /// zero after a miss (0 ⇒ hard deadlines).
+    pub grace_fraction: f64,
+}
+
+impl DeadlineSpec {
+    /// Deadlines with a fixed slack factor.
+    pub fn fixed(slack: f64) -> Self {
+        DeadlineSpec {
+            slack_min: slack,
+            slack_max: slack,
+            grace_fraction: 0.5,
+        }
+    }
+}
+
+impl Default for DeadlineSpec {
+    fn default() -> Self {
+        DeadlineSpec {
+            slack_min: 1.5,
+            slack_max: 4.0,
+            grace_fraction: 0.5,
+        }
+    }
+}
+
+/// The complete description of a synthetic workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of jobs to generate.
+    pub num_jobs: usize,
+    /// Offered load as a fraction of the cluster's aggregate work capacity
+    /// (1.0 ≈ the cluster is busy all the time if scheduling were perfect).
+    pub load: f64,
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Per-class templates; weights need not sum to one.
+    pub classes: Vec<ClassTemplate>,
+    /// Deadline assignment.
+    pub deadlines: DeadlineSpec,
+}
+
+impl WorkloadSpec {
+    /// The default mix used throughout the reconstructed evaluation
+    /// (Table 1): 40% batch, 30% stream, 15% ML training, 15% ML inference.
+    pub fn icpp_default() -> Self {
+        WorkloadSpec {
+            num_jobs: 1000,
+            load: 0.9,
+            arrivals: ArrivalProcess::Poisson,
+            classes: vec![
+                ClassTemplate {
+                    class: JobClass::Batch,
+                    weight: 0.40,
+                    work_mean: 120.0,
+                    work_cv: 1.2,
+                    demand_per_unit: ResourceVector::of(2.0, 6.0, 0.0, 0.5),
+                    elasticity: ElasticitySpec {
+                        min_parallelism: (1, 2),
+                        max_parallelism: (4, 12),
+                        malleable_probability: 0.9,
+                    },
+                    speedup: SpeedupModel::Amdahl {
+                        serial_fraction: 0.05,
+                    },
+                    utility_value: 1.0,
+                },
+                ClassTemplate {
+                    class: JobClass::Stream,
+                    weight: 0.30,
+                    work_mean: 40.0,
+                    work_cv: 0.8,
+                    demand_per_unit: ResourceVector::of(1.0, 4.0, 0.0, 1.0),
+                    elasticity: ElasticitySpec {
+                        min_parallelism: (1, 1),
+                        max_parallelism: (2, 6),
+                        malleable_probability: 0.8,
+                    },
+                    speedup: SpeedupModel::Power { alpha: 0.8 },
+                    utility_value: 1.5,
+                },
+                ClassTemplate {
+                    class: JobClass::MlTraining,
+                    weight: 0.15,
+                    work_mean: 400.0,
+                    work_cv: 1.0,
+                    demand_per_unit: ResourceVector::of(4.0, 16.0, 0.5, 1.0),
+                    elasticity: ElasticitySpec {
+                        min_parallelism: (1, 2),
+                        max_parallelism: (2, 8),
+                        malleable_probability: 0.9,
+                    },
+                    speedup: SpeedupModel::Amdahl {
+                        serial_fraction: 0.1,
+                    },
+                    utility_value: 2.0,
+                },
+                ClassTemplate {
+                    class: JobClass::MlInference,
+                    weight: 0.15,
+                    work_mean: 25.0,
+                    work_cv: 0.6,
+                    demand_per_unit: ResourceVector::of(2.0, 8.0, 0.25, 0.5),
+                    elasticity: ElasticitySpec {
+                        min_parallelism: (1, 1),
+                        max_parallelism: (1, 4),
+                        malleable_probability: 0.7,
+                    },
+                    speedup: SpeedupModel::Power { alpha: 0.7 },
+                    utility_value: 2.5,
+                },
+            ],
+            deadlines: DeadlineSpec::default(),
+        }
+    }
+
+    /// A tiny single-class workload used by unit tests and the quickstart
+    /// example.
+    pub fn tiny() -> Self {
+        WorkloadSpec {
+            num_jobs: 20,
+            load: 0.6,
+            arrivals: ArrivalProcess::Poisson,
+            classes: vec![ClassTemplate {
+                class: JobClass::Batch,
+                weight: 1.0,
+                work_mean: 30.0,
+                work_cv: 0.5,
+                demand_per_unit: ResourceVector::of(2.0, 4.0, 0.0, 0.5),
+                elasticity: ElasticitySpec {
+                    min_parallelism: (1, 1),
+                    max_parallelism: (2, 4),
+                    malleable_probability: 1.0,
+                },
+                speedup: SpeedupModel::Amdahl {
+                    serial_fraction: 0.05,
+                },
+                utility_value: 1.0,
+            }],
+            deadlines: DeadlineSpec::default(),
+        }
+    }
+
+    /// Set the number of jobs.
+    pub fn with_num_jobs(mut self, n: usize) -> Self {
+        self.num_jobs = n;
+        self
+    }
+
+    /// Set the offered load.
+    pub fn with_load(mut self, load: f64) -> Self {
+        self.load = load;
+        self
+    }
+
+    /// Set the deadline slack range.
+    pub fn with_slack(mut self, min: f64, max: f64) -> Self {
+        self.deadlines.slack_min = min;
+        self.deadlines.slack_max = max;
+        self
+    }
+
+    /// Set the arrival process.
+    pub fn with_arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Force every job to be rigid at its minimum parallelism (the rigid
+    /// ablation workload).
+    pub fn all_rigid(mut self) -> Self {
+        for c in &mut self.classes {
+            c.elasticity.malleable_probability = 0.0;
+        }
+        self
+    }
+
+    /// The class mix as `(class, probability)` pairs (normalised).
+    pub fn class_mix(&self) -> Vec<(JobClass, f64)> {
+        let total: f64 = self.classes.iter().map(|c| c.weight).sum();
+        self.classes
+            .iter()
+            .map(|c| (c.class, c.weight / total))
+            .collect()
+    }
+
+    /// Mean work per job under the class mix.
+    pub fn mean_work(&self) -> f64 {
+        let total: f64 = self.classes.iter().map(|c| c.weight).sum();
+        self.classes
+            .iter()
+            .map(|c| c.weight / total * c.work_mean)
+            .sum()
+    }
+
+    /// Structural validation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_jobs == 0 {
+            return Err("num_jobs must be positive".into());
+        }
+        if !(self.load > 0.0) {
+            return Err("load must be positive".into());
+        }
+        if self.classes.is_empty() {
+            return Err("at least one class template is required".into());
+        }
+        if self.classes.iter().map(|c| c.weight).sum::<f64>() <= 0.0 {
+            return Err("class weights must not all be zero".into());
+        }
+        if self.deadlines.slack_min > self.deadlines.slack_max {
+            return Err("slack_min must be <= slack_max".into());
+        }
+        if self.deadlines.slack_min <= 0.0 {
+            return Err("slack_min must be positive".into());
+        }
+        for c in &self.classes {
+            if c.work_mean <= 0.0 {
+                return Err(format!("{}: work_mean must be positive", c.class));
+            }
+            if c.elasticity.min_parallelism.0 == 0 {
+                return Err(format!("{}: min_parallelism must be >= 1", c.class));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec::icpp_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_valid() {
+        assert!(WorkloadSpec::icpp_default().validate().is_ok());
+        assert!(WorkloadSpec::tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn class_mix_is_normalised() {
+        let spec = WorkloadSpec::icpp_default();
+        let mix = spec.class_mix();
+        let total: f64 = mix.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(mix.len(), 4);
+    }
+
+    #[test]
+    fn mean_work_is_weighted_average() {
+        let spec = WorkloadSpec::tiny();
+        assert!((spec.mean_work() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builders_mutate_fields() {
+        let spec = WorkloadSpec::icpp_default()
+            .with_num_jobs(5)
+            .with_load(1.2)
+            .with_slack(2.0, 2.0)
+            .with_arrivals(ArrivalProcess::Bursty {
+                burst_factor: 4.0,
+                burst_period: 60.0,
+            });
+        assert_eq!(spec.num_jobs, 5);
+        assert_eq!(spec.load, 1.2);
+        assert_eq!(spec.deadlines.slack_min, 2.0);
+        assert!(matches!(spec.arrivals, ArrivalProcess::Bursty { .. }));
+    }
+
+    #[test]
+    fn all_rigid_zeroes_malleability() {
+        let spec = WorkloadSpec::icpp_default().all_rigid();
+        assert!(spec
+            .classes
+            .iter()
+            .all(|c| c.elasticity.malleable_probability == 0.0));
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        assert!(WorkloadSpec::icpp_default().with_num_jobs(0).validate().is_err());
+        assert!(WorkloadSpec::icpp_default().with_load(0.0).validate().is_err());
+        assert!(WorkloadSpec::icpp_default()
+            .with_slack(3.0, 1.0)
+            .validate()
+            .is_err());
+        let mut empty = WorkloadSpec::icpp_default();
+        empty.classes.clear();
+        assert!(empty.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let spec = WorkloadSpec::icpp_default();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

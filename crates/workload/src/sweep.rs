@@ -1,0 +1,66 @@
+//! Parameter sweeps: the figure experiments vary offered load and deadline
+//! tightness; these helpers produce the corresponding spec families.
+
+use crate::spec::WorkloadSpec;
+
+/// Produce one spec per load point (Figures 3, 4 and 6 sweep offered load).
+pub fn load_sweep(base: &WorkloadSpec, loads: &[f64]) -> Vec<(f64, WorkloadSpec)> {
+    loads
+        .iter()
+        .map(|&l| (l, base.clone().with_load(l)))
+        .collect()
+}
+
+/// Produce one spec per deadline-slack point (Figure 8 sweeps deadline
+/// tightness). Each point uses a fixed slack factor so the tightness is
+/// unambiguous.
+pub fn slack_sweep(base: &WorkloadSpec, slacks: &[f64]) -> Vec<(f64, WorkloadSpec)> {
+    slacks
+        .iter()
+        .map(|&s| (s, base.clone().with_slack(s, s)))
+        .collect()
+}
+
+/// The default load grid used by the evaluation figures.
+pub fn default_load_grid() -> Vec<f64> {
+    vec![0.3, 0.5, 0.7, 0.9, 1.0, 1.1, 1.3]
+}
+
+/// The default deadline-slack grid used by the sensitivity figure.
+pub fn default_slack_grid() -> Vec<f64> {
+    vec![1.2, 1.6, 2.0, 2.5, 3.0, 4.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_sweep_sets_each_load() {
+        let base = WorkloadSpec::tiny();
+        let sweep = load_sweep(&base, &[0.5, 1.0]);
+        assert_eq!(sweep.len(), 2);
+        assert_eq!(sweep[0].1.load, 0.5);
+        assert_eq!(sweep[1].1.load, 1.0);
+        // The base is untouched.
+        assert_eq!(base.load, 0.6);
+    }
+
+    #[test]
+    fn slack_sweep_pins_both_bounds() {
+        let base = WorkloadSpec::tiny();
+        let sweep = slack_sweep(&base, &[2.0]);
+        assert_eq!(sweep[0].1.deadlines.slack_min, 2.0);
+        assert_eq!(sweep[0].1.deadlines.slack_max, 2.0);
+    }
+
+    #[test]
+    fn default_grids_are_sorted_and_nonempty() {
+        let loads = default_load_grid();
+        assert!(!loads.is_empty());
+        assert!(loads.windows(2).all(|w| w[0] < w[1]));
+        let slacks = default_slack_grid();
+        assert!(!slacks.is_empty());
+        assert!(slacks.windows(2).all(|w| w[0] < w[1]));
+    }
+}

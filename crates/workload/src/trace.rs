@@ -1,0 +1,100 @@
+//! Trace serialisation: save a generated workload to JSON and load it back,
+//! so experiments can be re-run on exactly the same job sequence.
+
+use crate::spec::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+use tcrm_sim::Job;
+
+/// A persisted workload: the generating spec (for provenance) plus the
+/// concrete job list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// The spec the jobs were generated from.
+    pub spec: WorkloadSpec,
+    /// The seed used.
+    pub seed: u64,
+    /// The concrete jobs.
+    pub jobs: Vec<Job>,
+}
+
+impl Trace {
+    /// Bundle a generated workload.
+    pub fn new(spec: WorkloadSpec, seed: u64, jobs: Vec<Job>) -> Self {
+        Trace { spec, seed, jobs }
+    }
+
+    /// Serialise to a JSON string.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Parse from a JSON string.
+    pub fn from_json(json: &str) -> serde_json::Result<Trace> {
+        serde_json::from_str(json)
+    }
+
+    /// Write to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let json = self
+            .to_json()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        fs::write(path, json)
+    }
+
+    /// Read from a file.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Trace> {
+        let json = fs::read_to_string(path)?;
+        Trace::from_json(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Number of jobs in the trace.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True if the trace has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+    use tcrm_sim::ClusterSpec;
+
+    #[test]
+    fn json_roundtrip_preserves_jobs() {
+        let spec = WorkloadSpec::tiny();
+        let jobs = generate(&spec, &ClusterSpec::tiny(), 3);
+        let trace = Trace::new(spec, 3, jobs);
+        let json = trace.to_json().unwrap();
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(trace, back);
+        assert_eq!(back.len(), 20);
+        assert!(!back.is_empty());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let spec = WorkloadSpec::tiny().with_num_jobs(5);
+        let jobs = generate(&spec, &ClusterSpec::tiny(), 9);
+        let trace = Trace::new(spec, 9, jobs);
+        let dir = std::env::temp_dir().join("tcrm-workload-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        trace.save(&path).unwrap();
+        let back = Trace::load(&path).unwrap();
+        assert_eq!(trace, back);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(Trace::from_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the workload generator: structural validity,
+//! determinism, and the statistical knobs (load, slack, class mix).
+
+use proptest::prelude::*;
+use tcrm_sim::ClusterSpec;
+use tcrm_workload::{generate, ArrivalProcess, Trace, WorkloadSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_jobs_are_valid_sorted_and_dense(
+        seed in 0u64..10_000,
+        num_jobs in 1usize..150,
+        load in 0.1f64..1.5,
+    ) {
+        let cluster = ClusterSpec::icpp_default();
+        let spec = WorkloadSpec::icpp_default().with_num_jobs(num_jobs).with_load(load);
+        let jobs = generate(&spec, &cluster, seed);
+        prop_assert_eq!(jobs.len(), num_jobs);
+        for (i, job) in jobs.iter().enumerate() {
+            prop_assert!(job.validate().is_ok());
+            prop_assert_eq!(job.id.0, i as u64);
+            prop_assert!(job.arrival >= 0.0);
+            prop_assert!(job.deadline > job.arrival);
+            prop_assert!(job.total_work >= 1.0);
+        }
+        prop_assert!(jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_spec_and_seed(seed in 0u64..1000) {
+        let cluster = ClusterSpec::icpp_default();
+        let spec = WorkloadSpec::icpp_default().with_num_jobs(40);
+        prop_assert_eq!(generate(&spec, &cluster, seed), generate(&spec, &cluster, seed));
+    }
+
+    #[test]
+    fn deadlines_respect_the_slack_floor(
+        seed in 0u64..500,
+        slack_min in 1.1f64..2.0,
+        extra in 0.0f64..2.0,
+    ) {
+        let cluster = ClusterSpec::icpp_default();
+        let spec = WorkloadSpec::icpp_default()
+            .with_num_jobs(60)
+            .with_slack(slack_min, slack_min + extra);
+        let jobs = generate(&spec, &cluster, seed);
+        for job in &jobs {
+            let best_speed = cluster.best_speed_factor(job.class);
+            let best_case = job.service_time(best_speed, job.max_parallelism);
+            prop_assert!(
+                job.relative_deadline() >= best_case * (slack_min - 1e-6),
+                "deadline tighter than the slack floor"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_load_never_stretches_the_arrival_span(seed in 0u64..200) {
+        let cluster = ClusterSpec::icpp_default();
+        let lo = generate(
+            &WorkloadSpec::icpp_default().with_num_jobs(200).with_load(0.4),
+            &cluster,
+            seed,
+        );
+        let hi = generate(
+            &WorkloadSpec::icpp_default().with_num_jobs(200).with_load(1.2),
+            &cluster,
+            seed,
+        );
+        prop_assert!(hi.last().unwrap().arrival <= lo.last().unwrap().arrival);
+    }
+
+    #[test]
+    fn rigid_spec_produces_only_rigid_jobs(seed in 0u64..200) {
+        let cluster = ClusterSpec::icpp_default();
+        let spec = WorkloadSpec::icpp_default().with_num_jobs(50).all_rigid();
+        prop_assert!(generate(&spec, &cluster, seed).iter().all(|j| !j.malleable));
+    }
+
+    #[test]
+    fn traces_roundtrip_through_json(seed in 0u64..100, n in 1usize..30) {
+        let cluster = ClusterSpec::tiny();
+        let spec = WorkloadSpec::tiny().with_num_jobs(n);
+        let jobs = generate(&spec, &cluster, seed);
+        let trace = Trace::new(spec, seed, jobs);
+        let back = Trace::from_json(&trace.to_json().unwrap()).unwrap();
+        prop_assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn bursty_arrivals_preserve_count_and_order(seed in 0u64..200, factor in 1.5f64..8.0) {
+        let cluster = ClusterSpec::icpp_default();
+        let spec = WorkloadSpec::icpp_default()
+            .with_num_jobs(120)
+            .with_arrivals(ArrivalProcess::Bursty {
+                burst_factor: factor,
+                burst_period: 60.0,
+            });
+        let jobs = generate(&spec, &cluster, seed);
+        prop_assert_eq!(jobs.len(), 120);
+        prop_assert!(jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+}

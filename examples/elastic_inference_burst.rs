@@ -1,0 +1,65 @@
+//! Domain scenario: a latency-critical ML-inference service sharing the
+//! cluster with background batch analytics, under bursty arrivals.
+//!
+//! The inference jobs are small, elastic and carry tight deadlines; the batch
+//! jobs are large and loosely constrained. The scenario demonstrates why
+//! elasticity-compatible scheduling matters: the elastic heuristic (and the
+//! DRL agent's action space) can shrink background jobs during bursts and
+//! grow urgent jobs to catch their deadlines, which a rigid scheduler cannot.
+//!
+//! ```text
+//! cargo run --release --example elastic_inference_burst
+//! ```
+
+use tcrm::baselines::{EdfScheduler, GreedyElasticScheduler, RigidAdapter};
+use tcrm::sim::{ClusterSpec, Scheduler, SimConfig, Simulator};
+use tcrm::workload::{generate, ArrivalProcess, WorkloadSpec};
+
+fn scenario_workload() -> WorkloadSpec {
+    let mut spec = WorkloadSpec::icpp_default();
+    // Emphasise the two classes the scenario is about: inference (45%) and
+    // batch (40%), plus some stream traffic.
+    for class in &mut spec.classes {
+        class.weight = match class.class {
+            tcrm::sim::JobClass::MlInference => 0.45,
+            tcrm::sim::JobClass::Batch => 0.40,
+            tcrm::sim::JobClass::Stream => 0.15,
+            tcrm::sim::JobClass::MlTraining => 0.0,
+        };
+    }
+    spec.with_num_jobs(400)
+        .with_load(1.0)
+        .with_slack(1.3, 2.5)
+        .with_arrivals(ArrivalProcess::Bursty {
+            burst_factor: 5.0,
+            burst_period: 90.0,
+        })
+}
+
+fn run(name: &str, scheduler: &mut dyn Scheduler) {
+    let cluster = ClusterSpec::icpp_default();
+    let jobs = generate(&scenario_workload(), &cluster, 7);
+    let result = Simulator::new(cluster, SimConfig::default()).run(jobs, scheduler);
+    let s = &result.summary;
+    println!(
+        "{name:<24} miss {:>5.1}%  (ml-infer {:>5.1}%, batch {:>5.1}%)  p95 slowdown {:>6.2}  scale ops {:>4}",
+        s.miss_rate * 100.0,
+        s.per_class_miss_rate[tcrm::sim::JobClass::MlInference.index()] * 100.0,
+        s.per_class_miss_rate[tcrm::sim::JobClass::Batch.index()] * 100.0,
+        s.p95_slowdown,
+        s.scale_events
+    );
+}
+
+fn main() {
+    println!("Bursty ML-inference + batch analytics, offered load 1.0, tight deadlines\n");
+    run("edf (rigid starts)", &mut EdfScheduler::new());
+    run("greedy-elastic", &mut GreedyElasticScheduler::new());
+    run(
+        "greedy-elastic-rigid",
+        &mut RigidAdapter::new(GreedyElasticScheduler::new()),
+    );
+    println!(
+        "\nExpected shape: the elastic scheduler misses markedly fewer inference deadlines\nthan its rigid twin, at the cost of extra re-scaling operations."
+    );
+}

@@ -1,0 +1,59 @@
+//! Domain scenario: heterogeneity-aware placement of an ML-training-heavy
+//! workload.
+//!
+//! GPU nodes run ML training 6× faster than CPU nodes in the default cluster.
+//! A scheduler that places by speed (EDF's best-class rule) meets far more
+//! deadlines than one that only balances load and ignores the speed profile
+//! (least-loaded). The same contrast is what the heterogeneity ablation
+//! (Figure 7) measures for the DRL agent's class-aware vs class-blind state.
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_placement
+//! ```
+
+use tcrm::baselines::{EdfScheduler, LeastLoadedScheduler, TetrisScheduler};
+use tcrm::sim::{ClusterSpec, JobClass, Scheduler, SimConfig, Simulator};
+use tcrm::workload::{generate, WorkloadSpec};
+
+fn ml_heavy_workload() -> WorkloadSpec {
+    let mut spec = WorkloadSpec::icpp_default();
+    for class in &mut spec.classes {
+        class.weight = match class.class {
+            JobClass::MlTraining => 0.5,
+            JobClass::MlInference => 0.2,
+            JobClass::Batch => 0.2,
+            JobClass::Stream => 0.1,
+        };
+    }
+    spec.with_num_jobs(300).with_load(0.9).with_slack(1.5, 3.0)
+}
+
+fn run(name: &str, scheduler: &mut dyn Scheduler, cluster: &ClusterSpec) {
+    let jobs = generate(&ml_heavy_workload(), cluster, 11);
+    let result = Simulator::new(cluster.clone(), SimConfig::default()).run(jobs, scheduler);
+    let s = &result.summary;
+    println!(
+        "{name:<16} miss {:>5.1}%  (ml-train {:>5.1}%)  mean wait {:>6.1}s  utilisation {:>4.2}",
+        s.miss_rate * 100.0,
+        s.per_class_miss_rate[JobClass::MlTraining.index()] * 100.0,
+        s.mean_wait,
+        s.mean_utilization
+    );
+}
+
+fn main() {
+    let hetero = ClusterSpec::icpp_default();
+    println!("== Heterogeneous cluster (GPU nodes accelerate ML 6x) ==");
+    run("edf", &mut EdfScheduler::new(), &hetero);
+    run("tetris", &mut TetrisScheduler::new(), &hetero);
+    run("least-loaded", &mut LeastLoadedScheduler::new(), &hetero);
+
+    let homog = hetero.homogenized();
+    println!("\n== Homogenised cluster (same aggregate capacity, no speed-ups) ==");
+    run("edf", &mut EdfScheduler::new(), &homog);
+    run("least-loaded", &mut LeastLoadedScheduler::new(), &homog);
+
+    println!(
+        "\nExpected shape: on the heterogeneous cluster the speed-aware placement (EDF)\nbeats load balancing; on the homogenised cluster the gap collapses."
+    );
+}

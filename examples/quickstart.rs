@@ -1,0 +1,55 @@
+//! Quickstart: simulate a small time-critical workload on the default
+//! heterogeneous cluster under three schedulers (FIFO, EDF, a fresh DRL
+//! agent) and print the headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tcrm::baselines::{EdfScheduler, FifoScheduler};
+use tcrm::core::{ActionSpace, AgentConfig, DrlScheduler, StateEncoder};
+use tcrm::rl::CategoricalPolicy;
+use tcrm::sim::{ClusterSpec, Scheduler, SimConfig, Simulator, Summary};
+use tcrm::workload::{generate, WorkloadSpec};
+
+fn run(name: &str, scheduler: &mut dyn Scheduler, cluster: &ClusterSpec) -> Summary {
+    let workload = WorkloadSpec::icpp_default().with_num_jobs(200).with_load(0.9);
+    let jobs = generate(&workload, cluster, 42);
+    let result = Simulator::new(cluster.clone(), SimConfig::default()).run(jobs, scheduler);
+    println!(
+        "{name:<12} miss rate {:>5.1}%   mean slowdown {:>5.2}   utility ratio {:>4.2}   utilisation {:>4.2}",
+        result.summary.miss_rate * 100.0,
+        result.summary.mean_slowdown,
+        result.summary.utility_ratio,
+        result.summary.mean_utilization
+    );
+    result.summary
+}
+
+fn main() {
+    let cluster = ClusterSpec::icpp_default();
+    println!(
+        "Cluster: {} nodes in {} classes; 200 jobs at offered load 0.9\n",
+        cluster.num_nodes(),
+        cluster.num_classes()
+    );
+
+    run("fifo", &mut FifoScheduler::new(), &cluster);
+    run("edf", &mut EdfScheduler::new(), &cluster);
+
+    // An untrained DRL agent (random-ish policy) — see the
+    // `train_and_evaluate` example for actual training.
+    let config = AgentConfig::default();
+    let encoder = StateEncoder::new(&config, cluster.num_classes());
+    let actions = ActionSpace::new(&config, cluster.num_classes());
+    let policy = CategoricalPolicy::new(
+        encoder.observation_dim(),
+        &config.policy_hidden,
+        actions.action_count(),
+        0,
+    );
+    let mut agent = DrlScheduler::new(policy, config, cluster.num_classes()).with_name("drl-fresh");
+    run("drl (fresh)", &mut agent, &cluster);
+
+    println!("\nTrain a real agent with: cargo run --release --example train_and_evaluate");
+}

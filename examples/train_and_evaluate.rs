@@ -1,0 +1,72 @@
+//! Train the DRL scheduler on the default heterogeneous cluster, then
+//! evaluate it head-to-head against the strongest heuristics on workloads it
+//! has never seen, and save a checkpoint.
+//!
+//! ```text
+//! cargo run --release --example train_and_evaluate            # moderate run (~minutes)
+//! cargo run --release --example train_and_evaluate -- --smoke # seconds, for CI
+//! ```
+
+use tcrm::baselines::{EdfScheduler, GreedyElasticScheduler};
+use tcrm::core::{train_agent, TrainSetup};
+use tcrm::sim::{Scheduler, SimConfig, Simulator, Summary};
+use tcrm::workload::generate;
+
+fn evaluate(name: &str, scheduler: &mut dyn Scheduler, setup: &TrainSetup, seed: u64) -> Summary {
+    let workload = setup.workload.clone().with_num_jobs(300).with_load(1.0);
+    let jobs = generate(&workload, &setup.cluster, seed);
+    let result = Simulator::new(setup.cluster.clone(), SimConfig::default()).run(jobs, scheduler);
+    println!(
+        "  {name:<16} miss {:>5.1}%   slowdown {:>5.2}   utility {:>4.2}",
+        result.summary.miss_rate * 100.0,
+        result.summary.mean_slowdown,
+        result.summary.utility_ratio
+    );
+    result.summary
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut setup = TrainSetup::icpp_default();
+    if smoke {
+        setup.train.iterations = 10;
+        setup.train.episodes_per_iteration = 2;
+        setup.train.jobs_per_episode = 15;
+    } else {
+        setup.train.iterations = 200;
+        setup.train.episodes_per_iteration = 6;
+        setup.train.jobs_per_episode = 40;
+    }
+
+    println!(
+        "Training the DRL agent ({} iterations × {} episodes × {} jobs)…",
+        setup.train.iterations, setup.train.episodes_per_iteration, setup.train.jobs_per_episode
+    );
+    let outcome = train_agent(&setup);
+    let first = outcome
+        .history
+        .iterations
+        .first()
+        .map(|s| s.mean_return)
+        .unwrap_or(0.0);
+    println!(
+        "Training done. Episode return: first iteration {:.2}, last-5 mean {:.2}, best {:.2}\n",
+        first,
+        outcome.history.final_mean_return(5),
+        outcome.history.best_mean_return()
+    );
+
+    let ckpt = std::env::temp_dir().join("tcrm-quickstart-agent.json");
+    if outcome.agent.save(&ckpt).is_ok() {
+        println!("Checkpoint written to {}", ckpt.display());
+    }
+
+    println!("\nEvaluation on unseen workloads (load 1.0, 300 jobs):");
+    let mut agent = outcome.agent;
+    for seed in [1000u64, 1001, 1002] {
+        println!("seed {seed}:");
+        evaluate("drl (trained)", &mut agent, &setup, seed);
+        evaluate("edf", &mut EdfScheduler::new(), &setup, seed);
+        evaluate("greedy-elastic", &mut GreedyElasticScheduler::new(), &setup, seed);
+    }
+}

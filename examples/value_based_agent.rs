@@ -1,0 +1,99 @@
+//! Value-based control ablation: train a DQN agent (experience replay, target
+//! network, masked ε-greedy) directly on the scheduling environment and watch
+//! its episode return improve over the random-policy level.
+//!
+//! The paper-style agent is a policy-gradient learner (see
+//! `train_and_evaluate`); this example demonstrates that the RL substrate is
+//! algorithm-agnostic — the same `SchedulingEnv` drives a Q-learning agent
+//! without any changes to the environment.
+//!
+//! ```text
+//! cargo run --release --example value_based_agent
+//! ```
+
+use tcrm::core::{AgentConfig, SchedulingEnv, WorkloadSource};
+use tcrm::rl::{DqnAgent, DqnConfig, Environment};
+use tcrm::sim::{ClusterSpec, SimConfig};
+use tcrm::workload::WorkloadSpec;
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+fn main() {
+    let cluster = ClusterSpec::icpp_default();
+    let agent_config = AgentConfig::default();
+    let workload = WorkloadSpec::icpp_default().with_load(0.9);
+
+    let mut env = SchedulingEnv::new(
+        cluster.clone(),
+        SimConfig::default(),
+        &agent_config,
+        WorkloadSource::Generated {
+            spec: workload,
+            jobs_per_episode: 25,
+        },
+    );
+    let obs_dim = env.observation_dim();
+    let action_count = env.action_count();
+    println!(
+        "Scheduling environment: {}-dimensional observations, {} discrete actions\n",
+        obs_dim, action_count
+    );
+
+    let dqn_config = DqnConfig {
+        buffer_capacity: 50_000,
+        batch_size: 64,
+        warmup: 512,
+        target_sync_interval: 250,
+        epsilon_decay_steps: 8_000,
+        learning_rate: 5e-4,
+        ..DqnConfig::default()
+    };
+    let mut agent = DqnAgent::new(obs_dim, action_count, &[128, 64], 17, dqn_config);
+
+    // Baseline: the greedy policy of the untrained Q-network.
+    let before: Vec<f64> = (0..5)
+        .map(|s| agent.run_episode(&mut env, 1_000 + s, false))
+        .collect();
+    println!(
+        "untrained greedy return over 5 evaluation episodes: {:.2}",
+        mean(&before)
+    );
+
+    // Train for a modest number of episodes (minutes-scale on a laptop).
+    let episodes = 60;
+    println!("training for {episodes} episodes …");
+    let returns = agent.train(&mut env, episodes, 42);
+    for chunk in returns.chunks(10).enumerate().map(|(i, c)| (i, mean(c))) {
+        println!(
+            "  episodes {:>3}–{:>3}: mean return {:>7.2}   ε = {:.2}   replay = {} transitions",
+            chunk.0 * 10,
+            chunk.0 * 10 + 9,
+            chunk.1,
+            agent.epsilon(),
+            agent.replay_len()
+        );
+    }
+
+    let after: Vec<f64> = (0..5)
+        .map(|s| agent.run_episode(&mut env, 1_000 + s, false))
+        .collect();
+    println!(
+        "\ntrained greedy return over the same 5 evaluation episodes: {:.2} (was {:.2})",
+        mean(&after),
+        mean(&before)
+    );
+    println!(
+        "gradient steps: {}   final exploration rate: {:.2}",
+        agent.updates(),
+        agent.epsilon()
+    );
+    println!(
+        "\nThe policy-gradient agent remains the headline learner of the reproduction; this\nexample shows the value-based ablation point the DeepRM/Decima lineage usually reports."
+    );
+}

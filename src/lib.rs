@@ -1,0 +1,7 @@
+//! Umbrella crate re-exporting the full TCRM public API.
+pub use tcrm_baselines as baselines;
+pub use tcrm_core as core;
+pub use tcrm_nn as nn;
+pub use tcrm_rl as rl;
+pub use tcrm_sim as sim;
+pub use tcrm_workload as workload;

@@ -1,0 +1,110 @@
+//! Integration tests of the full DRL pipeline: environment, training,
+//! checkpointing and head-to-head evaluation against the random baseline.
+
+use tcrm::baselines::RandomScheduler;
+use tcrm::core::{train_agent, LearnerKind, TrainSetup};
+use tcrm::sim::{SimConfig, Simulator};
+use tcrm::workload::generate;
+
+#[test]
+fn smoke_training_runs_and_reports_finite_statistics() {
+    let mut setup = TrainSetup::smoke();
+    setup.train.iterations = 6;
+    let outcome = train_agent(&setup);
+    assert_eq!(outcome.history.iterations.len(), 6);
+    for stats in &outcome.history.iterations {
+        assert!(stats.mean_return.is_finite());
+        assert!(stats.update.entropy >= 0.0);
+        assert!(stats.update.grad_norm.is_finite());
+        assert!(stats.mean_length > 0.0);
+    }
+}
+
+#[test]
+fn trained_agent_schedules_unseen_workloads_without_forfeiting_jobs() {
+    let mut setup = TrainSetup::smoke();
+    setup.train.iterations = 8;
+    setup.train.jobs_per_episode = 12;
+    let outcome = train_agent(&setup);
+    let mut agent = outcome.agent;
+    for seed in [500u64, 501] {
+        let jobs = generate(&setup.workload.clone().with_num_jobs(25), &setup.cluster, seed);
+        let result =
+            Simulator::new(setup.cluster.clone(), SimConfig::default()).run(jobs, &mut agent);
+        assert_eq!(result.summary.total_jobs, 25);
+        assert_eq!(result.summary.unfinished_jobs, 0, "agent forfeited jobs");
+    }
+}
+
+#[test]
+fn trained_agent_is_competitive_with_the_random_baseline() {
+    // A modest training budget on the small cluster: the agent should at
+    // least match random decisions on the training distribution (in utility
+    // ratio, averaged over seeds, with a small tolerance for noise).
+    let mut setup = TrainSetup::smoke();
+    setup.train.learner = LearnerKind::A2c;
+    setup.train.iterations = 25;
+    setup.train.episodes_per_iteration = 4;
+    setup.train.jobs_per_episode = 15;
+    let outcome = train_agent(&setup);
+    let mut agent = outcome.agent;
+
+    let mut drl_utility = 0.0;
+    let mut random_utility = 0.0;
+    let seeds = [900u64, 901, 902];
+    for &seed in &seeds {
+        let workload = setup.workload.clone().with_num_jobs(30);
+        let jobs = generate(&workload, &setup.cluster, seed);
+        let drl = Simulator::new(setup.cluster.clone(), SimConfig::default())
+            .run(jobs.clone(), &mut agent);
+        let mut random = RandomScheduler::new(seed);
+        let rnd =
+            Simulator::new(setup.cluster.clone(), SimConfig::default()).run(jobs, &mut random);
+        drl_utility += drl.summary.utility_ratio;
+        random_utility += rnd.summary.utility_ratio;
+    }
+    drl_utility /= seeds.len() as f64;
+    random_utility /= seeds.len() as f64;
+    assert!(
+        drl_utility >= random_utility - 0.10,
+        "trained agent (utility ratio {drl_utility:.3}) fell more than 0.10 below random ({random_utility:.3})"
+    );
+}
+
+#[test]
+fn checkpoints_round_trip_through_disk() {
+    let mut setup = TrainSetup::smoke();
+    setup.train.iterations = 3;
+    let outcome = train_agent(&setup);
+    let dir = std::env::temp_dir().join("tcrm-integration-ckpt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("agent.json");
+    outcome.agent.save(&path).unwrap();
+    let mut restored = tcrm::core::DrlScheduler::load(&path).unwrap();
+    let mut original = outcome.agent;
+
+    let jobs = generate(&setup.workload.clone().with_num_jobs(15), &setup.cluster, 77);
+    let a = Simulator::new(setup.cluster.clone(), SimConfig::default())
+        .run(jobs.clone(), &mut original);
+    let b = Simulator::new(setup.cluster.clone(), SimConfig::default()).run(jobs, &mut restored);
+    assert_eq!(a.summary, b.summary);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn reinforce_and_ppo_also_train_end_to_end() {
+    for learner in [LearnerKind::Reinforce, LearnerKind::Ppo] {
+        let mut setup = TrainSetup::smoke();
+        setup.train.learner = learner;
+        setup.train.iterations = 3;
+        setup.train.episodes_per_iteration = 2;
+        setup.train.jobs_per_episode = 8;
+        let outcome = train_agent(&setup);
+        assert_eq!(outcome.history.iterations.len(), 3);
+        assert!(outcome
+            .history
+            .iterations
+            .iter()
+            .all(|s| s.mean_return.is_finite()));
+    }
+}

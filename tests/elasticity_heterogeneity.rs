@@ -1,0 +1,124 @@
+//! Integration tests for the two title properties: elasticity-compatible
+//! allocation and heterogeneity-aware placement.
+
+use tcrm::baselines::{EdfScheduler, GreedyElasticScheduler, LeastLoadedScheduler, RigidAdapter};
+use tcrm::sim::{ClusterSpec, JobClass, Scheduler, SimConfig, Simulator, Summary};
+use tcrm::workload::{generate, WorkloadSpec};
+
+fn run(
+    scheduler: &mut dyn Scheduler,
+    cluster: &ClusterSpec,
+    workload: &WorkloadSpec,
+    seed: u64,
+) -> Summary {
+    let jobs = generate(workload, cluster, seed);
+    Simulator::new(cluster.clone(), SimConfig::default())
+        .run(jobs, scheduler)
+        .summary
+}
+
+/// A deadline-tight, highly elastic workload where parallelism beyond the
+/// minimum is required to meet deadlines.
+fn tight_elastic_workload() -> WorkloadSpec {
+    WorkloadSpec::icpp_default()
+        .with_num_jobs(150)
+        .with_load(0.9)
+        .with_slack(1.3, 2.0)
+}
+
+#[test]
+fn elastic_scheduling_beats_rigid_on_tight_deadlines() {
+    let cluster = ClusterSpec::icpp_default();
+    let workload = tight_elastic_workload();
+    let mut elastic_total = 0.0;
+    let mut rigid_total = 0.0;
+    for seed in [1u64, 2, 3] {
+        let elastic = run(&mut GreedyElasticScheduler::new(), &cluster, &workload, seed);
+        let rigid = run(
+            &mut RigidAdapter::new(GreedyElasticScheduler::new()),
+            &cluster,
+            &workload,
+            seed,
+        );
+        elastic_total += elastic.miss_rate;
+        rigid_total += rigid.miss_rate;
+        assert!(elastic.scale_events >= rigid.scale_events);
+    }
+    assert!(
+        elastic_total < rigid_total,
+        "elastic scheduling ({elastic_total:.3}) should miss fewer deadlines than rigid ({rigid_total:.3}) over 3 seeds"
+    );
+}
+
+#[test]
+fn elastic_jobs_run_at_higher_average_parallelism_when_deadlines_are_tight() {
+    let cluster = ClusterSpec::icpp_default();
+    let workload = tight_elastic_workload();
+    let jobs = generate(&workload, &cluster, 5);
+    let elastic = Simulator::new(cluster.clone(), SimConfig::default())
+        .run(jobs.clone(), &mut GreedyElasticScheduler::new());
+    let rigid = Simulator::new(cluster, SimConfig::default())
+        .run(jobs, &mut RigidAdapter::new(GreedyElasticScheduler::new()));
+    assert!(
+        elastic.summary.mean_parallelism > rigid.summary.mean_parallelism,
+        "elastic mean parallelism {} should exceed rigid {}",
+        elastic.summary.mean_parallelism,
+        rigid.summary.mean_parallelism
+    );
+}
+
+/// An ML-training heavy mix where GPU placement matters.
+fn ml_heavy_workload() -> WorkloadSpec {
+    let mut spec = WorkloadSpec::icpp_default();
+    for class in &mut spec.classes {
+        class.weight = match class.class {
+            JobClass::MlTraining => 0.5,
+            JobClass::MlInference => 0.2,
+            JobClass::Batch => 0.2,
+            JobClass::Stream => 0.1,
+        };
+    }
+    spec.with_num_jobs(120).with_load(0.8).with_slack(1.5, 3.0)
+}
+
+#[test]
+fn speed_aware_placement_beats_load_balancing_on_heterogeneous_cluster() {
+    let cluster = ClusterSpec::icpp_default();
+    let workload = ml_heavy_workload();
+    let mut edf_miss = 0.0;
+    let mut ll_miss = 0.0;
+    for seed in [1u64, 2, 3] {
+        edf_miss += run(&mut EdfScheduler::new(), &cluster, &workload, seed).miss_rate;
+        ll_miss += run(&mut LeastLoadedScheduler::new(), &cluster, &workload, seed).miss_rate;
+    }
+    assert!(
+        edf_miss < ll_miss,
+        "speed-aware EDF ({edf_miss:.3}) should miss fewer deadlines than least-loaded ({ll_miss:.3})"
+    );
+}
+
+#[test]
+fn heterogeneity_advantage_shrinks_on_homogenised_cluster() {
+    let hetero = ClusterSpec::icpp_default();
+    let homog = hetero.homogenized();
+    let workload = ml_heavy_workload();
+    let gap_hetero = run(&mut LeastLoadedScheduler::new(), &hetero, &workload, 4).miss_rate
+        - run(&mut EdfScheduler::new(), &hetero, &workload, 4).miss_rate;
+    let gap_homog = run(&mut LeastLoadedScheduler::new(), &homog, &workload, 4).miss_rate
+        - run(&mut EdfScheduler::new(), &homog, &workload, 4).miss_rate;
+    assert!(
+        gap_hetero >= gap_homog - 0.05,
+        "the speed-aware advantage ({gap_hetero:.3}) should not be smaller than on a homogenised cluster ({gap_homog:.3}) by more than noise"
+    );
+}
+
+#[test]
+fn homogenised_cluster_preserves_aggregate_capacity() {
+    let hetero = ClusterSpec::icpp_default();
+    let homog = hetero.homogenized();
+    let a = hetero.total_capacity();
+    let b = homog.total_capacity();
+    for i in 0..tcrm::sim::NUM_RESOURCES {
+        assert!((a.0[i] - b.0[i]).abs() < 1e-6);
+    }
+}

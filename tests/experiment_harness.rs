@@ -1,0 +1,69 @@
+//! Integration tests of the experiment harness (`tcrm-bench`): the runner,
+//! the result tables, and the cheap experiments of the Lab.
+
+use tcrm::sim::{ClusterSpec, SimConfig};
+use tcrm::workload::WorkloadSpec;
+use tcrm_bench::experiments::Lab;
+use tcrm_bench::{evaluate_grid, ResultTable, SchedulerSpec};
+
+#[test]
+fn runner_grid_covers_all_schedulers_and_loads() {
+    let specs = vec![
+        SchedulerSpec::baseline("fifo"),
+        SchedulerSpec::baseline("edf"),
+        SchedulerSpec::baseline("greedy-elastic"),
+    ];
+    let base = WorkloadSpec::icpp_default().with_num_jobs(60);
+    let points = vec![
+        (0.5, base.clone().with_load(0.5)),
+        (1.1, base.with_load(1.1)),
+    ];
+    let rows = evaluate_grid(
+        &specs,
+        &points,
+        &ClusterSpec::icpp_default(),
+        &SimConfig::default(),
+        &[1, 2],
+    );
+    assert_eq!(rows.len(), 3 * 2 * 2);
+
+    let mut table = ResultTable::new("fig3-test", "test grid", "load");
+    table.extend(rows);
+    let aggregates = table.aggregates();
+    assert_eq!(aggregates.len(), 6);
+    assert!(aggregates.iter().all(|a| a.replications == 2));
+
+    // The qualitative shape of Figure 3: at higher load, miss rates do not
+    // decrease for any scheduler.
+    for name in ["fifo", "edf", "greedy-elastic"] {
+        let series = table.series(name);
+        assert_eq!(series.len(), 2);
+        assert!(
+            series[0].miss_rate <= series[1].miss_rate + 0.05,
+            "{name}: miss rate at load 0.5 ({:.3}) should not exceed load 1.1 ({:.3})",
+            series[0].miss_rate,
+            series[1].miss_rate
+        );
+    }
+
+    // Emitters produce parseable output for every aggregate.
+    let csv = table.to_csv();
+    assert_eq!(csv.lines().count(), 1 + 6);
+    assert!(table.to_markdown().contains("greedy-elastic"));
+}
+
+#[test]
+fn lab_static_experiments_render() {
+    let out = std::env::temp_dir().join("tcrm-harness-test");
+    let lab = Lab::new(true, &out).with_environment(
+        ClusterSpec::icpp_default(),
+        WorkloadSpec::icpp_default().with_num_jobs(30),
+        SimConfig::default(),
+    );
+    let table1 = lab.run("table1").expect("table1 exists");
+    assert!(table1.markdown.contains("gpu"));
+    table1.write_to(&out).unwrap();
+    assert!(out.join("table1.md").exists());
+    assert!(out.join("table1.csv").exists());
+    assert!(lab.run("not-an-experiment").is_none());
+}

@@ -1,0 +1,159 @@
+//! Cross-crate property-based tests (proptest): safety invariants that must
+//! hold for arbitrary workloads and arbitrary (feasible) scheduling
+//! decisions.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tcrm::baselines::by_name;
+use tcrm::sim::{
+    Action, ClusterSpec, Job, JobClass, JobId, NodeClassId, ResourceVector, SimConfig, Simulator,
+    SpeedupModel, TimeUtility,
+};
+use tcrm::workload::{generate, WorkloadSpec};
+
+/// Strategy: a structurally valid random job.
+fn arb_job(id: u64) -> impl Strategy<Value = Job> {
+    (
+        0.0f64..200.0,          // arrival
+        1.0f64..300.0,          // work
+        1u32..4,                // min parallelism
+        0u32..8,                // extra parallelism
+        0.5f64..8.0,            // cpu per unit
+        1.0f64..32.0,           // mem per unit
+        prop::bool::ANY,        // uses gpu
+        1.1f64..5.0,            // deadline slack multiplier
+        prop::sample::select(vec![
+            JobClass::Batch,
+            JobClass::Stream,
+            JobClass::MlTraining,
+            JobClass::MlInference,
+        ]),
+        prop::bool::ANY, // malleable
+    )
+        .prop_map(
+            move |(arrival, work, min_p, extra_p, cpu, mem, gpu, slack, class, malleable)| {
+                let demand = ResourceVector::of(cpu, mem, if gpu { 0.5 } else { 0.0 }, 0.5);
+                Job::builder(JobId(id), class)
+                    .arrival(arrival)
+                    .total_work(work)
+                    .demand_per_unit(demand)
+                    .parallelism_range(min_p, min_p + extra_p)
+                    .speedup(SpeedupModel::Amdahl {
+                        serial_fraction: 0.1,
+                    })
+                    .deadline(arrival + slack * work)
+                    .utility(TimeUtility::soft(1.0, 0.5))
+                    .malleable(malleable)
+                    .build()
+            },
+        )
+}
+
+fn arb_jobs(max: usize) -> impl Strategy<Value = Vec<Job>> {
+    prop::collection::vec(any::<u8>(), 1..max).prop_flat_map(|seeds| {
+        seeds
+            .into_iter()
+            .enumerate()
+            .map(|(i, _)| arb_job(i as u64))
+            .collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the jobs look like, running EDF never loses a job, never
+    /// exceeds capacity, and produces bounded metrics.
+    #[test]
+    fn edf_is_safe_on_arbitrary_jobs(jobs in arb_jobs(24)) {
+        let total = jobs.len();
+        let mut scheduler = by_name("edf", 0).unwrap();
+        let result = Simulator::new(ClusterSpec::icpp_default(), SimConfig::default())
+            .run(jobs, &mut scheduler);
+        prop_assert_eq!(result.summary.total_jobs, total);
+        prop_assert_eq!(
+            result.summary.completed_jobs + result.summary.unfinished_jobs,
+            total
+        );
+        prop_assert!(result.summary.miss_rate >= 0.0 && result.summary.miss_rate <= 1.0);
+        prop_assert!(result.summary.mean_utilization <= 1.0 + 1e-9);
+        for job in &result.completed {
+            prop_assert!(job.finish >= job.start);
+            prop_assert!(job.start + 1e-9 >= job.arrival);
+            prop_assert!(job.slowdown > 0.0 && job.slowdown.is_finite());
+            prop_assert!(job.utility <= job.max_utility + 1e-9);
+        }
+    }
+
+    /// The engine rejects every infeasible action and never lets the cluster
+    /// exceed its capacity, even under adversarial random action streams.
+    #[test]
+    fn random_action_streams_never_violate_capacity(seed in 0u64..500) {
+        let cluster = ClusterSpec::icpp_default();
+        let workload = WorkloadSpec::icpp_default().with_num_jobs(20).with_load(1.2);
+        let jobs = generate(&workload, &cluster, seed);
+        let mut sim = Simulator::new(cluster, SimConfig::default());
+        sim.start(jobs);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut guard = 0;
+        while sim.advance() {
+            guard += 1;
+            if guard > 3000 {
+                break;
+            }
+            // Issue a handful of random (often nonsensical) actions.
+            for _ in 0..4 {
+                let view = sim.view();
+                let action = match rng.gen_range(0..3) {
+                    0 => {
+                        let job = view
+                            .pending
+                            .get(rng.gen_range(0..view.pending.len().max(1)).min(view.pending.len().saturating_sub(1)))
+                            .map(|j| j.id)
+                            .unwrap_or(JobId(9999));
+                        Action::Start {
+                            job,
+                            class: NodeClassId(rng.gen_range(0..5)),
+                            parallelism: rng.gen_range(0..20),
+                        }
+                    }
+                    1 => {
+                        let job = view
+                            .running
+                            .get(rng.gen_range(0..view.running.len().max(1)).min(view.running.len().saturating_sub(1)))
+                            .map(|j| j.id)
+                            .unwrap_or(JobId(9999));
+                        Action::Scale {
+                            job,
+                            new_parallelism: rng.gen_range(0..20),
+                        }
+                    }
+                    _ => Action::Wait,
+                };
+                let _ = sim.apply(&action);
+                prop_assert!(sim.cluster().check_invariants().is_ok());
+            }
+        }
+        let result = sim.finalize();
+        prop_assert!(result.summary.mean_utilization <= 1.0 + 1e-9);
+    }
+
+    /// Generated workloads always satisfy the structural invariants the
+    /// simulator relies on.
+    #[test]
+    fn generated_workloads_are_structurally_valid(seed in 0u64..1000, load in 0.2f64..1.5, jobs in 5usize..80) {
+        let cluster = ClusterSpec::icpp_default();
+        let spec = WorkloadSpec::icpp_default().with_num_jobs(jobs).with_load(load);
+        let generated = generate(&spec, &cluster, seed);
+        prop_assert_eq!(generated.len(), jobs);
+        for (i, job) in generated.iter().enumerate() {
+            prop_assert!(job.validate().is_ok());
+            prop_assert_eq!(job.id, JobId(i as u64));
+            prop_assert!(job.deadline > job.arrival);
+            prop_assert!(job.min_parallelism >= 1);
+            prop_assert!(job.max_parallelism >= job.min_parallelism);
+        }
+        prop_assert!(generated.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+}

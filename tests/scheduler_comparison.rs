@@ -1,0 +1,89 @@
+//! Cross-crate integration tests: every scheduler runs end-to-end on the same
+//! heterogeneous workload, and the qualitative orderings the paper's
+//! evaluation relies on hold.
+
+use tcrm::baselines::{by_name, BASELINE_NAMES};
+use tcrm::sim::{ClusterSpec, SimConfig, Simulator, Summary};
+use tcrm::workload::{generate, WorkloadSpec};
+
+fn run_baseline(name: &str, load: f64, seed: u64) -> Summary {
+    let cluster = ClusterSpec::icpp_default();
+    let workload = WorkloadSpec::icpp_default()
+        .with_num_jobs(150)
+        .with_load(load);
+    let jobs = generate(&workload, &cluster, seed);
+    let mut scheduler = by_name(name, seed).expect("baseline exists");
+    Simulator::new(cluster, SimConfig::default())
+        .run(jobs, &mut scheduler)
+        .summary
+}
+
+#[test]
+fn every_baseline_accounts_for_every_job() {
+    for name in BASELINE_NAMES {
+        let summary = run_baseline(name, 0.8, 1);
+        assert_eq!(summary.total_jobs, 150, "{name}");
+        assert_eq!(
+            summary.completed_jobs + summary.unfinished_jobs,
+            150,
+            "{name} lost jobs"
+        );
+        assert!(summary.miss_rate >= 0.0 && summary.miss_rate <= 1.0, "{name}");
+        assert!(
+            summary.mean_utilization >= 0.0 && summary.mean_utilization <= 1.0,
+            "{name} utilisation out of range"
+        );
+        assert!(summary.utility_ratio >= 0.0 && summary.utility_ratio <= 1.0 + 1e-9);
+        assert!(summary.mean_slowdown > 0.0, "{name} slowdown not positive");
+    }
+}
+
+#[test]
+fn deadline_aware_schedulers_beat_fifo_under_pressure() {
+    let fifo = run_baseline("fifo", 1.1, 2);
+    let edf = run_baseline("edf", 1.1, 2);
+    let elastic = run_baseline("greedy-elastic", 1.1, 2);
+    assert!(
+        edf.miss_rate <= fifo.miss_rate + 0.02,
+        "EDF ({:.3}) should not miss appreciably more than FIFO ({:.3})",
+        edf.miss_rate,
+        fifo.miss_rate
+    );
+    assert!(
+        elastic.utility_ratio >= fifo.utility_ratio - 0.02,
+        "greedy-elastic ({:.3}) should not earn appreciably less utility than FIFO ({:.3})",
+        elastic.utility_ratio,
+        fifo.utility_ratio
+    );
+}
+
+#[test]
+fn load_increases_miss_rate_monotonically_in_trend() {
+    // Not strictly monotone per-seed, but the low-load point must miss fewer
+    // deadlines than the overloaded point for a deadline-aware policy.
+    let low = run_baseline("edf", 0.4, 3);
+    let high = run_baseline("edf", 1.3, 3);
+    assert!(
+        low.miss_rate <= high.miss_rate + 1e-9,
+        "miss rate at load 0.4 ({:.3}) should not exceed load 1.3 ({:.3})",
+        low.miss_rate,
+        high.miss_rate
+    );
+    assert!(low.mean_wait <= high.mean_wait + 1e-9);
+}
+
+#[test]
+fn results_are_reproducible_across_identical_runs() {
+    for name in ["edf", "tetris", "random", "greedy-elastic"] {
+        let a = run_baseline(name, 0.9, 7);
+        let b = run_baseline(name, 0.9, 7);
+        assert_eq!(a, b, "{name} is not deterministic");
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_workload_outcomes() {
+    let a = run_baseline("edf", 0.9, 1);
+    let b = run_baseline("edf", 0.9, 2);
+    assert_ne!(a.makespan, b.makespan);
+}
