@@ -56,9 +56,9 @@ impl<S: Scheduler> AdmissionAdapter<S> {
     /// not "does it fit right now" — the wrapped scheduler already handles
     /// the latter).
     fn admissible(&self, job: &PendingJobView, view: &ClusterView) -> bool {
-        view.classes.iter().any(|class| {
-            job.slack_on(view.time, class, job.max_parallelism) >= self.margin
-        })
+        view.classes
+            .iter()
+            .any(|class| job.slack_on(view.time, class, job.max_parallelism) >= self.margin)
     }
 }
 
@@ -177,7 +177,10 @@ mod tests {
         };
         let plain = run(&mut EdfScheduler::new(), make());
         let admitted = run(&mut AdmissionAdapter::new(EdfScheduler::new()), make());
-        assert_eq!(plain.summary.completed_jobs, admitted.summary.completed_jobs);
+        assert_eq!(
+            plain.summary.completed_jobs,
+            admitted.summary.completed_jobs
+        );
         assert_eq!(plain.summary.missed_jobs, admitted.summary.missed_jobs);
         assert!((plain.summary.total_utility - admitted.summary.total_utility).abs() < 1e-9);
     }

@@ -226,7 +226,10 @@ mod tests {
         while sim.view().pending.len() < 2 {
             assert!(sim.advance());
             guard += 1;
-            assert!(guard < 16, "both queued jobs should arrive within a few events");
+            assert!(
+                guard < 16,
+                "both queued jobs should arrive within a few events"
+            );
         }
         sim.view()
     }

@@ -77,7 +77,10 @@ mod tests {
         let tight = job(0, 0.0, 40.0, 15.0);
         let result = run(&mut EdfScheduler::new(), vec![tight]);
         assert_eq!(result.summary.completed_jobs, 1);
-        assert_eq!(result.summary.missed_jobs, 0, "EDF should meet the deadline");
+        assert_eq!(
+            result.summary.missed_jobs, 0,
+            "EDF should meet the deadline"
+        );
         assert!(result.completed[0].avg_parallelism >= 2.0);
     }
 

@@ -148,7 +148,10 @@ mod tests {
             })
             .collect();
         let best_alt = alt.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(finish <= best_alt + 1e-9, "finish {finish} vs best {best_alt}");
+        assert!(
+            finish <= best_alt + 1e-9,
+            "finish {finish} vs best {best_alt}"
+        );
         assert!(class.0 < view.num_classes());
     }
 
@@ -159,7 +162,9 @@ mod tests {
         let mut sim = Simulator::new(small_hetero_spec(), cfg);
         let mut j = job(0, 0.0, 40.0, 10_000.0);
         // Strongly sub-linear speedup: almost nothing is gained past p=1.
-        j.speedup = SpeedupModel::Amdahl { serial_fraction: 0.95 };
+        j.speedup = SpeedupModel::Amdahl {
+            serial_fraction: 0.95,
+        };
         sim.start(vec![j]);
         assert!(sim.advance());
         let view = sim.view();

@@ -58,6 +58,9 @@ mod tests {
                     .any(|s| s.per_class[c].total() > 0.0)
             })
             .collect();
-        assert!(used_classes.iter().all(|&u| u), "load was not spread across classes");
+        assert!(
+            used_classes.iter().all(|&u| u),
+            "load was not spread across classes"
+        );
     }
 }

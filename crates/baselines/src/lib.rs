@@ -121,7 +121,10 @@ mod tests {
             assert_eq!(sched.name(), name);
         }
         let all = all_baseline_names();
-        assert_eq!(all.len(), BASELINE_NAMES.len() + EXTENDED_BASELINE_NAMES.len());
+        assert_eq!(
+            all.len(),
+            BASELINE_NAMES.len() + EXTENDED_BASELINE_NAMES.len()
+        );
         let mut dedup = all.clone();
         dedup.sort_unstable();
         dedup.dedup();

@@ -73,7 +73,11 @@ mod tests {
 
     #[test]
     fn reseeding_makes_runs_reproducible() {
-        let jobs = || (0..10).map(|i| job(i, i as f64, 10.0, 100.0)).collect::<Vec<_>>();
+        let jobs = || {
+            (0..10)
+                .map(|i| job(i, i as f64, 10.0, 100.0))
+                .collect::<Vec<_>>()
+        };
         let mut sched = RandomScheduler::new(3);
         let a = run(&mut sched, jobs());
         // Re-use the same scheduler object for a second run: on_simulation_start

@@ -74,7 +74,10 @@ mod tests {
     #[test]
     fn rigid_wrapper_never_scales_and_runs_at_min_parallelism() {
         let tight = job(0, 0.0, 60.0, 20.0);
-        let result = run(&mut RigidAdapter::new(GreedyElasticScheduler::new()), vec![tight]);
+        let result = run(
+            &mut RigidAdapter::new(GreedyElasticScheduler::new()),
+            vec![tight],
+        );
         assert_eq!(result.summary.completed_jobs, 1);
         assert_eq!(result.summary.scale_events, 0);
         assert!((result.completed[0].avg_parallelism - 1.0).abs() < 1e-6);
@@ -93,7 +96,10 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         let elastic = run(&mut GreedyElasticScheduler::new(), make());
-        let rigid = run(&mut RigidAdapter::new(GreedyElasticScheduler::new()), make());
+        let rigid = run(
+            &mut RigidAdapter::new(GreedyElasticScheduler::new()),
+            make(),
+        );
         assert!(
             elastic.summary.miss_rate < rigid.summary.miss_rate,
             "elastic ({}) should miss fewer deadlines than rigid ({})",

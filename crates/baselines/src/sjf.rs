@@ -76,7 +76,9 @@ mod tests {
 
     #[test]
     fn all_jobs_eventually_complete() {
-        let jobs: Vec<_> = (0..6).map(|i| job(i, i as f64, 10.0 + i as f64, 1000.0)).collect();
+        let jobs: Vec<_> = (0..6)
+            .map(|i| job(i, i as f64, 10.0 + i as f64, 1000.0))
+            .collect();
         let result = run(&mut SjfScheduler::new(), jobs);
         assert_eq!(result.summary.completed_jobs, 6);
         assert_eq!(result.summary.unfinished_jobs, 0);

@@ -103,7 +103,9 @@ mod tests {
 
     #[test]
     fn achieves_reasonable_utilization_under_load() {
-        let jobs: Vec<_> = (0..20).map(|i| job(i, i as f64 * 0.5, 20.0, 10_000.0)).collect();
+        let jobs: Vec<_> = (0..20)
+            .map(|i| job(i, i as f64 * 0.5, 20.0, 10_000.0))
+            .collect();
         let result = run(&mut TetrisScheduler::new(), jobs);
         assert!(result.summary.mean_utilization > 0.2);
         assert_eq!(result.summary.completed_jobs, 20);

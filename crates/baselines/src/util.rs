@@ -158,7 +158,10 @@ mod tests {
         // Impossible deadline falls back to the maximum feasible parallelism.
         let mut hopeless = j;
         hopeless.deadline = view.time + 1.0;
-        assert_eq!(deadline_parallelism(&hopeless, &view, NodeClassId(0)), Some(4));
+        assert_eq!(
+            deadline_parallelism(&hopeless, &view, NodeClassId(0)),
+            Some(4)
+        );
     }
 
     #[test]

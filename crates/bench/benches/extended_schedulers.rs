@@ -48,14 +48,10 @@ fn bench_extended_decisions(c: &mut Criterion) {
         let view = loaded_view(scale);
         let nodes = view.spec.num_nodes();
         for name in ["backfill", "heft", "slack-pack", "edf"] {
-            group.bench_with_input(
-                BenchmarkId::new(name, nodes),
-                &view,
-                |b, view| {
-                    let mut scheduler = by_name(name, 1).expect("known baseline");
-                    b.iter(|| black_box(scheduler.decide(black_box(view))));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, nodes), &view, |b, view| {
+                let mut scheduler = by_name(name, 1).expect("known baseline");
+                b.iter(|| black_box(scheduler.decide(black_box(view))));
+            });
         }
     }
     group.finish();
@@ -81,6 +77,43 @@ fn bench_dqn_inference(c: &mut Criterion) {
             )
         })
     });
+
+    // Batched candidate scoring: stack N observation rows and run one
+    // forward (`q_values_batch_ws`) vs N single-row forwards (`q_values`).
+    // Acceptance gate: batched wins at every batch ≥ 8.
+    for &batch in &[8usize, 32] {
+        let mut stacked = tcrm_nn::Matrix::zeros(batch, obs_dim);
+        for r in 0..batch {
+            for (c, slot) in stacked.row_mut(r).iter_mut().enumerate() {
+                *slot = ((r * obs_dim + c) as f32 * 0.01).sin();
+            }
+        }
+        let rows: Vec<Vec<f32>> = (0..batch).map(|r| stacked.row(r).to_vec()).collect();
+        group.bench_with_input(
+            BenchmarkId::new("q_scoring_per_row", batch),
+            &rows,
+            |b, rows| {
+                b.iter(|| {
+                    rows.iter()
+                        .map(|obs| agent.q_network().q_values(obs)[0])
+                        .sum::<f32>()
+                })
+            },
+        );
+        let mut ws = tcrm_nn::Workspace::new();
+        group.bench_with_input(
+            BenchmarkId::new("q_scoring_batched", batch),
+            &stacked,
+            |b, stacked| {
+                b.iter(|| {
+                    agent
+                        .q_network()
+                        .q_values_batch_ws(black_box(stacked), &mut ws)
+                        .sum()
+                })
+            },
+        );
+    }
     group.finish();
 }
 

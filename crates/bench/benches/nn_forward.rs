@@ -1,29 +1,96 @@
 //! Criterion bench: policy-network forward and forward+backward cost at the
-//! sizes the agent actually uses.
+//! sizes the agent actually uses, pitting the zero-allocation workspace
+//! paths against a faithful re-implementation of the pre-optimization
+//! ("naive") compute path: per-layer allocation, scalar ikj matmul with a
+//! branchy zero-skip, cloned bias broadcast.
+//!
+//! Acceptance gate for the zero-allocation PR: `forward_single_ws` must be
+//! ≥3x faster than `forward_single_naive` at the DQN-typical shape
+//! 1×64 → 128 → 128 → |A|.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
-use tcrm_nn::{Activation, Matrix, Mlp, MlpConfig};
+use tcrm_nn::{Activation, Matrix, Mlp, MlpConfig, Workspace};
+
+/// The seed repo's forward pass, preserved for comparison: fresh buffers at
+/// every layer and the `a == 0.0` skip that defeats autovectorization.
+mod naive {
+    use super::*;
+
+    pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                let v = a.get(i, k);
+                if v == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols() {
+                    out.set(i, j, out.get(i, j) + v * b.get(k, j));
+                }
+            }
+        }
+        out
+    }
+
+    pub fn forward(net: &Mlp, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in net.layers() {
+            let pre = matmul(&x, &layer.weights).add_row_broadcast(&layer.bias);
+            x = layer.activation.forward(&pre);
+        }
+        x
+    }
+}
 
 fn bench_nn(c: &mut Criterion) {
     let mut group = c.benchmark_group("nn_forward");
     group.sample_size(30);
     group.measurement_time(Duration::from_secs(2));
+
+    // The acceptance shape: 1×64 → 128 → 128 → 32 (DQN-typical).
+    let dqn_cfg = MlpConfig::new(64, &[128, 128], 32, Activation::Relu);
+    let dqn_net = Mlp::new(&dqn_cfg, 0);
+    let dqn_single = Matrix::from_vec(1, 64, (0..64).map(|i| (i as f32 * 0.17).sin()).collect());
+    let mut ws = Workspace::new();
+    group.bench_function("forward_single_naive", |b| {
+        b.iter(|| naive::forward(&dqn_net, &dqn_single).sum())
+    });
+    group.bench_function("forward_single_alloc", |b| {
+        b.iter(|| dqn_net.forward(&dqn_single).sum())
+    });
+    group.bench_function("forward_single_ws", |b| {
+        b.iter(|| dqn_net.forward_ws(&dqn_single, &mut ws).sum())
+    });
+
     // The default agent: ~250-dim observation, 128x64 hidden, ~131 actions.
     let cfg = MlpConfig::new(256, &[128, 64], 131, Activation::Tanh);
     let net = Mlp::new(&cfg, 0);
-    let single = Matrix::zeros(1, 256);
-    group.bench_function("forward_single", |b| {
-        b.iter(|| net.forward(&single).sum())
+    let single = Matrix::from_vec(1, 256, (0..256).map(|i| (i as f32 * 0.07).cos()).collect());
+    group.bench_function("forward_single", |b| b.iter(|| net.forward(&single).sum()));
+    group.bench_function("forward_single_agent_ws", |b| {
+        b.iter(|| net.forward_ws(&single, &mut ws).sum())
     });
-    let batch = Matrix::zeros(64, 256);
+    let batch = Matrix::from_vec(
+        64,
+        256,
+        (0..64 * 256)
+            .map(|i| ((i % 23) as f32 - 11.0) / 11.0)
+            .collect(),
+    );
     group.bench_function("forward_batch64", |b| b.iter(|| net.forward(&batch).sum()));
+    group.bench_function("forward_batch64_naive", |b| {
+        b.iter(|| naive::forward(&net, &batch).sum())
+    });
+    group.bench_function("forward_batch64_ws", |b| {
+        b.iter(|| net.forward_ws(&batch, &mut ws).sum())
+    });
     group.bench_function("forward_backward_batch64", |b| {
+        let mut train_net = net.clone();
         b.iter(|| {
-            let mut train_net = net.clone();
-            let out = train_net.forward_train(&batch);
+            let out_scaled = train_net.forward_train(&batch).scale(1e-3);
             train_net.zero_grad();
-            train_net.backward(&out);
+            train_net.backward(&out_scaled);
             train_net.grad_norm()
         })
     });

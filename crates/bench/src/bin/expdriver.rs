@@ -69,7 +69,11 @@ fn main() {
         let started = std::time::Instant::now();
         match lab.run(name) {
             Some(output) => {
-                println!("== {} (done in {:.1}s) ==", name, started.elapsed().as_secs_f64());
+                println!(
+                    "== {} (done in {:.1}s) ==",
+                    name,
+                    started.elapsed().as_secs_f64()
+                );
                 println!("{}", output.markdown);
                 if let Err(e) = output.write_to(&out_dir) {
                     eprintln!("warning: could not write {name}: {e}");

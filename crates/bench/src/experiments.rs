@@ -147,7 +147,11 @@ impl Lab {
             return found.clone();
         }
         let (agent_cfg, learner, reward) = match key {
-            "drl" => (AgentConfig::default(), LearnerKind::A2c, RewardKind::Utility),
+            "drl" => (
+                AgentConfig::default(),
+                LearnerKind::A2c,
+                RewardKind::Utility,
+            ),
             "drl-rigid" => (
                 AgentConfig::default().rigid(),
                 LearnerKind::A2c,
@@ -168,7 +172,11 @@ impl Lab {
                 LearnerKind::A2c,
                 RewardKind::Slowdown,
             ),
-            "drl-ppo" => (AgentConfig::default(), LearnerKind::Ppo, RewardKind::Utility),
+            "drl-ppo" => (
+                AgentConfig::default(),
+                LearnerKind::Ppo,
+                RewardKind::Utility,
+            ),
             "drl-reinforce" => (
                 AgentConfig::default(),
                 LearnerKind::Reinforce,
@@ -242,11 +250,7 @@ impl Lab {
             &self.load_grid(),
         );
         let rows = evaluate_grid(&specs, &points, &self.cluster, &self.sim, &self.seeds());
-        let mut table = ResultTable::new(
-            "main-grid",
-            "All schedulers across offered load",
-            "load",
-        );
+        let mut table = ResultTable::new("main-grid", "All schedulers across offered load", "load");
         table.extend(rows);
         *self.main_grid.lock() = Some(table.clone());
         table
@@ -260,7 +264,8 @@ impl Lab {
     pub fn table1(&self) -> ExperimentOutput {
         let mut md = String::from("### table1 — Cluster and workload configuration\n\n");
         md.push_str("| node class | count | cpu | mem (GiB) | gpu | io (Gbit/s) | speed batch/stream/ml-train/ml-infer |\n|---|---|---|---|---|---|---|\n");
-        let mut csv = String::from("node_class,count,cpu,mem,gpu,io,s_batch,s_stream,s_mltrain,s_mlinfer\n");
+        let mut csv =
+            String::from("node_class,count,cpu,mem,gpu,io,s_batch,s_stream,s_mltrain,s_mlinfer\n");
         for class in &self.cluster.node_classes {
             let c = class.capacity.as_array();
             let s = class.speed.as_array();
@@ -403,8 +408,8 @@ impl Lab {
                 let jobs = generate(&workload, &cluster, 11);
                 let mut scheduler = spec.build(11);
                 let start = Instant::now();
-                let result = Simulator::new(cluster.clone(), self.sim.clone())
-                    .run(jobs, &mut scheduler);
+                let result =
+                    Simulator::new(cluster.clone(), self.sim.clone()).run(jobs, &mut scheduler);
                 let elapsed = start.elapsed();
                 let decisions = result.summary.decision_epochs.max(1);
                 let latency_us = elapsed.as_secs_f64() * 1e6 / decisions as f64;
@@ -456,7 +461,9 @@ impl Lab {
         let rows = evaluate_grid(&specs, &points, &self.cluster, &self.sim, &self.seeds());
         let mut table = ResultTable::new(
             "table5",
-            format!("Extended heuristic comparison (incl. backfill / HEFT / slack-pack) at load {load}"),
+            format!(
+                "Extended heuristic comparison (incl. backfill / HEFT / slack-pack) at load {load}"
+            ),
             "load",
         );
         table.extend(rows);
@@ -556,7 +563,12 @@ impl Lab {
         for s in &history.iterations {
             md.push_str(&format!(
                 "| {} | {:.2} | {:.2} | {:.2} | {:.3} | {:.4} |\n",
-                s.iteration, s.mean_return, s.min_return, s.max_return, s.update.entropy, s.update.policy_loss
+                s.iteration,
+                s.mean_return,
+                s.min_return,
+                s.max_return,
+                s.update.entropy,
+                s.update.policy_loss
             ));
             csv.push_str(&format!(
                 "{},{:.4},{:.4},{:.4},{:.4},{:.6},{:.6},{:.2}\n",
@@ -615,11 +627,9 @@ impl Lab {
         let mut md = String::from(
             "### fig5 — Cluster utilisation timeline (load 0.9)\n\n| scheduler | mean overall util | mean cpu-heavy | mean mem-heavy | mean gpu | mean edge |\n|---|---|---|---|---|---|\n",
         );
-        let mut csv = String::from("scheduler,time,overall,cpu_heavy,mem_heavy,gpu,edge,pending,running\n");
-        let specs = vec![
-            SchedulerSpec::drl(agent),
-            SchedulerSpec::baseline("edf"),
-        ];
+        let mut csv =
+            String::from("scheduler,time,overall,cpu_heavy,mem_heavy,gpu,edge,pending,running\n");
+        let specs = vec![SchedulerSpec::drl(agent), SchedulerSpec::baseline("edf")];
         for spec in specs {
             let jobs = generate(&workload, &self.cluster, 21);
             let mut scheduler = spec.build(21);
@@ -786,7 +796,11 @@ impl Lab {
     /// A2C (the default), PPO and REINFORCE, evaluated at moderate load and
     /// compared on both final policy quality and training convergence.
     pub fn fig11(&self) -> ExperimentOutput {
-        let variants = [("a2c", "drl"), ("ppo", "drl-ppo"), ("reinforce", "drl-reinforce")];
+        let variants = [
+            ("a2c", "drl"),
+            ("ppo", "drl-ppo"),
+            ("reinforce", "drl-reinforce"),
+        ];
         let load = self
             .load_grid()
             .iter()
@@ -842,7 +856,9 @@ impl Lab {
     pub fn summary(&self) -> ExperimentOutput {
         let grid = self.main_grid();
         let mut md = String::from("### summary — Headline comparisons\n\n");
-        let mut csv = String::from("load,best_scheduler,best_miss_rate,drl_miss_rate,edf_miss_rate,fifo_miss_rate\n");
+        let mut csv = String::from(
+            "load,best_scheduler,best_miss_rate,drl_miss_rate,edf_miss_rate,fifo_miss_rate\n",
+        );
         for load in self.load_grid() {
             let at_load: Vec<_> = grid
                 .aggregates()

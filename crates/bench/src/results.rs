@@ -269,7 +269,10 @@ mod tests {
         assert!(edf.miss_rate_std > 0.0);
         let drl = table.series("drl");
         assert_eq!(drl.len(), 1);
-        assert_eq!(table.schedulers(), vec!["drl".to_string(), "edf".to_string()]);
+        assert_eq!(
+            table.schedulers(),
+            vec!["drl".to_string(), "edf".to_string()]
+        );
     }
 
     #[test]

@@ -165,8 +165,18 @@ mod tests {
             SchedulerSpec::RigidBaseline("greedy-elastic".into()),
         ];
         let points = vec![
-            (0.5, WorkloadSpec::icpp_default().with_num_jobs(20).with_load(0.5)),
-            (0.9, WorkloadSpec::icpp_default().with_num_jobs(20).with_load(0.9)),
+            (
+                0.5,
+                WorkloadSpec::icpp_default()
+                    .with_num_jobs(20)
+                    .with_load(0.5),
+            ),
+            (
+                0.9,
+                WorkloadSpec::icpp_default()
+                    .with_num_jobs(20)
+                    .with_load(0.9),
+            ),
         ];
         let rows = evaluate_grid(
             &specs,

@@ -70,9 +70,7 @@ impl ActionSpace {
     /// fixed regardless of the elastic flag so rigid and elastic agents share
     /// network shapes; rigid agents simply mask the extra actions off.
     pub fn action_count(&self) -> usize {
-        self.queue_slots * self.num_classes * self.parallelism_levels
-            + 2 * self.running_slots
-            + 1
+        self.queue_slots * self.num_classes * self.parallelism_levels + 2 * self.running_slots + 1
     }
 
     /// Index of the wait action (always the last index).
@@ -113,7 +111,7 @@ impl ActionSpace {
             let offset = index - start_count;
             ActionMeaning::Scale {
                 running_slot: offset / 2,
-                up: offset % 2 == 0,
+                up: offset.is_multiple_of(2),
             }
         } else {
             ActionMeaning::Wait
@@ -160,8 +158,9 @@ impl ActionSpace {
                 if job.units < job.max_parallelism {
                     // Scale-up needs one more unit of capacity on the job's
                     // node class.
-                    let available =
-                        view.class(job.node_class).units_available(&job.demand_per_unit);
+                    let available = view
+                        .class(job.node_class)
+                        .units_available(&job.demand_per_unit);
                     if available >= 1 {
                         mask[self.scale_index(slot, true)] = true;
                     }
@@ -401,7 +400,9 @@ mod tests {
         let (space, encoder, sim) = setup(1, false);
         let view = sim.view();
         // Slot 3 is empty with a single pending job.
-        assert!(space.decode(space.start_index(3, 0, 0), &view, &encoder).is_none());
+        assert!(space
+            .decode(space.start_index(3, 0, 0), &view, &encoder)
+            .is_none());
         assert_eq!(
             space.decode(space.wait_index(), &view, &encoder),
             Some(Action::Wait)

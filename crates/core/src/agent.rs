@@ -224,7 +224,9 @@ mod tests {
     fn untrained_agent_completes_a_small_workload() {
         let cluster = ClusterSpec::icpp_default();
         let jobs = generate(
-            &WorkloadSpec::icpp_default().with_num_jobs(20).with_load(0.5),
+            &WorkloadSpec::icpp_default()
+                .with_num_jobs(20)
+                .with_load(0.5),
             &cluster,
             1,
         );
@@ -239,7 +241,9 @@ mod tests {
     fn greedy_agent_is_deterministic() {
         let cluster = ClusterSpec::icpp_default();
         let jobs = generate(
-            &WorkloadSpec::icpp_default().with_num_jobs(15).with_load(0.7),
+            &WorkloadSpec::icpp_default()
+                .with_num_jobs(15)
+                .with_load(0.7),
             &cluster,
             3,
         );
@@ -262,12 +266,14 @@ mod tests {
         // Same decisions on the same workload.
         let cluster = ClusterSpec::icpp_default();
         let jobs = generate(
-            &WorkloadSpec::icpp_default().with_num_jobs(10).with_load(0.6),
+            &WorkloadSpec::icpp_default()
+                .with_num_jobs(10)
+                .with_load(0.6),
             &cluster,
             7,
         );
-        let ra = Simulator::new(cluster.clone(), SimConfig::default())
-            .run(jobs.clone(), &mut original);
+        let ra =
+            Simulator::new(cluster.clone(), SimConfig::default()).run(jobs.clone(), &mut original);
         let rb = Simulator::new(cluster, SimConfig::default()).run(jobs, &mut restored);
         assert_eq!(ra.summary, rb.summary);
         let _ = std::fs::remove_file(&path);

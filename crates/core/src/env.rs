@@ -130,7 +130,10 @@ impl SchedulingEnv {
     }
 
     fn make_step(&self, view: &ClusterView) -> Step {
-        Step::new(self.encoder.encode(view), self.actions.mask(view, &self.encoder))
+        Step::new(
+            self.encoder.encode(view),
+            self.actions.mask(view, &self.encoder),
+        )
     }
 
     /// A terminal step: all-zero observation, only wait feasible.
@@ -184,22 +187,25 @@ impl Environment for SchedulingEnv {
         self.episode_utility = 0.0;
         self.episode_misses = 0;
         self.epoch_actions = 0;
-        let view = sim.view();
+        // Reuse the previous episode's view buffer when one exists.
+        let mut view = self.current_view.take().unwrap_or_else(|| sim.view());
+        sim.view_into(&mut view);
         self.sim = Some(sim);
-        self.current_view = Some(view.clone());
-        if alive {
+        let step = if alive {
             self.make_step(&view)
         } else {
             self.terminal_step()
-        }
+        };
+        self.current_view = Some(view);
+        step
     }
 
     fn step(&mut self, action: usize) -> Transition {
         self.steps += 1;
-        let view = self
-            .current_view
-            .clone()
-            .expect("step called before reset");
+        // The episode's single view buffer is taken out, refreshed in place
+        // after each simulator interaction (clear-and-refill, no clone), and
+        // put back before returning.
+        let mut view = self.current_view.take().expect("step called before reset");
         let decoded = self
             .actions
             .decode(action, &view, &self.encoder)
@@ -213,21 +219,23 @@ impl Environment for SchedulingEnv {
         // Decide whether to stay at this decision epoch (more scheduling to
         // do) or advance simulated time.
         self.epoch_actions += 1;
-        let stay = !is_wait
-            && !outcome.is_invalid()
-            && self.epoch_actions < self.max_actions_per_epoch();
+        let stay =
+            !is_wait && !outcome.is_invalid() && self.epoch_actions < self.max_actions_per_epoch();
         if stay {
-            let sim = self.sim.as_ref().expect("no active episode");
-            let fresh = sim.view();
-            if self.has_feasible_work(&fresh) {
+            self.sim
+                .as_ref()
+                .expect("no active episode")
+                .view_into(&mut view);
+            if self.has_feasible_work(&view) {
                 // Stay at the epoch: reward only reflects shaping on the new
                 // snapshot (no time has passed).
-                let reward = self.collect_reward(&fresh);
-                self.current_view = Some(fresh.clone());
+                let reward = self.collect_reward(&view);
+                let next = self.make_step(&view);
+                self.current_view = Some(view);
                 return Transition {
                     reward,
                     done: false,
-                    next: self.make_step(&fresh),
+                    next,
                 };
             }
         }
@@ -239,11 +247,10 @@ impl Environment for SchedulingEnv {
         // epochs.
         {
             let sim = self.sim.as_ref().expect("no active episode");
-            let fresh = sim.view();
-            if sim.running_count() == 0 && fresh.future_arrivals == 0 && !fresh.pending.is_empty()
-            {
-                let reward = self.collect_reward(&fresh);
-                self.current_view = Some(fresh);
+            sim.view_into(&mut view);
+            if sim.running_count() == 0 && view.future_arrivals == 0 && !view.pending.is_empty() {
+                let reward = self.collect_reward(&view);
+                self.current_view = Some(view);
                 return Transition {
                     reward,
                     done: true,
@@ -257,20 +264,20 @@ impl Environment for SchedulingEnv {
             sim.advance()
         };
         self.epoch_actions = 0;
-        let fresh = self.sim.as_ref().expect("no active episode").view();
-        let reward = self.collect_reward(&fresh);
+        self.sim
+            .as_ref()
+            .expect("no active episode")
+            .view_into(&mut view);
+        let reward = self.collect_reward(&view);
         let truncated = self.steps >= self.max_steps;
         let done = !alive || truncated;
-        self.current_view = Some(fresh.clone());
-        Transition {
-            reward,
-            done,
-            next: if done {
-                self.terminal_step()
-            } else {
-                self.make_step(&fresh)
-            },
-        }
+        let next = if done {
+            self.terminal_step()
+        } else {
+            self.make_step(&view)
+        };
+        self.current_view = Some(view);
+        Transition { reward, done, next }
     }
 }
 

@@ -191,8 +191,14 @@ mod tests {
         };
         let tracker = RewardTracker::new(cfg);
         let view = empty_view();
-        assert_eq!(tracker.step_reward(&[completed(false, 1.0)], 1.0, &view), 1.0);
-        assert_eq!(tracker.step_reward(&[completed(true, 0.0)], 1.0, &view), -1.0);
+        assert_eq!(
+            tracker.step_reward(&[completed(false, 1.0)], 1.0, &view),
+            1.0
+        );
+        assert_eq!(
+            tracker.step_reward(&[completed(true, 0.0)], 1.0, &view),
+            -1.0
+        );
         assert_eq!(tracker.step_reward(&[], 1.0, &view), 0.0);
     }
 

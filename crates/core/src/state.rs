@@ -21,7 +21,9 @@
 
 use crate::config::AgentConfig;
 use serde::{Deserialize, Serialize};
-use tcrm_sim::{ClusterView, JobClass, NodeClassView, PendingJobView, RunningJobView, NUM_RESOURCES};
+use tcrm_sim::{
+    ClusterView, JobClass, NodeClassView, PendingJobView, RunningJobView, NUM_RESOURCES,
+};
 
 /// Number of features per node class block.
 const CLASS_FEATURES: usize = NUM_RESOURCES + 1 + JobClass::COUNT;
@@ -125,7 +127,7 @@ impl StateEncoder {
             // Pad if the view has fewer classes than the encoder expects
             // (never happens in practice; keeps the length invariant).
             for _ in view.classes.len()..self.num_classes {
-                out.extend(std::iter::repeat(0.0).take(CLASS_FEATURES));
+                out.extend(std::iter::repeat_n(0.0, CLASS_FEATURES));
             }
         } else {
             // Heterogeneity-blind: every class block becomes the cluster-wide
@@ -164,7 +166,7 @@ impl StateEncoder {
         for slot in 0..self.queue_slots {
             match slots.get(slot) {
                 Some(job) => self.push_queue_features(job, view, out),
-                None => out.extend(std::iter::repeat(0.0).take(QUEUE_FEATURES)),
+                None => out.extend(std::iter::repeat_n(0.0, QUEUE_FEATURES)),
             }
         }
     }
@@ -220,7 +222,7 @@ impl StateEncoder {
                     out.push(if job.malleable { 1.0 } else { 0.0 });
                     out.push(if job.scale_ready { 1.0 } else { 0.0 });
                 }
-                None => out.extend(std::iter::repeat(0.0).take(RUNNING_FEATURES)),
+                None => out.extend(std::iter::repeat_n(0.0, RUNNING_FEATURES)),
             }
         }
     }
@@ -274,13 +276,20 @@ mod tests {
         let mut jobs = Vec::new();
         for i in 0..pending as u64 + 1 {
             jobs.push(
-                Job::builder(JobId(i), if i % 2 == 0 { JobClass::Batch } else { JobClass::MlTraining })
-                    .arrival(0.0)
-                    .total_work(50.0 + i as f64)
-                    .demand_per_unit(ResourceVector::of(2.0, 8.0, 0.0, 0.5))
-                    .parallelism_range(1, 6)
-                    .deadline(100.0 + i as f64 * 10.0)
-                    .build(),
+                Job::builder(
+                    JobId(i),
+                    if i % 2 == 0 {
+                        JobClass::Batch
+                    } else {
+                        JobClass::MlTraining
+                    },
+                )
+                .arrival(0.0)
+                .total_work(50.0 + i as f64)
+                .demand_per_unit(ResourceVector::of(2.0, 8.0, 0.0, 0.5))
+                .parallelism_range(1, 6)
+                .deadline(100.0 + i as f64 * 10.0)
+                .build(),
             );
         }
         sim.start(jobs);

@@ -24,6 +24,22 @@ impl Activation {
         }
     }
 
+    /// Apply the activation element-wise, in place (allocation-free).
+    pub fn forward_inplace(&self, x: &mut Matrix) {
+        match self {
+            Activation::Relu => x.map_inplace(|v| v.max(0.0)),
+            Activation::Tanh => x.map_inplace(|v| v.tanh()),
+            Activation::Identity => {}
+        }
+    }
+
+    /// Apply the activation element-wise into a caller-provided buffer
+    /// (allocation-free once `out` has capacity).
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        out.copy_from(x);
+        self.forward_inplace(out);
+    }
+
     /// Derivative of the activation with respect to its *pre-activation*
     /// input, evaluated element-wise at `pre`.
     pub fn derivative(&self, pre: &Matrix) -> Matrix {
@@ -34,6 +50,25 @@ impl Activation {
                 1.0 - t * t
             }),
             Activation::Identity => pre.map(|_| 1.0),
+        }
+    }
+
+    /// Fused backprop kernel: `grad_pre = grad_output ⊙ act'(pre)` computed
+    /// into a caller-provided buffer without materialising the derivative
+    /// matrix (allocation-free once `grad_pre` has capacity).
+    pub fn backprop_into(&self, pre: &Matrix, grad_output: &Matrix, grad_pre: &mut Matrix) {
+        grad_pre.copy_from(grad_output);
+        match self {
+            Activation::Relu => {
+                grad_pre.zip_assign(pre, |g, p| if p > 0.0 { g } else { 0.0 });
+            }
+            Activation::Tanh => {
+                grad_pre.zip_assign(pre, |g, p| {
+                    let t = p.tanh();
+                    g * (1.0 - t * t)
+                });
+            }
+            Activation::Identity => {}
         }
     }
 }

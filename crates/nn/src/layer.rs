@@ -1,4 +1,11 @@
 //! Fully-connected layers with manual backpropagation.
+//!
+//! The hot-path entry points are the `*_into` methods, which write into
+//! caller-provided buffers and reuse the layer's internal caches, so a
+//! forward/backward cycle performs **zero heap allocations** once every
+//! buffer has warmed up to its steady-state shape. The buffer-returning
+//! methods (`forward`, `forward_train`, `backward`) remain as thin wrappers
+//! for tests and one-off callers.
 
 use crate::activation::Activation;
 use crate::init;
@@ -10,7 +17,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Shapes: input `batch × in_dim`, weights `in_dim × out_dim`, bias
 /// `out_dim`, output `batch × out_dim`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Dense {
     /// Weight matrix (`in_dim × out_dim`).
     pub weights: Matrix,
@@ -30,6 +37,22 @@ pub struct Dense {
     /// Cached pre-activation of the last `forward_train` call.
     #[serde(skip)]
     cache_pre: Option<Matrix>,
+    /// Retired gradient buffers parked by `zero_grad` so the next backward
+    /// pass can reuse their allocations.
+    #[serde(skip)]
+    spare_grad_weights: Option<Matrix>,
+    #[serde(skip)]
+    spare_grad_bias: Option<Vec<f32>>,
+}
+
+/// Equality on the learned parameters only; gradient and cache scratch never
+/// participates (two networks with identical weights are the same network).
+impl PartialEq for Dense {
+    fn eq(&self, other: &Self) -> bool {
+        self.weights == other.weights
+            && self.bias == other.bias
+            && self.activation == other.activation
+    }
 }
 
 impl Dense {
@@ -48,6 +71,8 @@ impl Dense {
             grad_bias: None,
             cache_input: None,
             cache_pre: None,
+            spare_grad_weights: None,
+            spare_grad_bias: None,
         }
     }
 
@@ -66,55 +91,102 @@ impl Dense {
         self.weights.rows() * self.weights.cols() + self.bias.len()
     }
 
-    /// Inference-mode forward pass (no caches kept).
-    pub fn forward(&self, input: &Matrix) -> Matrix {
-        let pre = input.matmul(&self.weights).add_row_broadcast(&self.bias);
-        self.activation.forward(&pre)
+    /// Inference-mode forward pass into a caller-provided buffer
+    /// (allocation-free once `out` has capacity; no caches kept).
+    pub fn forward_into(&self, input: &Matrix, out: &mut Matrix) {
+        input.matmul_into(&self.weights, out);
+        out.add_row_broadcast_assign(&self.bias);
+        self.activation.forward_inplace(out);
     }
 
-    /// Training-mode forward pass: caches the input and pre-activation so a
-    /// subsequent [`Self::backward`] can compute gradients.
+    /// Inference-mode forward pass (no caches kept).
+    pub fn forward(&self, input: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.forward_into(input, &mut out);
+        out
+    }
+
+    /// Training-mode forward pass into a caller-provided buffer: caches the
+    /// input and pre-activation (reusing previous cache buffers) so a
+    /// subsequent [`Self::backward_into`] can compute gradients.
+    pub fn forward_train_into(&mut self, input: &Matrix, out: &mut Matrix) {
+        let cache_input = self.cache_input.get_or_insert_with(Matrix::default);
+        cache_input.copy_from(input);
+        let pre = self.cache_pre.get_or_insert_with(Matrix::default);
+        input.matmul_into(&self.weights, pre);
+        pre.add_row_broadcast_assign(&self.bias);
+        self.activation.forward_into(pre, out);
+    }
+
+    /// Training-mode forward pass (buffer-returning wrapper).
     pub fn forward_train(&mut self, input: &Matrix) -> Matrix {
-        let pre = input.matmul(&self.weights).add_row_broadcast(&self.bias);
-        let out = self.activation.forward(&pre);
-        self.cache_input = Some(input.clone());
-        self.cache_pre = Some(pre);
+        let mut out = Matrix::default();
+        self.forward_train_into(input, &mut out);
         out
     }
 
     /// Backward pass: given `dL/d(output)`, accumulate `dL/dW` and `dL/db`
-    /// and return `dL/d(input)`. Must follow a `forward_train` call.
-    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+    /// and write `dL/d(input)` into `grad_input`. `grad_pre` is scratch
+    /// space for the fused activation backprop. Must follow a
+    /// `forward_train_into` call. Allocation-free once the gradient and
+    /// scratch buffers have warmed up.
+    pub fn backward_into(
+        &mut self,
+        grad_output: &Matrix,
+        grad_pre: &mut Matrix,
+        grad_input: &mut Matrix,
+    ) {
         let input = self
             .cache_input
             .as_ref()
             .expect("backward called without forward_train");
         let pre = self.cache_pre.as_ref().expect("missing pre-activation");
-        // dL/d(pre) = dL/d(out) ⊙ act'(pre)
-        let grad_pre = grad_output.hadamard(&self.activation.derivative(pre));
-        // dL/dW = xᵀ · dL/d(pre)
-        let gw = input.transpose().matmul(&grad_pre);
-        let gb = grad_pre.sum_rows();
-        match &mut self.grad_weights {
-            Some(existing) => *existing = existing.add(&gw),
-            None => self.grad_weights = Some(gw),
-        }
-        match &mut self.grad_bias {
-            Some(existing) => {
-                for (e, g) in existing.iter_mut().zip(gb.iter()) {
-                    *e += g;
-                }
+        // dL/d(pre) = dL/d(out) ⊙ act'(pre), fused into the scratch buffer.
+        self.activation.backprop_into(pre, grad_output, grad_pre);
+        // dL/dW += xᵀ · dL/d(pre), accumulated straight into the gradient.
+        let (in_dim, out_dim) = (self.weights.rows(), self.weights.cols());
+        let gw = match &mut self.grad_weights {
+            Some(gw) => gw,
+            None => {
+                let mut gw = self.spare_grad_weights.take().unwrap_or_default();
+                gw.resize(in_dim, out_dim);
+                gw.fill(0.0);
+                self.grad_weights.insert(gw)
             }
-            None => self.grad_bias = Some(gb),
-        }
-        // dL/dx = dL/d(pre) · Wᵀ
-        grad_pre.matmul(&self.weights.transpose())
+        };
+        input.matmul_transa_acc_into(grad_pre, gw);
+        let gb = match &mut self.grad_bias {
+            Some(gb) => gb,
+            None => {
+                let mut gb = self.spare_grad_bias.take().unwrap_or_default();
+                gb.clear();
+                gb.resize(out_dim, 0.0);
+                self.grad_bias.insert(gb)
+            }
+        };
+        grad_pre.sum_rows_acc_into(gb);
+        // dL/dx = dL/d(pre) · Wᵀ, without materialising the transpose.
+        grad_pre.matmul_transb_into(&self.weights, grad_input);
     }
 
-    /// Reset accumulated gradients.
+    /// Backward pass (buffer-returning wrapper).
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut grad_pre = Matrix::default();
+        let mut grad_input = Matrix::default();
+        self.backward_into(grad_output, &mut grad_pre, &mut grad_input);
+        grad_input
+    }
+
+    /// Reset accumulated gradients. The buffers are parked internally and
+    /// reused by the next backward pass, so alternating
+    /// `zero_grad`/`backward` cycles never re-allocate.
     pub fn zero_grad(&mut self) {
-        self.grad_weights = None;
-        self.grad_bias = None;
+        if let Some(gw) = self.grad_weights.take() {
+            self.spare_grad_weights = Some(gw);
+        }
+        if let Some(gb) = self.grad_bias.take() {
+            self.spare_grad_bias = Some(gb);
+        }
     }
 }
 
@@ -146,6 +218,26 @@ mod tests {
         let a = layer.forward(&x);
         let b = layer.forward_train(&x);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn into_variants_match_wrappers_and_reuse_buffers() {
+        let mut layer = Dense::new(6, 4, Activation::Tanh, &mut rng());
+        let x = Matrix::from_rows(&[&[0.1, -0.2, 0.3, 0.4, -0.5, 0.6], &[1.0; 6]]);
+        let reference = layer.forward(&x);
+        let mut out = Matrix::zeros(9, 9); // wrong shape on purpose
+        layer.forward_into(&x, &mut out);
+        assert_eq!(out, reference);
+        // Training variant agrees and leaves usable caches behind.
+        let mut out2 = Matrix::default();
+        layer.forward_train_into(&x, &mut out2);
+        assert_eq!(out2, reference);
+        let grad_out = reference.map(|_| 1.0);
+        let mut grad_pre = Matrix::default();
+        let mut grad_in = Matrix::default();
+        layer.backward_into(&grad_out, &mut grad_pre, &mut grad_in);
+        assert_eq!(grad_in.rows(), 2);
+        assert_eq!(grad_in.cols(), 6);
     }
 
     #[test]
@@ -196,6 +288,11 @@ mod tests {
         layer.zero_grad();
         assert!(layer.grad_weights.is_none());
         assert!(layer.grad_bias.is_none());
+        // The parked buffers are reused: the next backward starts from zero.
+        layer.forward_train(&x);
+        layer.backward(&g);
+        let third = layer.grad_weights.clone().unwrap();
+        assert!((third.get(0, 0) - first.get(0, 0)).abs() < 1e-6);
     }
 
     #[test]

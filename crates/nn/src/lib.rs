@@ -7,10 +7,15 @@
 //! implements exactly the machinery those networks need, from scratch:
 //!
 //! * a row-major [`Matrix`] type with the handful of BLAS-like operations used
-//!   by dense layers,
+//!   by dense layers — including register-blocked `*_into` kernels and
+//!   in-place (`*_assign`) variants that write into caller-provided buffers,
 //! * [`Dense`] layers with ReLU/Tanh/Identity activations and manual
 //!   backpropagation,
 //! * an [`Mlp`] container with forward / backward / gradient accumulation,
+//!   whose hot paths run through a reusable [`Workspace`] and perform **zero
+//!   heap allocations after warm-up** (see `tests/alloc_free.rs` for the
+//!   counting-allocator proof and `Mlp::forward_ws` for the inference entry
+//!   point),
 //! * [`Adam`] and [`Sgd`] optimisers,
 //! * numerically stable softmax / log-softmax / cross-entropy helpers with
 //!   support for **action masking** (infeasible scheduling actions receive
@@ -52,5 +57,5 @@ pub use activation::Activation;
 pub use layer::Dense;
 pub use loss::{cross_entropy_from_logits, log_softmax, masked_softmax, softmax};
 pub use matrix::Matrix;
-pub use mlp::{Mlp, MlpConfig};
+pub use mlp::{Mlp, MlpConfig, Workspace};
 pub use optim::{Adam, Optimizer, Sgd};

@@ -15,12 +15,7 @@ pub fn softmax(logits: &[f32]) -> Vec<f32> {
 /// Log-softmax of a logits slice (stable).
 pub fn log_softmax(logits: &[f32]) -> Vec<f32> {
     let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let log_sum: f32 = logits
-        .iter()
-        .map(|&l| (l - max).exp())
-        .sum::<f32>()
-        .ln()
-        + max;
+    let log_sum: f32 = logits.iter().map(|&l| (l - max).exp()).sum::<f32>().ln() + max;
     logits.iter().map(|&l| l - log_sum).collect()
 }
 

@@ -1,4 +1,14 @@
 //! Multi-layer perceptrons: the policy and value function approximators.
+//!
+//! ## Hot-path API
+//!
+//! The training entry points (`forward_train`, `backward`) route every
+//! intermediate through an internal [`Workspace`], and inference offers
+//! [`Mlp::forward_ws`] writing into a caller-owned [`Workspace`]. After one
+//! warm-up call at a given batch shape, **none of these paths touch the
+//! allocator** — verified by the counting-allocator test in
+//! `tests/alloc_free.rs`. The buffer-returning wrappers (`forward`,
+//! `forward_vec`) remain for convenience and tests.
 
 use crate::activation::Activation;
 use crate::layer::Dense;
@@ -22,7 +32,12 @@ pub struct MlpConfig {
 
 impl MlpConfig {
     /// Build a configuration.
-    pub fn new(input_dim: usize, hidden: &[usize], output_dim: usize, activation: Activation) -> Self {
+    pub fn new(
+        input_dim: usize,
+        hidden: &[usize],
+        output_dim: usize,
+        activation: Activation,
+    ) -> Self {
         MlpConfig {
             input_dim,
             hidden: hidden.to_vec(),
@@ -32,11 +47,42 @@ impl MlpConfig {
     }
 }
 
+/// Reusable buffers for allocation-free forward/backward passes.
+///
+/// Two ping-pong activation buffers carry the signal through the layer
+/// chain (layer `i` reads from one and writes the other), and one scratch
+/// matrix holds the fused activation gradient during backprop. A `Workspace`
+/// grows to the largest shape it has seen and then stays allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    ping: Matrix,
+    pong: Matrix,
+    grad_pre: Matrix,
+}
+
+impl Workspace {
+    /// A fresh, empty workspace.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+}
+
 /// A feed-forward network with linear output layer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Mlp {
     config: MlpConfig,
     layers: Vec<Dense>,
+    /// Internal workspace for the `&mut self` training paths.
+    #[serde(skip)]
+    ws: Workspace,
+}
+
+/// Equality on architecture and learned parameters; workspace scratch never
+/// participates.
+impl PartialEq for Mlp {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config && self.layers == other.layers
+    }
 }
 
 impl Mlp {
@@ -59,6 +105,7 @@ impl Mlp {
         Mlp {
             config: config.clone(),
             layers,
+            ws: Workspace::default(),
         }
     }
 
@@ -82,13 +129,32 @@ impl Mlp {
         self.layers.iter().map(|l| l.num_parameters()).sum()
     }
 
-    /// Inference forward pass.
-    pub fn forward(&self, input: &Matrix) -> Matrix {
-        let mut x = input.clone();
-        for layer in &self.layers {
-            x = layer.forward(&x);
+    /// Inference forward pass through a caller-owned workspace. The returned
+    /// reference points into `ws`; the call is allocation-free once `ws` has
+    /// warmed up at this batch shape.
+    pub fn forward_ws<'w>(&self, input: &Matrix, ws: &'w mut Workspace) -> &'w Matrix {
+        let Workspace { ping, pong, .. } = ws;
+        match self.layers.split_first() {
+            None => {
+                ping.copy_from(input);
+                ping
+            }
+            Some((first, rest)) => {
+                first.forward_into(input, ping);
+                let (mut src, mut dst) = (ping, pong);
+                for layer in rest {
+                    layer.forward_into(src, dst);
+                    std::mem::swap(&mut src, &mut dst);
+                }
+                src
+            }
         }
-        x
+    }
+
+    /// Inference forward pass (buffer-returning wrapper).
+    pub fn forward(&self, input: &Matrix) -> Matrix {
+        let mut ws = Workspace::default();
+        self.forward_ws(input, &mut ws).clone()
     }
 
     /// Convenience: forward a single observation vector, returning the output
@@ -98,26 +164,49 @@ impl Mlp {
         out.row(0).to_vec()
     }
 
-    /// Training forward pass (caches activations for backprop).
-    pub fn forward_train(&mut self, input: &Matrix) -> Matrix {
-        let mut x = input.clone();
-        for layer in &mut self.layers {
-            x = layer.forward_train(&x);
+    /// Training forward pass (caches activations for backprop). The returned
+    /// reference points into the internal workspace; allocation-free after
+    /// warm-up.
+    pub fn forward_train(&mut self, input: &Matrix) -> &Matrix {
+        let Mlp { layers, ws, .. } = self;
+        let Workspace { ping, pong, .. } = ws;
+        match layers.split_first_mut() {
+            None => {
+                ping.copy_from(input);
+                ping
+            }
+            Some((first, rest)) => {
+                first.forward_train_into(input, ping);
+                let (mut src, mut dst) = (ping, pong);
+                for layer in rest {
+                    layer.forward_train_into(src, dst);
+                    std::mem::swap(&mut src, &mut dst);
+                }
+                src
+            }
         }
-        x
     }
 
     /// Backward pass from `dL/d(output)`; accumulates gradients in every
-    /// layer and returns `dL/d(input)`.
-    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let mut grad = grad_output.clone();
-        for layer in self.layers.iter_mut().rev() {
-            grad = layer.backward(&grad);
+    /// layer and returns `dL/d(input)` (borrowed from the internal
+    /// workspace). Allocation-free after warm-up.
+    pub fn backward(&mut self, grad_output: &Matrix) -> &Matrix {
+        let Mlp { layers, ws, .. } = self;
+        let Workspace {
+            ping,
+            pong,
+            grad_pre,
+        } = ws;
+        ping.copy_from(grad_output);
+        let (mut src, mut dst) = (ping, pong);
+        for layer in layers.iter_mut().rev() {
+            layer.backward_into(src, grad_pre, dst);
+            std::mem::swap(&mut src, &mut dst);
         }
-        grad
+        src
     }
 
-    /// Reset all accumulated gradients.
+    /// Reset all accumulated gradients (buffers are parked and reused).
     pub fn zero_grad(&mut self) {
         for layer in &mut self.layers {
             layer.zero_grad();
@@ -146,7 +235,7 @@ impl Mlp {
             let scale = max_norm / norm;
             for layer in &mut self.layers {
                 if let Some(gw) = &mut layer.grad_weights {
-                    *gw = gw.scale(scale);
+                    gw.scale_assign(scale);
                 }
                 if let Some(gb) = &mut layer.grad_bias {
                     for g in gb.iter_mut() {
@@ -185,7 +274,10 @@ mod tests {
         let cfg = MlpConfig::new(10, &[32, 16], 5, Activation::Relu);
         let net = Mlp::new(&cfg, 0);
         assert_eq!(net.layers().len(), 3);
-        assert_eq!(net.num_parameters(), 10 * 32 + 32 + 32 * 16 + 16 + 16 * 5 + 5);
+        assert_eq!(
+            net.num_parameters(),
+            10 * 32 + 32 + 32 * 16 + 16 + 16 * 5 + 5
+        );
         let out = net.forward(&Matrix::zeros(3, 10));
         assert_eq!(out.rows(), 3);
         assert_eq!(out.cols(), 5);
@@ -197,6 +289,21 @@ mod tests {
         let cfg = MlpConfig::new(4, &[8], 2, Activation::Tanh);
         assert_eq!(Mlp::new(&cfg, 5), Mlp::new(&cfg, 5));
         assert_ne!(Mlp::new(&cfg, 5), Mlp::new(&cfg, 6));
+    }
+
+    #[test]
+    fn forward_ws_matches_forward() {
+        let cfg = MlpConfig::new(6, &[12, 7], 3, Activation::Tanh);
+        let net = Mlp::new(&cfg, 4);
+        let x = Matrix::from_rows(&[&[0.1, -0.2, 0.3, 0.4, -0.5, 0.6], &[1.0; 6]]);
+        let reference = net.forward(&x);
+        let mut ws = Workspace::new();
+        // Run twice through the same workspace: identical both times.
+        assert_eq!(net.forward_ws(&x, &mut ws), &reference);
+        assert_eq!(net.forward_ws(&x, &mut ws), &reference);
+        // Shape changes are absorbed by the workspace.
+        let single = Matrix::from_rows(&[&[0.5, 0.5, 0.5, 0.5, 0.5, 0.5]]);
+        assert_eq!(net.forward_ws(&single, &mut ws), &net.forward(&single));
     }
 
     #[test]
@@ -250,7 +357,7 @@ mod tests {
         let cfg = MlpConfig::new(4, &[8], 3, Activation::Relu);
         let mut net = Mlp::new(&cfg, 2);
         let x = Matrix::from_rows(&[&[10.0, -10.0, 5.0, 2.0]]);
-        let out = net.forward_train(&x);
+        let out = net.forward_train(&x).clone();
         net.zero_grad();
         net.backward(&out.scale(100.0));
         let before = net.grad_norm();

@@ -54,7 +54,9 @@ impl Optimizer for Sgd {
         let mut idx = 0usize;
         for layer in net.layers_mut() {
             let n = layer.weights.rows() * layer.weights.cols();
-            if let Some(gw) = layer.grad_weights.clone() {
+            // Borrow gradients and parameters side by side (disjoint fields):
+            // no gradient clone, no allocation.
+            if let Some(gw) = &layer.grad_weights {
                 let w = layer.weights.data_mut();
                 for (i, g) in gw.data().iter().enumerate() {
                     let v = &mut self.velocity[idx + i];
@@ -63,7 +65,7 @@ impl Optimizer for Sgd {
                 }
             }
             idx += n;
-            if let Some(gb) = layer.grad_bias.clone() {
+            if let Some(gb) = &layer.grad_bias {
                 for (i, g) in gb.iter().enumerate() {
                     let v = &mut self.velocity[idx + i];
                     *v = self.momentum * *v + g;
@@ -128,7 +130,8 @@ impl Optimizer for Adam {
         let mut idx = 0usize;
         for layer in net.layers_mut() {
             let n = layer.weights.rows() * layer.weights.cols();
-            if let Some(gw) = layer.grad_weights.clone() {
+            // Gradients are read in place (no clone, no allocation).
+            if let Some(gw) = &layer.grad_weights {
                 let w = layer.weights.data_mut();
                 for (i, g) in gw.data().iter().enumerate() {
                     let mut p = w[i];
@@ -137,11 +140,12 @@ impl Optimizer for Adam {
                 }
             }
             idx += n;
-            if let Some(gb) = layer.grad_bias.clone() {
+            if let Some(gb) = &layer.grad_bias {
+                let bias = &mut layer.bias;
                 for (i, g) in gb.iter().enumerate() {
-                    let mut p = layer.bias[i];
+                    let mut p = bias[i];
                     self.update(idx + i, &mut p, *g, bias1, bias2);
-                    layer.bias[i] = p;
+                    bias[i] = p;
                 }
             }
             idx += layer.bias.len();

@@ -1,0 +1,167 @@
+//! Property tests for the optimized compute kernels: every `*_into` /
+//! in-place operation must match a naive scalar reference on random shapes,
+//! including degenerate ones (1×n, n×1, and empty matrices).
+
+use proptest::prelude::*;
+use tcrm_nn::Matrix;
+
+/// Textbook triple-loop reference (the semantics the optimized kernels must
+/// reproduce).
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows());
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0f32;
+            for k in 0..a.cols() {
+                acc += a.get(i, k) * b.get(k, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+fn matrix_strategy(
+    rows: impl Strategy<Value = usize>,
+    cols: impl Strategy<Value = usize>,
+) -> impl Strategy<Value = Matrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-4.0f32..4.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+fn assert_close(a: &Matrix, b: &Matrix, tol: f32) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.rows(), b.rows());
+    prop_assert_eq!(a.cols(), b.cols());
+    for (x, y) in a.data().iter().zip(b.data().iter()) {
+        prop_assert!((x - y).abs() <= tol, "{x} vs {y}");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // Shape bounds straddle the kernel's blocking parameters (4-row blocks,
+    // 16-column register tiles), so the tiled main path, both remainder
+    // paths and their combinations are all exercised, alongside 1×n, n×1
+    // and empty shapes.
+    #[test]
+    fn matmul_into_matches_naive(
+        m in 0usize..11,
+        k in 0usize..9,
+        n in 0usize..40,
+        seed in 0u64..1000,
+    ) {
+        // Deterministic pseudo-random contents from the seed so all three
+        // shapes (including 1×n, n×1 and empty) are exercised.
+        let fill = |r: usize, c: usize, salt: u64| {
+            Matrix::from_vec(r, c, (0..r * c)
+                .map(|i| (((i as u64 * 2654435761 + seed * 97 + salt) % 17) as f32 - 8.0) / 4.0)
+                .collect())
+        };
+        let a = fill(m, k, 1);
+        let b = fill(k, n, 2);
+        let reference = naive_matmul(&a, &b);
+        // Allocating wrapper.
+        assert_close(&a.matmul(&b), &reference, 1e-3)?;
+        // Into-variant, including reuse of a dirty, wrongly-shaped buffer.
+        let mut out = Matrix::from_vec(1, 1, vec![42.0]);
+        a.matmul_into(&b, &mut out);
+        assert_close(&out, &reference, 1e-3)?;
+        a.matmul_into(&b, &mut out);
+        assert_close(&out, &reference, 1e-3)?;
+    }
+
+    #[test]
+    fn matmul_transb_matches_naive_on_transpose(
+        a in matrix_strategy(0usize..7, 0usize..12),
+        n in 0usize..7,
+        seed in 0u64..500,
+    ) {
+        let k = a.cols();
+        let b_t = Matrix::from_vec(n, k, (0..n * k)
+            .map(|i| (((i as u64 * 40503 + seed) % 13) as f32 - 6.0) / 3.0)
+            .collect());
+        let reference = naive_matmul(&a, &b_t.transpose());
+        let mut out = Matrix::default();
+        a.matmul_transb_into(&b_t, &mut out);
+        assert_close(&out, &reference, 1e-3)?;
+    }
+
+    #[test]
+    fn matmul_transa_accumulates_on_top(
+        a in matrix_strategy(0usize..6, 1usize..5),
+        n in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let k = a.rows();
+        let m = a.cols();
+        let b = Matrix::from_vec(k, n, (0..k * n)
+            .map(|i| (((i as u64 * 69069 + seed) % 11) as f32 - 5.0) / 2.0)
+            .collect());
+        let base = Matrix::from_vec(m, n, (0..m * n)
+            .map(|i| ((i as u64 * 31 + seed) % 7) as f32)
+            .collect());
+        let reference = base.add(&naive_matmul(&a.transpose(), &b));
+        let mut out = base.clone();
+        a.matmul_transa_acc_into(&b, &mut out);
+        assert_close(&out, &reference, 1e-3)?;
+    }
+
+    #[test]
+    fn inplace_ops_match_pure_ops(
+        a in matrix_strategy(1usize..5, 1usize..5),
+        scale in -3.0f32..3.0,
+        seed in 0u64..500,
+    ) {
+        let b = Matrix::from_vec(a.rows(), a.cols(), (0..a.rows() * a.cols())
+            .map(|i| (((i as u64 * 193 + seed) % 9) as f32 - 4.0) / 2.0)
+            .collect());
+        let mut x = a.clone();
+        x.add_assign(&b);
+        assert_close(&x, &a.add(&b), 0.0)?;
+        let mut x = a.clone();
+        x.sub_assign(&b);
+        assert_close(&x, &a.sub(&b), 0.0)?;
+        let mut x = a.clone();
+        x.hadamard_assign(&b);
+        assert_close(&x, &a.hadamard(&b), 0.0)?;
+        let mut x = a.clone();
+        x.scale_assign(scale);
+        assert_close(&x, &a.scale(scale), 0.0)?;
+        let mut x = a.clone();
+        x.map_inplace(|v| v * 2.0 - 1.0);
+        assert_close(&x, &a.map(|v| v * 2.0 - 1.0), 0.0)?;
+        // Broadcast and row reductions.
+        let bias: Vec<f32> = (0..a.cols()).map(|i| i as f32 / 2.0 - 1.0).collect();
+        let mut x = a.clone();
+        x.add_row_broadcast_assign(&bias);
+        assert_close(&x, &a.add_row_broadcast(&bias), 0.0)?;
+        let mut sums = vec![1.0f32; a.cols()];
+        a.sum_rows_acc_into(&mut sums);
+        for (j, (acc, plain)) in sums.iter().zip(a.sum_rows().iter()).enumerate() {
+            prop_assert!((acc - (plain + 1.0)).abs() < 1e-4, "col {j}: {acc} vs {plain}+1");
+        }
+    }
+
+    #[test]
+    fn resize_and_copy_preserve_reuse_semantics(
+        a in matrix_strategy(0usize..6, 0usize..6),
+        r in 0usize..6,
+        c in 0usize..6,
+    ) {
+        let mut m = a.clone();
+        m.resize(r, c);
+        prop_assert_eq!(m.rows(), r);
+        prop_assert_eq!(m.cols(), c);
+        prop_assert_eq!(m.data().len(), r * c);
+        let mut m = Matrix::zeros(3, 3);
+        m.copy_from(&a);
+        prop_assert_eq!(&m, &a);
+        m.fill(0.5);
+        prop_assert!(m.data().iter().all(|&v| v == 0.5));
+    }
+}

@@ -70,7 +70,7 @@ proptest! {
     fn softmax_is_a_distribution(logits in arb_logits(8)) {
         let p = softmax(&logits);
         prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
-        prop_assert!(p.iter().all(|&x| x >= 0.0 && x <= 1.0 + 1e-6));
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
         // Order preserving: the largest logit has the largest probability.
         let argmax_logit = logits
             .iter()
@@ -115,7 +115,7 @@ proptest! {
 
     #[test]
     fn masked_softmax_with_full_mask_equals_softmax(logits in arb_logits(7)) {
-        let full = masked_softmax(&logits, &vec![true; 7]);
+        let full = masked_softmax(&logits, &[true; 7]);
         let plain = softmax(&logits);
         for (a, b) in full.iter().zip(plain.iter()) {
             prop_assert!((a - b).abs() < 1e-5);
@@ -156,9 +156,9 @@ proptest! {
         let cfg = MlpConfig::new(5, &[8], 4, Activation::Relu);
         let mut net = Mlp::new(&cfg, seed);
         let x = Matrix::from_vec(1, 5, vec![1.0, -2.0, 3.0, -4.0, 5.0]);
-        let out = net.forward_train(&x);
+        let upstream = net.forward_train(&x).scale(10.0);
         net.zero_grad();
-        net.backward(&out.scale(10.0));
+        net.backward(&upstream);
         let before = net.grad_norm();
         net.clip_grad_norm(max_norm);
         let after = net.grad_norm();

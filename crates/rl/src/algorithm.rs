@@ -313,7 +313,10 @@ impl Algorithm for Reinforce {
         }
         self.policy.network_mut().zero_grad();
         self.policy.network_mut().backward(&grad);
-        let grad_norm = self.policy.network_mut().clip_grad_norm(self.config.max_grad_norm);
+        let grad_norm = self
+            .policy
+            .network_mut()
+            .clip_grad_norm(self.config.max_grad_norm);
         self.optimizer.step(self.policy.network_mut());
         UpdateStats {
             policy_loss,
@@ -377,10 +380,7 @@ impl A2c {
     /// Create an A2C learner around fresh policy and value networks.
     pub fn new(policy: CategoricalPolicy, value: ValueNet, config: A2cConfig) -> Self {
         let policy_opt = Adam::new(policy.network().num_parameters(), config.learning_rate);
-        let value_opt = Adam::new(
-            value.network().num_parameters(),
-            config.value_learning_rate,
-        );
+        let value_opt = Adam::new(value.network().num_parameters(), config.value_learning_rate);
         A2c {
             config,
             policy,
@@ -453,7 +453,10 @@ impl Algorithm for A2c {
         }
         self.policy.network_mut().zero_grad();
         self.policy.network_mut().backward(&grad);
-        let grad_norm = self.policy.network_mut().clip_grad_norm(self.config.max_grad_norm);
+        let grad_norm = self
+            .policy
+            .network_mut()
+            .clip_grad_norm(self.config.max_grad_norm);
         self.policy_opt.step(self.policy.network_mut());
 
         let value_loss = value_update(
@@ -527,16 +530,19 @@ pub struct Ppo {
     policy_opt: Adam,
     value_opt: Adam,
     rng: StdRng,
+    /// Persistent minibatch gather buffers: sized by the first update, reused
+    /// by every later epoch/minibatch so the optimisation loop stops
+    /// allocating.
+    mb_obs: Matrix,
+    mb_grad: Matrix,
+    mb_targets: Vec<f64>,
 }
 
 impl Ppo {
     /// Create a PPO learner around fresh policy and value networks.
     pub fn new(policy: CategoricalPolicy, value: ValueNet, config: PpoConfig) -> Self {
         let policy_opt = Adam::new(policy.network().num_parameters(), config.learning_rate);
-        let value_opt = Adam::new(
-            value.network().num_parameters(),
-            config.value_learning_rate,
-        );
+        let value_opt = Adam::new(value.network().num_parameters(), config.value_learning_rate);
         let rng = StdRng::seed_from_u64(config.seed);
         Ppo {
             config,
@@ -545,6 +551,9 @@ impl Ppo {
             policy_opt,
             value_opt,
             rng,
+            mb_obs: Matrix::default(),
+            mb_grad: Matrix::default(),
+            mb_targets: Vec::new(),
         }
     }
 
@@ -610,14 +619,18 @@ impl Algorithm for Ppo {
             indices.shuffle(&mut self.rng);
             for chunk in indices.chunks(minibatch) {
                 let m = chunk.len();
-                // Gather the minibatch.
-                let mut obs_data = Vec::with_capacity(m * obs_dim);
-                for &i in chunk {
-                    obs_data.extend_from_slice(batch.observations.row(i));
+                // Gather the minibatch into the persistent buffers (no
+                // per-chunk allocation after the first update).
+                self.mb_obs.resize(m, obs_dim);
+                for (row, &i) in chunk.iter().enumerate() {
+                    self.mb_obs
+                        .row_mut(row)
+                        .copy_from_slice(batch.observations.row(i));
                 }
-                let mb_obs = Matrix::from_vec(m, obs_dim, obs_data);
-                let logits = self.policy.forward_train(&mb_obs);
-                let mut grad = Matrix::zeros(m, logits.cols());
+                let logits = self.policy.forward_train(&self.mb_obs);
+                self.mb_grad.resize(m, logits.cols());
+                self.mb_grad.fill(0.0);
+                let grad = &mut self.mb_grad;
                 let mut mb_policy_loss = 0.0;
                 let mut mb_entropy = 0.0;
                 for (row, &i) in chunk.iter().enumerate() {
@@ -630,12 +643,10 @@ impl Algorithm for Ppo {
                         || (adv < 0.0 && ratio < 1.0 - self.config.clip_epsilon);
                     // Surrogate loss value (for reporting): -min(rA, clip(r)A)
                     let unclipped = ratio * adv;
-                    let clipped = ratio
-                        .clamp(
-                            1.0 - self.config.clip_epsilon,
-                            1.0 + self.config.clip_epsilon,
-                        )
-                        * adv;
+                    let clipped = ratio.clamp(
+                        1.0 - self.config.clip_epsilon,
+                        1.0 + self.config.clip_epsilon,
+                    ) * adv;
                     mb_policy_loss += -unclipped.min(clipped) / m as f64;
                     let coeff = if clipped_out {
                         0.0
@@ -653,15 +664,22 @@ impl Algorithm for Ppo {
                     mb_entropy += h / m as f64;
                 }
                 self.policy.network_mut().zero_grad();
-                self.policy.network_mut().backward(&grad);
+                self.policy.network_mut().backward(&self.mb_grad);
                 let gn = self
                     .policy
                     .network_mut()
                     .clip_grad_norm(self.config.max_grad_norm);
                 self.policy_opt.step(self.policy.network_mut());
 
-                let targets: Vec<f64> = chunk.iter().map(|&i| batch.value_targets[i]).collect();
-                let vl = value_update(&mut self.value, &mut self.value_opt, &mb_obs, &targets);
+                self.mb_targets.clear();
+                self.mb_targets
+                    .extend(chunk.iter().map(|&i| batch.value_targets[i]));
+                let vl = value_update(
+                    &mut self.value,
+                    &mut self.value_opt,
+                    &self.mb_obs,
+                    &self.mb_targets,
+                );
 
                 policy_loss_acc += mb_policy_loss;
                 value_loss_acc += vl;
@@ -719,7 +737,11 @@ mod tests {
 
     #[test]
     fn a2c_improves_on_chain() {
-        let algo = A2c::new(chain_policy(), ValueNet::new(5, &[16], 1), A2cConfig::default());
+        let algo = A2c::new(
+            chain_policy(),
+            ValueNet::new(5, &[16], 1),
+            A2cConfig::default(),
+        );
         let (first, last) = train_and_return(algo, 30);
         assert!(last > first + 0.5, "A2C did not improve: {first} -> {last}");
     }
@@ -742,9 +764,17 @@ mod tests {
         let mut algo = Reinforce::new(chain_policy(), ReinforceConfig::default());
         let stats = algo.update(&[]);
         assert_eq!(stats.steps, 0);
-        let mut a2c = A2c::new(chain_policy(), ValueNet::new(5, &[8], 0), A2cConfig::default());
+        let mut a2c = A2c::new(
+            chain_policy(),
+            ValueNet::new(5, &[8], 0),
+            A2cConfig::default(),
+        );
         assert_eq!(a2c.update(&[Trajectory::new()]).steps, 0);
-        let mut ppo = Ppo::new(chain_policy(), ValueNet::new(5, &[8], 0), PpoConfig::default());
+        let mut ppo = Ppo::new(
+            chain_policy(),
+            ValueNet::new(5, &[8], 0),
+            PpoConfig::default(),
+        );
         assert_eq!(ppo.update(&[]).steps, 0);
     }
 
@@ -753,7 +783,15 @@ mod tests {
         let mut algo = Reinforce::new(chain_policy(), ReinforceConfig::default());
         let mut t = Trajectory::new();
         for i in 0..5 {
-            t.push(vec![0.0; 5], vec![true, true], i % 2, 2.0, -0.5, 0.0, i == 4);
+            t.push(
+                vec![0.0; 5],
+                vec![true, true],
+                i % 2,
+                2.0,
+                -0.5,
+                0.0,
+                i == 4,
+            );
         }
         algo.update(&[t]);
         assert!(algo.baseline() > 0.0);

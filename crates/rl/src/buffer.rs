@@ -126,8 +126,11 @@ pub fn normalize_advantages(advantages: &mut [f64]) {
         return;
     }
     let mean = advantages.iter().sum::<f64>() / advantages.len() as f64;
-    let var =
-        advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / advantages.len() as f64;
+    let var = advantages
+        .iter()
+        .map(|a| (a - mean) * (a - mean))
+        .sum::<f64>()
+        / advantages.len() as f64;
     let std = var.sqrt().max(1e-8);
     for a in advantages.iter_mut() {
         *a = (*a - mean) / std;

@@ -94,7 +94,7 @@ impl ReplayBuffer {
     pub fn new(capacity: usize) -> Self {
         ReplayBuffer {
             capacity: capacity.max(1),
-            storage: VecDeque::with_capacity(capacity.max(1).min(65_536)),
+            storage: VecDeque::with_capacity(capacity.clamp(1, 65_536)),
         }
     }
 
@@ -134,6 +134,22 @@ impl ReplayBuffer {
             })
             .collect()
     }
+
+    /// Sample `count` transition indices uniformly with replacement into a
+    /// reusable buffer — the allocation-free variant of [`Self::sample`]
+    /// (indices instead of cloned transitions).
+    pub fn sample_indices_into(&self, count: usize, rng: &mut StdRng, out: &mut Vec<usize>) {
+        out.clear();
+        if self.storage.is_empty() {
+            return;
+        }
+        out.extend((0..count).map(|_| rng.gen_range(0..self.storage.len())));
+    }
+
+    /// Borrow one stored transition by index.
+    pub fn get(&self, index: usize) -> &ReplayTransition {
+        &self.storage[index]
+    }
 }
 
 /// A Q-value network `obs_dim → hidden… → action_count`.
@@ -166,6 +182,18 @@ impl QNetwork {
         self.net.forward_vec(obs)
     }
 
+    /// Batched Q-values: one forward pass over a `batch × obs_dim` matrix,
+    /// producing `batch × action_count` Q-values borrowed from the caller's
+    /// workspace. One batched pass replaces `batch` single-row forwards and
+    /// is allocation-free after warm-up.
+    pub fn q_values_batch_ws<'w>(
+        &self,
+        observations: &Matrix,
+        ws: &'w mut tcrm_nn::Workspace,
+    ) -> &'w Matrix {
+        self.net.forward_ws(observations, ws)
+    }
+
     /// The feasible action with the highest Q-value. Falls back to the first
     /// feasible action when all Q-values are non-finite, and to action 0 when
     /// the mask is empty (the environment contract forbids that, but a
@@ -173,6 +201,23 @@ impl QNetwork {
     pub fn greedy_masked(&self, obs: &[f32], mask: &[bool]) -> usize {
         let q = self.q_values(obs);
         best_masked_action(&q, mask).unwrap_or(0)
+    }
+
+    /// [`Self::greedy_masked`] through caller-owned scratch: the observation
+    /// row and Q-values live in reused buffers, so selection is
+    /// allocation-free after warm-up. Identical selection semantics
+    /// (including the fallback chain).
+    pub fn greedy_masked_ws(
+        &self,
+        obs: &[f32],
+        mask: &[bool],
+        obs_row: &mut Matrix,
+        ws: &mut tcrm_nn::Workspace,
+    ) -> usize {
+        obs_row.resize(1, obs.len());
+        obs_row.data_mut().copy_from_slice(obs);
+        let q = self.net.forward_ws(obs_row, ws);
+        best_masked_action(q.row(0), mask).unwrap_or(0)
     }
 
     /// Highest Q-value among feasible actions, or `None` when nothing is
@@ -223,6 +268,31 @@ pub struct DqnAgent {
     env_steps: u64,
     updates: u64,
     action_count: usize,
+    scratch: TrainScratch,
+}
+
+/// Persistent minibatch buffers: one warm-up gradient step sizes them, every
+/// later step reuses the allocations (batched forwards included).
+#[derive(Debug, Default)]
+struct TrainScratch {
+    /// Sampled replay indices.
+    indices: Vec<usize>,
+    /// Stacked observations of the minibatch (`n × obs_dim`).
+    obs: Matrix,
+    /// Stacked next-observations of the minibatch (`n × obs_dim`).
+    next_obs: Matrix,
+    /// Bootstrap targets.
+    targets: Vec<f64>,
+    /// TD-error gradient w.r.t. the Q outputs (`n × action_count`).
+    grad: Matrix,
+    /// Workspace for the batched online-network bootstrap forward.
+    online_ws: tcrm_nn::Workspace,
+    /// Workspace for the batched target-network bootstrap forward.
+    target_ws: tcrm_nn::Workspace,
+    /// Feasible-action index buffer for ε-greedy exploration.
+    feasible: Vec<usize>,
+    /// Single-observation row buffer for greedy action selection.
+    obs_row: Matrix,
 }
 
 impl DqnAgent {
@@ -248,6 +318,7 @@ impl DqnAgent {
             env_steps: 0,
             updates: 0,
             action_count,
+            scratch: TrainScratch::default(),
         }
     }
 
@@ -266,6 +337,11 @@ impl DqnAgent {
         self.buffer.len()
     }
 
+    /// Mutable access to the replay buffer (offline filling, tests).
+    pub fn replay_mut(&mut self) -> &mut ReplayBuffer {
+        &mut self.buffer
+    }
+
     /// Gradient steps taken so far.
     pub fn updates(&self) -> u64 {
         self.updates
@@ -282,21 +358,34 @@ impl DqnAgent {
     }
 
     /// ε-greedy action selection respecting the feasibility mask.
+    /// Allocation-free after warm-up (reused index buffer, workspace-backed
+    /// greedy forward).
     pub fn select_action(&mut self, step: &Step) -> usize {
         let explore = self.rng.gen::<f64>() < self.epsilon();
         if explore {
-            let feasible: Vec<usize> = step
-                .action_mask
-                .iter()
-                .enumerate()
-                .filter_map(|(i, &m)| if m { Some(i) } else { None })
-                .collect();
+            let feasible = &mut self.scratch.feasible;
+            feasible.clear();
+            feasible.extend(step.action_mask.iter().enumerate().filter_map(|(i, &m)| {
+                if m {
+                    Some(i)
+                } else {
+                    None
+                }
+            }));
             if feasible.is_empty() {
                 return 0;
             }
             feasible[self.rng.gen_range(0..feasible.len())]
         } else {
-            self.greedy_action(step)
+            let DqnAgent {
+                online, scratch, ..
+            } = self;
+            online.greedy_masked_ws(
+                &step.observation,
+                &step.action_mask,
+                &mut scratch.obs_row,
+                &mut scratch.online_ws,
+            )
         }
     }
 
@@ -327,7 +416,7 @@ impl DqnAgent {
         });
         let due = self.config.train_interval.max(1) as u64;
         if self.buffer.len() >= self.config.warmup.max(self.config.batch_size)
-            && self.env_steps % due == 0
+            && self.env_steps.is_multiple_of(due)
         {
             Some(self.train_step())
         } else {
@@ -336,63 +425,108 @@ impl DqnAgent {
     }
 
     /// One gradient step on a uniformly sampled minibatch.
+    ///
+    /// The bootstrap pass is **batched**: the minibatch's next-observations
+    /// are stacked into one matrix and scored with a single forward per
+    /// network (online and target) instead of one forward per transition.
+    /// Every buffer involved lives in the agent's persistent scratch, so a
+    /// steady-state gradient step performs no heap allocation.
     pub fn train_step(&mut self) -> DqnUpdateStats {
-        let batch = self.buffer.sample(self.config.batch_size, &mut self.rng);
-        let n = batch.len().max(1);
-        let obs_dim = batch
+        let DqnAgent {
+            online,
+            target,
+            optimizer,
+            buffer,
+            config,
+            rng,
+            scratch,
+            action_count,
+            ..
+        } = self;
+        buffer.sample_indices_into(config.batch_size, rng, &mut scratch.indices);
+        let n = scratch.indices.len().max(1);
+        let obs_dim = scratch
+            .indices
             .first()
-            .map(|t| t.observation.len())
+            .map(|&i| buffer.get(i).observation.len())
             .unwrap_or(1)
             .max(1);
 
-        // Bootstrap targets from the target network (optionally double DQN).
-        let mut targets = Vec::with_capacity(n);
-        for t in &batch {
-            let bootstrap = if t.done {
-                0.0
-            } else if self.config.double_dqn {
-                // Online network picks the action, target network rates it.
-                match best_masked_action(
-                    &self.online.q_values(&t.next_observation),
-                    &t.next_mask,
-                ) {
-                    Some(a) => self.target.q_values(&t.next_observation)[a] as f64,
-                    None => 0.0,
-                }
+        // Stack the minibatch into the persistent matrices.
+        scratch.obs.resize(n, obs_dim);
+        scratch.next_obs.resize(n, obs_dim);
+        for (r, &idx) in scratch.indices.iter().enumerate() {
+            let t = buffer.get(idx);
+            scratch.obs.row_mut(r).copy_from_slice(&t.observation);
+            scratch
+                .next_obs
+                .row_mut(r)
+                .copy_from_slice(&t.next_observation);
+        }
+
+        // Bootstrap targets from one batched forward per network
+        // (optionally double DQN: online picks, target rates).
+        scratch.targets.clear();
+        {
+            let target_next = target
+                .network()
+                .forward_ws(&scratch.next_obs, &mut scratch.target_ws);
+            let online_next = if config.double_dqn {
+                Some(
+                    online
+                        .network()
+                        .forward_ws(&scratch.next_obs, &mut scratch.online_ws),
+                )
             } else {
-                self.target
-                    .max_masked(&t.next_observation, &t.next_mask)
-                    .map(|q| q as f64)
-                    .unwrap_or(0.0)
+                None
             };
-            targets.push(t.reward + self.config.gamma * bootstrap);
+            for (r, &idx) in scratch.indices.iter().enumerate() {
+                let t = buffer.get(idx);
+                let bootstrap = if t.done {
+                    0.0
+                } else if let Some(online_next) = &online_next {
+                    match best_masked_action(online_next.row(r), &t.next_mask) {
+                        Some(a) => target_next.get(r, a) as f64,
+                        None => 0.0,
+                    }
+                } else {
+                    best_masked_action(target_next.row(r), &t.next_mask)
+                        .map(|a| target_next.get(r, a) as f64)
+                        .unwrap_or(0.0)
+                };
+                scratch.targets.push(t.reward + config.gamma * bootstrap);
+            }
         }
 
         // Forward pass and TD-error gradient only on the taken actions.
-        let mut obs_data = Vec::with_capacity(n * obs_dim);
-        for t in &batch {
-            obs_data.extend_from_slice(&t.observation);
-        }
-        let obs = Matrix::from_vec(n, obs_dim, obs_data);
-        let preds = self.online.network_mut().forward_train(&obs);
-        let mut grad = Matrix::zeros(n, self.action_count);
+        let preds = online.network_mut().forward_train(&scratch.obs);
+        scratch.grad.resize(n, *action_count);
+        scratch.grad.fill(0.0);
         let mut loss = 0.0;
         let mut abs_td = 0.0;
-        for (r, (t, &target)) in batch.iter().zip(targets.iter()).enumerate() {
-            let q_sa = preds.get(r, t.action) as f64;
-            let diff = q_sa - target;
+        for (r, (&idx, &target_q)) in scratch
+            .indices
+            .iter()
+            .zip(scratch.targets.iter())
+            .enumerate()
+        {
+            let action = buffer.get(idx).action;
+            let q_sa = preds.get(r, action) as f64;
+            let diff = q_sa - target_q;
             loss += diff * diff;
             abs_td += diff.abs();
-            grad.set(r, t.action, (2.0 * diff / n as f64) as f32);
+            scratch.grad.set(r, action, (2.0 * diff / n as f64) as f32);
         }
-        self.online.network_mut().zero_grad();
-        self.online.network_mut().backward(&grad);
-        self.online.network_mut().clip_grad_norm(self.config.grad_clip);
-        self.optimizer.step(self.online.network_mut());
+        online.network_mut().zero_grad();
+        online.network_mut().backward(&scratch.grad);
+        online.network_mut().clip_grad_norm(config.grad_clip);
+        optimizer.step(online.network_mut());
 
         self.updates += 1;
         if self.config.target_sync_interval > 0
-            && self.updates % self.config.target_sync_interval as u64 == 0
+            && self
+                .updates
+                .is_multiple_of(self.config.target_sync_interval as u64)
         {
             self.sync_target();
         }
@@ -502,9 +636,13 @@ mod tests {
         let masked = q.greedy_masked(&[0.1, 0.2, 0.3, 0.4], &[false, true, false]);
         assert_eq!(masked, 1);
         // max_masked agrees with the chosen index.
-        let m = q.max_masked(&[0.1, 0.2, 0.3, 0.4], &[false, true, false]).unwrap();
+        let m = q
+            .max_masked(&[0.1, 0.2, 0.3, 0.4], &[false, true, false])
+            .unwrap();
         assert!((m - values[1]).abs() < 1e-6);
-        assert!(q.max_masked(&[0.1, 0.2, 0.3, 0.4], &[false, false, false]).is_none());
+        assert!(q
+            .max_masked(&[0.1, 0.2, 0.3, 0.4], &[false, false, false])
+            .is_none());
     }
 
     #[test]
@@ -600,7 +738,7 @@ mod tests {
             };
             let mut env = ChainEnv::new(5, 10);
             let mut agent = DqnAgent::new(5, 2, &[16], 21, cfg);
-            agent.train(&mut env, 80, 7);
+            agent.train(&mut env, 150, 7);
             let ret = agent.run_episode(&mut env, 99, false);
             assert!(
                 ret >= 7.0,

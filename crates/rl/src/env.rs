@@ -133,7 +133,7 @@ pub(crate) mod test_envs {
         }
         fn step(&mut self, action: usize) -> Transition {
             self.steps += 1;
-            let mask = if self.steps % 2 == 0 {
+            let mask = if self.steps.is_multiple_of(2) {
                 vec![true, false, true]
             } else {
                 vec![false, true, false]

@@ -59,6 +59,18 @@ impl CategoricalPolicy {
         masked_softmax(&self.logits(obs), mask)
     }
 
+    /// Batched logits through a caller-owned workspace: one forward pass for
+    /// a whole `batch × obs_dim` matrix instead of one per row,
+    /// allocation-free after warm-up. The returned `batch × action_count`
+    /// matrix is borrowed from `ws`.
+    pub fn logits_batch_ws<'w>(
+        &self,
+        observations: &Matrix,
+        ws: &'w mut tcrm_nn::Workspace,
+    ) -> &'w Matrix {
+        self.net.forward_ws(observations, ws)
+    }
+
     /// Sample an action from the masked distribution. Returns
     /// `(action, log_prob, probabilities)`.
     pub fn sample(&self, obs: &[f32], mask: &[bool], rng: &mut StdRng) -> (usize, f32, Vec<f32>) {
@@ -93,9 +105,10 @@ impl CategoricalPolicy {
     }
 
     /// Training-mode forward pass over a batch of observations, returning the
-    /// logits matrix (`batch × action_count`). Gradients flow back through
-    /// [`Mlp::backward`] on the wrapped network.
-    pub fn forward_train(&mut self, batch_obs: &Matrix) -> Matrix {
+    /// logits matrix (`batch × action_count`, borrowed from the network's
+    /// internal workspace). Gradients flow back through [`Mlp::backward`] on
+    /// the wrapped network. Allocation-free after warm-up.
+    pub fn forward_train(&mut self, batch_obs: &Matrix) -> &Matrix {
         self.net.forward_train(batch_obs)
     }
 

@@ -144,8 +144,7 @@ impl Trainer {
         env: &mut E,
         mut algo: A,
     ) -> TrainingHistory {
-        let history = self.train_in_place(env, &mut algo);
-        history
+        self.train_in_place(env, &mut algo)
     }
 
     /// Like [`Self::train`] but keeps ownership of the learner with the
@@ -159,8 +158,8 @@ impl Trainer {
         for iteration in 0..self.config.iterations {
             let mut trajectories = Vec::with_capacity(self.config.episodes_per_iteration);
             for e in 0..self.config.episodes_per_iteration {
-                let seed = self.config.seed
-                    + (iteration * self.config.episodes_per_iteration + e) as u64;
+                let seed =
+                    self.config.seed + (iteration * self.config.episodes_per_iteration + e) as u64;
                 trajectories.push(self.rollout(env, algo, seed));
             }
             let returns: Vec<f64> = trajectories.iter().map(|t| t.total_reward()).collect();
@@ -198,7 +197,10 @@ mod tests {
     fn rollout_respects_masks_and_episode_length() {
         let trainer = Trainer::new(TrainerConfig::default());
         let mut env = MaskedEnv { steps: 0 };
-        let algo = Reinforce::new(CategoricalPolicy::new(2, &[8], 3, 0), ReinforceConfig::default());
+        let algo = Reinforce::new(
+            CategoricalPolicy::new(2, &[8], 3, 0),
+            ReinforceConfig::default(),
+        );
         let t = trainer.rollout(&mut env, &algo, 1);
         assert_eq!(t.len(), 6);
         for (mask, action) in t.masks.iter().zip(t.actions.iter()) {
@@ -215,7 +217,10 @@ mod tests {
         };
         let trainer = Trainer::new(cfg);
         let mut env = ChainEnv::new(4, 1_000_000);
-        let algo = Reinforce::new(CategoricalPolicy::new(4, &[8], 2, 0), ReinforceConfig::default());
+        let algo = Reinforce::new(
+            CategoricalPolicy::new(4, &[8], 2, 0),
+            ReinforceConfig::default(),
+        );
         let t = trainer.rollout(&mut env, &algo, 2);
         assert_eq!(t.len(), 5);
     }

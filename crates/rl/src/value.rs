@@ -39,8 +39,21 @@ impl ValueNet {
         (0..out.rows()).map(|r| out.get(r, 0)).collect()
     }
 
-    /// Training-mode forward pass (caches activations).
-    pub fn forward_train(&mut self, batch: &Matrix) -> Matrix {
+    /// Batched value estimates through a caller-owned workspace: one forward
+    /// pass for the whole batch, allocation-free after warm-up. The returned
+    /// `batch × 1` matrix is borrowed from `ws`.
+    pub fn values_batch_ws<'w>(
+        &self,
+        batch: &Matrix,
+        ws: &'w mut tcrm_nn::Workspace,
+    ) -> &'w Matrix {
+        self.net.forward_ws(batch, ws)
+    }
+
+    /// Training-mode forward pass (caches activations; the returned logits
+    /// are borrowed from the network's internal workspace). Allocation-free
+    /// after warm-up.
+    pub fn forward_train(&mut self, batch: &Matrix) -> &Matrix {
         self.net.forward_train(batch)
     }
 

@@ -13,7 +13,7 @@ fn transition(tag: usize) -> ReplayTransition {
         reward: tag as f64,
         next_observation: vec![0.0, 0.0],
         next_mask: vec![true, true, true],
-        done: tag % 5 == 0,
+        done: tag.is_multiple_of(5),
     }
 }
 

@@ -145,7 +145,10 @@ mod tests {
         let a = alloc();
         assert_eq!(a.total_units(), 4);
         assert_eq!(a.total_demand(), ResourceVector::of(8.0, 16.0, 0.0, 2.0));
-        assert_eq!(a.demand_on(NodeId(1)), ResourceVector::of(2.0, 4.0, 0.0, 0.5));
+        assert_eq!(
+            a.demand_on(NodeId(1)),
+            ResourceVector::of(2.0, 4.0, 0.0, 0.5)
+        );
         assert_eq!(a.demand_on(NodeId(9)), ResourceVector::zero());
     }
 

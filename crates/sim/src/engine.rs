@@ -15,10 +15,12 @@ use crate::cluster::Cluster;
 use crate::config::{ClusterSpec, SimConfig};
 use crate::event::{EventKind, EventQueue};
 use crate::job::{Job, JobId};
-use crate::metrics::{CompletedJob, MetricsCollector, Summary, UtilizationSample, UtilizationTrace};
+use crate::metrics::{
+    CompletedJob, MetricsCollector, Summary, UtilizationSample, UtilizationTrace,
+};
 use crate::node::NodeClassId;
 use crate::scheduler::{Action, ActionOutcome, Scheduler};
-use crate::view::{ClusterView, NodeClassView, PendingJobView, RunningJobView};
+use crate::view::{ClusterView, NodeClassView, RunningJobView};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -67,11 +69,18 @@ pub struct Simulator {
     events: EventQueue,
     pending: Vec<Job>,
     running: HashMap<JobId, RunningJob>,
+    /// Running job ids kept sorted by `(started_at, id)` — the order
+    /// [`Self::view`] exposes. Maintained incrementally on start/completion
+    /// so building a view never re-sorts.
+    running_order: Vec<JobId>,
     metrics: MetricsCollector,
     total_jobs: usize,
     arrivals_remaining: usize,
     started: bool,
     aborted: bool,
+    /// Events whose timestamp was behind the simulation clock and was
+    /// clamped forward to `self.time` (see [`Self::advance`]).
+    clamped_events: u64,
     best_speed_cache: [f64; crate::job::JobClass::COUNT],
 }
 
@@ -92,11 +101,13 @@ impl Simulator {
             events: EventQueue::new(),
             pending: Vec::new(),
             running: HashMap::new(),
+            running_order: Vec::new(),
             metrics: MetricsCollector::new(),
             total_jobs: 0,
             arrivals_remaining: 0,
             started: false,
             aborted: false,
+            clamped_events: 0,
             best_speed_cache,
         }
     }
@@ -142,6 +153,13 @@ impl Simulator {
         self.running.len()
     }
 
+    /// Number of events whose timestamp was behind the simulation clock and
+    /// was clamped forward (should stay 0 in a well-formed run; see
+    /// [`Self::advance`]).
+    pub fn clamped_event_count(&self) -> u64 {
+        self.clamped_events
+    }
+
     // ------------------------------------------------------------------
     // Step-wise API
     // ------------------------------------------------------------------
@@ -159,6 +177,11 @@ impl Simulator {
         });
         self.total_jobs = jobs.len();
         self.arrivals_remaining = jobs.len();
+        // Pre-size the per-run collections so steady-state stepping does not
+        // grow them (part of the allocation-free stepping contract).
+        self.pending.reserve(jobs.len());
+        self.running_order.reserve(jobs.len().min(1024));
+        self.metrics.reserve(jobs.len());
         for job in jobs {
             debug_assert!(job.validate().is_ok(), "invalid job {}", job.id);
             self.events.push(job.arrival, EventKind::JobArrival(job));
@@ -166,8 +189,10 @@ impl Simulator {
         if let Some(interval) = self.config.decision_interval {
             self.events.push(interval, EventKind::DecisionEpoch);
         }
-        self.events
-            .push(self.config.util_sample_interval, EventKind::UtilizationSample);
+        self.events.push(
+            self.config.util_sample_interval,
+            EventKind::UtilizationSample,
+        );
     }
 
     /// True when every job has been processed (or the run aborted).
@@ -201,9 +226,25 @@ impl Simulator {
                 self.abort_run();
                 return false;
             }
-            debug_assert!(event.time + 1e-9 >= self.time, "time went backwards");
-            self.update_progress(event.time.max(self.time));
-            self.time = self.time.max(event.time);
+            // The engine never emits out-of-order events itself; if one ever
+            // appears (e.g. a hand-crafted trace with a stale timestamp) it
+            // is clamped forward to the current clock — time never runs
+            // backwards. The clamp is explicit and counted so misuse is
+            // observable instead of silently absorbed.
+            let event_time = if event.time < self.time {
+                debug_assert!(
+                    event.time + 1e-9 >= self.time,
+                    "event time {} is before simulation time {}",
+                    event.time,
+                    self.time
+                );
+                self.clamped_events += 1;
+                self.time
+            } else {
+                event.time
+            };
+            self.update_progress(event_time);
+            self.time = event_time;
             match event.kind {
                 EventKind::JobArrival(job) => {
                     self.arrivals_remaining = self.arrivals_remaining.saturating_sub(1);
@@ -227,7 +268,8 @@ impl Simulator {
                 EventKind::DecisionEpoch => {
                     if self.is_active() {
                         if let Some(interval) = self.config.decision_interval {
-                            self.events.push(self.time + interval, EventKind::DecisionEpoch);
+                            self.events
+                                .push(self.time + interval, EventKind::DecisionEpoch);
                         }
                         self.metrics.record_decision_epoch();
                         return true;
@@ -251,35 +293,71 @@ impl Simulator {
 
     /// Build the scheduler-facing snapshot for the current time.
     pub fn view(&self) -> ClusterView {
-        let classes: Vec<NodeClassView> = self
-            .cluster
-            .class_ids()
-            .map(|id| {
-                let spec = &self.spec.node_classes[id.0];
-                NodeClassView {
-                    id,
-                    name: spec.name.clone(),
-                    node_count: spec.count,
-                    total_capacity: self.cluster.total_capacity_of_class(id),
-                    free_capacity: self.cluster.free_capacity_of_class(id),
-                    node_free: self
-                        .cluster
-                        .nodes_of_class(id)
-                        .map(|n| n.free())
-                        .collect(),
-                    speed_factors: spec.speed.as_array(),
-                }
-            })
-            .collect();
-        let pending: Vec<PendingJobView> = self
-            .pending
-            .iter()
-            .map(|j| ClusterView::pending_view_of(j, self.time))
-            .collect();
-        let mut running: Vec<RunningJobView> = self
-            .running
-            .values()
-            .map(|r| RunningJobView {
+        let mut out = ClusterView::new(
+            self.time,
+            Arc::clone(&self.spec),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            self.arrivals_remaining,
+        );
+        self.view_into(&mut out);
+        out
+    }
+
+    /// Refill a previously built snapshot in place — the allocation-free
+    /// sibling of [`Self::view`]. The static per-class skeleton (names,
+    /// capacities, speed factors) is built once and only the dynamic fields
+    /// are rewritten; pending/running rows are cleared and re-extended into
+    /// the retained buffers; running jobs come out in `(started_at, id)`
+    /// order straight from the incrementally maintained index, with no sort.
+    pub fn view_into(&self, out: &mut ClusterView) {
+        out.time = self.time;
+        out.future_arrivals = self.arrivals_remaining;
+        // A spec change invalidates the whole static class skeleton (names,
+        // node counts, capacities, speed factors), not just its length — a
+        // view refilled from a different simulator must rebuild even when
+        // both clusters happen to have the same number of classes.
+        let spec_changed = !Arc::ptr_eq(&out.spec, &self.spec);
+        if spec_changed {
+            out.spec = Arc::clone(&self.spec);
+        }
+        if spec_changed || out.classes.len() != self.cluster.num_classes() {
+            out.classes = self
+                .cluster
+                .class_ids()
+                .map(|id| {
+                    let spec = &self.spec.node_classes[id.0];
+                    NodeClassView {
+                        id,
+                        name: spec.name.clone(),
+                        node_count: spec.count,
+                        total_capacity: self.cluster.total_capacity_of_class(id),
+                        free_capacity: self.cluster.free_capacity_of_class(id),
+                        node_free: self.cluster.nodes_of_class(id).map(|n| n.free()).collect(),
+                        speed_factors: spec.speed.as_array(),
+                    }
+                })
+                .collect();
+        } else {
+            for (class_view, id) in out.classes.iter_mut().zip(self.cluster.class_ids()) {
+                class_view.free_capacity = self.cluster.free_capacity_of_class(id);
+                class_view.node_free.clear();
+                class_view
+                    .node_free
+                    .extend(self.cluster.nodes_of_class(id).map(|n| n.free()));
+            }
+        }
+        out.pending.clear();
+        out.pending.extend(
+            self.pending
+                .iter()
+                .map(|j| ClusterView::pending_view_of(j, self.time)),
+        );
+        out.running.clear();
+        out.running.extend(self.running_order.iter().map(|id| {
+            let r = &self.running[id];
+            RunningJobView {
                 id: r.job.id,
                 class: r.job.class,
                 node_class: r.alloc.class,
@@ -298,22 +376,8 @@ impl Simulator {
                 utility_value: r.job.utility.value,
                 scale_ready: self.config.allow_scaling
                     && self.time - r.last_scaled_at >= self.config.scale_cooldown - 1e-9,
-            })
-            .collect();
-        running.sort_by(|a, b| {
-            a.started_at
-                .partial_cmp(&b.started_at)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.id.cmp(&b.id))
-        });
-        ClusterView::new(
-            self.time,
-            Arc::clone(&self.spec),
-            classes,
-            pending,
-            running,
-            self.arrivals_remaining,
-        )
+            }
+        }));
     }
 
     /// Apply one scheduling action at the current decision epoch.
@@ -359,9 +423,16 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     /// Run a complete simulation of `jobs` under `scheduler`.
-    pub fn run<S: Scheduler + ?Sized>(mut self, jobs: Vec<Job>, scheduler: &mut S) -> SimulationResult {
+    pub fn run<S: Scheduler + ?Sized>(
+        mut self,
+        jobs: Vec<Job>,
+        scheduler: &mut S,
+    ) -> SimulationResult {
         scheduler.on_simulation_start();
         self.start(jobs);
+        // One view allocated for the whole run; every decision epoch refills
+        // it in place (clear-and-refill, no rebuild).
+        let mut view = self.view();
         while self.advance() {
             let mut rounds = 0;
             let mut epoch_changed_state = false;
@@ -370,7 +441,7 @@ impl Simulator {
                 if rounds > self.config.max_decisions_per_epoch {
                     break;
                 }
-                let view = self.view();
+                self.view_into(&mut view);
                 let actions = scheduler.decide(&view);
                 if actions.is_empty() {
                     break;
@@ -417,21 +488,20 @@ impl Simulator {
     }
 
     /// Advance the remaining work of every running job to `now`.
+    /// Allocation-free: rates are computed in the same pass that applies
+    /// them (`running` and `cluster` are disjoint fields, so no snapshot
+    /// buffer is needed).
     fn update_progress(&mut self, now: f64) {
         if now <= self.time {
             return;
         }
-        let rates: Vec<(JobId, f64, u32)> = self
-            .running
-            .iter()
-            .map(|(id, r)| (*id, r.rate(&self.cluster), r.alloc.total_units()))
-            .collect();
-        for (id, rate, units) in rates {
-            let r = self.running.get_mut(&id).expect("running job disappeared");
+        let cluster = &self.cluster;
+        for r in self.running.values_mut() {
             let dt = now - r.last_update;
             if dt > 0.0 {
+                let rate = r.rate(cluster);
                 r.remaining_work = (r.remaining_work - dt * rate).max(0.0);
-                r.unit_seconds += dt * units as f64;
+                r.unit_seconds += dt * r.alloc.total_units() as f64;
                 r.last_update = now;
             }
         }
@@ -442,9 +512,7 @@ impl Simulator {
             let r = self.running.get_mut(&job).expect("unknown running job");
             r.version += 1;
             let rate = {
-                let speed = self
-                    .cluster
-                    .speed_factor(r.alloc.class, r.job.class);
+                let speed = self.cluster.speed_factor(r.alloc.class, r.job.class);
                 speed * r.job.speedup.speedup(r.alloc.total_units())
             };
             (self.time + r.remaining_work / rate.max(1e-12), r.version)
@@ -454,6 +522,11 @@ impl Simulator {
     }
 
     fn complete_job(&mut self, job_id: JobId) {
+        if let Some(started_at) = self.running.get(&job_id).map(|r| r.started_at) {
+            // Must happen while the job is still in the map: the order
+            // index's sort key is looked up there.
+            self.remove_running_order(job_id, started_at);
+        }
         let Some(r) = self.running.remove(&job_id) else {
             return;
         };
@@ -489,7 +562,12 @@ impl Simulator {
         });
     }
 
-    fn apply_start(&mut self, job_id: JobId, class: NodeClassId, parallelism: u32) -> ActionOutcome {
+    fn apply_start(
+        &mut self,
+        job_id: JobId,
+        class: NodeClassId,
+        parallelism: u32,
+    ) -> ActionOutcome {
         if class.0 >= self.cluster.num_classes() {
             return ActionOutcome::Invalid("unknown node class");
         }
@@ -516,8 +594,41 @@ impl Simulator {
             job,
         };
         self.running.insert(job_id, running);
+        self.insert_running_order(job_id);
         self.schedule_completion(job_id);
         ActionOutcome::Started
+    }
+
+    /// Insert `job_id` into the `(started_at, id)`-sorted order index.
+    /// Jobs start at the current clock, so the insertion point is at or very
+    /// near the tail; the binary search only resolves same-timestamp ties.
+    fn insert_running_order(&mut self, job_id: JobId) {
+        let key = |id: &JobId| {
+            let r = &self.running[id];
+            (r.started_at, *id)
+        };
+        let probe = key(&job_id);
+        let pos = self.running_order.partition_point(|id| key(id) < probe);
+        self.running_order.insert(pos, job_id);
+    }
+
+    /// Remove `job_id` from the order index (binary search on the sort key,
+    /// then a shift — no allocation).
+    fn remove_running_order(&mut self, job_id: JobId, started_at: f64) {
+        let probe = (started_at, job_id);
+        let pos = self.running_order.partition_point(|id| {
+            let r = &self.running[id];
+            (r.started_at, *id) < probe
+        });
+        debug_assert!(
+            self.running_order.get(pos) == Some(&job_id),
+            "running-order index out of sync for {job_id}"
+        );
+        if self.running_order.get(pos) == Some(&job_id) {
+            self.running_order.remove(pos);
+        } else if let Some(fallback) = self.running_order.iter().position(|id| *id == job_id) {
+            self.running_order.remove(fallback);
+        }
     }
 
     fn apply_scale(&mut self, job_id: JobId, new_parallelism: u32) -> ActionOutcome {
@@ -804,7 +915,7 @@ mod tests {
             .demand_per_unit(ResourceVector::of(100.0, 1.0, 0.0, 0.0))
             .deadline(10.0)
             .build();
-        drop(fat); // demand is checked through the real pending job below
+        let _ = fat; // demand is checked through the real pending job below
         let outcome = sim.apply(&Action::Start {
             job: JobId(0),
             class: NodeClassId(0),
@@ -852,7 +963,10 @@ mod tests {
         let mut cfg = SimConfig::default();
         cfg.util_sample_interval = 1.0;
         let sim = Simulator::new(tiny_spec(), cfg);
-        let jobs = vec![simple_job(0, 0.0, 10.0, 100.0), simple_job(1, 1.0, 10.0, 100.0)];
+        let jobs = vec![
+            simple_job(0, 0.0, 10.0, 100.0),
+            simple_job(1, 1.0, 10.0, 100.0),
+        ];
         let result = sim.run(jobs, &mut EagerMin);
         assert!(result.trace.samples.len() >= 5);
         assert!(result.summary.mean_utilization > 0.0);
@@ -860,6 +974,107 @@ mod tests {
         for w in result.trace.samples.windows(2) {
             assert!(w[0].time <= w[1].time);
         }
+    }
+
+    #[test]
+    fn out_of_order_events_are_clamped_and_counted() {
+        let mut sim = Simulator::new(tiny_spec(), SimConfig::default());
+        sim.start(vec![simple_job(0, 1.0, 10.0, 100.0)]);
+        assert!(sim.advance()); // arrival at t = 1.0
+        assert_eq!(sim.time(), 1.0);
+        assert_eq!(sim.clamped_event_count(), 0);
+        // Inject an event whose timestamp is (within float tolerance) behind
+        // the clock: the engine must clamp it forward, never run time
+        // backwards, and count the clamp.
+        sim.events.push(1.0 - 5e-10, EventKind::DecisionEpoch);
+        sim.events.push(2.0, EventKind::DecisionEpoch);
+        assert!(sim.advance()); // the stale epoch fires, clamped to t = 1.0
+        assert_eq!(
+            sim.time(),
+            1.0,
+            "clamped event must not move time backwards"
+        );
+        assert_eq!(sim.clamped_event_count(), 1);
+        assert!(sim.advance()); // the healthy epoch fires at t = 2.0
+        assert_eq!(sim.time(), 2.0);
+        assert_eq!(sim.clamped_event_count(), 1);
+    }
+
+    #[test]
+    fn view_into_matches_fresh_view_throughout_a_run() {
+        // Pin the clear-and-refill path to the rebuild-from-scratch
+        // semantics: at every decision epoch of a mixed start/scale run the
+        // refilled snapshot must equal a freshly built one, field for field.
+        let mut cfg = SimConfig::default();
+        cfg.decision_interval = Some(2.0);
+        cfg.scale_cooldown = 0.0;
+        let mut sim = Simulator::new(tiny_spec(), cfg);
+        let jobs: Vec<Job> = (0..12)
+            .map(|i| simple_job(i, i as f64 * 1.5, 8.0 + i as f64, 500.0))
+            .collect();
+        sim.start(jobs);
+        let mut reused = sim.view();
+        let mut epochs = 0;
+        while sim.advance() {
+            sim.view_into(&mut reused);
+            let fresh = sim.view();
+            assert_eq!(fresh.time, reused.time);
+            assert_eq!(fresh.future_arrivals, reused.future_arrivals);
+            assert_eq!(fresh.classes, reused.classes);
+            assert_eq!(fresh.pending, reused.pending);
+            assert_eq!(fresh.running, reused.running);
+            epochs += 1;
+            // Drive a simple policy so the running set stays busy.
+            if let Some(job) = reused.pending.first() {
+                let _ = sim.apply(&Action::Start {
+                    job: job.id,
+                    class: NodeClassId(0),
+                    parallelism: job.min_parallelism,
+                });
+            } else if let Some(r) = reused.running.iter().find(|r| r.scale_ready) {
+                let _ = sim.apply(&Action::Scale {
+                    job: r.id,
+                    new_parallelism: r.units + 1,
+                });
+            }
+            if epochs > 500 {
+                break;
+            }
+        }
+        assert!(epochs >= 12, "expected at least one epoch per job");
+    }
+
+    #[test]
+    fn running_view_order_is_start_time_then_id() {
+        // Start jobs out of id order at identical timestamps and verify the
+        // incrementally maintained order matches the documented sort key.
+        let spec = ClusterSpec::new(vec![NodeClassSpec::new(
+            "wide",
+            8,
+            ResourceVector::of(8.0, 32.0, 0.0, 10.0),
+            SpeedProfile::uniform(1.0),
+        )]);
+        let mut sim = Simulator::new(spec, SimConfig::default());
+        let jobs: Vec<Job> = [5u64, 1, 9, 3, 7]
+            .iter()
+            .map(|&id| simple_job(id, 0.0, 50.0, 1000.0))
+            .collect();
+        sim.start(jobs);
+        // Drain all five arrivals (same timestamp).
+        for _ in 0..5 {
+            assert!(sim.advance());
+        }
+        // Start in a scrambled order; started_at is identical for all.
+        for id in [9u64, 1, 7, 5, 3] {
+            let outcome = sim.apply(&Action::Start {
+                job: JobId(id),
+                class: NodeClassId(0),
+                parallelism: 1,
+            });
+            assert_eq!(outcome, ActionOutcome::Started);
+        }
+        let order: Vec<u64> = sim.view().running.iter().map(|r| r.id.0).collect();
+        assert_eq!(order, vec![1, 3, 5, 7, 9]);
     }
 
     #[test]

@@ -143,7 +143,9 @@ mod tests {
     #[test]
     fn arrival_events_carry_the_job() {
         let mut q = EventQueue::new();
-        let job = Job::builder(JobId(3), JobClass::Stream).deadline(4.0).build();
+        let job = Job::builder(JobId(3), JobClass::Stream)
+            .deadline(4.0)
+            .build();
         q.push(job.arrival, EventKind::JobArrival(job.clone()));
         match q.pop().unwrap().kind {
             EventKind::JobArrival(j) => assert_eq!(j, job),

@@ -288,10 +288,7 @@ impl Job {
             return Err(format!("{}: min_parallelism must be >= 1", self.id));
         }
         if self.max_parallelism < self.min_parallelism {
-            return Err(format!(
-                "{}: max_parallelism < min_parallelism",
-                self.id
-            ));
+            return Err(format!("{}: max_parallelism < min_parallelism", self.id));
         }
         if self.deadline < self.arrival {
             return Err(format!("{}: deadline before arrival", self.id));

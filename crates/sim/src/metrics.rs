@@ -251,8 +251,8 @@ impl Summary {
         let total_utility: f64 = completed.iter().map(|j| j.utility).sum();
         // Unfinished jobs forfeit their utility; count their maximum toward
         // the achievable total so the ratio penalises them.
-        let max_total_utility: f64 = completed.iter().map(|j| j.max_utility).sum::<f64>()
-            + c.unfinished_max_utility;
+        let max_total_utility: f64 =
+            completed.iter().map(|j| j.max_utility).sum::<f64>() + c.unfinished_max_utility;
         let first_arrival = completed
             .iter()
             .map(|j| j.arrival)
@@ -337,6 +337,12 @@ impl MetricsCollector {
     /// Fresh collector.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Pre-size the completion log for a run of `total_jobs` jobs so
+    /// steady-state recording never grows the buffer.
+    pub fn reserve(&mut self, total_jobs: usize) {
+        self.completed.reserve(total_jobs);
     }
 
     /// Record a finished job.
@@ -501,10 +507,7 @@ mod tests {
     fn sample(time: f64, util_a: f64, util_b: f64) -> UtilizationSample {
         UtilizationSample {
             time,
-            per_class: vec![
-                ResourceVector::splat(util_a),
-                ResourceVector::splat(util_b),
-            ],
+            per_class: vec![ResourceVector::splat(util_a), ResourceVector::splat(util_b)],
             overall: (util_a + util_b) / 2.0,
             pending: 0,
             running: 0,

@@ -194,11 +194,7 @@ impl ResourceVector {
     /// The dot product with another vector (used by alignment-scoring
     /// baselines such as Tetris).
     pub fn dot(&self, other: &ResourceVector) -> f64 {
-        self.0
-            .iter()
-            .zip(other.0.iter())
-            .map(|(a, b)| a * b)
-            .sum()
+        self.0.iter().zip(other.0.iter()).map(|(a, b)| a * b).sum()
     }
 
     /// Sum of all components.

@@ -149,13 +149,8 @@ impl PendingJobView {
     /// The smallest parallelism (within the job's range) whose slack on
     /// `class` is non-negative, or `None` if even the maximum parallelism
     /// misses the deadline.
-    pub fn min_parallelism_meeting_deadline(
-        &self,
-        now: f64,
-        class: &NodeClassView,
-    ) -> Option<u32> {
-        (self.min_parallelism..=self.max_parallelism)
-            .find(|&p| self.slack_on(now, class, p) >= 0.0)
+    pub fn min_parallelism_meeting_deadline(&self, now: f64, class: &NodeClassView) -> Option<u32> {
+        (self.min_parallelism..=self.max_parallelism).find(|&p| self.slack_on(now, class, p) >= 0.0)
     }
 }
 
@@ -380,7 +375,10 @@ mod tests {
         // service time at p=1: 40 / (2*1) = 20, time to deadline = 20 -> slack 0
         assert!((j.slack_on(10.0, &view.classes[0], 1)).abs() < 1e-9);
         assert!(j.slack_on(10.0, &view.classes[0], 4) > 0.0);
-        assert_eq!(j.min_parallelism_meeting_deadline(10.0, &view.classes[0]), Some(1));
+        assert_eq!(
+            j.min_parallelism_meeting_deadline(10.0, &view.classes[0]),
+            Some(1)
+        );
     }
 
     #[test]

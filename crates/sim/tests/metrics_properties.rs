@@ -5,9 +5,7 @@
 use proptest::prelude::*;
 use tcrm_sim::config::PowerModel;
 use tcrm_sim::stats::jain_fairness;
-use tcrm_sim::{
-    ClusterSpec, NodeClassSpec, ResourceVector, UtilizationSample, UtilizationTrace,
-};
+use tcrm_sim::{ClusterSpec, NodeClassSpec, ResourceVector, UtilizationSample, UtilizationTrace};
 
 fn small_cluster(idle: f64, peak: f64) -> ClusterSpec {
     use tcrm_sim::node::SpeedProfile;

@@ -22,13 +22,8 @@ pub fn generate(spec: &WorkloadSpec, cluster: &ClusterSpec, seed: u64) -> Vec<Jo
     let arrival_rate = spec.load * capacity / mean_work;
     let base_interarrival = Exponential::new(arrival_rate.max(1e-9));
 
-    let class_choice = WeightedChoice::new(
-        &spec
-            .classes
-            .iter()
-            .map(|c| c.weight)
-            .collect::<Vec<f64>>(),
-    );
+    let class_choice =
+        WeightedChoice::new(&spec.classes.iter().map(|c| c.weight).collect::<Vec<f64>>());
     let work_dists: Vec<LogNormal> = spec
         .classes
         .iter()
@@ -145,7 +140,9 @@ mod tests {
 
     #[test]
     fn deadlines_always_allow_a_feasible_best_case() {
-        let spec = WorkloadSpec::icpp_default().with_num_jobs(300).with_slack(1.2, 3.0);
+        let spec = WorkloadSpec::icpp_default()
+            .with_num_jobs(300)
+            .with_slack(1.2, 3.0);
         let cl = cluster();
         let jobs = generate(&spec, &cl, 3);
         for j in &jobs {
@@ -161,12 +158,16 @@ mod tests {
     #[test]
     fn higher_load_compresses_arrivals() {
         let low = generate(
-            &WorkloadSpec::icpp_default().with_num_jobs(400).with_load(0.4),
+            &WorkloadSpec::icpp_default()
+                .with_num_jobs(400)
+                .with_load(0.4),
             &cluster(),
             5,
         );
         let high = generate(
-            &WorkloadSpec::icpp_default().with_num_jobs(400).with_load(1.2),
+            &WorkloadSpec::icpp_default()
+                .with_num_jobs(400)
+                .with_load(1.2),
             &cluster(),
             5,
         );
@@ -182,8 +183,8 @@ mod tests {
     fn class_mix_roughly_matches_weights() {
         let spec = WorkloadSpec::icpp_default().with_num_jobs(4000);
         let jobs = generate(&spec, &cluster(), 11);
-        let batch = jobs.iter().filter(|j| j.class == JobClass::Batch).count() as f64
-            / jobs.len() as f64;
+        let batch =
+            jobs.iter().filter(|j| j.class == JobClass::Batch).count() as f64 / jobs.len() as f64;
         assert!((batch - 0.4).abs() < 0.05, "batch fraction = {batch}");
     }
 
@@ -213,7 +214,10 @@ mod tests {
             17,
         );
         let cv = |jobs: &[Job]| {
-            let gaps: Vec<f64> = jobs.windows(2).map(|w| w[1].arrival - w[0].arrival).collect();
+            let gaps: Vec<f64> = jobs
+                .windows(2)
+                .map(|w| w[1].arrival - w[0].arrival)
+                .collect();
             let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
             let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
             var.sqrt() / mean

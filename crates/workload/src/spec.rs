@@ -359,8 +359,14 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_specs() {
-        assert!(WorkloadSpec::icpp_default().with_num_jobs(0).validate().is_err());
-        assert!(WorkloadSpec::icpp_default().with_load(0.0).validate().is_err());
+        assert!(WorkloadSpec::icpp_default()
+            .with_num_jobs(0)
+            .validate()
+            .is_err());
+        assert!(WorkloadSpec::icpp_default()
+            .with_load(0.0)
+            .validate()
+            .is_err());
         assert!(WorkloadSpec::icpp_default()
             .with_slack(3.0, 1.0)
             .validate()

@@ -51,26 +51,35 @@ fn main() {
     );
 
     let seed = 7;
-    let mut results = Vec::new();
-    results.push(("fifo", run("fifo", &mut FifoScheduler::new(), &cluster, seed)));
-    results.push(("edf", run("edf", &mut EdfScheduler::new(), &cluster, seed)));
-    results.push((
-        "greedy-elastic",
-        run(
-            "greedy-elastic",
-            &mut GreedyElasticScheduler::new(),
-            &cluster,
-            seed,
+    let results = [
+        (
+            "fifo",
+            run("fifo", &mut FifoScheduler::new(), &cluster, seed),
         ),
-    ));
-    results.push((
-        "backfill",
-        run("backfill", &mut EasyBackfillScheduler::new(), &cluster, seed),
-    ));
-    results.push((
-        "tetris",
-        run("tetris", &mut TetrisScheduler::new(), &cluster, seed),
-    ));
+        ("edf", run("edf", &mut EdfScheduler::new(), &cluster, seed)),
+        (
+            "greedy-elastic",
+            run(
+                "greedy-elastic",
+                &mut GreedyElasticScheduler::new(),
+                &cluster,
+                seed,
+            ),
+        ),
+        (
+            "backfill",
+            run(
+                "backfill",
+                &mut EasyBackfillScheduler::new(),
+                &cluster,
+                seed,
+            ),
+        ),
+        (
+            "tetris",
+            run("tetris", &mut TetrisScheduler::new(), &cluster, seed),
+        ),
+    ];
 
     // Per-class energy breakdown for the best deadline-aware scheduler.
     let best = results

@@ -13,7 +13,9 @@ use tcrm::sim::{ClusterSpec, Scheduler, SimConfig, Simulator, Summary};
 use tcrm::workload::{generate, WorkloadSpec};
 
 fn run(name: &str, scheduler: &mut dyn Scheduler, cluster: &ClusterSpec) -> Summary {
-    let workload = WorkloadSpec::icpp_default().with_num_jobs(200).with_load(0.9);
+    let workload = WorkloadSpec::icpp_default()
+        .with_num_jobs(200)
+        .with_load(0.9);
     let jobs = generate(&workload, cluster, 42);
     let result = Simulator::new(cluster.clone(), SimConfig::default()).run(jobs, scheduler);
     println!(

@@ -67,6 +67,11 @@ fn main() {
         println!("seed {seed}:");
         evaluate("drl (trained)", &mut agent, &setup, seed);
         evaluate("edf", &mut EdfScheduler::new(), &setup, seed);
-        evaluate("greedy-elastic", &mut GreedyElasticScheduler::new(), &setup, seed);
+        evaluate(
+            "greedy-elastic",
+            &mut GreedyElasticScheduler::new(),
+            &setup,
+            seed,
+        );
     }
 }

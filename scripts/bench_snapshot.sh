@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Run the Criterion bench suite and commit-ready perf snapshot.
+#
+# Each benchmark emits one JSON line ({"name", "median_ns", "min_ns",
+# "max_ns", "samples"}) into a temp file via the CRITERION_MINI_JSON hook of
+# the vendored criterion harness; this script wraps the lines into a single
+# JSON document with host metadata and writes BENCH_<hostname>.json at the
+# repo root. Committing successive snapshots from the same machine gives a
+# perf trajectory across PRs.
+#
+# Usage:
+#   scripts/bench_snapshot.sh                 # full suite
+#   scripts/bench_snapshot.sh nn_forward ...  # selected benches
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHES=("$@")
+if [ ${#BENCHES[@]} -eq 0 ]; then
+    BENCHES=(nn_forward training_step decision_latency sim_engine workload_gen extended_schedulers)
+fi
+
+LINES_FILE="$(mktemp)"
+trap 'rm -f "$LINES_FILE"' EXIT
+export CRITERION_MINI_JSON="$LINES_FILE"
+
+for bench in "${BENCHES[@]}"; do
+    echo "== running bench: $bench"
+    cargo bench -p tcrm-bench --bench "$bench"
+done
+
+HOST="$(hostname -s 2>/dev/null || echo unknown)"
+OUT="BENCH_${HOST}.json"
+{
+    echo '{'
+    echo "  \"host\": \"${HOST}\","
+    echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"rustc\": \"$(rustc --version)\","
+    echo '  "results": ['
+    sed 's/^/    /;$!s/$/,/' "$LINES_FILE"
+    echo '  ]'
+    echo '}'
+} > "$OUT"
+
+echo "wrote $OUT ($(grep -c median_ns "$OUT") benchmarks)"

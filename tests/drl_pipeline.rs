@@ -28,7 +28,11 @@ fn trained_agent_schedules_unseen_workloads_without_forfeiting_jobs() {
     let outcome = train_agent(&setup);
     let mut agent = outcome.agent;
     for seed in [500u64, 501] {
-        let jobs = generate(&setup.workload.clone().with_num_jobs(25), &setup.cluster, seed);
+        let jobs = generate(
+            &setup.workload.clone().with_num_jobs(25),
+            &setup.cluster,
+            seed,
+        );
         let result =
             Simulator::new(setup.cluster.clone(), SimConfig::default()).run(jobs, &mut agent);
         assert_eq!(result.summary.total_jobs, 25);
@@ -83,7 +87,11 @@ fn checkpoints_round_trip_through_disk() {
     let mut restored = tcrm::core::DrlScheduler::load(&path).unwrap();
     let mut original = outcome.agent;
 
-    let jobs = generate(&setup.workload.clone().with_num_jobs(15), &setup.cluster, 77);
+    let jobs = generate(
+        &setup.workload.clone().with_num_jobs(15),
+        &setup.cluster,
+        77,
+    );
     let a = Simulator::new(setup.cluster.clone(), SimConfig::default())
         .run(jobs.clone(), &mut original);
     let b = Simulator::new(setup.cluster.clone(), SimConfig::default()).run(jobs, &mut restored);

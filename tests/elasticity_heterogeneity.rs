@@ -33,7 +33,12 @@ fn elastic_scheduling_beats_rigid_on_tight_deadlines() {
     let mut elastic_total = 0.0;
     let mut rigid_total = 0.0;
     for seed in [1u64, 2, 3] {
-        let elastic = run(&mut GreedyElasticScheduler::new(), &cluster, &workload, seed);
+        let elastic = run(
+            &mut GreedyElasticScheduler::new(),
+            &cluster,
+            &workload,
+            seed,
+        );
         let rigid = run(
             &mut RigidAdapter::new(GreedyElasticScheduler::new()),
             &cluster,

@@ -6,7 +6,7 @@
 use tcrm::baselines::{by_name, EXTENDED_BASELINE_NAMES};
 use tcrm::core::{AgentConfig, SchedulingEnv, WorkloadSource};
 use tcrm::rl::{DqnAgent, DqnConfig, Environment};
-use tcrm::sim::{ClusterSpec, SimConfig, Simulator, SimulationResult};
+use tcrm::sim::{ClusterSpec, SimConfig, SimulationResult, Simulator};
 use tcrm::workload::{generate, WorkloadSpec};
 
 fn run_baseline(name: &str, load: f64, seed: u64, jobs: usize) -> SimulationResult {
@@ -25,13 +25,20 @@ fn extended_baselines_account_for_every_job() {
         let result = run_baseline(name, 0.8, 1, 120);
         let s = &result.summary;
         assert_eq!(s.total_jobs, 120, "{name}");
-        assert_eq!(s.completed_jobs + s.unfinished_jobs, 120, "{name} lost jobs");
+        assert_eq!(
+            s.completed_jobs + s.unfinished_jobs,
+            120,
+            "{name} lost jobs"
+        );
         assert!(s.miss_rate >= 0.0 && s.miss_rate <= 1.0, "{name}");
         assert!(
             s.mean_utilization >= 0.0 && s.mean_utilization <= 1.0,
             "{name} utilisation out of range"
         );
-        assert!(s.slowdown_fairness > 0.0 && s.slowdown_fairness <= 1.0 + 1e-9, "{name}");
+        assert!(
+            s.slowdown_fairness > 0.0 && s.slowdown_fairness <= 1.0 + 1e-9,
+            "{name}"
+        );
     }
 }
 
@@ -115,7 +122,9 @@ fn busier_cluster_draws_more_power_than_an_idle_one() {
     let cluster = ClusterSpec::icpp_default();
     let low = run_baseline("edf", 0.3, 4, 120);
     let high = run_baseline("edf", 1.2, 4, 120);
-    let e_low = low.trace.energy_report(&cluster, low.summary.completed_jobs);
+    let e_low = low
+        .trace
+        .energy_report(&cluster, low.summary.completed_jobs);
     let e_high = high
         .trace
         .energy_report(&cluster, high.summary.completed_jobs);
@@ -129,7 +138,14 @@ fn busier_cluster_draws_more_power_than_an_idle_one() {
 
 #[test]
 fn fairness_lies_in_the_unit_interval_for_every_scheduler() {
-    for name in ["fifo", "edf", "greedy-elastic", "backfill", "heft", "slack-pack"] {
+    for name in [
+        "fifo",
+        "edf",
+        "greedy-elastic",
+        "backfill",
+        "heft",
+        "slack-pack",
+    ] {
         let s = run_baseline(name, 0.9, 6, 120).summary;
         assert!(
             s.slowdown_fairness > 0.0 && s.slowdown_fairness <= 1.0 + 1e-9,

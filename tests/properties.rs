@@ -15,14 +15,14 @@ use tcrm::workload::{generate, WorkloadSpec};
 /// Strategy: a structurally valid random job.
 fn arb_job(id: u64) -> impl Strategy<Value = Job> {
     (
-        0.0f64..200.0,          // arrival
-        1.0f64..300.0,          // work
-        1u32..4,                // min parallelism
-        0u32..8,                // extra parallelism
-        0.5f64..8.0,            // cpu per unit
-        1.0f64..32.0,           // mem per unit
-        prop::bool::ANY,        // uses gpu
-        1.1f64..5.0,            // deadline slack multiplier
+        0.0f64..200.0,   // arrival
+        1.0f64..300.0,   // work
+        1u32..4,         // min parallelism
+        0u32..8,         // extra parallelism
+        0.5f64..8.0,     // cpu per unit
+        1.0f64..32.0,    // mem per unit
+        prop::bool::ANY, // uses gpu
+        1.1f64..5.0,     // deadline slack multiplier
         prop::sample::select(vec![
             JobClass::Batch,
             JobClass::Stream,

@@ -28,7 +28,10 @@ fn every_baseline_accounts_for_every_job() {
             150,
             "{name} lost jobs"
         );
-        assert!(summary.miss_rate >= 0.0 && summary.miss_rate <= 1.0, "{name}");
+        assert!(
+            summary.miss_rate >= 0.0 && summary.miss_rate <= 1.0,
+            "{name}"
+        );
         assert!(
             summary.mean_utilization >= 0.0 && summary.mean_utilization <= 1.0,
             "{name} utilisation out of range"

@@ -1,0 +1,334 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the call shapes the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `sample_size`, `measurement_time`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `black_box`, `criterion_group!`,
+//! `criterion_main!` — backed by a simple wall-clock harness:
+//!
+//! * each sample times a batch of iterations sized so one batch takes ≳200µs,
+//! * `sample_size` samples are collected (bounded by `measurement_time`),
+//! * the per-iteration **median** is reported on stdout,
+//! * when `CRITERION_MINI_JSON` is set, one JSON line per benchmark
+//!   (`{"name": ..., "median_ns": ..., "samples": ...}`) is appended to that
+//!   file — `scripts/bench_snapshot.sh` builds the committed `BENCH_*.json`
+//!   snapshots from those lines.
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 30,
+            default_measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Parity with criterion's builder (arguments are ignored).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        let measurement_time = self.default_measurement_time;
+        run_benchmark(name, sample_size, measurement_time, &mut f);
+        self
+    }
+}
+
+/// Identifier `function_name/parameter` for parameterised benchmarks.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Build from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Build from a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&full, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&full, self.sample_size, self.measurement_time, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finish the group (parity; reporting is per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Names accepted wherever criterion takes a benchmark id.
+pub trait IntoBenchmarkId {
+    /// Render to the display name.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.full
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    /// Iterations per timed batch (sized during warm-up).
+    batch: u64,
+    /// Collected per-batch durations.
+    samples: Vec<Duration>,
+    /// How many samples to collect.
+    target_samples: usize,
+    /// Wall-clock budget.
+    budget: Duration,
+    /// Set once the routine has been measured.
+    measured: bool,
+}
+
+impl Bencher {
+    /// Measure a routine. The closure result is passed through [`black_box`]
+    /// so the optimizer cannot elide the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch sizing: grow the batch until one batch ≳ 200µs.
+        let mut batch = 1u64;
+        let sizing_start = Instant::now();
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_micros(200) || batch >= 1 << 20 {
+                break;
+            }
+            if sizing_start.elapsed() > self.budget / 4 {
+                break;
+            }
+            batch *= 2;
+        }
+        self.batch = batch;
+
+        let run_start = Instant::now();
+        self.samples.clear();
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+            if run_start.elapsed() > self.budget && self.samples.len() >= 2 {
+                break;
+            }
+        }
+        self.measured = true;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    f: &mut F,
+) {
+    let mut bencher = Bencher {
+        batch: 1,
+        samples: Vec::new(),
+        target_samples: sample_size,
+        budget: measurement_time,
+        measured: false,
+    };
+    f(&mut bencher);
+    if !bencher.measured || bencher.samples.is_empty() {
+        println!("{name}: no measurement taken");
+        return;
+    }
+    let mut per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / bencher.batch as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+    println!(
+        "{name}: median {} (min {}, max {}, {} samples x {} iters)",
+        format_ns(median),
+        format_ns(min),
+        format_ns(max),
+        per_iter.len(),
+        bencher.batch
+    );
+    if let Ok(path) = std::env::var("CRITERION_MINI_JSON") {
+        if !path.is_empty() {
+            let line = format!(
+                "{{\"name\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{}}}\n",
+                name.replace('"', "'"),
+                median,
+                min,
+                max,
+                per_iter.len()
+            );
+            if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(&path) {
+                let _ = file.write_all(line.as_bytes());
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Group benchmark functions into a runnable set.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("test_group");
+        group.sample_size(5);
+        group.measurement_time(Duration::from_millis(50));
+        let mut runs = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        assert!(runs > 0, "routine never executed");
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(20));
+        let data = vec![1u64, 2, 3];
+        group.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, data| {
+            b.iter(|| data.iter().sum::<u64>())
+        });
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 64).into_benchmark_id(), "f/64");
+        assert_eq!(BenchmarkId::from_parameter(9).into_benchmark_id(), "9");
+    }
+}

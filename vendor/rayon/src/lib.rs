@@ -1,0 +1,158 @@
+//! Offline stand-in for `rayon`. The workspace uses `slice.par_iter().map(f)
+//! .collect()` to fan independent simulation replications over cores. This
+//! facade keeps that call shape and executes the map with scoped OS threads,
+//! chunking the input so each available core gets one contiguous block.
+//! Results are returned in input order, so it is a drop-in replacement for
+//! order-preserving rayon pipelines.
+
+use std::num::NonZeroUsize;
+
+/// The traits user code imports with `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// `.par_iter()` on slices and anything that derefs to one.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type yielded by the parallel iterator.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator over references into `self`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowed parallel iterator (map/collect only).
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Apply `f` to every element, in parallel across cores.
+    pub fn map<U, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`]; terminal `collect` runs the fan-out.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, U, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'a T) -> U + Sync,
+{
+    /// Execute the map and collect results in input order.
+    pub fn collect<C: FromParallel<U>>(self) -> C {
+        C::from_ordered(self.run())
+    }
+
+    fn run(self) -> Vec<U> {
+        let n = self.items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(n);
+        if threads <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &self.f;
+        let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        let out_chunks: Vec<(usize, &[T])> = self
+            .items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, c)| (i * chunk, c))
+            .collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(out_chunks.len());
+            for (_, items) in &out_chunks {
+                handles.push(scope.spawn(move || items.iter().map(f).collect::<Vec<U>>()));
+            }
+            for ((start, _), handle) in out_chunks.iter().zip(handles) {
+                let produced = handle.join().expect("rayon facade worker panicked");
+                for (offset, value) in produced.into_iter().enumerate() {
+                    out[start + offset] = Some(value);
+                }
+            }
+        });
+        out.into_iter().map(|v| v.expect("chunk filled")).collect()
+    }
+}
+
+/// Collection targets for the facade's `collect`.
+pub trait FromParallel<U> {
+    /// Build the collection from results already in input order.
+    fn from_ordered(items: Vec<U>) -> Self;
+}
+
+impl<U> FromParallel<U> for Vec<U> {
+    fn from_ordered(items: Vec<U>) -> Self {
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_collects_empty() {
+        let input: Vec<u32> = Vec::new();
+        let out: Vec<u32> = input.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn actually_runs_closure_per_item() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let input: Vec<usize> = (0..257).collect();
+        let _: Vec<usize> = input
+            .par_iter()
+            .map(|&x| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+            .collect();
+        assert_eq!(counter.load(Ordering::Relaxed), 257);
+    }
+}

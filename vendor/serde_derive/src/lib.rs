@@ -1,0 +1,534 @@
+//! Derive macros for the vendored `serde` subset.
+//!
+//! The hermetic build has no access to `syn`/`quote`, so the item is parsed
+//! directly from the `proc_macro` token stream. Supported shapes — the ones
+//! this workspace actually uses:
+//!
+//! * structs with named fields (honouring `#[serde(skip)]`,
+//!   `#[serde(default)]` and `#[serde(default = "path")]`),
+//! * tuple structs (single-field newtypes serialize transparently),
+//! * unit structs,
+//! * enums with unit, tuple and struct variants (externally tagged).
+//!
+//! Generics and lifetimes are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (value-model variant).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+/// Derive `serde::Deserialize` (value-model variant).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+/// How a field is rebuilt when its key is absent (or always, for `skip`).
+#[derive(Clone, PartialEq)]
+enum FieldDefault {
+    /// Absent key is an error.
+    Required,
+    /// `#[serde(skip)]`: never serialized, always `Default::default()`.
+    Skip,
+    /// `#[serde(default)]`: `Default::default()` when absent.
+    DefaultTrait,
+    /// `#[serde(default = "path")]`: call `path()` when absent.
+    DefaultFn(String),
+}
+
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<Field>),
+}
+
+enum Item {
+    NamedStruct(String, Vec<Field>),
+    TupleStruct(String, usize),
+    UnitStruct(String),
+    Enum(String, Vec<Variant>),
+}
+
+fn expand(input: TokenStream, direction: Direction) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(message) => {
+            return format!("compile_error!({message:?});").parse().unwrap();
+        }
+    };
+    let code = match direction {
+        Direction::Serialize => generate_serialize(&item),
+        Direction::Deserialize => generate_deserialize(&item),
+    };
+    code.parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let keyword = expect_any_ident(&tokens, &mut i)?;
+    let is_enum = match keyword.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => return Err(format!("unsupported item `{other}`")),
+    };
+    let name = expect_any_ident(&tokens, &mut i)?;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde derive (vendored): generic type `{name}` is not supported"
+        ));
+    }
+    if is_enum {
+        let body = expect_group(&tokens, &mut i, Delimiter::Brace)?;
+        Ok(Item::Enum(name, parse_variants(body)?))
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream().into_iter().collect())?;
+                Ok(Item::NamedStruct(name, fields))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream().into_iter().collect());
+                Ok(Item::TupleStruct(name, arity))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct(name)),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        }
+    }
+}
+
+/// Skip outer attributes, returning any `#[serde(...)]` payloads seen.
+fn take_attributes(tokens: &[TokenTree], i: &mut usize) -> Vec<TokenStream> {
+    let mut serde_payloads = Vec::new();
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                (inner.first(), inner.get(1))
+            {
+                if id.to_string() == "serde" {
+                    serde_payloads.push(args.stream());
+                }
+            }
+            *i += 1;
+        }
+    }
+    serde_payloads
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    let _ = take_attributes(tokens, i);
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_any_ident(tokens: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!("expected identifier, found {other:?}")),
+    }
+}
+
+fn expect_group(
+    tokens: &[TokenTree],
+    i: &mut usize,
+    delimiter: Delimiter,
+) -> Result<Vec<TokenTree>, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == delimiter => {
+            *i += 1;
+            Ok(g.stream().into_iter().collect())
+        }
+        other => Err(format!("expected {delimiter:?} group, found {other:?}")),
+    }
+}
+
+fn parse_serde_attr(payloads: &[TokenStream]) -> FieldDefault {
+    for payload in payloads {
+        let inner: Vec<TokenTree> = payload.clone().into_iter().collect();
+        let mut j = 0;
+        while j < inner.len() {
+            if let TokenTree::Ident(id) = &inner[j] {
+                match id.to_string().as_str() {
+                    "skip" => return FieldDefault::Skip,
+                    "default" => {
+                        if matches!(inner.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=')
+                        {
+                            if let Some(TokenTree::Literal(lit)) = inner.get(j + 2) {
+                                let raw = lit.to_string();
+                                let path = raw.trim_matches('"').to_string();
+                                return FieldDefault::DefaultFn(path);
+                            }
+                        }
+                        return FieldDefault::DefaultTrait;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+    }
+    FieldDefault::Required
+}
+
+fn parse_named_fields(tokens: Vec<TokenTree>) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let serde_payloads = take_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = expect_any_ident(&tokens, &mut i)?;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(Field {
+            name,
+            default: parse_serde_attr(&serde_payloads),
+        });
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Advance past a type, stopping at a comma that is not nested inside angle
+/// brackets. Delimited groups (parens/brackets for tuples, arrays, fn args)
+/// are single token trees, so only `<`/`>` depth needs tracking.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(tokens: Vec<TokenTree>) -> usize {
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(tokens: Vec<TokenTree>) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_any_ident(&tokens, &mut i)?;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream().into_iter().collect());
+                variants.push(Variant::Tuple(name, arity));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream().into_iter().collect())?;
+                variants.push(Variant::Struct(name, fields));
+                i += 1;
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err(format!(
+                "explicit discriminants are not supported (variant `{}`)",
+                variants.len()
+            ));
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn generate_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct(name, fields) => {
+            let mut body = format!(
+                "let mut __obj = serde::Object::with_capacity({});\n",
+                fields.len()
+            );
+            for field in fields {
+                if field.default == FieldDefault::Skip {
+                    continue;
+                }
+                body.push_str(&format!(
+                    "__obj.insert(\"{0}\", serde::Serialize::serialize_value(&self.{0}));\n",
+                    field.name
+                ));
+            }
+            body.push_str("serde::Value::Object(__obj)");
+            impl_serialize(name, &body)
+        }
+        Item::TupleStruct(name, 1) => {
+            impl_serialize(name, "serde::Serialize::serialize_value(&self.0)")
+        }
+        Item::TupleStruct(name, arity) => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|k| format!("serde::Serialize::serialize_value(&self.{k})"))
+                .collect();
+            impl_serialize(
+                name,
+                &format!("serde::Value::Array(vec![{}])", elems.join(", ")),
+            )
+        }
+        Item::UnitStruct(name) => impl_serialize(name, "serde::Value::Null"),
+        Item::Enum(name, variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                match variant {
+                    Variant::Unit(v) => arms.push_str(&format!(
+                        "{name}::{v} => serde::Value::Str(\"{v}\".to_string()),\n"
+                    )),
+                    Variant::Tuple(v, 1) => arms.push_str(&format!(
+                        "{name}::{v}(__f0) => {{\n\
+                         let mut __obj = serde::Object::with_capacity(1);\n\
+                         __obj.insert(\"{v}\", serde::Serialize::serialize_value(__f0));\n\
+                         serde::Value::Object(__obj)\n}}\n"
+                    )),
+                    Variant::Tuple(v, arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                        let elems: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({binders}) => {{\n\
+                             let mut __obj = serde::Object::with_capacity(1);\n\
+                             __obj.insert(\"{v}\", serde::Value::Array(vec![{elems}]));\n\
+                             serde::Value::Object(__obj)\n}}\n",
+                            binders = binders.join(", "),
+                            elems = elems.join(", "),
+                        ));
+                    }
+                    Variant::Struct(v, fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = format!(
+                            "let mut __inner = serde::Object::with_capacity({});\n",
+                            fields.len()
+                        );
+                        for field in fields {
+                            inner.push_str(&format!(
+                                "__inner.insert(\"{0}\", serde::Serialize::serialize_value({0}));\n",
+                                field.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binders} }} => {{\n{inner}\
+                             let mut __obj = serde::Object::with_capacity(1);\n\
+                             __obj.insert(\"{v}\", serde::Value::Object(__inner));\n\
+                             serde::Value::Object(__obj)\n}}\n",
+                            binders = binders.join(", "),
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Expression rebuilding one named field from `__obj`.
+fn field_expr(field: &Field) -> String {
+    match &field.default {
+        FieldDefault::Skip => "core::default::Default::default()".to_string(),
+        FieldDefault::Required => format!(
+            "match __obj.get(\"{0}\") {{\n\
+             Some(__v) => serde::Deserialize::deserialize_value(__v)?,\n\
+             None => return core::result::Result::Err(serde::Error::missing_field(\"{0}\")),\n}}",
+            field.name
+        ),
+        FieldDefault::DefaultTrait => format!(
+            "match __obj.get(\"{0}\") {{\n\
+             Some(__v) => serde::Deserialize::deserialize_value(__v)?,\n\
+             None => core::default::Default::default(),\n}}",
+            field.name
+        ),
+        FieldDefault::DefaultFn(path) => format!(
+            "match __obj.get(\"{0}\") {{\n\
+             Some(__v) => serde::Deserialize::deserialize_value(__v)?,\n\
+             None => {path}(),\n}}",
+            field.name
+        ),
+    }
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct(name, fields) => {
+            let mut body = String::from(
+                "let __obj = __value.as_object().ok_or_else(|| serde::Error::expected(\"object\", __value))?;\n",
+            );
+            body.push_str(&format!("core::result::Result::Ok({name} {{\n"));
+            for field in fields {
+                body.push_str(&format!("{}: {},\n", field.name, field_expr(field)));
+            }
+            body.push_str("})");
+            impl_deserialize(name, &body)
+        }
+        Item::TupleStruct(name, 1) => impl_deserialize(
+            name,
+            &format!(
+                "core::result::Result::Ok({name}(serde::Deserialize::deserialize_value(__value)?))"
+            ),
+        ),
+        Item::TupleStruct(name, arity) => {
+            let mut body = format!(
+                "let __items = __value.as_array().ok_or_else(|| serde::Error::expected(\"array\", __value))?;\n\
+                 if __items.len() != {arity} {{\n\
+                 return core::result::Result::Err(serde::Error::custom(\"tuple struct arity mismatch\"));\n}}\n"
+            );
+            let elems: Vec<String> = (0..*arity)
+                .map(|k| format!("serde::Deserialize::deserialize_value(&__items[{k}])?"))
+                .collect();
+            body.push_str(&format!(
+                "core::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            ));
+            impl_deserialize(name, &body)
+        }
+        Item::UnitStruct(name) => {
+            impl_deserialize(name, &format!("core::result::Result::Ok({name})"))
+        }
+        Item::Enum(name, variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for variant in variants {
+                match variant {
+                    Variant::Unit(v) => unit_arms.push_str(&format!(
+                        "\"{v}\" => core::result::Result::Ok({name}::{v}),\n"
+                    )),
+                    Variant::Tuple(v, 1) => tagged_arms.push_str(&format!(
+                        "\"{v}\" => core::result::Result::Ok({name}::{v}(\
+                         serde::Deserialize::deserialize_value(__inner)?)),\n"
+                    )),
+                    Variant::Tuple(v, arity) => {
+                        let elems: Vec<String> = (0..*arity)
+                            .map(|k| {
+                                format!("serde::Deserialize::deserialize_value(&__items[{k}])?")
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let __items = __inner.as_array().ok_or_else(|| serde::Error::expected(\"array\", __inner))?;\n\
+                             if __items.len() != {arity} {{\n\
+                             return core::result::Result::Err(serde::Error::custom(\"variant arity mismatch\"));\n}}\n\
+                             core::result::Result::Ok({name}::{v}({elems}))\n}}\n",
+                            elems = elems.join(", "),
+                        ));
+                    }
+                    Variant::Struct(v, fields) => {
+                        let mut build = format!(
+                            "let __obj = __inner.as_object().ok_or_else(|| serde::Error::expected(\"object\", __inner))?;\n\
+                             core::result::Result::Ok({name}::{v} {{\n"
+                        );
+                        for field in fields {
+                            build.push_str(&format!("{}: {},\n", field.name, field_expr(field)));
+                        }
+                        build.push_str("})");
+                        tagged_arms.push_str(&format!("\"{v}\" => {{\n{build}\n}}\n"));
+                    }
+                }
+            }
+            let body = format!(
+                "match __value {{\n\
+                 serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => core::result::Result::Err(serde::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                 serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                 let (__tag, __inner) = __o.iter().next().unwrap();\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 __other => core::result::Result::Err(serde::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n}}\n}}\n\
+                 __other => core::result::Result::Err(serde::Error::expected(\"enum variant\", __other)),\n}}"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+         fn deserialize_value(__value: &serde::Value) -> core::result::Result<Self, serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,469 @@
+//! Offline stand-in for `serde_json`, built on the vendored `serde` value
+//! model: `to_string`/`to_string_pretty`/`from_str`/`to_value`/`from_value`
+//! with a hand-written JSON printer and parser.
+//!
+//! Floats are printed with Rust's shortest-roundtrip `Display`, so
+//! `f64 -> text -> f64` (and `f32` via `f64`) round-trips are exact. Non-finite
+//! floats serialize as `null`, matching upstream serde_json.
+
+pub use serde::Error;
+pub use serde::Value;
+
+use serde::{Deserialize, Object, Serialize};
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize a value to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.serialize_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize a value to pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.serialize_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Serialize into the [`Value`] data model.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.serialize_value())
+}
+
+/// Deserialize from the [`Value`] data model.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
+    T::deserialize_value(&value)
+}
+
+/// Deserialize a value from JSON text.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    let value = parse(text)?;
+    T::deserialize_value(&value)
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+fn write_value(value: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::I64(v) => out.push_str(&v.to_string()),
+        Value::U64(v) => out.push_str(&v.to_string()),
+        Value::F64(v) => write_f64(*v, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(object) => {
+            if object.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in object.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_f64(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        // Match serde_json's integral-float formatting ("1.0", not "1").
+        out.push_str(&format!("{v:.1}"));
+    } else {
+        // Rust's Display for floats is shortest-roundtrip.
+        out.push_str(&v.to_string());
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parse JSON text into a [`Value`].
+pub fn parse(text: &str) -> Result<Value> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn consume_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'n') => {
+                if self.consume_literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(Error::custom("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.consume_literal("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(Error::custom("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.consume_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(Error::custom("invalid literal"))
+                }
+            }
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            other => Err(Error::custom(format!(
+                "unexpected byte {other:?} at {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                other => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `]`, found {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut object = Object::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(object));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            object.insert(key, value);
+            self.skip_whitespace();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(object)),
+                other => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `}}`, found {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'u') => {
+                        let code = self.parse_hex4()?;
+                        let c = if (0xD800..0xDC00).contains(&code) {
+                            // Surrogate pair.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(Error::custom("unpaired surrogate"));
+                            }
+                            let low = self.parse_hex4()?;
+                            let combined =
+                                0x10000 + ((code - 0xD800) << 10) + (low.wrapping_sub(0xDC00));
+                            char::from_u32(combined)
+                                .ok_or_else(|| Error::custom("invalid surrogate pair"))?
+                        } else {
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::custom("invalid unicode escape"))?
+                        };
+                        out.push(c);
+                    }
+                    other => {
+                        return Err(Error::custom(format!("invalid escape {other:?}")));
+                    }
+                },
+                Some(byte) if byte < 0x80 => out.push(byte as char),
+                Some(byte) => {
+                    // Multi-byte UTF-8: copy the whole sequence.
+                    let len = match byte {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(Error::custom("invalid UTF-8 in string")),
+                    };
+                    let start = self.pos - 1;
+                    let end = start + len;
+                    if end > self.bytes.len() {
+                        return Err(Error::custom("truncated UTF-8 sequence"));
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+                None => return Err(Error::custom("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let byte = self
+                .bump()
+                .ok_or_else(|| Error::custom("truncated unicode escape"))?;
+            let digit = (byte as char)
+                .to_digit(16)
+                .ok_or_else(|| Error::custom("invalid hex digit"))?;
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(byte) = self.peek() {
+            match byte {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::I64(v));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&7u32).unwrap(), "7");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string("a\"b").unwrap(), "\"a\\\"b\"");
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(from_str::<u32>("7").unwrap(), 7);
+        assert_eq!(from_str::<String>("\"a\\\"b\"").unwrap(), "a\"b");
+        assert_eq!(from_str::<Option<f32>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn float_text_roundtrip_is_exact() {
+        for &v in &[
+            0.1f64,
+            std::f64::consts::PI,
+            1e-300,
+            -2.5e17,
+            f64::MIN_POSITIVE,
+        ] {
+            let text = to_string(&v).unwrap();
+            assert_eq!(from_str::<f64>(&text).unwrap(), v, "text = {text}");
+        }
+        for &v in &[0.1f32, 2.71729f32, 6.02e23f32] {
+            let text = to_string(&v).unwrap();
+            assert_eq!(from_str::<f32>(&text).unwrap(), v, "text = {text}");
+        }
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1.0f32, -2.5, 3.25];
+        let text = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<f32>>(&text).unwrap(), v);
+        let nested: Vec<Vec<u8>> = vec![vec![1], vec![], vec![2, 3]];
+        let text = to_string(&nested).unwrap();
+        assert_eq!(from_str::<Vec<Vec<u8>>>(&text).unwrap(), nested);
+    }
+
+    #[test]
+    fn parses_whitespace_and_pretty_output() {
+        let value = parse(" { \"a\" : [ 1 , 2.5 ] , \"b\" : null } ").unwrap();
+        let object = value.as_object().unwrap();
+        assert_eq!(object.get("b"), Some(&Value::Null));
+        let pretty = to_string_pretty(&value).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(parse(&pretty).unwrap(), value);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(from_str::<String>("\"\\u0041\"").unwrap(), "A");
+        assert_eq!(from_str::<String>("\"\\ud83d\\ude00\"").unwrap(), "😀");
+        assert_eq!(from_str::<String>("\"héllo\"").unwrap(), "héllo");
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("nul").is_err());
+    }
+}
