@@ -72,6 +72,11 @@ impl<S: Scheduler> Scheduler for AdmissionAdapter<S> {
         self.inner.on_simulation_start();
     }
 
+    fn reset(&mut self, seed: u64) {
+        self.rejected = 0;
+        self.inner.reset(seed);
+    }
+
     fn decide(&mut self, view: &ClusterView) -> Vec<Action> {
         let mut actions = self.inner.decide(view);
         actions.retain(|action| match action {

@@ -83,21 +83,49 @@ pub fn all_baseline_names() -> Vec<&'static str> {
         .collect()
 }
 
+/// The error returned by [`by_name`] for an unrecognised scheduler name.
+///
+/// Its [`std::fmt::Display`] rendering lists every name this crate ships, so
+/// a typo in a config file or CLI flag surfaces the full menu instead of an
+/// opaque miss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBaselineError {
+    /// The name that failed to resolve.
+    pub requested: String,
+}
+
+impl std::fmt::Display for UnknownBaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown baseline scheduler '{}'; available: {}",
+            self.requested,
+            all_baseline_names().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownBaselineError {}
+
 /// Construct a baseline scheduler by name (as listed in [`BASELINE_NAMES`]
 /// or [`EXTENDED_BASELINE_NAMES`]); `seed` only affects the random scheduler.
-pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn Scheduler>> {
+/// Unknown names return an [`UnknownBaselineError`] listing every registered
+/// baseline.
+pub fn by_name(name: &str, seed: u64) -> Result<Box<dyn Scheduler>, UnknownBaselineError> {
     match name {
-        "fifo" => Some(Box::new(FifoScheduler::new())),
-        "sjf" => Some(Box::new(SjfScheduler::new())),
-        "edf" => Some(Box::new(EdfScheduler::new())),
-        "tetris" => Some(Box::new(TetrisScheduler::new())),
-        "least-loaded" => Some(Box::new(LeastLoadedScheduler::new())),
-        "random" => Some(Box::new(RandomScheduler::new(seed))),
-        "greedy-elastic" => Some(Box::new(GreedyElasticScheduler::new())),
-        "backfill" => Some(Box::new(EasyBackfillScheduler::new())),
-        "heft" => Some(Box::new(HeftScheduler::new())),
-        "slack-pack" => Some(Box::new(SlackPackScheduler::new())),
-        _ => None,
+        "fifo" => Ok(Box::new(FifoScheduler::new())),
+        "sjf" => Ok(Box::new(SjfScheduler::new())),
+        "edf" => Ok(Box::new(EdfScheduler::new())),
+        "tetris" => Ok(Box::new(TetrisScheduler::new())),
+        "least-loaded" => Ok(Box::new(LeastLoadedScheduler::new())),
+        "random" => Ok(Box::new(RandomScheduler::new(seed))),
+        "greedy-elastic" => Ok(Box::new(GreedyElasticScheduler::new())),
+        "backfill" => Ok(Box::new(EasyBackfillScheduler::new())),
+        "heft" => Ok(Box::new(HeftScheduler::new())),
+        "slack-pack" => Ok(Box::new(SlackPackScheduler::new())),
+        other => Err(UnknownBaselineError {
+            requested: other.to_string(),
+        }),
     }
 }
 
@@ -108,16 +136,23 @@ mod tests {
     #[test]
     fn by_name_covers_every_listed_baseline() {
         for name in BASELINE_NAMES {
-            let sched = by_name(name, 0).unwrap_or_else(|| panic!("missing baseline {name}"));
+            let sched = by_name(name, 0).unwrap_or_else(|_| panic!("missing baseline {name}"));
             assert_eq!(sched.name(), name);
         }
-        assert!(by_name("does-not-exist", 0).is_none());
+        let Err(err) = by_name("does-not-exist", 0) else {
+            panic!("unknown name must not resolve");
+        };
+        assert_eq!(err.requested, "does-not-exist");
+        let message = err.to_string();
+        for name in all_baseline_names() {
+            assert!(message.contains(name), "error must list '{name}'");
+        }
     }
 
     #[test]
     fn by_name_covers_every_extended_baseline() {
         for name in EXTENDED_BASELINE_NAMES {
-            let sched = by_name(name, 0).unwrap_or_else(|| panic!("missing baseline {name}"));
+            let sched = by_name(name, 0).unwrap_or_else(|_| panic!("missing baseline {name}"));
             assert_eq!(sched.name(), name);
         }
         let all = all_baseline_names();

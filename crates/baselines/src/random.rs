@@ -35,6 +35,11 @@ impl Scheduler for RandomScheduler {
         self.rng = StdRng::seed_from_u64(self.seed);
     }
 
+    fn reset(&mut self, seed: u64) {
+        self.seed = seed;
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
     fn decide(&mut self, view: &ClusterView) -> Vec<Action> {
         let mut order: Vec<&tcrm_sim::PendingJobView> = view.pending.iter().collect();
         order.shuffle(&mut self.rng);

@@ -35,6 +35,10 @@ impl<S: Scheduler> Scheduler for RigidAdapter<S> {
         self.inner.on_simulation_start();
     }
 
+    fn reset(&mut self, seed: u64) {
+        self.inner.reset(seed);
+    }
+
     fn decide(&mut self, view: &ClusterView) -> Vec<Action> {
         self.inner
             .decide(view)

@@ -1,0 +1,97 @@
+//! Criterion bench: the flattened `(policy × point × seed)` sweep of
+//! [`EvalSession`] versus the legacy per-point strategy that only
+//! parallelised over the seeds of one `(policy, point)` cell at a time.
+//!
+//! The legacy shape leaves most cores idle whenever `seeds × 1` is smaller
+//! than the machine width and re-synchronises at every cell boundary; the
+//! flattened sweep exposes the whole grid to the scheduler at once and
+//! self-schedules cells onto workers. On ≥8 threads the flattened sweep must
+//! win (the acceptance gate of the evaluation-API redesign).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rayon::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+use tcrm_bench::{EvalSession, PolicyRegistry, ResultRow};
+use tcrm_sim::{ClusterSpec, SimConfig, Simulator};
+use tcrm_workload::{generate, load_sweep, WorkloadSpec};
+
+const POLICIES: [&str; 6] = [
+    "fifo",
+    "sjf",
+    "edf",
+    "tetris",
+    "least-loaded",
+    "greedy-elastic",
+];
+const LOADS: [f64; 3] = [0.5, 0.9, 1.1];
+const SEEDS: [u64; 4] = [1, 2, 3, 4];
+const JOBS: usize = 60;
+
+fn points() -> Vec<(f64, WorkloadSpec)> {
+    load_sweep(&WorkloadSpec::icpp_default().with_num_jobs(JOBS), &LOADS)
+}
+
+/// The legacy sweep: iterate cells sequentially, parallelising only the
+/// seed replications inside one `(policy, point)` cell.
+fn per_point_seed_loop() -> Vec<ResultRow> {
+    let registry = PolicyRegistry::with_baselines();
+    let cluster = ClusterSpec::icpp_default();
+    let sim = SimConfig::default();
+    let mut rows = Vec::new();
+    for (parameter, workload) in points() {
+        for policy in POLICIES {
+            let spec = registry.parse(policy).expect("known policy");
+            let cell_rows: Vec<ResultRow> = SEEDS
+                .par_iter()
+                .map(|&seed| {
+                    let jobs = generate(&workload, &cluster, seed);
+                    let mut scheduler = registry.build(&spec, seed).expect("known policy");
+                    let result =
+                        Simulator::new(cluster.clone(), sim.clone()).run(jobs, &mut scheduler);
+                    ResultRow {
+                        scheduler: spec.name(),
+                        parameter,
+                        seed,
+                        summary: result.summary,
+                    }
+                })
+                .collect();
+            rows.extend(cell_rows);
+        }
+    }
+    rows
+}
+
+/// The flattened sweep: the whole grid as one self-scheduling parallel run
+/// with per-worker simulator/view/scheduler reuse.
+fn flattened_session() -> Vec<ResultRow> {
+    let registry = PolicyRegistry::with_baselines();
+    EvalSession::new(&registry)
+        .policies(POLICIES)
+        .expect("known policies")
+        .cluster(ClusterSpec::icpp_default())
+        .sim(SimConfig::default())
+        .points(points())
+        .seeds(&SEEDS)
+        .run()
+        .expect("sweep runs")
+        .table
+        .rows
+}
+
+fn bench_sweep_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_sweep");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    group.bench_function("per_point_seed_loop", |b| {
+        b.iter(|| black_box(per_point_seed_loop()))
+    });
+    group.bench_function("flattened_session", |b| {
+        b.iter(|| black_box(flattened_session()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_strategies);
+criterion_main!(benches);

@@ -50,7 +50,11 @@ fn main() {
     }
     experiments.dedup();
 
-    let lab = Lab::new(quick, &out_dir);
+    let mut lab = Lab::new(quick, &out_dir);
+    // Stream sweep progress and resume statistics to stderr: interrupted
+    // runs pick their shared grids back up from `<out>/main-grid-*.json`.
+    lab.verbose = true;
+    let lab = lab;
     println!(
         "# TCRM experiment driver — mode: {}, output: {}",
         if quick { "quick" } else { "full" },

@@ -6,8 +6,9 @@
 //! (the integration tests and the default `expdriver` invocation use quick
 //! mode; `--full` reproduces the paper-scale runs).
 
+use crate::policy::PolicyRegistry;
 use crate::results::ResultTable;
-use crate::runner::{evaluate_grid, SchedulerSpec};
+use crate::runner::{EvalReport, EvalSession};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -54,11 +55,15 @@ pub const ALL_EXPERIMENTS: [&str; 16] = [
 pub struct Lab {
     /// Quick mode scales every run down to seconds/minutes.
     pub quick: bool,
+    /// Print sweep progress and resume statistics to stderr (the expdriver
+    /// turns this on; tests leave it off).
+    pub verbose: bool,
     /// Directory checkpoints and results are written to.
     pub out_dir: PathBuf,
     cluster: ClusterSpec,
     workload: WorkloadSpec,
     sim: SimConfig,
+    registry: Mutex<PolicyRegistry>,
     agents: Mutex<HashMap<String, (DrlScheduler, TrainingHistory)>>,
     main_grid: Mutex<Option<ResultTable>>,
 }
@@ -68,10 +73,12 @@ impl Lab {
     pub fn new(quick: bool, out_dir: impl Into<PathBuf>) -> Self {
         Lab {
             quick,
+            verbose: false,
             out_dir: out_dir.into(),
             cluster: ClusterSpec::icpp_default(),
             workload: WorkloadSpec::icpp_default(),
             sim: SimConfig::default(),
+            registry: Mutex::new(PolicyRegistry::with_baselines()),
             agents: Mutex::new(HashMap::new()),
             main_grid: Mutex::new(None),
         }
@@ -228,30 +235,101 @@ impl Lab {
             .with_load(load)
     }
 
-    /// All comparison schedulers: the seven baselines plus the main DRL agent.
-    fn comparison_specs(&self) -> Vec<SchedulerSpec> {
-        let mut specs: Vec<SchedulerSpec> = BASELINE_NAMES
-            .iter()
-            .map(|n| SchedulerSpec::baseline(n))
-            .collect();
-        specs.push(SchedulerSpec::drl(self.agent("drl").0));
-        specs
+    /// Train (or load) the agent variant `key` and make sure the policy
+    /// registry can resolve it by name, so experiment policy lists can mix
+    /// baselines and DRL variants freely.
+    fn registered_agent(&self, key: &str) -> (DrlScheduler, TrainingHistory) {
+        let pair = self.agent(key);
+        let mut registry = self.registry.lock();
+        if !registry.contains(key) {
+            registry
+                .register_drl(pair.0.clone())
+                .expect("agent keys are grammar-clean and unique");
+        }
+        pair
+    }
+
+    /// Run one evaluation sweep over `policies × points × seeds` through the
+    /// registry, with the lab's cluster/engine configuration and optional
+    /// verbose progress reporting.
+    fn sweep(
+        &self,
+        experiment: &str,
+        caption: &str,
+        parameter_name: &str,
+        policies: &[&str],
+        points: Vec<(f64, WorkloadSpec)>,
+        checkpoint: Option<PathBuf>,
+    ) -> ResultTable {
+        let registry = self.registry.lock();
+        let mut session = EvalSession::new(&registry)
+            .cluster(self.cluster.clone())
+            .sim(self.sim.clone())
+            .seeds(&self.seeds())
+            .table(experiment, caption, parameter_name)
+            .points(points)
+            .policies(policies.iter().copied())
+            .unwrap_or_else(|e| panic!("{experiment}: {e}"));
+        if self.verbose {
+            let label = experiment.to_string();
+            session = session.on_row(move |row, done, total| {
+                if done % 8 == 0 || done == total {
+                    eprintln!(
+                        "  [{label}] {done}/{total} rows (last: {} @ {:.2}, seed {})",
+                        row.scheduler, row.parameter, row.seed
+                    );
+                }
+            });
+        }
+        if let Some(path) = checkpoint {
+            session = session.checkpoint(path);
+        }
+        let EvalReport {
+            table,
+            computed,
+            resumed,
+        } = session
+            .run()
+            .unwrap_or_else(|e| panic!("{experiment}: {e}"));
+        if self.verbose && resumed > 0 {
+            eprintln!("  [{experiment}] resumed {resumed} cached rows, simulated {computed}");
+        }
+        table
+    }
+
+    /// All comparison policies: the seven baselines plus the main DRL agent.
+    fn comparison_policies(&self) -> Vec<&'static str> {
+        self.registered_agent("drl");
+        let mut policies: Vec<&'static str> = BASELINE_NAMES.to_vec();
+        policies.push("drl");
+        policies
     }
 
     /// The shared load-sweep grid over all comparison schedulers (used by
-    /// Table 2/3 and Figures 3/4).
+    /// Table 2/3 and Figures 3/4). Checkpointed to
+    /// `<out_dir>/main-grid-{quick,full}.json`, so an interrupted run resumes
+    /// from the completed rows.
     fn main_grid(&self) -> ResultTable {
         if let Some(table) = self.main_grid.lock().as_ref() {
             return table.clone();
         }
-        let specs = self.comparison_specs();
+        let policies = self.comparison_policies();
         let points: Vec<(f64, WorkloadSpec)> = load_sweep(
             &self.workload.clone().with_num_jobs(self.eval_jobs()),
             &self.load_grid(),
         );
-        let rows = evaluate_grid(&specs, &points, &self.cluster, &self.sim, &self.seeds());
-        let mut table = ResultTable::new("main-grid", "All schedulers across offered load", "load");
-        table.extend(rows);
+        // Quick and full grids resume from separate checkpoints: their rows
+        // share (scheduler, load, seed) keys but not workload scale.
+        let mode = if self.quick { "quick" } else { "full" };
+        let checkpoint = self.out_dir.join(format!("main-grid-{mode}.json"));
+        let table = self.sweep(
+            "main-grid",
+            "All schedulers across offered load",
+            "load",
+            &policies,
+            points,
+            Some(checkpoint),
+        );
         *self.main_grid.lock() = Some(table.clone());
         table
     }
@@ -385,11 +463,12 @@ impl Lab {
         } else {
             vec![1.0, 2.0, 4.0, 8.0]
         };
-        let (agent, _) = self.agent("drl");
+        let (agent, _) = self.registered_agent("drl");
         let mut md = String::from(
             "### table4 — Mean decision latency (µs per decision epoch)\n\n| scheduler | nodes | mean latency (µs) | decisions |\n|---|---|---|---|\n",
         );
         let mut csv = String::from("scheduler,nodes,mean_latency_us,decisions\n");
+        let registry = self.registry.lock();
         for scale in &scales {
             let cluster = ClusterSpec::icpp_scaled(*scale);
             let nodes = cluster.num_nodes();
@@ -398,15 +477,9 @@ impl Lab {
                 .clone()
                 .with_num_jobs(if self.quick { 80 } else { 400 })
                 .with_load(0.9);
-            let mut specs: Vec<SchedulerSpec> = vec![
-                SchedulerSpec::baseline("edf"),
-                SchedulerSpec::baseline("tetris"),
-                SchedulerSpec::baseline("greedy-elastic"),
-                SchedulerSpec::drl(agent.clone()),
-            ];
-            for spec in specs.drain(..) {
+            for policy in ["edf", "tetris", "greedy-elastic", "drl"] {
                 let jobs = generate(&workload, &cluster, 11);
-                let mut scheduler = spec.build(11);
+                let mut scheduler = registry.build_str(policy, 11).expect("policy registered");
                 let start = Instant::now();
                 let result =
                     Simulator::new(cluster.clone(), self.sim.clone()).run(jobs, &mut scheduler);
@@ -414,19 +487,9 @@ impl Lab {
                 let decisions = result.summary.decision_epochs.max(1);
                 let latency_us = elapsed.as_secs_f64() * 1e6 / decisions as f64;
                 md.push_str(&format!(
-                    "| {} | {} | {:.1} | {} |\n",
-                    spec.name(),
-                    nodes,
-                    latency_us,
-                    decisions
+                    "| {policy} | {nodes} | {latency_us:.1} | {decisions} |\n"
                 ));
-                csv.push_str(&format!(
-                    "{},{},{:.3},{}\n",
-                    spec.name(),
-                    nodes,
-                    latency_us,
-                    decisions
-                ));
+                csv.push_str(&format!("{policy},{nodes},{latency_us:.3},{decisions}\n"));
             }
         }
         md.push_str(&format!(
@@ -451,22 +514,23 @@ impl Lab {
             .cloned()
             .min_by(|a, b| (a - 0.9).abs().partial_cmp(&(b - 0.9).abs()).unwrap())
             .unwrap();
-        let mut specs: Vec<SchedulerSpec> = BASELINE_NAMES
+        self.registered_agent("drl");
+        let mut policies: Vec<&str> = BASELINE_NAMES
             .iter()
             .chain(EXTENDED_BASELINE_NAMES.iter())
-            .map(|n| SchedulerSpec::baseline(n))
+            .copied()
             .collect();
-        specs.push(SchedulerSpec::drl(self.agent("drl").0));
-        let points = vec![(load, self.workload_at(load))];
-        let rows = evaluate_grid(&specs, &points, &self.cluster, &self.sim, &self.seeds());
-        let mut table = ResultTable::new(
+        policies.push("drl");
+        let table = self.sweep(
             "table5",
-            format!(
+            &format!(
                 "Extended heuristic comparison (incl. backfill / HEFT / slack-pack) at load {load}"
             ),
             "load",
+            &policies,
+            vec![(load, self.workload_at(load))],
+            None,
         );
-        table.extend(rows);
         ExperimentOutput {
             name: "table5".into(),
             markdown: table.to_markdown(),
@@ -485,22 +549,16 @@ impl Lab {
             .min_by(|a, b| (a - 0.9).abs().partial_cmp(&(b - 0.9).abs()).unwrap())
             .unwrap();
         let workload = self.workload_at(load);
-        let (agent, _) = self.agent("drl");
-        let specs = vec![
-            SchedulerSpec::drl(agent),
-            SchedulerSpec::baseline("edf"),
-            SchedulerSpec::baseline("greedy-elastic"),
-            SchedulerSpec::baseline("backfill"),
-            SchedulerSpec::baseline("tetris"),
-            SchedulerSpec::baseline("fifo"),
-        ];
+        self.registered_agent("drl");
+        let policies = ["drl", "edf", "greedy-elastic", "backfill", "tetris", "fifo"];
         let mut md = String::from(
             "### fig10 — Energy and fairness per scheduler (load ≈ 0.9)\n\n| scheduler | energy (kWh) | mean power (kW) | kJ / completed job | slowdown fairness (Jain) | miss rate |\n|---|---|---|---|---|---|\n",
         );
         let mut csv = String::from(
             "scheduler,seed,total_kwh,mean_watts,joules_per_job,slowdown_fairness,miss_rate,utility_ratio\n",
         );
-        for spec in specs {
+        let registry = self.registry.lock();
+        for policy in policies {
             let mut kwh = Vec::new();
             let mut watts = Vec::new();
             let mut per_job = Vec::new();
@@ -508,7 +566,7 @@ impl Lab {
             let mut miss = Vec::new();
             for &seed in &self.seeds() {
                 let jobs = generate(&workload, &self.cluster, seed);
-                let mut scheduler = spec.build(seed);
+                let mut scheduler = registry.build_str(policy, seed).expect("policy registered");
                 let result = Simulator::new(self.cluster.clone(), self.sim.clone())
                     .run(jobs, &mut scheduler);
                 let energy = result
@@ -516,7 +574,7 @@ impl Lab {
                     .energy_report(&self.cluster, result.summary.completed_jobs);
                 csv.push_str(&format!(
                     "{},{},{:.6},{:.1},{:.1},{:.4},{:.4},{:.4}\n",
-                    spec.name(),
+                    policy,
                     seed,
                     energy.total_kwh,
                     energy.mean_watts(),
@@ -534,7 +592,7 @@ impl Lab {
             let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
             md.push_str(&format!(
                 "| {} | {:.3} | {:.2} | {:.1} | {:.3} | {:.1}% |\n",
-                spec.name(),
+                policy,
                 mean(&kwh),
                 mean(&watts) / 1000.0,
                 mean(&per_job) / 1000.0,
@@ -623,16 +681,16 @@ impl Lab {
     /// Figure 5: per-class utilisation timeline, DRL vs EDF, at load 0.9.
     pub fn fig5(&self) -> ExperimentOutput {
         let workload = self.workload_at(0.9);
-        let (agent, _) = self.agent("drl");
+        self.registered_agent("drl");
         let mut md = String::from(
             "### fig5 — Cluster utilisation timeline (load 0.9)\n\n| scheduler | mean overall util | mean cpu-heavy | mean mem-heavy | mean gpu | mean edge |\n|---|---|---|---|---|---|\n",
         );
         let mut csv =
             String::from("scheduler,time,overall,cpu_heavy,mem_heavy,gpu,edge,pending,running\n");
-        let specs = vec![SchedulerSpec::drl(agent), SchedulerSpec::baseline("edf")];
-        for spec in specs {
+        let registry = self.registry.lock();
+        for policy in ["drl", "edf"] {
             let jobs = generate(&workload, &self.cluster, 21);
-            let mut scheduler = spec.build(21);
+            let mut scheduler = registry.build_str(policy, 21).expect("policy registered");
             let result =
                 Simulator::new(self.cluster.clone(), self.sim.clone()).run(jobs, &mut scheduler);
             for sample in &result.trace.samples {
@@ -650,7 +708,7 @@ impl Lab {
                     .collect();
                 csv.push_str(&format!(
                     "{},{:.1},{:.4},{:.4},{:.4},{:.4},{:.4},{},{}\n",
-                    spec.name(),
+                    policy,
                     sample.time,
                     sample.overall,
                     class_means.first().copied().unwrap_or(0.0),
@@ -663,7 +721,7 @@ impl Lab {
             }
             md.push_str(&format!(
                 "| {} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} |\n",
-                spec.name(),
+                policy,
                 result.trace.mean_overall(),
                 result.trace.mean_class_overall(0),
                 result.trace.mean_class_overall(1),
@@ -680,26 +738,26 @@ impl Lab {
 
     /// Figure 6: elasticity ablation across load.
     pub fn fig6(&self) -> ExperimentOutput {
-        let (elastic, _) = self.agent("drl");
-        let (rigid, _) = self.agent("drl-rigid");
-        let specs = vec![
-            SchedulerSpec::drl(elastic),
-            SchedulerSpec::drl(rigid),
-            SchedulerSpec::baseline("greedy-elastic"),
-            SchedulerSpec::RigidBaseline("greedy-elastic".into()),
-            SchedulerSpec::baseline("edf"),
-        ];
+        self.registered_agent("drl");
+        self.registered_agent("drl-rigid");
         let points = load_sweep(
             &self.workload.clone().with_num_jobs(self.eval_jobs()),
             &self.load_grid(),
         );
-        let rows = evaluate_grid(&specs, &points, &self.cluster, &self.sim, &self.seeds());
-        let mut table = ResultTable::new(
+        let table = self.sweep(
             "fig6",
             "Elasticity ablation: elastic vs rigid allocation across load",
             "load",
+            &[
+                "drl",
+                "drl-rigid",
+                "greedy-elastic",
+                "greedy-elastic+rigid",
+                "edf",
+            ],
+            points,
+            None,
         );
-        table.extend(rows);
         ExperimentOutput {
             name: "fig6".into(),
             markdown: table.to_markdown(),
@@ -709,22 +767,16 @@ impl Lab {
 
     /// Figure 7: heterogeneity ablation at load 0.9.
     pub fn fig7(&self) -> ExperimentOutput {
-        let (aware, _) = self.agent("drl");
-        let (blind, _) = self.agent("drl-class-blind");
-        let specs = vec![
-            SchedulerSpec::drl(aware),
-            SchedulerSpec::drl(blind),
-            SchedulerSpec::baseline("edf"),
-            SchedulerSpec::baseline("least-loaded"),
-        ];
-        let points = vec![(0.9, self.workload_at(0.9))];
-        let rows = evaluate_grid(&specs, &points, &self.cluster, &self.sim, &self.seeds());
-        let mut table = ResultTable::new(
+        self.registered_agent("drl");
+        self.registered_agent("drl-class-blind");
+        let table = self.sweep(
             "fig7",
             "Heterogeneity ablation: class-aware vs class-blind state/action (load 0.9)",
             "load",
+            &["drl", "drl-class-blind", "edf", "least-loaded"],
+            vec![(0.9, self.workload_at(0.9))],
+            None,
         );
-        table.extend(rows);
         ExperimentOutput {
             name: "fig7".into(),
             markdown: table.to_markdown(),
@@ -734,13 +786,7 @@ impl Lab {
 
     /// Figure 8: sensitivity to deadline tightness (slack factor sweep).
     pub fn fig8(&self) -> ExperimentOutput {
-        let (agent, _) = self.agent("drl");
-        let specs = vec![
-            SchedulerSpec::drl(agent),
-            SchedulerSpec::baseline("edf"),
-            SchedulerSpec::baseline("greedy-elastic"),
-            SchedulerSpec::baseline("fifo"),
-        ];
+        self.registered_agent("drl");
         let slacks: Vec<f64> = if self.quick {
             vec![1.2, 2.0, 3.0]
         } else {
@@ -751,14 +797,14 @@ impl Lab {
             .clone()
             .with_num_jobs(self.eval_jobs())
             .with_load(0.9);
-        let points = slack_sweep(&base, &slacks);
-        let rows = evaluate_grid(&specs, &points, &self.cluster, &self.sim, &self.seeds());
-        let mut table = ResultTable::new(
+        let table = self.sweep(
             "fig8",
             "Sensitivity to deadline tightness (slack factor, load 0.9)",
             "slack",
+            &["drl", "edf", "greedy-elastic", "fifo"],
+            slack_sweep(&base, &slacks),
+            None,
         );
-        table.extend(rows);
         ExperimentOutput {
             name: "fig8".into(),
             markdown: table.to_markdown(),
@@ -768,23 +814,17 @@ impl Lab {
 
     /// Figure 9: reward-shaping ablation at load 0.9.
     pub fn fig9(&self) -> ExperimentOutput {
-        let (utility, _) = self.agent("drl");
-        let (miss, _) = self.agent("drl-reward-miss");
-        let (slowdown, _) = self.agent("drl-reward-slowdown");
-        let specs = vec![
-            SchedulerSpec::drl(utility),
-            SchedulerSpec::drl(miss),
-            SchedulerSpec::drl(slowdown),
-            SchedulerSpec::baseline("edf"),
-        ];
-        let points = vec![(0.9, self.workload_at(0.9))];
-        let rows = evaluate_grid(&specs, &points, &self.cluster, &self.sim, &self.seeds());
-        let mut table = ResultTable::new(
+        self.registered_agent("drl");
+        self.registered_agent("drl-reward-miss");
+        self.registered_agent("drl-reward-slowdown");
+        let table = self.sweep(
             "fig9",
             "Reward-shaping ablation (utility vs miss-penalty vs slowdown, load 0.9)",
             "load",
+            &["drl", "drl-reward-miss", "drl-reward-slowdown", "edf"],
+            vec![(0.9, self.workload_at(0.9))],
+            None,
         );
-        table.extend(rows);
         ExperimentOutput {
             name: "fig9".into(),
             markdown: table.to_markdown(),
@@ -810,18 +850,20 @@ impl Lab {
         let points = vec![(load, self.workload_at(load))];
 
         // Evaluation table.
-        let mut specs: Vec<SchedulerSpec> = variants
-            .iter()
-            .map(|(_, key)| SchedulerSpec::drl(self.agent(key).0))
-            .collect();
-        specs.push(SchedulerSpec::baseline("edf"));
-        let rows = evaluate_grid(&specs, &points, &self.cluster, &self.sim, &self.seeds());
-        let mut table = ResultTable::new(
+        let mut policies: Vec<&str> = Vec::new();
+        for (_, key) in variants {
+            self.registered_agent(key);
+            policies.push(key);
+        }
+        policies.push("edf");
+        let table = self.sweep(
             "fig11",
-            format!("Learner ablation (A2C vs PPO vs REINFORCE) at load {load}"),
+            &format!("Learner ablation (A2C vs PPO vs REINFORCE) at load {load}"),
             "load",
+            &policies,
+            points,
+            None,
         );
-        table.extend(rows);
 
         // Convergence appendix: final/best training return per learner.
         let mut md = table.to_markdown();

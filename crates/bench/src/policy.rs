@@ -1,0 +1,587 @@
+//! The composable policy registry: every scheduler the harness can evaluate
+//! — classical heuristics, DRL agents, ad-hoc test policies — registered
+//! under a name, composed with adapters through parsed **spec strings**.
+//!
+//! # Spec-string grammar
+//!
+//! ```text
+//! spec    := base ('+' adapter)*
+//! base    := a registered policy name ("edf", "greedy-elastic", "drl", …)
+//! adapter := "rigid"                  -- strip elasticity (RigidAdapter)
+//!          | "admission"              -- deadline admission control, margin 0
+//!          | "admission(" margin ")"  -- admission control with slack margin
+//! ```
+//!
+//! `"edf+rigid"` is EDF with elasticity stripped; `"greedy-elastic+admission"`
+//! is the greedy-elastic heuristic behind deadline-based admission control;
+//! adapters stack left to right, so `"edf+rigid+admission(5)"` wraps rigid
+//! EDF in an admission controller requiring 5 s of slack. [`PolicySpec`]
+//! round-trips: parsing the canonical rendering of a spec yields the same
+//! spec, and rendering a parsed canonical string reproduces it byte for byte.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+use tcrm_baselines::{
+    all_baseline_names, by_name, AdmissionAdapter, RigidAdapter, UnknownBaselineError,
+};
+use tcrm_core::DrlScheduler;
+use tcrm_sim::Scheduler;
+
+/// A named constructor of fresh [`Scheduler`] instances.
+///
+/// One factory is registered per policy name; the harness calls
+/// [`PolicyFactory::build`] once per replication (or reuses an instance via
+/// [`Scheduler::reset`]). `build(seed)` must be deterministic: the same seed
+/// always yields a scheduler that behaves identically.
+///
+/// ```
+/// use tcrm_bench::{PolicyFactory, PolicyRegistry};
+/// use tcrm_sim::{Action, ClusterView, Scheduler};
+///
+/// /// A policy that never starts anything (useful as a lower bound).
+/// struct IdleFactory;
+///
+/// struct Idle;
+/// impl Scheduler for Idle {
+///     fn name(&self) -> &str {
+///         "idle"
+///     }
+///     fn decide(&mut self, _view: &ClusterView) -> Vec<Action> {
+///         vec![Action::Wait]
+///     }
+/// }
+///
+/// impl PolicyFactory for IdleFactory {
+///     fn name(&self) -> &str {
+///         "idle"
+///     }
+///     fn build(&self, _seed: u64) -> Box<dyn Scheduler> {
+///         Box::new(Idle)
+///     }
+/// }
+///
+/// let mut registry = PolicyRegistry::with_baselines();
+/// registry.register(IdleFactory).unwrap();
+/// assert!(registry.names().contains(&"idle"));
+/// // Custom entries compose with adapters like any other policy:
+/// let spec = registry.parse("idle+rigid").unwrap();
+/// assert_eq!(spec.to_string(), "idle+rigid");
+/// ```
+pub trait PolicyFactory: Send + Sync {
+    /// The registered policy name (the `base` of the spec grammar). Must not
+    /// contain `'+'` or parentheses.
+    fn name(&self) -> &str;
+
+    /// Construct a fresh scheduler for one replication.
+    fn build(&self, seed: u64) -> Box<dyn Scheduler>;
+
+    /// True when one built instance may serve many replications, re-armed
+    /// between runs with [`Scheduler::reset`] instead of being rebuilt.
+    ///
+    /// Only return `true` if `reset(seed)` fully re-derives every
+    /// seed-dependent piece of state `build(seed)` would have initialised —
+    /// otherwise a reused instance would silently run every replication on
+    /// one seed. The default is the safe `false`: the evaluation sweep then
+    /// builds a fresh scheduler per replication (all the factories this
+    /// crate ships override this, since the bundled schedulers implement
+    /// `reset`).
+    fn reusable(&self) -> bool {
+        false
+    }
+}
+
+/// Errors of registry operations and spec-string parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyError {
+    /// The spec's base name is not registered.
+    UnknownPolicy {
+        /// The name that failed to resolve.
+        requested: String,
+        /// Every name the registry currently holds.
+        registered: Vec<String>,
+    },
+    /// A factory with this name is already registered.
+    DuplicatePolicy(String),
+    /// The factory name itself violates the grammar (contains `+` etc.).
+    InvalidPolicyName(String),
+    /// The spec string does not follow the grammar.
+    InvalidSpec {
+        /// The offending spec string.
+        spec: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// A checkpoint file could not be written.
+    CheckpointIo {
+        /// The checkpoint path.
+        path: String,
+        /// The underlying I/O error.
+        message: String,
+    },
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::UnknownPolicy {
+                requested,
+                registered,
+            } => write!(
+                f,
+                "unknown policy '{requested}'; registered policies: {}",
+                registered.join(", ")
+            ),
+            PolicyError::DuplicatePolicy(name) => {
+                write!(f, "a policy named '{name}' is already registered")
+            }
+            PolicyError::InvalidPolicyName(name) => write!(
+                f,
+                "invalid policy name '{name}': names must be non-empty and free of '+', '(' and ')'"
+            ),
+            PolicyError::InvalidSpec { spec, reason } => {
+                write!(f, "invalid policy spec '{spec}': {reason}")
+            }
+            PolicyError::CheckpointIo { path, message } => {
+                write!(f, "could not write checkpoint '{path}': {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+/// An adapter applied on top of a base policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdapterSpec {
+    /// [`RigidAdapter`]: force minimum parallelism, drop scale actions.
+    Rigid,
+    /// [`AdmissionAdapter`]: refuse to start jobs whose deadline is already
+    /// unreachable, requiring `margin` seconds of residual slack.
+    Admission {
+        /// Slack (seconds) a job must retain to be admitted.
+        margin: f64,
+    },
+}
+
+impl fmt::Display for AdapterSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdapterSpec::Rigid => write!(f, "rigid"),
+            AdapterSpec::Admission { margin } if *margin == 0.0 => write!(f, "admission"),
+            AdapterSpec::Admission { margin } => write!(f, "admission({margin})"),
+        }
+    }
+}
+
+/// A parsed policy spec: a base policy name plus a stack of adapters.
+///
+/// The [`fmt::Display`] rendering is the canonical spec string
+/// (`"edf+rigid"`, `"greedy-elastic+admission(2.5)"`); [`FromStr`] parses it
+/// back, and the two round-trip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicySpec {
+    base: String,
+    adapters: Vec<AdapterSpec>,
+}
+
+impl PolicySpec {
+    /// A bare base policy with no adapters.
+    pub fn base(name: impl Into<String>) -> Self {
+        PolicySpec {
+            base: name.into(),
+            adapters: Vec::new(),
+        }
+    }
+
+    /// Stack one more adapter on top.
+    pub fn with_adapter(mut self, adapter: AdapterSpec) -> Self {
+        self.adapters.push(adapter);
+        self
+    }
+
+    /// The base policy name.
+    pub fn base_name(&self) -> &str {
+        &self.base
+    }
+
+    /// The adapter stack, innermost first.
+    pub fn adapters(&self) -> &[AdapterSpec] {
+        &self.adapters
+    }
+
+    /// The canonical spec string — the label used in result tables.
+    pub fn name(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for PolicySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.base)?;
+        for adapter in &self.adapters {
+            write!(f, "+{adapter}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for PolicySpec {
+    type Err = PolicyError;
+
+    fn from_str(s: &str) -> Result<Self, PolicyError> {
+        let invalid = |reason: &str| PolicyError::InvalidSpec {
+            spec: s.to_string(),
+            reason: reason.to_string(),
+        };
+        let mut segments = s.split('+');
+        let base = segments.next().unwrap_or_default();
+        if base.is_empty() {
+            return Err(invalid("the base policy name is empty"));
+        }
+        if base.contains('(') || base.contains(')') {
+            return Err(invalid("the base policy name must not contain parentheses"));
+        }
+        let mut adapters = Vec::new();
+        for segment in segments {
+            if segment == "rigid" {
+                adapters.push(AdapterSpec::Rigid);
+            } else if segment == "admission" {
+                adapters.push(AdapterSpec::Admission { margin: 0.0 });
+            } else if let Some(args) = segment
+                .strip_prefix("admission(")
+                .and_then(|rest| rest.strip_suffix(')'))
+            {
+                let margin: f64 = args
+                    .parse()
+                    .map_err(|_| invalid("the admission margin is not a number"))?;
+                if !margin.is_finite() || margin < 0.0 {
+                    return Err(invalid("the admission margin must be finite and >= 0"));
+                }
+                adapters.push(AdapterSpec::Admission { margin });
+            } else if segment.is_empty() {
+                return Err(invalid("empty adapter segment (trailing or doubled '+')"));
+            } else {
+                return Err(invalid(
+                    "unknown adapter (expected 'rigid', 'admission' or 'admission(<seconds>)')",
+                ));
+            }
+        }
+        Ok(PolicySpec {
+            base: base.to_string(),
+            adapters,
+        })
+    }
+}
+
+/// A [`PolicyFactory`] for one named baseline from `tcrm-baselines`.
+struct BaselineFactory {
+    name: &'static str,
+}
+
+impl PolicyFactory for BaselineFactory {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn build(&self, seed: u64) -> Box<dyn Scheduler> {
+        by_name(self.name, seed).expect("baseline validated at registration")
+    }
+
+    fn reusable(&self) -> bool {
+        // Every bundled baseline either is stateless across runs or
+        // implements `Scheduler::reset` (the random scheduler re-seeds).
+        true
+    }
+}
+
+/// A [`PolicyFactory`] cloning a (trained) DRL agent per replication.
+struct DrlFactory {
+    name: String,
+    agent: DrlScheduler,
+}
+
+impl PolicyFactory for DrlFactory {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(&self, seed: u64) -> Box<dyn Scheduler> {
+        let mut agent = self.agent.clone();
+        agent.reset(seed);
+        Box::new(agent)
+    }
+
+    fn reusable(&self) -> bool {
+        // `DrlScheduler::reset` re-derives the action RNG and per-epoch
+        // state; reuse avoids cloning the policy weights per replication.
+        true
+    }
+}
+
+/// A [`PolicyFactory`] built from a closure (ad-hoc policies in tests and
+/// examples).
+struct FnFactory {
+    name: String,
+    build: Box<dyn Fn(u64) -> Box<dyn Scheduler> + Send + Sync>,
+}
+
+impl PolicyFactory for FnFactory {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(&self, seed: u64) -> Box<dyn Scheduler> {
+        (self.build)(seed)
+    }
+}
+
+/// The open registry of evaluable policies.
+///
+/// Registration order is preserved (it is the order `names()` reports), and
+/// names are unique. The registry resolves and validates spec strings
+/// ([`PolicyRegistry::parse`]) and instantiates composed schedulers
+/// ([`PolicyRegistry::build`]).
+///
+/// ```
+/// use tcrm_bench::PolicyRegistry;
+///
+/// let registry = PolicyRegistry::with_baselines();
+/// let spec = registry.parse("greedy-elastic+rigid").unwrap();
+/// let mut scheduler = registry.build(&spec, 7).unwrap();
+/// assert_eq!(scheduler.name(), "greedy-elastic-rigid");
+/// // Unknown bases fail with the full menu:
+/// let err = registry.parse("edfff").unwrap_err();
+/// assert!(err.to_string().contains("registered policies"));
+/// ```
+#[derive(Default)]
+pub struct PolicyRegistry {
+    factories: Vec<Box<dyn PolicyFactory>>,
+    index: HashMap<String, usize>,
+}
+
+impl PolicyRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry pre-populated with every heuristic `tcrm-baselines` ships
+    /// (headline set first, then the extended set).
+    pub fn with_baselines() -> Self {
+        let mut registry = Self::new();
+        for name in all_baseline_names() {
+            registry
+                .register(BaselineFactory { name })
+                .expect("baseline names are unique");
+        }
+        registry
+    }
+
+    /// Register a factory. Fails on duplicate or grammar-violating names.
+    pub fn register(&mut self, factory: impl PolicyFactory + 'static) -> Result<(), PolicyError> {
+        let name = factory.name().to_string();
+        if name.is_empty() || name.contains(['+', '(', ')']) {
+            return Err(PolicyError::InvalidPolicyName(name));
+        }
+        if self.index.contains_key(&name) {
+            return Err(PolicyError::DuplicatePolicy(name));
+        }
+        self.index.insert(name, self.factories.len());
+        self.factories.push(Box::new(factory));
+        Ok(())
+    }
+
+    /// Register a DRL agent under its own name (cloned and re-seeded per
+    /// replication).
+    pub fn register_drl(&mut self, agent: DrlScheduler) -> Result<(), PolicyError> {
+        self.register(DrlFactory {
+            name: agent.name().to_string(),
+            agent,
+        })
+    }
+
+    /// Register a closure-backed factory.
+    pub fn register_fn(
+        &mut self,
+        name: impl Into<String>,
+        build: impl Fn(u64) -> Box<dyn Scheduler> + Send + Sync + 'static,
+    ) -> Result<(), PolicyError> {
+        self.register(FnFactory {
+            name: name.into(),
+            build: Box::new(build),
+        })
+    }
+
+    /// Every registered policy name, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.factories.iter().map(|f| f.name()).collect()
+    }
+
+    /// True when `name` is registered as a base policy.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index.contains_key(name)
+    }
+
+    /// The factory registered under `name`.
+    pub fn get(&self, name: &str) -> Option<&dyn PolicyFactory> {
+        self.index.get(name).map(|&i| &*self.factories[i])
+    }
+
+    /// Parse a spec string and validate its base against the registry.
+    pub fn parse(&self, spec: &str) -> Result<PolicySpec, PolicyError> {
+        let parsed: PolicySpec = spec.parse()?;
+        self.validate(&parsed)?;
+        Ok(parsed)
+    }
+
+    /// Validate that a spec's base policy is registered.
+    pub fn validate(&self, spec: &PolicySpec) -> Result<(), PolicyError> {
+        if self.contains(spec.base_name()) {
+            Ok(())
+        } else {
+            Err(PolicyError::UnknownPolicy {
+                requested: spec.base_name().to_string(),
+                registered: self.names().iter().map(|n| n.to_string()).collect(),
+            })
+        }
+    }
+
+    /// Instantiate a fresh scheduler for `spec` and `seed`, applying the
+    /// adapter stack innermost-first.
+    pub fn build(&self, spec: &PolicySpec, seed: u64) -> Result<Box<dyn Scheduler>, PolicyError> {
+        self.validate(spec)?;
+        let factory = self.get(spec.base_name()).expect("validated above");
+        let mut scheduler = factory.build(seed);
+        for adapter in spec.adapters() {
+            scheduler = match adapter {
+                AdapterSpec::Rigid => Box::new(RigidAdapter::new(scheduler)),
+                AdapterSpec::Admission { margin } => {
+                    Box::new(AdmissionAdapter::with_margin(scheduler, *margin))
+                }
+            };
+        }
+        Ok(scheduler)
+    }
+
+    /// Parse and instantiate in one step.
+    pub fn build_str(&self, spec: &str, seed: u64) -> Result<Box<dyn Scheduler>, PolicyError> {
+        let spec = self.parse(spec)?;
+        self.build(&spec, seed)
+    }
+}
+
+impl From<UnknownBaselineError> for PolicyError {
+    fn from(err: UnknownBaselineError) -> Self {
+        PolicyError::UnknownPolicy {
+            requested: err.requested,
+            registered: all_baseline_names().iter().map(|n| n.to_string()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcrm_baselines::BASELINE_NAMES;
+
+    #[test]
+    fn with_baselines_registers_every_heuristic_in_order() {
+        let registry = PolicyRegistry::with_baselines();
+        let names = registry.names();
+        assert_eq!(names, all_baseline_names());
+        for name in BASELINE_NAMES {
+            assert!(registry.contains(name));
+            let sched = registry.get(name).unwrap().build(3);
+            assert_eq!(sched.name(), name);
+        }
+    }
+
+    #[test]
+    fn duplicate_and_invalid_names_are_rejected() {
+        let mut registry = PolicyRegistry::with_baselines();
+        let dup = registry.register_fn("edf", |_| panic!("never built"));
+        assert_eq!(dup, Err(PolicyError::DuplicatePolicy("edf".into())));
+        let bad = registry.register_fn("my+policy", |_| panic!("never built"));
+        assert_eq!(bad, Err(PolicyError::InvalidPolicyName("my+policy".into())));
+    }
+
+    #[test]
+    fn spec_strings_round_trip() {
+        let cases = [
+            "edf",
+            "edf+rigid",
+            "greedy-elastic+admission",
+            "edf+admission(2.5)",
+            "edf+rigid+admission(5)",
+            "tetris+admission+rigid",
+        ];
+        for case in cases {
+            let spec: PolicySpec = case.parse().unwrap();
+            assert_eq!(spec.to_string(), case, "canonical string must re-render");
+            let reparsed: PolicySpec = spec.to_string().parse().unwrap();
+            assert_eq!(reparsed, spec, "render-then-parse must round-trip");
+        }
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_with_reasons() {
+        for bad in [
+            "",
+            "+rigid",
+            "edf+",
+            "edf++rigid",
+            "edf+elastic",
+            "edf+admission(",
+            "edf+admission()",
+            "edf+admission(abc)",
+            "edf+admission(-1)",
+            "edf+admission(inf)",
+            "edf(2)",
+        ] {
+            let parsed: Result<PolicySpec, _> = bad.parse();
+            assert!(
+                matches!(parsed, Err(PolicyError::InvalidSpec { .. })),
+                "'{bad}' must fail to parse, got {parsed:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_base_lists_the_registry() {
+        let registry = PolicyRegistry::with_baselines();
+        let err = registry.parse("warp-speed+rigid").unwrap_err();
+        match &err {
+            PolicyError::UnknownPolicy {
+                requested,
+                registered,
+            } => {
+                assert_eq!(requested, "warp-speed");
+                assert_eq!(registered.len(), all_baseline_names().len());
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("greedy-elastic") && msg.contains("heft"));
+    }
+
+    #[test]
+    fn adapters_stack_in_spec_order() {
+        let registry = PolicyRegistry::with_baselines();
+        let sched = registry.build_str("edf+rigid+admission(5)", 0).unwrap();
+        // Outermost adapter is the admission controller.
+        assert_eq!(sched.name(), "edf-rigid+admission");
+        let sched = registry.build_str("edf+admission+rigid", 0).unwrap();
+        assert_eq!(sched.name(), "edf+admission-rigid");
+    }
+
+    #[test]
+    fn build_is_seed_deterministic_for_random() {
+        let registry = PolicyRegistry::with_baselines();
+        let spec = registry.parse("random").unwrap();
+        let a = registry.build(&spec, 42).unwrap();
+        let b = registry.build(&spec, 42).unwrap();
+        assert_eq!(a.name(), b.name());
+    }
+}

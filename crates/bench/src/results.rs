@@ -72,10 +72,24 @@ impl Aggregate {
     }
 }
 
+/// Schema version stamped into every serialised [`ResultTable`]. Bump when
+/// the row layout changes incompatibly; [`ResultTable::load_json`] refuses
+/// files from other versions instead of silently misreading them.
+pub const RESULT_SCHEMA_VERSION: u32 = 1;
+
 /// A named collection of rows plus the aggregates derived from them — the
 /// in-memory form of one table or one figure's data series.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ResultTable {
+    /// Schema version of the serialised form (see [`RESULT_SCHEMA_VERSION`]).
+    #[serde(default)]
+    pub version: u32,
+    /// Provenance stamp of the grid configuration that produced the rows
+    /// (set by `EvalSession` checkpoints; empty for hand-built tables). A
+    /// resuming session refuses cached rows whose fingerprint differs from
+    /// its own grid.
+    #[serde(default)]
+    pub fingerprint: String,
     /// Experiment identifier (`table2`, `fig3`, …).
     pub experiment: String,
     /// Human-readable caption.
@@ -94,6 +108,8 @@ impl ResultTable {
         parameter_name: impl Into<String>,
     ) -> Self {
         ResultTable {
+            version: RESULT_SCHEMA_VERSION,
+            fingerprint: String::new(),
             experiment: experiment.into(),
             caption: caption.into(),
             parameter_name: parameter_name.into(),
@@ -209,6 +225,42 @@ impl ResultTable {
     pub fn to_json(&self) -> serde_json::Result<String> {
         serde_json::to_string_pretty(self)
     }
+
+    /// Write the versioned JSON form to `path` (atomically: a temp file in
+    /// the same directory is renamed over the target, so readers never see a
+    /// half-written checkpoint).
+    pub fn save_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        let json = self
+            .to_json()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Load a table previously written with [`Self::save_json`], refusing
+    /// files whose schema version does not match [`RESULT_SCHEMA_VERSION`].
+    pub fn load_json(path: impl AsRef<std::path::Path>) -> std::io::Result<ResultTable> {
+        let json = std::fs::read_to_string(path)?;
+        let table: ResultTable = serde_json::from_str(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        if table.version != RESULT_SCHEMA_VERSION {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "result table schema version {} does not match expected {}",
+                    table.version, RESULT_SCHEMA_VERSION
+                ),
+            ));
+        }
+        Ok(table)
+    }
 }
 
 #[cfg(test)]
@@ -287,6 +339,28 @@ mod tests {
         assert_eq!(aggs[0].parameter, 0.5);
         assert_eq!(aggs[0].scheduler, "drl");
         assert_eq!(aggs[2].parameter, 1.1);
+    }
+
+    #[test]
+    fn json_round_trip_is_versioned() {
+        let mut table = ResultTable::new("fig3", "caption", "load");
+        table.extend(vec![row("edf", 0.9, 0, 0.2)]);
+        let dir = std::env::temp_dir().join("tcrm-results-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("table.json");
+        table.save_json(&path).unwrap();
+        let back = ResultTable::load_json(&path).unwrap();
+        assert_eq!(back.version, RESULT_SCHEMA_VERSION);
+        assert_eq!(back.experiment, "fig3");
+        assert_eq!(back.rows.len(), 1);
+        assert_eq!(back.rows[0].summary, table.rows[0].summary);
+
+        // A mismatching schema version is refused.
+        let mut stale = table.clone();
+        stale.version = RESULT_SCHEMA_VERSION + 1;
+        stale.save_json(&path).unwrap();
+        let err = ResultTable::load_json(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 
     #[test]

@@ -1,147 +1,492 @@
-//! Running `(scheduler × workload point × seed)` grids and collecting rows.
+//! Running `(policy × workload point × seed)` grids and collecting rows.
+//!
+//! The entry point is the builder-style [`EvalSession`]: it resolves policy
+//! spec strings against a [`PolicyRegistry`], flattens the full evaluation
+//! grid into one parallel sweep with work-stealing-friendly self-scheduling,
+//! reuses per-worker simulator/view/scheduler scratch so the steady-state
+//! sweep loop stays off the allocator, streams completed rows through a
+//! progress callback, and checkpoints/resumes partial grids as versioned
+//! JSON.
 
-use crate::results::ResultRow;
+use crate::policy::{PolicyError, PolicyRegistry, PolicySpec};
+use crate::results::{ResultRow, ResultTable};
+use parking_lot::Mutex;
 use rayon::prelude::*;
-use tcrm_baselines::{by_name, RigidAdapter};
-use tcrm_core::DrlScheduler;
-use tcrm_sim::{ClusterSpec, Scheduler, SimConfig, Simulator};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tcrm_sim::{ClusterSpec, ClusterView, Scheduler, SimConfig, Simulator, Summary};
 use tcrm_workload::{generate, WorkloadSpec};
 
-/// A scheduler that can be instantiated fresh for every replication.
-#[derive(Debug, Clone)]
-pub enum SchedulerSpec {
-    /// One of the named heuristics from `tcrm-baselines`.
-    Baseline(String),
-    /// A baseline wrapped in the rigid adapter (elasticity stripped).
-    RigidBaseline(String),
-    /// A (trained or untrained) DRL agent; cloned per replication.
-    Drl(Box<DrlScheduler>),
+/// Rows are streamed through this callback as replications complete:
+/// `(row, completed_so_far, total_to_compute)`. Called from worker threads
+/// in parallel mode, so implementations must be `Send + Sync`.
+pub type ProgressCallback = Box<dyn Fn(&ResultRow, usize, usize) + Send + Sync>;
+
+/// What [`EvalSession::run`] produced, beyond the table itself.
+pub struct EvalReport {
+    /// The full result table, rows in canonical grid order
+    /// (point-major, then policy, then seed).
+    pub table: ResultTable,
+    /// Rows simulated by this run.
+    pub computed: usize,
+    /// Rows loaded from the resume checkpoint instead of being re-simulated.
+    pub resumed: usize,
 }
 
-impl SchedulerSpec {
-    /// Convenience constructor for a named baseline.
-    pub fn baseline(name: &str) -> Self {
-        SchedulerSpec::Baseline(name.to_string())
-    }
-
-    /// Convenience constructor for a DRL agent.
-    pub fn drl(agent: DrlScheduler) -> Self {
-        SchedulerSpec::Drl(Box::new(agent))
-    }
-
-    /// The display name used in result tables.
-    pub fn name(&self) -> String {
-        match self {
-            SchedulerSpec::Baseline(name) => name.clone(),
-            SchedulerSpec::RigidBaseline(name) => format!("{name}-rigid"),
-            SchedulerSpec::Drl(agent) => agent.name().to_string(),
-        }
-    }
-
-    /// Instantiate a fresh scheduler for one replication.
-    pub fn build(&self, seed: u64) -> Box<dyn Scheduler> {
-        match self {
-            SchedulerSpec::Baseline(name) => {
-                by_name(name, seed).unwrap_or_else(|| panic!("unknown baseline '{name}'"))
-            }
-            SchedulerSpec::RigidBaseline(name) => {
-                let inner =
-                    by_name(name, seed).unwrap_or_else(|| panic!("unknown baseline '{name}'"));
-                Box::new(RigidAdapter::new(inner))
-            }
-            SchedulerSpec::Drl(agent) => Box::new((**agent).clone()),
-        }
-    }
+/// One flattened grid cell.
+#[derive(Clone, Copy)]
+struct Cell {
+    policy: usize,
+    point: usize,
+    seed: u64,
 }
 
-/// One evaluation point: cluster, engine knobs, workload family and the seeds
-/// to replicate over.
-#[derive(Debug, Clone)]
-pub struct EvalConfig {
-    /// Cluster specification.
-    pub cluster: ClusterSpec,
-    /// Engine configuration.
-    pub sim: SimConfig,
-    /// Workload family (including the offered load and job count).
-    pub workload: WorkloadSpec,
-    /// Replication seeds.
-    pub seeds: Vec<u64>,
-}
-
-impl EvalConfig {
-    /// A small default evaluation configuration.
-    pub fn new(cluster: ClusterSpec, workload: WorkloadSpec, seeds: Vec<u64>) -> Self {
-        EvalConfig {
-            cluster,
-            sim: SimConfig::default(),
-            workload,
-            seeds,
-        }
-    }
-}
-
-/// Evaluate one scheduler on one workload point, one row per seed.
-/// Replications run in parallel (rayon); each replication is itself fully
-/// deterministic, so the result set does not depend on the thread schedule.
-pub fn evaluate(spec: &SchedulerSpec, config: &EvalConfig, parameter: f64) -> Vec<ResultRow> {
-    config
-        .seeds
-        .par_iter()
-        .map(|&seed| {
-            let jobs = generate(&config.workload, &config.cluster, seed);
-            let mut scheduler = spec.build(seed);
-            let result = Simulator::new(config.cluster.clone(), config.sim.clone())
-                .run(jobs, &mut scheduler);
-            ResultRow {
-                scheduler: spec.name(),
-                parameter,
-                seed,
-                summary: result.summary,
-            }
-        })
-        .collect()
-}
-
-/// Evaluate a set of schedulers over a set of `(parameter, workload)` points.
-pub fn evaluate_grid(
-    specs: &[SchedulerSpec],
-    points: &[(f64, WorkloadSpec)],
+/// FNV-1a hash of the serialised grid configuration (cluster, engine config,
+/// per-point workloads) — the provenance stamp of a checkpoint. Stable
+/// across processes because it hashes the JSON rendering, not Rust's
+/// randomised `Hash`.
+fn grid_fingerprint(
     cluster: &ClusterSpec,
     sim: &SimConfig,
-    seeds: &[u64],
-) -> Vec<ResultRow> {
-    let mut rows = Vec::new();
+    points: &[(f64, WorkloadSpec)],
+) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(serde_json::to_string(cluster)
+        .unwrap_or_default()
+        .as_bytes());
+    eat(serde_json::to_string(sim).unwrap_or_default().as_bytes());
     for (parameter, workload) in points {
-        let config = EvalConfig {
-            cluster: cluster.clone(),
-            sim: sim.clone(),
-            workload: workload.clone(),
-            seeds: seeds.to_vec(),
-        };
-        for spec in specs {
-            rows.extend(evaluate(spec, &config, *parameter));
+        eat(&parameter.to_bits().to_le_bytes());
+        eat(serde_json::to_string(workload)
+            .unwrap_or_default()
+            .as_bytes());
+    }
+    format!("{hash:016x}")
+}
+
+/// Per-worker scratch reused across every cell the worker executes: one
+/// simulator (reset per replication), one snapshot buffer, and one scheduler
+/// instance per policy (re-armed with [`Scheduler::reset`]). This extends
+/// the zero-allocation stepping contract to the sweep loop — steady-state
+/// replication reuses the cluster, event heap, metrics buffers and view
+/// instead of reconstructing them per cell.
+struct WorkerScratch {
+    sim: Simulator,
+    view: ClusterView,
+    schedulers: HashMap<usize, Box<dyn Scheduler>>,
+}
+
+impl WorkerScratch {
+    fn new(cluster: &ClusterSpec, sim: &SimConfig) -> Self {
+        let sim = Simulator::new(cluster.clone(), sim.clone());
+        let view = sim.view();
+        WorkerScratch {
+            sim,
+            view,
+            schedulers: HashMap::new(),
         }
     }
-    rows
+}
+
+/// A builder-style evaluation session over one `(policy × point × seed)`
+/// grid.
+///
+/// ```
+/// use tcrm_bench::{EvalSession, PolicyRegistry};
+/// use tcrm_sim::{ClusterSpec, SimConfig};
+/// use tcrm_workload::WorkloadSpec;
+///
+/// let registry = PolicyRegistry::with_baselines();
+/// let report = EvalSession::new(&registry)
+///     .policies(["edf", "greedy-elastic+rigid"])
+///     .unwrap()
+///     .cluster(ClusterSpec::icpp_default())
+///     .sim(SimConfig::default())
+///     .point(0.9, WorkloadSpec::icpp_default().with_num_jobs(30).with_load(0.9))
+///     .seeds(&[1, 2])
+///     .run()
+///     .unwrap();
+/// // 2 policies × 1 point × 2 seeds:
+/// assert_eq!(report.table.rows.len(), 4);
+/// assert!(report.table.rows.iter().any(|r| r.scheduler == "greedy-elastic+rigid"));
+/// ```
+///
+/// Interrupted full-scale sweeps resume from a versioned JSON checkpoint:
+///
+/// ```no_run
+/// use tcrm_bench::{EvalSession, PolicyRegistry};
+/// use tcrm_workload::WorkloadSpec;
+///
+/// let registry = PolicyRegistry::with_baselines();
+/// let report = EvalSession::new(&registry)
+///     .policies(["edf"])
+///     .unwrap()
+///     .point(0.9, WorkloadSpec::icpp_default().with_load(0.9))
+///     .seeds(&[1, 2, 3, 4, 5])
+///     // Rows already present in the checkpoint are loaded, not re-run;
+///     // completed rows are flushed back so a second interruption loses
+///     // nothing.
+///     .checkpoint("results/main-grid.json")
+///     .run()
+///     .unwrap();
+/// println!("resumed {} rows, simulated {}", report.resumed, report.computed);
+/// ```
+pub struct EvalSession<'r> {
+    registry: &'r PolicyRegistry,
+    policies: Vec<PolicySpec>,
+    points: Vec<(f64, WorkloadSpec)>,
+    cluster: ClusterSpec,
+    sim: SimConfig,
+    seeds: Vec<u64>,
+    parallel: bool,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: usize,
+    progress: Option<ProgressCallback>,
+    experiment: String,
+    caption: String,
+    parameter_name: String,
+}
+
+impl<'r> EvalSession<'r> {
+    /// Start a session against a policy registry. Defaults: the ICPP default
+    /// cluster, default engine config, seed `[1]`, parallel execution.
+    pub fn new(registry: &'r PolicyRegistry) -> Self {
+        EvalSession {
+            registry,
+            policies: Vec::new(),
+            points: Vec::new(),
+            cluster: ClusterSpec::icpp_default(),
+            sim: SimConfig::default(),
+            seeds: vec![1],
+            parallel: true,
+            checkpoint: None,
+            checkpoint_every: 32,
+            progress: None,
+            experiment: "eval".into(),
+            caption: String::new(),
+            parameter_name: "parameter".into(),
+        }
+    }
+
+    /// Add policies by spec string (see the [`crate::policy`] grammar).
+    /// Fails fast on unknown bases or malformed specs.
+    pub fn policies<I, S>(mut self, specs: I) -> Result<Self, PolicyError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        for spec in specs {
+            self.policies.push(self.registry.parse(spec.as_ref())?);
+        }
+        Ok(self)
+    }
+
+    /// Add one pre-parsed policy spec (validated against the registry).
+    pub fn policy_spec(mut self, spec: PolicySpec) -> Result<Self, PolicyError> {
+        self.registry.validate(&spec)?;
+        self.policies.push(spec);
+        Ok(self)
+    }
+
+    /// Add one `(parameter, workload)` evaluation point.
+    pub fn point(mut self, parameter: f64, workload: WorkloadSpec) -> Self {
+        self.points.push((parameter, workload));
+        self
+    }
+
+    /// Add many `(parameter, workload)` points (e.g. from
+    /// `tcrm_workload::load_sweep`).
+    pub fn points(mut self, points: impl IntoIterator<Item = (f64, WorkloadSpec)>) -> Self {
+        self.points.extend(points);
+        self
+    }
+
+    /// The cluster every replication runs on.
+    pub fn cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// The engine configuration.
+    pub fn sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Replication seeds per `(policy, point)` cell.
+    pub fn seeds(mut self, seeds: &[u64]) -> Self {
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Run the sweep on the calling thread only. The flattened grid order
+    /// and therefore the produced table are identical to the parallel path;
+    /// this is the reference the determinism tests compare against.
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Stream completed rows through `callback` (see [`ProgressCallback`]).
+    pub fn on_row(
+        mut self,
+        callback: impl Fn(&ResultRow, usize, usize) + Send + Sync + 'static,
+    ) -> Self {
+        self.progress = Some(Box::new(callback));
+        self
+    }
+
+    /// Checkpoint completed rows to `path` as versioned JSON and, when the
+    /// file already holds rows of this grid, resume from them instead of
+    /// re-simulating.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Flush the checkpoint after every `rows` completed rows (default 32).
+    pub fn checkpoint_every(mut self, rows: usize) -> Self {
+        self.checkpoint_every = rows.max(1);
+        self
+    }
+
+    /// Name the produced table (experiment id, caption, parameter column).
+    pub fn table(
+        mut self,
+        experiment: impl Into<String>,
+        caption: impl Into<String>,
+        parameter_name: impl Into<String>,
+    ) -> Self {
+        self.experiment = experiment.into();
+        self.caption = caption.into();
+        self.parameter_name = parameter_name.into();
+        self
+    }
+
+    /// Execute the sweep and return the table plus resume statistics.
+    ///
+    /// The grid is flattened point-major (point, then policy, then seed) and
+    /// executed as one self-scheduling parallel sweep; rows come back in
+    /// canonical grid order regardless of thread timing, so the rendered
+    /// CSV/markdown are byte-identical between parallel and sequential runs.
+    pub fn run(self) -> Result<EvalReport, PolicyError> {
+        let EvalSession {
+            registry,
+            policies,
+            points,
+            cluster,
+            sim,
+            seeds,
+            parallel,
+            checkpoint,
+            checkpoint_every,
+            progress,
+            experiment,
+            caption,
+            parameter_name,
+        } = self;
+
+        // Canonical cell order: point-major, then policy, then seed.
+        let mut cells = Vec::with_capacity(points.len() * policies.len() * seeds.len());
+        for point in 0..points.len() {
+            for policy in 0..policies.len() {
+                for &seed in &seeds {
+                    cells.push(Cell {
+                        policy,
+                        point,
+                        seed,
+                    });
+                }
+            }
+        }
+
+        // Fingerprint of everything that determines a row's value besides its
+        // (policy, parameter, seed) key: the cluster, the engine config and
+        // the per-point workloads. A checkpoint carrying a different
+        // fingerprint comes from a different grid configuration and must not
+        // be resumed (its rows would be silently presented as this run's
+        // results). DRL agent weights are not part of the fingerprint —
+        // retraining an agent under the same name requires a fresh
+        // checkpoint path.
+        let fingerprint = grid_fingerprint(&cluster, &sim, &points);
+
+        // Rows are keyed by (label, parameter, seed). If two points share a
+        // parameter value the key cannot tell their cells apart, so those
+        // cells are never resumed (and always recomputed).
+        let mut parameter_counts: HashMap<u64, usize> = HashMap::new();
+        for (parameter, _) in &points {
+            *parameter_counts.entry(parameter.to_bits()).or_default() += 1;
+        }
+        let ambiguous =
+            |parameter_bits: u64| parameter_counts.get(&parameter_bits).copied().unwrap_or(0) > 1;
+
+        // Resume: index previously completed rows by (label, parameter, seed).
+        let cached: HashMap<(String, u64, u64), ResultRow> = checkpoint
+            .as_deref()
+            .filter(|p| p.exists())
+            .and_then(|p| ResultTable::load_json(p).ok())
+            .filter(|t| t.fingerprint == fingerprint)
+            .map(|t| {
+                t.rows
+                    .into_iter()
+                    .filter(|r| !ambiguous(r.parameter.to_bits()))
+                    .map(|r| ((r.scheduler.clone(), r.parameter.to_bits(), r.seed), r))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let key_of = |cell: &Cell| {
+            (
+                policies[cell.policy].name(),
+                points[cell.point].0.to_bits(),
+                cell.seed,
+            )
+        };
+        let (resumed_cells, todo): (Vec<Cell>, Vec<Cell>) = cells
+            .iter()
+            .copied()
+            .partition(|c| cached.contains_key(&key_of(c)));
+        let resumed = resumed_cells.len();
+        let total = todo.len();
+
+        // Whether each policy's worker-cached instance may be reused across
+        // replications (see [`crate::policy::PolicyFactory::reusable`]);
+        // non-reusable policies are rebuilt fresh for every cell.
+        let reusable: Vec<bool> = policies
+            .iter()
+            .map(|spec| {
+                registry
+                    .get(spec.base_name())
+                    .map(|f| f.reusable())
+                    .unwrap_or(false)
+            })
+            .collect();
+
+        // Shared flush state for incremental checkpointing.
+        let flusher = checkpoint.as_ref().map(|path| {
+            let mut base = ResultTable::new(&experiment, &caption, &parameter_name);
+            base.fingerprint = fingerprint.clone();
+            base.extend(cached.values().cloned().collect());
+            (path.clone(), Mutex::new(base))
+        });
+        let done = AtomicUsize::new(0);
+        let run_cell = |scratch: &mut WorkerScratch, cell: &Cell| -> ResultRow {
+            let (parameter, workload) = &points[cell.point];
+            let spec = &policies[cell.policy];
+            let jobs = generate(workload, &cluster, cell.seed);
+            let mut fresh;
+            let scheduler: &mut Box<dyn Scheduler> = if reusable[cell.policy] {
+                let cached = scratch
+                    .schedulers
+                    .entry(cell.policy)
+                    .or_insert_with(|| registry.build(spec, cell.seed).expect("spec validated"));
+                cached.reset(cell.seed);
+                cached
+            } else {
+                fresh = registry.build(spec, cell.seed).expect("spec validated");
+                &mut fresh
+            };
+            let summary: Summary = scratch.sim.run_reusing(jobs, scheduler, &mut scratch.view);
+            let row = ResultRow {
+                scheduler: spec.name(),
+                parameter: *parameter,
+                seed: cell.seed,
+                summary,
+            };
+            let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(callback) = progress.as_ref() {
+                callback(&row, completed, total);
+            }
+            if let Some((path, partial)) = flusher.as_ref() {
+                let mut partial = partial.lock();
+                partial.rows.push(row.clone());
+                if partial.rows.len() % checkpoint_every == 0 {
+                    let _ = partial.save_json(path);
+                }
+            }
+            row
+        };
+
+        let computed_rows: Vec<ResultRow> = if parallel {
+            todo.par_iter()
+                .map_init(
+                    || WorkerScratch::new(&cluster, &sim),
+                    |scratch, cell| run_cell(scratch, cell),
+                )
+                .collect()
+        } else {
+            let mut scratch = WorkerScratch::new(&cluster, &sim);
+            todo.iter().map(|c| run_cell(&mut scratch, c)).collect()
+        };
+
+        // Merge computed and cached rows back into canonical grid order.
+        let mut computed_iter = computed_rows.into_iter();
+        let mut table = ResultTable::new(experiment, caption, parameter_name);
+        table.fingerprint = fingerprint;
+        for cell in &cells {
+            match cached.get(&key_of(cell)) {
+                Some(row) => table.rows.push(row.clone()),
+                None => table.rows.push(
+                    computed_iter
+                        .next()
+                        .expect("one computed row per todo cell"),
+                ),
+            }
+        }
+        if let Some((path, _)) = flusher.as_ref() {
+            // Final flush: the complete grid in canonical order. Incremental
+            // flushes above are best-effort, but a failure here would break
+            // the resume guarantee, so it is reported.
+            table
+                .save_json(path)
+                .map_err(|e| PolicyError::CheckpointIo {
+                    path: path.display().to_string(),
+                    message: e.to_string(),
+                })?;
+        }
+        Ok(EvalReport {
+            table,
+            computed: total,
+            resumed,
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn quick_config(load: f64) -> EvalConfig {
-        EvalConfig::new(
-            ClusterSpec::icpp_default(),
-            WorkloadSpec::icpp_default()
-                .with_num_jobs(30)
-                .with_load(load),
-            vec![1, 2],
-        )
+    fn quick_workload(load: f64) -> WorkloadSpec {
+        WorkloadSpec::icpp_default()
+            .with_num_jobs(30)
+            .with_load(load)
+    }
+
+    fn session(registry: &PolicyRegistry) -> EvalSession<'_> {
+        EvalSession::new(registry)
+            .cluster(ClusterSpec::icpp_default())
+            .sim(SimConfig::default())
     }
 
     #[test]
-    fn evaluate_produces_one_row_per_seed() {
-        let rows = evaluate(&SchedulerSpec::baseline("edf"), &quick_config(0.7), 0.7);
+    fn session_produces_one_row_per_cell() {
+        let registry = PolicyRegistry::with_baselines();
+        let report = session(&registry)
+            .policies(["edf"])
+            .unwrap()
+            .point(0.7, quick_workload(0.7))
+            .seeds(&[1, 2])
+            .run()
+            .unwrap();
+        assert_eq!(report.computed, 2);
+        assert_eq!(report.resumed, 0);
+        let rows = &report.table.rows;
         assert_eq!(rows.len(), 2);
         assert!(rows.iter().all(|r| r.scheduler == "edf"));
         assert!(rows.iter().all(|r| r.summary.total_jobs == 30));
@@ -149,49 +494,71 @@ mod tests {
     }
 
     #[test]
+    fn grid_covers_all_cells_including_adapters() {
+        let registry = PolicyRegistry::with_baselines();
+        let report = session(&registry)
+            .policies(["fifo", "greedy-elastic+rigid"])
+            .unwrap()
+            .point(0.5, quick_workload(0.5).with_num_jobs(20))
+            .point(0.9, quick_workload(0.9).with_num_jobs(20))
+            .seeds(&[3])
+            .run()
+            .unwrap();
+        assert_eq!(report.table.rows.len(), 4);
+        assert!(report
+            .table
+            .rows
+            .iter()
+            .any(|r| r.scheduler == "greedy-elastic+rigid"));
+    }
+
+    #[test]
+    fn unknown_policy_fails_at_build_time() {
+        let registry = PolicyRegistry::with_baselines();
+        let Err(err) = session(&registry).policies(["no-such-policy"]) else {
+            panic!("unknown policy must not resolve");
+        };
+        assert!(matches!(err, PolicyError::UnknownPolicy { .. }));
+    }
+
+    #[test]
     fn evaluation_is_deterministic_across_calls() {
-        let spec = SchedulerSpec::baseline("greedy-elastic");
-        let a = evaluate(&spec, &quick_config(0.9), 0.9);
-        let b = evaluate(&spec, &quick_config(0.9), 0.9);
-        for (x, y) in a.iter().zip(b.iter()) {
+        let registry = PolicyRegistry::with_baselines();
+        let run = || {
+            session(&registry)
+                .policies(["greedy-elastic"])
+                .unwrap()
+                .point(0.9, quick_workload(0.9))
+                .seeds(&[1, 2])
+                .run()
+                .unwrap()
+                .table
+        };
+        let a = run();
+        let b = run();
+        for (x, y) in a.rows.iter().zip(b.rows.iter()) {
             assert_eq!(x.summary, y.summary);
         }
     }
 
     #[test]
-    fn grid_covers_all_cells() {
-        let specs = vec![
-            SchedulerSpec::baseline("fifo"),
-            SchedulerSpec::RigidBaseline("greedy-elastic".into()),
-        ];
-        let points = vec![
-            (
-                0.5,
-                WorkloadSpec::icpp_default()
-                    .with_num_jobs(20)
-                    .with_load(0.5),
-            ),
-            (
-                0.9,
-                WorkloadSpec::icpp_default()
-                    .with_num_jobs(20)
-                    .with_load(0.9),
-            ),
-        ];
-        let rows = evaluate_grid(
-            &specs,
-            &points,
-            &ClusterSpec::icpp_default(),
-            &SimConfig::default(),
-            &[3],
-        );
-        assert_eq!(rows.len(), 4);
-        assert!(rows.iter().any(|r| r.scheduler == "greedy-elastic-rigid"));
-    }
-
-    #[test]
-    #[should_panic]
-    fn unknown_baseline_panics() {
-        SchedulerSpec::baseline("no-such-policy").build(0);
+    fn progress_callback_sees_every_row() {
+        use std::sync::atomic::AtomicUsize;
+        let registry = PolicyRegistry::with_baselines();
+        let seen = std::sync::Arc::new(AtomicUsize::new(0));
+        let seen_cb = std::sync::Arc::clone(&seen);
+        let report = session(&registry)
+            .policies(["edf", "fifo"])
+            .unwrap()
+            .point(0.7, quick_workload(0.7))
+            .seeds(&[1, 2])
+            .on_row(move |_row, done, total| {
+                assert!(done <= total);
+                seen_cb.fetch_add(1, Ordering::Relaxed);
+            })
+            .run()
+            .unwrap();
+        assert_eq!(seen.load(Ordering::Relaxed), 4);
+        assert_eq!(report.computed, 4);
     }
 }

@@ -1,0 +1,85 @@
+//! Property tests of the policy spec-string grammar: `name()` ⇄ `parse()`
+//! round-trips for arbitrary composed specs, and malformed specs always fail
+//! with an `InvalidSpec` error.
+
+use proptest::prelude::*;
+use tcrm_bench::{AdapterSpec, PolicyError, PolicyRegistry, PolicySpec};
+
+fn arb_base() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(vec![
+        "edf",
+        "fifo",
+        "greedy-elastic",
+        "slack-pack",
+        "drl",
+        "drl-rigid",
+        "a2c.v2",
+        "policy_7",
+    ])
+}
+
+fn arb_adapter() -> impl Strategy<Value = AdapterSpec> {
+    (0usize..3, 0u32..2048).prop_map(|(kind, margin_raw)| match kind {
+        0 => AdapterSpec::Rigid,
+        1 => AdapterSpec::Admission { margin: 0.0 },
+        // Quarter-second granularity exercises both integral and fractional
+        // margins ("5", "2.25", …).
+        _ => AdapterSpec::Admission {
+            margin: margin_raw as f64 / 4.0,
+        },
+    })
+}
+
+fn arb_spec() -> impl Strategy<Value = PolicySpec> {
+    (arb_base(), prop::collection::vec(arb_adapter(), 0..4)).prop_map(|(base, adapters)| {
+        adapters
+            .into_iter()
+            .fold(PolicySpec::base(base), PolicySpec::with_adapter)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// print → parse reproduces the spec structurally.
+    #[test]
+    fn print_then_parse_round_trips(spec in arb_spec()) {
+        let rendered = spec.name();
+        let reparsed: PolicySpec = rendered.parse().expect("canonical strings parse");
+        prop_assert_eq!(&reparsed, &spec);
+        // And the canonical rendering is a fixed point of parse ∘ print.
+        prop_assert_eq!(reparsed.to_string(), rendered);
+    }
+
+    /// Appending garbage adapters to a valid spec always fails.
+    #[test]
+    fn unknown_adapters_always_fail(
+        spec in arb_spec(),
+        garbage in prop::sample::select(vec![
+            "", "elastic", "rigid(1)", "admission(", "admission)", "admission(x)",
+            "admission(-3)", "admission(nan)", "ADMISSION", "Rigid",
+        ]),
+    ) {
+        let bad = format!("{spec}+{garbage}");
+        let parsed: Result<PolicySpec, _> = bad.parse();
+        prop_assert!(
+            matches!(parsed, Err(PolicyError::InvalidSpec { .. })),
+            "'{}' must be rejected, got {:?}", bad, parsed
+        );
+    }
+
+    /// Registry parsing accepts exactly the registered bases.
+    #[test]
+    fn registry_accepts_only_registered_bases(spec in arb_spec()) {
+        let registry = PolicyRegistry::with_baselines();
+        let outcome = registry.parse(&spec.name());
+        if registry.contains(spec.base_name()) {
+            prop_assert_eq!(outcome.expect("registered base parses"), spec);
+        } else {
+            prop_assert!(
+                matches!(outcome, Err(PolicyError::UnknownPolicy { .. })),
+                "unregistered base '{}' must be unknown", spec.base_name()
+            );
+        }
+    }
+}

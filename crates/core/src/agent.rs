@@ -162,6 +162,18 @@ impl Scheduler for DrlScheduler {
         self.epoch_decisions = 0;
     }
 
+    fn reset(&mut self, seed: u64) {
+        // Greedy agents are seed-independent; stochastic ones re-derive their
+        // action RNG from the replication seed so a reused instance matches a
+        // freshly built `.stochastic(seed)` agent.
+        if !self.greedy {
+            self.seed = seed;
+        }
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.epoch_time = f64::NEG_INFINITY;
+        self.epoch_decisions = 0;
+    }
+
     fn decide(&mut self, view: &ClusterView) -> Vec<Action> {
         // Bound the number of actions issued at one decision epoch.
         if (view.time - self.epoch_time).abs() < 1e-12 {

@@ -30,6 +30,14 @@ impl Cluster {
         &self.spec
     }
 
+    /// Release every allocation, returning the cluster to its freshly built
+    /// state without reconstructing the nodes.
+    pub fn reset(&mut self) {
+        for node in &mut self.nodes {
+            node.used = ResourceVector::zero();
+        }
+    }
+
     /// All nodes.
     pub fn nodes(&self) -> &[Node] {
         &self.nodes

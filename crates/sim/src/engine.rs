@@ -16,7 +16,8 @@ use crate::config::{ClusterSpec, SimConfig};
 use crate::event::{EventKind, EventQueue};
 use crate::job::{Job, JobId};
 use crate::metrics::{
-    CompletedJob, MetricsCollector, Summary, UtilizationSample, UtilizationTrace,
+    CompletedJob, MetricsCollector, PerClassUtilization, Summary, UtilizationSample,
+    UtilizationTrace,
 };
 use crate::node::NodeClassId;
 use crate::scheduler::{Action, ActionOutcome, Scheduler};
@@ -182,6 +183,13 @@ impl Simulator {
         self.pending.reserve(jobs.len());
         self.running_order.reserve(jobs.len().min(1024));
         self.metrics.reserve(jobs.len());
+        // Budget the utilisation trace: enough for the horizon the workload
+        // plausibly covers, capped so pathological sampling intervals cannot
+        // reserve unbounded memory. Runs that outlive the budget fall back to
+        // amortised growth.
+        let sample_budget = (self.config.max_sim_time / self.config.util_sample_interval)
+            .clamp(16.0, 1024.0) as usize;
+        self.metrics.reserve_samples(sample_budget);
         for job in jobs {
             debug_assert!(job.validate().is_ok(), "invalid job {}", job.id);
             self.events.push(job.arrival, EventKind::JobArrival(job));
@@ -404,18 +412,32 @@ impl Simulator {
     /// Finish the run: charge forfeited utility for unfinished jobs and return
     /// the result. Consumes the simulator.
     pub fn finalize(mut self) -> SimulationResult {
-        for job in &self.pending {
-            self.metrics.record_unfinished(job.utility.value);
-        }
-        for r in self.running.values() {
-            self.metrics.record_unfinished(r.job.utility.value);
-        }
+        self.charge_unfinished();
         let summary = self.metrics.summarize(self.total_jobs);
         SimulationResult {
             summary,
             completed: self.metrics.completed,
             trace: self.metrics.trace,
         }
+    }
+
+    /// Return the simulator to its freshly constructed state — cluster fully
+    /// free, clock at zero, queues and metrics empty — while retaining every
+    /// allocated buffer, so one simulator instance can serve many
+    /// replications without rebuilding the cluster or regrowing collections.
+    pub fn reset(&mut self) {
+        self.cluster.reset();
+        self.time = 0.0;
+        self.events.clear();
+        self.pending.clear();
+        self.running.clear();
+        self.running_order.clear();
+        self.metrics.reset();
+        self.total_jobs = 0;
+        self.arrivals_remaining = 0;
+        self.started = false;
+        self.aborted = false;
+        self.clamped_events = 0;
     }
 
     // ------------------------------------------------------------------
@@ -433,6 +455,37 @@ impl Simulator {
         // One view allocated for the whole run; every decision epoch refills
         // it in place (clear-and-refill, no rebuild).
         let mut view = self.view();
+        self.drive(scheduler, &mut view);
+        self.finalize()
+    }
+
+    /// Run a complete simulation reusing this simulator and a caller-retained
+    /// snapshot buffer, returning only the [`Summary`].
+    ///
+    /// This is the sweep-loop sibling of [`Self::run`]: the simulator is
+    /// [`Self::reset`] first, so the same instance (and the same `view`) can
+    /// serve replication after replication while every per-run buffer —
+    /// cluster nodes, event heap, pending/running sets, metrics, the
+    /// utilisation trace and the view itself — is reused in place. Results
+    /// are identical to a fresh `Simulator::new(..).run(..)` over the same
+    /// jobs and scheduler state. Completion records of the run remain
+    /// readable through [`Self::completed_so_far`] until the next reset.
+    pub fn run_reusing<S: Scheduler + ?Sized>(
+        &mut self,
+        jobs: Vec<Job>,
+        scheduler: &mut S,
+        view: &mut ClusterView,
+    ) -> Summary {
+        self.reset();
+        scheduler.on_simulation_start();
+        self.start(jobs);
+        self.drive(scheduler, view);
+        self.charge_unfinished();
+        self.metrics.summarize(self.total_jobs)
+    }
+
+    /// The decision loop shared by [`Self::run`] and [`Self::run_reusing`].
+    fn drive<S: Scheduler + ?Sized>(&mut self, scheduler: &mut S, view: &mut ClusterView) {
         while self.advance() {
             let mut rounds = 0;
             let mut epoch_changed_state = false;
@@ -441,8 +494,8 @@ impl Simulator {
                 if rounds > self.config.max_decisions_per_epoch {
                     break;
                 }
-                self.view_into(&mut view);
-                let actions = scheduler.decide(&view);
+                self.view_into(view);
+                let actions = scheduler.decide(view);
                 if actions.is_empty() {
                     break;
                 }
@@ -472,7 +525,16 @@ impl Simulator {
                 self.abort_run();
             }
         }
-        self.finalize()
+    }
+
+    /// Charge forfeited utility for every job still pending or running.
+    fn charge_unfinished(&mut self) {
+        for job in &self.pending {
+            self.metrics.record_unfinished(job.utility.value);
+        }
+        for r in self.running.values() {
+            self.metrics.record_unfinished(r.job.utility.value);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -678,11 +740,10 @@ impl Simulator {
     }
 
     fn record_utilization_sample(&mut self) {
-        let per_class: Vec<_> = self
-            .cluster
-            .class_ids()
-            .map(|id| self.cluster.class_utilization(id))
-            .collect();
+        let mut per_class = PerClassUtilization::new();
+        for id in self.cluster.class_ids() {
+            per_class.push(self.cluster.class_utilization(id));
+        }
         let sample = UtilizationSample {
             time: self.time,
             per_class,
@@ -1075,6 +1136,56 @@ mod tests {
         }
         let order: Vec<u64> = sim.view().running.iter().map(|r| r.id.0).collect();
         assert_eq!(order, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn run_reusing_matches_fresh_runs_across_replications() {
+        // One simulator + one view serving several replications must produce
+        // exactly the summaries of fresh per-replication simulators, and the
+        // per-run records must be readable until the next reset.
+        let workloads: Vec<Vec<Job>> = (0..4)
+            .map(|rep| {
+                (0..15)
+                    .map(|i| {
+                        simple_job(
+                            i,
+                            i as f64 * (0.5 + rep as f64 * 0.3),
+                            5.0 + ((i + rep) % 7) as f64,
+                            300.0,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut reused = Simulator::new(tiny_spec(), SimConfig::default());
+        let mut view = reused.view();
+        for jobs in &workloads {
+            let fresh =
+                Simulator::new(tiny_spec(), SimConfig::default()).run(jobs.clone(), &mut EagerMin);
+            let summary = reused.run_reusing(jobs.clone(), &mut EagerMin, &mut view);
+            assert_eq!(summary, fresh.summary);
+            assert_eq!(reused.completed_so_far(), fresh.completed.as_slice());
+        }
+    }
+
+    #[test]
+    fn reset_restores_pristine_state() {
+        let mut sim = Simulator::new(tiny_spec(), SimConfig::default());
+        let mut view = sim.view();
+        let jobs = vec![simple_job(0, 0.0, 10.0, 100.0)];
+        let _ = sim.run_reusing(jobs, &mut EagerMin, &mut view);
+        sim.reset();
+        assert_eq!(sim.time(), 0.0);
+        assert_eq!(sim.pending_count(), 0);
+        assert_eq!(sim.running_count(), 0);
+        assert_eq!(sim.total_jobs(), 0);
+        assert_eq!(sim.clamped_event_count(), 0);
+        assert!(sim.completed_so_far().is_empty());
+        assert_eq!(
+            sim.cluster().free_capacity(),
+            sim.spec().total_capacity(),
+            "reset must free every allocation"
+        );
     }
 
     #[test]

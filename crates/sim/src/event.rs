@@ -99,6 +99,13 @@ impl EventQueue {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Drop every queued event (retaining the heap's capacity) and restart
+    /// the tie-breaking sequence, as if the queue were freshly built.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+    }
 }
 
 #[cfg(test)]

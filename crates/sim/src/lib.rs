@@ -76,7 +76,8 @@ pub use engine::{SimulationResult, Simulator};
 pub use event::{Event, EventKind, EventQueue};
 pub use job::{Job, JobBuilder, JobClass, JobId, JobState, SpeedupModel, TimeUtility};
 pub use metrics::{
-    CompletedJob, EnergyReport, MetricsCollector, Summary, UtilizationSample, UtilizationTrace,
+    CompletedJob, EnergyReport, MetricsCollector, PerClassUtilization, Summary, UtilizationSample,
+    UtilizationTrace, MAX_NODE_CLASSES,
 };
 pub use node::{Node, NodeClassId, NodeId};
 pub use resources::{ResourceKind, ResourceVector, NUM_RESOURCES};

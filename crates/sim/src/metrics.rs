@@ -43,13 +43,100 @@ pub struct CompletedJob {
     pub scale_count: u32,
 }
 
+/// The maximum number of node classes a cluster may declare. Fixing the
+/// arity lets the utilisation trace store per-class vectors inline (no
+/// per-sample heap allocation); the paper's clusters use 4 classes, so 8
+/// leaves generous headroom.
+pub const MAX_NODE_CLASSES: usize = 8;
+
+/// Per-node-class utilisation vectors stored inline with fixed arity — the
+/// allocation-free replacement for the `Vec<ResourceVector>` each sample used
+/// to own. Unused slots beyond [`Self::len`] are kept zeroed so equality and
+/// serialisation only reflect the populated prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct PerClassUtilization {
+    values: [ResourceVector; MAX_NODE_CLASSES],
+    len: usize,
+}
+
+impl PerClassUtilization {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a slice of per-class vectors (at most
+    /// [`MAX_NODE_CLASSES`]).
+    pub fn from_slice(values: &[ResourceVector]) -> Self {
+        let mut out = Self::default();
+        for v in values {
+            out.push(*v);
+        }
+        out
+    }
+
+    /// Append one class's utilisation vector.
+    ///
+    /// # Panics
+    /// Panics if more than [`MAX_NODE_CLASSES`] vectors are pushed.
+    pub fn push(&mut self, value: ResourceVector) {
+        assert!(
+            self.len < MAX_NODE_CLASSES,
+            "cluster declares more than {MAX_NODE_CLASSES} node classes"
+        );
+        self.values[self.len] = value;
+        self.len += 1;
+    }
+
+    /// Number of populated classes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no class has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The utilisation vector of class `index`, if populated.
+    pub fn get(&self, index: usize) -> Option<&ResourceVector> {
+        self.values[..self.len].get(index)
+    }
+
+    /// Iterate over the populated per-class vectors.
+    pub fn iter(&self) -> std::slice::Iter<'_, ResourceVector> {
+        self.values[..self.len].iter()
+    }
+
+    /// The populated prefix as a slice.
+    pub fn as_slice(&self) -> &[ResourceVector] {
+        &self.values[..self.len]
+    }
+}
+
+impl std::ops::Index<usize> for PerClassUtilization {
+    type Output = ResourceVector;
+    fn index(&self, index: usize) -> &ResourceVector {
+        &self.values[..self.len][index]
+    }
+}
+
+impl<'a> IntoIterator for &'a PerClassUtilization {
+    type Item = &'a ResourceVector;
+    type IntoIter = std::slice::Iter<'a, ResourceVector>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// One sample of the utilisation trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UtilizationSample {
     /// Sample time.
     pub time: f64,
-    /// Per node class utilisation vectors (fraction of capacity in use).
-    pub per_class: Vec<ResourceVector>,
+    /// Per node class utilisation vectors (fraction of capacity in use),
+    /// stored inline with fixed arity.
+    pub per_class: PerClassUtilization,
     /// Capacity-weighted scalar utilisation over the whole cluster.
     pub overall: f64,
     /// Number of pending jobs at the sample time.
@@ -345,6 +432,26 @@ impl MetricsCollector {
         self.completed.reserve(total_jobs);
     }
 
+    /// Pre-size the utilisation trace for roughly `samples` samples so
+    /// steady-state sampling never grows the buffer.
+    pub fn reserve_samples(&mut self, samples: usize) {
+        let have = self.trace.samples.capacity() - self.trace.samples.len();
+        if samples > have {
+            self.trace.samples.reserve(samples - have);
+        }
+    }
+
+    /// Clear every record and counter, retaining allocated capacity, so the
+    /// collector can be reused for another run.
+    pub fn reset(&mut self) {
+        self.completed.clear();
+        self.trace.samples.clear();
+        self.invalid_actions = 0;
+        self.scale_events = 0;
+        self.decision_epochs = 0;
+        self.unfinished_max_utility = 0.0;
+    }
+
     /// Record a finished job.
     pub fn record_completion(&mut self, job: CompletedJob) {
         self.completed.push(job);
@@ -507,7 +614,10 @@ mod tests {
     fn sample(time: f64, util_a: f64, util_b: f64) -> UtilizationSample {
         UtilizationSample {
             time,
-            per_class: vec![ResourceVector::splat(util_a), ResourceVector::splat(util_b)],
+            per_class: PerClassUtilization::from_slice(&[
+                ResourceVector::splat(util_a),
+                ResourceVector::splat(util_b),
+            ]),
             overall: (util_a + util_b) / 2.0,
             pending: 0,
             running: 0,
@@ -566,14 +676,14 @@ mod tests {
         let mut trace = UtilizationTrace::default();
         trace.samples.push(UtilizationSample {
             time: 0.0,
-            per_class: vec![ResourceVector::of(0.5, 0.5, 0.0, 0.0)],
+            per_class: PerClassUtilization::from_slice(&[ResourceVector::of(0.5, 0.5, 0.0, 0.0)]),
             overall: 0.4,
             pending: 1,
             running: 1,
         });
         trace.samples.push(UtilizationSample {
             time: 5.0,
-            per_class: vec![ResourceVector::of(1.0, 0.5, 0.0, 0.0)],
+            per_class: PerClassUtilization::from_slice(&[ResourceVector::of(1.0, 0.5, 0.0, 0.0)]),
             overall: 0.6,
             pending: 0,
             running: 2,

@@ -73,6 +73,20 @@ pub trait Scheduler {
 
     /// Called once before a simulation starts; stateful schedulers reset here.
     fn on_simulation_start(&mut self) {}
+
+    /// Re-arm this instance for a fresh replication driven by `seed`.
+    ///
+    /// Evaluation sweeps reuse one scheduler instance per worker thread
+    /// across many replications instead of constructing a fresh one per run;
+    /// this hook is where seed-dependent state (RNGs, per-run counters) must
+    /// be re-derived so a reused instance behaves identically to a freshly
+    /// built one. Stateless policies keep the default no-op; per-run state
+    /// that is already re-initialised in [`Scheduler::on_simulation_start`]
+    /// (which still runs at every simulation start) does not need to be
+    /// duplicated here.
+    fn reset(&mut self, seed: u64) {
+        let _ = seed;
+    }
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
@@ -84,6 +98,9 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
     }
     fn on_simulation_start(&mut self) {
         (**self).on_simulation_start()
+    }
+    fn reset(&mut self, seed: u64) {
+        (**self).reset(seed)
     }
 }
 

@@ -1,9 +1,10 @@
 //! Counting-allocator proof of allocation-free simulator stepping: once a
 //! run has warmed up (arrivals drained, buffers sized), `Simulator::advance`
 //! plus `Simulator::view_into` perform **zero heap allocations** per decision
-//! epoch. Utilisation sampling is excluded (each sample owns a fresh
-//! per-class vector by design), so the test uses a sampling interval beyond
-//! the horizon.
+//! epoch. Utilisation sampling is included: samples store their per-class
+//! vectors inline (`PerClassUtilization`, fixed arity) and the trace buffer
+//! is pre-reserved at `Simulator::start`, so sampling-heavy runs stay on the
+//! allocation-free path too.
 //!
 //! A single `#[test]` keeps concurrent test threads from polluting the
 //! counter.
@@ -56,8 +57,11 @@ fn steady_state_stepping_does_not_allocate() {
     )]);
     let mut cfg = SimConfig::default();
     cfg.decision_interval = Some(1.0);
-    cfg.util_sample_interval = 1e12; // beyond the horizon: sampling excluded
-    cfg.max_sim_time = 1e9;
+    // Sampling enabled well inside the measured window: per-class vectors
+    // are stored inline and the trace is pre-reserved, so sampling must not
+    // allocate either.
+    cfg.util_sample_interval = 0.5;
+    cfg.max_sim_time = 1e5;
 
     let jobs: Vec<Job> = (0..30)
         .map(|i| {

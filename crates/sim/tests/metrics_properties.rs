@@ -5,7 +5,10 @@
 use proptest::prelude::*;
 use tcrm_sim::config::PowerModel;
 use tcrm_sim::stats::jain_fairness;
-use tcrm_sim::{ClusterSpec, NodeClassSpec, ResourceVector, UtilizationSample, UtilizationTrace};
+use tcrm_sim::{
+    ClusterSpec, NodeClassSpec, PerClassUtilization, ResourceVector, UtilizationSample,
+    UtilizationTrace,
+};
 
 fn small_cluster(idle: f64, peak: f64) -> ClusterSpec {
     use tcrm_sim::node::SpeedProfile;
@@ -32,7 +35,10 @@ fn trace_from_utils(utils: &[(f64, f64)], dt: f64) -> UtilizationTrace {
     for (i, &(ua, ub)) in utils.iter().enumerate() {
         trace.samples.push(UtilizationSample {
             time: i as f64 * dt,
-            per_class: vec![ResourceVector::splat(ua), ResourceVector::splat(ub)],
+            per_class: PerClassUtilization::from_slice(&[
+                ResourceVector::splat(ua),
+                ResourceVector::splat(ub),
+            ]),
             overall: (ua + ub) / 2.0,
             pending: 0,
             running: 0,

@@ -4,31 +4,26 @@
 use tcrm::sim::{ClusterSpec, SimConfig};
 use tcrm::workload::WorkloadSpec;
 use tcrm_bench::experiments::Lab;
-use tcrm_bench::{evaluate_grid, ResultTable, SchedulerSpec};
+use tcrm_bench::{EvalSession, PolicyRegistry};
 
 #[test]
 fn runner_grid_covers_all_schedulers_and_loads() {
-    let specs = vec![
-        SchedulerSpec::baseline("fifo"),
-        SchedulerSpec::baseline("edf"),
-        SchedulerSpec::baseline("greedy-elastic"),
-    ];
+    let registry = PolicyRegistry::with_baselines();
     let base = WorkloadSpec::icpp_default().with_num_jobs(60);
-    let points = vec![
-        (0.5, base.clone().with_load(0.5)),
-        (1.1, base.with_load(1.1)),
-    ];
-    let rows = evaluate_grid(
-        &specs,
-        &points,
-        &ClusterSpec::icpp_default(),
-        &SimConfig::default(),
-        &[1, 2],
-    );
-    assert_eq!(rows.len(), 3 * 2 * 2);
+    let report = EvalSession::new(&registry)
+        .policies(["fifo", "edf", "greedy-elastic"])
+        .expect("known policies")
+        .cluster(ClusterSpec::icpp_default())
+        .sim(SimConfig::default())
+        .point(0.5, base.clone().with_load(0.5))
+        .point(1.1, base.with_load(1.1))
+        .seeds(&[1, 2])
+        .table("fig3-test", "test grid", "load")
+        .run()
+        .expect("sweep runs");
+    let table = report.table;
+    assert_eq!(table.rows.len(), 3 * 2 * 2);
 
-    let mut table = ResultTable::new("fig3-test", "test grid", "load");
-    table.extend(rows);
     let aggregates = table.aggregates();
     assert_eq!(aggregates.len(), 6);
     assert!(aggregates.iter().all(|a| a.replications == 2));

@@ -273,7 +273,7 @@ pub mod strategies {
         use super::super::{Strategy, TestRng};
         use rand::Rng;
 
-        /// Sizes accepted by [`vec`].
+        /// Sizes accepted by [`vec()`].
         pub trait IntoSizeRange {
             /// Lower and inclusive upper bound.
             fn bounds(&self) -> (usize, usize);

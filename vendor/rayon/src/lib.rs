@@ -54,6 +54,29 @@ impl<'a, T: Sync> ParIter<'a, T> {
             f,
         }
     }
+
+    /// Like rayon's `map_init`: every worker thread builds one scratch value
+    /// with `init` and threads it through every call of `f` it executes.
+    ///
+    /// Unlike [`ParIter::map`] (which statically splits the input into one
+    /// contiguous block per core), the resulting map self-schedules: workers
+    /// repeatedly claim the next unprocessed chunk of `chunk_len` items from
+    /// a shared atomic cursor. Uneven per-item cost therefore balances the
+    /// way rayon's work-stealing does, which matters when each item is a
+    /// whole simulation whose runtime varies by policy and load.
+    pub fn map_init<I, U, INIT, F>(self, init: INIT, f: F) -> ParMapInit<'a, T, INIT, F>
+    where
+        U: Send,
+        INIT: Fn() -> I + Sync,
+        F: Fn(&mut I, &'a T) -> U + Sync,
+    {
+        ParMapInit {
+            items: self.items,
+            init,
+            f,
+            chunk_len: 1,
+        }
+    }
 }
 
 /// The result of [`ParIter::map`]; terminal `collect` runs the fan-out.
@@ -111,6 +134,96 @@ where
     }
 }
 
+/// The result of [`ParIter::map_init`]; terminal `collect` runs the
+/// self-scheduling fan-out.
+pub struct ParMapInit<'a, T, INIT, F> {
+    items: &'a [T],
+    init: INIT,
+    f: F,
+    chunk_len: usize,
+}
+
+impl<'a, T, I, U, INIT, F> ParMapInit<'a, T, INIT, F>
+where
+    T: Sync,
+    U: Send,
+    INIT: Fn() -> I + Sync,
+    F: Fn(&mut I, &'a T) -> U + Sync,
+{
+    /// Items claimed per scheduling step (default 1). Larger chunks amortise
+    /// the atomic claim for cheap items; chunk 1 maximises balance for heavy
+    /// ones.
+    pub fn chunks_of(mut self, chunk_len: usize) -> Self {
+        self.chunk_len = chunk_len.max(1);
+        self
+    }
+
+    /// Execute the map and collect results in input order.
+    pub fn collect<C: FromParallel<U>>(self) -> C {
+        C::from_ordered(self.run())
+    }
+
+    fn run(self) -> Vec<U> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let n = self.items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let chunk = self.chunk_len;
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(n.div_ceil(chunk));
+        let init = &self.init;
+        let f = &self.f;
+        if threads <= 1 {
+            let mut scratch = init();
+            return self
+                .items
+                .iter()
+                .map(|item| f(&mut scratch, item))
+                .collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let items = self.items;
+        let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let cursor = &cursor;
+                handles.push(scope.spawn(move || {
+                    let mut scratch = init();
+                    let mut produced: Vec<(usize, Vec<U>)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        let block: Vec<U> = items[start..end]
+                            .iter()
+                            .map(|item| f(&mut scratch, item))
+                            .collect();
+                        produced.push((start, block));
+                    }
+                    produced
+                }));
+            }
+            for handle in handles {
+                let produced = handle.join().expect("rayon facade worker panicked");
+                for (start, block) in produced {
+                    for (offset, value) in block.into_iter().enumerate() {
+                        out[start + offset] = Some(value);
+                    }
+                }
+            }
+        });
+        out.into_iter().map(|v| v.expect("chunk filled")).collect()
+    }
+}
+
 /// Collection targets for the facade's `collect`.
 pub trait FromParallel<U> {
     /// Build the collection from results already in input order.
@@ -138,6 +251,48 @@ mod tests {
     fn empty_input_collects_empty() {
         let input: Vec<u32> = Vec::new();
         let out: Vec<u32> = input.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_init_preserves_order_and_reuses_scratch() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let input: Vec<u64> = (0..997).collect();
+        let out: Vec<u64> = input
+            .par_iter()
+            .map_init(
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    0u64
+                },
+                |scratch, &x| {
+                    *scratch += 1;
+                    x * 3
+                },
+            )
+            .collect();
+        assert_eq!(out, (0..997).map(|x| x * 3).collect::<Vec<_>>());
+        // One scratch per worker thread, far fewer than one per item.
+        let inits = inits.load(Ordering::Relaxed);
+        assert!((1..997).contains(&inits), "inits = {inits}");
+    }
+
+    #[test]
+    fn map_init_with_chunks_handles_remainders() {
+        let input: Vec<usize> = (0..103).collect();
+        let out: Vec<usize> = input
+            .par_iter()
+            .map_init(|| (), |(), &x| x + 1)
+            .chunks_of(7)
+            .collect();
+        assert_eq!(out, (1..104).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_empty_input() {
+        let input: Vec<u32> = Vec::new();
+        let out: Vec<u32> = input.par_iter().map_init(|| (), |(), &x| x).collect();
         assert!(out.is_empty());
     }
 
