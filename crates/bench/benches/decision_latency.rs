@@ -6,7 +6,7 @@ use std::time::Duration;
 use tcrm_core::{ActionSpace, AgentConfig, DrlScheduler, StateEncoder};
 use tcrm_rl::CategoricalPolicy;
 use tcrm_sim::{Action, ClusterSpec, ClusterView, NodeClassId, Scheduler, SimConfig, Simulator};
-use tcrm_workload::{generate, WorkloadSpec};
+use tcrm_workload::{SyntheticSource, WorkloadSpec};
 
 /// Build a mid-simulation view with a populated queue and running set.
 fn loaded_view(scale: f64) -> ClusterView {
@@ -14,7 +14,9 @@ fn loaded_view(scale: f64) -> ClusterView {
     let workload = WorkloadSpec::icpp_default()
         .with_num_jobs(60)
         .with_load(1.2);
-    let jobs = generate(&workload, &cluster, 5);
+    let jobs = SyntheticSource::new(&workload, &cluster, 5)
+        .expect("valid spec")
+        .collect();
     let mut cfg = SimConfig::default();
     cfg.decision_interval = Some(5.0);
     let mut sim = Simulator::new(cluster, cfg);

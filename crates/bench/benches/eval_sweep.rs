@@ -14,7 +14,7 @@ use std::hint::black_box;
 use std::time::Duration;
 use tcrm_bench::{EvalSession, PolicyRegistry, ResultRow};
 use tcrm_sim::{ClusterSpec, SimConfig, Simulator};
-use tcrm_workload::{generate, load_sweep, WorkloadSpec};
+use tcrm_workload::{load_sweep, SyntheticSource, WorkloadSpec};
 
 const POLICIES: [&str; 6] = [
     "fifo",
@@ -45,12 +45,15 @@ fn per_point_seed_loop() -> Vec<ResultRow> {
             let cell_rows: Vec<ResultRow> = SEEDS
                 .par_iter()
                 .map(|&seed| {
-                    let jobs = generate(&workload, &cluster, seed);
+                    let jobs = SyntheticSource::new(&workload, &cluster, seed)
+                        .expect("valid spec")
+                        .collect();
                     let mut scheduler = registry.build(&spec, seed).expect("known policy");
                     let result =
                         Simulator::new(cluster.clone(), sim.clone()).run(jobs, &mut scheduler);
                     ResultRow {
                         scheduler: spec.name(),
+                        scenario: tcrm_bench::DEFAULT_SCENARIO.to_string(),
                         parameter,
                         seed,
                         summary: result.summary,

@@ -9,7 +9,7 @@ use std::time::Duration;
 use tcrm_baselines::by_name;
 use tcrm_rl::{DqnAgent, DqnConfig};
 use tcrm_sim::{Action, ClusterSpec, ClusterView, NodeClassId, SimConfig, Simulator};
-use tcrm_workload::{generate, WorkloadSpec};
+use tcrm_workload::{SyntheticSource, WorkloadSpec};
 
 /// Build a mid-simulation view with a populated queue and running set.
 fn loaded_view(scale: f64) -> ClusterView {
@@ -17,7 +17,9 @@ fn loaded_view(scale: f64) -> ClusterView {
     let workload = WorkloadSpec::icpp_default()
         .with_num_jobs(60)
         .with_load(1.2);
-    let jobs = generate(&workload, &cluster, 5);
+    let jobs = SyntheticSource::new(&workload, &cluster, 5)
+        .expect("valid spec")
+        .collect();
     let mut cfg = SimConfig::default();
     cfg.decision_interval = Some(5.0);
     let mut sim = Simulator::new(cluster, cfg);
@@ -125,7 +127,9 @@ fn bench_energy_report(c: &mut Criterion) {
     let workload = WorkloadSpec::icpp_default()
         .with_num_jobs(200)
         .with_load(0.9);
-    let jobs = generate(&workload, &cluster, 3);
+    let jobs = SyntheticSource::new(&workload, &cluster, 3)
+        .expect("valid spec")
+        .collect();
     let mut scheduler = by_name("edf", 3).unwrap();
     let result = Simulator::new(cluster.clone(), SimConfig::default()).run(jobs, &mut scheduler);
     group.bench_function("from_trace", |b| {

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use tcrm_baselines::{EdfScheduler, GreedyElasticScheduler};
 use tcrm_sim::{ClusterSpec, SimConfig, Simulator};
-use tcrm_workload::{generate, WorkloadSpec};
+use tcrm_workload::{SyntheticSource, WorkloadSpec};
 
 fn bench_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_engine");
@@ -16,7 +16,9 @@ fn bench_engine(c: &mut Criterion) {
         let workload = WorkloadSpec::icpp_default()
             .with_num_jobs(jobs)
             .with_load(0.9);
-        let trace = generate(&workload, &cluster, 7);
+        let trace: Vec<_> = SyntheticSource::new(&workload, &cluster, 7)
+            .expect("valid spec")
+            .collect();
         group.bench_with_input(BenchmarkId::new("edf", jobs), &trace, |b, trace| {
             b.iter(|| {
                 let mut sched = EdfScheduler::new();

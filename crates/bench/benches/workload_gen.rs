@@ -1,10 +1,14 @@
 //! Criterion bench: workload generation throughput (jobs per second) for the
-//! Poisson and bursty arrival processes.
+//! streaming source API — Poisson and bursty synthetic sources, a reset+
+//! stream cycle (the sweep-loop hot path, no per-replication rebuild), and a
+//! scenario-registry build+stream (`poisson+burst(3x)`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use tcrm_sim::ClusterSpec;
-use tcrm_workload::{generate, ArrivalProcess, WorkloadSpec};
+use tcrm_workload::{
+    ArrivalProcess, ScenarioRegistry, SyntheticSource, WorkloadSource, WorkloadSpec,
+};
 
 fn bench_workload(c: &mut Criterion) {
     let mut group = c.benchmark_group("workload_gen");
@@ -14,7 +18,11 @@ fn bench_workload(c: &mut Criterion) {
     for &jobs in &[1000usize, 5000] {
         let poisson = WorkloadSpec::icpp_default().with_num_jobs(jobs);
         group.bench_with_input(BenchmarkId::new("poisson", jobs), &poisson, |b, spec| {
-            b.iter(|| generate(spec, &cluster, 3).len())
+            b.iter(|| {
+                SyntheticSource::new(spec, &cluster, 3)
+                    .expect("valid spec")
+                    .count()
+            })
         });
         let bursty = WorkloadSpec::icpp_default()
             .with_num_jobs(jobs)
@@ -23,8 +31,41 @@ fn bench_workload(c: &mut Criterion) {
                 burst_period: 120.0,
             });
         group.bench_with_input(BenchmarkId::new("bursty", jobs), &bursty, |b, spec| {
-            b.iter(|| generate(spec, &cluster, 3).len())
+            b.iter(|| {
+                SyntheticSource::new(spec, &cluster, 3)
+                    .expect("valid spec")
+                    .count()
+            })
         });
+        // The sweep-loop shape: one source built once, re-armed per
+        // replication with reset(seed) and streamed — no rebuild, no
+        // materialisation.
+        let mut reusable = SyntheticSource::new(&poisson, &cluster, 3).expect("valid spec");
+        group.bench_with_input(
+            BenchmarkId::new("poisson_reset_stream", jobs),
+            &jobs,
+            |b, _| {
+                b.iter(|| {
+                    reusable.reset(3);
+                    reusable.by_ref().count()
+                })
+            },
+        );
+        // Scenario grammar: parse+build+stream a composed spec.
+        let registry = ScenarioRegistry::new();
+        let scenario = registry.parse("poisson+burst(3x)").expect("valid scenario");
+        group.bench_with_input(
+            BenchmarkId::new("scenario_burst", jobs),
+            &poisson,
+            |b, base| {
+                b.iter(|| {
+                    registry
+                        .build(&scenario, base, &cluster, 3)
+                        .expect("valid scenario")
+                        .count()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,9 +1,21 @@
-//! Experiment driver: regenerates the tables and figures of the evaluation.
+//! Experiment driver: regenerates the tables and figures of the evaluation,
+//! records and replays workload traces, runs ad-hoc scenario sweeps, and
+//! shards grids across processes.
 //!
 //! ```text
+//! # Tables and figures (optionally sharded across processes):
 //! cargo run -p tcrm-bench --release --bin expdriver -- all --quick
 //! cargo run -p tcrm-bench --release --bin expdriver -- table2 fig3 --out results
-//! cargo run -p tcrm-bench --release --bin expdriver -- fig6 --full
+//! cargo run -p tcrm-bench --release --bin expdriver -- fig6 --full --shard 0/4
+//!
+//! # Record a synthetic trace, then sweep scenarios over it:
+//! expdriver record-trace --out results/trace.json --jobs 400 --load 0.9 --seed 7
+//! expdriver sweep --policies edf,fifo \
+//!     --scenarios 'poisson;poisson+burst(3x);replay(results/trace.json)' \
+//!     --loads 0.7,0.9 --seeds 1,2 --csv results/sweep.csv
+//!
+//! # Combine shard checkpoints into the full grid:
+//! expdriver merge-checkpoints --out merged.json --csv merged.csv s0.json s1.json
 //! ```
 //!
 //! `--quick` (default) trains small agents and uses small workloads so the
@@ -14,13 +26,248 @@
 use std::env;
 use std::path::PathBuf;
 use tcrm_bench::experiments::{ExperimentOutput, Lab, ALL_EXPERIMENTS};
+use tcrm_bench::{EvalSession, PolicyRegistry, ResultTable};
+use tcrm_sim::{ClusterSpec, SimConfig};
+use tcrm_workload::{ScenarioRegistry, SyntheticSource, Trace, WorkloadSpec};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: expdriver <experiment ...|all> [--quick|--full] [--out <dir>]\n  experiments: {}",
+        "usage: expdriver <experiment ...|all> [--quick|--full] [--out <dir>] [--shard <i>/<n>]\n\
+         \x20      expdriver sweep --policies <a,b,..> [--scenarios '<s1>;<s2>;..'] \\\n\
+         \x20               [--loads <l1,l2,..>] [--jobs <n>] [--seeds <s1,s2,..>] \\\n\
+         \x20               [--shard <i>/<n>] [--checkpoint <path>] [--csv <path>]\n\
+         \x20      expdriver record-trace --out <path> [--jobs <n>] [--load <f>] [--seed <s>]\n\
+         \x20      expdriver merge-checkpoints --out <path> [--csv <path>] <in.json> ...\n\
+         \x20 experiments: {}",
         ALL_EXPERIMENTS.join(", ")
     );
     std::process::exit(2);
+}
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("expdriver: {message}");
+    std::process::exit(1);
+}
+
+fn parse_shard(text: &str) -> (usize, usize) {
+    let parsed = text.split_once('/').and_then(|(i, n)| {
+        let index: usize = i.parse().ok()?;
+        let count: usize = n.parse().ok()?;
+        Some((index, count))
+    });
+    match parsed {
+        Some((index, count)) if count >= 1 && index < count => (index, count),
+        _ => fail(format!(
+            "--shard must be '<i>/<n>' with i < n (counting from zero), got '{text}'"
+        )),
+    }
+}
+
+/// `expdriver sweep`: one ad-hoc `(policy × scenario × load × seed)` grid
+/// over the baseline registry, with optional sharding, checkpointing and
+/// CSV output.
+fn run_sweep(args: &[String]) {
+    let mut policies: Vec<String> = Vec::new();
+    let mut scenarios: Vec<String> = Vec::new();
+    let mut loads: Vec<f64> = vec![0.9];
+    let mut seeds: Vec<u64> = vec![1, 2];
+    let mut jobs = 60usize;
+    let mut shard = None;
+    let mut checkpoint: Option<PathBuf> = None;
+    let mut csv: Option<PathBuf> = None;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| fail(format!("{name} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--policies" => {
+                policies = value("--policies").split(',').map(str::to_string).collect();
+            }
+            "--scenarios" => {
+                // ';'-separated: scenario specs themselves contain commas.
+                scenarios = value("--scenarios")
+                    .split(';')
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--loads" => {
+                loads = value("--loads")
+                    .split(',')
+                    .map(|l| {
+                        l.parse()
+                            .unwrap_or_else(|_| fail(format!("bad load '{l}'")))
+                    })
+                    .collect();
+            }
+            "--seeds" => {
+                seeds = value("--seeds")
+                    .split(',')
+                    .map(|s| {
+                        s.parse()
+                            .unwrap_or_else(|_| fail(format!("bad seed '{s}'")))
+                    })
+                    .collect();
+            }
+            "--jobs" => {
+                jobs = value("--jobs")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --jobs value"));
+            }
+            "--shard" => shard = Some(parse_shard(&value("--shard"))),
+            "--checkpoint" => checkpoint = Some(PathBuf::from(value("--checkpoint"))),
+            "--csv" => csv = Some(PathBuf::from(value("--csv"))),
+            other => fail(format!("unknown sweep argument '{other}'")),
+        }
+    }
+    if policies.is_empty() {
+        fail("sweep needs --policies");
+    }
+
+    let registry = PolicyRegistry::with_baselines();
+    let scenario_registry = ScenarioRegistry::new();
+    let base = WorkloadSpec::icpp_default().with_num_jobs(jobs);
+    let mut session = EvalSession::new(&registry)
+        .cluster(ClusterSpec::icpp_default())
+        .sim(SimConfig::default())
+        .seeds(&seeds)
+        .table("sweep", "ad-hoc scenario sweep", "load")
+        .points(tcrm_workload::load_sweep(&base, &loads))
+        .policies(policies.iter())
+        .unwrap_or_else(|e| fail(e));
+    if !scenarios.is_empty() {
+        session = session
+            .scenarios(&scenario_registry, scenarios.iter())
+            .unwrap_or_else(|e| fail(e));
+    }
+    if let Some((index, count)) = shard {
+        session = session.shard(index, count);
+    }
+    if let Some(path) = &checkpoint {
+        session = session.checkpoint(path.clone());
+    }
+    let report = session.run().unwrap_or_else(|e| fail(e));
+    eprintln!(
+        "sweep: {} rows ({} resumed, {} simulated)",
+        report.table.rows.len(),
+        report.resumed,
+        report.computed
+    );
+    if let Some(path) = &csv {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(path, report.table.to_csv()).unwrap_or_else(|e| fail(e));
+        eprintln!("sweep: wrote {}", path.display());
+    } else {
+        println!("{}", report.table.to_markdown());
+    }
+}
+
+/// `expdriver record-trace`: generate a synthetic workload and persist it as
+/// a replayable trace (`replay(<path>)` in scenario specs).
+fn run_record_trace(args: &[String]) {
+    let mut out: Option<PathBuf> = None;
+    let mut jobs = 200usize;
+    let mut load = 0.9f64;
+    let mut seed = 1u64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| fail(format!("{name} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--out" => out = Some(PathBuf::from(value("--out"))),
+            "--jobs" => {
+                jobs = value("--jobs")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --jobs"))
+            }
+            "--load" => {
+                load = value("--load")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --load"))
+            }
+            "--seed" => {
+                seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --seed"))
+            }
+            other => fail(format!("unknown record-trace argument '{other}'")),
+        }
+    }
+    let Some(out) = out else {
+        fail("record-trace needs --out <path>");
+    };
+    let spec = WorkloadSpec::icpp_default()
+        .with_num_jobs(jobs)
+        .with_load(load);
+    let source =
+        SyntheticSource::new(&spec, &ClusterSpec::icpp_default(), seed).unwrap_or_else(|e| fail(e));
+    let trace = Trace::new(spec, seed, source.collect());
+    if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    trace.save(&out).unwrap_or_else(|e| fail(e));
+    eprintln!(
+        "record-trace: wrote {} ({} jobs, load {load}, seed {seed})",
+        out.display(),
+        trace.len()
+    );
+}
+
+/// `expdriver merge-checkpoints`: combine shard checkpoints of one grid into
+/// the full table.
+fn run_merge_checkpoints(args: &[String]) {
+    let mut out: Option<PathBuf> = None;
+    let mut csv: Option<PathBuf> = None;
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| fail(format!("{name} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--out" => out = Some(PathBuf::from(value("--out"))),
+            "--csv" => csv = Some(PathBuf::from(value("--csv"))),
+            other if other.starts_with('-') => {
+                fail(format!("unknown merge-checkpoints argument '{other}'"))
+            }
+            input => inputs.push(PathBuf::from(input)),
+        }
+    }
+    let Some(out) = out else {
+        fail("merge-checkpoints needs --out <path>");
+    };
+    if inputs.is_empty() {
+        fail("merge-checkpoints needs at least one input checkpoint");
+    }
+    let tables: Vec<ResultTable> = inputs
+        .iter()
+        .map(|path| {
+            ResultTable::load_json(path)
+                .unwrap_or_else(|e| fail(format!("{}: {e}", path.display())))
+        })
+        .collect();
+    let merged = ResultTable::merge(tables).unwrap_or_else(|e| fail(e));
+    merged.save_json(&out).unwrap_or_else(|e| fail(e));
+    eprintln!(
+        "merge-checkpoints: {} rows from {} checkpoints -> {}",
+        merged.rows.len(),
+        inputs.len(),
+        out.display()
+    );
+    if let Some(path) = &csv {
+        std::fs::write(path, merged.to_csv()).unwrap_or_else(|e| fail(e));
+        eprintln!("merge-checkpoints: wrote {}", path.display());
+    }
 }
 
 fn main() {
@@ -28,8 +275,16 @@ fn main() {
     if args.is_empty() {
         usage();
     }
+    match args[0].as_str() {
+        "sweep" => return run_sweep(&args[1..]),
+        "record-trace" => return run_record_trace(&args[1..]),
+        "merge-checkpoints" => return run_merge_checkpoints(&args[1..]),
+        _ => {}
+    }
+
     let mut quick = true;
     let mut out_dir = PathBuf::from("results");
+    let mut shard = None;
     let mut experiments: Vec<String> = Vec::new();
     let mut iter = args.into_iter().peekable();
     while let Some(arg) = iter.next() {
@@ -38,6 +293,9 @@ fn main() {
             "--full" => quick = false,
             "--out" => {
                 out_dir = PathBuf::from(iter.next().unwrap_or_else(|| usage()));
+            }
+            "--shard" => {
+                shard = Some(parse_shard(&iter.next().unwrap_or_else(|| usage())));
             }
             "all" => experiments.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
             "--help" | "-h" => usage(),
@@ -54,11 +312,16 @@ fn main() {
     // Stream sweep progress and resume statistics to stderr: interrupted
     // runs pick their shared grids back up from `<out>/main-grid-*.json`.
     lab.verbose = true;
+    lab.shard = shard;
     let lab = lab;
     println!(
-        "# TCRM experiment driver — mode: {}, output: {}",
+        "# TCRM experiment driver — mode: {}, output: {}{}",
         if quick { "quick" } else { "full" },
-        out_dir.display()
+        out_dir.display(),
+        match shard {
+            Some((i, n)) => format!(", shard {i}/{n}"),
+            None => String::new(),
+        }
     );
 
     let mut report = String::from("# TCRM evaluation report\n\n");

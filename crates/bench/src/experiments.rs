@@ -18,8 +18,8 @@ use tcrm_core::{
     train_agent, AgentConfig, DrlScheduler, LearnerKind, RewardKind, TrainConfig, TrainSetup,
 };
 use tcrm_rl::TrainingHistory;
-use tcrm_sim::{ClusterSpec, JobClass, SimConfig, Simulator};
-use tcrm_workload::{generate, load_sweep, slack_sweep, WorkloadSpec};
+use tcrm_sim::{ClusterSpec, Job, JobClass, SimConfig, Simulator};
+use tcrm_workload::{load_sweep, slack_sweep, SyntheticSource, WorkloadSpec};
 
 /// The rendered output of one experiment.
 #[derive(Debug, Clone)]
@@ -58,6 +58,12 @@ pub struct Lab {
     /// Print sweep progress and resume statistics to stderr (the expdriver
     /// turns this on; tests leave it off).
     pub verbose: bool,
+    /// Run only shard `i` of `n` of every evaluation grid (the
+    /// `expdriver --shard i/n` flag). Sharded runs write per-shard
+    /// checkpoints (`…-shard-i-of-n.json`) meant to be combined with
+    /// `expdriver merge-checkpoints`; the rendered experiment outputs of a
+    /// sharded run cover only the shard's rows.
+    pub shard: Option<(usize, usize)>,
     /// Directory checkpoints and results are written to.
     pub out_dir: PathBuf,
     cluster: ClusterSpec,
@@ -74,6 +80,7 @@ impl Lab {
         Lab {
             quick,
             verbose: false,
+            shard: None,
             out_dir: out_dir.into(),
             cluster: ClusterSpec::icpp_default(),
             workload: WorkloadSpec::icpp_default(),
@@ -235,6 +242,14 @@ impl Lab {
             .with_load(load)
     }
 
+    /// Materialise one workload through the streaming source API (the
+    /// experiments that drive `Simulator::run` directly need a `Vec`).
+    fn jobs(&self, workload: &WorkloadSpec, cluster: &ClusterSpec, seed: u64) -> Vec<Job> {
+        SyntheticSource::new(workload, cluster, seed)
+            .expect("lab workloads validate")
+            .collect()
+    }
+
     /// Train (or load) the agent variant `key` and make sure the policy
     /// registry can resolve it by name, so experiment policy lists can mix
     /// baselines and DRL variants freely.
@@ -270,6 +285,23 @@ impl Lab {
             .points(points)
             .policies(policies.iter().copied())
             .unwrap_or_else(|e| panic!("{experiment}: {e}"));
+        // Sharded runs compute their slice of the grid into a per-shard
+        // checkpoint; `merge-checkpoints` reassembles the full grid.
+        let checkpoint = match (self.shard, checkpoint) {
+            (Some((index, count)), Some(path)) => {
+                session = session.shard(index, count);
+                let stem = path
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                Some(path.with_file_name(format!("{stem}-shard-{index}-of-{count}.json")))
+            }
+            (Some((index, count)), None) => {
+                session = session.shard(index, count);
+                None
+            }
+            (None, path) => path,
+        };
         if self.verbose {
             let label = experiment.to_string();
             session = session.on_row(move |row, done, total| {
@@ -478,7 +510,7 @@ impl Lab {
                 .with_num_jobs(if self.quick { 80 } else { 400 })
                 .with_load(0.9);
             for policy in ["edf", "tetris", "greedy-elastic", "drl"] {
-                let jobs = generate(&workload, &cluster, 11);
+                let jobs = self.jobs(&workload, &cluster, 11);
                 let mut scheduler = registry.build_str(policy, 11).expect("policy registered");
                 let start = Instant::now();
                 let result =
@@ -565,7 +597,7 @@ impl Lab {
             let mut fairness = Vec::new();
             let mut miss = Vec::new();
             for &seed in &self.seeds() {
-                let jobs = generate(&workload, &self.cluster, seed);
+                let jobs = self.jobs(&workload, &self.cluster, seed);
                 let mut scheduler = registry.build_str(policy, seed).expect("policy registered");
                 let result = Simulator::new(self.cluster.clone(), self.sim.clone())
                     .run(jobs, &mut scheduler);
@@ -689,7 +721,7 @@ impl Lab {
             String::from("scheduler,time,overall,cpu_heavy,mem_heavy,gpu,edge,pending,running\n");
         let registry = self.registry.lock();
         for policy in ["drl", "edf"] {
-            let jobs = generate(&workload, &self.cluster, 21);
+            let jobs = self.jobs(&workload, &self.cluster, 21);
             let mut scheduler = registry.build_str(policy, 21).expect("policy registered");
             let result =
                 Simulator::new(self.cluster.clone(), self.sim.clone()).run(jobs, &mut scheduler);

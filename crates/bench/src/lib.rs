@@ -25,5 +25,5 @@ pub mod results;
 pub mod runner;
 
 pub use policy::{AdapterSpec, PolicyError, PolicyFactory, PolicyRegistry, PolicySpec};
-pub use results::{Aggregate, ResultRow, ResultTable, RESULT_SCHEMA_VERSION};
+pub use results::{Aggregate, ResultRow, ResultTable, DEFAULT_SCENARIO, RESULT_SCHEMA_VERSION};
 pub use runner::{EvalReport, EvalSession, ProgressCallback};

@@ -120,6 +120,24 @@ pub enum PolicyError {
         /// The underlying I/O error.
         message: String,
     },
+    /// A workload or scenario of the evaluation grid is invalid: a point's
+    /// workload spec failed validation, a scenario spec failed to parse, or
+    /// a scenario source (e.g. a `replay(path)` trace) could not be built.
+    /// Surfaced as a configuration error before any cell is simulated,
+    /// instead of aborting mid-sweep.
+    Workload {
+        /// What was being validated (a scenario id or an evaluation point).
+        context: String,
+        /// The underlying workload error.
+        message: String,
+    },
+    /// The requested shard is out of range (`index` must be `< count`).
+    InvalidShard {
+        /// Requested shard index.
+        index: usize,
+        /// Total shard count.
+        count: usize,
+    },
 }
 
 impl fmt::Display for PolicyError {
@@ -145,6 +163,16 @@ impl fmt::Display for PolicyError {
             }
             PolicyError::CheckpointIo { path, message } => {
                 write!(f, "could not write checkpoint '{path}': {message}")
+            }
+            PolicyError::Workload { context, message } => {
+                write!(f, "invalid workload configuration ({context}): {message}")
+            }
+            PolicyError::InvalidShard { index, count } => {
+                write!(
+                    f,
+                    "invalid shard {index}/{count}: the index must be smaller than the count \
+                     (counting from zero), and the count must be at least 1"
+                )
             }
         }
     }

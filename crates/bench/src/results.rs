@@ -1,14 +1,38 @@
 //! Result containers and table emitters (CSV + markdown).
 
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use tcrm_sim::stats;
 use tcrm_sim::Summary;
 
-/// One `(scheduler, parameter point, seed)` simulation outcome.
+/// Quote a CSV field when it contains separators — scenario ids routinely
+/// do (`bursty(3x,period=45)`), and unquoted commas would shift every
+/// column after them.
+fn csv_field(value: &str) -> String {
+    if value.contains([',', '"', '\n']) {
+        format!("\"{}\"", value.replace('"', "\"\""))
+    } else {
+        value.to_string()
+    }
+}
+
+/// The scenario id used for rows produced without an explicit scenario axis
+/// (the point's workload spec streamed as-is).
+pub const DEFAULT_SCENARIO: &str = "default";
+
+fn default_scenario() -> String {
+    DEFAULT_SCENARIO.to_string()
+}
+
+/// One `(scheduler, scenario, parameter point, seed)` simulation outcome.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ResultRow {
     /// Scheduler name.
     pub scheduler: String,
+    /// Scenario id (the canonical scenario spec string, or
+    /// [`DEFAULT_SCENARIO`] when the grid has no scenario axis).
+    #[serde(default = "default_scenario")]
+    pub scenario: String,
     /// The swept parameter (offered load, slack factor, cluster scale, …).
     pub parameter: f64,
     /// Seed of the replication.
@@ -17,11 +41,26 @@ pub struct ResultRow {
     pub summary: Summary,
 }
 
-/// Aggregate over the seeds of one `(scheduler, parameter)` cell.
+impl ResultRow {
+    /// The resume/merge key of this row.
+    pub fn key(&self) -> (String, String, u64, u64) {
+        (
+            self.scheduler.clone(),
+            self.scenario.clone(),
+            self.parameter.to_bits(),
+            self.seed,
+        )
+    }
+}
+
+/// Aggregate over the seeds of one `(scheduler, scenario, parameter)` cell.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Aggregate {
     /// Scheduler name.
     pub scheduler: String,
+    /// Scenario id.
+    #[serde(default = "default_scenario")]
+    pub scenario: String,
     /// The swept parameter value.
     pub parameter: f64,
     /// Number of seeds aggregated.
@@ -47,8 +86,8 @@ pub struct Aggregate {
 }
 
 impl Aggregate {
-    /// Aggregate a group of rows (all expected to share scheduler and
-    /// parameter).
+    /// Aggregate a group of rows (all expected to share scheduler, scenario
+    /// and parameter).
     pub fn from_rows(rows: &[&ResultRow]) -> Aggregate {
         assert!(!rows.is_empty(), "cannot aggregate zero rows");
         let collect = |f: &dyn Fn(&Summary) -> f64| -> Vec<f64> {
@@ -57,6 +96,7 @@ impl Aggregate {
         let miss: Vec<f64> = collect(&|s| s.miss_rate);
         Aggregate {
             scheduler: rows[0].scheduler.clone(),
+            scenario: rows[0].scenario.clone(),
             parameter: rows[0].parameter,
             replications: rows.len(),
             miss_rate: stats::mean(&miss),
@@ -75,7 +115,10 @@ impl Aggregate {
 /// Schema version stamped into every serialised [`ResultTable`]. Bump when
 /// the row layout changes incompatibly; [`ResultTable::load_json`] refuses
 /// files from other versions instead of silently misreading them.
-pub const RESULT_SCHEMA_VERSION: u32 = 1;
+///
+/// Version history: 1 — original layout; 2 — rows carry a `scenario` id
+/// (the scenario axis of the evaluation grid).
+pub const RESULT_SCHEMA_VERSION: u32 = 2;
 
 /// A named collection of rows plus the aggregates derived from them — the
 /// in-memory form of one table or one figure's data series.
@@ -87,7 +130,8 @@ pub struct ResultTable {
     /// Provenance stamp of the grid configuration that produced the rows
     /// (set by `EvalSession` checkpoints; empty for hand-built tables). A
     /// resuming session refuses cached rows whose fingerprint differs from
-    /// its own grid.
+    /// its own grid, and [`ResultTable::merge`] refuses to combine shards
+    /// of different grids.
     #[serde(default)]
     pub fingerprint: String,
     /// Experiment identifier (`table2`, `fig3`, …).
@@ -122,26 +166,34 @@ impl ResultTable {
         self.rows.extend(rows);
     }
 
-    /// Group rows into `(scheduler, parameter)` aggregates, ordered by
-    /// parameter then scheduler.
+    /// Group rows into `(scheduler, scenario, parameter)` aggregates,
+    /// ordered by parameter, then scheduler, then scenario.
     pub fn aggregates(&self) -> Vec<Aggregate> {
-        let mut keys: Vec<(String, u64)> = self
+        let mut keys: Vec<(String, String, u64)> = self
             .rows
             .iter()
-            .map(|r| (r.scheduler.clone(), r.parameter.to_bits()))
+            .map(|r| {
+                (
+                    r.scheduler.clone(),
+                    r.scenario.clone(),
+                    r.parameter.to_bits(),
+                )
+            })
             .collect();
         keys.sort();
         keys.dedup();
         let mut out: Vec<Aggregate> = keys
             .into_iter()
-            .map(|(scheduler, bits)| {
-                let param = f64::from_bits(bits);
+            .map(|(scheduler, scenario, bits)| {
                 let group: Vec<&ResultRow> = self
                     .rows
                     .iter()
-                    .filter(|r| r.scheduler == scheduler && r.parameter.to_bits() == bits)
+                    .filter(|r| {
+                        r.scheduler == scheduler
+                            && r.scenario == scenario
+                            && r.parameter.to_bits() == bits
+                    })
                     .collect();
-                let _ = param;
                 Aggregate::from_rows(&group)
             })
             .collect();
@@ -149,7 +201,8 @@ impl ResultTable {
             a.parameter
                 .partial_cmp(&b.parameter)
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.scheduler.cmp(&b.scheduler))
+                .then_with(|| a.scheduler.cmp(&b.scheduler))
+                .then_with(|| a.scenario.cmp(&b.scenario))
         });
         out
     }
@@ -170,15 +223,77 @@ impl ResultTable {
         names
     }
 
+    /// Scenario ids present, sorted.
+    pub fn scenarios(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.rows.iter().map(|r| r.scenario.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Merge several tables (typically shard checkpoints of one grid) into
+    /// one. All tables must carry the same non-empty fingerprint — shards of
+    /// different grid configurations must never be silently combined. Rows
+    /// that are *fully identical* (same key **and** same summary) are
+    /// deduplicated — overlapping shards or double-merged inputs collapse —
+    /// while rows that merely share a `(scheduler, scenario, parameter,
+    /// seed)` key are all kept, matching the unsharded table for grids whose
+    /// points reuse a parameter value (the "ambiguous" cells the resume path
+    /// also special-cases). The result is sorted into a canonical order, so
+    /// merging the shards of a grid reproduces the unsharded table's
+    /// aggregates — and therefore its rendered CSV — exactly.
+    pub fn merge(tables: Vec<ResultTable>) -> Result<ResultTable, String> {
+        let Some(first) = tables.first() else {
+            return Err("nothing to merge: no tables given".into());
+        };
+        if first.fingerprint.is_empty() {
+            return Err("refusing to merge tables without a grid fingerprint".into());
+        }
+        let mut merged = ResultTable::new(
+            first.experiment.clone(),
+            first.caption.clone(),
+            first.parameter_name.clone(),
+        );
+        merged.fingerprint = first.fingerprint.clone();
+        let mut seen: HashMap<(String, String, u64, u64), Vec<Summary>> = HashMap::new();
+        for table in &tables {
+            if table.fingerprint != merged.fingerprint {
+                return Err(format!(
+                    "fingerprint mismatch: '{}' vs '{}' — these tables come from \
+                     different grid configurations",
+                    table.fingerprint, merged.fingerprint
+                ));
+            }
+            for row in &table.rows {
+                let summaries = seen.entry(row.key()).or_default();
+                if summaries.contains(&row.summary) {
+                    continue;
+                }
+                summaries.push(row.summary.clone());
+                merged.rows.push(row.clone());
+            }
+        }
+        merged.rows.sort_by(|a, b| {
+            a.parameter
+                .partial_cmp(&b.parameter)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.scenario.cmp(&b.scenario))
+                .then_with(|| a.scheduler.cmp(&b.scheduler))
+                .then_with(|| a.seed.cmp(&b.seed))
+        });
+        Ok(merged)
+    }
+
     /// CSV rendering of the aggregates.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "scheduler,parameter,replications,miss_rate,miss_rate_std,mean_slowdown,p95_slowdown,utility_ratio,utilization,mean_wait,mean_parallelism,scale_events\n",
+            "scheduler,scenario,parameter,replications,miss_rate,miss_rate_std,mean_slowdown,p95_slowdown,utility_ratio,utilization,mean_wait,mean_parallelism,scale_events\n",
         );
         for a in self.aggregates() {
             out.push_str(&format!(
-                "{},{:.4},{},{:.4},{:.4},{:.3},{:.3},{:.4},{:.4},{:.2},{:.2},{:.1}\n",
-                a.scheduler,
+                "{},{},{:.4},{},{:.4},{:.4},{:.3},{:.3},{:.4},{:.4},{:.2},{:.2},{:.1}\n",
+                csv_field(&a.scheduler),
+                csv_field(&a.scenario),
                 a.parameter,
                 a.replications,
                 a.miss_rate,
@@ -195,19 +310,36 @@ impl ResultTable {
         out
     }
 
-    /// Markdown rendering of the aggregates (one row per scheduler/parameter
-    /// cell), mirroring the layout of the paper's tables.
+    /// Markdown rendering of the aggregates (one row per
+    /// scheduler/scenario/parameter cell), mirroring the layout of the
+    /// paper's tables. The scenario column is omitted when every row uses
+    /// the default scenario.
     pub fn to_markdown(&self) -> String {
         let mut out = format!("### {} — {}\n\n", self.experiment, self.caption);
-        out.push_str(&format!(
-            "| scheduler | {} | miss rate | slowdown (mean / p95) | utility ratio | utilisation | mean wait |\n",
-            self.parameter_name
-        ));
-        out.push_str("|---|---|---|---|---|---|---|\n");
-        for a in self.aggregates() {
+        let with_scenarios = self.rows.iter().any(|r| r.scenario != DEFAULT_SCENARIO);
+        if with_scenarios {
             out.push_str(&format!(
-                "| {} | {:.2} | {:.1}% ± {:.1} | {:.2} / {:.2} | {:.2} | {:.2} | {:.1}s |\n",
+                "| scheduler | scenario | {} | miss rate | slowdown (mean / p95) | utility ratio | utilisation | mean wait |\n",
+                self.parameter_name
+            ));
+            out.push_str("|---|---|---|---|---|---|---|---|\n");
+        } else {
+            out.push_str(&format!(
+                "| scheduler | {} | miss rate | slowdown (mean / p95) | utility ratio | utilisation | mean wait |\n",
+                self.parameter_name
+            ));
+            out.push_str("|---|---|---|---|---|---|---|\n");
+        }
+        for a in self.aggregates() {
+            let scenario_cell = if with_scenarios {
+                format!(" {} |", a.scenario)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "| {} |{} {:.2} | {:.1}% ± {:.1} | {:.2} / {:.2} | {:.2} | {:.2} | {:.1}s |\n",
                 a.scheduler,
+                scenario_cell,
                 a.parameter,
                 a.miss_rate * 100.0,
                 a.miss_rate_std * 100.0,
@@ -297,8 +429,13 @@ mod tests {
     }
 
     fn row(sched: &str, param: f64, seed: u64, miss: f64) -> ResultRow {
+        scenario_row(sched, DEFAULT_SCENARIO, param, seed, miss)
+    }
+
+    fn scenario_row(sched: &str, scenario: &str, param: f64, seed: u64, miss: f64) -> ResultRow {
         ResultRow {
             scheduler: sched.into(),
+            scenario: scenario.into(),
             parameter: param,
             seed,
             summary: summary(miss, 2.0),
@@ -328,6 +465,29 @@ mod tests {
     }
 
     #[test]
+    fn scenarios_aggregate_separately() {
+        let mut table = ResultTable::new("scen", "test", "load");
+        table.extend(vec![
+            scenario_row("edf", "poisson", 0.9, 1, 0.1),
+            scenario_row("edf", "poisson", 0.9, 2, 0.3),
+            scenario_row("edf", "poisson+burst(3x)", 0.9, 1, 0.5),
+        ]);
+        let aggs = table.aggregates();
+        assert_eq!(aggs.len(), 2);
+        assert_eq!(aggs[0].scenario, "poisson");
+        assert_eq!(aggs[0].replications, 2);
+        assert_eq!(aggs[1].scenario, "poisson+burst(3x)");
+        assert_eq!(
+            table.scenarios(),
+            vec!["poisson".to_string(), "poisson+burst(3x)".to_string()]
+        );
+        // Scenario ids appear in both emitters.
+        assert!(table.to_csv().contains("poisson+burst(3x)"));
+        assert!(table.to_markdown().contains("| scenario |"));
+        assert!(table.to_markdown().contains("poisson+burst(3x)"));
+    }
+
+    #[test]
     fn aggregates_are_ordered_by_parameter_then_name() {
         let mut table = ResultTable::new("fig3", "test", "load");
         table.extend(vec![
@@ -354,6 +514,7 @@ mod tests {
         assert_eq!(back.experiment, "fig3");
         assert_eq!(back.rows.len(), 1);
         assert_eq!(back.rows[0].summary, table.rows[0].summary);
+        assert_eq!(back.rows[0].scenario, DEFAULT_SCENARIO);
 
         // A mismatching schema version is refused.
         let mut stale = table.clone();
@@ -361,6 +522,100 @@ mod tests {
         stale.save_json(&path).unwrap();
         let err = ResultTable::load_json(&path).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn merge_unions_disjoint_shards_and_refuses_mismatched_grids() {
+        let fingerprinted = |rows: Vec<ResultRow>, fp: &str| {
+            let mut t = ResultTable::new("grid", "cap", "load");
+            t.fingerprint = fp.into();
+            t.extend(rows);
+            t
+        };
+        let shard0 = fingerprinted(
+            vec![row("edf", 0.9, 1, 0.2), row("fifo", 0.9, 1, 0.4)],
+            "abc",
+        );
+        let shard1 = fingerprinted(
+            vec![row("edf", 0.9, 2, 0.3), row("fifo", 0.9, 2, 0.5)],
+            "abc",
+        );
+        let merged = ResultTable::merge(vec![shard1.clone(), shard0.clone()]).unwrap();
+        assert_eq!(merged.rows.len(), 4);
+        assert_eq!(merged.fingerprint, "abc");
+        // Canonical row order regardless of merge order.
+        let keys: Vec<(String, u64)> = merged
+            .rows
+            .iter()
+            .map(|r| (r.scheduler.clone(), r.seed))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("edf".to_string(), 1),
+                ("edf".to_string(), 2),
+                ("fifo".to_string(), 1),
+                ("fifo".to_string(), 2)
+            ]
+        );
+        // Overlapping rows deduplicate.
+        let overlapping = ResultTable::merge(vec![shard0.clone(), shard0.clone()]).unwrap();
+        assert_eq!(overlapping.rows.len(), 2);
+        // Mismatched fingerprints refuse to merge.
+        let other = fingerprinted(vec![row("edf", 0.9, 3, 0.1)], "zzz");
+        assert!(ResultTable::merge(vec![shard0.clone(), other]).is_err());
+        // Missing fingerprints refuse to merge.
+        let bare = fingerprinted(vec![row("edf", 0.9, 3, 0.1)], "");
+        assert!(ResultTable::merge(vec![bare]).is_err());
+        assert!(ResultTable::merge(vec![]).is_err());
+    }
+
+    #[test]
+    fn merge_keeps_distinct_rows_that_share_a_key() {
+        // Two evaluation points may share a parameter value (the resume
+        // path calls these cells "ambiguous"); their rows carry identical
+        // keys but different summaries and must all survive a merge.
+        let mut t = ResultTable::new("grid", "cap", "load");
+        t.fingerprint = "abc".into();
+        let mut a = row("edf", 0.9, 1, 0.2);
+        let mut b = row("edf", 0.9, 1, 0.6);
+        a.summary.total_jobs = 30;
+        b.summary.total_jobs = 50;
+        t.extend(vec![a, b]);
+        let merged = ResultTable::merge(vec![t.clone(), t]).unwrap();
+        assert_eq!(
+            merged.rows.len(),
+            2,
+            "distinct ambiguous rows survive; exact duplicates collapse"
+        );
+    }
+
+    #[test]
+    fn csv_quotes_scenario_ids_containing_commas() {
+        let mut table = ResultTable::new("scen", "cap", "load");
+        table.extend(vec![scenario_row(
+            "edf",
+            "bursty(3x,period=45)",
+            0.9,
+            1,
+            0.1,
+        )]);
+        let csv = table.to_csv();
+        let header_cols = csv.lines().next().unwrap().split(',').count();
+        assert!(csv.contains("\"bursty(3x,period=45)\""));
+        // The quoted field keeps every data row at the header's arity under
+        // a standard CSV reader.
+        let data = csv.lines().nth(1).unwrap();
+        let mut cols = 0;
+        let mut in_quotes = false;
+        for c in data.chars() {
+            match c {
+                '"' => in_quotes = !in_quotes,
+                ',' if !in_quotes => cols += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(cols + 1, header_cols);
     }
 
     #[test]

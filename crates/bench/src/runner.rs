@@ -1,22 +1,28 @@
-//! Running `(policy × workload point × seed)` grids and collecting rows.
+//! Running `(policy × scenario × workload point × seed)` grids and
+//! collecting rows.
 //!
 //! The entry point is the builder-style [`EvalSession`]: it resolves policy
-//! spec strings against a [`PolicyRegistry`], flattens the full evaluation
-//! grid into one parallel sweep with work-stealing-friendly self-scheduling,
-//! reuses per-worker simulator/view/scheduler scratch so the steady-state
-//! sweep loop stays off the allocator, streams completed rows through a
-//! progress callback, and checkpoints/resumes partial grids as versioned
-//! JSON.
+//! spec strings against a [`PolicyRegistry`] and scenario spec strings
+//! against a [`ScenarioRegistry`], flattens the full evaluation grid into
+//! one parallel sweep with work-stealing-friendly self-scheduling, streams
+//! each cell's jobs on demand from a per-worker cached [`WorkloadSource`]
+//! (reset per replication — no per-cell materialisation), reuses per-worker
+//! simulator/view/scheduler scratch so the steady-state sweep loop stays off
+//! the allocator, streams completed rows through a progress callback,
+//! checkpoints/resumes partial grids as versioned JSON, and shards grids
+//! across processes (`shard(i, n)` + [`ResultTable::merge`]).
 
 use crate::policy::{PolicyError, PolicyRegistry, PolicySpec};
-use crate::results::{ResultRow, ResultTable};
+use crate::results::{ResultRow, ResultTable, DEFAULT_SCENARIO};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use tcrm_sim::{ClusterSpec, ClusterView, Scheduler, SimConfig, Simulator, Summary};
-use tcrm_workload::{generate, WorkloadSpec};
+use tcrm_workload::{
+    ScenarioRegistry, ScenarioSpec, SourceSpec, SyntheticSource, WorkloadSource, WorkloadSpec,
+};
 
 /// Rows are streamed through this callback as replications complete:
 /// `(row, completed_so_far, total_to_compute)`. Called from worker threads
@@ -24,9 +30,10 @@ use tcrm_workload::{generate, WorkloadSpec};
 pub type ProgressCallback = Box<dyn Fn(&ResultRow, usize, usize) + Send + Sync>;
 
 /// What [`EvalSession::run`] produced, beyond the table itself.
+#[derive(Debug)]
 pub struct EvalReport {
     /// The full result table, rows in canonical grid order
-    /// (point-major, then policy, then seed).
+    /// (point-major, then scenario, then policy, then seed).
     pub table: ResultTable,
     /// Rows simulated by this run.
     pub computed: usize,
@@ -38,18 +45,37 @@ pub struct EvalReport {
 #[derive(Clone, Copy)]
 struct Cell {
     policy: usize,
+    scenario: usize,
     point: usize,
     seed: u64,
 }
 
+/// Collect every `replay(<path>)` trace path referenced by a scenario
+/// (recursing through `merge` branches).
+fn replay_paths(spec: &ScenarioSpec, out: &mut Vec<String>) {
+    match spec.source_spec() {
+        SourceSpec::Replay { path } => out.push(path.clone()),
+        SourceSpec::Merge(a, b) => {
+            replay_paths(a, out);
+            replay_paths(b, out);
+        }
+        _ => {}
+    }
+}
+
 /// FNV-1a hash of the serialised grid configuration (cluster, engine config,
-/// per-point workloads) — the provenance stamp of a checkpoint. Stable
-/// across processes because it hashes the JSON rendering, not Rust's
-/// randomised `Hash`.
+/// per-point workloads, scenario ids, and the **contents** of every replay
+/// trace file) — the provenance stamp of a checkpoint. Hashing trace
+/// contents, not just paths, means re-recording a trace at the same path
+/// invalidates cached rows instead of silently resuming results computed
+/// from the old trace. Stable across processes because it hashes the JSON
+/// rendering, not Rust's randomised `Hash`.
 fn grid_fingerprint(
     cluster: &ClusterSpec,
     sim: &SimConfig,
     points: &[(f64, WorkloadSpec)],
+    scenario_labels: &[String],
+    replay_traces: &[(String, Vec<u8>)],
 ) -> String {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     let mut eat = |bytes: &[u8]| {
@@ -68,19 +94,33 @@ fn grid_fingerprint(
             .unwrap_or_default()
             .as_bytes());
     }
+    for label in scenario_labels {
+        eat(label.as_bytes());
+        eat(b"\x1f");
+    }
+    for (path, contents) in replay_traces {
+        eat(path.as_bytes());
+        eat(b"\x1f");
+        eat(contents);
+        eat(b"\x1f");
+    }
     format!("{hash:016x}")
 }
 
 /// Per-worker scratch reused across every cell the worker executes: one
-/// simulator (reset per replication), one snapshot buffer, and one scheduler
-/// instance per policy (re-armed with [`Scheduler::reset`]). This extends
-/// the zero-allocation stepping contract to the sweep loop — steady-state
-/// replication reuses the cluster, event heap, metrics buffers and view
-/// instead of reconstructing them per cell.
+/// simulator (reset per replication), one snapshot buffer, one scheduler
+/// instance per policy (re-armed with [`Scheduler::reset`]), and one
+/// workload source per `(scenario, point)` pair (re-armed with
+/// [`WorkloadSource::reset`] and streamed through
+/// [`Simulator::run_source`]). This extends the zero-allocation stepping
+/// contract to the sweep loop — steady-state replication reuses the
+/// cluster, event heap, metrics buffers, view and job stream instead of
+/// reconstructing them per cell.
 struct WorkerScratch {
     sim: Simulator,
     view: ClusterView,
     schedulers: HashMap<usize, Box<dyn Scheduler>>,
+    sources: HashMap<(usize, usize), Box<dyn WorkloadSource>>,
 }
 
 impl WorkerScratch {
@@ -91,12 +131,13 @@ impl WorkerScratch {
             sim,
             view,
             schedulers: HashMap::new(),
+            sources: HashMap::new(),
         }
     }
 }
 
-/// A builder-style evaluation session over one `(policy × point × seed)`
-/// grid.
+/// A builder-style evaluation session over one `(policy × scenario × point
+/// × seed)` grid.
 ///
 /// ```
 /// use tcrm_bench::{EvalSession, PolicyRegistry};
@@ -116,6 +157,33 @@ impl WorkerScratch {
 /// // 2 policies × 1 point × 2 seeds:
 /// assert_eq!(report.table.rows.len(), 4);
 /// assert!(report.table.rows.iter().any(|r| r.scheduler == "greedy-elastic+rigid"));
+/// ```
+///
+/// A scenario axis multiplies the grid without touching the points: each
+/// scenario spec reshapes the point's workload (or replaces it entirely, as
+/// `replay` does) and its canonical string becomes the row label:
+///
+/// ```
+/// use tcrm_bench::{EvalSession, PolicyRegistry};
+/// use tcrm_sim::{ClusterSpec, SimConfig};
+/// use tcrm_workload::{ScenarioRegistry, WorkloadSpec};
+///
+/// let policies = PolicyRegistry::with_baselines();
+/// let scenarios = ScenarioRegistry::new();
+/// let report = EvalSession::new(&policies)
+///     .policies(["edf"])
+///     .unwrap()
+///     .scenarios(&scenarios, ["poisson", "poisson+burst(3x)"])
+///     .unwrap()
+///     .cluster(ClusterSpec::icpp_default())
+///     .sim(SimConfig::default())
+///     .point(0.9, WorkloadSpec::icpp_default().with_num_jobs(25).with_load(0.9))
+///     .seeds(&[1])
+///     .run()
+///     .unwrap();
+/// // 1 policy × 2 scenarios × 1 point × 1 seed:
+/// assert_eq!(report.table.rows.len(), 2);
+/// assert!(report.table.rows.iter().any(|r| r.scenario == "poisson+burst(3x)"));
 /// ```
 ///
 /// Interrupted full-scale sweeps resume from a versioned JSON checkpoint:
@@ -140,12 +208,15 @@ impl WorkerScratch {
 /// ```
 pub struct EvalSession<'r> {
     registry: &'r PolicyRegistry,
+    scenario_registry: Option<&'r ScenarioRegistry>,
     policies: Vec<PolicySpec>,
+    scenarios: Vec<ScenarioSpec>,
     points: Vec<(f64, WorkloadSpec)>,
     cluster: ClusterSpec,
     sim: SimConfig,
     seeds: Vec<u64>,
     parallel: bool,
+    shard: Option<(usize, usize)>,
     checkpoint: Option<PathBuf>,
     checkpoint_every: usize,
     progress: Option<ProgressCallback>,
@@ -156,16 +227,21 @@ pub struct EvalSession<'r> {
 
 impl<'r> EvalSession<'r> {
     /// Start a session against a policy registry. Defaults: the ICPP default
-    /// cluster, default engine config, seed `[1]`, parallel execution.
+    /// cluster, default engine config, seed `[1]`, parallel execution, no
+    /// scenario axis (each point's workload is streamed as-is under the
+    /// scenario id `"default"`).
     pub fn new(registry: &'r PolicyRegistry) -> Self {
         EvalSession {
             registry,
+            scenario_registry: None,
             policies: Vec::new(),
+            scenarios: Vec::new(),
             points: Vec::new(),
             cluster: ClusterSpec::icpp_default(),
             sim: SimConfig::default(),
             seeds: vec![1],
             parallel: true,
+            shard: None,
             checkpoint: None,
             checkpoint_every: 32,
             progress: None,
@@ -195,6 +271,33 @@ impl<'r> EvalSession<'r> {
         Ok(self)
     }
 
+    /// Add scenarios by spec string (see the `tcrm_workload::scenario`
+    /// grammar), resolved against `registry`. Each scenario multiplies the
+    /// grid: every `(policy, point, seed)` cell is evaluated once per
+    /// scenario, with the scenario's canonical string as the row label.
+    /// Fails fast on malformed specs and unknown custom sources.
+    pub fn scenarios<I, S>(
+        mut self,
+        registry: &'r ScenarioRegistry,
+        specs: I,
+    ) -> Result<Self, PolicyError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        for spec in specs {
+            let parsed = registry
+                .parse(spec.as_ref())
+                .map_err(|e| PolicyError::Workload {
+                    context: spec.as_ref().to_string(),
+                    message: e.to_string(),
+                })?;
+            self.scenarios.push(parsed);
+        }
+        self.scenario_registry = Some(registry);
+        Ok(self)
+    }
+
     /// Add one `(parameter, workload)` evaluation point.
     pub fn point(mut self, parameter: f64, workload: WorkloadSpec) -> Self {
         self.points.push((parameter, workload));
@@ -220,7 +323,7 @@ impl<'r> EvalSession<'r> {
         self
     }
 
-    /// Replication seeds per `(policy, point)` cell.
+    /// Replication seeds per `(policy, scenario, point)` cell.
     pub fn seeds(mut self, seeds: &[u64]) -> Self {
         self.seeds = seeds.to_vec();
         self
@@ -231,6 +334,17 @@ impl<'r> EvalSession<'r> {
     /// this is the reference the determinism tests compare against.
     pub fn sequential(mut self) -> Self {
         self.parallel = false;
+        self
+    }
+
+    /// Restrict this run to shard `index` of `count`: cells whose canonical
+    /// flat index is congruent to `index` modulo `count`. Shards of one grid
+    /// partition it exactly; run each shard in its own process with its own
+    /// checkpoint, then combine the checkpoints with [`ResultTable::merge`]
+    /// (or `expdriver merge-checkpoints`) — the merged table reproduces the
+    /// unsharded run's CSV byte for byte.
+    pub fn shard(mut self, index: usize, count: usize) -> Self {
+        self.shard = Some((index, count));
         self
     }
 
@@ -272,19 +386,26 @@ impl<'r> EvalSession<'r> {
 
     /// Execute the sweep and return the table plus resume statistics.
     ///
-    /// The grid is flattened point-major (point, then policy, then seed) and
-    /// executed as one self-scheduling parallel sweep; rows come back in
-    /// canonical grid order regardless of thread timing, so the rendered
-    /// CSV/markdown are byte-identical between parallel and sequential runs.
+    /// The grid is flattened point-major (point, then scenario, then policy,
+    /// then seed) and executed as one self-scheduling parallel sweep; rows
+    /// come back in canonical grid order regardless of thread timing, so the
+    /// rendered CSV/markdown are byte-identical between parallel and
+    /// sequential runs. Every workload and scenario is validated (and every
+    /// scenario source built once) *before* the sweep starts, so
+    /// configuration mistakes — an invalid spec, a missing replay trace —
+    /// surface as a [`PolicyError::Workload`] instead of aborting mid-sweep.
     pub fn run(self) -> Result<EvalReport, PolicyError> {
         let EvalSession {
             registry,
+            scenario_registry,
             policies,
+            scenarios,
             points,
             cluster,
             sim,
             seeds,
             parallel,
+            shard,
             checkpoint,
             checkpoint_every,
             progress,
@@ -293,33 +414,114 @@ impl<'r> EvalSession<'r> {
             parameter_name,
         } = self;
 
-        // Canonical cell order: point-major, then policy, then seed.
-        let mut cells = Vec::with_capacity(points.len() * policies.len() * seeds.len());
+        if let Some((index, count)) = shard {
+            if count == 0 || index >= count {
+                return Err(PolicyError::InvalidShard { index, count });
+            }
+        }
+
+        // Scenario axis: an explicit list, or the single implicit default
+        // scenario (each point's workload streamed as-is).
+        let scenario_specs: Vec<Option<&ScenarioSpec>> = if scenarios.is_empty() {
+            vec![None]
+        } else {
+            scenarios.iter().map(Some).collect()
+        };
+        let scenario_labels: Vec<String> = scenario_specs
+            .iter()
+            .map(|s| s.map_or_else(|| DEFAULT_SCENARIO.to_string(), |s| s.id()))
+            .collect();
+
+        // Fail fast on invalid configuration: every point workload must
+        // validate, and every (scenario, point) source must build. This is
+        // the only place scenario/workload errors can surface; the sweep
+        // itself then runs on validated state.
+        let probe_seed = seeds.first().copied().unwrap_or(0);
+        for (parameter, workload) in &points {
+            workload
+                .validate()
+                .map_err(|message| PolicyError::Workload {
+                    context: format!("point {parameter}"),
+                    message,
+                })?;
+        }
+        for (scenario, label) in scenario_specs.iter().zip(&scenario_labels) {
+            let Some(spec) = scenario else { continue };
+            let registry = scenario_registry.expect("set alongside scenarios");
+            for (parameter, workload) in &points {
+                registry
+                    .build(spec, workload, &cluster, probe_seed)
+                    .map_err(|e| PolicyError::Workload {
+                        context: format!("scenario '{label}' at point {parameter}"),
+                        message: e.to_string(),
+                    })?;
+            }
+        }
+
+        // Canonical cell order: point-major, then scenario, then policy,
+        // then seed.
+        let mut cells =
+            Vec::with_capacity(points.len() * scenario_specs.len() * policies.len() * seeds.len());
         for point in 0..points.len() {
-            for policy in 0..policies.len() {
-                for &seed in &seeds {
-                    cells.push(Cell {
-                        policy,
-                        point,
-                        seed,
-                    });
+            for scenario in 0..scenario_specs.len() {
+                for policy in 0..policies.len() {
+                    for &seed in &seeds {
+                        cells.push(Cell {
+                            policy,
+                            scenario,
+                            point,
+                            seed,
+                        });
+                    }
                 }
             }
         }
 
-        // Fingerprint of everything that determines a row's value besides its
-        // (policy, parameter, seed) key: the cluster, the engine config and
-        // the per-point workloads. A checkpoint carrying a different
-        // fingerprint comes from a different grid configuration and must not
-        // be resumed (its rows would be silently presented as this run's
-        // results). DRL agent weights are not part of the fingerprint —
-        // retraining an agent under the same name requires a fresh
-        // checkpoint path.
-        let fingerprint = grid_fingerprint(&cluster, &sim, &points);
+        // Sharding: this run owns every cell whose canonical flat index is
+        // congruent to the shard index. The produced table holds only the
+        // owned subset (still in canonical order); ResultTable::merge
+        // reassembles the full grid from the shard checkpoints.
+        let owned: Vec<Cell> = match shard {
+            Some((index, count)) => cells
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % count == index)
+                .map(|(_, c)| *c)
+                .collect(),
+            None => cells,
+        };
 
-        // Rows are keyed by (label, parameter, seed). If two points share a
-        // parameter value the key cannot tell their cells apart, so those
-        // cells are never resumed (and always recomputed).
+        // Fingerprint of everything that determines a row's value besides
+        // its (policy, scenario, parameter, seed) key: the cluster, the
+        // engine config, the per-point workloads, the scenario ids and the
+        // contents of every referenced replay trace. A checkpoint carrying a
+        // different fingerprint comes from a different grid configuration
+        // and must not be resumed (its rows would be silently presented as
+        // this run's results). DRL agent weights are not part of the
+        // fingerprint — retraining an agent under the same name requires a
+        // fresh checkpoint path. Shards deliberately share the full grid's
+        // fingerprint so their checkpoints merge.
+        let mut trace_paths: Vec<String> = Vec::new();
+        for spec in scenario_specs.iter().flatten() {
+            replay_paths(spec, &mut trace_paths);
+        }
+        trace_paths.sort();
+        trace_paths.dedup();
+        // A missing file hashes as empty here; the build probe above already
+        // turned it into a Workload error before this point.
+        let replay_traces: Vec<(String, Vec<u8>)> = trace_paths
+            .into_iter()
+            .map(|path| {
+                let contents = std::fs::read(&path).unwrap_or_default();
+                (path, contents)
+            })
+            .collect();
+        let fingerprint =
+            grid_fingerprint(&cluster, &sim, &points, &scenario_labels, &replay_traces);
+
+        // Rows are keyed by (label, scenario, parameter, seed). If two
+        // points share a parameter value the key cannot tell their cells
+        // apart, so those cells are never resumed (and always recomputed).
         let mut parameter_counts: HashMap<u64, usize> = HashMap::new();
         for (parameter, _) in &points {
             *parameter_counts.entry(parameter.to_bits()).or_default() += 1;
@@ -327,8 +529,9 @@ impl<'r> EvalSession<'r> {
         let ambiguous =
             |parameter_bits: u64| parameter_counts.get(&parameter_bits).copied().unwrap_or(0) > 1;
 
-        // Resume: index previously completed rows by (label, parameter, seed).
-        let cached: HashMap<(String, u64, u64), ResultRow> = checkpoint
+        // Resume: index previously completed rows by (label, scenario,
+        // parameter, seed).
+        let cached: HashMap<(String, String, u64, u64), ResultRow> = checkpoint
             .as_deref()
             .filter(|p| p.exists())
             .and_then(|p| ResultTable::load_json(p).ok())
@@ -337,18 +540,19 @@ impl<'r> EvalSession<'r> {
                 t.rows
                     .into_iter()
                     .filter(|r| !ambiguous(r.parameter.to_bits()))
-                    .map(|r| ((r.scheduler.clone(), r.parameter.to_bits(), r.seed), r))
+                    .map(|r| (r.key(), r))
                     .collect()
             })
             .unwrap_or_default();
         let key_of = |cell: &Cell| {
             (
                 policies[cell.policy].name(),
+                scenario_labels[cell.scenario].clone(),
                 points[cell.point].0.to_bits(),
                 cell.seed,
             )
         };
-        let (resumed_cells, todo): (Vec<Cell>, Vec<Cell>) = cells
+        let (resumed_cells, todo): (Vec<Cell>, Vec<Cell>) = owned
             .iter()
             .copied()
             .partition(|c| cached.contains_key(&key_of(c)));
@@ -376,44 +580,83 @@ impl<'r> EvalSession<'r> {
             (path.clone(), Mutex::new(base))
         });
         let done = AtomicUsize::new(0);
-        let run_cell = |scratch: &mut WorkerScratch, cell: &Cell| -> ResultRow {
-            let (parameter, workload) = &points[cell.point];
-            let spec = &policies[cell.policy];
-            let jobs = generate(workload, &cluster, cell.seed);
-            let mut fresh;
-            let scheduler: &mut Box<dyn Scheduler> = if reusable[cell.policy] {
-                let cached = scratch
-                    .schedulers
-                    .entry(cell.policy)
-                    .or_insert_with(|| registry.build(spec, cell.seed).expect("spec validated"));
-                cached.reset(cell.seed);
-                cached
-            } else {
-                fresh = registry.build(spec, cell.seed).expect("spec validated");
-                &mut fresh
-            };
-            let summary: Summary = scratch.sim.run_reusing(jobs, scheduler, &mut scratch.view);
-            let row = ResultRow {
-                scheduler: spec.name(),
-                parameter: *parameter,
-                seed: cell.seed,
-                summary,
-            };
-            let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
-            if let Some(callback) = progress.as_ref() {
-                callback(&row, completed, total);
-            }
-            if let Some((path, partial)) = flusher.as_ref() {
-                let mut partial = partial.lock();
-                partial.rows.push(row.clone());
-                if partial.rows.len() % checkpoint_every == 0 {
-                    let _ = partial.save_json(path);
-                }
-            }
-            row
-        };
+        let run_cell =
+            |scratch: &mut WorkerScratch, cell: &Cell| -> Result<ResultRow, PolicyError> {
+                let (parameter, workload) = &points[cell.point];
+                let spec = &policies[cell.policy];
 
-        let computed_rows: Vec<ResultRow> = if parallel {
+                // The cell's job stream: one cached source per (scenario, point)
+                // pair per worker, re-armed with reset(seed) and pulled on
+                // demand by the streaming simulator. The up-front probe already
+                // validated every (scenario, point) build, but a build can still
+                // fail here (a seed-dependent custom factory, a trace deleted
+                // mid-sweep) — that surfaces as a Workload error, not a panic.
+                use std::collections::hash_map::Entry;
+                let source = match scratch.sources.entry((cell.scenario, cell.point)) {
+                    Entry::Occupied(entry) => entry.into_mut(),
+                    Entry::Vacant(slot) => {
+                        let built: Box<dyn WorkloadSource> = match scenario_specs[cell.scenario] {
+                            None => Box::new(
+                                SyntheticSource::new(workload, &cluster, cell.seed).map_err(
+                                    |e| PolicyError::Workload {
+                                        context: format!("point {parameter}"),
+                                        message: e.to_string(),
+                                    },
+                                )?,
+                            ),
+                            Some(scenario) => scenario_registry
+                                .expect("set alongside scenarios")
+                                .build(scenario, workload, &cluster, cell.seed)
+                                .map_err(|e| PolicyError::Workload {
+                                    context: format!(
+                                        "scenario '{}' at point {parameter}",
+                                        scenario_labels[cell.scenario]
+                                    ),
+                                    message: e.to_string(),
+                                })?,
+                        };
+                        slot.insert(built)
+                    }
+                };
+                source.reset(cell.seed);
+
+                let mut fresh;
+                let scheduler: &mut Box<dyn Scheduler> = if reusable[cell.policy] {
+                    let cached = scratch.schedulers.entry(cell.policy).or_insert_with(|| {
+                        registry.build(spec, cell.seed).expect("spec validated")
+                    });
+                    cached.reset(cell.seed);
+                    cached
+                } else {
+                    fresh = registry.build(spec, cell.seed).expect("spec validated");
+                    &mut fresh
+                };
+                let summary: Summary =
+                    scratch
+                        .sim
+                        .run_source(source.as_mut(), scheduler, &mut scratch.view);
+                let row = ResultRow {
+                    scheduler: spec.name(),
+                    scenario: scenario_labels[cell.scenario].clone(),
+                    parameter: *parameter,
+                    seed: cell.seed,
+                    summary,
+                };
+                let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if let Some(callback) = progress.as_ref() {
+                    callback(&row, completed, total);
+                }
+                if let Some((path, partial)) = flusher.as_ref() {
+                    let mut partial = partial.lock();
+                    partial.rows.push(row.clone());
+                    if partial.rows.len() % checkpoint_every == 0 {
+                        let _ = partial.save_json(path);
+                    }
+                }
+                Ok(row)
+            };
+
+        let computed_rows: Vec<Result<ResultRow, PolicyError>> = if parallel {
             todo.par_iter()
                 .map_init(
                     || WorkerScratch::new(&cluster, &sim),
@@ -426,16 +669,18 @@ impl<'r> EvalSession<'r> {
         };
 
         // Merge computed and cached rows back into canonical grid order.
+        // A failed cell surfaces here as the sweep's error (completed rows
+        // of a checkpointed run were already flushed, so nothing is lost).
         let mut computed_iter = computed_rows.into_iter();
         let mut table = ResultTable::new(experiment, caption, parameter_name);
         table.fingerprint = fingerprint;
-        for cell in &cells {
+        for cell in &owned {
             match cached.get(&key_of(cell)) {
                 Some(row) => table.rows.push(row.clone()),
                 None => table.rows.push(
                     computed_iter
                         .next()
-                        .expect("one computed row per todo cell"),
+                        .expect("one computed result per todo cell")?,
                 ),
             }
         }
@@ -489,6 +734,7 @@ mod tests {
         let rows = &report.table.rows;
         assert_eq!(rows.len(), 2);
         assert!(rows.iter().all(|r| r.scheduler == "edf"));
+        assert!(rows.iter().all(|r| r.scenario == DEFAULT_SCENARIO));
         assert!(rows.iter().all(|r| r.summary.total_jobs == 30));
         assert!(rows.iter().all(|r| r.parameter == 0.7));
     }
@@ -510,6 +756,214 @@ mod tests {
             .rows
             .iter()
             .any(|r| r.scheduler == "greedy-elastic+rigid"));
+    }
+
+    #[test]
+    fn scenario_axis_multiplies_the_grid() {
+        let registry = PolicyRegistry::with_baselines();
+        let scenarios = ScenarioRegistry::new();
+        let report = session(&registry)
+            .policies(["edf", "fifo"])
+            .unwrap()
+            .scenarios(&scenarios, ["poisson", "poisson+tighten(0.7)"])
+            .unwrap()
+            .point(0.8, quick_workload(0.8).with_num_jobs(20))
+            .seeds(&[1, 2])
+            .run()
+            .unwrap();
+        // 2 policies × 2 scenarios × 1 point × 2 seeds.
+        assert_eq!(report.table.rows.len(), 8);
+        assert_eq!(
+            report.table.scenarios(),
+            vec!["poisson".to_string(), "poisson+tighten(0.7)".to_string()]
+        );
+        // Tightening deadlines can only raise (or keep) the miss rate on
+        // otherwise identical streams.
+        let miss_of = |scenario: &str| {
+            report
+                .table
+                .aggregates()
+                .into_iter()
+                .filter(|a| a.scenario == scenario)
+                .map(|a| a.miss_rate)
+                .sum::<f64>()
+        };
+        assert!(miss_of("poisson+tighten(0.7)") >= miss_of("poisson"));
+    }
+
+    #[test]
+    fn invalid_workloads_and_scenarios_are_config_errors_not_panics() {
+        let registry = PolicyRegistry::with_baselines();
+
+        // An invalid point workload: surfaced before the sweep runs.
+        let mut broken = quick_workload(0.9);
+        broken.num_jobs = 0;
+        let err = session(&registry)
+            .policies(["edf"])
+            .unwrap()
+            .point(0.9, broken)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, PolicyError::Workload { .. }));
+        assert!(err.to_string().contains("num_jobs"));
+
+        // A malformed scenario spec fails at the builder.
+        let scenarios = ScenarioRegistry::new();
+        let Err(err) = session(&registry)
+            .policies(["edf"])
+            .unwrap()
+            .scenarios(&scenarios, ["poisson+warp(3)"])
+        else {
+            panic!("malformed scenario spec must not resolve");
+        };
+        assert!(matches!(err, PolicyError::Workload { .. }));
+        assert!(err.to_string().contains("warp(3)"));
+
+        // A well-formed scenario whose source cannot be built (missing
+        // trace) fails in run(), before any cell simulates.
+        let err = session(&registry)
+            .policies(["edf"])
+            .unwrap()
+            .scenarios(&scenarios, ["replay(/no/such/trace.json)"])
+            .unwrap()
+            .point(0.9, quick_workload(0.9))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, PolicyError::Workload { .. }));
+        assert!(err.to_string().contains("/no/such/trace.json"));
+    }
+
+    #[test]
+    fn failing_custom_source_builds_surface_as_errors_not_panics() {
+        // A custom factory whose build fails is caught by the up-front
+        // probe and surfaces as a Workload error from run(), not a panic
+        // (the same typed path also guards late build failures inside
+        // worker cells, e.g. a trace deleted mid-sweep).
+        let registry = PolicyRegistry::with_baselines();
+        let mut scenarios = ScenarioRegistry::new();
+        scenarios
+            .register_fn("picky", |ctx| {
+                if ctx.seed == 777 {
+                    Ok(Box::new(SyntheticSource::new(
+                        ctx.base,
+                        ctx.cluster,
+                        ctx.seed,
+                    )?))
+                } else {
+                    Err(tcrm_workload::WorkloadError::InvalidWorkload(format!(
+                        "no recording for seed {}",
+                        ctx.seed
+                    )))
+                }
+            })
+            .unwrap();
+        let err = session(&registry)
+            .policies(["edf"])
+            .unwrap()
+            .scenarios(&scenarios, ["picky"])
+            .unwrap()
+            .point(0.9, quick_workload(0.9))
+            .seeds(&[1, 2])
+            .sequential()
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, PolicyError::Workload { .. }));
+        assert!(err.to_string().contains("no recording for seed 1"));
+        assert!(err.to_string().contains("scenario 'picky'"));
+    }
+
+    #[test]
+    fn re_recorded_replay_traces_invalidate_the_checkpoint() {
+        let dir = std::env::temp_dir().join("tcrm-runner-replay-fingerprint");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.json");
+        let ckpt = dir.join("grid.json");
+
+        let record = |seed: u64, jobs: usize| {
+            let spec = quick_workload(0.8).with_num_jobs(jobs);
+            let list: Vec<_> = SyntheticSource::new(&spec, &ClusterSpec::icpp_default(), seed)
+                .unwrap()
+                .collect();
+            tcrm_workload::Trace::new(spec, seed, list)
+                .save(&trace_path)
+                .unwrap();
+        };
+        let registry = PolicyRegistry::with_baselines();
+        // A fresh scenario registry per run: trace files are assumed
+        // immutable for a registry's lifetime (its parse cache), and this
+        // test re-records between runs.
+        let run = |scenarios: &ScenarioRegistry| {
+            session(&registry)
+                .policies(["edf"])
+                .unwrap()
+                .scenarios(scenarios, [format!("replay({})", trace_path.display())])
+                .unwrap()
+                .point(0.9, quick_workload(0.9))
+                .seeds(&[1])
+                .checkpoint(&ckpt)
+                .run()
+                .unwrap()
+        };
+
+        record(7, 20);
+        let first = run(&ScenarioRegistry::new());
+        assert_eq!(first.computed, 1);
+
+        // Same path, new contents: the fingerprint must change, so nothing
+        // resumes and the row reflects the new trace.
+        record(8, 25);
+        let second = run(&ScenarioRegistry::new());
+        assert_eq!(second.resumed, 0, "stale replay rows must not resume");
+        assert_eq!(second.computed, 1);
+        assert!(second.table.rows.iter().all(|r| r.summary.total_jobs == 25));
+
+        // Unchanged contents still resume.
+        let third = run(&ScenarioRegistry::new());
+        assert_eq!(third.resumed, 1);
+        assert_eq!(third.computed, 0);
+    }
+
+    #[test]
+    fn shards_partition_the_grid_exactly() {
+        let registry = PolicyRegistry::with_baselines();
+        let full = session(&registry)
+            .policies(["edf", "fifo"])
+            .unwrap()
+            .point(0.7, quick_workload(0.7))
+            .seeds(&[1, 2, 3])
+            .run()
+            .unwrap();
+        assert_eq!(full.table.rows.len(), 6);
+
+        let shard = |index: usize| {
+            session(&registry)
+                .policies(["edf", "fifo"])
+                .unwrap()
+                .point(0.7, quick_workload(0.7))
+                .seeds(&[1, 2, 3])
+                .shard(index, 2)
+                .run()
+                .unwrap()
+        };
+        let s0 = shard(0);
+        let s1 = shard(1);
+        assert_eq!(s0.table.rows.len() + s1.table.rows.len(), 6);
+        assert_eq!(s0.table.fingerprint, full.table.fingerprint);
+
+        let merged = ResultTable::merge(vec![s0.table, s1.table]).unwrap();
+        assert_eq!(merged.rows.len(), 6);
+        assert_eq!(merged.to_csv(), full.table.to_csv());
+
+        // Out-of-range shards are config errors.
+        let err = session(&registry)
+            .policies(["edf"])
+            .unwrap()
+            .point(0.7, quick_workload(0.7))
+            .shard(2, 2)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, PolicyError::InvalidShard { .. }));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use tcrm_bench::{EvalSession, PolicyRegistry, ResultTable};
 use tcrm_sim::{ClusterSpec, SimConfig};
-use tcrm_workload::{load_sweep, WorkloadSpec};
+use tcrm_workload::{load_sweep, ScenarioRegistry, SyntheticSource, Trace, WorkloadSpec};
 
 const POLICIES: [&str; 4] = ["edf", "random", "greedy-elastic+rigid", "tetris+admission"];
 const SEEDS: [u64; 3] = [1, 2, 3];
@@ -70,6 +70,119 @@ fn rows_come_back_in_canonical_grid_order() {
         .map(|r| (r.scheduler.clone(), r.parameter, r.seed))
         .collect();
     assert_eq!(actual, expected);
+}
+
+/// The scenario-axis acceptance gate: a `(policy × scenario × point × seed)`
+/// grid over three scenario families — synthetic, synthetic+transformer and
+/// replay — runs through `EvalSession` with checkpoint/resume, and the
+/// parallel sweep stays row-for-row identical to the sequential reference.
+#[test]
+fn scenario_grid_checkpoints_resumes_and_matches_sequential() {
+    let dir = std::env::temp_dir().join("tcrm-eval-session-scenarios");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // A recorded trace for the replay scenario.
+    let trace_path = dir.join("trace.json");
+    let trace_spec = WorkloadSpec::icpp_default()
+        .with_num_jobs(30)
+        .with_load(0.8);
+    let jobs: Vec<_> = SyntheticSource::new(&trace_spec, &ClusterSpec::icpp_default(), 99)
+        .unwrap()
+        .collect();
+    Trace::new(trace_spec, 99, jobs).save(&trace_path).unwrap();
+
+    let registry = PolicyRegistry::with_baselines();
+    let scenarios = ScenarioRegistry::new();
+    let scenario_specs = [
+        "poisson".to_string(),
+        "poisson+burst(3x)+tighten(0.8)".to_string(),
+        format!("replay({})", trace_path.display()),
+    ];
+    let session = |sequential: bool, checkpoint: Option<&std::path::Path>| {
+        let mut s = EvalSession::new(&registry)
+            .policies(["edf", "greedy-elastic+rigid"])
+            .expect("known policies")
+            .scenarios(&scenarios, scenario_specs.iter())
+            .expect("valid scenarios")
+            .cluster(ClusterSpec::icpp_default())
+            .sim(SimConfig::default())
+            .points(points())
+            .seeds(&[1, 2])
+            .table("scenario-grid", "scenario axis", "load");
+        if sequential {
+            s = s.sequential();
+        }
+        if let Some(path) = checkpoint {
+            s = s.checkpoint(path);
+        }
+        s
+    };
+
+    // Parallel == sequential, row for row and byte for byte.
+    let parallel = session(false, None).run().expect("parallel sweep").table;
+    let sequential = session(true, None).run().expect("sequential sweep").table;
+    // 2 policies × 3 scenarios × 2 points × 2 seeds:
+    assert_eq!(parallel.rows.len(), 2 * 3 * 2 * 2);
+    assert_eq!(parallel.rows.len(), sequential.rows.len());
+    for (p, s) in parallel.rows.iter().zip(sequential.rows.iter()) {
+        assert_eq!(p.scheduler, s.scheduler);
+        assert_eq!(p.scenario, s.scenario);
+        assert_eq!(p.parameter, s.parameter);
+        assert_eq!(p.seed, s.seed);
+        assert_eq!(p.summary, s.summary, "{}/{}", p.scheduler, p.scenario);
+    }
+    assert_eq!(parallel.to_csv(), sequential.to_csv());
+    assert_eq!(parallel.scenarios().len(), 3);
+
+    // Checkpoint/resume across the scenario axis: a second run resumes every
+    // row and reproduces the same table.
+    let ckpt = dir.join("grid.json");
+    let first = session(false, Some(&ckpt)).run().expect("checkpointed");
+    assert_eq!(first.computed, 24);
+    let resumed = session(false, Some(&ckpt)).run().expect("resumed");
+    assert_eq!(resumed.resumed, 24);
+    assert_eq!(resumed.computed, 0);
+    assert_eq!(resumed.table.to_csv(), parallel.to_csv());
+
+    // The replay scenario really replays the recorded trace: every one of
+    // its rows saw exactly the trace's 30 jobs, at every point and seed.
+    assert!(resumed
+        .table
+        .rows
+        .iter()
+        .filter(|r| r.scenario.starts_with("replay("))
+        .all(|r| r.summary.total_jobs == 30));
+}
+
+/// Sharded runs written to per-shard checkpoints merge back into the
+/// unsharded grid byte for byte (the multi-process sweep workflow).
+#[test]
+fn shard_checkpoints_merge_into_the_full_grid() {
+    let dir = std::env::temp_dir().join("tcrm-eval-session-shards");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let registry = PolicyRegistry::with_baselines();
+    let full = session(&registry).run().expect("full sweep");
+
+    let shard_path = |i: usize| dir.join(format!("shard-{i}.json"));
+    for i in 0..2 {
+        let report = session(&registry)
+            .shard(i, 2)
+            .checkpoint(shard_path(i))
+            .run()
+            .expect("shard sweep");
+        assert!(report.table.rows.len() < full.table.rows.len());
+    }
+    let merged = ResultTable::merge(vec![
+        ResultTable::load_json(shard_path(0)).expect("shard 0 checkpoint"),
+        ResultTable::load_json(shard_path(1)).expect("shard 1 checkpoint"),
+    ])
+    .expect("shards merge");
+    assert_eq!(merged.rows.len(), full.table.rows.len());
+    assert_eq!(merged.to_csv(), full.table.to_csv());
+    assert_eq!(merged.to_markdown(), full.table.to_markdown());
 }
 
 #[test]

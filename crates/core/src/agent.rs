@@ -217,7 +217,13 @@ struct AgentCheckpoint {
 mod tests {
     use super::*;
     use tcrm_sim::prelude::*;
-    use tcrm_workload::{generate, WorkloadSpec};
+    use tcrm_workload::{SyntheticSource, WorkloadSpec};
+
+    fn jobs_for(spec: &WorkloadSpec, cluster: &ClusterSpec, seed: u64) -> Vec<Job> {
+        SyntheticSource::new(spec, cluster, seed)
+            .expect("valid spec")
+            .collect()
+    }
 
     fn fresh_agent() -> DrlScheduler {
         let config = AgentConfig::small();
@@ -235,7 +241,7 @@ mod tests {
     #[test]
     fn untrained_agent_completes_a_small_workload() {
         let cluster = ClusterSpec::icpp_default();
-        let jobs = generate(
+        let jobs = jobs_for(
             &WorkloadSpec::icpp_default()
                 .with_num_jobs(20)
                 .with_load(0.5),
@@ -252,7 +258,7 @@ mod tests {
     #[test]
     fn greedy_agent_is_deterministic() {
         let cluster = ClusterSpec::icpp_default();
-        let jobs = generate(
+        let jobs = jobs_for(
             &WorkloadSpec::icpp_default()
                 .with_num_jobs(15)
                 .with_load(0.7),
@@ -277,7 +283,7 @@ mod tests {
         let mut original = agent;
         // Same decisions on the same workload.
         let cluster = ClusterSpec::icpp_default();
-        let jobs = generate(
+        let jobs = jobs_for(
             &WorkloadSpec::icpp_default()
                 .with_num_jobs(10)
                 .with_load(0.6),

@@ -13,11 +13,12 @@ use crate::reward::RewardTracker;
 use crate::state::StateEncoder;
 use tcrm_rl::{Environment, Step, Transition};
 use tcrm_sim::{Action, ClusterSpec, ClusterView, Job, SimConfig, Simulator};
-use tcrm_workload::{generate, WorkloadSpec};
+use tcrm_workload::{SyntheticSource, WorkloadSpec};
 
-/// Where episode workloads come from.
-#[derive(Debug, Clone)]
-pub enum WorkloadSource {
+/// Where episode workloads come from. (Named `EpisodeSource` to leave the
+/// `WorkloadSource` name to `tcrm_workload`'s streaming trait, which the
+/// `Streamed` variant accepts through any boxed source.)
+pub enum EpisodeSource {
     /// Every episode replays exactly this job list (evaluation on a fixed
     /// trace).
     Fixed(Vec<Job>),
@@ -29,6 +30,13 @@ pub enum WorkloadSource {
         /// Number of jobs per episode.
         jobs_per_episode: usize,
     },
+    /// Every episode re-arms this source with the episode seed and collects
+    /// its stream into that episode's job list — training on arbitrary
+    /// composed scenarios (replays, transformed traces, merged streams)
+    /// from one resettable source instead of a per-episode job-list
+    /// configuration. The stream **must be finite** (bound endless
+    /// generators with `truncate`): each `reset` drains it fully.
+    Streamed(Box<dyn tcrm_workload::WorkloadSource>),
 }
 
 /// The scheduling environment (implements [`tcrm_rl::Environment`]).
@@ -38,7 +46,7 @@ pub struct SchedulingEnv {
     encoder: StateEncoder,
     actions: ActionSpace,
     reward: RewardTracker,
-    source: WorkloadSource,
+    source: EpisodeSource,
     max_steps: usize,
 
     sim: Option<Simulator>,
@@ -60,7 +68,7 @@ impl SchedulingEnv {
         cluster: ClusterSpec,
         sim_config: SimConfig,
         agent_config: &AgentConfig,
-        source: WorkloadSource,
+        source: EpisodeSource,
     ) -> Self {
         let num_classes = cluster.num_classes();
         SchedulingEnv {
@@ -116,15 +124,21 @@ impl SchedulingEnv {
         self.sim.take().map(|sim| sim.finalize())
     }
 
-    fn episode_jobs(&self, seed: u64) -> Vec<Job> {
-        match &self.source {
-            WorkloadSource::Fixed(jobs) => jobs.clone(),
-            WorkloadSource::Generated {
+    fn episode_jobs(&mut self, seed: u64) -> Vec<Job> {
+        match &mut self.source {
+            EpisodeSource::Fixed(jobs) => jobs.clone(),
+            EpisodeSource::Generated {
                 spec,
                 jobs_per_episode,
             } => {
                 let spec = spec.clone().with_num_jobs(*jobs_per_episode);
-                generate(&spec, &self.cluster, seed)
+                SyntheticSource::new(&spec, &self.cluster, seed)
+                    .expect("episode workload spec validates")
+                    .collect()
+            }
+            EpisodeSource::Streamed(source) => {
+                source.reset(seed);
+                source.by_ref().collect()
             }
         }
     }
@@ -295,7 +309,7 @@ mod tests {
             ClusterSpec::tiny(),
             SimConfig::default(),
             &AgentConfig::small(),
-            WorkloadSource::Generated {
+            EpisodeSource::Generated {
                 spec,
                 jobs_per_episode: jobs,
             },
@@ -408,7 +422,7 @@ mod tests {
                 ClusterSpec::tiny(),
                 SimConfig::default(),
                 &AgentConfig::small(),
-                WorkloadSource::Fixed(vec![job.clone()]),
+                EpisodeSource::Fixed(vec![job.clone()]),
             )
         };
         // Greedy: pick the first feasible non-wait action at every step.
@@ -458,7 +472,7 @@ mod tests {
             ClusterSpec::tiny(),
             SimConfig::default(),
             &AgentConfig::small(),
-            WorkloadSource::Fixed(vec![job]),
+            EpisodeSource::Fixed(vec![job]),
         );
         let a = env.reset(1);
         let b = env.reset(99);

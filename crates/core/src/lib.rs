@@ -31,7 +31,10 @@
 //! // Train a small agent and let it schedule a fresh workload.
 //! let outcome = train_agent(&TrainSetup::smoke());
 //! let cluster = tcrm_sim::ClusterSpec::tiny();
-//! let jobs = tcrm_workload::generate(&tcrm_workload::WorkloadSpec::tiny(), &cluster, 7);
+//! let jobs: Vec<_> =
+//!     tcrm_workload::SyntheticSource::new(&tcrm_workload::WorkloadSpec::tiny(), &cluster, 7)
+//!         .unwrap()
+//!         .collect();
 //! let mut agent = outcome.agent;
 //! let result = tcrm_sim::Simulator::new(cluster, tcrm_sim::SimConfig::default())
 //!     .run(jobs, &mut agent);
@@ -49,7 +52,7 @@ pub mod train;
 pub use action::{ActionMeaning, ActionSpace};
 pub use agent::DrlScheduler;
 pub use config::{AgentConfig, LearnerKind, RewardConfig, RewardKind, TrainConfig};
-pub use env::{SchedulingEnv, WorkloadSource};
+pub use env::{EpisodeSource, SchedulingEnv};
 pub use reward::RewardTracker;
 pub use state::StateEncoder;
 pub use train::{train_agent, TrainOutcome, TrainSetup};

@@ -4,7 +4,7 @@
 use crate::action::ActionSpace;
 use crate::agent::DrlScheduler;
 use crate::config::{AgentConfig, LearnerKind, TrainConfig};
-use crate::env::{SchedulingEnv, WorkloadSource};
+use crate::env::{EpisodeSource, SchedulingEnv};
 use crate::state::StateEncoder;
 use serde::{Deserialize, Serialize};
 use tcrm_rl::{
@@ -76,7 +76,7 @@ pub fn train_agent(setup: &TrainSetup) -> TrainOutcome {
         setup.cluster.clone(),
         setup.sim.clone(),
         &setup.agent,
-        WorkloadSource::Generated {
+        EpisodeSource::Generated {
             spec: setup.workload.clone(),
             jobs_per_episode: setup.train.jobs_per_episode,
         },
@@ -151,11 +151,13 @@ mod tests {
         assert_eq!(outcome.history.iterations.len(), setup.train.iterations);
         assert_eq!(outcome.agent.name(), "drl");
         // The returned agent can schedule a workload end to end.
-        let jobs = tcrm_workload::generate(
+        let jobs: Vec<_> = tcrm_workload::SyntheticSource::new(
             &setup.workload.clone().with_num_jobs(10),
             &setup.cluster,
             123,
-        );
+        )
+        .expect("valid spec")
+        .collect();
         let mut agent = outcome.agent;
         let result = tcrm_sim::Simulator::new(setup.cluster.clone(), setup.sim.clone())
             .run(jobs, &mut agent);

@@ -77,6 +77,13 @@ pub struct Simulator {
     metrics: MetricsCollector,
     total_jobs: usize,
     arrivals_remaining: usize,
+    /// Best-known count of arrivals still to come — what views report as
+    /// `future_arrivals`. In batch runs this tracks `arrivals_remaining`
+    /// exactly; in streaming runs it is seeded from the source's size hint
+    /// and counted down per arrival, so schedulers (e.g. the DRL state
+    /// encoder) see the same remaining-work signal as under [`Self::run`]
+    /// even though only one arrival event is buffered at a time.
+    arrival_hint: usize,
     started: bool,
     aborted: bool,
     /// Events whose timestamp was behind the simulation clock and was
@@ -106,6 +113,7 @@ impl Simulator {
             metrics: MetricsCollector::new(),
             total_jobs: 0,
             arrivals_remaining: 0,
+            arrival_hint: 0,
             started: false,
             aborted: false,
             clamped_events: 0,
@@ -168,8 +176,7 @@ impl Simulator {
     /// Load a workload and schedule its arrival events. Must be called exactly
     /// once before [`Self::advance`].
     pub fn start(&mut self, mut jobs: Vec<Job>) {
-        assert!(!self.started, "Simulator::start called twice");
-        self.started = true;
+        self.begin_run(jobs.len(), jobs.len());
         jobs.sort_by(|a, b| {
             a.arrival
                 .partial_cmp(&b.arrival)
@@ -178,11 +185,29 @@ impl Simulator {
         });
         self.total_jobs = jobs.len();
         self.arrivals_remaining = jobs.len();
+        for job in jobs {
+            debug_assert!(job.validate().is_ok(), "invalid job {}", job.id);
+            self.events.push(job.arrival, EventKind::JobArrival(job));
+        }
+        // Periodic events scheduled after the arrivals, so same-timestamp
+        // ties keep breaking arrival-first (insertion order).
+        self.schedule_periodic_events();
+    }
+
+    /// Run setup shared by [`Self::start`] and the streaming entry point:
+    /// flags, buffer pre-sizing and the future-arrival hint. Event
+    /// scheduling stays with the callers — their relative ordering of
+    /// arrival vs periodic events differs and is part of the determinism
+    /// contract.
+    fn begin_run(&mut self, expected_jobs: usize, arrival_hint: usize) {
+        assert!(!self.started, "Simulator::start called twice");
+        self.started = true;
+        self.arrival_hint = arrival_hint;
         // Pre-size the per-run collections so steady-state stepping does not
         // grow them (part of the allocation-free stepping contract).
-        self.pending.reserve(jobs.len());
-        self.running_order.reserve(jobs.len().min(1024));
-        self.metrics.reserve(jobs.len());
+        self.pending.reserve(expected_jobs);
+        self.running_order.reserve(expected_jobs.min(1024));
+        self.metrics.reserve(expected_jobs);
         // Budget the utilisation trace: enough for the horizon the workload
         // plausibly covers, capped so pathological sampling intervals cannot
         // reserve unbounded memory. Runs that outlive the budget fall back to
@@ -190,10 +215,10 @@ impl Simulator {
         let sample_budget = (self.config.max_sim_time / self.config.util_sample_interval)
             .clamp(16.0, 1024.0) as usize;
         self.metrics.reserve_samples(sample_budget);
-        for job in jobs {
-            debug_assert!(job.validate().is_ok(), "invalid job {}", job.id);
-            self.events.push(job.arrival, EventKind::JobArrival(job));
-        }
+    }
+
+    /// Schedule the first periodic decision epoch and utilisation sample.
+    fn schedule_periodic_events(&mut self) {
         if let Some(interval) = self.config.decision_interval {
             self.events.push(interval, EventKind::DecisionEpoch);
         }
@@ -256,6 +281,7 @@ impl Simulator {
             match event.kind {
                 EventKind::JobArrival(job) => {
                     self.arrivals_remaining = self.arrivals_remaining.saturating_sub(1);
+                    self.arrival_hint = self.arrival_hint.saturating_sub(1);
                     self.pending.push(job);
                     self.metrics.record_decision_epoch();
                     return true;
@@ -321,7 +347,7 @@ impl Simulator {
     /// order straight from the incrementally maintained index, with no sort.
     pub fn view_into(&self, out: &mut ClusterView) {
         out.time = self.time;
-        out.future_arrivals = self.arrivals_remaining;
+        out.future_arrivals = self.arrivals_remaining.max(self.arrival_hint);
         // A spec change invalidates the whole static class skeleton (names,
         // node counts, capacities, speed factors), not just its length — a
         // view refilled from a different simulator must rebuild even when
@@ -435,6 +461,7 @@ impl Simulator {
         self.metrics.reset();
         self.total_jobs = 0;
         self.arrivals_remaining = 0;
+        self.arrival_hint = 0;
         self.started = false;
         self.aborted = false;
         self.clamped_events = 0;
@@ -484,35 +511,103 @@ impl Simulator {
         self.metrics.summarize(self.total_jobs)
     }
 
+    /// Run a complete simulation pulling jobs **on demand** from a streaming
+    /// source instead of requiring an upfront `Vec<Job>`.
+    ///
+    /// The engine keeps exactly one future arrival buffered: each time an
+    /// arrival fires, the next job is pulled from the iterator and its
+    /// arrival event enqueued, so arbitrarily long (or lazily generated)
+    /// workloads simulate in O(running + pending) memory. The source must
+    /// yield jobs in non-decreasing arrival order (`tcrm-workload` sources
+    /// do); out-of-order arrivals are clamped forward and counted like any
+    /// other stale event. Results are identical to [`Self::run`] over the
+    /// same job list, with one caveat: events at *exactly* equal timestamps
+    /// break ties by scheduling order, and lazily enqueued arrivals schedule
+    /// later than in a batch run — only observable for hand-crafted traces
+    /// whose arrivals exactly coincide with completions or sampling ticks.
+    ///
+    /// Like [`Self::run_reusing`], the simulator is [`Self::reset`] first and
+    /// every per-run buffer — including the collections pre-sized from the
+    /// source's `size_hint` — is retained across calls, so replication
+    /// sweeps stay allocation-free after the first (warm-up) run (pinned by
+    /// `tests/alloc_free_stream.rs`).
+    pub fn run_source<S, I>(
+        &mut self,
+        mut source: I,
+        scheduler: &mut S,
+        view: &mut ClusterView,
+    ) -> Summary
+    where
+        S: Scheduler + ?Sized,
+        I: Iterator<Item = Job>,
+    {
+        self.reset();
+        scheduler.on_simulation_start();
+        self.start_stream(&mut source);
+        self.drive_stream(&mut source, scheduler, view);
+        if self.aborted {
+            // An aborted run (max_sim_time exceeded) may leave jobs unpulled.
+            // They still count toward the total — exactly as the batch path
+            // counts every upfront arrival as unfinished — so truncated
+            // streamed runs report the same miss/unfinished rates as
+            // `Self::run` over the same job list. Only sources advertising a
+            // finite upper size bound are drained; an endless generator
+            // keeps the pulled-only count (it has no meaningful total).
+            if source.size_hint().1.is_some() {
+                self.total_jobs += source.count();
+            }
+        }
+        self.charge_unfinished();
+        self.metrics.summarize(self.total_jobs)
+    }
+
+    /// Begin a streaming run: pre-size the per-run collections from the
+    /// source's size hint, seed the future-arrival hint (so views report the
+    /// expected remaining-arrival count, not just the single buffered
+    /// arrival), schedule the periodic events, and buffer the first arrival.
+    fn start_stream<I: Iterator<Item = Job>>(&mut self, source: &mut I) {
+        let (lower, upper) = source.size_hint();
+        // An exact hint (every bundled source provides one) sizes the
+        // buffers and the arrival count for the whole run; unbounded sources
+        // get bounded values and fall back to amortised growth.
+        let expected = upper.unwrap_or(lower);
+        self.begin_run(expected.min(65_536), expected.min(u32::MAX as usize));
+        self.schedule_periodic_events();
+        self.pull_next_arrival(source);
+    }
+
+    /// Buffer the next arrival from the source, if any. Maintains the
+    /// streaming invariant: while the source is not exhausted, exactly one
+    /// future arrival event is enqueued (`arrivals_remaining == 1`).
+    fn pull_next_arrival<I: Iterator<Item = Job>>(&mut self, source: &mut I) {
+        if let Some(job) = source.next() {
+            debug_assert!(job.validate().is_ok(), "invalid job {}", job.id);
+            self.total_jobs += 1;
+            self.arrivals_remaining += 1;
+            self.events.push(job.arrival, EventKind::JobArrival(job));
+        }
+    }
+
     /// The decision loop shared by [`Self::run`] and [`Self::run_reusing`].
     fn drive<S: Scheduler + ?Sized>(&mut self, scheduler: &mut S, view: &mut ClusterView) {
+        self.drive_stream(&mut std::iter::empty(), scheduler, view)
+    }
+
+    /// The decision loop of every driver. In batch mode `source` is an empty
+    /// iterator (all arrivals were enqueued by [`Self::start`]); in streaming
+    /// mode the next arrival is pulled as soon as the buffered one fires —
+    /// `arrivals_remaining` drops to zero only when the source is exhausted,
+    /// so the refill happens before the scheduler sees the epoch.
+    fn drive_stream<S, I>(&mut self, source: &mut I, scheduler: &mut S, view: &mut ClusterView)
+    where
+        S: Scheduler + ?Sized,
+        I: Iterator<Item = Job>,
+    {
         while self.advance() {
-            let mut rounds = 0;
-            let mut epoch_changed_state = false;
-            loop {
-                rounds += 1;
-                if rounds > self.config.max_decisions_per_epoch {
-                    break;
-                }
-                self.view_into(view);
-                let actions = scheduler.decide(view);
-                if actions.is_empty() {
-                    break;
-                }
-                let mut any_change = false;
-                let mut all_wait = true;
-                for action in &actions {
-                    if !matches!(action, Action::Wait) {
-                        all_wait = false;
-                    }
-                    let outcome = self.apply(action);
-                    any_change |= outcome.changed_state();
-                }
-                epoch_changed_state |= any_change;
-                if all_wait || !any_change {
-                    break;
-                }
+            if self.arrivals_remaining == 0 {
+                self.pull_next_arrival(source);
             }
+            let epoch_changed_state = self.decision_rounds(scheduler, view);
             // Deadlock guard: nothing is running, nothing is left to arrive
             // and the scheduler did not (or could not) start any pending job
             // at this epoch — the state can never change again, so abort
@@ -525,6 +620,42 @@ impl Simulator {
                 self.abort_run();
             }
         }
+    }
+
+    /// Let the scheduler act (possibly repeatedly) at the current decision
+    /// epoch. Returns whether any action changed simulator state.
+    fn decision_rounds<S: Scheduler + ?Sized>(
+        &mut self,
+        scheduler: &mut S,
+        view: &mut ClusterView,
+    ) -> bool {
+        let mut rounds = 0;
+        let mut epoch_changed_state = false;
+        loop {
+            rounds += 1;
+            if rounds > self.config.max_decisions_per_epoch {
+                break;
+            }
+            self.view_into(view);
+            let actions = scheduler.decide(view);
+            if actions.is_empty() {
+                break;
+            }
+            let mut any_change = false;
+            let mut all_wait = true;
+            for action in &actions {
+                if !matches!(action, Action::Wait) {
+                    all_wait = false;
+                }
+                let outcome = self.apply(action);
+                any_change |= outcome.changed_state();
+            }
+            epoch_changed_state |= any_change;
+            if all_wait || !any_change {
+                break;
+            }
+        }
+        epoch_changed_state
     }
 
     /// Charge forfeited utility for every job still pending or running.
@@ -1166,6 +1297,110 @@ mod tests {
             assert_eq!(summary, fresh.summary);
             assert_eq!(reused.completed_so_far(), fresh.completed.as_slice());
         }
+    }
+
+    #[test]
+    fn run_source_matches_batch_run_over_the_same_jobs() {
+        // Streaming the jobs one at a time must produce exactly the result
+        // of loading them upfront (arrival times are chosen off the decision
+        // grid so no event-timestamp ties exist to break differently).
+        let jobs: Vec<Job> = (0..25)
+            .map(|i| simple_job(i, i as f64 * 1.37, 4.0 + (i as f64) * 0.93, 400.0))
+            .collect();
+        let mut cfg = SimConfig::default();
+        cfg.decision_interval = Some(2.0);
+        let batch = Simulator::new(tiny_spec(), cfg.clone()).run(jobs.clone(), &mut EagerMin);
+
+        let mut sim = Simulator::new(tiny_spec(), cfg);
+        let mut view = sim.view();
+        let summary = sim.run_source(jobs.iter().cloned(), &mut EagerMin, &mut view);
+        assert_eq!(summary, batch.summary);
+        assert_eq!(sim.completed_so_far(), batch.completed.as_slice());
+        assert_eq!(sim.total_jobs(), 25);
+
+        // And the same simulator streams the next replication correctly.
+        let summary2 = sim.run_source(jobs.iter().cloned(), &mut EagerMin, &mut view);
+        assert_eq!(summary2, batch.summary);
+    }
+
+    #[test]
+    fn streaming_views_report_true_future_arrival_counts() {
+        // A scheduler that only observes: the future_arrivals sequence seen
+        // under run_source must match the batch run's, even though the
+        // stream buffers a single arrival at a time (the DRL state encoder
+        // feeds on this field).
+        struct Recorder {
+            seen: Vec<usize>,
+        }
+        impl Scheduler for Recorder {
+            fn name(&self) -> &str {
+                "recorder"
+            }
+            fn decide(&mut self, view: &ClusterView) -> Vec<Action> {
+                self.seen.push(view.future_arrivals);
+                Vec::new()
+            }
+        }
+        let jobs: Vec<Job> = (0..20)
+            .map(|i| simple_job(i, i as f64 * 1.7, 3.0, 1e5))
+            .collect();
+
+        let mut batch_recorder = Recorder { seen: Vec::new() };
+        let _ = Simulator::new(tiny_spec(), SimConfig::default())
+            .run(jobs.clone(), &mut batch_recorder);
+        assert!(
+            batch_recorder.seen.contains(&19),
+            "early views see the tail"
+        );
+
+        let mut stream_recorder = Recorder { seen: Vec::new() };
+        let mut sim = Simulator::new(tiny_spec(), SimConfig::default());
+        let mut view = sim.view();
+        let _ = sim.run_source(jobs.iter().cloned(), &mut stream_recorder, &mut view);
+        assert_eq!(stream_recorder.seen, batch_recorder.seen);
+    }
+
+    #[test]
+    fn run_source_counts_unarrived_jobs_when_truncated_by_max_sim_time() {
+        // A horizon shorter than the arrival span: the batch path counts the
+        // never-arrived tail as unfinished, and the streamed path must agree
+        // even though it never pulled those jobs.
+        let jobs: Vec<Job> = (0..40)
+            .map(|i| simple_job(i, i as f64 * 5.3, 2.0, 1e6))
+            .collect();
+        let mut cfg = SimConfig::default();
+        cfg.max_sim_time = 60.0;
+        let batch = Simulator::new(tiny_spec(), cfg.clone()).run(jobs.clone(), &mut EagerMin);
+        assert!(batch.summary.unfinished_jobs > 0, "the run must truncate");
+
+        let mut sim = Simulator::new(tiny_spec(), cfg);
+        let mut view = sim.view();
+        let summary = sim.run_source(jobs.iter().cloned(), &mut EagerMin, &mut view);
+        assert_eq!(summary.total_jobs, 40);
+        assert_eq!(summary, batch.summary);
+    }
+
+    #[test]
+    fn run_source_handles_an_empty_stream() {
+        let mut sim = Simulator::new(tiny_spec(), SimConfig::default());
+        let mut view = sim.view();
+        let summary = sim.run_source(std::iter::empty(), &mut EagerMin, &mut view);
+        assert_eq!(summary.total_jobs, 0);
+        assert_eq!(summary.completed_jobs, 0);
+    }
+
+    #[test]
+    fn run_source_pulls_lazily_from_an_unbounded_stream() {
+        // An endless generator driven through `take`: the engine must only
+        // pull what it simulates, never trying to materialise the stream.
+        let endless = (0u64..).map(|i| simple_job(i, i as f64 * 3.1, 2.0, 1e7));
+        let mut cfg = SimConfig::default();
+        cfg.max_sim_time = 1e6;
+        let mut sim = Simulator::new(tiny_spec(), cfg);
+        let mut view = sim.view();
+        let summary = sim.run_source(endless.take(40), &mut EagerMin, &mut view);
+        assert_eq!(summary.total_jobs, 40);
+        assert_eq!(summary.completed_jobs, 40);
     }
 
     #[test]

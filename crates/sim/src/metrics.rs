@@ -184,9 +184,14 @@ impl EnergyReport {
 }
 
 impl UtilizationTrace {
-    /// Mean overall utilisation across samples.
+    /// Mean overall utilisation across samples. Single-pass (no scratch
+    /// buffer): this runs inside `Summary::from_collector` on the
+    /// allocation-free replication path.
     pub fn mean_overall(&self) -> f64 {
-        stats::mean(&self.samples.iter().map(|s| s.overall).collect::<Vec<_>>())
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.overall).sum::<f64>() / self.samples.len() as f64
     }
 
     /// Estimate the energy drawn over the traced interval for a cluster

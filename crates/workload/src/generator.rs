@@ -1,118 +1,88 @@
-//! Turning a [`WorkloadSpec`] into a concrete list of jobs.
+//! The historical batch entry point, kept as a thin shim over
+//! [`SyntheticSource`].
+//!
+//! New code should build a [`SyntheticSource`] (or go through the
+//! [`crate::scenario`] grammar) and stream jobs instead of materialising
+//! them: the source is resettable, composes with transformers, and feeds
+//! `Simulator::run_source` without an upfront `Vec`. The shim is pinned
+//! byte-identical to the streamed output by a test below.
 
-use crate::distributions::{Exponential, LogNormal, WeightedChoice};
-use crate::spec::{ArrivalProcess, WorkloadSpec};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use tcrm_sim::{ClusterSpec, Job, JobId, TimeUtility};
+use crate::source::SyntheticSource;
+use crate::spec::WorkloadSpec;
+use tcrm_sim::{ClusterSpec, Job};
 
-/// Generate `spec.num_jobs` jobs for the given cluster, deterministically from
-/// the seed. Jobs are returned sorted by arrival time with dense ids.
+/// Generate `spec.num_jobs` jobs for the given cluster, deterministically
+/// from the seed. Jobs are returned sorted by arrival time with dense ids.
 ///
-/// The arrival rate is derived from the offered load: the cluster's aggregate
-/// work capacity (work units per second, computed from the spec's class mix
-/// and the node speed profiles) times `spec.load`, divided by the mean work
-/// per job.
+/// The arrival rate is derived from the offered load: the cluster's
+/// aggregate work capacity times `spec.load`, divided by the mean work per
+/// job.
+///
+/// # Panics
+///
+/// Panics when the spec does not validate — the historical contract. Use
+/// [`SyntheticSource::new`] to get a `Result` instead.
+#[deprecated(
+    note = "use SyntheticSource::new(spec, cluster, seed) — the streaming, resettable \
+            WorkloadSource form of this generator (returns Result instead of panicking)"
+)]
 pub fn generate(spec: &WorkloadSpec, cluster: &ClusterSpec, seed: u64) -> Vec<Job> {
-    spec.validate().expect("invalid workload spec");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mix = spec.class_mix();
-    let capacity = cluster.work_capacity(&mix).max(1e-6);
-    let mean_work = spec.mean_work().max(1e-9);
-    let arrival_rate = spec.load * capacity / mean_work;
-    let base_interarrival = Exponential::new(arrival_rate.max(1e-9));
-
-    let class_choice =
-        WeightedChoice::new(&spec.classes.iter().map(|c| c.weight).collect::<Vec<f64>>());
-    let work_dists: Vec<LogNormal> = spec
-        .classes
-        .iter()
-        .map(|c| LogNormal::from_mean_cv(c.work_mean, c.work_cv))
-        .collect();
-
-    // Bursty arrivals: alternate between calm and bursty states.
-    let mut in_burst = false;
-    let mut state_left: f64 = match spec.arrivals {
-        ArrivalProcess::Bursty { burst_period, .. } => burst_period,
-        ArrivalProcess::Poisson => f64::INFINITY,
-    };
-
-    let mut time = 0.0;
-    let mut jobs = Vec::with_capacity(spec.num_jobs);
-    for i in 0..spec.num_jobs {
-        // Advance the arrival clock.
-        let rate_multiplier = match spec.arrivals {
-            ArrivalProcess::Poisson => 1.0,
-            ArrivalProcess::Bursty { burst_factor, .. } => {
-                if in_burst {
-                    burst_factor
-                } else {
-                    1.0 / burst_factor.max(1.0)
-                }
-            }
-        };
-        let gap = base_interarrival.sample(&mut rng) / rate_multiplier.max(1e-9);
-        time += gap;
-        if let ArrivalProcess::Bursty { burst_period, .. } = spec.arrivals {
-            state_left -= gap;
-            if state_left <= 0.0 {
-                in_burst = !in_burst;
-                state_left = burst_period;
-            }
-        }
-
-        // Pick a class template and draw the job's parameters.
-        let ci = class_choice.sample(&mut rng);
-        let template = &spec.classes[ci];
-        let work = work_dists[ci].sample(&mut rng).max(1.0);
-        let min_p = rng.gen_range(
-            template.elasticity.min_parallelism.0..=template.elasticity.min_parallelism.1,
-        );
-        let max_p = rng
-            .gen_range(
-                template.elasticity.max_parallelism.0..=template.elasticity.max_parallelism.1,
-            )
-            .max(min_p);
-        let malleable = rng.gen_bool(template.elasticity.malleable_probability.clamp(0.0, 1.0));
-
-        // Deadline: slack × best-case service time on the fastest class at the
-        // maximum parallelism the job supports.
-        let best_speed = cluster.best_speed_factor(template.class);
-        let best_case = work / (best_speed * template.speedup.speedup(max_p)).max(1e-9);
-        let slack = rng.gen_range(spec.deadlines.slack_min..=spec.deadlines.slack_max);
-        let deadline = time + slack * best_case;
-
-        let job = Job::builder(JobId(i as u64), template.class)
-            .arrival(time)
-            .total_work(work)
-            .demand_per_unit(template.demand_per_unit)
-            .parallelism_range(min_p, max_p)
-            .speedup(template.speedup)
-            .deadline(deadline)
-            .utility(TimeUtility::soft(
-                template.utility_value,
-                spec.deadlines.grace_fraction,
-            ))
-            .malleable(malleable)
-            .build();
-        jobs.push(job);
-    }
-    jobs
+    SyntheticSource::new(spec, cluster, seed)
+        .expect("invalid workload spec")
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tcrm_sim::JobClass;
+    use crate::spec::ArrivalProcess;
+    use tcrm_sim::{JobClass, JobId};
 
     fn cluster() -> ClusterSpec {
         ClusterSpec::icpp_default()
     }
 
+    fn jobs(spec: &WorkloadSpec, cluster: &ClusterSpec, seed: u64) -> Vec<Job> {
+        SyntheticSource::new(spec, cluster, seed)
+            .expect("valid spec")
+            .collect()
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn shim_is_byte_identical_to_the_streaming_source() {
+        for seed in [0, 1, 7, 99] {
+            let spec = WorkloadSpec::icpp_default().with_num_jobs(150);
+            assert_eq!(
+                generate(&spec, &cluster(), seed),
+                jobs(&spec, &cluster(), seed)
+            );
+            let bursty = spec.with_arrivals(ArrivalProcess::Bursty {
+                burst_factor: 5.0,
+                burst_period: 40.0,
+            });
+            assert_eq!(
+                generate(&bursty, &cluster(), seed),
+                jobs(&bursty, &cluster(), seed)
+            );
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    #[should_panic(expected = "invalid workload spec")]
+    fn shim_keeps_the_historical_panic_contract() {
+        let _ = generate(
+            &WorkloadSpec::icpp_default().with_num_jobs(0),
+            &cluster(),
+            1,
+        );
+    }
+
     #[test]
     fn generates_requested_count_with_dense_ids() {
         let spec = WorkloadSpec::icpp_default().with_num_jobs(200);
-        let jobs = generate(&spec, &cluster(), 1);
+        let jobs = jobs(&spec, &cluster(), 1);
         assert_eq!(jobs.len(), 200);
         for (i, j) in jobs.iter().enumerate() {
             assert_eq!(j.id, JobId(i as u64));
@@ -123,7 +93,7 @@ mod tests {
     #[test]
     fn arrivals_are_sorted_and_non_negative() {
         let spec = WorkloadSpec::icpp_default().with_num_jobs(300);
-        let jobs = generate(&spec, &cluster(), 2);
+        let jobs = jobs(&spec, &cluster(), 2);
         assert!(jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
         assert!(jobs.iter().all(|j| j.arrival >= 0.0));
     }
@@ -131,9 +101,9 @@ mod tests {
     #[test]
     fn deterministic_for_same_seed_and_different_otherwise() {
         let spec = WorkloadSpec::icpp_default().with_num_jobs(50);
-        let a = generate(&spec, &cluster(), 7);
-        let b = generate(&spec, &cluster(), 7);
-        let c = generate(&spec, &cluster(), 8);
+        let a = jobs(&spec, &cluster(), 7);
+        let b = jobs(&spec, &cluster(), 7);
+        let c = jobs(&spec, &cluster(), 8);
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -144,7 +114,7 @@ mod tests {
             .with_num_jobs(300)
             .with_slack(1.2, 3.0);
         let cl = cluster();
-        let jobs = generate(&spec, &cl, 3);
+        let jobs = jobs(&spec, &cl, 3);
         for j in &jobs {
             let best_speed = cl.best_speed_factor(j.class);
             let best_case = j.service_time(best_speed, j.max_parallelism);
@@ -157,14 +127,14 @@ mod tests {
 
     #[test]
     fn higher_load_compresses_arrivals() {
-        let low = generate(
+        let low = jobs(
             &WorkloadSpec::icpp_default()
                 .with_num_jobs(400)
                 .with_load(0.4),
             &cluster(),
             5,
         );
-        let high = generate(
+        let high = jobs(
             &WorkloadSpec::icpp_default()
                 .with_num_jobs(400)
                 .with_load(1.2),
@@ -182,7 +152,7 @@ mod tests {
     #[test]
     fn class_mix_roughly_matches_weights() {
         let spec = WorkloadSpec::icpp_default().with_num_jobs(4000);
-        let jobs = generate(&spec, &cluster(), 11);
+        let jobs = jobs(&spec, &cluster(), 11);
         let batch =
             jobs.iter().filter(|j| j.class == JobClass::Batch).count() as f64 / jobs.len() as f64;
         assert!((batch - 0.4).abs() < 0.05, "batch fraction = {batch}");
@@ -191,19 +161,19 @@ mod tests {
     #[test]
     fn rigid_spec_produces_rigid_jobs() {
         let spec = WorkloadSpec::icpp_default().with_num_jobs(100).all_rigid();
-        let jobs = generate(&spec, &cluster(), 13);
+        let jobs = jobs(&spec, &cluster(), 13);
         assert!(jobs.iter().all(|j| !j.malleable));
     }
 
     #[test]
     fn bursty_arrivals_have_higher_variance_of_gaps() {
         let n = 2000;
-        let poisson = generate(
+        let poisson = jobs(
             &WorkloadSpec::icpp_default().with_num_jobs(n),
             &cluster(),
             17,
         );
-        let bursty = generate(
+        let bursty = jobs(
             &WorkloadSpec::icpp_default()
                 .with_num_jobs(n)
                 .with_arrivals(ArrivalProcess::Bursty {

@@ -1,0 +1,1044 @@
+//! The scenario spec grammar and the open [`ScenarioRegistry`] — the
+//! workload-side mirror of `tcrm-bench`'s policy registry.
+//!
+//! # Spec-string grammar
+//!
+//! ```text
+//! scenario  := source ('+' transform)*
+//! source    := "poisson" [ "(" kv-args ")" ]        kv-args: load=<f>, jobs=<n>
+//!            | "bursty" "(" <f> "x" [, kv-args] ")" kv-args: load, jobs, period
+//!            | "replay" "(" <path> ")"
+//!            | "merge" "(" scenario "," scenario ")"
+//!            | <registered custom source name>
+//! transform := "scale" "(" <f> ")"                  -- scale offered load by f
+//!            | "burst" "(" <f> "x" [, "period=" <f>] ")"
+//!            | "tighten" "(" <f> ")"                -- multiply relative deadlines
+//!            | "filter" "(" <job class> ")"         -- batch | stream | ml-train | ml-infer
+//!            | "truncate" "(" <n> ")"               -- keep the first n jobs
+//! ```
+//!
+//! `"poisson(load=0.8)+burst(3x)"` is a Poisson stream at load 0.8 with
+//! injected 3× bursts; `"replay(traces/day1.json)+tighten(0.9)"` replays a
+//! recorded trace with every relative deadline multiplied by 0.9;
+//! `"merge(poisson,replay(t.json))"` interleaves two streams by arrival
+//! time. Splitting on `'+'` and `','` respects parenthesis depth, so merged
+//! branches may themselves carry transformers. [`ScenarioSpec`] round-trips:
+//! the canonical [`std::fmt::Display`] rendering re-parses to the same spec,
+//! and rendering a parsed canonical string reproduces it byte for byte
+//! (property-tested in `tests/scenario_spec.rs`).
+//!
+//! `poisson`/`bursty` leave unset knobs (`load=`, `jobs=`) to the **base
+//! workload spec** supplied at build time, which is how `EvalSession` points
+//! keep sweeping load while the scenario fixes the shape of the stream.
+
+use crate::error::WorkloadError;
+use crate::source::{split_seed, ReplaySource, SourceExt, SyntheticSource, WorkloadSource};
+use crate::spec::{ArrivalProcess, WorkloadSpec};
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+use tcrm_sim::{ClusterSpec, Job, JobClass};
+
+/// Default mean burst-window length (seconds) when `bursty(..)` or
+/// `burst(..)` omit `period=`.
+pub const DEFAULT_BURST_PERIOD: f64 = 60.0;
+
+/// Source grammar keywords that can never name a custom source.
+const RESERVED_SOURCES: [&str; 4] = ["poisson", "bursty", "replay", "merge"];
+
+/// The source half of a scenario spec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceSpec {
+    /// Synthetic Poisson arrivals from the base workload spec, optionally
+    /// overriding its offered load and job count.
+    Poisson {
+        /// Offered load override (`None` inherits the base spec).
+        load: Option<f64>,
+        /// Job-count override (`None` inherits the base spec).
+        jobs: Option<usize>,
+    },
+    /// Synthetic bursty (two-state Markov-modulated) arrivals.
+    Bursty {
+        /// Rate multiplier of the bursty state.
+        factor: f64,
+        /// Mean sojourn per state in seconds (`None` ⇒
+        /// [`DEFAULT_BURST_PERIOD`]).
+        period: Option<f64>,
+        /// Offered load override.
+        load: Option<f64>,
+        /// Job-count override.
+        jobs: Option<usize>,
+    },
+    /// Replay of a recorded trace file.
+    Replay {
+        /// Path of the trace JSON (no parentheses or commas).
+        path: String,
+    },
+    /// Interleave two sub-scenarios by arrival time.
+    Merge(Box<ScenarioSpec>, Box<ScenarioSpec>),
+    /// A custom source registered in a [`ScenarioRegistry`].
+    Named(String),
+}
+
+/// One transformer applied on top of a source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransformSpec {
+    /// Multiply the offered load by the factor (compress arrivals).
+    Scale(f64),
+    /// Inject periodic bursts of the given factor.
+    Burst {
+        /// Gap-compression factor inside burst windows.
+        factor: f64,
+        /// Mean window length (`None` ⇒ [`DEFAULT_BURST_PERIOD`]).
+        period: Option<f64>,
+    },
+    /// Multiply relative deadlines by the factor.
+    Tighten(f64),
+    /// Keep only one job class.
+    Filter(JobClass),
+    /// Keep only the first `n` jobs.
+    Truncate(usize),
+}
+
+/// A parsed scenario: a source plus a stack of transformers, applied left to
+/// right. The [`fmt::Display`] rendering is the canonical spec string and
+/// the label used for the scenario axis in result tables and checkpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    source: SourceSpec,
+    transforms: Vec<TransformSpec>,
+}
+
+impl ScenarioSpec {
+    /// A bare source with no transformers.
+    pub fn source(source: SourceSpec) -> Self {
+        ScenarioSpec {
+            source,
+            transforms: Vec::new(),
+        }
+    }
+
+    /// Stack one more transformer on top.
+    pub fn with_transform(mut self, transform: TransformSpec) -> Self {
+        self.transforms.push(transform);
+        self
+    }
+
+    /// The source half.
+    pub fn source_spec(&self) -> &SourceSpec {
+        &self.source
+    }
+
+    /// The transformer stack, innermost first.
+    pub fn transforms(&self) -> &[TransformSpec] {
+        &self.transforms
+    }
+
+    /// The canonical spec string — the scenario id in result tables.
+    pub fn id(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for SourceSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceSpec::Poisson { load, jobs } => {
+                write!(f, "poisson")?;
+                match (load, jobs) {
+                    (None, None) => Ok(()),
+                    (Some(l), None) => write!(f, "(load={l})"),
+                    (None, Some(n)) => write!(f, "(jobs={n})"),
+                    (Some(l), Some(n)) => write!(f, "(load={l},jobs={n})"),
+                }
+            }
+            SourceSpec::Bursty {
+                factor,
+                period,
+                load,
+                jobs,
+            } => {
+                write!(f, "bursty({factor}x")?;
+                if let Some(l) = load {
+                    write!(f, ",load={l}")?;
+                }
+                if let Some(n) = jobs {
+                    write!(f, ",jobs={n}")?;
+                }
+                if let Some(p) = period {
+                    write!(f, ",period={p}")?;
+                }
+                write!(f, ")")
+            }
+            SourceSpec::Replay { path } => write!(f, "replay({path})"),
+            SourceSpec::Merge(a, b) => write!(f, "merge({a},{b})"),
+            SourceSpec::Named(name) => write!(f, "{name}"),
+        }
+    }
+}
+
+impl fmt::Display for TransformSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformSpec::Scale(factor) => write!(f, "scale({factor})"),
+            TransformSpec::Burst { factor, period } => {
+                write!(f, "burst({factor}x")?;
+                if let Some(p) = period {
+                    write!(f, ",period={p}")?;
+                }
+                write!(f, ")")
+            }
+            TransformSpec::Tighten(factor) => write!(f, "tighten({factor})"),
+            TransformSpec::Filter(class) => write!(f, "filter({})", class.label()),
+            TransformSpec::Truncate(n) => write!(f, "truncate({n})"),
+        }
+    }
+}
+
+impl fmt::Display for ScenarioSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.source)?;
+        for transform in &self.transforms {
+            write!(f, "+{transform}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Split `s` on `sep`, honouring parenthesis depth (separators inside
+/// parentheses do not split). Returns `None` when parentheses are
+/// unbalanced.
+fn split_depth_aware(s: &str, sep: char) -> Option<Vec<&str>> {
+    let mut parts = Vec::new();
+    let mut depth: i32 = 0;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth < 0 {
+                    return None;
+                }
+            }
+            c if c == sep && depth == 0 => {
+                parts.push(&s[start..i]);
+                start = i + c.len_utf8();
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return None;
+    }
+    parts.push(&s[start..]);
+    Some(parts)
+}
+
+/// `"name(args)"` → `Some(("name", "args"))`; `"name"` → `None`. The
+/// closing parenthesis must be the final character.
+fn split_call(segment: &str) -> Option<(&str, &str)> {
+    let open = segment.find('(')?;
+    let rest = &segment[open + 1..];
+    let args = rest.strip_suffix(')')?;
+    Some((&segment[..open], args))
+}
+
+struct Parser<'a> {
+    spec: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, segment: &str, reason: impl Into<String>) -> WorkloadError {
+        WorkloadError::InvalidScenario {
+            spec: self.spec.to_string(),
+            segment: segment.to_string(),
+            reason: reason.into(),
+        }
+    }
+
+    fn positive_f64(&self, segment: &str, text: &str, what: &str) -> Result<f64, WorkloadError> {
+        let value: f64 = text
+            .parse()
+            .map_err(|_| self.err(segment, format!("{what} is not a number")))?;
+        if !value.is_finite() || value <= 0.0 {
+            return Err(self.err(segment, format!("{what} must be finite and positive")));
+        }
+        Ok(value)
+    }
+
+    fn positive_usize(
+        &self,
+        segment: &str,
+        text: &str,
+        what: &str,
+    ) -> Result<usize, WorkloadError> {
+        let value: usize = text
+            .parse()
+            .map_err(|_| self.err(segment, format!("{what} is not a positive integer")))?;
+        if value == 0 {
+            return Err(self.err(segment, format!("{what} must be at least 1")));
+        }
+        Ok(value)
+    }
+
+    /// `"3x"` → 3.0.
+    fn burst_factor(&self, segment: &str, text: &str) -> Result<f64, WorkloadError> {
+        let Some(number) = text.strip_suffix('x') else {
+            return Err(self.err(
+                segment,
+                "the burst factor must be written '<factor>x' (e.g. '3x')",
+            ));
+        };
+        let factor = self.positive_f64(segment, number, "the burst factor")?;
+        if factor < 1.0 {
+            return Err(self.err(segment, "the burst factor must be >= 1"));
+        }
+        Ok(factor)
+    }
+
+    fn parse(&self) -> Result<ScenarioSpec, WorkloadError> {
+        let Some(segments) = split_depth_aware(self.spec, '+') else {
+            return Err(self.err(self.spec, "unbalanced parentheses"));
+        };
+        let mut segments = segments.into_iter();
+        let head = segments.next().unwrap_or_default();
+        if head.is_empty() {
+            return Err(self.err(head, "the source segment is empty"));
+        }
+        let source = self.parse_source(head)?;
+        let mut transforms = Vec::new();
+        for segment in segments {
+            transforms.push(self.parse_transform(segment)?);
+        }
+        Ok(ScenarioSpec { source, transforms })
+    }
+
+    fn parse_source(&self, segment: &str) -> Result<SourceSpec, WorkloadError> {
+        if let Some((name, args)) = split_call(segment) {
+            return match name {
+                "poisson" => {
+                    let (load, jobs, period) = self.kv_args(segment, args, false)?;
+                    if period.is_some() {
+                        return Err(self.err(segment, "poisson does not take 'period='"));
+                    }
+                    Ok(SourceSpec::Poisson { load, jobs })
+                }
+                "bursty" => {
+                    let Some(parts) = split_depth_aware(args, ',') else {
+                        return Err(self.err(segment, "unbalanced parentheses"));
+                    };
+                    let factor = self.burst_factor(segment, parts[0])?;
+                    let rest = parts[1..].join(",");
+                    let (load, jobs, period) = self.kv_args(segment, &rest, true)?;
+                    Ok(SourceSpec::Bursty {
+                        factor,
+                        period,
+                        load,
+                        jobs,
+                    })
+                }
+                "replay" => {
+                    if args.is_empty() {
+                        return Err(self.err(segment, "replay needs a trace path"));
+                    }
+                    if args.contains(['(', ')', ',']) {
+                        return Err(self.err(
+                            segment,
+                            "the trace path must not contain parentheses or commas",
+                        ));
+                    }
+                    Ok(SourceSpec::Replay {
+                        path: args.to_string(),
+                    })
+                }
+                "merge" => {
+                    let Some(parts) = split_depth_aware(args, ',') else {
+                        return Err(self.err(segment, "unbalanced parentheses"));
+                    };
+                    if parts.len() != 2 {
+                        return Err(self.err(
+                            segment,
+                            format!("merge takes exactly two scenarios, got {}", parts.len()),
+                        ));
+                    }
+                    let left = parts[0].parse::<ScenarioSpec>()?;
+                    let right = parts[1].parse::<ScenarioSpec>()?;
+                    Ok(SourceSpec::Merge(Box::new(left), Box::new(right)))
+                }
+                _ => Err(self.err(
+                    segment,
+                    "unknown source (expected poisson, bursty(<f>x), replay(<path>), \
+                     merge(<a>,<b>) or a registered name)",
+                )),
+            };
+        }
+        if segment == "poisson" {
+            return Ok(SourceSpec::Poisson {
+                load: None,
+                jobs: None,
+            });
+        }
+        if RESERVED_SOURCES.contains(&segment) {
+            return Err(self.err(segment, "this source requires arguments"));
+        }
+        if segment.contains([')', ','])
+            || segment.chars().any(char::is_whitespace)
+            || segment.is_empty()
+        {
+            return Err(self.err(segment, "not a valid source name"));
+        }
+        Ok(SourceSpec::Named(segment.to_string()))
+    }
+
+    /// Parse `key=value` argument lists for poisson/bursty. Returns
+    /// `(load, jobs, period)`.
+    #[allow(clippy::type_complexity)]
+    fn kv_args(
+        &self,
+        segment: &str,
+        args: &str,
+        allow_period: bool,
+    ) -> Result<(Option<f64>, Option<usize>, Option<f64>), WorkloadError> {
+        let mut load = None;
+        let mut jobs = None;
+        let mut period = None;
+        if args.is_empty() {
+            return Ok((load, jobs, period));
+        }
+        for part in args.split(',') {
+            let Some((key, value)) = part.split_once('=') else {
+                return Err(self.err(segment, format!("argument '{part}' must be 'key=value'")));
+            };
+            let duplicate = |name: &str| self.err(segment, format!("duplicate '{name}='"));
+            match key {
+                "load" => {
+                    if load
+                        .replace(self.positive_f64(segment, value, "the load")?)
+                        .is_some()
+                    {
+                        return Err(duplicate("load"));
+                    }
+                }
+                "jobs" => {
+                    if jobs
+                        .replace(self.positive_usize(segment, value, "the job count")?)
+                        .is_some()
+                    {
+                        return Err(duplicate("jobs"));
+                    }
+                }
+                "period" if allow_period => {
+                    if period
+                        .replace(self.positive_f64(segment, value, "the period")?)
+                        .is_some()
+                    {
+                        return Err(duplicate("period"));
+                    }
+                }
+                other => {
+                    return Err(self.err(segment, format!("unknown argument '{other}='")));
+                }
+            }
+        }
+        Ok((load, jobs, period))
+    }
+
+    fn parse_transform(&self, segment: &str) -> Result<TransformSpec, WorkloadError> {
+        let Some((name, args)) = split_call(segment) else {
+            if segment.is_empty() {
+                return Err(self.err(
+                    segment,
+                    "empty transformer segment (doubled or trailing '+')",
+                ));
+            }
+            return Err(self.err(
+                segment,
+                "unknown transformer (expected scale(<f>), burst(<f>x), tighten(<f>), \
+                 filter(<class>) or truncate(<n>))",
+            ));
+        };
+        match name {
+            "scale" => Ok(TransformSpec::Scale(self.positive_f64(
+                segment,
+                args,
+                "the scale factor",
+            )?)),
+            "burst" => {
+                let Some(parts) = split_depth_aware(args, ',') else {
+                    return Err(self.err(segment, "unbalanced parentheses"));
+                };
+                let factor = self.burst_factor(segment, parts[0])?;
+                let mut period = None;
+                for part in &parts[1..] {
+                    let Some(value) = part.strip_prefix("period=") else {
+                        return Err(self.err(
+                            segment,
+                            format!(
+                                "unknown burst argument '{part}' (expected 'period=<seconds>')"
+                            ),
+                        ));
+                    };
+                    if period
+                        .replace(self.positive_f64(segment, value, "the period")?)
+                        .is_some()
+                    {
+                        return Err(self.err(segment, "duplicate 'period='"));
+                    }
+                }
+                Ok(TransformSpec::Burst { factor, period })
+            }
+            "tighten" => Ok(TransformSpec::Tighten(self.positive_f64(
+                segment,
+                args,
+                "the tighten factor",
+            )?)),
+            "filter" => {
+                let class = JobClass::ALL
+                    .iter()
+                    .find(|c| c.label() == args)
+                    .copied()
+                    .ok_or_else(|| {
+                        self.err(
+                            segment,
+                            format!(
+                                "unknown job class '{args}' (expected one of: {})",
+                                JobClass::ALL.map(|c| c.label()).join(", ")
+                            ),
+                        )
+                    })?;
+                Ok(TransformSpec::Filter(class))
+            }
+            "truncate" => Ok(TransformSpec::Truncate(self.positive_usize(
+                segment,
+                args,
+                "the truncate count",
+            )?)),
+            _ => Err(self.err(
+                segment,
+                "unknown transformer (expected scale(<f>), burst(<f>x), tighten(<f>), \
+                 filter(<class>) or truncate(<n>))",
+            )),
+        }
+    }
+}
+
+impl FromStr for ScenarioSpec {
+    type Err = WorkloadError;
+
+    fn from_str(s: &str) -> Result<Self, WorkloadError> {
+        Parser { spec: s }.parse()
+    }
+}
+
+/// A named constructor of custom [`WorkloadSource`]s, registered in a
+/// [`ScenarioRegistry`] and addressed by bare name in scenario specs.
+pub trait ScenarioFactory: Send + Sync {
+    /// The registered source name (subject to the grammar: no `+`,
+    /// parentheses, commas, whitespace or reserved words).
+    fn name(&self) -> &str;
+
+    /// Build a fresh source for one evaluation context.
+    ///
+    /// `ctx.seed` is only the *initial* seed: evaluation harnesses build a
+    /// source once per worker and re-arm it across replications with
+    /// [`WorkloadSource::reset`], so the returned source must derive **all**
+    /// of its seed-dependence through `reset` — a build whose success or
+    /// stream shape depends on the specific seed value (beyond what `reset`
+    /// re-derives) will misbehave across seeds.
+    fn build(&self, ctx: &ScenarioContext<'_>) -> Result<Box<dyn WorkloadSource>, WorkloadError>;
+}
+
+/// Everything a [`ScenarioFactory`] may parameterise a source with.
+pub struct ScenarioContext<'a> {
+    /// The base workload spec of the evaluation point (synthetic sources
+    /// inherit its class mix, load and job count unless overridden).
+    pub base: &'a WorkloadSpec,
+    /// The cluster the workload will run on.
+    pub cluster: &'a ClusterSpec,
+    /// The replication seed.
+    pub seed: u64,
+}
+
+struct FnScenarioFactory<F> {
+    name: String,
+    build: F,
+}
+
+impl<F> ScenarioFactory for FnScenarioFactory<F>
+where
+    F: Fn(&ScenarioContext<'_>) -> Result<Box<dyn WorkloadSource>, WorkloadError> + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(&self, ctx: &ScenarioContext<'_>) -> Result<Box<dyn WorkloadSource>, WorkloadError> {
+        (self.build)(ctx)
+    }
+}
+
+/// The open registry of workload scenarios, mirroring the policy registry:
+/// the built-in grammar sources (`poisson`, `bursty`, `replay`, `merge`) are
+/// always available, custom sources register under bare names, and every
+/// spec resolves to a streaming, resettable [`WorkloadSource`] with dense
+/// job ids.
+///
+/// ```
+/// use tcrm_sim::ClusterSpec;
+/// use tcrm_workload::{ScenarioRegistry, WorkloadSpec};
+///
+/// let registry = ScenarioRegistry::new();
+/// let spec = registry.parse("poisson(load=0.8,jobs=30)+burst(3x)").unwrap();
+/// assert_eq!(spec.to_string(), "poisson(load=0.8,jobs=30)+burst(3x)");
+/// let base = WorkloadSpec::icpp_default();
+/// let mut source = registry
+///     .build(&spec, &base, &ClusterSpec::icpp_default(), 7)
+///     .unwrap();
+/// let jobs: Vec<_> = source.by_ref().collect();
+/// assert_eq!(jobs.len(), 30);
+/// assert!(jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+/// ```
+#[derive(Default)]
+pub struct ScenarioRegistry {
+    factories: Vec<Box<dyn ScenarioFactory>>,
+    index: HashMap<String, usize>,
+    /// Replay traces parsed once per path and shared across every build
+    /// (evaluation sweeps build one source per worker per scenario; without
+    /// the cache each of those would re-read and re-parse the trace file).
+    /// Trace files are assumed immutable for the registry's lifetime —
+    /// re-record to a fresh path, or use a fresh registry, to pick up new
+    /// contents.
+    traces: std::sync::Mutex<HashMap<String, Arc<Vec<Job>>>>,
+}
+
+impl ScenarioRegistry {
+    /// A registry with only the built-in grammar sources.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a custom source factory. Fails on duplicate or
+    /// grammar-violating names.
+    pub fn register(
+        &mut self,
+        factory: impl ScenarioFactory + 'static,
+    ) -> Result<(), WorkloadError> {
+        let name = factory.name().to_string();
+        if name.is_empty()
+            || name.contains(['+', '(', ')', ','])
+            || name.chars().any(char::is_whitespace)
+            || RESERVED_SOURCES.contains(&name.as_str())
+        {
+            return Err(WorkloadError::InvalidScenarioName(name));
+        }
+        if self.index.contains_key(&name) {
+            return Err(WorkloadError::DuplicateScenario(name));
+        }
+        self.index.insert(name, self.factories.len());
+        self.factories.push(Box::new(factory));
+        Ok(())
+    }
+
+    /// Register a closure-backed factory.
+    pub fn register_fn<F>(&mut self, name: impl Into<String>, build: F) -> Result<(), WorkloadError>
+    where
+        F: Fn(&ScenarioContext<'_>) -> Result<Box<dyn WorkloadSource>, WorkloadError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.register(FnScenarioFactory {
+            name: name.into(),
+            build,
+        })
+    }
+
+    /// Every registered custom source name, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.factories.iter().map(|f| f.name()).collect()
+    }
+
+    /// True when `name` is registered as a custom source.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index.contains_key(name)
+    }
+
+    /// Parse a spec string and validate every named source against the
+    /// registry.
+    pub fn parse(&self, spec: &str) -> Result<ScenarioSpec, WorkloadError> {
+        let parsed: ScenarioSpec = spec.parse()?;
+        self.validate(&parsed)?;
+        Ok(parsed)
+    }
+
+    /// Validate that every named source of `spec` is registered.
+    pub fn validate(&self, spec: &ScenarioSpec) -> Result<(), WorkloadError> {
+        match spec.source_spec() {
+            SourceSpec::Named(name) if !self.contains(name) => {
+                Err(WorkloadError::UnknownScenario {
+                    requested: name.clone(),
+                    registered: self.names().iter().map(|n| n.to_string()).collect(),
+                })
+            }
+            SourceSpec::Merge(a, b) => {
+                self.validate(a)?;
+                self.validate(b)
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Resolve a spec into a streaming source: build the source family,
+    /// stack the transformers, and renumber job ids densely in emission
+    /// order (restoring uniqueness after `filter`/`merge`). The returned
+    /// source is resettable: `reset(seed)` re-derives the whole stack.
+    pub fn build(
+        &self,
+        spec: &ScenarioSpec,
+        base: &WorkloadSpec,
+        cluster: &ClusterSpec,
+        seed: u64,
+    ) -> Result<Box<dyn WorkloadSource>, WorkloadError> {
+        Ok(Box::new(
+            self.build_inner(spec, base, cluster, seed)?.renumber(),
+        ))
+    }
+
+    /// Parse and build in one step.
+    pub fn build_str(
+        &self,
+        spec: &str,
+        base: &WorkloadSpec,
+        cluster: &ClusterSpec,
+        seed: u64,
+    ) -> Result<Box<dyn WorkloadSource>, WorkloadError> {
+        let spec = self.parse(spec)?;
+        self.build(&spec, base, cluster, seed)
+    }
+
+    fn build_inner(
+        &self,
+        spec: &ScenarioSpec,
+        base: &WorkloadSpec,
+        cluster: &ClusterSpec,
+        seed: u64,
+    ) -> Result<Box<dyn WorkloadSource>, WorkloadError> {
+        let mut source: Box<dyn WorkloadSource> = match spec.source_spec() {
+            SourceSpec::Poisson { load, jobs } => {
+                let mut workload = base.clone();
+                workload.arrivals = ArrivalProcess::Poisson;
+                if let Some(load) = load {
+                    workload.load = *load;
+                }
+                if let Some(jobs) = jobs {
+                    workload.num_jobs = *jobs;
+                }
+                Box::new(SyntheticSource::new(&workload, cluster, seed)?)
+            }
+            SourceSpec::Bursty {
+                factor,
+                period,
+                load,
+                jobs,
+            } => {
+                let mut workload = base.clone();
+                workload.arrivals = ArrivalProcess::Bursty {
+                    burst_factor: *factor,
+                    burst_period: period.unwrap_or(DEFAULT_BURST_PERIOD),
+                };
+                if let Some(load) = load {
+                    workload.load = *load;
+                }
+                if let Some(jobs) = jobs {
+                    workload.num_jobs = *jobs;
+                }
+                Box::new(SyntheticSource::new(&workload, cluster, seed)?)
+            }
+            SourceSpec::Replay { path } => {
+                let cached = self
+                    .traces
+                    .lock()
+                    .expect("trace cache poisoned")
+                    .get(path)
+                    .cloned();
+                let jobs = match cached {
+                    Some(jobs) => jobs,
+                    None => {
+                        let jobs = ReplaySource::load(path)?.shared_jobs();
+                        self.traces
+                            .lock()
+                            .expect("trace cache poisoned")
+                            .insert(path.clone(), Arc::clone(&jobs));
+                        jobs
+                    }
+                };
+                Box::new(ReplaySource::from_shared(jobs))
+            }
+            SourceSpec::Merge(a, b) => {
+                let left = self.build_inner(a, base, cluster, seed)?;
+                let right = self.build_inner(b, base, cluster, split_seed(seed))?;
+                Box::new(left.merge(right))
+            }
+            SourceSpec::Named(name) => {
+                let index =
+                    *self
+                        .index
+                        .get(name)
+                        .ok_or_else(|| WorkloadError::UnknownScenario {
+                            requested: name.clone(),
+                            registered: self.names().iter().map(|n| n.to_string()).collect(),
+                        })?;
+                self.factories[index].build(&ScenarioContext {
+                    base,
+                    cluster,
+                    seed,
+                })?
+            }
+        };
+        for transform in spec.transforms() {
+            source = match transform {
+                TransformSpec::Scale(factor) => Box::new(source.scale_load(*factor)),
+                TransformSpec::Burst { factor, period } => {
+                    Box::new(source.inject_burst(*factor, period.unwrap_or(DEFAULT_BURST_PERIOD)))
+                }
+                TransformSpec::Tighten(factor) => Box::new(source.tighten_deadlines(*factor)),
+                TransformSpec::Filter(class) => Box::new(source.filter_class(*class)),
+                TransformSpec::Truncate(n) => Box::new(source.truncate(*n)),
+            };
+        }
+        Ok(source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SyntheticSource;
+
+    fn build_jobs(spec: &str, seed: u64) -> Vec<Job> {
+        let registry = ScenarioRegistry::new();
+        let base = WorkloadSpec::icpp_default().with_num_jobs(40);
+        let mut source = registry
+            .build_str(spec, &base, &ClusterSpec::icpp_default(), seed)
+            .unwrap();
+        source.by_ref().collect()
+    }
+
+    #[test]
+    fn canonical_specs_round_trip() {
+        for spec in [
+            "poisson",
+            "poisson(load=0.8)",
+            "poisson(jobs=50)",
+            "poisson(load=0.8,jobs=50)",
+            "bursty(3x)",
+            "bursty(3x,load=0.9,jobs=100,period=45)",
+            "replay(traces/day1.json)",
+            "poisson(load=0.8)+burst(3x)",
+            "replay(t.json)+tighten(0.9)",
+            "poisson+scale(1.5)+filter(ml-train)+truncate(25)",
+            "merge(poisson(load=0.4),replay(t.json))",
+            "merge(poisson+burst(2x),bursty(4x))+truncate(80)",
+            "poisson+burst(2.5x,period=120)+tighten(0.75)",
+        ] {
+            let parsed: ScenarioSpec = spec.parse().unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(parsed.to_string(), spec, "canonical string must re-render");
+            let reparsed: ScenarioSpec = parsed.to_string().parse().unwrap();
+            assert_eq!(reparsed, parsed, "render-then-parse must round-trip");
+        }
+    }
+
+    #[test]
+    fn invalid_specs_name_the_offending_segment() {
+        for (spec, expect_segment) in [
+            ("", ""),
+            ("+burst(3x)", ""),
+            ("poisson+", ""),
+            ("poisson++burst(3x)", ""),
+            ("poisson(load=0)", "poisson(load=0)"),
+            ("poisson(load=abc)", "poisson(load=abc)"),
+            ("poisson(period=9)", "poisson(period=9)"),
+            ("poisson(load=1,load=2)", "poisson(load=1,load=2)"),
+            ("bursty(3)", "bursty(3)"),
+            ("bursty(0.5x)", "bursty(0.5x)"),
+            ("replay()", "replay()"),
+            ("merge(poisson)", "merge(poisson)"),
+            (
+                "merge(poisson,poisson,poisson)",
+                "merge(poisson,poisson,poisson)",
+            ),
+            ("poisson+burst(3x", "poisson+burst(3x"),
+            ("poisson+warp(9)", "warp(9)"),
+            ("poisson+filter(gpu)", "filter(gpu)"),
+            ("poisson+truncate(0)", "truncate(0)"),
+            ("poisson+rigid", "rigid"),
+            ("bursty", "bursty"),
+        ] {
+            let parsed: Result<ScenarioSpec, _> = spec.parse();
+            let Err(err) = parsed else {
+                panic!("'{spec}' must fail to parse");
+            };
+            match &err {
+                WorkloadError::InvalidScenario { segment, .. } => {
+                    assert_eq!(
+                        segment, expect_segment,
+                        "'{spec}' should blame '{expect_segment}', got {err}"
+                    );
+                }
+                other => panic!("'{spec}': unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_inherits_and_overrides_the_base_spec() {
+        let registry = ScenarioRegistry::new();
+        let base = WorkloadSpec::icpp_default()
+            .with_num_jobs(40)
+            .with_load(0.7);
+        let cluster = ClusterSpec::icpp_default();
+
+        // Bare poisson == the base spec run through SyntheticSource.
+        let mut bare = registry.build_str("poisson", &base, &cluster, 3).unwrap();
+        let expect: Vec<Job> = SyntheticSource::new(&base, &cluster, 3).unwrap().collect();
+        assert_eq!(bare.by_ref().collect::<Vec<_>>(), expect);
+
+        // Overrides replace load and job count.
+        let mut small = registry
+            .build_str("poisson(load=1.4,jobs=10)", &base, &cluster, 3)
+            .unwrap();
+        let jobs: Vec<Job> = small.by_ref().collect();
+        assert_eq!(jobs.len(), 10);
+        let expect_hot: Vec<Job> =
+            SyntheticSource::new(&base.clone().with_load(1.4).with_num_jobs(10), &cluster, 3)
+                .unwrap()
+                .collect();
+        assert_eq!(jobs, expect_hot);
+    }
+
+    #[test]
+    fn built_sources_reset_reproducibly() {
+        for spec in [
+            "poisson",
+            "bursty(3x)",
+            "poisson+burst(2x)+tighten(0.8)",
+            "merge(poisson(jobs=15),poisson(jobs=15))",
+        ] {
+            let registry = ScenarioRegistry::new();
+            let base = WorkloadSpec::icpp_default().with_num_jobs(30);
+            let cluster = ClusterSpec::icpp_default();
+            let mut source = registry.build_str(spec, &base, &cluster, 11).unwrap();
+            let first: Vec<Job> = source.by_ref().collect();
+            assert!(!first.is_empty(), "{spec}");
+            source.reset(11);
+            assert_eq!(source.by_ref().collect::<Vec<_>>(), first, "{spec}");
+            source.reset(12);
+            assert_ne!(source.by_ref().collect::<Vec<_>>(), first, "{spec}");
+        }
+    }
+
+    #[test]
+    fn built_sources_have_dense_ids_and_sorted_arrivals() {
+        for spec in [
+            "poisson+filter(batch)",
+            "merge(poisson(jobs=20),bursty(2x,jobs=20))",
+            "poisson+truncate(7)",
+        ] {
+            let jobs = build_jobs(spec, 5);
+            assert!(!jobs.is_empty(), "{spec}");
+            assert!(
+                jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+                "{spec}: arrivals must be sorted"
+            );
+            for (i, job) in jobs.iter().enumerate() {
+                assert_eq!(job.id.0, i as u64, "{spec}: ids must be dense");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_named_sources_fail_with_the_menu() {
+        let mut registry = ScenarioRegistry::new();
+        registry
+            .register_fn("steady", |ctx| {
+                Ok(Box::new(SyntheticSource::new(
+                    ctx.base,
+                    ctx.cluster,
+                    ctx.seed,
+                )?))
+            })
+            .unwrap();
+        assert!(registry.parse("steady+truncate(5)").is_ok());
+        let err = registry.parse("stead").unwrap_err();
+        match err {
+            WorkloadError::UnknownScenario {
+                requested,
+                registered,
+            } => {
+                assert_eq!(requested, "stead");
+                assert_eq!(registered, vec!["steady".to_string()]);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Unknown names inside merge branches are caught too.
+        assert!(registry.parse("merge(steady,missing)").is_err());
+    }
+
+    #[test]
+    fn registration_rejects_reserved_and_malformed_names() {
+        let mut registry = ScenarioRegistry::new();
+        let reject = |registry: &mut ScenarioRegistry, name: &str| {
+            let err = registry
+                .register_fn(name.to_string(), |_| {
+                    Err(WorkloadError::InvalidWorkload("never built".into()))
+                })
+                .unwrap_err();
+            assert!(
+                matches!(err, WorkloadError::InvalidScenarioName(_)),
+                "'{name}' must be rejected, got {err:?}"
+            );
+        };
+        for name in [
+            "",
+            "poisson",
+            "merge",
+            "my+source",
+            "has space",
+            "a,b",
+            "x(y)",
+        ] {
+            reject(&mut registry, name);
+        }
+        registry
+            .register_fn("mine", |_| {
+                Err(WorkloadError::InvalidWorkload("never built".into()))
+            })
+            .unwrap();
+        let dup = registry
+            .register_fn("mine", |_| {
+                Err(WorkloadError::InvalidWorkload("never built".into()))
+            })
+            .unwrap_err();
+        assert!(matches!(dup, WorkloadError::DuplicateScenario(_)));
+    }
+
+    #[test]
+    fn replay_build_surfaces_io_errors() {
+        let registry = ScenarioRegistry::new();
+        let base = WorkloadSpec::tiny();
+        let Err(err) = registry.build_str(
+            "replay(/no/such/trace.json)",
+            &base,
+            &ClusterSpec::tiny(),
+            1,
+        ) else {
+            panic!("missing trace file must fail to build");
+        };
+        match err {
+            WorkloadError::TraceIo { path, .. } => assert!(path.contains("no/such")),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

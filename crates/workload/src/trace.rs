@@ -36,12 +36,19 @@ impl Trace {
         serde_json::from_str(json)
     }
 
-    /// Write to a file.
+    /// Write to a file atomically: the JSON is written to a temporary file
+    /// in the same directory and renamed over the target, so a crashed run
+    /// can never leave a truncated trace that [`Trace::load`] rejects.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
         let json = self
             .to_json()
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        fs::write(path, json)
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        fs::write(&tmp, json)?;
+        fs::rename(&tmp, path)
     }
 
     /// Read from a file.
@@ -64,13 +71,19 @@ impl Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generator::generate;
-    use tcrm_sim::ClusterSpec;
+    use crate::source::SyntheticSource;
+    use tcrm_sim::{ClusterSpec, Job};
+
+    fn jobs(spec: &WorkloadSpec, cluster: &ClusterSpec, seed: u64) -> Vec<Job> {
+        SyntheticSource::new(spec, cluster, seed)
+            .expect("valid spec")
+            .collect()
+    }
 
     #[test]
     fn json_roundtrip_preserves_jobs() {
         let spec = WorkloadSpec::tiny();
-        let jobs = generate(&spec, &ClusterSpec::tiny(), 3);
+        let jobs = jobs(&spec, &ClusterSpec::tiny(), 3);
         let trace = Trace::new(spec, 3, jobs);
         let json = trace.to_json().unwrap();
         let back = Trace::from_json(&json).unwrap();
@@ -82,7 +95,7 @@ mod tests {
     #[test]
     fn file_roundtrip() {
         let spec = WorkloadSpec::tiny().with_num_jobs(5);
-        let jobs = generate(&spec, &ClusterSpec::tiny(), 9);
+        let jobs = jobs(&spec, &ClusterSpec::tiny(), 9);
         let trace = Trace::new(spec, 9, jobs);
         let dir = std::env::temp_dir().join("tcrm-workload-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -90,6 +103,44 @@ mod tests {
         trace.save(&path).unwrap();
         let back = Trace::load(&path).unwrap();
         assert_eq!(trace, back);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn save_replaces_an_existing_trace_atomically() {
+        // Overwriting a trace goes through the temp-file-and-rename path: the
+        // previous file is replaced wholesale, never truncated in place, and
+        // no temporary file is left behind.
+        let dir = std::env::temp_dir().join("tcrm-workload-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let small = Trace::new(
+            WorkloadSpec::tiny().with_num_jobs(2),
+            1,
+            jobs(
+                &WorkloadSpec::tiny().with_num_jobs(2),
+                &ClusterSpec::tiny(),
+                1,
+            ),
+        );
+        let big = Trace::new(
+            WorkloadSpec::tiny().with_num_jobs(15),
+            2,
+            jobs(
+                &WorkloadSpec::tiny().with_num_jobs(15),
+                &ClusterSpec::tiny(),
+                2,
+            ),
+        );
+        big.save(&path).unwrap();
+        small.save(&path).unwrap();
+        assert_eq!(Trace::load(&path).unwrap(), small);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp file must be renamed away");
         let _ = std::fs::remove_file(&path);
     }
 

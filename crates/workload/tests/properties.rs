@@ -1,9 +1,18 @@
-//! Property-based tests of the workload generator: structural validity,
-//! determinism, and the statistical knobs (load, slack, class mix).
+//! Property-based tests of the workload sources: structural validity,
+//! determinism and resettability of streams, the statistical knobs (load,
+//! slack, class mix), transformer laws, and trace round-trips.
 
 use proptest::prelude::*;
-use tcrm_sim::ClusterSpec;
-use tcrm_workload::{generate, ArrivalProcess, Trace, WorkloadSpec};
+use tcrm_sim::{ClusterSpec, Job};
+use tcrm_workload::{
+    ArrivalProcess, ReplaySource, SourceExt, SyntheticSource, Trace, WorkloadSource, WorkloadSpec,
+};
+
+fn stream(spec: &WorkloadSpec, cluster: &ClusterSpec, seed: u64) -> Vec<Job> {
+    SyntheticSource::new(spec, cluster, seed)
+        .expect("valid spec")
+        .collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -16,7 +25,7 @@ proptest! {
     ) {
         let cluster = ClusterSpec::icpp_default();
         let spec = WorkloadSpec::icpp_default().with_num_jobs(num_jobs).with_load(load);
-        let jobs = generate(&spec, &cluster, seed);
+        let jobs = stream(&spec, &cluster, seed);
         prop_assert_eq!(jobs.len(), num_jobs);
         for (i, job) in jobs.iter().enumerate() {
             prop_assert!(job.validate().is_ok());
@@ -29,10 +38,17 @@ proptest! {
     }
 
     #[test]
-    fn generation_is_a_pure_function_of_spec_and_seed(seed in 0u64..1000) {
+    fn a_reset_source_is_a_pure_function_of_the_seed(seed in 0u64..1000) {
         let cluster = ClusterSpec::icpp_default();
         let spec = WorkloadSpec::icpp_default().with_num_jobs(40);
-        prop_assert_eq!(generate(&spec, &cluster, seed), generate(&spec, &cluster, seed));
+        let mut source = SyntheticSource::new(&spec, &cluster, seed).unwrap();
+        let first: Vec<Job> = source.by_ref().collect();
+        // Exhausted; reset rewinds and reproduces.
+        prop_assert!(source.next().is_none());
+        source.reset(seed);
+        prop_assert_eq!(source.by_ref().collect::<Vec<_>>(), first.clone());
+        // And a fresh source with the same seed yields the same stream.
+        prop_assert_eq!(stream(&spec, &cluster, seed), first);
     }
 
     #[test]
@@ -45,7 +61,7 @@ proptest! {
         let spec = WorkloadSpec::icpp_default()
             .with_num_jobs(60)
             .with_slack(slack_min, slack_min + extra);
-        let jobs = generate(&spec, &cluster, seed);
+        let jobs = stream(&spec, &cluster, seed);
         for job in &jobs {
             let best_speed = cluster.best_speed_factor(job.class);
             let best_case = job.service_time(best_speed, job.max_parallelism);
@@ -59,12 +75,12 @@ proptest! {
     #[test]
     fn higher_load_never_stretches_the_arrival_span(seed in 0u64..200) {
         let cluster = ClusterSpec::icpp_default();
-        let lo = generate(
+        let lo = stream(
             &WorkloadSpec::icpp_default().with_num_jobs(200).with_load(0.4),
             &cluster,
             seed,
         );
-        let hi = generate(
+        let hi = stream(
             &WorkloadSpec::icpp_default().with_num_jobs(200).with_load(1.2),
             &cluster,
             seed,
@@ -76,17 +92,31 @@ proptest! {
     fn rigid_spec_produces_only_rigid_jobs(seed in 0u64..200) {
         let cluster = ClusterSpec::icpp_default();
         let spec = WorkloadSpec::icpp_default().with_num_jobs(50).all_rigid();
-        prop_assert!(generate(&spec, &cluster, seed).iter().all(|j| !j.malleable));
+        prop_assert!(stream(&spec, &cluster, seed).iter().all(|j| !j.malleable));
     }
 
     #[test]
     fn traces_roundtrip_through_json(seed in 0u64..100, n in 1usize..30) {
         let cluster = ClusterSpec::tiny();
         let spec = WorkloadSpec::tiny().with_num_jobs(n);
-        let jobs = generate(&spec, &cluster, seed);
+        let jobs = stream(&spec, &cluster, seed);
         let trace = Trace::new(spec, seed, jobs);
         let back = Trace::from_json(&trace.to_json().unwrap()).unwrap();
         prop_assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn replay_of_a_trace_reproduces_it_for_any_seed(
+        seed in 0u64..200,
+        replay_seed in 0u64..200,
+        n in 1usize..40,
+    ) {
+        let cluster = ClusterSpec::tiny();
+        let spec = WorkloadSpec::tiny().with_num_jobs(n);
+        let jobs = stream(&spec, &cluster, seed);
+        let mut replay = ReplaySource::from_trace(Trace::new(spec, seed, jobs.clone()));
+        replay.reset(replay_seed);
+        prop_assert_eq!(replay.by_ref().collect::<Vec<_>>(), jobs);
     }
 
     #[test]
@@ -98,8 +128,37 @@ proptest! {
                 burst_factor: factor,
                 burst_period: 60.0,
             });
-        let jobs = generate(&spec, &cluster, seed);
+        let jobs = stream(&spec, &cluster, seed);
         prop_assert_eq!(jobs.len(), 120);
         prop_assert!(jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn transformers_preserve_validity_order_and_reset_determinism(
+        seed in 0u64..200,
+        scale in 0.5f64..4.0,
+        tighten in 0.3f64..1.5,
+        burst in 1.5f64..6.0,
+        keep in 1usize..40,
+    ) {
+        let cluster = ClusterSpec::icpp_default();
+        let spec = WorkloadSpec::icpp_default().with_num_jobs(80);
+        let mut source = SyntheticSource::new(&spec, &cluster, seed)
+            .unwrap()
+            .scale_load(scale)
+            .inject_burst(burst, 45.0)
+            .tighten_deadlines(tighten)
+            .truncate(keep)
+            .renumber();
+        let jobs: Vec<Job> = source.by_ref().collect();
+        prop_assert_eq!(jobs.len(), keep.min(80));
+        prop_assert!(jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        for (i, job) in jobs.iter().enumerate() {
+            prop_assert!(job.validate().is_ok(), "{:?}", job.validate());
+            prop_assert_eq!(job.id.0, i as u64);
+        }
+        // The whole transformer stack re-derives from the seed.
+        source.reset(seed);
+        prop_assert_eq!(source.by_ref().collect::<Vec<_>>(), jobs);
     }
 }

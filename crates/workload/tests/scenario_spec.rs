@@ -1,0 +1,147 @@
+//! Property tests of the scenario spec grammar: randomly built ASTs render
+//! to canonical strings that re-parse to the same AST (and re-render byte
+//! for byte), and corrupted segments are rejected with an error naming the
+//! exact offending segment.
+
+use proptest::prelude::*;
+use tcrm_sim::JobClass;
+use tcrm_workload::{ScenarioSpec, SourceSpec, TransformSpec, WorkloadError};
+
+/// Deterministically derive one source AST from sampled primitives.
+#[allow(clippy::too_many_arguments)]
+fn source_from(
+    kind: usize,
+    opts: usize,
+    load: f64,
+    jobs: usize,
+    factor: f64,
+    period: f64,
+    path_pick: usize,
+) -> SourceSpec {
+    let load = (opts & 1 != 0).then_some(load);
+    let jobs = (opts & 2 != 0).then_some(jobs);
+    let period = (opts & 4 != 0).then_some(period);
+    let paths = ["t.json", "traces/day1.json", "results/replay-7.json"];
+    match kind {
+        0 => SourceSpec::Poisson { load, jobs },
+        1 => SourceSpec::Bursty {
+            factor,
+            period,
+            load,
+            jobs,
+        },
+        _ => SourceSpec::Replay {
+            path: paths[path_pick % paths.len()].to_string(),
+        },
+    }
+}
+
+/// Deterministically derive one transformer AST from sampled primitives.
+fn transform_from(
+    kind: usize,
+    opts: usize,
+    factor: f64,
+    count: usize,
+    period: f64,
+) -> TransformSpec {
+    match kind {
+        0 => TransformSpec::Scale(factor),
+        1 => TransformSpec::Burst {
+            // The grammar requires burst factors >= 1.
+            factor: factor.max(1.0),
+            period: (opts & 1 != 0).then_some(period),
+        },
+        2 => TransformSpec::Tighten(factor),
+        3 => TransformSpec::Filter(JobClass::ALL[count % JobClass::ALL.len()]),
+        _ => TransformSpec::Truncate(count.max(1)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_scenario_asts_round_trip_canonically(
+        source_kind in 0usize..3,
+        source_opts in 0usize..8,
+        load in 0.05f64..5.0,
+        jobs in 1usize..5000,
+        factor in 1.0f64..16.0,
+        period in 0.5f64..500.0,
+        path_pick in 0usize..3,
+        merged in 0usize..2,
+        transforms in prop::collection::vec(
+            (0usize..5, 0usize..2, 0.05f64..16.0, 1usize..400, 0.5f64..500.0),
+            0..4,
+        ),
+    ) {
+        let base = source_from(source_kind, source_opts, load, jobs, factor, period, path_pick);
+        // Half the time, wrap two sources in a merge (the nested-grammar
+        // case: '+' and ',' inside parentheses must not confuse parsing).
+        let source = if merged == 1 {
+            let left = ScenarioSpec::source(base.clone())
+                .with_transform(TransformSpec::Tighten(factor));
+            let right = ScenarioSpec::source(source_from(
+                (source_kind + 1) % 3,
+                source_opts ^ 7,
+                load,
+                jobs,
+                factor,
+                period,
+                path_pick,
+            ));
+            SourceSpec::Merge(Box::new(left), Box::new(right))
+        } else {
+            base
+        };
+        let mut spec = ScenarioSpec::source(source);
+        for (kind, opts, factor, count, period) in transforms {
+            spec = spec.with_transform(transform_from(kind, opts, factor, count, period));
+        }
+
+        // AST -> string -> AST is the identity…
+        let rendered = spec.to_string();
+        let reparsed: ScenarioSpec = rendered
+            .parse()
+            .unwrap_or_else(|e| panic!("'{rendered}' failed to re-parse: {e}"));
+        prop_assert_eq!(&reparsed, &spec, "parse(render(ast)) must reproduce the ast");
+
+        // …and the rendering is canonical: re-rendering the re-parse is
+        // byte-identical.
+        prop_assert_eq!(reparsed.to_string(), rendered);
+    }
+
+    #[test]
+    fn corrupted_segments_are_named_in_the_error(
+        factor in 1.0f64..9.0,
+        position in 0usize..3,
+        bad_pick in 0usize..6,
+    ) {
+        // Splice one broken transformer into an otherwise valid chain and
+        // check the error blames exactly that segment.
+        let bad = [
+            "warp(2)",
+            "scale()",
+            "scale(-1)",
+            "burst(3)",
+            "filter(gpu)",
+            "truncate(0)",
+        ][bad_pick];
+        let good = [
+            format!("scale({factor})"),
+            format!("tighten({factor})"),
+            "truncate(50)".to_string(),
+        ];
+        let mut segments: Vec<String> = good.to_vec();
+        segments.insert(position.min(segments.len()), bad.to_string());
+        let spec = format!("poisson+{}", segments.join("+"));
+        let parsed: Result<ScenarioSpec, _> = spec.parse();
+        match parsed {
+            Err(WorkloadError::InvalidScenario { segment, spec: in_spec, .. }) => {
+                prop_assert_eq!(&segment, bad, "'{}' must blame '{}'", &spec, bad);
+                prop_assert_eq!(&in_spec, &spec);
+            }
+            other => prop_assert!(false, "'{}' must fail on '{}', got {:?}", spec, bad, other),
+        }
+    }
+}

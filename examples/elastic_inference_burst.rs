@@ -13,7 +13,7 @@
 
 use tcrm::baselines::{EdfScheduler, GreedyElasticScheduler, RigidAdapter};
 use tcrm::sim::{ClusterSpec, Scheduler, SimConfig, Simulator};
-use tcrm::workload::{generate, ArrivalProcess, WorkloadSpec};
+use tcrm::workload::{ArrivalProcess, SyntheticSource, WorkloadSpec};
 
 fn scenario_workload() -> WorkloadSpec {
     let mut spec = WorkloadSpec::icpp_default();
@@ -38,7 +38,9 @@ fn scenario_workload() -> WorkloadSpec {
 
 fn run(name: &str, scheduler: &mut dyn Scheduler) {
     let cluster = ClusterSpec::icpp_default();
-    let jobs = generate(&scenario_workload(), &cluster, 7);
+    let jobs = SyntheticSource::new(&scenario_workload(), &cluster, 7)
+        .expect("valid workload spec")
+        .collect();
     let result = Simulator::new(cluster, SimConfig::default()).run(jobs, scheduler);
     let s = &result.summary;
     println!(

@@ -11,7 +11,7 @@ use tcrm::baselines::{
     EasyBackfillScheduler, EdfScheduler, FifoScheduler, GreedyElasticScheduler, TetrisScheduler,
 };
 use tcrm::sim::{ClusterSpec, EnergyReport, Scheduler, SimConfig, Simulator, Summary};
-use tcrm::workload::{generate, WorkloadSpec};
+use tcrm::workload::{SyntheticSource, WorkloadSpec};
 
 fn run(
     name: &str,
@@ -22,7 +22,9 @@ fn run(
     let workload = WorkloadSpec::icpp_default()
         .with_num_jobs(250)
         .with_load(0.9);
-    let jobs = generate(&workload, cluster, seed);
+    let jobs = SyntheticSource::new(&workload, cluster, seed)
+        .expect("valid workload spec")
+        .collect();
     let result = Simulator::new(cluster.clone(), SimConfig::default()).run(jobs, scheduler);
     let energy = result
         .trace

@@ -8,7 +8,7 @@
 
 use tcrm::baselines::{all_baseline_names, by_name};
 use tcrm::sim::{ClusterSpec, SimConfig, Simulator, Summary};
-use tcrm::workload::{generate, ArrivalProcess, WorkloadSpec};
+use tcrm::workload::{ArrivalProcess, SyntheticSource, WorkloadSpec};
 
 struct Row {
     name: &'static str,
@@ -41,7 +41,9 @@ fn main() {
         // Average the headline metrics over a few seeds per scheduler.
         let mut summaries = Vec::new();
         for &seed in &seeds {
-            let jobs = generate(&workload, &cluster, seed);
+            let jobs = SyntheticSource::new(&workload, &cluster, seed)
+                .expect("valid workload spec")
+                .collect();
             let mut scheduler = by_name(name, seed).expect("known baseline");
             let result =
                 Simulator::new(cluster.clone(), SimConfig::default()).run(jobs, &mut *scheduler);

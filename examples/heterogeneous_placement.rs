@@ -13,7 +13,7 @@
 
 use tcrm::baselines::{EdfScheduler, LeastLoadedScheduler, TetrisScheduler};
 use tcrm::sim::{ClusterSpec, JobClass, Scheduler, SimConfig, Simulator};
-use tcrm::workload::{generate, WorkloadSpec};
+use tcrm::workload::{SyntheticSource, WorkloadSpec};
 
 fn ml_heavy_workload() -> WorkloadSpec {
     let mut spec = WorkloadSpec::icpp_default();
@@ -29,7 +29,9 @@ fn ml_heavy_workload() -> WorkloadSpec {
 }
 
 fn run(name: &str, scheduler: &mut dyn Scheduler, cluster: &ClusterSpec) {
-    let jobs = generate(&ml_heavy_workload(), cluster, 11);
+    let jobs = SyntheticSource::new(&ml_heavy_workload(), cluster, 11)
+        .expect("valid workload spec")
+        .collect();
     let result = Simulator::new(cluster.clone(), SimConfig::default()).run(jobs, scheduler);
     let s = &result.summary;
     println!(

@@ -10,13 +10,15 @@ use tcrm::baselines::{EdfScheduler, FifoScheduler};
 use tcrm::core::{ActionSpace, AgentConfig, DrlScheduler, StateEncoder};
 use tcrm::rl::CategoricalPolicy;
 use tcrm::sim::{ClusterSpec, Scheduler, SimConfig, Simulator, Summary};
-use tcrm::workload::{generate, WorkloadSpec};
+use tcrm::workload::{SyntheticSource, WorkloadSpec};
 
 fn run(name: &str, scheduler: &mut dyn Scheduler, cluster: &ClusterSpec) -> Summary {
     let workload = WorkloadSpec::icpp_default()
         .with_num_jobs(200)
         .with_load(0.9);
-    let jobs = generate(&workload, cluster, 42);
+    let jobs = SyntheticSource::new(&workload, cluster, 42)
+        .expect("valid workload spec")
+        .collect();
     let result = Simulator::new(cluster.clone(), SimConfig::default()).run(jobs, scheduler);
     println!(
         "{name:<12} miss rate {:>5.1}%   mean slowdown {:>5.2}   utility ratio {:>4.2}   utilisation {:>4.2}",

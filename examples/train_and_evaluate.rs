@@ -10,11 +10,13 @@
 use tcrm::baselines::{EdfScheduler, GreedyElasticScheduler};
 use tcrm::core::{train_agent, TrainSetup};
 use tcrm::sim::{Scheduler, SimConfig, Simulator, Summary};
-use tcrm::workload::generate;
+use tcrm::workload::SyntheticSource;
 
 fn evaluate(name: &str, scheduler: &mut dyn Scheduler, setup: &TrainSetup, seed: u64) -> Summary {
     let workload = setup.workload.clone().with_num_jobs(300).with_load(1.0);
-    let jobs = generate(&workload, &setup.cluster, seed);
+    let jobs = SyntheticSource::new(&workload, &setup.cluster, seed)
+        .expect("valid workload spec")
+        .collect();
     let result = Simulator::new(setup.cluster.clone(), SimConfig::default()).run(jobs, scheduler);
     println!(
         "  {name:<16} miss {:>5.1}%   slowdown {:>5.2}   utility {:>4.2}",

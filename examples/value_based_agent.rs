@@ -11,7 +11,7 @@
 //! cargo run --release --example value_based_agent
 //! ```
 
-use tcrm::core::{AgentConfig, SchedulingEnv, WorkloadSource};
+use tcrm::core::{AgentConfig, EpisodeSource, SchedulingEnv};
 use tcrm::rl::{DqnAgent, DqnConfig, Environment};
 use tcrm::sim::{ClusterSpec, SimConfig};
 use tcrm::workload::WorkloadSpec;
@@ -33,7 +33,7 @@ fn main() {
         cluster.clone(),
         SimConfig::default(),
         &agent_config,
-        WorkloadSource::Generated {
+        EpisodeSource::Generated {
             spec: workload,
             jobs_per_episode: 25,
         },

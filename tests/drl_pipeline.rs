@@ -4,7 +4,7 @@
 use tcrm::baselines::RandomScheduler;
 use tcrm::core::{train_agent, LearnerKind, TrainSetup};
 use tcrm::sim::{SimConfig, Simulator};
-use tcrm::workload::generate;
+use tcrm::workload::SyntheticSource;
 
 #[test]
 fn smoke_training_runs_and_reports_finite_statistics() {
@@ -28,11 +28,13 @@ fn trained_agent_schedules_unseen_workloads_without_forfeiting_jobs() {
     let outcome = train_agent(&setup);
     let mut agent = outcome.agent;
     for seed in [500u64, 501] {
-        let jobs = generate(
+        let jobs: Vec<_> = SyntheticSource::new(
             &setup.workload.clone().with_num_jobs(25),
             &setup.cluster,
             seed,
-        );
+        )
+        .expect("valid workload spec")
+        .collect();
         let result =
             Simulator::new(setup.cluster.clone(), SimConfig::default()).run(jobs, &mut agent);
         assert_eq!(result.summary.total_jobs, 25);
@@ -58,7 +60,9 @@ fn trained_agent_is_competitive_with_the_random_baseline() {
     let seeds = [900u64, 901, 902];
     for &seed in &seeds {
         let workload = setup.workload.clone().with_num_jobs(30);
-        let jobs = generate(&workload, &setup.cluster, seed);
+        let jobs: Vec<_> = SyntheticSource::new(&workload, &setup.cluster, seed)
+            .expect("valid workload spec")
+            .collect();
         let drl = Simulator::new(setup.cluster.clone(), SimConfig::default())
             .run(jobs.clone(), &mut agent);
         let mut random = RandomScheduler::new(seed);
@@ -87,11 +91,13 @@ fn checkpoints_round_trip_through_disk() {
     let mut restored = tcrm::core::DrlScheduler::load(&path).unwrap();
     let mut original = outcome.agent;
 
-    let jobs = generate(
+    let jobs: Vec<_> = SyntheticSource::new(
         &setup.workload.clone().with_num_jobs(15),
         &setup.cluster,
         77,
-    );
+    )
+    .expect("valid workload spec")
+    .collect();
     let a = Simulator::new(setup.cluster.clone(), SimConfig::default())
         .run(jobs.clone(), &mut original);
     let b = Simulator::new(setup.cluster.clone(), SimConfig::default()).run(jobs, &mut restored);

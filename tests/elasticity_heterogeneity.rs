@@ -3,7 +3,7 @@
 
 use tcrm::baselines::{EdfScheduler, GreedyElasticScheduler, LeastLoadedScheduler, RigidAdapter};
 use tcrm::sim::{ClusterSpec, JobClass, Scheduler, SimConfig, Simulator, Summary};
-use tcrm::workload::{generate, WorkloadSpec};
+use tcrm::workload::{SyntheticSource, WorkloadSpec};
 
 fn run(
     scheduler: &mut dyn Scheduler,
@@ -11,7 +11,9 @@ fn run(
     workload: &WorkloadSpec,
     seed: u64,
 ) -> Summary {
-    let jobs = generate(workload, cluster, seed);
+    let jobs = SyntheticSource::new(workload, cluster, seed)
+        .expect("valid workload spec")
+        .collect();
     Simulator::new(cluster.clone(), SimConfig::default())
         .run(jobs, scheduler)
         .summary
@@ -59,7 +61,9 @@ fn elastic_scheduling_beats_rigid_on_tight_deadlines() {
 fn elastic_jobs_run_at_higher_average_parallelism_when_deadlines_are_tight() {
     let cluster = ClusterSpec::icpp_default();
     let workload = tight_elastic_workload();
-    let jobs = generate(&workload, &cluster, 5);
+    let jobs: Vec<_> = SyntheticSource::new(&workload, &cluster, 5)
+        .expect("valid workload spec")
+        .collect();
     let elastic = Simulator::new(cluster.clone(), SimConfig::default())
         .run(jobs.clone(), &mut GreedyElasticScheduler::new());
     let rigid = Simulator::new(cluster, SimConfig::default())

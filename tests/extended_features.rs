@@ -4,17 +4,19 @@
 //! on the real scheduling environment.
 
 use tcrm::baselines::{by_name, EXTENDED_BASELINE_NAMES};
-use tcrm::core::{AgentConfig, SchedulingEnv, WorkloadSource};
+use tcrm::core::{AgentConfig, EpisodeSource, SchedulingEnv};
 use tcrm::rl::{DqnAgent, DqnConfig, Environment};
 use tcrm::sim::{ClusterSpec, SimConfig, SimulationResult, Simulator};
-use tcrm::workload::{generate, WorkloadSpec};
+use tcrm::workload::{SyntheticSource, WorkloadSpec};
 
 fn run_baseline(name: &str, load: f64, seed: u64, jobs: usize) -> SimulationResult {
     let cluster = ClusterSpec::icpp_default();
     let workload = WorkloadSpec::icpp_default()
         .with_num_jobs(jobs)
         .with_load(load);
-    let job_list = generate(&workload, &cluster, seed);
+    let job_list = SyntheticSource::new(&workload, &cluster, seed)
+        .expect("valid workload spec")
+        .collect();
     let mut scheduler = by_name(name, seed).expect("baseline exists");
     Simulator::new(cluster, SimConfig::default()).run(job_list, &mut scheduler)
 }
@@ -170,7 +172,7 @@ fn dqn_agent_trains_on_the_scheduling_environment() {
         cluster,
         SimConfig::default(),
         &agent_config,
-        WorkloadSource::Generated {
+        EpisodeSource::Generated {
             spec: workload,
             jobs_per_episode: 8,
         },

@@ -10,7 +10,7 @@ use tcrm::sim::{
     Action, ClusterSpec, Job, JobClass, JobId, NodeClassId, ResourceVector, SimConfig, Simulator,
     SpeedupModel, TimeUtility,
 };
-use tcrm::workload::{generate, WorkloadSpec};
+use tcrm::workload::{SyntheticSource, WorkloadSpec};
 
 /// Strategy: a structurally valid random job.
 fn arb_job(id: u64) -> impl Strategy<Value = Job> {
@@ -92,7 +92,9 @@ proptest! {
     fn random_action_streams_never_violate_capacity(seed in 0u64..500) {
         let cluster = ClusterSpec::icpp_default();
         let workload = WorkloadSpec::icpp_default().with_num_jobs(20).with_load(1.2);
-        let jobs = generate(&workload, &cluster, seed);
+        let jobs = SyntheticSource::new(&workload, &cluster, seed)
+        .expect("valid workload spec")
+        .collect();
         let mut sim = Simulator::new(cluster, SimConfig::default());
         sim.start(jobs);
         let mut rng = StdRng::seed_from_u64(seed);
@@ -145,7 +147,9 @@ proptest! {
     fn generated_workloads_are_structurally_valid(seed in 0u64..1000, load in 0.2f64..1.5, jobs in 5usize..80) {
         let cluster = ClusterSpec::icpp_default();
         let spec = WorkloadSpec::icpp_default().with_num_jobs(jobs).with_load(load);
-        let generated = generate(&spec, &cluster, seed);
+        let generated: Vec<_> = SyntheticSource::new(&spec, &cluster, seed)
+        .expect("valid workload spec")
+        .collect();
         prop_assert_eq!(generated.len(), jobs);
         for (i, job) in generated.iter().enumerate() {
             prop_assert!(job.validate().is_ok());

@@ -4,14 +4,16 @@
 
 use tcrm::baselines::{by_name, BASELINE_NAMES};
 use tcrm::sim::{ClusterSpec, SimConfig, Simulator, Summary};
-use tcrm::workload::{generate, WorkloadSpec};
+use tcrm::workload::{SyntheticSource, WorkloadSpec};
 
 fn run_baseline(name: &str, load: f64, seed: u64) -> Summary {
     let cluster = ClusterSpec::icpp_default();
     let workload = WorkloadSpec::icpp_default()
         .with_num_jobs(150)
         .with_load(load);
-    let jobs = generate(&workload, &cluster, seed);
+    let jobs = SyntheticSource::new(&workload, &cluster, seed)
+        .expect("valid workload spec")
+        .collect();
     let mut scheduler = by_name(name, seed).expect("baseline exists");
     Simulator::new(cluster, SimConfig::default())
         .run(jobs, &mut scheduler)
