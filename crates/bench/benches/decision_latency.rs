@@ -54,6 +54,14 @@ fn untrained_agent(num_classes: usize) -> DrlScheduler {
 }
 
 fn bench_decisions(c: &mut Criterion) {
+    // The DRL decision is dominated by the policy forward pass, so these
+    // numbers depend on the nn kernel backend: record which one ran (force
+    // with TCRM_KERNEL=scalar|simd when comparing snapshots).
+    eprintln!(
+        "decision_latency: nn kernel backend = {} (accelerated: {})",
+        tcrm_nn::Backend::active().name(),
+        tcrm_nn::Backend::active().is_accelerated()
+    );
     let mut group = c.benchmark_group("decision_latency");
     group.sample_size(20);
     group.measurement_time(Duration::from_secs(2));
@@ -76,7 +84,15 @@ fn bench_decisions(c: &mut Criterion) {
         );
         let mut drl = untrained_agent(view.num_classes());
         group.bench_with_input(BenchmarkId::new("drl", nodes), &view, |b, view| {
-            b.iter(|| drl.decide(view).len())
+            // Advance the clock every call: the agent bounds actions per
+            // decision epoch, so repeated decides at a frozen view.time
+            // degenerate to the epoch-limit early-out (~20 ns) instead of
+            // the policy forward this bench exists to measure.
+            let mut epoch_view = view.clone();
+            b.iter(|| {
+                epoch_view.time += 1e-3;
+                drl.decide(&epoch_view).len()
+            })
         });
     }
     group.finish();

@@ -10,7 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
-use tcrm_nn::{Activation, Matrix, Mlp, MlpConfig, Workspace};
+use tcrm_nn::{kernels, Activation, Backend, Matrix, Mlp, MlpConfig, Workspace};
 
 /// The seed repo's forward pass, preserved for comparison: fresh buffers at
 /// every layer and the `a == 0.0` skip that defeats autovectorization.
@@ -43,7 +43,81 @@ mod naive {
     }
 }
 
+/// Scalar vs SIMD, kernel by kernel, at the policy network's hot shapes.
+/// The dispatched `Mlp` paths in the `nn_forward` group below run on
+/// whichever backend `TCRM_KERNEL`/detection selected (reported on stderr);
+/// this group pits the two implementations against each other explicitly.
+fn bench_kernel_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_kernels");
+    group.sample_size(30);
+    group.measurement_time(Duration::from_secs(2));
+
+    // Batched agent shape: 64×256 · 256×128 (the first, dominant layer).
+    let a = Matrix::from_vec(
+        64,
+        256,
+        (0..64 * 256)
+            .map(|i| ((i % 23) as f32 - 11.0) / 11.0)
+            .collect(),
+    );
+    let b = Matrix::from_vec(
+        256,
+        128,
+        (0..256 * 128)
+            .map(|i| ((i % 17) as f32 - 8.0) / 8.0)
+            .collect(),
+    );
+    // Single-decision shape: 1×256 · 256×128.
+    let row = Matrix::from_vec(1, 256, (0..256).map(|i| (i as f32 * 0.07).cos()).collect());
+    let mut out = Matrix::default();
+    for backend in [Backend::Scalar, Backend::Simd] {
+        group.bench_function(format!("matmul_64x256x128_{}", backend.name()), |bench| {
+            bench.iter(|| {
+                a.matmul_into_with(backend, &b, &mut out);
+                out.get(0, 0)
+            })
+        });
+        group.bench_function(format!("matmul_1x256x128_{}", backend.name()), |bench| {
+            bench.iter(|| {
+                row.matmul_into_with(backend, &b, &mut out);
+                out.get(0, 0)
+            })
+        });
+    }
+
+    // tanh over a hidden-layer-sized buffer: std library vs fast_tanh on
+    // each backend.
+    let src: Vec<f32> = (0..64 * 128)
+        .map(|i| ((i % 37) as f32 - 18.0) / 6.0)
+        .collect();
+    let mut buf = src.clone();
+    group.bench_function("tanh_8192_std", |bench| {
+        bench.iter(|| {
+            buf.copy_from_slice(&src);
+            for v in buf.iter_mut() {
+                *v = v.tanh();
+            }
+            buf[0]
+        })
+    });
+    for backend in [Backend::Scalar, Backend::Simd] {
+        group.bench_function(format!("tanh_8192_{}", backend.name()), |bench| {
+            bench.iter(|| {
+                buf.copy_from_slice(&src);
+                kernels::tanh_inplace(backend, &mut buf);
+                buf[0]
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_nn(c: &mut Criterion) {
+    eprintln!(
+        "nn_forward: active kernel backend = {} (accelerated: {})",
+        Backend::active().name(),
+        Backend::active().is_accelerated()
+    );
     let mut group = c.benchmark_group("nn_forward");
     group.sample_size(30);
     group.measurement_time(Duration::from_secs(2));
@@ -97,5 +171,5 @@ fn bench_nn(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_nn);
+criterion_group!(benches, bench_nn, bench_kernel_backends);
 criterion_main!(benches);

@@ -1,5 +1,13 @@
 //! Activation functions used by the policy/value networks.
+//!
+//! `Tanh` runs on [`kernels::fast_tanh`] (absolute error ≤ 2e-6 vs the true
+//! `tanh`, see the [`kernels`] module docs), vectorized
+//! 8-wide on the SIMD backend. The backward paths never re-evaluate the
+//! activation: [`Activation::backprop_from_act_into`] derives the gradient
+//! from the *cached forward activation* (`1 - a²` for tanh), which the
+//! dense layers cache during `forward_train`.
 
+use crate::kernels::{self, fast_tanh_deriv, Backend};
 use crate::matrix::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -8,7 +16,7 @@ use serde::{Deserialize, Serialize};
 pub enum Activation {
     /// Rectified linear unit.
     Relu,
-    /// Hyperbolic tangent.
+    /// Hyperbolic tangent (fast approximation, abs error ≤ 2e-6).
     Tanh,
     /// Identity (used by output layers that emit raw logits or values).
     Identity,
@@ -17,18 +25,19 @@ pub enum Activation {
 impl Activation {
     /// Apply the activation element-wise.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        match self {
-            Activation::Relu => x.map(|v| v.max(0.0)),
-            Activation::Tanh => x.map(|v| v.tanh()),
-            Activation::Identity => x.clone(),
-        }
+        // Clone-then-inplace so the allocating wrapper runs the exact same
+        // backend code path (and produces bit-identical results) as the
+        // in-place hot path.
+        let mut out = x.clone();
+        self.forward_inplace(&mut out);
+        out
     }
 
     /// Apply the activation element-wise, in place (allocation-free).
     pub fn forward_inplace(&self, x: &mut Matrix) {
         match self {
             Activation::Relu => x.map_inplace(|v| v.max(0.0)),
-            Activation::Tanh => x.map_inplace(|v| v.tanh()),
+            Activation::Tanh => kernels::tanh_inplace(Backend::active(), x.data_mut()),
             Activation::Identity => {}
         }
     }
@@ -42,20 +51,23 @@ impl Activation {
 
     /// Derivative of the activation with respect to its *pre-activation*
     /// input, evaluated element-wise at `pre`.
+    ///
+    /// The hot backward path uses [`Self::backprop_from_act_into`] instead,
+    /// which reads the cached forward activation and never re-evaluates the
+    /// activation function.
     pub fn derivative(&self, pre: &Matrix) -> Matrix {
         match self {
             Activation::Relu => pre.map(|v| if v > 0.0 { 1.0 } else { 0.0 }),
-            Activation::Tanh => pre.map(|v| {
-                let t = v.tanh();
-                1.0 - t * t
-            }),
+            Activation::Tanh => pre.map(fast_tanh_deriv),
             Activation::Identity => pre.map(|_| 1.0),
         }
     }
 
-    /// Fused backprop kernel: `grad_pre = grad_output ⊙ act'(pre)` computed
-    /// into a caller-provided buffer without materialising the derivative
-    /// matrix (allocation-free once `grad_pre` has capacity).
+    /// Fused backprop kernel from the **pre-activation**:
+    /// `grad_pre = grad_output ⊙ act'(pre)` computed into a caller-provided
+    /// buffer (allocation-free once `grad_pre` has capacity). Re-evaluates
+    /// the activation; prefer [`Self::backprop_from_act_into`] when the
+    /// forward activation is cached.
     pub fn backprop_into(&self, pre: &Matrix, grad_output: &Matrix, grad_pre: &mut Matrix) {
         grad_pre.copy_from(grad_output);
         match self {
@@ -63,10 +75,32 @@ impl Activation {
                 grad_pre.zip_assign(pre, |g, p| if p > 0.0 { g } else { 0.0 });
             }
             Activation::Tanh => {
-                grad_pre.zip_assign(pre, |g, p| {
-                    let t = p.tanh();
-                    g * (1.0 - t * t)
-                });
+                grad_pre.zip_assign(pre, |g, p| g * fast_tanh_deriv(p));
+            }
+            Activation::Identity => {}
+        }
+    }
+
+    /// Fused backprop kernel from the **cached forward activation** `act`
+    /// (`act = forward(pre)`): `grad_pre = grad_output ⊙ act'` where the
+    /// derivative is recovered from the activation value itself — `1 - a²`
+    /// for tanh, `a > 0` for ReLU — so the backward pass performs **zero
+    /// activation evaluations** (the fix for the double-`tanh` in
+    /// forward/backward; pinned by `tests/properties.rs`).
+    pub fn backprop_from_act_into(
+        &self,
+        act: &Matrix,
+        grad_output: &Matrix,
+        grad_pre: &mut Matrix,
+    ) {
+        grad_pre.copy_from(grad_output);
+        match self {
+            Activation::Relu => {
+                // act = max(pre, 0), so act > 0 ⇔ pre > 0.
+                grad_pre.zip_assign(act, |g, a| if a > 0.0 { g } else { 0.0 });
+            }
+            Activation::Tanh => {
+                grad_pre.zip_assign(act, |g, a| g * (1.0 - a * a));
             }
             Activation::Identity => {}
         }
@@ -98,10 +132,42 @@ mod tests {
     }
 
     #[test]
+    fn tanh_matches_std_tanh_closely() {
+        for i in -40..=40 {
+            let v = i as f32 / 8.0;
+            let x = Matrix::from_rows(&[&[v]]);
+            let fast = Activation::Tanh.forward(&x).get(0, 0);
+            assert!(
+                (f64::from(fast) - f64::from(v).tanh()).abs() <= 2e-6,
+                "fast_tanh({v}) = {fast}"
+            );
+        }
+    }
+
+    #[test]
     fn identity_is_a_no_op() {
         let x = Matrix::from_rows(&[&[1.5, -2.5]]);
         assert_eq!(Activation::Identity.forward(&x), x);
         assert_eq!(Activation::Identity.derivative(&x).row(0), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn backprop_from_act_matches_backprop_from_pre() {
+        // The cached-activation backward must agree with the recomputing
+        // one for every activation (the double-tanh fix must not change
+        // gradients).
+        let pre = Matrix::from_rows(&[&[-2.0, -0.3, 0.0, 0.4, 1.7], &[0.9, -1.1, 3.0, -0.01, 0.2]]);
+        let grad_out = pre.map(|v| 0.5 - v * 0.25);
+        for act in [Activation::Relu, Activation::Tanh, Activation::Identity] {
+            let fwd = act.forward(&pre);
+            let mut from_pre = Matrix::default();
+            act.backprop_into(&pre, &grad_out, &mut from_pre);
+            let mut from_act = Matrix::default();
+            act.backprop_from_act_into(&fwd, &grad_out, &mut from_act);
+            for (a, b) in from_pre.data().iter().zip(from_act.data().iter()) {
+                assert!((a - b).abs() < 1e-5, "{act:?}: {a} vs {b}");
+            }
+        }
     }
 
     #[test]

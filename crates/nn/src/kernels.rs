@@ -1,0 +1,883 @@
+//! Runtime-dispatched compute kernels behind [`Matrix`](crate::Matrix) and
+//! [`Activation`](crate::Activation).
+//!
+//! Two backends implement the three matmul kernels and the vectorized
+//! `tanh`:
+//!
+//! * [`Backend::Scalar`] — the portable register-blocked kernels (4-row
+//!   blocks, 16-column tiles, ILP-friendly dot products). Works everywhere
+//!   and is the reference the differential test harness
+//!   (`tests/backend_diff.rs`) pins the vector backend against.
+//! * [`Backend::Simd`] — an 8-wide f32 microkernel using AVX2+FMA
+//!   intrinsics on `x86_64`. `matmul` packs the right-hand operand into
+//!   8-column panels (reused from a thread-local workspace buffer, so the
+//!   hot paths stay allocation-free after warm-up) and accumulates 4×16
+//!   output tiles entirely in registers; single-row products (the
+//!   per-decision policy forward) skip packing and stream `B` directly.
+//!   On hosts without AVX2+FMA — checked once via
+//!   `is_x86_feature_detected!` — this backend degrades to the scalar
+//!   kernels, so forcing it is always safe.
+//!
+//! The active backend is chosen **once** at first use: the `TCRM_KERNEL`
+//! environment variable (`scalar`, `simd`, or `auto`) wins, otherwise
+//! AVX2+FMA detection picks [`Backend::Simd`] when available. Tests and
+//! benches that want both code paths in one process pass an explicit
+//! [`Backend`] to the slice-level entry points instead of re-reading the
+//! environment.
+//!
+//! ## `fast_tanh`
+//!
+//! [`fast_tanh`] replaces `f32::tanh` in the activation hot paths. It
+//! computes `tanh(x) = (e^{2|x|} - 1) / (e^{2|x|} + 1)` with the sign
+//! applied afterwards, where `e^{2|x|} = 2^y` is evaluated from the split
+//! `y = n + f` (`n = ⌊y⌋`, `f ∈ [0, 1)`): `2^n` is assembled directly in
+//! the float exponent bits and `2^f` by a degree-8 polynomial. The
+//! **absolute error is ≤ 2e-6** over the whole real line (in practice
+//! ≲ 4e-7; `tests/properties.rs` enforces the documented bound against an
+//! `f64` reference), the function is odd by construction
+//! (`fast_tanh(-x) == -fast_tanh(x)` bit-for-bit, signed zero preserved),
+//! monotone non-decreasing, saturates to ±1 beyond |x| ≈ 9, and propagates
+//! NaN. [`Backend::Simd`] evaluates the identical formula 8 lanes at a
+//! time ([`tanh_inplace`]).
+
+#[cfg(target_arch = "x86_64")]
+use std::cell::RefCell;
+use std::sync::OnceLock;
+
+/// A compute-kernel implementation, selectable at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable register-blocked scalar kernels (the reference semantics).
+    Scalar,
+    /// 8-wide AVX2+FMA microkernels with packed-B panels; degrades to
+    /// [`Backend::Scalar`] when the CPU lacks AVX2+FMA.
+    Simd,
+}
+
+static ACTIVE: OnceLock<Backend> = OnceLock::new();
+
+impl Backend {
+    /// Parse a backend name as accepted by the `TCRM_KERNEL` environment
+    /// variable. `auto` (and the empty string) mean "detect".
+    pub fn parse(name: &str) -> Option<Backend> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(Backend::Scalar),
+            "simd" | "avx2" | "vector" => Some(Backend::Simd),
+            "" | "auto" => Some(Backend::detect()),
+            _ => None,
+        }
+    }
+
+    /// The backend CPU detection would pick on this host.
+    pub fn detect() -> Backend {
+        if avx2_available() {
+            Backend::Simd
+        } else {
+            Backend::Scalar
+        }
+    }
+
+    /// The process-wide active backend, resolved once on first call:
+    /// `TCRM_KERNEL` if set (unknown values fall back to detection with no
+    /// error — kernels must never panic at startup), else [`Backend::detect`].
+    pub fn active() -> Backend {
+        *ACTIVE.get_or_init(|| {
+            std::env::var("TCRM_KERNEL")
+                .ok()
+                .as_deref()
+                .and_then(Backend::parse)
+                .unwrap_or_else(Backend::detect)
+        })
+    }
+
+    /// Stable lowercase name (round-trips through [`Backend::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Simd => "simd",
+        }
+    }
+
+    /// Whether this backend actually runs vector instructions on this host
+    /// (`Simd` on a machine with AVX2+FMA). `Scalar` is never accelerated;
+    /// `Simd` without AVX2+FMA silently runs the scalar kernels.
+    pub fn is_accelerated(self) -> bool {
+        self == Backend::Simd && avx2_available()
+    }
+}
+
+/// One-time AVX2+FMA detection (`std::arch`).
+fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static DETECTED: OnceLock<bool> = OnceLock::new();
+        *DETECTED
+            .get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+thread_local! {
+    /// Reusable packed-B panel buffer for the SIMD `matmul`. Thread-local so
+    /// rayon sweep workers never contend, and grown monotonically so the hot
+    /// paths are allocation-free after one warm-up call per thread (pinned
+    /// by `tests/alloc_free.rs`).
+    static PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch entry points (slice-level; `Matrix` wraps these)
+// ---------------------------------------------------------------------------
+
+/// `out = a (m×k) · b (k×n)`, all row-major. `out` must hold `m·n` elements
+/// and is fully overwritten.
+pub fn matmul(
+    backend: Backend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "lhs length mismatch");
+    assert_eq!(b.len(), k * n, "rhs length mismatch");
+    assert_eq!(out.len(), m * n, "output length mismatch");
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = backend;
+    #[cfg(target_arch = "x86_64")]
+    if backend.is_accelerated() {
+        if m == 1 {
+            // Latency path: a single output row never amortises packing.
+            unsafe { avx2::matmul_row(a, b, out, k, n) };
+        } else {
+            PACK.with(|pack| {
+                let mut pack = pack.borrow_mut();
+                unsafe { avx2::matmul_packed(a, b, out, m, k, n, &mut pack) };
+            });
+        }
+        return;
+    }
+    scalar::matmul(a, b, out, m, k, n);
+}
+
+/// `out = a (m×k) · bᵀ` where `b` is `n×k` row-major (the transpose is never
+/// materialised). `out` must hold `m·n` elements and is fully overwritten.
+pub fn matmul_transb(
+    backend: Backend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "lhs length mismatch");
+    assert_eq!(b.len(), n * k, "rhs length mismatch");
+    assert_eq!(out.len(), m * n, "output length mismatch");
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = backend;
+    #[cfg(target_arch = "x86_64")]
+    if backend.is_accelerated() {
+        unsafe { avx2::matmul_transb(a, b, out, m, k, n) };
+        return;
+    }
+    scalar::matmul_transb(a, b, out, m, k, n);
+}
+
+/// `out += aᵀ · b` where `a` is `k×m` and `b` is `k×n` row-major (the
+/// weight-gradient kernel). `out` must hold `m·n` elements; accumulation
+/// happens in place.
+pub fn matmul_transa_acc(
+    backend: Backend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), k * m, "lhs length mismatch");
+    assert_eq!(b.len(), k * n, "rhs length mismatch");
+    assert_eq!(out.len(), m * n, "output length mismatch");
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = backend;
+    #[cfg(target_arch = "x86_64")]
+    if backend.is_accelerated() {
+        unsafe { avx2::matmul_transa_acc(a, b, out, k, m, n) };
+        return;
+    }
+    scalar::matmul_transa_acc(a, b, out, k, m, n);
+}
+
+/// Apply [`fast_tanh`] to every element in place, vectorized when the
+/// backend is accelerated.
+pub fn tanh_inplace(backend: Backend, xs: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if backend.is_accelerated() {
+        unsafe { avx2::tanh_slice(xs) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = backend;
+    for v in xs.iter_mut() {
+        *v = fast_tanh(*v);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// fast_tanh
+// ---------------------------------------------------------------------------
+
+/// `2·log2(e)`: maps `|x|` to the base-2 exponent of `e^{2|x|}`.
+const LOG2E_X2: f32 = 2.885_39;
+/// `ln 2`, converting the fractional exponent back to base `e`.
+const LN_2: f32 = std::f32::consts::LN_2;
+/// Saturation cutoff: `1 - tanh(9.02) < 3e-8`, below half an f32 ULP at 1.0,
+/// and `2^(9.02·LOG2E_X2) = 2^26` stays far from exponent overflow.
+const SAT: f32 = 9.02;
+/// Degree-8 Taylor coefficients of `e^z` (`1/i!`), evaluated by Horner on
+/// `z = f·ln2 ∈ [0, ln2)`. Truncation error ≤ 2e-7 relative; because every
+/// coefficient is positive and the truncation *under*-estimates at the
+/// right edge, `2^n · p(f)` stays monotone across panel boundaries.
+const EXP_C: [f32; 8] = [
+    1.0 / 40_320.0,
+    1.0 / 5_040.0,
+    1.0 / 720.0,
+    1.0 / 120.0,
+    1.0 / 24.0,
+    1.0 / 6.0,
+    0.5,
+    1.0,
+];
+
+/// Fast hyperbolic tangent: absolute error ≤ 2e-6 vs the true `tanh`
+/// (see the [module docs](self) for the construction and the property tests
+/// for the enforced bound). Exactly odd, monotone, NaN-propagating, and
+/// signed-zero-preserving.
+#[inline]
+pub fn fast_tanh(x: f32) -> f32 {
+    if x.is_nan() {
+        return x;
+    }
+    let ax = x.abs().min(SAT);
+    let y = ax * LOG2E_X2;
+    let n = y as i32; // y ≥ 0, so truncation is ⌊y⌋
+    let z = (y - n as f32) * LN_2;
+    let mut p = EXP_C[0];
+    for &c in &EXP_C[1..] {
+        p = p * z + c;
+    }
+    p = p * z + 1.0;
+    let t = f32::from_bits(((n + 127) << 23) as u32) * p;
+    // tanh(|x|) = 1 - 2/(t+1). The fixed numerator keeps the composition
+    // monotone: t+1 rounds monotonically in t, a fixed-numerator division
+    // is monotone in its denominator, and so is the final subtraction —
+    // the (t-1)/(t+1) form jitters by one ULP where numerator and
+    // denominator round in opposite directions. t ≥ 1 (p ≥ 1 for z ≥ 0),
+    // so r ∈ [0, 1] and the sign transfer is exact.
+    let r = 1.0 - 2.0 / (t + 1.0);
+    r.copysign(x)
+}
+
+/// Derivative of [`fast_tanh`]: `1 - fast_tanh(x)²` (absolute error ≤ 5e-6
+/// vs the true `1 - tanh²`).
+#[inline]
+pub fn fast_tanh_deriv(x: f32) -> f32 {
+    let t = fast_tanh(x);
+    1.0 - t * t
+}
+
+// ---------------------------------------------------------------------------
+// Scalar backend (the portable reference kernels)
+// ---------------------------------------------------------------------------
+
+mod scalar {
+    /// Register-blocked ikj kernel, branch-free inner loops:
+    ///
+    /// * **4-row blocks** — four output rows advance together, so every row
+    ///   of `b` is fetched once per four rows of output instead of once per
+    ///   row (4× less B-matrix traffic);
+    /// * **4-wide k-unroll** on the remainder rows — four `a` elements stay
+    ///   in registers per pass over the output row.
+    pub fn matmul(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k_count: usize, n: usize) {
+        out.fill(0.0);
+        // Register tile: 4 output rows × 16 output columns accumulate in
+        // registers across the whole k loop.
+        const TILE: usize = 16;
+        let mut i = 0;
+        while i + 4 <= m {
+            let block = &mut out[i * n..(i + 4) * n];
+            let (r0, rest) = block.split_at_mut(n);
+            let (r1, rest) = rest.split_at_mut(n);
+            let (r2, r3) = rest.split_at_mut(n);
+            let mut j = 0;
+            while j + TILE <= n {
+                let mut acc = [[0.0f32; TILE]; 4];
+                for k in 0..k_count {
+                    let b_tile = &b[k * n + j..k * n + j + TILE];
+                    let a0 = a[i * k_count + k];
+                    let a1 = a[(i + 1) * k_count + k];
+                    let a2 = a[(i + 2) * k_count + k];
+                    let a3 = a[(i + 3) * k_count + k];
+                    for (t, &x) in b_tile.iter().enumerate() {
+                        acc[0][t] += a0 * x;
+                        acc[1][t] += a1 * x;
+                        acc[2][t] += a2 * x;
+                        acc[3][t] += a3 * x;
+                    }
+                }
+                r0[j..j + TILE].copy_from_slice(&acc[0]);
+                r1[j..j + TILE].copy_from_slice(&acc[1]);
+                r2[j..j + TILE].copy_from_slice(&acc[2]);
+                r3[j..j + TILE].copy_from_slice(&acc[3]);
+                j += TILE;
+            }
+            // Column remainder: scalar accumulation per row.
+            while j < n {
+                let mut acc = [0.0f32; 4];
+                for k in 0..k_count {
+                    let x = b[k * n + j];
+                    acc[0] += a[i * k_count + k] * x;
+                    acc[1] += a[(i + 1) * k_count + k] * x;
+                    acc[2] += a[(i + 2) * k_count + k] * x;
+                    acc[3] += a[(i + 3) * k_count + k] * x;
+                }
+                r0[j] = acc[0];
+                r1[j] = acc[1];
+                r2[j] = acc[2];
+                r3[j] = acc[3];
+                j += 1;
+            }
+            i += 4;
+        }
+        while i < m {
+            let a_row = &a[i * k_count..(i + 1) * k_count];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            let mut k = 0;
+            while k + 4 <= k_count {
+                let (a0, a1, a2, a3) = (a_row[k], a_row[k + 1], a_row[k + 2], a_row[k + 3]);
+                let four = &b[k * n..(k + 4) * n];
+                let (b0, rest) = four.split_at(n);
+                let (b1, rest) = rest.split_at(n);
+                let (b2, b3) = rest.split_at(n);
+                for ((o, (x0, x1)), (x2, x3)) in out_row
+                    .iter_mut()
+                    .zip(b0.iter().zip(b1))
+                    .zip(b2.iter().zip(b3))
+                {
+                    *o += a0 * x0 + a1 * x1 + a2 * x2 + a3 * x3;
+                }
+                k += 4;
+            }
+            while k < k_count {
+                let scalar = a_row[k];
+                let b_row = &b[k * n..(k + 1) * n];
+                for (o, x) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += scalar * x;
+                }
+                k += 1;
+            }
+            i += 1;
+        }
+    }
+
+    /// Each output element is a dot product of two contiguous rows, computed
+    /// with four independent accumulators for ILP.
+    pub fn matmul_transb(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k_count: usize,
+        n: usize,
+    ) {
+        for i in 0..m {
+            let a_row = &a[i * k_count..(i + 1) * k_count];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &b[j * k_count..(j + 1) * k_count];
+                *o = dot(a_row, b_row);
+            }
+        }
+    }
+
+    /// Accumulation happens directly in the gradient buffer, so no temporary
+    /// is ever allocated.
+    pub fn matmul_transa_acc(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        k_count: usize,
+        m: usize,
+        n: usize,
+    ) {
+        for k in 0..k_count {
+            let a_row = &a[k * m..(k + 1) * m];
+            let b_row = &b[k * n..(k + 1) * n];
+            for (i, &av) in a_row.iter().enumerate() {
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+
+    /// Dot product with four independent accumulators (instruction-level
+    /// parallelism; the compiler turns each lane into SIMD adds).
+    #[inline]
+    fn dot(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc = [0.0f32; 4];
+        let mut chunks_a = a.chunks_exact(4);
+        let mut chunks_b = b.chunks_exact(4);
+        for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+            acc[0] += ca[0] * cb[0];
+            acc[1] += ca[1] * cb[1];
+            acc[2] += ca[2] * cb[2];
+            acc[3] += ca[3] * cb[3];
+        }
+        let mut tail = 0.0f32;
+        for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+            tail += x * y;
+        }
+        (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2+FMA backend
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use core::arch::x86_64::*;
+
+    /// Panel width: one AVX2 register of f32 lanes.
+    const W: usize = 8;
+
+    /// Single-row product `out (1×n) = a (1×k) · b (k×n)` streaming `b`
+    /// directly (no packing): per k step one broadcast and one FMA per
+    /// 8-column tile, four tiles (32 columns) in flight for ILP.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2+FMA are available and the slices have the
+    /// lengths implied by `(1, k, n)`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn matmul_row(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+        let bp = b.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut j = 0;
+        while j + 4 * W <= n {
+            let (mut c0, mut c1, mut c2, mut c3) = (
+                _mm256_setzero_ps(),
+                _mm256_setzero_ps(),
+                _mm256_setzero_ps(),
+                _mm256_setzero_ps(),
+            );
+            for (kk, &av) in a.iter().enumerate() {
+                let avv = _mm256_set1_ps(av);
+                let row = bp.add(kk * n + j);
+                c0 = _mm256_fmadd_ps(avv, _mm256_loadu_ps(row), c0);
+                c1 = _mm256_fmadd_ps(avv, _mm256_loadu_ps(row.add(W)), c1);
+                c2 = _mm256_fmadd_ps(avv, _mm256_loadu_ps(row.add(2 * W)), c2);
+                c3 = _mm256_fmadd_ps(avv, _mm256_loadu_ps(row.add(3 * W)), c3);
+            }
+            _mm256_storeu_ps(op.add(j), c0);
+            _mm256_storeu_ps(op.add(j + W), c1);
+            _mm256_storeu_ps(op.add(j + 2 * W), c2);
+            _mm256_storeu_ps(op.add(j + 3 * W), c3);
+            j += 4 * W;
+        }
+        while j + W <= n {
+            let mut c0 = _mm256_setzero_ps();
+            for (kk, &av) in a.iter().enumerate() {
+                c0 = _mm256_fmadd_ps(_mm256_set1_ps(av), _mm256_loadu_ps(bp.add(kk * n + j)), c0);
+            }
+            _mm256_storeu_ps(op.add(j), c0);
+            j += W;
+        }
+        while j < n {
+            let mut acc = 0.0f32;
+            for (kk, &av) in a.iter().enumerate() {
+                acc += av * b[kk * n + j];
+            }
+            out[j] = acc;
+            j += 1;
+        }
+        let _ = k;
+    }
+
+    /// Packed-panel product `out (m×n) = a (m×k) · b (k×n)`.
+    ///
+    /// `b`'s full 8-column panels are first repacked into `pack` so the
+    /// microkernel reads them with unit stride (`pack[panel][k][lane]`);
+    /// the buffer is reused across calls and only grows. The microkernel
+    /// then accumulates 4 rows × 16 columns (a panel pair) per pass
+    /// entirely in registers — each packed B row is loaded once per four
+    /// output rows and each broadcast A element feeds two FMAs — dropping
+    /// to 4×8 for an odd last panel. Remainder rows (m % 4) reuse the
+    /// packed panels one row at a time; remainder columns (n % 8) fall
+    /// back to scalar accumulation.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2+FMA are available and the slices have the
+    /// lengths implied by `(m, k, n)`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn matmul_packed(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        pack: &mut Vec<f32>,
+    ) {
+        let panels = n / W;
+        let packed_len = panels * k * W;
+        if pack.len() < packed_len {
+            pack.resize(packed_len, 0.0);
+        }
+        // Pack: panel p, row kk → 8 contiguous lanes.
+        for p in 0..panels {
+            let dst_panel = p * k * W;
+            let src_col = p * W;
+            for kk in 0..k {
+                let src = &b[kk * n + src_col..kk * n + src_col + W];
+                pack[dst_panel + kk * W..dst_panel + kk * W + W].copy_from_slice(src);
+            }
+        }
+        let ap = a.as_ptr();
+        let op = out.as_mut_ptr();
+        let pp = pack.as_ptr();
+        let mut i = 0;
+        while i + 4 <= m {
+            // 4×16 register tile over panel pairs: 8 accumulators, and each
+            // broadcast A element feeds two FMAs, so the kernel issues 8
+            // FMAs per 6 loads instead of 4 per 5 (the load ports, not the
+            // FMA units, are the bottleneck of the 4×8 tile).
+            let mut p = 0;
+            while p + 2 <= panels {
+                let panel0 = pp.add(p * k * W);
+                let panel1 = pp.add((p + 1) * k * W);
+                let j = p * W;
+                let mut c = [_mm256_setzero_ps(); 8];
+                for kk in 0..k {
+                    let b0 = _mm256_loadu_ps(panel0.add(kk * W));
+                    let b1 = _mm256_loadu_ps(panel1.add(kk * W));
+                    for r in 0..4 {
+                        let av = _mm256_set1_ps(*ap.add((i + r) * k + kk));
+                        c[2 * r] = _mm256_fmadd_ps(av, b0, c[2 * r]);
+                        c[2 * r + 1] = _mm256_fmadd_ps(av, b1, c[2 * r + 1]);
+                    }
+                }
+                for r in 0..4 {
+                    _mm256_storeu_ps(op.add((i + r) * n + j), c[2 * r]);
+                    _mm256_storeu_ps(op.add((i + r) * n + j + W), c[2 * r + 1]);
+                }
+                p += 2;
+            }
+            if p < panels {
+                let panel = pp.add(p * k * W);
+                let j = p * W;
+                let mut c = [_mm256_setzero_ps(); 4];
+                for kk in 0..k {
+                    let bv = _mm256_loadu_ps(panel.add(kk * W));
+                    for r in 0..4 {
+                        c[r] = _mm256_fmadd_ps(_mm256_set1_ps(*ap.add((i + r) * k + kk)), bv, c[r]);
+                    }
+                }
+                for r in 0..4 {
+                    _mm256_storeu_ps(op.add((i + r) * n + j), c[r]);
+                }
+            }
+            tail_cols(a, b, out, i, i + 4, k, n, panels * W);
+            i += 4;
+        }
+        while i < m {
+            for p in 0..panels {
+                let panel = pp.add(p * k * W);
+                let j = p * W;
+                let mut c0 = _mm256_setzero_ps();
+                for kk in 0..k {
+                    let bv = _mm256_loadu_ps(panel.add(kk * W));
+                    c0 = _mm256_fmadd_ps(_mm256_set1_ps(*ap.add(i * k + kk)), bv, c0);
+                }
+                _mm256_storeu_ps(op.add(i * n + j), c0);
+            }
+            tail_cols(a, b, out, i, i + 1, k, n, panels * W);
+            i += 1;
+        }
+    }
+
+    /// Scalar column remainder (`j ∈ [j0, n)`) for rows `[i0, i1)`.
+    #[allow(clippy::too_many_arguments)]
+    fn tail_cols(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        i0: usize,
+        i1: usize,
+        k: usize,
+        n: usize,
+        j0: usize,
+    ) {
+        for i in i0..i1 {
+            for j in j0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[kk * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+    }
+
+    /// `out (m×n) = a (m×k) · bᵀ` with `b` stored `n×k`: every output
+    /// element is a dot product of two contiguous rows — two 8-wide FMA
+    /// chains, horizontal sum, scalar tail.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2+FMA are available and the slices have the
+    /// lengths implied by `(m, k, n)`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn matmul_transb(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        for i in 0..m {
+            let a_row = a.as_ptr().add(i * k);
+            for j in 0..n {
+                let b_row = b.as_ptr().add(j * k);
+                let mut acc0 = _mm256_setzero_ps();
+                let mut acc1 = _mm256_setzero_ps();
+                let mut kk = 0;
+                while kk + 2 * W <= k {
+                    acc0 = _mm256_fmadd_ps(
+                        _mm256_loadu_ps(a_row.add(kk)),
+                        _mm256_loadu_ps(b_row.add(kk)),
+                        acc0,
+                    );
+                    acc1 = _mm256_fmadd_ps(
+                        _mm256_loadu_ps(a_row.add(kk + W)),
+                        _mm256_loadu_ps(b_row.add(kk + W)),
+                        acc1,
+                    );
+                    kk += 2 * W;
+                }
+                while kk + W <= k {
+                    acc0 = _mm256_fmadd_ps(
+                        _mm256_loadu_ps(a_row.add(kk)),
+                        _mm256_loadu_ps(b_row.add(kk)),
+                        acc0,
+                    );
+                    kk += W;
+                }
+                let mut acc = hsum(_mm256_add_ps(acc0, acc1));
+                while kk < k {
+                    acc += *a_row.add(kk) * *b_row.add(kk);
+                    kk += 1;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+    }
+
+    /// `out (m×n) += aᵀ · b` with `a` stored `k×m`, `b` stored `k×n`:
+    /// k advances in blocks of 4 so each output row is loaded and stored
+    /// once per four rank-1 updates; the inner loop runs 8-wide over `n`.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2+FMA are available and the slices have the
+    /// lengths implied by `(k, m, n)`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn matmul_transa_acc(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        k: usize,
+        m: usize,
+        n: usize,
+    ) {
+        let bp = b.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut kk = 0;
+        while kk + 4 <= k {
+            for i in 0..m {
+                let s0 = _mm256_set1_ps(a[kk * m + i]);
+                let s1 = _mm256_set1_ps(a[(kk + 1) * m + i]);
+                let s2 = _mm256_set1_ps(a[(kk + 2) * m + i]);
+                let s3 = _mm256_set1_ps(a[(kk + 3) * m + i]);
+                let out_row = op.add(i * n);
+                let mut j = 0;
+                while j + W <= n {
+                    let mut o = _mm256_loadu_ps(out_row.add(j));
+                    o = _mm256_fmadd_ps(s0, _mm256_loadu_ps(bp.add(kk * n + j)), o);
+                    o = _mm256_fmadd_ps(s1, _mm256_loadu_ps(bp.add((kk + 1) * n + j)), o);
+                    o = _mm256_fmadd_ps(s2, _mm256_loadu_ps(bp.add((kk + 2) * n + j)), o);
+                    o = _mm256_fmadd_ps(s3, _mm256_loadu_ps(bp.add((kk + 3) * n + j)), o);
+                    _mm256_storeu_ps(out_row.add(j), o);
+                    j += W;
+                }
+                while j < n {
+                    out[i * n + j] += a[kk * m + i] * b[kk * n + j]
+                        + a[(kk + 1) * m + i] * b[(kk + 1) * n + j]
+                        + a[(kk + 2) * m + i] * b[(kk + 2) * n + j]
+                        + a[(kk + 3) * m + i] * b[(kk + 3) * n + j];
+                    j += 1;
+                }
+            }
+            kk += 4;
+        }
+        while kk < k {
+            for i in 0..m {
+                let s0 = _mm256_set1_ps(a[kk * m + i]);
+                let out_row = op.add(i * n);
+                let mut j = 0;
+                while j + W <= n {
+                    let o = _mm256_fmadd_ps(
+                        s0,
+                        _mm256_loadu_ps(bp.add(kk * n + j)),
+                        _mm256_loadu_ps(out_row.add(j)),
+                    );
+                    _mm256_storeu_ps(out_row.add(j), o);
+                    j += W;
+                }
+                while j < n {
+                    out[i * n + j] += a[kk * m + i] * b[kk * n + j];
+                    j += 1;
+                }
+            }
+            kk += 1;
+        }
+    }
+
+    /// 8-lane [`fast_tanh`](super::fast_tanh): the identical
+    /// `2^n · p(f·ln2)` construction, with NaN lanes blended back from the
+    /// input. Applies the vector body to full 8-lane chunks and the scalar
+    /// function to the tail.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2+FMA are available.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn tanh_slice(xs: &mut [f32]) {
+        let mut chunks = xs.chunks_exact_mut(W);
+        for chunk in &mut chunks {
+            let x = _mm256_loadu_ps(chunk.as_ptr());
+            _mm256_storeu_ps(chunk.as_mut_ptr(), tanh8(x));
+        }
+        for v in chunks.into_remainder() {
+            *v = super::fast_tanh(*v);
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn tanh8(x: __m256) -> __m256 {
+        let sign_bit = _mm256_set1_ps(-0.0);
+        let sign = _mm256_and_ps(x, sign_bit);
+        let ax = _mm256_andnot_ps(sign_bit, x);
+        let ax = _mm256_min_ps(ax, _mm256_set1_ps(super::SAT));
+        let y = _mm256_mul_ps(ax, _mm256_set1_ps(super::LOG2E_X2));
+        let n = _mm256_floor_ps(y);
+        let z = _mm256_mul_ps(_mm256_sub_ps(y, n), _mm256_set1_ps(super::LN_2));
+        let mut p = _mm256_set1_ps(super::EXP_C[0]);
+        for &c in &super::EXP_C[1..] {
+            p = _mm256_fmadd_ps(p, z, _mm256_set1_ps(c));
+        }
+        let one = _mm256_set1_ps(1.0);
+        p = _mm256_fmadd_ps(p, z, one);
+        let pow2n = _mm256_castsi256_ps(_mm256_slli_epi32(
+            _mm256_add_epi32(_mm256_cvtps_epi32(n), _mm256_set1_epi32(127)),
+            23,
+        ));
+        let t = _mm256_mul_ps(p, pow2n);
+        // 1 - 2/(t+1): same monotone form as the scalar kernel.
+        let r = _mm256_sub_ps(
+            one,
+            _mm256_div_ps(_mm256_set1_ps(2.0), _mm256_add_ps(t, one)),
+        );
+        let r = _mm256_or_ps(r, sign);
+        let nan = _mm256_cmp_ps(x, x, _CMP_UNORD_Q);
+        _mm256_blendv_ps(r, x, nan)
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn hsum(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let s = _mm_add_ps(lo, hi);
+        let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+        _mm_cvtss_f32(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in [Backend::Scalar, Backend::Simd] {
+            assert_eq!(Backend::parse(b.name()), Some(b));
+        }
+        assert_eq!(Backend::parse("AVX2"), Some(Backend::Simd));
+        assert_eq!(Backend::parse("nonsense"), None);
+        // `auto` and empty resolve to the detected backend.
+        assert_eq!(Backend::parse("auto"), Some(Backend::detect()));
+        assert_eq!(Backend::parse(""), Some(Backend::detect()));
+        assert!(!Backend::Scalar.is_accelerated());
+    }
+
+    #[test]
+    fn active_backend_honours_env_when_set() {
+        let active = Backend::active();
+        assert!(matches!(active, Backend::Scalar | Backend::Simd));
+        if let Ok(forced) = std::env::var("TCRM_KERNEL") {
+            if let Some(parsed) = Backend::parse(&forced) {
+                assert_eq!(active, parsed, "TCRM_KERNEL={forced} not honoured");
+            }
+        }
+    }
+
+    /// Exhaustive bit-level scan: `fast_tanh` is monotone non-decreasing
+    /// over every consecutive f32 pair in [0, 9.5] (and by exact oddness,
+    /// over the negative axis too). ~1.1e9 values, so ignored by default;
+    /// run with `cargo test -p tcrm-nn --release -- --ignored` after
+    /// touching the kernel.
+    #[test]
+    #[ignore = "exhaustive (~1e9 evaluations); run explicitly after kernel changes"]
+    fn fast_tanh_exhaustive_monotone_scan() {
+        let mut prev = 0.0f32;
+        let mut bits = 0.0f32.to_bits();
+        let end = 9.5f32.to_bits();
+        while bits <= end {
+            let x = f32::from_bits(bits);
+            let y = fast_tanh(x);
+            assert!(y >= prev, "monotonicity broken at {x}: {y} < {prev}");
+            prev = y;
+            bits += 1;
+        }
+    }
+
+    #[test]
+    fn fast_tanh_basics() {
+        assert_eq!(fast_tanh(0.0), 0.0);
+        assert_eq!(fast_tanh(0.0).to_bits(), 0.0f32.to_bits());
+        assert_eq!(fast_tanh(-0.0).to_bits(), (-0.0f32).to_bits());
+        assert_eq!(fast_tanh(f32::INFINITY), 1.0);
+        assert_eq!(fast_tanh(f32::NEG_INFINITY), -1.0);
+        assert!(fast_tanh(f32::NAN).is_nan());
+        assert!((fast_tanh(1.0) - 1.0f64.tanh() as f32).abs() < 2e-6);
+        assert!((fast_tanh_deriv(0.0) - 1.0).abs() < 1e-6);
+    }
+}

@@ -34,9 +34,13 @@ pub struct Dense {
     /// Cached input of the last `forward_train` call.
     #[serde(skip)]
     cache_input: Option<Matrix>,
-    /// Cached pre-activation of the last `forward_train` call.
+    /// Cached *post-activation* output of the last `forward_train` call.
+    /// Backprop recovers the activation derivative from this value
+    /// (`1 - a²` for tanh) instead of re-evaluating the activation on the
+    /// pre-activation — the forward activation is computed exactly once
+    /// per element per cycle.
     #[serde(skip)]
-    cache_pre: Option<Matrix>,
+    cache_act: Option<Matrix>,
     /// Retired gradient buffers parked by `zero_grad` so the next backward
     /// pass can reuse their allocations.
     #[serde(skip)]
@@ -70,7 +74,7 @@ impl Dense {
             grad_weights: None,
             grad_bias: None,
             cache_input: None,
-            cache_pre: None,
+            cache_act: None,
             spare_grad_weights: None,
             spare_grad_bias: None,
         }
@@ -107,15 +111,17 @@ impl Dense {
     }
 
     /// Training-mode forward pass into a caller-provided buffer: caches the
-    /// input and pre-activation (reusing previous cache buffers) so a
-    /// subsequent [`Self::backward_into`] can compute gradients.
+    /// input and the post-activation output (reusing previous cache
+    /// buffers) so a subsequent [`Self::backward_into`] can compute
+    /// gradients without re-evaluating the activation.
     pub fn forward_train_into(&mut self, input: &Matrix, out: &mut Matrix) {
         let cache_input = self.cache_input.get_or_insert_with(Matrix::default);
         cache_input.copy_from(input);
-        let pre = self.cache_pre.get_or_insert_with(Matrix::default);
-        input.matmul_into(&self.weights, pre);
-        pre.add_row_broadcast_assign(&self.bias);
-        self.activation.forward_into(pre, out);
+        input.matmul_into(&self.weights, out);
+        out.add_row_broadcast_assign(&self.bias);
+        self.activation.forward_inplace(out);
+        let act = self.cache_act.get_or_insert_with(Matrix::default);
+        act.copy_from(out);
     }
 
     /// Training-mode forward pass (buffer-returning wrapper).
@@ -140,9 +146,12 @@ impl Dense {
             .cache_input
             .as_ref()
             .expect("backward called without forward_train");
-        let pre = self.cache_pre.as_ref().expect("missing pre-activation");
+        let act = self.cache_act.as_ref().expect("missing cached activation");
         // dL/d(pre) = dL/d(out) ⊙ act'(pre), fused into the scratch buffer.
-        self.activation.backprop_into(pre, grad_output, grad_pre);
+        // The derivative comes from the cached activation value (1 - a² for
+        // tanh), so backward never re-evaluates the activation.
+        self.activation
+            .backprop_from_act_into(act, grad_output, grad_pre);
         // dL/dW += xᵀ · dL/d(pre), accumulated straight into the gradient.
         let (in_dim, out_dim) = (self.weights.rows(), self.weights.cols());
         let gw = match &mut self.grad_weights {

@@ -1,5 +1,12 @@
 //! A minimal row-major `f32` matrix with the operations dense layers need.
+//!
+//! The three matmul kernels (`matmul_into`, `matmul_transb_into`,
+//! `matmul_transa_acc_into`) dispatch through the runtime-selected
+//! [`kernels`] backend — scalar register-blocked loops or
+//! the AVX2+FMA microkernel, chosen once at startup (`TCRM_KERNEL`
+//! overrides; see the `kernels` module docs).
 
+use crate::kernels::{self, Backend};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -120,121 +127,55 @@ impl Matrix {
     }
 
     /// Matrix product into a caller-provided output buffer (no allocation
-    /// once `out` has capacity).
+    /// once `out` has capacity), on the process-wide active kernel backend.
     ///
-    /// Register-blocked ikj kernel, branch-free inner loops:
-    ///
-    /// * **4-row blocks** — four output rows advance together, so every row
-    ///   of `other` is fetched once per four rows of output instead of once
-    ///   per row (4× less B-matrix traffic; this is what makes batched
-    ///   inference beat per-row inference);
-    /// * **4-wide k-unroll** on the remainder rows — four `self` elements
-    ///   stay in registers per pass over the output row.
+    /// Scalar backend: register-blocked ikj kernel (4-row blocks, 16-column
+    /// register tiles, 4-wide k-unroll on remainder rows). SIMD backend:
+    /// 8-wide AVX2+FMA microkernel with packed-B panels (see
+    /// [`kernels`]). Both overwrite every element of `out`.
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_into_with(Backend::active(), other, out);
+    }
+
+    /// [`Self::matmul_into`] on an explicitly chosen backend (differential
+    /// tests and benches; production code uses the dispatched wrapper).
+    pub fn matmul_into_with(&self, backend: Backend, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "inner dimension mismatch");
         let (m, k_count, n) = (self.rows, self.cols, other.cols);
         out.resize(m, n);
-        out.data.fill(0.0);
-        let a = &self.data;
-        let b = &other.data;
-        // Register tile: 4 output rows × 16 output columns accumulate in
-        // registers across the whole k loop (8 SIMD accumulators at f32x8),
-        // so each B element is loaded once per 4 output rows and each output
-        // element is stored exactly once.
-        const TILE: usize = 16;
-        let mut i = 0;
-        while i + 4 <= m {
-            let block = &mut out.data[i * n..(i + 4) * n];
-            let (r0, rest) = block.split_at_mut(n);
-            let (r1, rest) = rest.split_at_mut(n);
-            let (r2, r3) = rest.split_at_mut(n);
-            let mut j = 0;
-            while j + TILE <= n {
-                let mut acc = [[0.0f32; TILE]; 4];
-                for k in 0..k_count {
-                    let b_tile = &b[k * n + j..k * n + j + TILE];
-                    let a0 = a[i * k_count + k];
-                    let a1 = a[(i + 1) * k_count + k];
-                    let a2 = a[(i + 2) * k_count + k];
-                    let a3 = a[(i + 3) * k_count + k];
-                    for (t, &x) in b_tile.iter().enumerate() {
-                        acc[0][t] += a0 * x;
-                        acc[1][t] += a1 * x;
-                        acc[2][t] += a2 * x;
-                        acc[3][t] += a3 * x;
-                    }
-                }
-                r0[j..j + TILE].copy_from_slice(&acc[0]);
-                r1[j..j + TILE].copy_from_slice(&acc[1]);
-                r2[j..j + TILE].copy_from_slice(&acc[2]);
-                r3[j..j + TILE].copy_from_slice(&acc[3]);
-                j += TILE;
-            }
-            // Column remainder: scalar accumulation per row.
-            while j < n {
-                let mut acc = [0.0f32; 4];
-                for k in 0..k_count {
-                    let x = b[k * n + j];
-                    acc[0] += a[i * k_count + k] * x;
-                    acc[1] += a[(i + 1) * k_count + k] * x;
-                    acc[2] += a[(i + 2) * k_count + k] * x;
-                    acc[3] += a[(i + 3) * k_count + k] * x;
-                }
-                r0[j] = acc[0];
-                r1[j] = acc[1];
-                r2[j] = acc[2];
-                r3[j] = acc[3];
-                j += 1;
-            }
-            i += 4;
-        }
-        while i < m {
-            let a_row = &a[i * k_count..(i + 1) * k_count];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            let mut k = 0;
-            while k + 4 <= k_count {
-                let (a0, a1, a2, a3) = (a_row[k], a_row[k + 1], a_row[k + 2], a_row[k + 3]);
-                let four = &b[k * n..(k + 4) * n];
-                let (b0, rest) = four.split_at(n);
-                let (b1, rest) = rest.split_at(n);
-                let (b2, b3) = rest.split_at(n);
-                for ((o, (x0, x1)), (x2, x3)) in out_row
-                    .iter_mut()
-                    .zip(b0.iter().zip(b1))
-                    .zip(b2.iter().zip(b3))
-                {
-                    *o += a0 * x0 + a1 * x1 + a2 * x2 + a3 * x3;
-                }
-                k += 4;
-            }
-            while k < k_count {
-                let scalar = a_row[k];
-                let b_row = &b[k * n..(k + 1) * n];
-                for (o, x) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += scalar * x;
-                }
-                k += 1;
-            }
-            i += 1;
-        }
+        kernels::matmul(
+            backend,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            m,
+            k_count,
+            n,
+        );
     }
 
     /// Product with a transposed right operand: `self (m×k) · otherᵀ` where
     /// `other` is `n×k`, producing `m×n` — without materialising the
     /// transpose. Each output element is a dot product of two contiguous
-    /// rows, computed with four independent accumulators for ILP.
+    /// rows (backend-dispatched: ILP accumulator chains or 8-wide FMA).
     pub fn matmul_transb_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_transb_into_with(Backend::active(), other, out);
+    }
+
+    /// [`Self::matmul_transb_into`] on an explicitly chosen backend.
+    pub fn matmul_transb_into_with(&self, backend: Backend, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "inner dimension mismatch");
         let (m, k_count, n) = (self.rows, self.cols, other.rows);
         out.resize(m, n);
-        for i in 0..m {
-            let a_row = &self.data[i * k_count..(i + 1) * k_count];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &other.data[j * k_count..(j + 1) * k_count];
-                *o = dot(a_row, b_row);
-            }
-        }
+        kernels::matmul_transb(
+            backend,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            m,
+            k_count,
+            n,
+        );
     }
 
     /// Accumulating product with a transposed left operand:
@@ -244,20 +185,24 @@ impl Matrix {
     /// buffer, so no temporary is ever allocated. `out` must already have
     /// shape `m×n`.
     pub fn matmul_transa_acc_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_transa_acc_into_with(Backend::active(), other, out);
+    }
+
+    /// [`Self::matmul_transa_acc_into`] on an explicitly chosen backend.
+    pub fn matmul_transa_acc_into_with(&self, backend: Backend, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "inner dimension mismatch");
         assert_eq!(out.rows, self.cols, "output row mismatch");
         assert_eq!(out.cols, other.cols, "output col mismatch");
         let (k_count, m, n) = (self.rows, self.cols, other.cols);
-        for k in 0..k_count {
-            let a_row = &self.data[k * m..(k + 1) * m];
-            let b_row = &other.data[k * n..(k + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        kernels::matmul_transa_acc(
+            backend,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            k_count,
+            m,
+            n,
+        );
     }
 
     /// Transpose.
@@ -427,27 +372,6 @@ impl Default for Matrix {
     fn default() -> Self {
         Matrix::zeros(0, 0)
     }
-}
-
-/// Dot product with four independent accumulators (instruction-level
-/// parallelism; the compiler turns each lane into SIMD adds).
-#[inline]
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; 4];
-    let mut chunks_a = a.chunks_exact(4);
-    let mut chunks_b = b.chunks_exact(4);
-    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
-        acc[0] += ca[0] * cb[0];
-        acc[1] += ca[1] * cb[1];
-        acc[2] += ca[2] * cb[2];
-        acc[3] += ca[3] * cb[3];
-    }
-    let mut tail = 0.0f32;
-    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
-        tail += x * y;
-    }
-    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 impl fmt::Display for Matrix {

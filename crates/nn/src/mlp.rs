@@ -7,8 +7,11 @@
 //! [`Mlp::forward_ws`] writing into a caller-owned [`Workspace`]. After one
 //! warm-up call at a given batch shape, **none of these paths touch the
 //! allocator** — verified by the counting-allocator test in
-//! `tests/alloc_free.rs`. The buffer-returning wrappers (`forward`,
-//! `forward_vec`) remain for convenience and tests.
+//! `tests/alloc_free.rs`; the zero-allocation contract covers the SIMD
+//! kernel backend too, whose packed-B panels live in a reusable
+//! thread-local buffer (see [`kernels`](crate::kernels)). The
+//! buffer-returning wrappers (`forward`, `forward_vec`) remain for
+//! convenience and tests.
 
 use crate::activation::Activation;
 use crate::layer::Dense;

@@ -1,0 +1,245 @@
+//! Differential test harness: the SIMD kernel backend against the scalar
+//! reference, on every matmul kernel, across ragged shapes.
+//!
+//! Both backends run in the same process through the explicit-backend entry
+//! points (`matmul_into_with` & co.), so the comparison happens regardless
+//! of what `TCRM_KERNEL` selected for the dispatched wrappers — and
+//! regardless of the host CPU: on machines without AVX2+FMA the SIMD
+//! backend lawfully degrades to the scalar kernels and the comparison is
+//! exact. The CI matrix additionally runs the whole nn suite under
+//! `TCRM_KERNEL=scalar` and `TCRM_KERNEL=simd` so the dispatched wrappers
+//! themselves get exercised on both backends.
+//!
+//! Checks:
+//! * relative error ≤ 1e-5 between backends on pseudo-random contents,
+//!   across shapes that straddle every blocking parameter (1×k rows, odd
+//!   k, k and n larger than the 8-wide panel and the 4-row block);
+//! * exact NaN propagation: an injected NaN poisons exactly the dependent
+//!   output elements on both backends;
+//! * exact ∞ propagation: with positive surroundings, an injected +∞
+//!   produces +∞ in exactly the dependent outputs on both backends.
+
+use proptest::prelude::*;
+use tcrm_nn::{Backend, Matrix};
+
+const BACKENDS: [Backend; 2] = [Backend::Scalar, Backend::Simd];
+
+fn fill(rows: usize, cols: usize, seed: u64, salt: u64) -> Matrix {
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|i| (((i as u64 * 2654435761 + seed * 97 + salt * 131) % 23) as f32 - 11.0) / 4.0)
+            .collect(),
+    )
+}
+
+/// Relative error `|a - b| / max(|a|, |b|, 1)` ≤ `tol` element-wise.
+fn assert_rel_close(a: &Matrix, b: &Matrix, tol: f32) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.rows(), b.rows());
+    prop_assert_eq!(a.cols(), b.cols());
+    for (i, (x, y)) in a.data().iter().zip(b.data().iter()).enumerate() {
+        let scale = x.abs().max(y.abs()).max(1.0);
+        prop_assert!(
+            (x - y).abs() <= tol * scale,
+            "element {i}: scalar {x} vs simd {y}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    // Shape bounds straddle every blocking parameter of both backends:
+    // the 4-row block (m up to 13), the 8-wide panel and 16-column scalar
+    // tile (n up to 45, so multi-panel + ragged tails), and the k-unrolls
+    // (k up to 37, odd values included). Zero-sized dimensions exercise the
+    // degenerate paths.
+    #[test]
+    fn matmul_backends_agree(
+        m in 0usize..13,
+        k in 0usize..37,
+        n in 0usize..45,
+        seed in 0u64..1000,
+    ) {
+        let a = fill(m, k, seed, 1);
+        let b = fill(k, n, seed, 2);
+        let mut scalar = Matrix::from_vec(1, 1, vec![42.0]);
+        let mut simd = Matrix::from_vec(1, 1, vec![-7.0]);
+        a.matmul_into_with(Backend::Scalar, &b, &mut scalar);
+        a.matmul_into_with(Backend::Simd, &b, &mut simd);
+        assert_rel_close(&scalar, &simd, 1e-5)?;
+        // Repeat on the warm (already-shaped) output buffer: the packed
+        // panel buffer is reused, results must be identical.
+        let first = simd.clone();
+        a.matmul_into_with(Backend::Simd, &b, &mut simd);
+        prop_assert_eq!(&first, &simd);
+    }
+
+    #[test]
+    fn matmul_transb_backends_agree(
+        m in 0usize..9,
+        k in 0usize..41,
+        n in 0usize..10,
+        seed in 0u64..1000,
+    ) {
+        let a = fill(m, k, seed, 3);
+        let b_t = fill(n, k, seed, 4); // n×k, logical B = b_tᵀ
+        let mut scalar = Matrix::default();
+        let mut simd = Matrix::default();
+        a.matmul_transb_into_with(Backend::Scalar, &b_t, &mut scalar);
+        a.matmul_transb_into_with(Backend::Simd, &b_t, &mut simd);
+        assert_rel_close(&scalar, &simd, 1e-5)?;
+    }
+
+    #[test]
+    fn matmul_transa_acc_backends_agree(
+        k in 1usize..19,
+        m in 1usize..9,
+        n in 1usize..21,
+        seed in 0u64..1000,
+    ) {
+        let a = fill(k, m, seed, 5); // k×m, logical A = aᵀ
+        let b = fill(k, n, seed, 6);
+        let base = fill(m, n, seed, 7);
+        let mut scalar = base.clone();
+        let mut simd = base.clone();
+        a.matmul_transa_acc_into_with(Backend::Scalar, &b, &mut scalar);
+        a.matmul_transa_acc_into_with(Backend::Simd, &b, &mut simd);
+        assert_rel_close(&scalar, &simd, 1e-5)?;
+    }
+
+    #[test]
+    fn single_row_product_agrees(k in 1usize..300, seed in 0u64..500) {
+        // The SIMD backend's dedicated 1×k streaming path (the decision
+        // latency shape) vs the scalar remainder-row path, with n spanning
+        // the 32/8/scalar column tiers.
+        for n in [1usize, 7, 8, 31, 33, 131] {
+            let a = fill(1, k, seed, 8);
+            let b = fill(k, n, seed, 9);
+            let mut scalar = Matrix::default();
+            let mut simd = Matrix::default();
+            a.matmul_into_with(Backend::Scalar, &b, &mut scalar);
+            a.matmul_into_with(Backend::Simd, &b, &mut simd);
+            assert_rel_close(&scalar, &simd, 1e-5)?;
+        }
+    }
+
+    #[test]
+    fn nan_propagates_identically(
+        m in 1usize..7,
+        k in 1usize..19,
+        n in 1usize..27,
+        poison_in_a in any::<bool>(),
+        pr in 0usize..6,
+        pc in 0usize..26,
+    ) {
+        let mut a = fill(m, k, 1, 10);
+        let mut b = fill(k, n, 1, 11);
+        let (poison_row, poison_col);
+        if poison_in_a {
+            poison_row = pr % m;
+            let pk = pc % k;
+            a.set(poison_row, pk, f32::NAN);
+            poison_col = usize::MAX; // every column of the poisoned row
+        } else {
+            let pk = pr % k;
+            poison_col = pc % n;
+            b.set(pk, poison_col, f32::NAN);
+            poison_row = usize::MAX; // every row of the poisoned column
+        }
+        for backend in BACKENDS {
+            let mut out = Matrix::default();
+            a.matmul_into_with(backend, &b, &mut out);
+            for r in 0..m {
+                for c in 0..n {
+                    let dependent = (poison_in_a && r == poison_row)
+                        || (!poison_in_a && c == poison_col);
+                    prop_assert_eq!(
+                        out.get(r, c).is_nan(),
+                        dependent,
+                        "{} backend: NaN at ({}, {}) expected_dependent={}",
+                        backend.name(), r, c, dependent
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infinity_propagates_identically(
+        m in 1usize..7,
+        k in 1usize..19,
+        n in 1usize..27,
+        pr in 0usize..6,
+        pk in 0usize..18,
+    ) {
+        // All-positive surroundings so +∞ cannot cancel or hit 0·∞: the
+        // dependent outputs must be exactly +∞, everything else finite.
+        let positive = |r: usize, c: usize, salt: u64| {
+            Matrix::from_vec(r, c, (0..r * c)
+                .map(|i| 0.25 + ((i as u64 * 2654435761 + salt) % 13) as f32 / 8.0)
+                .collect())
+        };
+        let mut a = positive(m, k, 12);
+        let b = positive(k, n, 13);
+        let poison_row = pr % m;
+        a.set(poison_row, pk % k, f32::INFINITY);
+        for backend in BACKENDS {
+            let mut out = Matrix::default();
+            a.matmul_into_with(backend, &b, &mut out);
+            for r in 0..m {
+                for c in 0..n {
+                    let v = out.get(r, c);
+                    if r == poison_row {
+                        prop_assert_eq!(v, f32::INFINITY,
+                            "{} backend at ({}, {})", backend.name(), r, c);
+                    } else {
+                        prop_assert!(v.is_finite(),
+                            "{} backend at ({}, {}): {}", backend.name(), r, c, v);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tanh_backends_agree(xs in prop::collection::vec(-12.0f32..12.0, 0..67)) {
+        // The vectorized tanh (8-lane body + scalar tail) vs the scalar
+        // loop: both are bounded to the true tanh by ≤ 2e-6, so they agree
+        // to ≤ 4e-6 absolutely.
+        let reference = Matrix::from_vec(1.max(usize::from(!xs.is_empty())), xs.len(), xs.clone());
+        let mut scalar = reference.clone();
+        let mut simd = reference.clone();
+        tcrm_nn::kernels::tanh_inplace(Backend::Scalar, scalar.data_mut());
+        tcrm_nn::kernels::tanh_inplace(Backend::Simd, simd.data_mut());
+        for (i, (s, v)) in scalar.data().iter().zip(simd.data().iter()).enumerate() {
+            prop_assert!((s - v).abs() <= 4e-6, "element {i}: scalar {s} vs simd {v}");
+        }
+    }
+}
+
+/// Forcing `TCRM_KERNEL` must be reflected by the process-wide dispatch
+/// (this is what the CI backend-matrix legs assert for real).
+#[test]
+fn forced_backend_is_honoured() {
+    if let Ok(name) = std::env::var("TCRM_KERNEL") {
+        if let Some(expected) = Backend::parse(&name) {
+            assert_eq!(Backend::active(), expected, "TCRM_KERNEL={name} ignored");
+        }
+    }
+}
+
+/// The dispatched wrapper must agree with whichever explicit backend is
+/// active — i.e. dispatch really routes to one of the two tested kernels.
+#[test]
+fn dispatched_wrapper_matches_active_backend() {
+    let a = fill(5, 33, 3, 20);
+    let b = fill(33, 17, 3, 21);
+    let mut via_dispatch = Matrix::default();
+    let mut via_explicit = Matrix::default();
+    a.matmul_into(&b, &mut via_dispatch);
+    a.matmul_into_with(Backend::active(), &b, &mut via_explicit);
+    assert_eq!(via_dispatch, via_explicit);
+}

@@ -1,9 +1,14 @@
 //! Property tests for the optimized compute kernels: every `*_into` /
 //! in-place operation must match a naive scalar reference on random shapes,
-//! including degenerate ones (1×n, n×1, and empty matrices).
+//! including degenerate ones (1×n, n×1, and empty matrices) — on the
+//! dispatched wrappers *and* on each kernel backend explicitly, so both the
+//! scalar and the SIMD implementation stay pinned to the textbook
+//! semantics regardless of which one `TCRM_KERNEL`/detection selected.
 
 use proptest::prelude::*;
-use tcrm_nn::Matrix;
+use tcrm_nn::{Backend, Matrix};
+
+const BACKENDS: [Backend; 2] = [Backend::Scalar, Backend::Simd];
 
 /// Textbook triple-loop reference (the semantics the optimized kernels must
 /// reproduce).
@@ -73,6 +78,12 @@ proptest! {
         assert_close(&out, &reference, 1e-3)?;
         a.matmul_into(&b, &mut out);
         assert_close(&out, &reference, 1e-3)?;
+        // Each backend explicitly, regardless of what dispatch selected.
+        for backend in BACKENDS {
+            let mut out = Matrix::from_vec(1, 1, vec![-1.0]);
+            a.matmul_into_with(backend, &b, &mut out);
+            assert_close(&out, &reference, 1e-3)?;
+        }
     }
 
     #[test]
@@ -89,6 +100,11 @@ proptest! {
         let mut out = Matrix::default();
         a.matmul_transb_into(&b_t, &mut out);
         assert_close(&out, &reference, 1e-3)?;
+        for backend in BACKENDS {
+            let mut out = Matrix::default();
+            a.matmul_transb_into_with(backend, &b_t, &mut out);
+            assert_close(&out, &reference, 1e-3)?;
+        }
     }
 
     #[test]
@@ -109,6 +125,11 @@ proptest! {
         let mut out = base.clone();
         a.matmul_transa_acc_into(&b, &mut out);
         assert_close(&out, &reference, 1e-3)?;
+        for backend in BACKENDS {
+            let mut out = base.clone();
+            a.matmul_transa_acc_into_with(backend, &b, &mut out);
+            assert_close(&out, &reference, 1e-3)?;
+        }
     }
 
     #[test]

@@ -1,8 +1,22 @@
 //! Property-based tests of the neural-network substrate: matrix algebra,
-//! softmax/masking invariants and gradient linearity.
+//! softmax/masking invariants, gradient linearity, and the documented
+//! `fast_tanh` contract (absolute error ≤ 2e-6 vs an `f64` reference,
+//! odd symmetry, monotonicity, saturation, derivative consistency).
 
 use proptest::prelude::*;
-use tcrm_nn::{log_softmax, masked_softmax, softmax, Activation, Matrix, Mlp, MlpConfig};
+use tcrm_nn::{
+    fast_tanh, fast_tanh_deriv, log_softmax, masked_softmax, softmax, Activation, Matrix, Mlp,
+    MlpConfig,
+};
+
+/// The documented absolute-error bound of `fast_tanh`.
+const TANH_ABS_TOL: f64 = 2e-6;
+
+fn assert_tanh_close(x: f32) -> Result<(), TestCaseError> {
+    let err = (f64::from(fast_tanh(x)) - f64::from(x).tanh()).abs();
+    prop_assert!(err <= TANH_ABS_TOL, "fast_tanh({x}) off by {err:e}");
+    Ok(())
+}
 
 fn arb_logits(n: usize) -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(-20.0f32..20.0, n..=n)
@@ -123,6 +137,55 @@ proptest! {
     }
 
     // ------------------------------------------------------------------
+    // fast_tanh
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn fast_tanh_error_bound_on_sampled_inputs(x in -50.0f32..50.0) {
+        assert_tanh_close(x)?;
+    }
+
+    #[test]
+    fn fast_tanh_error_bound_on_wild_magnitudes(exp in -30i32..6, mantissa in 1.0f32..2.0, neg in any::<bool>()) {
+        // Log-uniform magnitudes from 2^-30 up to 2^5, both signs: covers
+        // the cancellation-prone near-zero region and deep saturation.
+        let x = mantissa * (exp as f32).exp2() * if neg { -1.0 } else { 1.0 };
+        assert_tanh_close(x)?;
+    }
+
+    #[test]
+    fn fast_tanh_is_exactly_odd(x in -30.0f32..30.0) {
+        prop_assert_eq!(fast_tanh(-x).to_bits(), (-fast_tanh(x)).to_bits());
+    }
+
+    #[test]
+    fn fast_tanh_is_monotone(a in -12.0f32..12.0, b in -12.0f32..12.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            fast_tanh(lo) <= fast_tanh(hi),
+            "fast_tanh({lo}) = {} > fast_tanh({hi}) = {}",
+            fast_tanh(lo),
+            fast_tanh(hi)
+        );
+    }
+
+    #[test]
+    fn fast_tanh_derivative_matches_finite_difference(x in -6.0f32..6.0) {
+        // Central difference on the *approximation itself*: the analytic
+        // derivative 1 - fast_tanh² must describe fast_tanh's own slope.
+        let h = 1e-2f64;
+        let xd = f64::from(x);
+        let numeric = (f64::from(fast_tanh((xd + h) as f32))
+            - f64::from(fast_tanh((xd - h) as f32)))
+            / (2.0 * h);
+        let analytic = f64::from(fast_tanh_deriv(x));
+        prop_assert!(
+            (numeric - analytic).abs() < 1e-3 + 1e-2 * analytic.abs(),
+            "at {x}: numeric {numeric} vs analytic {analytic}"
+        );
+    }
+
+    // ------------------------------------------------------------------
     // Gradients
     // ------------------------------------------------------------------
 
@@ -152,6 +215,16 @@ proptest! {
     }
 
     #[test]
+    fn tanh_activation_derivative_consistent_with_forward(v in -5.0f32..5.0) {
+        // Activation::Tanh's derivative path must describe the same curve
+        // its forward path evaluates (both ride fast_tanh).
+        let x = Matrix::from_rows(&[&[v]]);
+        let d = Activation::Tanh.derivative(&x).get(0, 0);
+        let t = Activation::Tanh.forward(&x).get(0, 0);
+        prop_assert!((d - (1.0 - t * t)).abs() < 1e-5);
+    }
+
+    #[test]
     fn clipping_never_increases_gradient_norm(seed in 0u64..50, max_norm in 0.01f32..10.0) {
         let cfg = MlpConfig::new(5, &[8], 4, Activation::Relu);
         let mut net = Mlp::new(&cfg, seed);
@@ -165,4 +238,56 @@ proptest! {
         prop_assert!(after <= before + 1e-5);
         prop_assert!(after <= max_norm + 1e-4);
     }
+}
+
+// ----------------------------------------------------------------------
+// fast_tanh: deterministic dense-grid and special-value coverage
+// ----------------------------------------------------------------------
+
+/// Dense grid over the interesting range: 200k points in [-20, 20], every
+/// one within the documented 2e-6 absolute bound of the f64 reference, and
+/// the whole sequence monotone non-decreasing.
+#[test]
+fn fast_tanh_dense_grid_error_and_monotonicity() {
+    let mut max_err = 0.0f64;
+    let mut prev = f32::NEG_INFINITY;
+    for i in 0..=200_000 {
+        let x = -20.0 + i as f32 * (40.0 / 200_000.0);
+        let y = fast_tanh(x);
+        let err = (f64::from(y) - f64::from(x).tanh()).abs();
+        max_err = max_err.max(err);
+        assert!(err <= TANH_ABS_TOL, "fast_tanh({x}) off by {err:e}");
+        assert!(y >= prev, "monotonicity broken at {x}: {y} < {prev}");
+        prev = y;
+    }
+    // The bound is documented as ≤ 2e-6; in practice the kernel is ~5x
+    // tighter. Guard against silent accuracy erosion.
+    assert!(
+        max_err < 1e-6,
+        "grid max error {max_err:e} unexpectedly large"
+    );
+}
+
+#[test]
+fn fast_tanh_special_values() {
+    // Signed zero is preserved bit-for-bit.
+    assert_eq!(fast_tanh(0.0).to_bits(), 0.0f32.to_bits());
+    assert_eq!(fast_tanh(-0.0).to_bits(), (-0.0f32).to_bits());
+    // Subnormals: tanh(x) ≈ x, and no overflow/underflow surprises.
+    for x in [f32::MIN_POSITIVE / 2.0, -f32::MIN_POSITIVE / 4.0, 1e-42f32] {
+        let y = fast_tanh(x);
+        assert!((f64::from(y) - f64::from(x).tanh()).abs() <= TANH_ABS_TOL);
+        assert_eq!(y.is_sign_negative(), x.is_sign_negative());
+    }
+    // Deep saturation: |x| > 20 pins to exactly ±1.
+    for x in [20.5f32, 100.0, 1e20, f32::MAX, f32::INFINITY] {
+        assert_eq!(fast_tanh(x), 1.0, "fast_tanh({x})");
+        assert_eq!(fast_tanh(-x), -1.0, "fast_tanh(-{x})");
+    }
+    // NaN propagates.
+    assert!(fast_tanh(f32::NAN).is_nan());
+    assert!(fast_tanh_deriv(f32::NAN).is_nan());
+    // Derivative endpoints: 1 at the origin, 0 in saturation.
+    assert!((fast_tanh_deriv(0.0) - 1.0).abs() < 1e-6);
+    assert_eq!(fast_tanh_deriv(25.0), 0.0);
 }
