@@ -130,18 +130,11 @@ impl Scheduler for EasyBackfillScheduler {
     }
 
     fn decide(&mut self, view: &ClusterView) -> Vec<Action> {
-        let mut order: Vec<&PendingJobView> = view.pending.iter().collect();
-        order.sort_by(|a, b| {
-            a.deadline
-                .partial_cmp(&b.deadline)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.id.cmp(&b.id))
-        });
-
         let mut actions = Vec::new();
         let mut reservation: Option<(NodeClassId, f64)> = None;
 
-        for job in order {
+        // Deadline order straight from the engine-maintained index.
+        for job in view.pending_in_deadline_order() {
             let placement = util::best_class_for(job, view)
                 .and_then(|class| util::deadline_parallelism(job, view, class).map(|p| (class, p)));
 

@@ -25,15 +25,10 @@ impl Scheduler for EdfScheduler {
     }
 
     fn decide(&mut self, view: &ClusterView) -> Vec<Action> {
-        let mut order: Vec<&tcrm_sim::PendingJobView> = view.pending.iter().collect();
-        order.sort_by(|a, b| {
-            a.deadline
-                .partial_cmp(&b.deadline)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.id.cmp(&b.id))
-        });
+        // The engine maintains the (deadline, id) index incrementally —
+        // no per-decision sort (or allocation) of the queue.
         let mut actions = Vec::new();
-        for job in order {
+        for job in view.pending_in_deadline_order() {
             if let Some(class) = util::best_class_for(job, view) {
                 if let Some(parallelism) = util::deadline_parallelism(job, view, class) {
                     actions.push(Action::Start {

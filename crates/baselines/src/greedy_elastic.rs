@@ -103,15 +103,9 @@ impl Scheduler for GreedyElasticScheduler {
         }
 
         // 2. Start pending jobs EDF-ordered at the cheapest deadline-meeting
-        //    parallelism on their fastest feasible class.
-        let mut order: Vec<&tcrm_sim::PendingJobView> = view.pending.iter().collect();
-        order.sort_by(|a, b| {
-            a.deadline
-                .partial_cmp(&b.deadline)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.id.cmp(&b.id))
-        });
-        for job in order {
+        //    parallelism on their fastest feasible class (deadline order
+        //    straight from the engine-maintained index — no per-call sort).
+        for job in view.pending_in_deadline_order() {
             if let Some(class) = util::best_class_for(job, view) {
                 if let Some(parallelism) = util::deadline_parallelism(job, view, class) {
                     actions.push(Action::Start {

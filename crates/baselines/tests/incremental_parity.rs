@@ -1,0 +1,147 @@
+//! Every bundled scheduler, run twice over identical workloads — once with
+//! the incremental observation layer (the default) and once against the
+//! full-rebuild reference views — must produce identical summaries and
+//! completion records, in both batch (`run_reusing`) and streaming
+//! (`run_source`) mode. Together with the engine-level paired proptest
+//! (`tcrm-sim/tests/incremental_view.rs`, which byte-compares the views
+//! themselves at every epoch) this pins the incremental `ClusterView` to
+//! the rebuilt one across full runs for the whole scheduler zoo.
+
+use tcrm_baselines::{all_baseline_names, by_name, AdmissionAdapter, EdfScheduler, RigidAdapter};
+use tcrm_sim::prelude::*;
+
+/// A deterministic mixed workload: varied arrivals, demands, deadlines,
+/// elasticity ranges and malleability, sized to keep several jobs pending
+/// and running at once on the default cluster.
+fn workload(n: u64) -> Vec<Job> {
+    (0..n)
+        .map(|i| {
+            // Jittered but non-decreasing (run_source requires sorted
+            // arrivals): the jitter term never exceeds the 1.3 base step.
+            let arrival = i as f64 * 1.3 + (i % 4) as f64 * 0.3;
+            let work = 10.0 + (i * 7 % 53) as f64;
+            let slack = 25.0 + (i * 13 % 160) as f64;
+            Job::builder(
+                JobId(i),
+                match i % 4 {
+                    0 => JobClass::Batch,
+                    1 => JobClass::Stream,
+                    2 => JobClass::MlTraining,
+                    _ => JobClass::MlInference,
+                },
+            )
+            .arrival(arrival)
+            .total_work(work)
+            .demand_per_unit(ResourceVector::of(
+                1.0 + (i % 3) as f64,
+                4.0 + (i % 5) as f64 * 2.0,
+                if i % 4 == 2 { 0.5 } else { 0.0 },
+                0.5,
+            ))
+            .parallelism_range(1 + (i % 2) as u32, 2 + (i % 4) as u32)
+            .speedup(if i % 2 == 0 {
+                SpeedupModel::Linear
+            } else {
+                SpeedupModel::Amdahl {
+                    serial_fraction: 0.1,
+                }
+            })
+            .deadline(arrival + slack)
+            .malleable(i % 3 != 0)
+            .utility(TimeUtility::hard(1.0))
+            .build()
+        })
+        .collect()
+}
+
+fn configs() -> (SimConfig, SimConfig) {
+    let mut incremental = SimConfig::default();
+    incremental.decision_interval = Some(4.0);
+    incremental.scale_cooldown = 8.0;
+    incremental.max_sim_time = 1e5;
+    assert!(
+        incremental.incremental_view,
+        "incremental must be the default"
+    );
+    let mut rebuild = incremental.clone();
+    rebuild.incremental_view = false;
+    (incremental, rebuild)
+}
+
+/// All scheduler variants under test: the ten named baselines plus the two
+/// adapters (rigid ablation, deadline admission) wrapped around EDF.
+fn scheduler_specs() -> Vec<(String, Box<dyn Scheduler>)> {
+    let mut all: Vec<(String, Box<dyn Scheduler>)> = all_baseline_names()
+        .into_iter()
+        .map(|name| (name.to_string(), by_name(name, 7).expect("known baseline")))
+        .collect();
+    all.push((
+        "edf+rigid".into(),
+        Box::new(RigidAdapter::new(EdfScheduler::new())),
+    ));
+    all.push((
+        "edf+admission".into(),
+        Box::new(AdmissionAdapter::new(EdfScheduler::new())),
+    ));
+    all
+}
+
+#[test]
+fn batch_runs_match_rebuild_reference_for_every_scheduler() {
+    let cluster = ClusterSpec::icpp_default();
+    let jobs = workload(60);
+    let (cfg_inc, cfg_ref) = configs();
+    for (name, _) in scheduler_specs() {
+        let run = |cfg: &SimConfig| {
+            // Fresh scheduler instances per run (identical construction +
+            // seed ⇒ identical decisions given identical views).
+            let mut sched = scheduler_specs()
+                .into_iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, s)| s)
+                .expect("scheduler exists");
+            let mut sim = Simulator::new(cluster.clone(), cfg.clone());
+            let mut view = sim.view();
+            let summary = sim.run_reusing(jobs.clone(), &mut sched, &mut view);
+            (summary, sim.completed_so_far().to_vec())
+        };
+        let (sum_inc, completed_inc) = run(&cfg_inc);
+        let (sum_ref, completed_ref) = run(&cfg_ref);
+        assert_eq!(sum_inc, sum_ref, "{name}: batch summaries diverged");
+        assert_eq!(
+            completed_inc, completed_ref,
+            "{name}: batch completion records diverged"
+        );
+        assert!(
+            sum_inc.completed_jobs > 0,
+            "{name}: degenerate run (nothing completed)"
+        );
+    }
+}
+
+#[test]
+fn streaming_runs_match_rebuild_reference_for_every_scheduler() {
+    let cluster = ClusterSpec::icpp_default();
+    let jobs = workload(60);
+    let (cfg_inc, cfg_ref) = configs();
+    for (name, _) in scheduler_specs() {
+        let run = |cfg: &SimConfig| {
+            let mut sched = scheduler_specs()
+                .into_iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, s)| s)
+                .expect("scheduler exists");
+            let mut sim = Simulator::new(cluster.clone(), cfg.clone());
+            let mut view = sim.view();
+            let summary = sim.run_source(jobs.iter().cloned(), &mut sched, &mut view);
+            (summary, sim.completed_so_far().to_vec())
+        };
+        let (sum_inc, completed_inc) = run(&cfg_inc);
+        let (sum_ref, completed_ref) = run(&cfg_ref);
+        assert_eq!(sum_inc, sum_ref, "{name}: streaming summaries diverged");
+        assert_eq!(
+            completed_inc, completed_ref,
+            "{name}: streaming completion records diverged"
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Criterion bench: decision-epoch throughput of the engine at
+//! large-cluster scale — 4096 jobs on a 256-node heterogeneous cluster,
+//! batch and streaming, with the incremental observation layer on (the
+//! default) and against the full-rebuild reference path (`_rebuild` rows).
+//!
+//! The `_rebuild` rows approximate the pre-refactor "rebuild the world each
+//! round" engine: every refill reconstructs every pending/running row and
+//! re-reads every node. The ratio between an `_rebuild` row and its
+//! incremental sibling is the headline speedup of the incremental
+//! `ClusterView`; the absolute numbers feed the committed snapshot and the
+//! scheduled perf-runner regression gate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tcrm_baselines::{EdfScheduler, GreedyElasticScheduler};
+use tcrm_sim::{ClusterSpec, SimConfig, Simulator};
+use tcrm_workload::{SyntheticSource, WorkloadSpec};
+
+const JOBS: usize = 4096;
+
+/// The default heterogeneous cluster scaled to 256 machines (24 → 256,
+/// class proportions preserved).
+fn big_cluster() -> ClusterSpec {
+    let cluster = ClusterSpec::icpp_scaled(256.0 / 24.0);
+    assert_eq!(cluster.num_nodes(), 256, "scale factor drifted");
+    cluster
+}
+
+fn scale_config(incremental: bool) -> SimConfig {
+    let mut cfg = SimConfig::default();
+    // A periodic epoch stream dense enough that view maintenance, not the
+    // event heap, dominates — the regime the refactor targets.
+    cfg.decision_interval = Some(5.0);
+    cfg.max_sim_time = 1e7;
+    cfg.incremental_view = incremental;
+    cfg
+}
+
+fn bench_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_scale");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    let cluster = big_cluster();
+    let workload = WorkloadSpec::icpp_default()
+        .with_num_jobs(JOBS)
+        .with_load(0.95);
+    let trace: Vec<_> = SyntheticSource::new(&workload, &cluster, 11)
+        .expect("valid spec")
+        .collect();
+    let label = format!("{JOBS}x256");
+
+    // Batch runs through the sweep-style reuse path (one simulator + one
+    // retained view per mode, reset between iterations) — the EvalSession
+    // worker loop in miniature.
+    for (name, incremental) in [("edf_batch", true), ("edf_batch_rebuild", false)] {
+        let mut sim = Simulator::new(cluster.clone(), scale_config(incremental));
+        let mut view = sim.view();
+        group.bench_with_input(BenchmarkId::new(name, &label), &trace, |b, trace| {
+            b.iter(|| {
+                let mut sched = EdfScheduler::new();
+                sim.run_reusing(trace.clone(), &mut sched, &mut view)
+                    .completed_jobs
+            })
+        });
+    }
+
+    // Streaming: jobs pulled one at a time (O(pending + running) memory).
+    for (name, incremental) in [("edf_stream", true), ("edf_stream_rebuild", false)] {
+        let mut sim = Simulator::new(cluster.clone(), scale_config(incremental));
+        let mut view = sim.view();
+        group.bench_with_input(BenchmarkId::new(name, &label), &trace, |b, trace| {
+            b.iter(|| {
+                let mut sched = EdfScheduler::new();
+                sim.run_source(trace.iter().cloned(), &mut sched, &mut view)
+                    .completed_jobs
+            })
+        });
+    }
+
+    // A scale-happy policy exercises the re-scale + node-dirty paths too.
+    for (name, incremental) in [
+        ("greedy-elastic_batch", true),
+        ("greedy-elastic_batch_rebuild", false),
+    ] {
+        let mut sim = Simulator::new(cluster.clone(), scale_config(incremental));
+        let mut view = sim.view();
+        group.bench_with_input(BenchmarkId::new(name, &label), &trace, |b, trace| {
+            b.iter(|| {
+                let mut sched = GreedyElasticScheduler::new();
+                sim.run_reusing(trace.clone(), &mut sched, &mut view)
+                    .completed_jobs
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

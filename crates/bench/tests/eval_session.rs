@@ -26,6 +26,33 @@ fn session(registry: &PolicyRegistry) -> EvalSession<'_> {
 }
 
 #[test]
+fn incremental_views_do_not_change_sweep_results() {
+    // The EvalSession workers ride the incremental observation layer by
+    // default (`SimConfig::incremental_view`); a whole sweep re-run against
+    // the full-rebuild reference views must be row-for-row identical.
+    let registry = PolicyRegistry::with_baselines();
+    let incremental = session(&registry).run().expect("incremental sweep").table;
+    let mut rebuild_cfg = SimConfig::default();
+    rebuild_cfg.incremental_view = false;
+    let rebuild = session(&registry)
+        .sim(rebuild_cfg)
+        .run()
+        .expect("rebuild sweep")
+        .table;
+    assert_eq!(incremental.rows.len(), rebuild.rows.len());
+    for (a, b) in incremental.rows.iter().zip(rebuild.rows.iter()) {
+        assert_eq!(a.scheduler, b.scheduler);
+        assert_eq!(a.parameter, b.parameter);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(
+            a.summary, b.summary,
+            "{}@{}#{}",
+            a.scheduler, a.parameter, a.seed
+        );
+    }
+}
+
+#[test]
 fn parallel_sweep_equals_sequential_reference_row_for_row() {
     let registry = PolicyRegistry::with_baselines();
     let parallel = session(&registry).run().expect("parallel sweep").table;

@@ -204,6 +204,7 @@ impl Environment for SchedulingEnv {
         // Reuse the previous episode's view buffer when one exists.
         let mut view = self.current_view.take().unwrap_or_else(|| sim.view());
         sim.view_into(&mut view);
+        sim.compact_log(&view);
         self.sim = Some(sim);
         let step = if alive {
             self.make_step(&view)
@@ -236,10 +237,12 @@ impl Environment for SchedulingEnv {
         let stay =
             !is_wait && !outcome.is_invalid() && self.epoch_actions < self.max_actions_per_epoch();
         if stay {
-            self.sim
-                .as_ref()
-                .expect("no active episode")
-                .view_into(&mut view);
+            let sim = self.sim.as_mut().expect("no active episode");
+            sim.view_into(&mut view);
+            // One retained view per episode: dropping the consumed deltas
+            // here keeps the engine's change log bounded by one epoch over
+            // arbitrarily long episodes.
+            sim.compact_log(&view);
             if self.has_feasible_work(&view) {
                 // Stay at the epoch: reward only reflects shaping on the new
                 // snapshot (no time has passed).
@@ -260,8 +263,9 @@ impl Environment for SchedulingEnv {
         // forfeit the pending jobs rather than spinning on empty decision
         // epochs.
         {
-            let sim = self.sim.as_ref().expect("no active episode");
+            let sim = self.sim.as_mut().expect("no active episode");
             sim.view_into(&mut view);
+            sim.compact_log(&view);
             if sim.running_count() == 0 && view.future_arrivals == 0 && !view.pending.is_empty() {
                 let reward = self.collect_reward(&view);
                 self.current_view = Some(view);
@@ -278,10 +282,11 @@ impl Environment for SchedulingEnv {
             sim.advance()
         };
         self.epoch_actions = 0;
-        self.sim
-            .as_ref()
-            .expect("no active episode")
-            .view_into(&mut view);
+        {
+            let sim = self.sim.as_mut().expect("no active episode");
+            sim.view_into(&mut view);
+            sim.compact_log(&view);
+        }
         let reward = self.collect_reward(&view);
         let truncated = self.steps >= self.max_steps;
         let done = !alive || truncated;

@@ -80,17 +80,12 @@ impl StateEncoder {
 
     /// The pending jobs that occupy the queue slots, in the deterministic
     /// slot order used by both the encoder and the action space:
-    /// earliest-deadline-first (ties by id).
+    /// earliest-deadline-first (ties by id), read straight from the
+    /// engine-maintained deadline index — no per-call sort.
     pub fn queue_slot_jobs<'a>(&self, view: &'a ClusterView) -> Vec<&'a PendingJobView> {
-        let mut jobs: Vec<&PendingJobView> = view.pending.iter().collect();
-        jobs.sort_by(|a, b| {
-            a.deadline
-                .partial_cmp(&b.deadline)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.id.cmp(&b.id))
-        });
-        jobs.truncate(self.queue_slots);
-        jobs
+        view.pending_in_deadline_order()
+            .take(self.queue_slots)
+            .collect()
     }
 
     /// The running jobs that occupy the running slots: least slack first
@@ -231,7 +226,8 @@ impl StateEncoder {
         let pending = view.pending.len();
         let running = view.running.len();
         let backlog = pending.saturating_sub(self.queue_slots);
-        let total_pending_work: f64 = view.pending.iter().map(|j| j.total_work).sum();
+        // Engine-maintained aggregate — no re-summation over the queue.
+        let total_pending_work: f64 = view.pending_work_total;
         let infeasible_pending = view
             .pending
             .iter()

@@ -229,6 +229,106 @@ pub fn tanh_inplace(backend: Backend, xs: &mut [f32]) {
     }
 }
 
+/// Numerically-stable softmax in place (subtracts the max), vectorized
+/// 8-wide on the accelerated backend (max reduction, [`fast_exp`], sum
+/// reduction, normalisation). Degenerate inputs (a non-positive or
+/// non-finite exponent sum, e.g. all `-inf`) fall back to the uniform
+/// distribution on both backends; behaviour on NaN inputs is
+/// backend-specific, exactly like the matmul kernels. The scalar backend is
+/// the reference (`std` exp); the SIMD backend evaluates [`fast_exp`] and
+/// agrees within the documented 1e-5 relative bound (pinned by
+/// `tests/backend_diff.rs`).
+pub fn softmax_inplace(backend: Backend, xs: &mut [f32]) {
+    if xs.is_empty() {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if backend.is_accelerated() {
+        unsafe { avx2::softmax_slice(xs) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = backend;
+    scalar::softmax(xs);
+}
+
+/// Numerically-stable log-softmax in place (subtracts `max + ln Σ exp`),
+/// vectorized 8-wide on the accelerated backend. Same backend semantics as
+/// [`softmax_inplace`] (scalar is the `std`-exp reference), without a
+/// degenerate-input fallback — mirroring the long-standing scalar
+/// behaviour.
+pub fn log_softmax_inplace(backend: Backend, xs: &mut [f32]) {
+    if xs.is_empty() {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if backend.is_accelerated() {
+        unsafe { avx2::log_softmax_slice(xs) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = backend;
+    scalar::log_softmax(xs);
+}
+
+/// One Adam update over a contiguous parameter block:
+/// `m ← β₁m + (1-β₁)g`, `v ← β₂v + (1-β₂)g²`,
+/// `p ← p − lr·(m/bias1)/(√(v/bias2) + ε)`, element-wise — vectorized
+/// 8-wide (FMA + vector sqrt) on the accelerated backend. `bias1`/`bias2`
+/// are the step-dependent bias corrections `1-β₁ᵗ` / `1-β₂ᵗ` (hoisted by
+/// the caller, [`crate::optim::Adam`]). Scalar and SIMD agree within ulps
+/// (the FMA contraction differs); pinned by `tests/backend_diff.rs`.
+#[allow(clippy::too_many_arguments)]
+pub fn adam_step(
+    backend: Backend,
+    params: &mut [f32],
+    grads: &[f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    bias1: f32,
+    bias2: f32,
+) {
+    assert_eq!(params.len(), grads.len(), "grad length mismatch");
+    assert_eq!(params.len(), m.len(), "m length mismatch");
+    assert_eq!(params.len(), v.len(), "v length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if backend.is_accelerated() {
+        unsafe { avx2::adam_slice(params, grads, m, v, lr, beta1, beta2, eps, bias1, bias2) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = backend;
+    scalar::adam(params, grads, m, v, lr, beta1, beta2, eps, bias1, bias2);
+}
+
+/// Fast `e^z` for non-positive `z` (the softmax exponent after max
+/// subtraction): `e^z = 2^y` with `y = z·log₂e`, split into `y = n + f`
+/// (`n = ⌊y⌋`, `f ∈ [0, 1)`); `2^n` is assembled in the float exponent bits
+/// and `2^f` by the same degree-8 polynomial as [`fast_tanh`]. Inputs are
+/// clamped at −87 (where `e^z` underflows f32 anyway), so the biased
+/// exponent never leaves the normal range. Relative error ≤ 1e-5 over the
+/// whole domain (dominated by the rounding of `z·log₂e` at large `|z|`,
+/// where the result is vanishingly small anyway) and ≤ 1e-6 on `[-2, 0]`,
+/// the range that carries a softmax's probability mass; enforced by
+/// `tests/backend_diff.rs`.
+#[inline]
+pub fn fast_exp(z: f32) -> f32 {
+    let z = z.max(-87.0);
+    let y = z * std::f32::consts::LOG2_E;
+    let n = y.floor();
+    let f = (y - n) * LN_2;
+    let mut p = EXP_C[0];
+    for &c in &EXP_C[1..] {
+        p = p * f + c;
+    }
+    p = p * f + 1.0;
+    f32::from_bits(((n as i32 + 127) << 23) as u32) * p
+}
+
 // ---------------------------------------------------------------------------
 // fast_tanh
 // ---------------------------------------------------------------------------
@@ -447,6 +547,59 @@ mod scalar {
             tail += x * y;
         }
         (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+    }
+
+    /// Stable softmax in place — the reference semantics (`std` exp, NaN
+    /// ignored by the max fold, uniform fallback on a degenerate sum).
+    pub fn softmax(xs: &mut [f32]) {
+        let max = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for x in xs.iter_mut() {
+            *x = (*x - max).exp();
+            sum += *x;
+        }
+        if sum <= 0.0 || !sum.is_finite() {
+            let uniform = 1.0 / xs.len() as f32;
+            xs.fill(uniform);
+            return;
+        }
+        for x in xs.iter_mut() {
+            *x /= sum;
+        }
+    }
+
+    /// Stable log-softmax in place — the reference semantics.
+    pub fn log_softmax(xs: &mut [f32]) {
+        let max = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let log_sum: f32 = xs.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+        for x in xs.iter_mut() {
+            *x -= log_sum;
+        }
+    }
+
+    /// Element-wise Adam update — the reference semantics (no FMA
+    /// contraction; matches the historical `optim::Adam` arithmetic).
+    #[allow(clippy::too_many_arguments)]
+    pub fn adam(
+        params: &mut [f32],
+        grads: &[f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        bias1: f32,
+        bias2: f32,
+    ) {
+        for i in 0..params.len() {
+            let g = grads[i];
+            m[i] = beta1 * m[i] + (1.0 - beta1) * g;
+            v[i] = beta2 * v[i] + (1.0 - beta2) * g * g;
+            let m_hat = m[i] / bias1;
+            let v_hat = v[i] / bias2;
+            params[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+        }
     }
 }
 
@@ -818,6 +971,190 @@ mod avx2 {
         let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
         let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
         _mm_cvtss_f32(s)
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn hmax(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let s = _mm_max_ps(lo, hi);
+        let s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 1));
+        _mm_cvtss_f32(s)
+    }
+
+    /// 8-lane [`fast_exp`](super::fast_exp) for non-positive exponents:
+    /// the same `2^n · p(f·ln2)` construction as the scalar function. The
+    /// polynomial runs on FMAs here while the scalar tail rounds each
+    /// multiply-add separately, so lanes and tail agree to ulp level (well
+    /// inside the documented 1e-5 bound), not bit-for-bit.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn exp8(z: __m256) -> __m256 {
+        let z = _mm256_max_ps(z, _mm256_set1_ps(-87.0));
+        let y = _mm256_mul_ps(z, _mm256_set1_ps(std::f32::consts::LOG2_E));
+        let n = _mm256_floor_ps(y);
+        let f = _mm256_mul_ps(_mm256_sub_ps(y, n), _mm256_set1_ps(super::LN_2));
+        let mut p = _mm256_set1_ps(super::EXP_C[0]);
+        for &c in &super::EXP_C[1..] {
+            p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(c));
+        }
+        p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(1.0));
+        let pow2n = _mm256_castsi256_ps(_mm256_slli_epi32(
+            _mm256_add_epi32(_mm256_cvtps_epi32(n), _mm256_set1_epi32(127)),
+            23,
+        ));
+        _mm256_mul_ps(p, pow2n)
+    }
+
+    /// Max over a slice: 8-wide reduction plus scalar tail.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn slice_max(xs: &[f32]) -> f32 {
+        let chunks = xs.chunks_exact(W);
+        let remainder = chunks.remainder();
+        let mut vmax = _mm256_set1_ps(f32::NEG_INFINITY);
+        for chunk in chunks {
+            vmax = _mm256_max_ps(vmax, _mm256_loadu_ps(chunk.as_ptr()));
+        }
+        let mut max = hmax(vmax);
+        for &x in remainder {
+            max = max.max(x);
+        }
+        max
+    }
+
+    /// 8-wide in-place stable softmax (see
+    /// [`softmax_inplace`](super::softmax_inplace) for the semantics).
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2+FMA are available.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn softmax_slice(xs: &mut [f32]) {
+        let max = slice_max(xs);
+        let maxv = _mm256_set1_ps(max);
+        let mut vsum = _mm256_setzero_ps();
+        let mut chunks = xs.chunks_exact_mut(W);
+        for chunk in &mut chunks {
+            let e = exp8(_mm256_sub_ps(_mm256_loadu_ps(chunk.as_ptr()), maxv));
+            _mm256_storeu_ps(chunk.as_mut_ptr(), e);
+            vsum = _mm256_add_ps(vsum, e);
+        }
+        let mut sum = hsum(vsum);
+        for x in chunks.into_remainder() {
+            *x = super::fast_exp(*x - max);
+            sum += *x;
+        }
+        if sum <= 0.0 || !sum.is_finite() {
+            xs.fill(1.0 / xs.len() as f32);
+            return;
+        }
+        let sumv = _mm256_set1_ps(sum);
+        let mut chunks = xs.chunks_exact_mut(W);
+        for chunk in &mut chunks {
+            let p = _mm256_div_ps(_mm256_loadu_ps(chunk.as_ptr()), sumv);
+            _mm256_storeu_ps(chunk.as_mut_ptr(), p);
+        }
+        for x in chunks.into_remainder() {
+            *x /= sum;
+        }
+    }
+
+    /// 8-wide in-place stable log-softmax (see
+    /// [`log_softmax_inplace`](super::log_softmax_inplace)).
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2+FMA are available.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn log_softmax_slice(xs: &mut [f32]) {
+        let max = slice_max(xs);
+        let maxv = _mm256_set1_ps(max);
+        let chunks = xs.chunks_exact(W);
+        let remainder = chunks.remainder();
+        let mut vsum = _mm256_setzero_ps();
+        for chunk in chunks {
+            vsum = _mm256_add_ps(
+                vsum,
+                exp8(_mm256_sub_ps(_mm256_loadu_ps(chunk.as_ptr()), maxv)),
+            );
+        }
+        let mut sum = hsum(vsum);
+        for &x in remainder {
+            sum += super::fast_exp(x - max);
+        }
+        let log_sum = sum.ln() + max;
+        let lsv = _mm256_set1_ps(log_sum);
+        let mut chunks = xs.chunks_exact_mut(W);
+        for chunk in &mut chunks {
+            let r = _mm256_sub_ps(_mm256_loadu_ps(chunk.as_ptr()), lsv);
+            _mm256_storeu_ps(chunk.as_mut_ptr(), r);
+        }
+        for x in chunks.into_remainder() {
+            *x -= log_sum;
+        }
+    }
+
+    /// 8-wide Adam update (see [`adam_step`](super::adam_step)): two FMAs
+    /// for the moment updates, vector sqrt + division for the step. The
+    /// scalar tail reuses the scalar reference kernel.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2+FMA are available and the slices share one
+    /// length (asserted by the dispatcher).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn adam_slice(
+        params: &mut [f32],
+        grads: &[f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        bias1: f32,
+        bias2: f32,
+    ) {
+        let n = params.len();
+        let b1 = _mm256_set1_ps(beta1);
+        let omb1 = _mm256_set1_ps(1.0 - beta1);
+        let b2 = _mm256_set1_ps(beta2);
+        let omb2 = _mm256_set1_ps(1.0 - beta2);
+        let inv_bias1 = _mm256_set1_ps(1.0 / bias1);
+        let inv_bias2v = _mm256_set1_ps(1.0 / bias2);
+        let epsv = _mm256_set1_ps(eps);
+        let lrv = _mm256_set1_ps(lr);
+        let (pp, gp, mp, vp) = (
+            params.as_mut_ptr(),
+            grads.as_ptr(),
+            m.as_mut_ptr(),
+            v.as_mut_ptr(),
+        );
+        let mut i = 0;
+        while i + W <= n {
+            let g = _mm256_loadu_ps(gp.add(i));
+            let mi = _mm256_fmadd_ps(b1, _mm256_loadu_ps(mp.add(i)), _mm256_mul_ps(omb1, g));
+            _mm256_storeu_ps(mp.add(i), mi);
+            let g2 = _mm256_mul_ps(g, g);
+            let vi = _mm256_fmadd_ps(b2, _mm256_loadu_ps(vp.add(i)), _mm256_mul_ps(omb2, g2));
+            _mm256_storeu_ps(vp.add(i), vi);
+            let m_hat = _mm256_mul_ps(mi, inv_bias1);
+            let v_hat = _mm256_mul_ps(vi, inv_bias2v);
+            let denom = _mm256_add_ps(_mm256_sqrt_ps(v_hat), epsv);
+            let step = _mm256_div_ps(_mm256_mul_ps(lrv, m_hat), denom);
+            _mm256_storeu_ps(pp.add(i), _mm256_sub_ps(_mm256_loadu_ps(pp.add(i)), step));
+            i += W;
+        }
+        super::scalar::adam(
+            &mut params[i..],
+            &grads[i..],
+            &mut m[i..],
+            &mut v[i..],
+            lr,
+            beta1,
+            beta2,
+            eps,
+            bias1,
+            bias2,
+        );
     }
 }
 

@@ -1,22 +1,36 @@
 //! Numerically-stable softmax / cross-entropy helpers with action masking.
+//!
+//! `softmax` and `log_softmax` run on the dispatched kernel backend
+//! ([`kernels::softmax_inplace`] / [`kernels::log_softmax_inplace`]): 8-wide
+//! AVX2+FMA with a polynomial `exp` on the SIMD backend, the historical
+//! `std`-exp formulas on the scalar reference backend (agreement within the
+//! documented bound is pinned by `tests/backend_diff.rs`).
 
-/// Softmax of a logits slice (stable: subtracts the max).
+use crate::kernels::{self, Backend};
+
+/// Softmax of a logits slice (stable: subtracts the max). Degenerate input
+/// (all `-inf` or NaN) falls back to uniform.
 pub fn softmax(logits: &[f32]) -> Vec<f32> {
-    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
-    let sum: f32 = exps.iter().sum();
-    if sum <= 0.0 || !sum.is_finite() {
-        // Degenerate input (all -inf or NaN): fall back to uniform.
-        return vec![1.0 / logits.len() as f32; logits.len()];
-    }
-    exps.iter().map(|&e| e / sum).collect()
+    let mut out = logits.to_vec();
+    softmax_inplace(&mut out);
+    out
+}
+
+/// [`softmax`] in place over a caller-owned buffer (allocation-free).
+pub fn softmax_inplace(logits: &mut [f32]) {
+    kernels::softmax_inplace(Backend::active(), logits);
 }
 
 /// Log-softmax of a logits slice (stable).
 pub fn log_softmax(logits: &[f32]) -> Vec<f32> {
-    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let log_sum: f32 = logits.iter().map(|&l| (l - max).exp()).sum::<f32>().ln() + max;
-    logits.iter().map(|&l| l - log_sum).collect()
+    let mut out = logits.to_vec();
+    log_softmax_inplace(&mut out);
+    out
+}
+
+/// [`log_softmax`] in place over a caller-owned buffer (allocation-free).
+pub fn log_softmax_inplace(logits: &mut [f32]) {
+    kernels::log_softmax_inplace(Backend::active(), logits);
 }
 
 /// Softmax restricted to the actions whose mask entry is `true`; masked-out

@@ -110,43 +110,52 @@ impl Adam {
             v: vec![0.0; num_parameters],
         }
     }
-
-    fn update(&mut self, idx: usize, param: &mut f32, grad: f32, bias1: f32, bias2: f32) {
-        let m = &mut self.m[idx];
-        *m = self.beta1 * *m + (1.0 - self.beta1) * grad;
-        let v = &mut self.v[idx];
-        *v = self.beta2 * *v + (1.0 - self.beta2) * grad * grad;
-        let m_hat = *m / bias1;
-        let v_hat = *v / bias2;
-        *param -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
-    }
 }
 
 impl Optimizer for Adam {
     fn step(&mut self, net: &mut Mlp) {
+        use crate::kernels::{self, Backend};
         self.t += 1;
         let bias1 = 1.0 - self.beta1.powi(self.t as i32);
         let bias2 = 1.0 - self.beta2.powi(self.t as i32);
+        let backend = Backend::active();
         let mut idx = 0usize;
         for layer in net.layers_mut() {
             let n = layer.weights.rows() * layer.weights.cols();
-            // Gradients are read in place (no clone, no allocation).
+            // Gradients are read in place (no clone, no allocation); the
+            // whole weight block updates through one contiguous kernel call
+            // (8-wide on the SIMD backend).
             if let Some(gw) = &layer.grad_weights {
-                let w = layer.weights.data_mut();
-                for (i, g) in gw.data().iter().enumerate() {
-                    let mut p = w[i];
-                    self.update(idx + i, &mut p, *g, bias1, bias2);
-                    w[i] = p;
-                }
+                kernels::adam_step(
+                    backend,
+                    layer.weights.data_mut(),
+                    gw.data(),
+                    &mut self.m[idx..idx + n],
+                    &mut self.v[idx..idx + n],
+                    self.lr,
+                    self.beta1,
+                    self.beta2,
+                    self.eps,
+                    bias1,
+                    bias2,
+                );
             }
             idx += n;
             if let Some(gb) = &layer.grad_bias {
-                let bias = &mut layer.bias;
-                for (i, g) in gb.iter().enumerate() {
-                    let mut p = bias[i];
-                    self.update(idx + i, &mut p, *g, bias1, bias2);
-                    bias[i] = p;
-                }
+                let nb = layer.bias.len();
+                kernels::adam_step(
+                    backend,
+                    &mut layer.bias,
+                    gb,
+                    &mut self.m[idx..idx + nb],
+                    &mut self.v[idx..idx + nb],
+                    self.lr,
+                    self.beta1,
+                    self.beta2,
+                    self.eps,
+                    bias1,
+                    bias2,
+                );
             }
             idx += layer.bias.len();
         }

@@ -218,6 +218,136 @@ proptest! {
             prop_assert!((s - v).abs() <= 4e-6, "element {i}: scalar {s} vs simd {v}");
         }
     }
+
+    #[test]
+    fn softmax_backends_agree(xs in prop::collection::vec(-30.0f32..30.0, 0..67)) {
+        // Scalar (std exp, the reference) vs 8-wide polynomial exp: the
+        // probabilities agree within 1e-5 and the SIMD distribution still
+        // sums to 1.
+        let mut scalar = xs.clone();
+        let mut simd = xs.clone();
+        tcrm_nn::kernels::softmax_inplace(Backend::Scalar, &mut scalar);
+        tcrm_nn::kernels::softmax_inplace(Backend::Simd, &mut simd);
+        for (i, (s, v)) in scalar.iter().zip(simd.iter()).enumerate() {
+            prop_assert!((s - v).abs() <= 1e-5, "element {i}: scalar {s} vs simd {v}");
+        }
+        if !xs.is_empty() {
+            let sum: f32 = simd.iter().sum();
+            prop_assert!((sum - 1.0).abs() <= 1e-5, "simd softmax sums to {sum}");
+            prop_assert!(simd.iter().all(|p| (0.0..=1.0 + 1e-6).contains(p)));
+        }
+    }
+
+    #[test]
+    fn log_softmax_backends_agree(xs in prop::collection::vec(-30.0f32..30.0, 1..67)) {
+        let mut scalar = xs.clone();
+        let mut simd = xs.clone();
+        tcrm_nn::kernels::log_softmax_inplace(Backend::Scalar, &mut scalar);
+        tcrm_nn::kernels::log_softmax_inplace(Backend::Simd, &mut simd);
+        for (i, (s, v)) in scalar.iter().zip(simd.iter()).enumerate() {
+            let scale = s.abs().max(v.abs()).max(1.0);
+            prop_assert!((s - v).abs() <= 1e-5 * scale,
+                "element {i}: scalar {s} vs simd {v}");
+        }
+        // Internal consistency on the SIMD side: exp(log_softmax) ≈ softmax.
+        let mut probs = xs.clone();
+        tcrm_nn::kernels::softmax_inplace(Backend::Simd, &mut probs);
+        for (i, (l, p)) in simd.iter().zip(probs.iter()).enumerate() {
+            prop_assert!((l.exp() - p).abs() <= 2e-5, "element {i}: {} vs {p}", l.exp());
+        }
+    }
+
+    #[test]
+    fn adam_backends_agree(
+        n in 0usize..70,
+        seed in 0u64..500,
+        steps in 1usize..4,
+        lr in 1e-4f32..0.1,
+    ) {
+        // Run several Adam steps over the same pseudo-random parameter/
+        // gradient block on both backends; parameters and both moment
+        // vectors must track within 1e-5 relative (the SIMD path contracts
+        // the moment updates into FMAs and multiplies by reciprocal bias
+        // corrections — ulp-level differences only).
+        let init = |salt: u64| -> Vec<f32> {
+            (0..n)
+                .map(|i| (((i as u64 * 2654435761 + seed * 97 + salt * 131) % 23) as f32 - 11.0) / 4.0)
+                .collect()
+        };
+        let mut ps = init(1);
+        let mut pv = ps.clone();
+        let (mut ms, mut vs) = (vec![0.0f32; n], vec![0.0f32; n]);
+        let (mut mv, mut vv) = (vec![0.0f32; n], vec![0.0f32; n]);
+        for t in 1..=steps {
+            let grads: Vec<f32> = init(10 + t as u64);
+            let bias1 = 1.0 - 0.9f32.powi(t as i32);
+            let bias2 = 1.0 - 0.999f32.powi(t as i32);
+            tcrm_nn::kernels::adam_step(
+                Backend::Scalar, &mut ps, &grads, &mut ms, &mut vs,
+                lr, 0.9, 0.999, 1e-8, bias1, bias2,
+            );
+            tcrm_nn::kernels::adam_step(
+                Backend::Simd, &mut pv, &grads, &mut mv, &mut vv,
+                lr, 0.9, 0.999, 1e-8, bias1, bias2,
+            );
+        }
+        for (name, a, b) in [("param", &ps, &pv), ("m", &ms, &mv), ("v", &vs, &vv)] {
+            for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                let scale = x.abs().max(y.abs()).max(1.0);
+                prop_assert!((x - y).abs() <= 1e-5 * scale,
+                    "{name}[{i}]: scalar {x} vs simd {y}");
+            }
+        }
+    }
+}
+
+/// `fast_exp` (the SIMD softmax exponent) against the f64 reference:
+/// relative error within the documented 1e-5 bound over the whole domain
+/// (the rounding of `z·log₂e` dominates at large `|z|`), and within 1e-6 on
+/// `[-2, 0]` where a softmax's probability mass lives.
+#[test]
+fn fast_exp_matches_f64_reference() {
+    let mut worst_all = 0.0f64;
+    let mut worst_near = 0.0f64;
+    let mut i = 0;
+    while i <= 87_000 {
+        let z = -(i as f32) / 1000.0;
+        let fast = f64::from(tcrm_nn::kernels::fast_exp(z));
+        let exact = f64::from(z).exp();
+        if exact > 0.0 {
+            let rel = ((fast - exact) / exact).abs();
+            worst_all = worst_all.max(rel);
+            if z >= -2.0 {
+                worst_near = worst_near.max(rel);
+            }
+        }
+        i += 7;
+    }
+    assert!(
+        worst_all <= 1e-5,
+        "fast_exp worst relative error {worst_all}"
+    );
+    assert!(
+        worst_near <= 1e-6,
+        "fast_exp worst near-zero relative error {worst_near}"
+    );
+    assert_eq!(tcrm_nn::kernels::fast_exp(0.0), 1.0);
+}
+
+/// Degenerate softmax input (all `-inf`): both backends fall back to the
+/// uniform distribution.
+#[test]
+fn softmax_degenerate_fallback_matches_on_both_backends() {
+    for backend in BACKENDS {
+        let mut xs = vec![f32::NEG_INFINITY; 9];
+        tcrm_nn::kernels::softmax_inplace(backend, &mut xs);
+        for p in xs {
+            assert!((p - 1.0 / 9.0).abs() < 1e-7, "{}: {p}", backend.name());
+        }
+        let mut empty: Vec<f32> = Vec::new();
+        tcrm_nn::kernels::softmax_inplace(backend, &mut empty);
+        assert!(empty.is_empty());
+    }
 }
 
 /// Forcing `TCRM_KERNEL` must be reflected by the process-wide dispatch

@@ -12,17 +12,54 @@ use serde::{Deserialize, Serialize};
 /// The cluster owns the node capacity bookkeeping and the placement search.
 /// It does not know about jobs or time; the [`crate::engine::Simulator`] maps
 /// jobs to placements through it.
+///
+/// Two pieces of *indexed state* keep the per-epoch cost independent of the
+/// node count:
+///
+/// * nodes are stored contiguously per class (the order
+///   [`ClusterSpec::build_nodes`] emits), so [`Self::nodes_of_class`] is a
+///   slice walk over one class instead of a filter over every node;
+/// * per-class free capacity is maintained **as deltas** on every
+///   [`Self::apply_placement`] / [`Self::release_placement`] instead of being
+///   re-summed over the nodes at every read —
+///   [`Self::free_capacity_of_class`] and everything built on it
+///   (utilisation sampling, view refills, feature extraction) is O(1) per
+///   class. [`Self::check_invariants`] cross-checks the aggregates against a
+///   fresh per-node sum.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Cluster {
     spec: ClusterSpec,
     nodes: Vec<Node>,
+    /// Contiguous `[start, end)` node-index range of each class.
+    class_ranges: Vec<(usize, usize)>,
+    /// Delta-maintained per-class free capacity (see the type docs).
+    free_by_class: Vec<ResourceVector>,
 }
 
 impl Cluster {
     /// Instantiate all nodes described by the spec.
     pub fn new(spec: ClusterSpec) -> Self {
         let nodes = spec.build_nodes();
-        Cluster { spec, nodes }
+        let mut class_ranges = Vec::with_capacity(spec.num_classes());
+        let mut start = 0usize;
+        for (ci, class) in spec.node_classes.iter().enumerate() {
+            let end = start + class.count;
+            class_ranges.push((start, end));
+            debug_assert!(
+                nodes[start..end].iter().all(|n| n.class == NodeClassId(ci)),
+                "build_nodes must emit classes contiguously"
+            );
+            start = end;
+        }
+        let free_by_class = (0..spec.num_classes())
+            .map(|ci| spec.class_capacity(NodeClassId(ci)))
+            .collect();
+        Cluster {
+            spec,
+            nodes,
+            class_ranges,
+            free_by_class,
+        }
     }
 
     /// The spec this cluster was built from.
@@ -31,10 +68,15 @@ impl Cluster {
     }
 
     /// Release every allocation, returning the cluster to its freshly built
-    /// state without reconstructing the nodes.
+    /// state without reconstructing the nodes. Re-derives the per-class
+    /// aggregates from the spec, so accumulated floating-point residue from a
+    /// previous run cannot carry over.
     pub fn reset(&mut self) {
         for node in &mut self.nodes {
             node.used = ResourceVector::zero();
+        }
+        for (ci, free) in self.free_by_class.iter_mut().enumerate() {
+            *free = self.spec.class_capacity(NodeClassId(ci));
         }
     }
 
@@ -58,15 +100,28 @@ impl Cluster {
         &self.nodes[id.0]
     }
 
-    /// Nodes of one class.
+    /// Nodes of one class (a contiguous slice walk, not a full-cluster
+    /// filter).
     pub fn nodes_of_class(&self, class: NodeClassId) -> impl Iterator<Item = &Node> {
-        self.nodes.iter().filter(move |n| n.class == class)
+        self.class_nodes(class).iter()
     }
 
-    /// Free capacity aggregated over one node class.
+    /// The contiguous node slice of one class.
+    pub fn class_nodes(&self, class: NodeClassId) -> &[Node] {
+        let (start, end) = self.class_ranges[class.0];
+        &self.nodes[start..end]
+    }
+
+    /// Position of `node` within its class (dense, in node-id order).
+    pub fn index_in_class(&self, node: NodeId) -> usize {
+        let class = self.nodes[node.0].class;
+        node.0 - self.class_ranges[class.0].0
+    }
+
+    /// Free capacity aggregated over one node class: an O(1) read of the
+    /// delta-maintained aggregate (clamped at zero to absorb float residue).
     pub fn free_capacity_of_class(&self, class: NodeClassId) -> ResourceVector {
-        self.nodes_of_class(class)
-            .fold(ResourceVector::zero(), |acc, n| acc + n.free())
+        self.free_by_class[class.0].max(&ResourceVector::zero())
     }
 
     /// Total capacity of one node class.
@@ -74,11 +129,14 @@ impl Cluster {
         self.spec.class_capacity(class)
     }
 
-    /// Free capacity aggregated over the whole cluster.
+    /// Free capacity aggregated over the whole cluster (O(classes), from the
+    /// delta-maintained aggregates).
     pub fn free_capacity(&self) -> ResourceVector {
-        self.nodes
+        self.free_by_class
             .iter()
-            .fold(ResourceVector::zero(), |acc, n| acc + n.free())
+            .fold(ResourceVector::zero(), |acc, f| {
+                acc + f.max(&ResourceVector::zero())
+            })
     }
 
     /// Per-dimension utilisation of one class in `[0, 1]`.
@@ -201,6 +259,7 @@ impl Cluster {
                 // symmetric; callers validate with find_placement first.
                 self.nodes[p.node.0].used += demand;
             }
+            self.free_by_class[self.nodes[p.node.0].class.0] -= demand;
         }
     }
 
@@ -209,6 +268,7 @@ impl Cluster {
         for p in placements {
             let demand = per_unit.scaled(p.units as f64);
             self.nodes[p.node.0].release(&demand);
+            self.free_by_class[self.nodes[p.node.0].class.0] += demand;
         }
     }
 
@@ -223,7 +283,9 @@ impl Cluster {
     }
 
     /// Sanity check used by tests and debug assertions: no node exceeds its
-    /// capacity and usage is non-negative.
+    /// capacity, usage is non-negative, and the delta-maintained per-class
+    /// free-capacity aggregates agree with a fresh per-node sum (within
+    /// floating-point tolerance).
     pub fn check_invariants(&self) -> Result<(), String> {
         for n in &self.nodes {
             if !n.used.is_non_negative() {
@@ -234,6 +296,19 @@ impl Cluster {
                     "{} over capacity: used {} capacity {}",
                     n.id, n.used, n.capacity
                 ));
+            }
+        }
+        for class in self.class_ids() {
+            let summed = self
+                .nodes_of_class(class)
+                .fold(ResourceVector::zero(), |acc, n| acc + n.free());
+            let aggregate = self.free_capacity_of_class(class);
+            for i in 0..NUM_RESOURCES {
+                if (summed.0[i] - aggregate.0[i]).abs() > 1e-6 {
+                    return Err(format!(
+                        "{class} free-capacity aggregate drifted: maintained {aggregate} vs summed {summed}"
+                    ));
+                }
             }
         }
         Ok(())

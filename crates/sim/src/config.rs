@@ -301,6 +301,18 @@ pub struct SimConfig {
     /// Hard cap on simulated time; the run aborts (completing metrics for the
     /// finished jobs only) if exceeded. Guards against livelock.
     pub max_sim_time: f64,
+    /// Maintain scheduler snapshots incrementally (apply recorded deltas to
+    /// a retained [`crate::view::ClusterView`] instead of rebuilding every
+    /// row at every decision epoch). `false` forces the full-rebuild
+    /// reference path on every refill — the two are property-tested
+    /// byte-identical; the switch exists for differential testing and for
+    /// benchmarking the refactor itself.
+    #[serde(default = "default_incremental_view")]
+    pub incremental_view: bool,
+}
+
+fn default_incremental_view() -> bool {
+    true
 }
 
 impl Default for SimConfig {
@@ -313,6 +325,7 @@ impl Default for SimConfig {
             util_sample_interval: 5.0,
             max_decisions_per_epoch: 64,
             max_sim_time: 1e6,
+            incremental_view: true,
         }
     }
 }

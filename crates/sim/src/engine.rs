@@ -10,7 +10,7 @@
 //!   a reinforcement-learning environment full control over decision epochs —
 //!   `tcrm-core::env::SchedulingEnv` is built on it.
 
-use crate::allocation::Allocation;
+use crate::allocation::{Allocation, Placement};
 use crate::cluster::Cluster;
 use crate::config::{ClusterSpec, SimConfig};
 use crate::event::{EventKind, EventQueue};
@@ -20,9 +20,12 @@ use crate::metrics::{
     UtilizationTrace,
 };
 use crate::node::NodeClassId;
+use crate::pending::PendingQueue;
+use crate::resources::ResourceVector;
 use crate::scheduler::{Action, ActionOutcome, Scheduler};
-use crate::view::{ClusterView, NodeClassView, RunningJobView};
+use crate::view::{ClusterView, NodeClassView, PendingJobView, RunningJobView, ViewSync};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Outcome of a full simulation run.
@@ -37,10 +40,19 @@ pub struct SimulationResult {
 }
 
 /// Internal bookkeeping for one running job.
+///
+/// Progress is **lazily reconciled**: between two rate changes (start,
+/// re-scale) a running job's execution rate is constant, so nothing touches
+/// the job while time advances. `remaining_work` and `unit_seconds` are the
+/// values *as of `last_update`*; [`Self::remaining_at`] derives the current
+/// remaining work on demand and [`Self::reconcile`] folds the elapsed span in
+/// exactly when the rate is about to change (or the job completes). Time
+/// advances are therefore O(1) instead of O(running jobs).
 #[derive(Debug, Clone)]
 struct RunningJob {
     job: Job,
     alloc: Allocation,
+    /// Remaining work as of `last_update` (not "now").
     remaining_work: f64,
     last_update: f64,
     started_at: f64,
@@ -48,15 +60,90 @@ struct RunningJob {
     version: u64,
     /// Time of the job's start or most recent re-scaling (cooldown tracking).
     last_scaled_at: f64,
-    /// Integral of parallelism over time (for the average-parallelism metric).
+    /// Integral of parallelism over time as of `last_update` (for the
+    /// average-parallelism metric).
     unit_seconds: f64,
     scale_count: u32,
+    /// Execution rate in work units per second — cached at start/re-scale
+    /// (it only depends on the placement class and the degree of
+    /// parallelism, both constant between re-scales).
+    rate: f64,
 }
 
 impl RunningJob {
-    fn rate(&self, cluster: &Cluster) -> f64 {
-        let speed = cluster.speed_factor(self.alloc.class, self.job.class);
-        speed * self.job.speedup.speedup(self.alloc.total_units())
+    fn compute_rate(cluster: &Cluster, alloc: &Allocation, job: &Job) -> f64 {
+        let speed = cluster.speed_factor(alloc.class, job.class);
+        speed * job.speedup.speedup(alloc.total_units())
+    }
+
+    /// Remaining work at `now`, derived from the last reconciled state.
+    fn remaining_at(&self, now: f64) -> f64 {
+        if now <= self.last_update {
+            self.remaining_work
+        } else {
+            (self.remaining_work - (now - self.last_update) * self.rate).max(0.0)
+        }
+    }
+
+    /// Fold the constant-rate span `[last_update, now]` into the stored
+    /// progress. Must run before the rate changes (re-scale) and at
+    /// completion.
+    fn reconcile(&mut self, now: f64) {
+        if now > self.last_update {
+            let dt = now - self.last_update;
+            self.remaining_work = (self.remaining_work - dt * self.rate).max(0.0);
+            self.unit_seconds += dt * self.alloc.total_units() as f64;
+            self.last_update = now;
+        }
+    }
+}
+
+/// One recorded change to the scheduler-visible state, the unit of the
+/// incremental view protocol (see [`Simulator::view_into`]). Deltas are
+/// **self-contained**: positions are valid in the view state that results
+/// from applying every earlier delta, and rows/capacities are captured at
+/// emit time, so a view can catch up from any recorded position.
+// Row-carrying variants stay inline: boxing them would put one heap
+// allocation on every arrival/start, breaking the allocation-free stepping
+// contract the counting-allocator tests pin.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+enum ViewDelta {
+    /// A job arrived: append this row to `pending` (its time-dependent
+    /// `wait` field is refreshed on every refill).
+    Arrived(PendingJobView),
+    /// A pending job started: remove the row at this arrival-order position.
+    PendingRemoved { pos: u32 },
+    /// A job started: insert this row at the given start-order position
+    /// (dynamic fields are refreshed on every refill).
+    RunningInserted { pos: u32, row: RunningJobView },
+    /// A running job completed: remove the row at this start-order position.
+    RunningRemoved { pos: u32 },
+    /// A node's free capacity changed: overwrite its `node_free` entry.
+    NodeFree {
+        class: u32,
+        index: u32,
+        free: ResourceVector,
+    },
+}
+
+/// Process-unique simulator identity for the view-sync protocol. Cloning a
+/// simulator deliberately mints a *fresh* id: a view synced against the
+/// original must not incrementally follow the clone's diverging change log.
+#[derive(Debug)]
+struct SimId(u64);
+
+static NEXT_SIM_ID: AtomicU64 = AtomicU64::new(1);
+
+impl SimId {
+    fn fresh() -> Self {
+        SimId(NEXT_SIM_ID.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl Clone for SimId {
+    fn clone(&self) -> Self {
+        SimId::fresh()
     }
 }
 
@@ -68,7 +155,7 @@ pub struct Simulator {
     cluster: Cluster,
     time: f64,
     events: EventQueue,
-    pending: Vec<Job>,
+    pending: PendingQueue,
     running: HashMap<JobId, RunningJob>,
     /// Running job ids kept sorted by `(started_at, id)` — the order
     /// [`Self::view`] exposes. Maintained incrementally on start/completion
@@ -90,6 +177,21 @@ pub struct Simulator {
     /// clamped forward to `self.time` (see [`Self::advance`]).
     clamped_events: u64,
     best_speed_cache: [f64; crate::job::JobClass::COUNT],
+    /// Process-unique identity for the incremental-view sync protocol.
+    sim_id: SimId,
+    /// Bumped on every [`Self::reset`]; views synced to an earlier run
+    /// rebuild instead of replaying a cleared change log.
+    run_epoch: u64,
+    /// Change log of scheduler-visible state (cleared on reset, skipped
+    /// entirely when `config.incremental_view` is off). The drivers compact
+    /// it once their view has consumed it — see [`Self::compact_log`] — so
+    /// its length is bounded by the deltas of a single decision epoch, not
+    /// the run: streaming runs keep their O(running + pending) memory
+    /// contract.
+    log: Vec<ViewDelta>,
+    /// Absolute log position of `log[0]`: view cursors are absolute, so
+    /// compaction just advances the base and views behind it rebuild.
+    log_base: usize,
 }
 
 impl Simulator {
@@ -107,7 +209,7 @@ impl Simulator {
             cluster,
             time: 0.0,
             events: EventQueue::new(),
-            pending: Vec::new(),
+            pending: PendingQueue::new(),
             running: HashMap::new(),
             running_order: Vec::new(),
             metrics: MetricsCollector::new(),
@@ -118,6 +220,10 @@ impl Simulator {
             aborted: false,
             clamped_events: 0,
             best_speed_cache,
+            sim_id: SimId::fresh(),
+            run_epoch: 0,
+            log: Vec::new(),
+            log_base: 0,
         }
     }
 
@@ -208,6 +314,13 @@ impl Simulator {
         self.pending.reserve(expected_jobs);
         self.running_order.reserve(expected_jobs.min(1024));
         self.metrics.reserve(expected_jobs);
+        // Budget the view change log: one entry per arrival plus a few per
+        // start/completion/scale, capped so huge streaming hints cannot
+        // reserve unbounded memory (longer runs fall back to amortised
+        // growth; the capacity persists across resets).
+        if self.config.incremental_view {
+            self.log.reserve(expected_jobs.saturating_mul(6).min(8_192));
+        }
         // Budget the utilisation trace: enough for the horizon the workload
         // plausibly covers, capped so pathological sampling intervals cannot
         // reserve unbounded memory. Runs that outlive the budget fall back to
@@ -276,12 +389,19 @@ impl Simulator {
             } else {
                 event.time
             };
-            self.update_progress(event_time);
+            // Running-job progress is lazily reconciled (constant rate
+            // between re-scales), so advancing the clock touches no job.
             self.time = event_time;
             match event.kind {
                 EventKind::JobArrival(job) => {
                     self.arrivals_remaining = self.arrivals_remaining.saturating_sub(1);
                     self.arrival_hint = self.arrival_hint.saturating_sub(1);
+                    if self.config.incremental_view {
+                        self.log
+                            .push(ViewDelta::Arrived(ClusterView::pending_view_of(
+                                &job, self.time,
+                            )));
+                    }
                     self.pending.push(job);
                     self.metrics.record_decision_epoch();
                     return true;
@@ -340,14 +460,71 @@ impl Simulator {
     }
 
     /// Refill a previously built snapshot in place — the allocation-free
-    /// sibling of [`Self::view`]. The static per-class skeleton (names,
-    /// capacities, speed factors) is built once and only the dynamic fields
-    /// are rewritten; pending/running rows are cleared and re-extended into
-    /// the retained buffers; running jobs come out in `(started_at, id)`
-    /// order straight from the incrementally maintained index, with no sort.
+    /// sibling of [`Self::view`].
+    ///
+    /// When the snapshot was last filled by **this simulator in this run**
+    /// (tracked through an engine-owned sync cookie) and
+    /// [`SimConfig::incremental_view`] is on, the refill is *incremental*:
+    /// the structural deltas recorded since the last refill (job arrived /
+    /// started / completed, node capacities touched) are replayed onto the
+    /// retained rows, and only the time-dependent fields (pending `wait`,
+    /// running `remaining_work`/`rate`/`units`/`scale_ready`, per-class free
+    /// capacity, the deadline index and the pending-work aggregate) are
+    /// refreshed — O(changes + rows) cheap field writes instead of
+    /// reconstructing every row and re-reading every node.
+    ///
+    /// Any view that cannot prove it is in sync — freshly built, fabricated,
+    /// last filled by another simulator or an earlier run — falls back to
+    /// [`Self::rebuild_view_into`], the full-rebuild reference. Both paths
+    /// produce byte-identical views (pinned by the paired-simulator property
+    /// tests in `tests/incremental_view.rs`).
     pub fn view_into(&self, out: &mut ClusterView) {
-        out.time = self.time;
-        out.future_arrivals = self.arrivals_remaining.max(self.arrival_hint);
+        let in_sync = self.config.incremental_view
+            && out.sync.sim_id == self.sim_id.0
+            && out.sync.run_epoch == self.run_epoch
+            && out.sync.log_pos >= self.log_base
+            && out.sync.log_pos - self.log_base <= self.log.len()
+            && Arc::ptr_eq(&out.spec, &self.spec);
+        if !in_sync {
+            self.rebuild_view_into(out);
+            return;
+        }
+        let from = out.sync.log_pos - self.log_base;
+        for delta in &self.log[from..] {
+            match delta {
+                ViewDelta::Arrived(row) => out.pending.push(row.clone()),
+                ViewDelta::PendingRemoved { pos } => {
+                    out.pending.remove(*pos as usize);
+                }
+                ViewDelta::RunningInserted { pos, row } => {
+                    out.running.insert(*pos as usize, row.clone())
+                }
+                ViewDelta::RunningRemoved { pos } => {
+                    out.running.remove(*pos as usize);
+                }
+                ViewDelta::NodeFree { class, index, free } => {
+                    out.classes[*class as usize].node_free[*index as usize] = *free;
+                }
+            }
+        }
+        out.sync.log_pos = self.log_base + self.log.len();
+        self.refresh_dynamic_fields(out);
+        // The deadline index comes straight from the engine-maintained
+        // order; the rebuild reference recomputes it by sorting, so the
+        // paired tests cross-check the maintained index itself.
+        out.pending_by_deadline.clear();
+        out.pending_by_deadline
+            .extend(self.pending.deadline_positions());
+    }
+
+    /// Rebuild every row of the snapshot from scratch — the full-rebuild
+    /// correctness reference of the incremental protocol (and the refill
+    /// path when the view is out of sync or `incremental_view` is off). The
+    /// static per-class skeleton (names, capacities, speed factors) is still
+    /// reused when the spec is unchanged; pending/running rows are cleared
+    /// and re-extended into the retained buffers, with running jobs in
+    /// `(started_at, id)` order straight from the maintained index.
+    pub fn rebuild_view_into(&self, out: &mut ClusterView) {
         // A spec change invalidates the whole static class skeleton (names,
         // node counts, capacities, speed factors), not just its length — a
         // view refilled from a different simulator must rebuild even when
@@ -375,7 +552,6 @@ impl Simulator {
                 .collect();
         } else {
             for (class_view, id) in out.classes.iter_mut().zip(self.cluster.class_ids()) {
-                class_view.free_capacity = self.cluster.free_capacity_of_class(id);
                 class_view.node_free.clear();
                 class_view
                     .node_free
@@ -389,29 +565,79 @@ impl Simulator {
                 .map(|j| ClusterView::pending_view_of(j, self.time)),
         );
         out.running.clear();
-        out.running.extend(self.running_order.iter().map(|id| {
+        out.running.extend(
+            self.running_order
+                .iter()
+                .map(|id| self.running_row(&self.running[id])),
+        );
+        self.refresh_dynamic_fields(out);
+        // Reference computation of the deadline index: an actual sort over
+        // the rows, independent of the engine-maintained order (into the
+        // retained buffer).
+        let (pending, index) = (&out.pending, &mut out.pending_by_deadline);
+        ClusterView::fill_sorted_deadline_index(pending, index);
+        out.sync = ViewSync {
+            sim_id: self.sim_id.0,
+            run_epoch: self.run_epoch,
+            log_pos: self.log_base + self.log.len(),
+        };
+    }
+
+    /// Rewrite the time-dependent fields shared by the incremental and
+    /// rebuild refill paths, using identical expressions so both produce
+    /// bit-identical snapshots: pending `wait` (and the pending-work
+    /// aggregate, summed in row order), the running rows' progress/rate/
+    /// cooldown state, per-class free capacity from the cluster's
+    /// delta-maintained aggregates, and the header fields.
+    fn refresh_dynamic_fields(&self, out: &mut ClusterView) {
+        out.time = self.time;
+        out.future_arrivals = self.arrivals_remaining.max(self.arrival_hint);
+        for (class_view, id) in out.classes.iter_mut().zip(self.cluster.class_ids()) {
+            class_view.free_capacity = self.cluster.free_capacity_of_class(id);
+        }
+        let mut pending_work = 0.0;
+        for row in &mut out.pending {
+            row.wait = (self.time - row.arrival).max(0.0);
+            pending_work += row.total_work;
+        }
+        out.pending_work_total = pending_work;
+        debug_assert_eq!(out.running.len(), self.running_order.len());
+        for (row, id) in out.running.iter_mut().zip(self.running_order.iter()) {
             let r = &self.running[id];
-            RunningJobView {
-                id: r.job.id,
-                class: r.job.class,
-                node_class: r.alloc.class,
-                units: r.alloc.total_units(),
-                remaining_work: r.remaining_work,
-                total_work: r.job.total_work,
-                arrival: r.job.arrival,
-                started_at: r.started_at,
-                deadline: r.job.deadline,
-                demand_per_unit: r.job.demand_per_unit,
-                min_parallelism: r.job.min_parallelism,
-                max_parallelism: r.job.max_parallelism,
-                speedup: r.job.speedup,
-                malleable: r.job.malleable,
-                rate: r.rate(&self.cluster),
-                utility_value: r.job.utility.value,
-                scale_ready: self.config.allow_scaling
-                    && self.time - r.last_scaled_at >= self.config.scale_cooldown - 1e-9,
-            }
-        }));
+            row.units = r.alloc.total_units();
+            row.remaining_work = r.remaining_at(self.time);
+            row.rate = r.rate;
+            row.scale_ready = self.scale_ready(r);
+        }
+    }
+
+    /// One running-job row, built with the exact expressions the refresh
+    /// pass uses for the dynamic fields.
+    fn running_row(&self, r: &RunningJob) -> RunningJobView {
+        RunningJobView {
+            id: r.job.id,
+            class: r.job.class,
+            node_class: r.alloc.class,
+            units: r.alloc.total_units(),
+            remaining_work: r.remaining_at(self.time),
+            total_work: r.job.total_work,
+            arrival: r.job.arrival,
+            started_at: r.started_at,
+            deadline: r.job.deadline,
+            demand_per_unit: r.job.demand_per_unit,
+            min_parallelism: r.job.min_parallelism,
+            max_parallelism: r.job.max_parallelism,
+            speedup: r.job.speedup,
+            malleable: r.job.malleable,
+            rate: r.rate,
+            utility_value: r.job.utility.value,
+            scale_ready: self.scale_ready(r),
+        }
+    }
+
+    fn scale_ready(&self, r: &RunningJob) -> bool {
+        self.config.allow_scaling
+            && self.time - r.last_scaled_at >= self.config.scale_cooldown - 1e-9
     }
 
     /// Apply one scheduling action at the current decision epoch.
@@ -465,6 +691,11 @@ impl Simulator {
         self.started = false;
         self.aborted = false;
         self.clamped_events = 0;
+        // Views synced to the previous run must rebuild, not replay a
+        // cleared change log.
+        self.run_epoch = self.run_epoch.wrapping_add(1);
+        self.log.clear();
+        self.log_base = 0;
     }
 
     // ------------------------------------------------------------------
@@ -608,6 +839,11 @@ impl Simulator {
                 self.pull_next_arrival(source);
             }
             let epoch_changed_state = self.decision_rounds(scheduler, view);
+            // The driver's view has consumed every recorded delta by the
+            // end of the epoch: drop them so the log stays O(one epoch)
+            // instead of O(whole run) — load-bearing for the streaming
+            // entry point's O(running + pending) memory contract.
+            self.compact_log(view);
             // Deadlock guard: nothing is running, nothing is left to arrive
             // and the scheduler did not (or could not) start any pending job
             // at this epoch — the state can never change again, so abort
@@ -658,9 +894,33 @@ impl Simulator {
         epoch_changed_state
     }
 
+    /// Drop change-log entries the given view has fully consumed (a no-op
+    /// unless the view is synced to the log tip). Cursors are absolute
+    /// positions, so compaction just advances `log_base` and clears the
+    /// buffer (capacity retained — the stepping paths stay
+    /// allocation-free); any *other* view still synced behind the new base
+    /// fails the `log_pos >= log_base` check on its next refill and falls
+    /// back to the full rebuild, never to a wrong replay.
+    ///
+    /// The bundled drivers ([`Self::run`], [`Self::run_reusing`],
+    /// [`Self::run_source`]) call this every epoch. Long-lived users of the
+    /// step-wise API that keep one refilled view (e.g. an RL environment)
+    /// should do the same after refilling it, so the log stays bounded by
+    /// one epoch instead of growing with the run.
+    pub fn compact_log(&mut self, view: &ClusterView) {
+        if self.config.incremental_view
+            && view.sync.sim_id == self.sim_id.0
+            && view.sync.run_epoch == self.run_epoch
+            && view.sync.log_pos == self.log_base + self.log.len()
+        {
+            self.log_base += self.log.len();
+            self.log.clear();
+        }
+    }
+
     /// Charge forfeited utility for every job still pending or running.
     fn charge_unfinished(&mut self) {
-        for job in &self.pending {
+        for job in self.pending.iter() {
             self.metrics.record_unfinished(job.utility.value);
         }
         for r in self.running.values() {
@@ -680,51 +940,55 @@ impl Simulator {
         self.aborted = true;
     }
 
-    /// Advance the remaining work of every running job to `now`.
-    /// Allocation-free: rates are computed in the same pass that applies
-    /// them (`running` and `cluster` are disjoint fields, so no snapshot
-    /// buffer is needed).
-    fn update_progress(&mut self, now: f64) {
-        if now <= self.time {
+    /// Record the current free capacity of every node a placement touched
+    /// (after the cluster mutation), so incremental views patch exactly the
+    /// dirty `node_free` entries.
+    fn log_node_frees(&mut self, placements: &[Placement]) {
+        if !self.config.incremental_view {
             return;
         }
-        let cluster = &self.cluster;
-        for r in self.running.values_mut() {
-            let dt = now - r.last_update;
-            if dt > 0.0 {
-                let rate = r.rate(cluster);
-                r.remaining_work = (r.remaining_work - dt * rate).max(0.0);
-                r.unit_seconds += dt * r.alloc.total_units() as f64;
-                r.last_update = now;
-            }
+        for p in placements {
+            let node = &self.cluster.nodes()[p.node.0];
+            self.log.push(ViewDelta::NodeFree {
+                class: node.class.0 as u32,
+                index: self.cluster.index_in_class(p.node) as u32,
+                free: node.free(),
+            });
         }
     }
 
+    /// (Re-)schedule the completion event of a job whose progress was just
+    /// reconciled (start or re-scale): `remaining_work` is current as of
+    /// `self.time` and `rate` freshly cached, so the finish prediction is a
+    /// single constant-rate extrapolation.
     fn schedule_completion(&mut self, job: JobId) {
         let (finish, version) = {
             let r = self.running.get_mut(&job).expect("unknown running job");
             r.version += 1;
-            let rate = {
-                let speed = self.cluster.speed_factor(r.alloc.class, r.job.class);
-                speed * r.job.speedup.speedup(r.alloc.total_units())
-            };
-            (self.time + r.remaining_work / rate.max(1e-12), r.version)
+            debug_assert_eq!(r.last_update, self.time, "schedule before reconcile");
+            (self.time + r.remaining_work / r.rate.max(1e-12), r.version)
         };
         self.events
             .push(finish, EventKind::JobCompletion { job, version });
     }
 
     fn complete_job(&mut self, job_id: JobId) {
-        if let Some(started_at) = self.running.get(&job_id).map(|r| r.started_at) {
-            // Must happen while the job is still in the map: the order
-            // index's sort key is looked up there.
-            self.remove_running_order(job_id, started_at);
-        }
-        let Some(r) = self.running.remove(&job_id) else {
+        let Some(started_at) = self.running.get(&job_id).map(|r| r.started_at) else {
             return;
         };
+        // Must happen while the job is still in the map: the order index's
+        // sort key is looked up there.
+        let pos = self.remove_running_order(job_id, started_at);
+        if self.config.incremental_view {
+            self.log.push(ViewDelta::RunningRemoved { pos: pos as u32 });
+        }
+        let mut r = self.running.remove(&job_id).expect("running job vanished");
+        // Fold the final constant-rate span into the progress integrals
+        // before the record is written.
+        r.reconcile(self.time);
         self.cluster
             .release_placement(&r.alloc.demand_per_unit, &r.alloc.placements);
+        self.log_node_frees(&r.alloc.placements);
         let job = &r.job;
         let finish = self.time;
         let wait = r.started_at - job.arrival;
@@ -764,17 +1028,24 @@ impl Simulator {
         if class.0 >= self.cluster.num_classes() {
             return ActionOutcome::Invalid("unknown node class");
         }
-        let Some(idx) = self.pending.iter().position(|j| j.id == job_id) else {
+        // O(1) id-indexed lookup (the old path scanned the whole queue).
+        let Some(job) = self.pending.get(job_id) else {
             return ActionOutcome::Invalid("job not pending");
         };
-        let units = self.pending[idx].clamp_parallelism(parallelism);
-        let demand = self.pending[idx].demand_per_unit;
+        let units = job.clamp_parallelism(parallelism);
+        let demand = job.demand_per_unit;
         let Some(placements) = self.cluster.find_placement(class, &demand, units) else {
             return ActionOutcome::Invalid("insufficient capacity");
         };
-        let job = self.pending.remove(idx);
+        let (job, pending_pos) = self.pending.remove(job_id).expect("pending job vanished");
+        if self.config.incremental_view {
+            self.log
+                .push(ViewDelta::PendingRemoved { pos: pending_pos });
+        }
         self.cluster.apply_placement(&demand, &placements);
+        self.log_node_frees(&placements);
         let alloc = Allocation::new(job.id, class, placements, demand);
+        let rate = RunningJob::compute_rate(&self.cluster, &alloc, &job);
         let running = RunningJob {
             remaining_work: job.total_work,
             last_update: self.time,
@@ -783,19 +1054,28 @@ impl Simulator {
             last_scaled_at: self.time,
             unit_seconds: 0.0,
             scale_count: 0,
+            rate,
             alloc,
             job,
         };
         self.running.insert(job_id, running);
-        self.insert_running_order(job_id);
+        let order_pos = self.insert_running_order(job_id);
+        if self.config.incremental_view {
+            let row = self.running_row(&self.running[&job_id]);
+            self.log.push(ViewDelta::RunningInserted {
+                pos: order_pos as u32,
+                row,
+            });
+        }
         self.schedule_completion(job_id);
         ActionOutcome::Started
     }
 
-    /// Insert `job_id` into the `(started_at, id)`-sorted order index.
-    /// Jobs start at the current clock, so the insertion point is at or very
-    /// near the tail; the binary search only resolves same-timestamp ties.
-    fn insert_running_order(&mut self, job_id: JobId) {
+    /// Insert `job_id` into the `(started_at, id)`-sorted order index and
+    /// return its position. Jobs start at the current clock, so the
+    /// insertion point is at or very near the tail; the binary search only
+    /// resolves same-timestamp ties.
+    fn insert_running_order(&mut self, job_id: JobId) -> usize {
         let key = |id: &JobId| {
             let r = &self.running[id];
             (r.started_at, *id)
@@ -803,25 +1083,29 @@ impl Simulator {
         let probe = key(&job_id);
         let pos = self.running_order.partition_point(|id| key(id) < probe);
         self.running_order.insert(pos, job_id);
+        pos
     }
 
-    /// Remove `job_id` from the order index (binary search on the sort key,
-    /// then a shift — no allocation).
-    fn remove_running_order(&mut self, job_id: JobId, started_at: f64) {
+    /// Remove `job_id` from the order index and return the position it
+    /// occupied. Pure binary search — O(log n) in all cases: the
+    /// `(started_at, id)` key is unique and totally ordered (start times are
+    /// engine clock readings, which are always finite and non-decreasing),
+    /// so the probe lands exactly on the job's entry. Index corruption is a
+    /// bug, not a recoverable state — it would silently desynchronise every
+    /// incremental view — so it panics instead of degrading to a linear
+    /// scan.
+    fn remove_running_order(&mut self, job_id: JobId, started_at: f64) -> usize {
         let probe = (started_at, job_id);
         let pos = self.running_order.partition_point(|id| {
             let r = &self.running[id];
             (r.started_at, *id) < probe
         });
-        debug_assert!(
+        assert!(
             self.running_order.get(pos) == Some(&job_id),
             "running-order index out of sync for {job_id}"
         );
-        if self.running_order.get(pos) == Some(&job_id) {
-            self.running_order.remove(pos);
-        } else if let Some(fallback) = self.running_order.iter().position(|id| *id == job_id) {
-            self.running_order.remove(fallback);
-        }
+        self.running_order.remove(pos);
+        pos
     }
 
     fn apply_scale(&mut self, job_id: JobId, new_parallelism: u32) -> ActionOutcome {
@@ -845,25 +1129,35 @@ impl Simulator {
         let class = r.alloc.class;
         let demand = r.job.demand_per_unit;
         let reconfig_cost = r.job.total_work * self.config.reconfig_cost_frac;
+        let speed = self.cluster.speed_factor(class, r.job.class);
+        let speedup = r.job.speedup;
         if target > current {
             let extra = target - current;
             let Some(placements) = self.cluster.find_placement(class, &demand, extra) else {
                 return ActionOutcome::Invalid("insufficient capacity for scale-up");
             };
             self.cluster.apply_placement(&demand, &placements);
+            self.log_node_frees(&placements);
             let r = self.running.get_mut(&job_id).expect("running job vanished");
+            // Fold the progress of the old-rate span in before the rate
+            // changes (lazy-reconciliation contract).
+            r.reconcile(self.time);
             r.alloc.grow(&placements);
             r.remaining_work += reconfig_cost;
             r.scale_count += 1;
             r.last_scaled_at = self.time;
+            r.rate = speed * speedup.speedup(r.alloc.total_units());
         } else {
             let shrink_by = current - target;
             let r = self.running.get_mut(&job_id).expect("running job vanished");
+            r.reconcile(self.time);
             let released = r.alloc.shrink(shrink_by);
             r.remaining_work += reconfig_cost;
             r.scale_count += 1;
             r.last_scaled_at = self.time;
+            r.rate = speed * speedup.speedup(r.alloc.total_units());
             self.cluster.release_placement(&demand, &released);
+            self.log_node_frees(&released);
         }
         self.metrics.record_scale_event();
         self.schedule_completion(job_id);
@@ -1215,6 +1509,8 @@ mod tests {
             assert_eq!(fresh.classes, reused.classes);
             assert_eq!(fresh.pending, reused.pending);
             assert_eq!(fresh.running, reused.running);
+            assert_eq!(fresh.pending_by_deadline, reused.pending_by_deadline);
+            assert_eq!(fresh.pending_work_total, reused.pending_work_total);
             epochs += 1;
             // Drive a simple policy so the running set stays busy.
             if let Some(job) = reused.pending.first() {
@@ -1401,6 +1697,38 @@ mod tests {
         let summary = sim.run_source(endless.take(40), &mut EagerMin, &mut view);
         assert_eq!(summary.total_jobs, 40);
         assert_eq!(summary.completed_jobs, 40);
+    }
+
+    #[test]
+    fn change_log_stays_bounded_over_long_streaming_runs() {
+        // The drivers compact the view change log each epoch: a long
+        // streamed run must keep the log at O(one epoch), not O(jobs) —
+        // the streaming entry point's O(running + pending) memory contract.
+        let endless = (0u64..).map(|i| simple_job(i, i as f64 * 2.3, 2.0, 1e8));
+        let mut cfg = SimConfig::default();
+        cfg.max_sim_time = 1e7;
+        let mut sim = Simulator::new(tiny_spec(), cfg);
+        let mut view = sim.view();
+        let summary = sim.run_source(endless.take(2000), &mut EagerMin, &mut view);
+        assert_eq!(summary.completed_jobs, 2000);
+        assert!(
+            sim.log.len() <= 64,
+            "change log not compacted: {} entries retained",
+            sim.log.len()
+        );
+        assert!(
+            sim.log_base > 2000,
+            "compaction never advanced the base ({})",
+            sim.log_base
+        );
+        // And the compacted engine still refills views correctly.
+        sim.reset();
+        sim.start(vec![simple_job(0, 0.0, 5.0, 100.0)]);
+        assert!(sim.advance());
+        sim.view_into(&mut view);
+        let fresh = sim.view();
+        assert_eq!(fresh.pending, view.pending);
+        assert_eq!(fresh.running, view.running);
     }
 
     #[test]

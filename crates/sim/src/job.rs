@@ -284,6 +284,9 @@ impl Job {
         if !(self.total_work > 0.0) {
             return Err(format!("{}: total_work must be positive", self.id));
         }
+        if !self.arrival.is_finite() || !self.deadline.is_finite() || !self.total_work.is_finite() {
+            return Err(format!("{}: arrival/deadline/work must be finite", self.id));
+        }
         if self.min_parallelism == 0 {
             return Err(format!("{}: min_parallelism must be >= 1", self.id));
         }

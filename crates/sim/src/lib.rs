@@ -64,6 +64,7 @@ pub mod event;
 pub mod job;
 pub mod metrics;
 pub mod node;
+pub mod pending;
 pub mod resources;
 pub mod scheduler;
 pub mod stats;
@@ -80,6 +81,7 @@ pub use metrics::{
     UtilizationTrace, MAX_NODE_CLASSES,
 };
 pub use node::{Node, NodeClassId, NodeId};
+pub use pending::PendingQueue;
 pub use resources::{ResourceKind, ResourceVector, NUM_RESOURCES};
 pub use scheduler::{Action, Scheduler};
 pub use view::{ClusterView, NodeClassView, PendingJobView, RunningJobView};

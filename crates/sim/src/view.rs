@@ -40,21 +40,51 @@ impl NodeClassView {
         }
         self.node_free
             .iter()
-            .map(|free| {
-                let mut fit = u32::MAX;
-                for i in 0..crate::resources::NUM_RESOURCES {
-                    let d = per_unit.0[i];
-                    if d > 0.0 {
-                        fit = fit.min(((free.0[i] + 1e-9) / d).floor().max(0.0) as u32);
-                    }
-                }
-                if fit == u32::MAX {
-                    0
-                } else {
-                    fit
-                }
-            })
+            .map(|free| unit_fit(free, per_unit))
             .sum()
+    }
+
+    /// Upper bound on placeable units from the class-level free-capacity
+    /// aggregate, ignoring fragmentation. Never below the true per-node
+    /// answer, and O(resource dims) instead of O(nodes) — the fast
+    /// infeasibility screen for saturated classes.
+    #[inline]
+    pub fn aggregate_unit_bound(&self, per_unit: &ResourceVector) -> u32 {
+        unit_fit(&self.free_capacity, per_unit)
+    }
+
+    /// [`Self::units_available`], stopping as soon as `cap` units are
+    /// proven placeable: returns `min(units_available, cap)`.
+    ///
+    /// Feasibility queries never need more than the requested parallelism,
+    /// so this replaces the full node walk in the hot scheduler paths with
+    /// (a) the O(dims) aggregate screen — which alone rejects requests on
+    /// saturated classes, the common case under load — and (b) a node walk
+    /// that exits as soon as the target is reached (typically after one or
+    /// two machines on an unsaturated class).
+    pub fn units_available_capped(&self, per_unit: &ResourceVector, cap: u32) -> u32 {
+        if per_unit.total() <= 0.0 {
+            return cap;
+        }
+        let bound = self.aggregate_unit_bound(per_unit);
+        if bound == 0 {
+            return 0;
+        }
+        let cap = cap.min(bound);
+        let mut total = 0u32;
+        for free in &self.node_free {
+            total = total.saturating_add(unit_fit(free, per_unit));
+            if total >= cap {
+                return cap;
+            }
+        }
+        total
+    }
+
+    /// True when `units` units of `per_unit` demand fit on this class right
+    /// now (fragmentation-aware, early-exiting).
+    pub fn can_host(&self, per_unit: &ResourceVector, units: u32) -> bool {
+        self.units_available_capped(per_unit, units) >= units
     }
 
     /// Speed factor for one job class.
@@ -78,6 +108,25 @@ impl NodeClassView {
         } else {
             0.0
         }
+    }
+}
+
+/// Whole units of `per_unit` demand fitting into `free` capacity (0 when
+/// no dimension carries positive demand — callers screen zero-demand
+/// requests first).
+#[inline]
+fn unit_fit(free: &ResourceVector, per_unit: &ResourceVector) -> u32 {
+    let mut fit = u32::MAX;
+    for i in 0..crate::resources::NUM_RESOURCES {
+        let d = per_unit.0[i];
+        if d > 0.0 {
+            fit = fit.min(((free.0[i] + 1e-9) / d).floor().max(0.0) as u32);
+        }
+    }
+    if fit == u32::MAX {
+        0
+    } else {
+        fit
     }
 }
 
@@ -207,7 +256,32 @@ impl RunningJobView {
     }
 }
 
+/// Synchronisation cookie of the incremental view maintenance protocol.
+///
+/// A [`ClusterView`] refilled by [`crate::engine::Simulator::view_into`]
+/// remembers which simulator instance, run and change-log position it
+/// mirrors; a matching cookie lets the next refill apply only the deltas
+/// recorded since, anything else falls back to a full rebuild. The cookie is
+/// engine-owned state: it never serialises and a fabricated or deserialized
+/// view starts unsynced (cookie zeroed), which is always safe — the first
+/// refill rebuilds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct ViewSync {
+    /// Identity of the simulator the view last mirrored (0 = never synced).
+    pub sim_id: u64,
+    /// The simulator's run epoch (bumped on every reset) at last refill.
+    pub run_epoch: u64,
+    /// Change-log position up to which deltas have been applied.
+    pub log_pos: usize,
+}
+
 /// The complete decision-epoch snapshot handed to a [`crate::scheduler::Scheduler`].
+///
+/// Views are **engine-maintained**: between two refills by the same
+/// simulator the engine patches only what changed (see
+/// [`crate::engine::Simulator::view_into`]). Do not structurally mutate a
+/// view that will be refilled again — clone it first (schedulers receive
+/// `&ClusterView` and cannot, but tests holding the buffer could).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ClusterView {
     /// Current simulated time.
@@ -222,11 +296,25 @@ pub struct ClusterView {
     pub running: Vec<RunningJobView>,
     /// Number of jobs that have not yet arrived.
     pub future_arrivals: usize,
+    /// Indices into [`Self::pending`] ordered by `(deadline, id)` — the
+    /// engine-maintained deadline index. EDF-family schedulers and the DRL
+    /// queue-slot encoder iterate [`Self::pending_in_deadline_order`]
+    /// instead of re-sorting the queue at every decision.
+    #[serde(default)]
+    pub pending_by_deadline: Vec<u32>,
+    /// Sum of `total_work` over the pending jobs (maintained alongside the
+    /// rows so feature extraction reads it instead of re-summing).
+    #[serde(default)]
+    pub pending_work_total: f64,
+    /// Incremental-refill cookie (engine-owned, never serialised).
+    #[serde(skip)]
+    pub(crate) sync: ViewSync,
 }
 
 impl ClusterView {
     /// Build a view (used by the engine; exposed for tests of downstream
-    /// schedulers that want to fabricate synthetic views).
+    /// schedulers that want to fabricate synthetic views). The deadline
+    /// index and pending-work aggregate are derived from `pending`.
     pub fn new(
         time: f64,
         spec: Arc<ClusterSpec>,
@@ -235,6 +323,8 @@ impl ClusterView {
         running: Vec<RunningJobView>,
         future_arrivals: usize,
     ) -> Self {
+        let pending_by_deadline = Self::sorted_deadline_index(&pending);
+        let pending_work_total = pending.iter().map(|j| j.total_work).sum();
         ClusterView {
             time,
             spec,
@@ -242,7 +332,43 @@ impl ClusterView {
             pending,
             running,
             future_arrivals,
+            pending_by_deadline,
+            pending_work_total,
+            sync: ViewSync::default(),
         }
+    }
+
+    /// Compute the `(deadline, id)`-sorted index over a pending-row slice
+    /// from scratch (the full-rebuild reference for the engine-maintained
+    /// index).
+    pub fn sorted_deadline_index(pending: &[PendingJobView]) -> Vec<u32> {
+        let mut index = Vec::new();
+        Self::fill_sorted_deadline_index(pending, &mut index);
+        index
+    }
+
+    /// [`Self::sorted_deadline_index`] into a caller-retained buffer
+    /// (allocation-free once `out` has capacity; `sort_unstable` sorts in
+    /// place).
+    pub fn fill_sorted_deadline_index(pending: &[PendingJobView], out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(0..pending.len() as u32);
+        out.sort_unstable_by(|&a, &b| {
+            let (ja, jb) = (&pending[a as usize], &pending[b as usize]);
+            ja.deadline
+                .partial_cmp(&jb.deadline)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(ja.id.cmp(&jb.id))
+        });
+    }
+
+    /// Pending jobs in `(deadline, id)` order, straight from the maintained
+    /// index — no sort.
+    pub fn pending_in_deadline_order(&self) -> impl Iterator<Item = &PendingJobView> + '_ {
+        debug_assert_eq!(self.pending_by_deadline.len(), self.pending.len());
+        self.pending_by_deadline
+            .iter()
+            .map(move |&i| &self.pending[i as usize])
     }
 
     /// One class view by id.
@@ -266,23 +392,26 @@ impl ClusterView {
     }
 
     /// Can `parallelism` units of this pending job be placed on `class` right
-    /// now? (Fragmentation-aware.)
+    /// now? (Fragmentation-aware; screened through the class free-capacity
+    /// aggregate and early-exiting, so a saturated class answers in O(dims)
+    /// and an open one after a node or two — never a full node walk.)
     pub fn can_start(&self, job: &PendingJobView, class: NodeClassId, parallelism: u32) -> bool {
         if parallelism < job.min_parallelism || parallelism > job.max_parallelism {
             return false;
         }
-        self.classes[class.0].units_available(&job.demand_per_unit) >= parallelism
+        self.classes[class.0].can_host(&job.demand_per_unit, parallelism)
     }
 
     /// The largest feasible parallelism for `job` on `class`, capped by the
-    /// job's maximum, or `None` if not even the minimum fits.
+    /// job's maximum, or `None` if not even the minimum fits. (Counts at
+    /// most `max_parallelism` units — same screens as [`Self::can_start`].)
     pub fn max_feasible_parallelism(
         &self,
         job: &PendingJobView,
         class: NodeClassId,
     ) -> Option<u32> {
-        let available = self.classes[class.0].units_available(&job.demand_per_unit);
-        let feasible = available.min(job.max_parallelism);
+        let feasible =
+            self.classes[class.0].units_available_capped(&job.demand_per_unit, job.max_parallelism);
         if feasible >= job.min_parallelism {
             Some(feasible)
         } else {
@@ -365,6 +494,60 @@ mod tests {
         let per_unit = ResourceVector::of(3.0, 4.0, 0.0, 1.0);
         // node 0 fits 1 (4/3), node 1 fits 2 (8/3) -> 3
         assert_eq!(view.classes[0].units_available(&per_unit), 3);
+    }
+
+    #[test]
+    fn capped_units_match_full_count_up_to_the_cap() {
+        let view = make_view();
+        let class = &view.classes[0];
+        for per_unit in [
+            ResourceVector::of(3.0, 4.0, 0.0, 1.0),
+            ResourceVector::of(1.0, 2.0, 0.0, 0.5),
+            ResourceVector::of(100.0, 1.0, 0.0, 0.0), // fits nowhere
+        ] {
+            let full = class.units_available(&per_unit);
+            for cap in 0..12u32 {
+                assert_eq!(
+                    class.units_available_capped(&per_unit, cap),
+                    full.min(cap),
+                    "cap {cap} demand {per_unit}"
+                );
+                assert_eq!(class.can_host(&per_unit, cap), full >= cap, "cap {cap}");
+            }
+            // The aggregate screen is a true upper bound.
+            assert!(class.aggregate_unit_bound(&per_unit) >= full);
+        }
+    }
+
+    #[test]
+    fn deadline_order_iterates_by_deadline_then_id() {
+        let mut view = make_view();
+        let base = view.pending[0].clone();
+        view.pending = vec![
+            PendingJobView {
+                id: JobId(5),
+                deadline: 30.0,
+                ..base.clone()
+            },
+            PendingJobView {
+                id: JobId(1),
+                deadline: 10.0,
+                ..base.clone()
+            },
+            PendingJobView {
+                id: JobId(9),
+                deadline: 10.0,
+                ..base.clone()
+            },
+            PendingJobView {
+                id: JobId(3),
+                deadline: 20.0,
+                ..base
+            },
+        ];
+        view.pending_by_deadline = ClusterView::sorted_deadline_index(&view.pending);
+        let ids: Vec<u64> = view.pending_in_deadline_order().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![1, 9, 3, 5]);
     }
 
     #[test]
