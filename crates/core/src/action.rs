@@ -136,7 +136,17 @@ impl ActionSpace {
 
     /// Feasibility mask over all action indices for the current view.
     pub fn mask(&self, view: &ClusterView, encoder: &StateEncoder) -> Vec<bool> {
-        let mut mask = vec![false; self.action_count()];
+        let mut mask = Vec::new();
+        self.mask_into(view, encoder, &mut mask);
+        mask
+    }
+
+    /// [`Self::mask`] into a caller-owned buffer (clear-and-refill), the
+    /// counterpart of [`StateEncoder::encode_into`] for the batched rollout
+    /// hot path.
+    pub fn mask_into(&self, view: &ClusterView, encoder: &StateEncoder, mask: &mut Vec<bool>) {
+        mask.clear();
+        mask.resize(self.action_count(), false);
         let queue = encoder.queue_slot_jobs(view);
         for (slot, job) in queue.iter().enumerate().take(self.queue_slots) {
             for class_idx in 0..self.num_classes.min(view.num_classes()) {
@@ -171,7 +181,6 @@ impl ActionSpace {
             }
         }
         mask[self.wait_index()] = true;
-        mask
     }
 
     /// Decode an action index into a simulator action for the current view.

@@ -167,6 +167,17 @@ pub struct TrainConfig {
     pub entropy_coef: f64,
     /// Base seed for workload generation, network init and exploration.
     pub seed: u64,
+    /// Number of environments stepped in lockstep during rollouts (the
+    /// `VecEnv` pool size). `1` reproduces the single-environment trainer
+    /// seed for seed; larger pools batch more rows per policy forward and
+    /// are faster, with numerics that may differ bitwise (wider batched
+    /// kernels) but the same per-episode seeds and boundaries.
+    #[serde(default = "default_num_envs")]
+    pub num_envs: usize,
+}
+
+fn default_num_envs() -> usize {
+    1
 }
 
 impl Default for TrainConfig {
@@ -180,6 +191,7 @@ impl Default for TrainConfig {
             learning_rate: 1e-3,
             entropy_coef: 0.01,
             seed: 0,
+            num_envs: default_num_envs(),
         }
     }
 }
@@ -191,6 +203,7 @@ impl TrainConfig {
             iterations: 5,
             episodes_per_iteration: 2,
             jobs_per_episode: 10,
+            num_envs: 2,
             ..Default::default()
         }
     }

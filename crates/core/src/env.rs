@@ -60,6 +60,10 @@ pub struct SchedulingEnv {
     /// cannot spin forever re-scaling jobs back and forth without letting
     /// simulated time advance).
     epoch_actions: usize,
+    /// Reusable encode/mask buffers: [`Environment::step_into`] refreshes
+    /// these in place every step instead of allocating fresh `Step` vectors.
+    obs_scratch: Vec<f32>,
+    mask_scratch: Vec<bool>,
 }
 
 impl SchedulingEnv {
@@ -87,6 +91,8 @@ impl SchedulingEnv {
             episode_utility: 0.0,
             episode_misses: 0,
             epoch_actions: 0,
+            obs_scratch: Vec::new(),
+            mask_scratch: Vec::new(),
         }
     }
 
@@ -143,18 +149,22 @@ impl SchedulingEnv {
         }
     }
 
-    fn make_step(&self, view: &ClusterView) -> Step {
-        Step::new(
-            self.encoder.encode(view),
-            self.actions.mask(view, &self.encoder),
-        )
+    /// Encode the view and its feasibility mask into the caller's buffers,
+    /// staging through the env-owned scratch so nothing is allocated once the
+    /// scratch has warmed.
+    fn write_step_into(&mut self, view: &ClusterView, obs: &mut [f32], mask: &mut [bool]) {
+        self.encoder.encode_into(view, &mut self.obs_scratch);
+        obs.copy_from_slice(&self.obs_scratch);
+        self.actions
+            .mask_into(view, &self.encoder, &mut self.mask_scratch);
+        mask.copy_from_slice(&self.mask_scratch);
     }
 
     /// A terminal step: all-zero observation, only wait feasible.
-    fn terminal_step(&self) -> Step {
-        let mut mask = vec![false; self.actions.action_count()];
+    fn write_terminal_into(&self, obs: &mut [f32], mask: &mut [bool]) {
+        obs.fill(0.0);
+        mask.fill(false);
         mask[self.actions.wait_index()] = true;
-        Step::new(vec![0.0; self.encoder.observation_dim()], mask)
     }
 
     /// Collect the reward accrued since the previous step and update the
@@ -173,11 +183,14 @@ impl SchedulingEnv {
     }
 
     /// Whether any non-wait action is feasible in the view.
-    fn has_feasible_work(&self, view: &ClusterView) -> bool {
-        let mask = self.actions.mask(view, &self.encoder);
-        mask.iter()
+    fn has_feasible_work(&mut self, view: &ClusterView) -> bool {
+        self.actions
+            .mask_into(view, &self.encoder, &mut self.mask_scratch);
+        let wait = self.actions.wait_index();
+        self.mask_scratch
+            .iter()
             .enumerate()
-            .any(|(i, &m)| m && i != self.actions.wait_index())
+            .any(|(i, &m)| m && i != wait)
     }
 }
 
@@ -191,6 +204,24 @@ impl Environment for SchedulingEnv {
     }
 
     fn reset(&mut self, seed: u64) -> Step {
+        let mut observation = vec![0.0; self.observation_dim()];
+        let mut mask = vec![false; self.action_count()];
+        self.reset_into(seed, &mut observation, &mut mask);
+        Step::new(observation, mask)
+    }
+
+    fn step(&mut self, action: usize) -> Transition {
+        let mut observation = vec![0.0; self.observation_dim()];
+        let mut mask = vec![false; self.action_count()];
+        let (reward, done) = self.step_into(action, &mut observation, &mut mask);
+        Transition {
+            reward,
+            done,
+            next: Step::new(observation, mask),
+        }
+    }
+
+    fn reset_into(&mut self, seed: u64, observation: &mut [f32], mask: &mut [bool]) {
         let jobs = self.episode_jobs(seed);
         let mut sim = Simulator::new(self.cluster.clone(), self.sim_config.clone());
         sim.start(jobs);
@@ -206,16 +237,20 @@ impl Environment for SchedulingEnv {
         sim.view_into(&mut view);
         sim.compact_log(&view);
         self.sim = Some(sim);
-        let step = if alive {
-            self.make_step(&view)
+        if alive {
+            self.write_step_into(&view, observation, mask);
         } else {
-            self.terminal_step()
-        };
+            self.write_terminal_into(observation, mask);
+        }
         self.current_view = Some(view);
-        step
     }
 
-    fn step(&mut self, action: usize) -> Transition {
+    fn step_into(
+        &mut self,
+        action: usize,
+        observation: &mut [f32],
+        mask: &mut [bool],
+    ) -> (f64, bool) {
         self.steps += 1;
         // The episode's single view buffer is taken out, refreshed in place
         // after each simulator interaction (clear-and-refill, no clone), and
@@ -247,13 +282,9 @@ impl Environment for SchedulingEnv {
                 // Stay at the epoch: reward only reflects shaping on the new
                 // snapshot (no time has passed).
                 let reward = self.collect_reward(&view);
-                let next = self.make_step(&view);
+                self.write_step_into(&view, observation, mask);
                 self.current_view = Some(view);
-                return Transition {
-                    reward,
-                    done: false,
-                    next,
-                };
+                return (reward, false);
             }
         }
 
@@ -268,12 +299,9 @@ impl Environment for SchedulingEnv {
             sim.compact_log(&view);
             if sim.running_count() == 0 && view.future_arrivals == 0 && !view.pending.is_empty() {
                 let reward = self.collect_reward(&view);
+                self.write_terminal_into(observation, mask);
                 self.current_view = Some(view);
-                return Transition {
-                    reward,
-                    done: true,
-                    next: self.terminal_step(),
-                };
+                return (reward, true);
             }
         }
 
@@ -290,13 +318,13 @@ impl Environment for SchedulingEnv {
         let reward = self.collect_reward(&view);
         let truncated = self.steps >= self.max_steps;
         let done = !alive || truncated;
-        let next = if done {
-            self.terminal_step()
+        if done {
+            self.write_terminal_into(observation, mask);
         } else {
-            self.make_step(&view)
-        };
+            self.write_step_into(&view, observation, mask);
+        }
         self.current_view = Some(view);
-        Transition { reward, done, next }
+        (reward, done)
     }
 }
 
@@ -464,6 +492,41 @@ mod tests {
             greedy_reward > wait_reward + 0.5,
             "starting the job ({greedy_reward}) should beat waiting ({wait_reward})"
         );
+    }
+
+    #[test]
+    fn buffered_step_into_matches_allocating_step() {
+        // The native `reset_into`/`step_into` overrides (the VecEnv hot path)
+        // must be observably identical to the `Step`/`Transition` API.
+        let mut alloc_env = tiny_env(6);
+        let mut into_env = tiny_env(6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut obs = vec![0.0f32; into_env.observation_dim()];
+        let mut mask = vec![false; into_env.action_count()];
+        let mut step = alloc_env.reset(21);
+        into_env.reset_into(21, &mut obs, &mut mask);
+        assert_eq!(step.observation, obs);
+        assert_eq!(step.action_mask, mask);
+        for _ in 0..500 {
+            let feasible: Vec<usize> = step
+                .action_mask
+                .iter()
+                .enumerate()
+                .filter(|(_, &m)| m)
+                .map(|(i, _)| i)
+                .collect();
+            let action = feasible[rng.gen_range(0..feasible.len())];
+            let t = alloc_env.step(action);
+            let (reward, done) = into_env.step_into(action, &mut obs, &mut mask);
+            assert_eq!(t.reward, reward);
+            assert_eq!(t.done, done);
+            assert_eq!(t.next.observation, obs);
+            assert_eq!(t.next.action_mask, mask);
+            if t.done {
+                break;
+            }
+            step = t.next;
+        }
     }
 
     #[test]

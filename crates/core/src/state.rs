@@ -106,12 +106,21 @@ impl StateEncoder {
     /// [`Self::observation_dim`].
     pub fn encode(&self, view: &ClusterView) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.observation_dim());
-        self.encode_classes(view, &mut out);
-        self.encode_queue(view, &mut out);
-        self.encode_running(view, &mut out);
-        self.encode_globals(view, &mut out);
-        debug_assert_eq!(out.len(), self.observation_dim());
+        self.encode_into(view, &mut out);
         out
+    }
+
+    /// [`Self::encode`] into a caller-owned buffer (clear-and-refill), so the
+    /// batched rollout hot path re-encodes every step without growing the
+    /// heap once the buffer has warmed to [`Self::observation_dim`].
+    pub fn encode_into(&self, view: &ClusterView, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.observation_dim());
+        self.encode_classes(view, out);
+        self.encode_queue(view, out);
+        self.encode_running(view, out);
+        self.encode_globals(view, out);
+        debug_assert_eq!(out.len(), self.observation_dim());
     }
 
     fn encode_classes(&self, view: &ClusterView, out: &mut Vec<f32>) {
@@ -126,14 +135,17 @@ impl StateEncoder {
             }
         } else {
             // Heterogeneity-blind: every class block becomes the cluster-wide
-            // average, with speed factors forced to 1.
-            let mut avg = vec![0.0f32; CLASS_FEATURES];
+            // average, with speed factors forced to 1. Each block is staged at
+            // the tail of `out` and folded into a stack-allocated accumulator
+            // so this branch stays heap-free too.
+            let mut avg = [0.0f32; CLASS_FEATURES];
             for class in &view.classes {
-                let mut block = Vec::with_capacity(CLASS_FEATURES);
-                Self::push_class_features(class, &mut block);
-                for (a, b) in avg.iter_mut().zip(block.iter()) {
+                let begin = out.len();
+                Self::push_class_features(class, out);
+                for (a, b) in avg.iter_mut().zip(out[begin..].iter()) {
                     *a += b / view.classes.len() as f32;
                 }
+                out.truncate(begin);
             }
             for i in 0..JobClass::COUNT {
                 avg[NUM_RESOURCES + 1 + i] = 1.0;

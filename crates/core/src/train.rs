@@ -9,7 +9,7 @@ use crate::state::StateEncoder;
 use serde::{Deserialize, Serialize};
 use tcrm_rl::{
     A2c, A2cConfig, Algorithm, CategoricalPolicy, Ppo, PpoConfig, Reinforce, ReinforceConfig,
-    Trainer, TrainerConfig, TrainingHistory, ValueNet,
+    Trainer, TrainerConfig, TrainingHistory, ValueNet, VecEnv,
 };
 use tcrm_sim::{ClusterSpec, SimConfig};
 use tcrm_workload::WorkloadSpec;
@@ -64,6 +64,11 @@ pub struct TrainOutcome {
 }
 
 /// Train a DRL scheduler according to `setup`.
+///
+/// Rollouts run through a lockstep [`VecEnv`] pool of
+/// `setup.train.num_envs` environments (minimum 1): every decision step is
+/// one batched policy forward over all live environments. `num_envs == 1`
+/// reproduces the historical single-environment trainer seed for seed.
 pub fn train_agent(setup: &TrainSetup) -> TrainOutcome {
     setup.agent.validate().expect("invalid agent config");
     let num_classes = setup.cluster.num_classes();
@@ -72,15 +77,24 @@ pub fn train_agent(setup: &TrainSetup) -> TrainOutcome {
     let obs_dim = encoder.observation_dim();
     let action_count = actions.action_count();
 
-    let mut env = SchedulingEnv::new(
-        setup.cluster.clone(),
-        setup.sim.clone(),
-        &setup.agent,
-        EpisodeSource::Generated {
-            spec: setup.workload.clone(),
-            jobs_per_episode: setup.train.jobs_per_episode,
-        },
-    );
+    // `EpisodeSource` is not `Clone` (it may box a streaming source), so each
+    // pool slot gets its own generated source over the shared workload spec.
+    // Episode seeds come from the trainer, not the slot, so the pool size
+    // never changes which workloads are trained on.
+    let envs: Vec<SchedulingEnv> = (0..setup.train.num_envs.max(1))
+        .map(|_| {
+            SchedulingEnv::new(
+                setup.cluster.clone(),
+                setup.sim.clone(),
+                &setup.agent,
+                EpisodeSource::Generated {
+                    spec: setup.workload.clone(),
+                    jobs_per_episode: setup.train.jobs_per_episode,
+                },
+            )
+        })
+        .collect();
+    let mut pool = VecEnv::new(envs);
 
     let policy = CategoricalPolicy::new(
         obs_dim,
@@ -107,7 +121,7 @@ pub fn train_agent(setup: &TrainSetup) -> TrainOutcome {
                 ..Default::default()
             };
             let mut algo = Reinforce::new(policy, cfg);
-            let history = trainer.train_in_place(&mut env, &mut algo);
+            let history = trainer.train_in_place_vec(&mut pool, &mut algo);
             (algo.policy().clone(), history)
         }
         LearnerKind::A2c => {
@@ -118,7 +132,7 @@ pub fn train_agent(setup: &TrainSetup) -> TrainOutcome {
                 ..Default::default()
             };
             let mut algo = A2c::new(policy, value, cfg);
-            let history = trainer.train_in_place(&mut env, &mut algo);
+            let history = trainer.train_in_place_vec(&mut pool, &mut algo);
             (algo.policy().clone(), history)
         }
         LearnerKind::Ppo => {
@@ -130,7 +144,7 @@ pub fn train_agent(setup: &TrainSetup) -> TrainOutcome {
                 ..Default::default()
             };
             let mut algo = Ppo::new(policy, value, cfg);
-            let history = trainer.train_in_place(&mut env, &mut algo);
+            let history = trainer.train_in_place_vec(&mut pool, &mut algo);
             (algo.policy().clone(), history)
         }
     };
@@ -142,6 +156,7 @@ pub fn train_agent(setup: &TrainSetup) -> TrainOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tcrm_rl::Environment;
     use tcrm_sim::Scheduler;
 
     #[test]
@@ -180,6 +195,69 @@ mod tests {
                 .iterations
                 .iter()
                 .all(|s| s.mean_return.is_finite()));
+        }
+    }
+
+    #[test]
+    fn vec_pool_of_one_matches_single_env_trainer() {
+        // `train_agent` always goes through the VecEnv pool; with
+        // `num_envs == 1` it must reproduce the legacy single-environment
+        // loop seed for seed.
+        let mut setup = TrainSetup::smoke();
+        setup.train.num_envs = 1;
+        setup.train.iterations = 3;
+        let vec_outcome = train_agent(&setup);
+
+        let mut env = SchedulingEnv::new(
+            setup.cluster.clone(),
+            setup.sim.clone(),
+            &setup.agent,
+            EpisodeSource::Generated {
+                spec: setup.workload.clone(),
+                jobs_per_episode: setup.train.jobs_per_episode,
+            },
+        );
+        let policy = CategoricalPolicy::new(
+            env.observation_dim(),
+            &setup.agent.policy_hidden,
+            env.action_count(),
+            setup.train.seed,
+        );
+        let value = ValueNet::new(
+            env.observation_dim(),
+            &setup.agent.value_hidden,
+            setup.train.seed + 1,
+        );
+        let mut algo = A2c::new(
+            policy,
+            value,
+            A2cConfig {
+                gamma: setup.train.gamma,
+                learning_rate: setup.train.learning_rate,
+                entropy_coef: setup.train.entropy_coef,
+                ..Default::default()
+            },
+        );
+        let legacy = Trainer::new(TrainerConfig {
+            episodes_per_iteration: setup.train.episodes_per_iteration,
+            iterations: setup.train.iterations,
+            max_steps_per_episode: setup.agent.max_steps_per_episode,
+            seed: setup.train.seed,
+        })
+        .train_in_place(&mut env, &mut algo);
+
+        assert_eq!(
+            legacy.iterations.len(),
+            vec_outcome.history.iterations.len()
+        );
+        for (l, v) in legacy
+            .iterations
+            .iter()
+            .zip(vec_outcome.history.iterations.iter())
+        {
+            assert_eq!(l.mean_return, v.mean_return, "iteration {}", l.iteration);
+            assert_eq!(l.mean_length, v.mean_length);
+            assert_eq!(l.update.steps, v.update.steps);
         }
     }
 

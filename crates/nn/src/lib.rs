@@ -65,7 +65,9 @@ pub mod optim;
 pub use activation::Activation;
 pub use kernels::{fast_tanh, fast_tanh_deriv, Backend};
 pub use layer::Dense;
-pub use loss::{cross_entropy_from_logits, log_softmax, masked_softmax, softmax};
+pub use loss::{
+    cross_entropy_from_logits, log_softmax, masked_softmax, masked_softmax_into, softmax,
+};
 pub use matrix::Matrix;
 pub use mlp::{Mlp, MlpConfig, Workspace};
 pub use optim::{Adam, Optimizer, Sgd};

@@ -38,9 +38,22 @@ pub fn log_softmax_inplace(logits: &mut [f32]) {
 /// distribution is uniform over all actions (callers should avoid this, but
 /// it keeps the math finite).
 pub fn masked_softmax(logits: &[f32], mask: &[bool]) -> Vec<f32> {
+    let mut out = Vec::new();
+    masked_softmax_into(logits, mask, &mut out);
+    out
+}
+
+/// [`masked_softmax`] into a caller-owned buffer (cleared and refilled;
+/// allocation-free once the buffer has warmed to the action count). The
+/// batched rollout and update loops call this once per row, so the
+/// per-call `Vec` of the allocating variant would dominate their heap
+/// traffic.
+pub fn masked_softmax_into(logits: &[f32], mask: &[bool], out: &mut Vec<f32>) {
     assert_eq!(logits.len(), mask.len(), "mask length mismatch");
+    out.clear();
     if !mask.iter().any(|&m| m) {
-        return vec![1.0 / logits.len() as f32; logits.len()];
+        out.extend(std::iter::repeat_n(1.0 / logits.len() as f32, logits.len()));
+        return;
     }
     let max = logits
         .iter()
@@ -48,13 +61,16 @@ pub fn masked_softmax(logits: &[f32], mask: &[bool]) -> Vec<f32> {
         .filter(|(_, &m)| m)
         .map(|(&l, _)| l)
         .fold(f32::NEG_INFINITY, f32::max);
-    let exps: Vec<f32> = logits
-        .iter()
-        .zip(mask.iter())
-        .map(|(&l, &m)| if m { (l - max).exp() } else { 0.0 })
-        .collect();
-    let sum: f32 = exps.iter().sum();
-    exps.iter().map(|&e| e / sum).collect()
+    out.extend(
+        logits
+            .iter()
+            .zip(mask.iter())
+            .map(|(&l, &m)| if m { (l - max).exp() } else { 0.0 }),
+    );
+    let sum: f32 = out.iter().sum();
+    for p in out.iter_mut() {
+        *p /= sum;
+    }
 }
 
 /// Cross-entropy loss `-log p[target]` computed from raw logits, plus the

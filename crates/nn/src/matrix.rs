@@ -111,6 +111,26 @@ impl Matrix {
         self.data.fill(v);
     }
 
+    /// Append one row, preserving existing rows (the column count must match,
+    /// unless the matrix is empty — then it adopts the row's length). Reuses
+    /// spare capacity, so clearing with [`Self::clear_rows`] and re-pushing is
+    /// allocation-free once the buffer has warmed to its peak size.
+    pub fn push_row(&mut self, row: &[f32]) {
+        if self.rows == 0 && self.cols != row.len() {
+            self.cols = row.len();
+            self.data.clear();
+        }
+        assert_eq!(row.len(), self.cols, "push_row column mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Drop all rows but keep the column count and the allocation.
+    pub fn clear_rows(&mut self) {
+        self.rows = 0;
+        self.data.clear();
+    }
+
     /// Become a copy of `src`, reusing the existing buffer capacity.
     pub fn copy_from(&mut self, src: &Matrix) {
         self.rows = src.rows;

@@ -6,7 +6,7 @@
 //! the ablation experiments can swap the learner without touching the
 //! scheduling environment.
 
-use crate::buffer::{discounted_returns, gae, normalize_advantages, Trajectory};
+use crate::buffer::{RolloutBatch, Trajectory};
 use crate::policy::CategoricalPolicy;
 use crate::value::ValueNet;
 use rand::rngs::StdRng;
@@ -14,7 +14,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use tcrm_nn::loss::entropy;
-use tcrm_nn::{masked_softmax, Adam, Matrix, Optimizer};
+use tcrm_nn::{masked_softmax_into, Adam, Matrix, Optimizer, Workspace};
 
 /// Diagnostics returned by one [`Algorithm::update`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -31,7 +31,20 @@ pub struct UpdateStats {
     pub steps: usize,
 }
 
-/// A learner that improves a masked categorical policy from trajectories.
+impl UpdateStats {
+    /// The all-zero stats returned for an empty batch.
+    pub fn zero() -> Self {
+        UpdateStats {
+            policy_loss: 0.0,
+            value_loss: 0.0,
+            entropy: 0.0,
+            grad_norm: 0.0,
+            steps: 0,
+        }
+    }
+}
+
+/// A learner that improves a masked categorical policy from experience.
 pub trait Algorithm {
     /// Short name used in logs and the convergence figure legend.
     fn name(&self) -> &str;
@@ -49,97 +62,80 @@ pub trait Algorithm {
         0.0
     }
 
+    /// Critic estimates for a whole batch of observations (one per row),
+    /// written into a caller-owned buffer. Critic-backed learners override
+    /// this with a single batched forward pass through their workspace; the
+    /// default scores row by row through [`Self::value_estimate`]. Both
+    /// rollout collectors score each finished episode through this method so
+    /// the per-episode forward shapes — and hence the recorded values — are
+    /// identical between the legacy and vectorized paths.
+    fn value_estimates_into(&mut self, observations: &Matrix, out: &mut Vec<f32>) {
+        out.clear();
+        for r in 0..observations.rows() {
+            out.push(self.value_estimate(observations.row(r)));
+        }
+    }
+
     /// Consume a batch of trajectories and update the policy (and critic).
-    fn update(&mut self, trajectories: &[Trajectory]) -> UpdateStats;
+    /// Provided: flattens into a [`RolloutBatch`] and defers to
+    /// [`Self::update_batch`].
+    fn update(&mut self, trajectories: &[Trajectory]) -> UpdateStats {
+        if trajectories.iter().all(|t| t.is_empty()) {
+            return UpdateStats::zero();
+        }
+        let mut batch = RolloutBatch::from_trajectories(trajectories);
+        self.update_batch(&mut batch)
+    }
+
+    /// Consume one flat rollout batch and update the policy (and critic).
+    /// This is the native entry point of every learner: advantage /
+    /// return computation runs as single backward sweeps over the whole
+    /// batch and the optimisation loops read the flat storage directly, so
+    /// a warmed learner performs no per-step heap allocation.
+    fn update_batch(&mut self, batch: &mut RolloutBatch) -> UpdateStats;
 }
 
 // ---------------------------------------------------------------------------
 // Shared helpers
 // ---------------------------------------------------------------------------
 
-/// Flattened view of a batch of trajectories.
-struct FlatBatch {
-    observations: Matrix,
-    masks: Vec<Vec<bool>>,
-    actions: Vec<usize>,
-    old_log_probs: Vec<f32>,
-    advantages: Vec<f64>,
-    value_targets: Vec<f64>,
-    returns: Vec<f64>,
-}
-
-impl FlatBatch {
-    fn len(&self) -> usize {
-        self.actions.len()
+/// One full-batch policy-gradient step over `batch` using the advantages
+/// currently stored in it. Scratch buffers (`grad`, `probs`) are caller-owned
+/// and reused across updates. Returns `(policy_loss, mean_entropy,
+/// grad_norm)`.
+#[allow(clippy::too_many_arguments)]
+fn policy_step(
+    policy: &mut CategoricalPolicy,
+    opt: &mut Adam,
+    batch: &RolloutBatch,
+    entropy_coef: f64,
+    max_grad_norm: f32,
+    grad: &mut Matrix,
+    probs: &mut Vec<f32>,
+) -> (f64, f64, f64) {
+    let n = batch.len();
+    let logits = policy.forward_train(batch.observations());
+    grad.resize(n, logits.cols());
+    grad.fill(0.0);
+    let mut policy_loss = 0.0;
+    let mut mean_entropy = 0.0;
+    for i in 0..n {
+        masked_softmax_into(logits.row(i), batch.mask(i), probs);
+        let (loss, h) = policy_grad_row(
+            probs,
+            batch.actions()[i],
+            batch.advantages()[i] / n as f64,
+            entropy_coef / n as f64,
+            grad.row_mut(i),
+        );
+        policy_loss += loss;
+        mean_entropy += h / n as f64;
     }
-}
-
-fn flatten(
-    trajectories: &[Trajectory],
-    gamma: f64,
-    lambda: Option<f64>,
-    normalize: bool,
-) -> FlatBatch {
-    let obs_dim = trajectories
-        .iter()
-        .flat_map(|t| t.observations.first())
-        .map(|o| o.len())
-        .next()
-        .unwrap_or(0);
-    let total: usize = trajectories.iter().map(|t| t.len()).sum();
-    let mut obs_data = Vec::with_capacity(total * obs_dim);
-    let mut masks = Vec::with_capacity(total);
-    let mut actions = Vec::with_capacity(total);
-    let mut old_log_probs = Vec::with_capacity(total);
-    let mut advantages = Vec::with_capacity(total);
-    let mut value_targets = Vec::with_capacity(total);
-    let mut returns = Vec::with_capacity(total);
-    for t in trajectories {
-        if t.is_empty() {
-            continue;
-        }
-        let ep_returns = discounted_returns(&t.rewards, &t.dones, gamma);
-        let (adv, targets) = match lambda {
-            Some(l) => gae(&t.rewards, &t.values, &t.dones, 0.0, gamma, l),
-            None => {
-                // Monte-Carlo advantage against the recorded values (zero for
-                // critic-free learners).
-                let adv: Vec<f64> = ep_returns
-                    .iter()
-                    .zip(t.values.iter())
-                    .map(|(g, v)| g - *v as f64)
-                    .collect();
-                (adv, ep_returns.clone())
-            }
-        };
-        for step in 0..t.len() {
-            obs_data.extend_from_slice(&t.observations[step]);
-            masks.push(t.masks[step].clone());
-            actions.push(t.actions[step]);
-            old_log_probs.push(t.log_probs[step]);
-            advantages.push(adv[step]);
-            value_targets.push(targets[step]);
-            returns.push(ep_returns[step]);
-        }
-    }
-    if normalize {
-        normalize_advantages(&mut advantages);
-    }
-    FlatBatch {
-        observations: Matrix::from_vec(total, obs_dim.max(1), {
-            if obs_dim == 0 {
-                vec![0.0; total]
-            } else {
-                obs_data
-            }
-        }),
-        masks,
-        actions,
-        old_log_probs,
-        advantages,
-        value_targets,
-        returns,
-    }
+    policy.network_mut().zero_grad();
+    policy.network_mut().backward(grad);
+    let grad_norm = policy.network_mut().clip_grad_norm(max_grad_norm);
+    opt.step(policy.network_mut());
+    (policy_loss, mean_entropy, grad_norm as f64)
 }
 
 /// Compute the policy-gradient contribution of one sample:
@@ -165,15 +161,19 @@ fn policy_grad_row(
     (-coeff * log_prob, h)
 }
 
+/// One mean-squared-error critic step. `grad` is a caller-owned scratch
+/// matrix reused across updates (no per-call allocation once warmed).
 fn value_update(
     value_net: &mut ValueNet,
     opt: &mut Adam,
     observations: &Matrix,
     targets: &[f64],
+    grad: &mut Matrix,
 ) -> f64 {
     let preds = value_net.forward_train(observations);
     let n = targets.len().max(1) as f32;
-    let mut grad = Matrix::zeros(preds.rows(), 1);
+    grad.resize(preds.rows(), 1);
+    grad.fill(0.0);
     let mut loss = 0.0;
     for (r, &target) in targets.iter().enumerate() {
         let diff = preds.get(r, 0) - target as f32;
@@ -181,7 +181,7 @@ fn value_update(
         grad.set(r, 0, 2.0 * diff / n);
     }
     value_net.network_mut().zero_grad();
-    value_net.network_mut().backward(&grad);
+    value_net.network_mut().backward(grad);
     value_net.network_mut().clip_grad_norm(5.0);
     opt.step(value_net.network_mut());
     loss / targets.len().max(1) as f64
@@ -230,6 +230,8 @@ pub struct Reinforce {
     optimizer: Adam,
     baseline: f64,
     baseline_initialized: bool,
+    grad: Matrix,
+    probs: Vec<f32>,
 }
 
 impl Reinforce {
@@ -242,6 +244,8 @@ impl Reinforce {
             optimizer,
             baseline: 0.0,
             baseline_initialized: false,
+            grad: Matrix::default(),
+            probs: Vec::new(),
         }
     }
 
@@ -264,65 +268,44 @@ impl Algorithm for Reinforce {
         &mut self.policy
     }
 
-    fn update(&mut self, trajectories: &[Trajectory]) -> UpdateStats {
-        let mut batch = flatten(trajectories, self.config.gamma, None, false);
-        if batch.len() == 0 {
-            return UpdateStats {
-                policy_loss: 0.0,
-                value_loss: 0.0,
-                entropy: 0.0,
-                grad_norm: 0.0,
-                steps: 0,
-            };
+    fn update_batch(&mut self, batch: &mut RolloutBatch) -> UpdateStats {
+        if batch.is_empty() {
+            return UpdateStats::zero();
         }
+        let n = batch.len();
+        batch.compute_returns(self.config.gamma);
         // Baseline: EMA over batch-mean return.
-        if self.config.use_baseline {
-            let mean_return = batch.returns.iter().sum::<f64>() / batch.len() as f64;
+        let baseline = if self.config.use_baseline {
+            let mean_return = batch.returns().iter().sum::<f64>() / n as f64;
             if self.baseline_initialized {
                 self.baseline = 0.9 * self.baseline + 0.1 * mean_return;
             } else {
                 self.baseline = mean_return;
                 self.baseline_initialized = true;
             }
-            for (a, g) in batch.advantages.iter_mut().zip(batch.returns.iter()) {
-                *a = g - self.baseline;
-            }
+            self.baseline
         } else {
-            batch.advantages = batch.returns.clone();
-        }
+            0.0
+        };
+        batch.set_advantages_to_returns_minus(baseline);
         if self.config.normalize_advantages {
-            normalize_advantages(&mut batch.advantages);
+            batch.normalize_advantages();
         }
 
-        let n = batch.len();
-        let logits = self.policy.forward_train(&batch.observations);
-        let mut grad = Matrix::zeros(n, logits.cols());
-        let mut policy_loss = 0.0;
-        let mut mean_entropy = 0.0;
-        for i in 0..n {
-            let probs = masked_softmax(logits.row(i), &batch.masks[i]);
-            let (loss, h) = policy_grad_row(
-                &probs,
-                batch.actions[i],
-                batch.advantages[i] / n as f64,
-                self.config.entropy_coef / n as f64,
-                grad.row_mut(i),
-            );
-            policy_loss += loss;
-            mean_entropy += h / n as f64;
-        }
-        self.policy.network_mut().zero_grad();
-        self.policy.network_mut().backward(&grad);
-        let grad_norm = self
-            .policy
-            .network_mut()
-            .clip_grad_norm(self.config.max_grad_norm);
-        self.optimizer.step(self.policy.network_mut());
+        let (policy_loss, mean_entropy, grad_norm) = policy_step(
+            &mut self.policy,
+            &mut self.optimizer,
+            batch,
+            self.config.entropy_coef,
+            self.config.max_grad_norm,
+            &mut self.grad,
+            &mut self.probs,
+        );
         UpdateStats {
             policy_loss,
             value_loss: 0.0,
             entropy: mean_entropy,
-            grad_norm: grad_norm as f64,
+            grad_norm,
             steps: n,
         }
     }
@@ -374,6 +357,10 @@ pub struct A2c {
     value: ValueNet,
     policy_opt: Adam,
     value_opt: Adam,
+    grad: Matrix,
+    value_grad: Matrix,
+    probs: Vec<f32>,
+    value_ws: Workspace,
 }
 
 impl A2c {
@@ -387,6 +374,10 @@ impl A2c {
             value,
             policy_opt,
             value_opt,
+            grad: Matrix::default(),
+            value_grad: Matrix::default(),
+            probs: Vec::new(),
+            value_ws: Workspace::default(),
         }
     }
 
@@ -418,58 +409,42 @@ impl Algorithm for A2c {
         self.value.value(obs)
     }
 
-    fn update(&mut self, trajectories: &[Trajectory]) -> UpdateStats {
-        let batch = flatten(
-            trajectories,
-            self.config.gamma,
-            Some(self.config.gae_lambda),
-            self.config.normalize_advantages,
-        );
-        if batch.len() == 0 {
-            return UpdateStats {
-                policy_loss: 0.0,
-                value_loss: 0.0,
-                entropy: 0.0,
-                grad_norm: 0.0,
-                steps: 0,
-            };
+    fn value_estimates_into(&mut self, observations: &Matrix, out: &mut Vec<f32>) {
+        let vals = self.value.values_batch_ws(observations, &mut self.value_ws);
+        out.clear();
+        out.extend_from_slice(vals.data());
+    }
+
+    fn update_batch(&mut self, batch: &mut RolloutBatch) -> UpdateStats {
+        if batch.is_empty() {
+            return UpdateStats::zero();
         }
         let n = batch.len();
-        let logits = self.policy.forward_train(&batch.observations);
-        let mut grad = Matrix::zeros(n, logits.cols());
-        let mut policy_loss = 0.0;
-        let mut mean_entropy = 0.0;
-        for i in 0..n {
-            let probs = masked_softmax(logits.row(i), &batch.masks[i]);
-            let (loss, h) = policy_grad_row(
-                &probs,
-                batch.actions[i],
-                batch.advantages[i] / n as f64,
-                self.config.entropy_coef / n as f64,
-                grad.row_mut(i),
-            );
-            policy_loss += loss;
-            mean_entropy += h / n as f64;
+        batch.compute_gae(self.config.gamma, self.config.gae_lambda);
+        if self.config.normalize_advantages {
+            batch.normalize_advantages();
         }
-        self.policy.network_mut().zero_grad();
-        self.policy.network_mut().backward(&grad);
-        let grad_norm = self
-            .policy
-            .network_mut()
-            .clip_grad_norm(self.config.max_grad_norm);
-        self.policy_opt.step(self.policy.network_mut());
-
+        let (policy_loss, mean_entropy, grad_norm) = policy_step(
+            &mut self.policy,
+            &mut self.policy_opt,
+            batch,
+            self.config.entropy_coef,
+            self.config.max_grad_norm,
+            &mut self.grad,
+            &mut self.probs,
+        );
         let value_loss = value_update(
             &mut self.value,
             &mut self.value_opt,
-            &batch.observations,
-            &batch.value_targets,
+            batch.observations(),
+            batch.value_targets(),
+            &mut self.value_grad,
         );
         UpdateStats {
             policy_loss,
             value_loss,
             entropy: mean_entropy,
-            grad_norm: grad_norm as f64,
+            grad_norm,
             steps: n,
         }
     }
@@ -536,6 +511,10 @@ pub struct Ppo {
     mb_obs: Matrix,
     mb_grad: Matrix,
     mb_targets: Vec<f64>,
+    indices: Vec<usize>,
+    probs: Vec<f32>,
+    value_grad: Matrix,
+    value_ws: Workspace,
 }
 
 impl Ppo {
@@ -554,6 +533,10 @@ impl Ppo {
             mb_obs: Matrix::default(),
             mb_grad: Matrix::default(),
             mb_targets: Vec::new(),
+            indices: Vec::new(),
+            probs: Vec::new(),
+            value_grad: Matrix::default(),
+            value_ws: Workspace::default(),
         }
     }
 
@@ -585,30 +568,27 @@ impl Algorithm for Ppo {
         self.value.value(obs)
     }
 
-    fn update(&mut self, trajectories: &[Trajectory]) -> UpdateStats {
-        let batch = flatten(
-            trajectories,
-            self.config.gamma,
-            Some(self.config.gae_lambda),
-            true,
-        );
-        if batch.len() == 0 {
-            return UpdateStats {
-                policy_loss: 0.0,
-                value_loss: 0.0,
-                entropy: 0.0,
-                grad_norm: 0.0,
-                steps: 0,
-            };
+    fn value_estimates_into(&mut self, observations: &Matrix, out: &mut Vec<f32>) {
+        let vals = self.value.values_batch_ws(observations, &mut self.value_ws);
+        out.clear();
+        out.extend_from_slice(vals.data());
+    }
+
+    fn update_batch(&mut self, batch: &mut RolloutBatch) -> UpdateStats {
+        if batch.is_empty() {
+            return UpdateStats::zero();
         }
+        batch.compute_gae(self.config.gamma, self.config.gae_lambda);
+        batch.normalize_advantages();
         let n = batch.len();
-        let obs_dim = batch.observations.cols();
+        let obs_dim = batch.observations().cols();
         let minibatch = if self.config.minibatch_size == 0 {
             n
         } else {
             self.config.minibatch_size.min(n)
         };
-        let mut indices: Vec<usize> = (0..n).collect();
+        self.indices.clear();
+        self.indices.extend(0..n);
         let mut policy_loss_acc = 0.0;
         let mut value_loss_acc = 0.0;
         let mut entropy_acc = 0.0;
@@ -616,8 +596,8 @@ impl Algorithm for Ppo {
         let mut update_count = 0usize;
 
         for _ in 0..self.config.epochs.max(1) {
-            indices.shuffle(&mut self.rng);
-            for chunk in indices.chunks(minibatch) {
+            self.indices.shuffle(&mut self.rng);
+            for chunk in self.indices.chunks(minibatch) {
                 let m = chunk.len();
                 // Gather the minibatch into the persistent buffers (no
                 // per-chunk allocation after the first update).
@@ -625,7 +605,7 @@ impl Algorithm for Ppo {
                 for (row, &i) in chunk.iter().enumerate() {
                     self.mb_obs
                         .row_mut(row)
-                        .copy_from_slice(batch.observations.row(i));
+                        .copy_from_slice(batch.observation(i));
                 }
                 let logits = self.policy.forward_train(&self.mb_obs);
                 self.mb_grad.resize(m, logits.cols());
@@ -634,11 +614,12 @@ impl Algorithm for Ppo {
                 let mut mb_policy_loss = 0.0;
                 let mut mb_entropy = 0.0;
                 for (row, &i) in chunk.iter().enumerate() {
-                    let probs = masked_softmax(logits.row(row), &batch.masks[i]);
-                    let action = batch.actions[i];
-                    let adv = batch.advantages[i];
+                    masked_softmax_into(logits.row(row), batch.mask(i), &mut self.probs);
+                    let probs = &self.probs;
+                    let action = batch.actions()[i];
+                    let adv = batch.advantages()[i];
                     let new_log_prob = probs[action].max(1e-12).ln() as f64;
-                    let ratio = (new_log_prob - batch.old_log_probs[i] as f64).exp();
+                    let ratio = (new_log_prob - batch.log_probs()[i] as f64).exp();
                     let clipped_out = (adv >= 0.0 && ratio > 1.0 + self.config.clip_epsilon)
                         || (adv < 0.0 && ratio < 1.0 - self.config.clip_epsilon);
                     // Surrogate loss value (for reporting): -min(rA, clip(r)A)
@@ -655,7 +636,7 @@ impl Algorithm for Ppo {
                         adv * ratio / m as f64
                     };
                     let (_, h) = policy_grad_row(
-                        &probs,
+                        probs,
                         action,
                         coeff,
                         self.config.entropy_coef / m as f64,
@@ -673,12 +654,13 @@ impl Algorithm for Ppo {
 
                 self.mb_targets.clear();
                 self.mb_targets
-                    .extend(chunk.iter().map(|&i| batch.value_targets[i]));
+                    .extend(chunk.iter().map(|&i| batch.value_targets()[i]));
                 let vl = value_update(
                     &mut self.value,
                     &mut self.value_opt,
                     &self.mb_obs,
                     &self.mb_targets,
+                    &mut self.value_grad,
                 );
 
                 policy_loss_acc += mb_policy_loss;

@@ -51,6 +51,35 @@ pub trait Environment {
 
     /// Apply one action and return the transition.
     fn step(&mut self, action: usize) -> Transition;
+
+    /// [`Self::reset`] into caller-owned buffers: the initial observation is
+    /// written to `observation` (length [`Self::observation_dim`]) and the
+    /// feasibility mask to `mask` (length [`Self::action_count`]).
+    ///
+    /// The default forwards to [`Self::reset`] and copies; environments on
+    /// the batched-training hot path (the lockstep [`crate::VecEnv`] pool
+    /// calls this once per episode and [`Self::step_into`] once per step)
+    /// should override both with a non-allocating encode.
+    fn reset_into(&mut self, seed: u64, observation: &mut [f32], mask: &mut [bool]) {
+        let step = self.reset(seed);
+        observation.copy_from_slice(&step.observation);
+        mask.copy_from_slice(&step.action_mask);
+    }
+
+    /// [`Self::step`] into caller-owned buffers: the next observation and
+    /// mask overwrite `observation` / `mask` and `(reward, done)` is
+    /// returned. Same override guidance as [`Self::reset_into`].
+    fn step_into(
+        &mut self,
+        action: usize,
+        observation: &mut [f32],
+        mask: &mut [bool],
+    ) -> (f64, bool) {
+        let t = self.step(action);
+        observation.copy_from_slice(&t.next.observation);
+        mask.copy_from_slice(&t.next.action_mask);
+        (t.reward, t.done)
+    }
 }
 
 #[cfg(test)]

@@ -15,7 +15,10 @@
 //! * a value-based ablation: [`DqnAgent`] with experience replay, a target
 //!   network and masked ε-greedy exploration ([`dqn`]),
 //! * a [`Trainer`] that rolls out episodes, feeds the algorithm and records a
-//!   [`TrainingHistory`] (the data behind the training-convergence figure).
+//!   [`TrainingHistory`] (the data behind the training-convergence figure) —
+//!   either one environment at a time, or through a lockstep [`VecEnv`] pool
+//!   whose rollouts run one batched policy forward per step for all
+//!   environments at once ([`vec_env`], [`Trainer::train_in_place_vec`]).
 //!
 //! The crate is scheduler-agnostic; `tcrm-core` plugs its
 //! `SchedulingEnv` in as the [`Environment`].
@@ -27,13 +30,18 @@ pub mod env;
 pub mod policy;
 pub mod trainer;
 pub mod value;
+pub mod vec_env;
 
 pub use algorithm::{
     A2c, A2cConfig, Algorithm, Ppo, PpoConfig, Reinforce, ReinforceConfig, UpdateStats,
 };
-pub use buffer::{discounted_returns, gae, normalize_advantages, Trajectory};
+pub use buffer::{
+    discounted_returns, discounted_returns_flat_into, gae, gae_flat_into, normalize_advantages,
+    RolloutBatch, Trajectory,
+};
 pub use dqn::{DqnAgent, DqnConfig, DqnUpdateStats, QNetwork, ReplayBuffer, ReplayTransition};
 pub use env::{Environment, Step, Transition};
-pub use policy::CategoricalPolicy;
+pub use policy::{sample_categorical, CategoricalPolicy};
 pub use trainer::{EpisodeStats, Trainer, TrainerConfig, TrainingHistory};
 pub use value::ValueNet;
+pub use vec_env::VecEnv;

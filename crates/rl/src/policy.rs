@@ -75,22 +75,7 @@ impl CategoricalPolicy {
     /// `(action, log_prob, probabilities)`.
     pub fn sample(&self, obs: &[f32], mask: &[bool], rng: &mut StdRng) -> (usize, f32, Vec<f32>) {
         let probs = self.probabilities(obs, mask);
-        let u: f32 = rng.gen();
-        let mut acc = 0.0;
-        let mut action = probs.len() - 1;
-        for (i, &p) in probs.iter().enumerate() {
-            acc += p;
-            if u <= acc && p > 0.0 {
-                action = i;
-                break;
-            }
-        }
-        // Guard: if rounding pushed us onto a zero-probability action, pick
-        // the most likely feasible one instead.
-        if probs[action] <= 0.0 {
-            action = Self::argmax(&probs);
-        }
-        let log_prob = probs[action].max(1e-12).ln();
+        let (action, log_prob) = sample_categorical(&probs, rng);
         (action, log_prob, probs)
     }
 
@@ -133,6 +118,35 @@ impl CategoricalPolicy {
         }
         best
     }
+}
+
+/// Sample from a (masked) probability distribution, consuming exactly one
+/// `f32` from the RNG stream. Returns `(action, log_prob)`.
+///
+/// This is the sampling core of [`CategoricalPolicy::sample`], exposed so the
+/// batched rollout collector can sample from probability rows it computed
+/// itself (via a single batched forward) while drawing from per-environment
+/// RNGs in **exactly** the same way as the per-step path — keeping a
+/// one-environment vectorized rollout seed-for-seed identical to the legacy
+/// collector.
+pub fn sample_categorical(probs: &[f32], rng: &mut StdRng) -> (usize, f32) {
+    let u: f32 = rng.gen();
+    let mut acc = 0.0;
+    let mut action = probs.len() - 1;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if u <= acc && p > 0.0 {
+            action = i;
+            break;
+        }
+    }
+    // Guard: if rounding pushed us onto a zero-probability action, pick the
+    // most likely feasible one instead.
+    if probs[action] <= 0.0 {
+        action = CategoricalPolicy::argmax(probs);
+    }
+    let log_prob = probs[action].max(1e-12).ln();
+    (action, log_prob)
 }
 
 #[cfg(test)]
@@ -198,6 +212,22 @@ mod tests {
         let back = CategoricalPolicy::from_json(&json).unwrap();
         let obs = [0.3, 0.2, 0.1, 0.0];
         assert_eq!(p.logits(&obs), back.logits(&obs));
+    }
+
+    #[test]
+    fn free_sampler_matches_policy_sampler_exactly() {
+        let p = policy();
+        let obs = [0.2, -0.1, 0.4, 0.3];
+        let mask = [true, false, true, true, false];
+        let probs = p.probabilities(&obs, &mask);
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let (a1, lp1, _) = p.sample(&obs, &mask, &mut r1);
+            let (a2, lp2) = sample_categorical(&probs, &mut r2);
+            assert_eq!(a1, a2);
+            assert_eq!(lp1, lp2);
+        }
     }
 
     #[test]

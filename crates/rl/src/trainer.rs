@@ -1,11 +1,27 @@
 //! The training loop: roll out episodes, update the learner, record history.
+//!
+//! Two collection paths share the same seeding discipline (episode `e` of
+//! iteration `i` draws from `StdRng::seed_from_u64(seed + i·E + e)` and
+//! resets its environment with the same value):
+//!
+//! * [`Trainer::train_in_place`] — the legacy single-environment loop, one
+//!   policy forward per step;
+//! * [`Trainer::train_in_place_vec`] — the vectorized loop over a lockstep
+//!   [`VecEnv`] pool: one **batched** policy forward per step for all active
+//!   environments, per-episode batched critic scoring, and a flat
+//!   [`RolloutBatch`] handed straight to [`Algorithm::update_batch`]. With a
+//!   one-environment pool it reproduces the legacy loop seed for seed (see
+//!   `tests/vec_env_parity.rs`).
 
 use crate::algorithm::{Algorithm, UpdateStats};
-use crate::buffer::Trajectory;
+use crate::buffer::{RolloutBatch, Trajectory};
 use crate::env::Environment;
+use crate::policy::sample_categorical;
+use crate::vec_env::VecEnv;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use tcrm_nn::{masked_softmax_into, Matrix, Workspace};
 
 /// Trainer configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -104,11 +120,15 @@ impl Trainer {
     }
 
     /// Roll out one episode with the current policy (stochastic actions) and
-    /// record it as a trajectory.
+    /// record it as a trajectory. The critic is scored once over the whole
+    /// episode (a single batched forward pass through
+    /// [`Algorithm::value_estimates_into`]) instead of once per step — the
+    /// policy and critic do not change during a rollout, so the recorded
+    /// values are the same and the per-row forward passes are gone.
     pub fn rollout<E: Environment + ?Sized, A: Algorithm + ?Sized>(
         &self,
         env: &mut E,
-        algo: &A,
+        algo: &mut A,
         seed: u64,
     ) -> Trajectory {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -118,7 +138,6 @@ impl Trainer {
             let (action, log_prob, _) =
                 algo.policy()
                     .sample(&step.observation, &step.action_mask, &mut rng);
-            let value = algo.value_estimate(&step.observation);
             let transition = env.step(action);
             trajectory.push(
                 step.observation.clone(),
@@ -126,13 +145,20 @@ impl Trainer {
                 action,
                 transition.reward,
                 log_prob,
-                value,
+                0.0,
                 transition.done,
             );
             if transition.done {
                 break;
             }
             step = transition.next;
+        }
+        if !trajectory.is_empty() {
+            let mut obs = Matrix::zeros(0, trajectory.observations[0].len());
+            for o in &trajectory.observations {
+                obs.push_row(o);
+            }
+            algo.value_estimates_into(&obs, &mut trajectory.values);
         }
         trajectory
     }
@@ -176,6 +202,222 @@ impl Trainer {
         }
         history
     }
+
+    /// Vectorized counterpart of [`Self::train`]: collect every iteration's
+    /// episodes over a lockstep [`VecEnv`] pool with batched policy/value
+    /// forwards, then update from the flat batch.
+    pub fn train_vec<E: Environment + Send, A: Algorithm>(
+        &mut self,
+        vec_env: &mut VecEnv<E>,
+        mut algo: A,
+    ) -> TrainingHistory {
+        self.train_in_place_vec(vec_env, &mut algo)
+    }
+
+    /// Like [`Self::train_vec`] but keeps ownership of the learner with the
+    /// caller.
+    ///
+    /// Episodes are distributed over the pool work-queue style: slot `j`
+    /// starts on episode `j`, and whenever a slot finishes (terminal or
+    /// truncated at `max_steps_per_episode`) it is reset *in place* onto the
+    /// next unstarted episode index — so per-episode seeds, RNG streams and
+    /// episode boundaries are independent of the pool size, and a
+    /// one-environment pool reproduces [`Self::train_in_place`] seed for
+    /// seed. All rollout storage lives in persistent scratch buffers reused
+    /// across iterations; steady-state collection allocates nothing.
+    pub fn train_in_place_vec<E: Environment + Send, A: Algorithm + ?Sized>(
+        &mut self,
+        vec_env: &mut VecEnv<E>,
+        algo: &mut A,
+    ) -> TrainingHistory {
+        let mut scratch = VecScratch::new(
+            vec_env.observation_dim(),
+            vec_env.action_count(),
+            vec_env.num_envs(),
+            self.config.episodes_per_iteration,
+        );
+        let mut history = TrainingHistory::default();
+        for iteration in 0..self.config.iterations {
+            self.collect_vec(iteration, vec_env, algo, &mut scratch);
+            let update = algo.update_batch(&mut scratch.batch);
+            history.iterations.push(EpisodeStats {
+                iteration,
+                mean_return: mean(&scratch.ep_returns),
+                min_return: scratch
+                    .ep_returns
+                    .iter()
+                    .cloned()
+                    .fold(f64::INFINITY, f64::min),
+                max_return: scratch
+                    .ep_returns
+                    .iter()
+                    .cloned()
+                    .fold(f64::NEG_INFINITY, f64::max),
+                mean_length: mean(&scratch.ep_lengths),
+                update,
+            });
+        }
+        history
+    }
+
+    /// Collect one iteration's worth of episodes into `scratch.batch`.
+    fn collect_vec<E: Environment + Send, A: Algorithm + ?Sized>(
+        &self,
+        iteration: usize,
+        vec_env: &mut VecEnv<E>,
+        algo: &mut A,
+        scratch: &mut VecScratch,
+    ) {
+        let e_total = self.config.episodes_per_iteration;
+        let n_envs = vec_env.num_envs();
+        let action_count = vec_env.action_count();
+        let base = self.config.seed + (iteration * e_total) as u64;
+        for ep in scratch.episodes.iter_mut() {
+            ep.clear();
+        }
+
+        // Seat the first wave of episodes; spare slots go idle.
+        let mut next_episode = 0usize;
+        for slot in 0..n_envs {
+            if next_episode < e_total {
+                let seed = base + next_episode as u64;
+                vec_env.reset_env(slot, seed);
+                scratch.rngs[slot] = StdRng::seed_from_u64(seed);
+                scratch.episode_of[slot] = next_episode;
+                scratch.steps[slot] = 0;
+                next_episode += 1;
+            } else {
+                vec_env.deactivate(slot);
+            }
+        }
+
+        let mut finished = 0usize;
+        while finished < e_total && self.config.max_steps_per_episode > 0 {
+            let n_rows =
+                vec_env.stack_active(&mut scratch.obs, &mut scratch.masks, &mut scratch.rows);
+            debug_assert!(n_rows > 0, "lockstep with no active environments");
+            // One batched policy forward for every active environment.
+            let logits = algo.policy().logits_batch_ws(&scratch.obs, &mut scratch.ws);
+            for row in 0..n_rows {
+                let slot = scratch.rows[row];
+                let mask = &scratch.masks[row * action_count..(row + 1) * action_count];
+                masked_softmax_into(logits.row(row), mask, &mut scratch.probs);
+                let (action, log_prob) =
+                    sample_categorical(&scratch.probs, &mut scratch.rngs[slot]);
+                vec_env.set_action(slot, action);
+                scratch.pending_action[slot] = action;
+                scratch.pending_log_prob[slot] = log_prob;
+            }
+            vec_env.step_active();
+            for row in 0..n_rows {
+                let slot = scratch.rows[row];
+                let ep = scratch.episode_of[slot];
+                let done = vec_env.done(slot);
+                scratch.episodes[ep].push_step(
+                    scratch.obs.row(row),
+                    &scratch.masks[row * action_count..(row + 1) * action_count],
+                    scratch.pending_action[slot],
+                    vec_env.reward(slot),
+                    scratch.pending_log_prob[slot],
+                    done,
+                );
+                scratch.steps[slot] += 1;
+                if done || scratch.steps[slot] >= self.config.max_steps_per_episode {
+                    scratch.episodes[ep].close_episode();
+                    // One batched critic forward over the finished episode —
+                    // the same shape the legacy rollout scores, so recorded
+                    // values match it bitwise.
+                    algo.value_estimates_into(
+                        scratch.episodes[ep].observations(),
+                        &mut scratch.vals,
+                    );
+                    scratch.episodes[ep]
+                        .values_mut()
+                        .copy_from_slice(&scratch.vals);
+                    finished += 1;
+                    if next_episode < e_total {
+                        let seed = base + next_episode as u64;
+                        vec_env.reset_env(slot, seed);
+                        scratch.rngs[slot] = StdRng::seed_from_u64(seed);
+                        scratch.episode_of[slot] = next_episode;
+                        scratch.steps[slot] = 0;
+                        next_episode += 1;
+                    } else {
+                        vec_env.deactivate(slot);
+                    }
+                }
+            }
+        }
+
+        // Assemble the flat update batch in episode order (matching what the
+        // legacy path feeds `Algorithm::update`), plus the iteration stats.
+        scratch.batch.clear();
+        scratch.ep_returns.clear();
+        scratch.ep_lengths.clear();
+        for ep in scratch.episodes.iter().take(e_total) {
+            scratch.batch.append(ep);
+            scratch.ep_returns.push(ep.rewards().iter().sum());
+            scratch.ep_lengths.push(ep.len() as f64);
+        }
+    }
+}
+
+/// Persistent scratch for the vectorized collector: grows to steady-state
+/// shape during the first iteration and is reused afterwards.
+struct VecScratch {
+    /// Stacked observations of the active slots (rows in slot order).
+    obs: Matrix,
+    /// Stacked masks in lockstep with `obs` rows.
+    masks: Vec<bool>,
+    /// Slot index of each stacked row.
+    rows: Vec<usize>,
+    /// Per-row probability scratch for sampling.
+    probs: Vec<f32>,
+    /// Workspace for the batched policy forward.
+    ws: Workspace,
+    /// Per-episode critic scores of a finished episode.
+    vals: Vec<f32>,
+    /// Per-episode staging batches (indexed by episode within the
+    /// iteration), appended in order into `batch` at the end.
+    episodes: Vec<RolloutBatch>,
+    /// The assembled flat batch handed to the learner.
+    batch: RolloutBatch,
+    /// Per-slot RNG, reseeded at every episode start.
+    rngs: Vec<StdRng>,
+    /// Episode index each slot is currently collecting.
+    episode_of: Vec<usize>,
+    /// Steps the slot has taken in its current episode.
+    steps: Vec<usize>,
+    /// Action each slot applied at the pending step.
+    pending_action: Vec<usize>,
+    /// Log-probability of each slot's pending action.
+    pending_log_prob: Vec<f32>,
+    /// Undiscounted return of each episode this iteration.
+    ep_returns: Vec<f64>,
+    /// Length of each episode this iteration.
+    ep_lengths: Vec<f64>,
+}
+
+impl VecScratch {
+    fn new(obs_dim: usize, action_count: usize, n_envs: usize, episodes: usize) -> Self {
+        VecScratch {
+            obs: Matrix::zeros(0, obs_dim),
+            masks: Vec::new(),
+            rows: Vec::new(),
+            probs: Vec::new(),
+            ws: Workspace::default(),
+            vals: Vec::new(),
+            episodes: vec![RolloutBatch::new(obs_dim, action_count); episodes],
+            batch: RolloutBatch::new(obs_dim, action_count),
+            rngs: (0..n_envs as u64).map(StdRng::seed_from_u64).collect(),
+            episode_of: vec![0; n_envs],
+            steps: vec![0; n_envs],
+            pending_action: vec![0; n_envs],
+            pending_log_prob: vec![0.0; n_envs],
+            ep_returns: Vec::new(),
+            ep_lengths: Vec::new(),
+        }
+    }
 }
 
 fn mean(values: &[f64]) -> f64 {
@@ -197,11 +439,11 @@ mod tests {
     fn rollout_respects_masks_and_episode_length() {
         let trainer = Trainer::new(TrainerConfig::default());
         let mut env = MaskedEnv { steps: 0 };
-        let algo = Reinforce::new(
+        let mut algo = Reinforce::new(
             CategoricalPolicy::new(2, &[8], 3, 0),
             ReinforceConfig::default(),
         );
-        let t = trainer.rollout(&mut env, &algo, 1);
+        let t = trainer.rollout(&mut env, &mut algo, 1);
         assert_eq!(t.len(), 6);
         for (mask, action) in t.masks.iter().zip(t.actions.iter()) {
             assert!(mask[*action], "policy acted outside the mask");
@@ -217,11 +459,11 @@ mod tests {
         };
         let trainer = Trainer::new(cfg);
         let mut env = ChainEnv::new(4, 1_000_000);
-        let algo = Reinforce::new(
+        let mut algo = Reinforce::new(
             CategoricalPolicy::new(4, &[8], 2, 0),
             ReinforceConfig::default(),
         );
-        let t = trainer.rollout(&mut env, &algo, 2);
+        let t = trainer.rollout(&mut env, &mut algo, 2);
         assert_eq!(t.len(), 5);
     }
 

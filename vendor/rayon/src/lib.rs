@@ -10,6 +10,7 @@ use std::num::NonZeroUsize;
 /// The traits user code imports with `use rayon::prelude::*`.
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
+    pub use crate::IntoParallelRefMutIterator;
 }
 
 /// `.par_iter()` on slices and anything that derefs to one.
@@ -34,6 +35,105 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
 
     fn par_iter(&'a self) -> ParIter<'a, T> {
         ParIter { items: self }
+    }
+}
+
+/// `.par_iter_mut()` on slices and anything that derefs to one. The lockstep
+/// environment pool uses this to step independent simulators concurrently:
+/// each element is visited exactly once by exactly one worker, so `f` may
+/// mutate freely.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type the parallel iterator yields mutable references to.
+    type Item: Send + 'a;
+
+    /// A parallel iterator over mutable references into `self`.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// A mutably borrowed parallel iterator (map/collect only).
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Apply `f` to every element, in parallel across cores, with exclusive
+    /// mutable access to each element.
+    pub fn map<U, F>(self, f: F) -> ParMapMut<'a, T, F>
+    where
+        U: Send,
+        F: Fn(&mut T) -> U + Sync,
+    {
+        ParMapMut {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIterMut::map`]; terminal `collect` runs the fan-out.
+pub struct ParMapMut<'a, T, F> {
+    items: &'a mut [T],
+    f: F,
+}
+
+impl<'a, T, U, F> ParMapMut<'a, T, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(&mut T) -> U + Sync,
+{
+    /// Execute the map and collect results in input order.
+    pub fn collect<C: FromParallel<U>>(self) -> C {
+        C::from_ordered(self.run())
+    }
+
+    fn run(self) -> Vec<U> {
+        let n = self.items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(n);
+        let f = &self.f;
+        if threads <= 1 {
+            return self.items.iter_mut().map(f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            let mut starts = Vec::with_capacity(threads);
+            for (i, items) in self.items.chunks_mut(chunk).enumerate() {
+                starts.push(i * chunk);
+                handles.push(scope.spawn(move || items.iter_mut().map(f).collect::<Vec<U>>()));
+            }
+            for (start, handle) in starts.into_iter().zip(handles) {
+                let produced = handle.join().expect("rayon facade worker panicked");
+                for (offset, value) in produced.into_iter().enumerate() {
+                    out[start + offset] = Some(value);
+                }
+            }
+        });
+        out.into_iter().map(|v| v.expect("chunk filled")).collect()
     }
 }
 
@@ -293,6 +393,27 @@ mod tests {
     fn map_init_empty_input() {
         let input: Vec<u32> = Vec::new();
         let out: Vec<u32> = input.par_iter().map_init(|| (), |(), &x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_mut_mutates_every_item_in_order() {
+        let mut input: Vec<u64> = (0..513).collect();
+        let out: Vec<u64> = input
+            .par_iter_mut()
+            .map(|x| {
+                *x += 1;
+                *x * 2
+            })
+            .collect();
+        assert_eq!(input, (1..514).collect::<Vec<_>>());
+        assert_eq!(out, (1..514).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_mut_empty_input() {
+        let mut input: Vec<u32> = Vec::new();
+        let out: Vec<u32> = input.par_iter_mut().map(|&mut x| x).collect();
         assert!(out.is_empty());
     }
 
