@@ -16,6 +16,11 @@
 //!
 //! # Combine shard checkpoints into the full grid:
 //! expdriver merge-checkpoints --out merged.json --csv merged.csv s0.json s1.json
+//!
+//! # Serve a scenario through the deterministic virtual-time facade and
+//! # compare shed policies under overload:
+//! expdriver serve --policy edf --scenario 'poisson+overload(2x,60s)' \
+//!     --queue-cap 16 --shed all --event-log results/serve.log
 //! ```
 //!
 //! `--quick` (default) trains small agents and uses small workloads so the
@@ -26,8 +31,9 @@
 use std::env;
 use std::path::PathBuf;
 use tcrm_bench::experiments::{ExperimentOutput, Lab, ALL_EXPERIMENTS};
-use tcrm_bench::{EvalSession, PolicyRegistry, ResultTable};
-use tcrm_sim::{ClusterSpec, SimConfig};
+use tcrm_bench::{EvalSession, PolicyRegistry, ResultRow, ResultTable};
+use tcrm_serve::{ClockMode, ServeConfig, ServeSession, ShedPolicy};
+use tcrm_sim::{ClusterSpec, Job, SimConfig};
 use tcrm_workload::{ScenarioRegistry, SyntheticSource, Trace, WorkloadSpec};
 
 fn usage() -> ! {
@@ -36,6 +42,9 @@ fn usage() -> ! {
          \x20      expdriver sweep --policies <a,b,..> [--scenarios '<s1>;<s2>;..'] \\\n\
          \x20               [--loads <l1,l2,..>] [--jobs <n>] [--seeds <s1,s2,..>] \\\n\
          \x20               [--shard <i>/<n>] [--checkpoint <path>] [--csv <path>]\n\
+         \x20      expdriver serve [--policy <p>] [--scenario <spec>] [--seed <s>] [--jobs <n>] \\\n\
+         \x20               [--producers <n>] [--queue-cap <n>] [--shed <p1,p2,..|all>] \\\n\
+         \x20               [--mode virtual|wall] [--event-log <path>] [--report <path>] [--csv <path>]\n\
          \x20      expdriver record-trace --out <path> [--jobs <n>] [--load <f>] [--seed <s>]\n\
          \x20      expdriver merge-checkpoints --out <path> [--csv <path>] <in.json> ...\n\
          \x20 experiments: {}",
@@ -167,6 +176,155 @@ fn run_sweep(args: &[String]) {
     }
 }
 
+/// `expdriver serve`: run the serving facade (deterministic virtual-time
+/// executor from `tcrm-serve`) over one scenario and report tail latencies,
+/// queue depth and shed rates — optionally across several shed policies.
+fn run_serve(args: &[String]) {
+    let mut policy = String::from("edf");
+    let mut scenario = String::from("poisson+overload(2x,60s)");
+    let mut seed = 1u64;
+    let mut jobs = 200usize;
+    let mut producers = 4usize;
+    let mut queue_cap = 32usize;
+    let mut sheds = vec![ShedPolicy::RejectNewest];
+    let mut mode = ClockMode::Virtual;
+    let mut event_log: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+    let mut csv: Option<PathBuf> = None;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| fail(format!("{name} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--policy" => policy = value("--policy"),
+            "--scenario" => scenario = value("--scenario"),
+            "--seed" => {
+                seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --seed"))
+            }
+            "--jobs" => {
+                jobs = value("--jobs")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --jobs"))
+            }
+            "--producers" => {
+                producers = value("--producers")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --producers"))
+            }
+            "--queue-cap" => {
+                queue_cap = value("--queue-cap")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --queue-cap"))
+            }
+            "--shed" => {
+                let spec = value("--shed");
+                sheds = if spec == "all" {
+                    ShedPolicy::ALL.to_vec()
+                } else {
+                    spec.split(',')
+                        .map(|s| s.parse().unwrap_or_else(|e| fail(e)))
+                        .collect()
+                };
+            }
+            "--mode" => {
+                mode = match value("--mode").as_str() {
+                    "virtual" => ClockMode::Virtual,
+                    "wall" => ClockMode::Wall,
+                    other => fail(format!("--mode must be 'virtual' or 'wall', got '{other}'")),
+                };
+            }
+            "--event-log" => event_log = Some(PathBuf::from(value("--event-log"))),
+            "--report" => report_path = Some(PathBuf::from(value("--report"))),
+            "--csv" => csv = Some(PathBuf::from(value("--csv"))),
+            other => fail(format!("unknown serve argument '{other}'")),
+        }
+    }
+
+    let scenario_registry = ScenarioRegistry::new();
+    let base = WorkloadSpec::icpp_default().with_num_jobs(jobs);
+    let cluster = ClusterSpec::icpp_default();
+    let job_list: Vec<Job> = scenario_registry
+        .build_str(&scenario, &base, &cluster, seed)
+        .unwrap_or_else(|e| fail(e))
+        .collect();
+    let registry = PolicyRegistry::with_baselines();
+
+    let mut table = ResultTable::new(
+        "serve",
+        format!("serving facade on '{scenario}' ({jobs} jobs, seed {seed})"),
+        "queue_cap",
+    );
+    let mut report_md = format!("## expdriver serve — '{scenario}', policy {policy}\n\n");
+    let write_out = |path: &PathBuf, contents: &str| {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(path, contents).unwrap_or_else(|e| fail(e));
+    };
+    for shed in &sheds {
+        let mut scheduler = registry
+            .build_str(&policy, seed)
+            .unwrap_or_else(|e| fail(e));
+        let config = ServeConfig {
+            producers,
+            channel_capacity: 64,
+            queue_cap,
+            shed_policy: *shed,
+            seed,
+            mode,
+        };
+        let mut session = ServeSession::new(cluster.clone(), SimConfig::default(), config);
+        let run = session.run(job_list.clone(), scheduler.as_mut());
+        let t = &run.telemetry;
+        eprintln!(
+            "serve: {policy}@{shed} p50={:.6}s p99={:.6}s p999={:.6}s max_depth={} shed_rate={:.4}{}",
+            t.decision_latency.quantile(0.5),
+            t.decision_latency.quantile(0.99),
+            t.decision_latency.quantile(0.999),
+            t.max_queue_depth,
+            t.shed_rate(),
+            if run.aborted { " (aborted)" } else { "" },
+        );
+        table.extend(vec![ResultRow {
+            scheduler: format!("{policy}@{shed}"),
+            scenario: scenario.clone(),
+            parameter: queue_cap as f64,
+            seed,
+            summary: run.summary.clone(),
+        }]);
+        report_md.push_str(&t.render_markdown());
+        report_md.push('\n');
+        if let Some(path) = &event_log {
+            // One log per shed policy; a single-policy run keeps the exact
+            // path (the CI determinism pin `cmp`s it between runs).
+            let path = if sheds.len() == 1 {
+                path.clone()
+            } else {
+                path.with_extension(format!("{shed}.log"))
+            };
+            write_out(&path, &run.event_log);
+            eprintln!("serve: wrote {}", path.display());
+        }
+    }
+    report_md.push_str(&table.to_markdown());
+    if let Some(path) = &report_path {
+        write_out(path, &report_md);
+        eprintln!("serve: wrote {}", path.display());
+    } else {
+        println!("{report_md}");
+    }
+    if let Some(path) = &csv {
+        write_out(path, &table.to_csv());
+        eprintln!("serve: wrote {}", path.display());
+    }
+}
+
 /// `expdriver record-trace`: generate a synthetic workload and persist it as
 /// a replayable trace (`replay(<path>)` in scenario specs).
 fn run_record_trace(args: &[String]) {
@@ -277,6 +435,7 @@ fn main() {
     }
     match args[0].as_str() {
         "sweep" => return run_sweep(&args[1..]),
+        "serve" => return run_serve(&args[1..]),
         "record-trace" => return run_record_trace(&args[1..]),
         "merge-checkpoints" => return run_merge_checkpoints(&args[1..]),
         _ => {}

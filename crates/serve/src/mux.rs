@@ -1,0 +1,189 @@
+//! Concurrent job ingress: many producer threads feed bounded channels, one
+//! deterministic multiplexer merges them back into a single arrival stream.
+//!
+//! Real serving frontends receive work from many connections at once; this
+//! module reproduces that shape with `std` threads and bounded
+//! `sync_channel`s (backpressure included) while keeping the *merged order*
+//! a pure function of the workload: jobs are partitioned across producers by
+//! a seeded hash, each producer preserves its subsequence order, and the
+//! merge always takes the globally smallest `(arrival, id)` head — blocking
+//! on the owning channel when that head has not been sent yet. Thread
+//! scheduling therefore affects only timing, never output, which is what
+//! makes the virtual-time executor's event log byte-reproducible.
+
+use std::sync::mpsc::{Receiver, SyncSender};
+
+use tcrm_sim::Job;
+
+/// SplitMix64 — tiny, seedable, and good enough to spread jobs uniformly
+/// across producers (the same generator the engine family uses for seed
+/// derivation).
+fn splitmix64(state: &mut u64) {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+}
+
+fn splitmix64_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministically split `jobs` (already sorted by `(arrival, id)`) into
+/// `producers` subsequences. Each job lands on the producer chosen by a
+/// seeded hash of its position, so the partition — like everything else in
+/// the virtual-time executor — is a function of `(jobs, producers, seed)`.
+pub fn partition_jobs(jobs: Vec<Job>, producers: usize, seed: u64) -> Vec<Vec<Job>> {
+    let producers = producers.max(1);
+    let mut parts: Vec<Vec<Job>> = (0..producers).map(|_| Vec::new()).collect();
+    let mut state = seed ^ 0xD6E8_FEB8_6659_FD93;
+    for job in jobs {
+        splitmix64(&mut state);
+        let pick = (splitmix64_mix(state) % producers as u64) as usize;
+        parts[pick].push(job);
+    }
+    parts
+}
+
+/// The producer half: replay one partition into a bounded channel. Runs on a
+/// scoped thread; a closed receiver (aborted run) just ends the replay.
+pub fn produce(part: Vec<Job>, tx: SyncSender<Job>) {
+    for job in part {
+        if tx.send(job).is_err() {
+            break;
+        }
+    }
+}
+
+/// The consumer half: a K-way merge over producer channels that always
+/// yields the globally smallest `(arrival, id)` head.
+pub struct JobMux {
+    receivers: Vec<Receiver<Job>>,
+    /// Current head of each channel; `None` once that producer disconnected.
+    heads: Vec<Option<Job>>,
+    /// Producer index each pending head came from (event attribution).
+    produced: usize,
+}
+
+impl JobMux {
+    /// Build the merge state, blocking for every producer's first job.
+    pub fn new(receivers: Vec<Receiver<Job>>) -> Self {
+        let heads = receivers.iter().map(|rx| rx.recv().ok()).collect();
+        Self {
+            receivers,
+            heads,
+            produced: 0,
+        }
+    }
+
+    /// Jobs yielded so far.
+    pub fn produced(&self) -> usize {
+        self.produced
+    }
+
+    /// Drain every remaining job (an aborted run counts leftovers toward the
+    /// total, mirroring the batch drivers' accounting) and return how many
+    /// there were. Consumes the mux; producers finish and disconnect.
+    pub fn drain(self) -> usize {
+        let mut leftover = self.heads.iter().flatten().count();
+        for rx in &self.receivers {
+            leftover += rx.iter().count();
+        }
+        leftover
+    }
+}
+
+impl Iterator for JobMux {
+    type Item = (Job, usize);
+
+    /// Pop the next job in global `(arrival, id)` order together with the
+    /// index of the producer that carried it. Blocks until the owning
+    /// producer has sent it; `None` once every channel has drained.
+    fn next(&mut self) -> Option<(Job, usize)> {
+        let lane = self
+            .heads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, head)| head.as_ref().map(|job| (i, job)))
+            .min_by(|(_, a), (_, b)| {
+                a.arrival
+                    .partial_cmp(&b.arrival)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.id.cmp(&b.id))
+            })
+            .map(|(i, _)| i)?;
+        let job = self.heads[lane].take().expect("selected head exists");
+        self.heads[lane] = self.receivers[lane].recv().ok();
+        self.produced += 1;
+        Some((job, lane))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+    use tcrm_sim::{Job, JobClass, JobId, ResourceVector};
+
+    fn job(id: u64, arrival: f64) -> Job {
+        Job::builder(JobId(id), JobClass::Batch)
+            .arrival(arrival)
+            .total_work(1.0)
+            .demand_per_unit(ResourceVector::new([1.0, 1.0, 0.0, 0.0]))
+            .parallelism_range(1, 2)
+            .deadline(arrival + 100.0)
+            .build()
+    }
+
+    #[test]
+    fn partition_is_deterministic_and_complete() {
+        let jobs: Vec<Job> = (0..100).map(|i| job(i, i as f64)).collect();
+        let a = partition_jobs(jobs.clone(), 4, 7);
+        let b = partition_jobs(jobs.clone(), 4, 7);
+        assert_eq!(a, b, "same seed, same partition");
+        assert_eq!(a.iter().map(Vec::len).sum::<usize>(), jobs.len());
+        let c = partition_jobs(jobs, 4, 8);
+        assert_ne!(a, c, "different seed, different partition");
+    }
+
+    #[test]
+    fn merge_restores_global_arrival_order_regardless_of_lanes() {
+        let jobs: Vec<Job> = (0..200).map(|i| job(i, (i / 3) as f64)).collect();
+        let parts = partition_jobs(jobs.clone(), 5, 42);
+        std::thread::scope(|s| {
+            let mut rxs = Vec::new();
+            for part in parts {
+                let (tx, rx) = sync_channel(4);
+                s.spawn(move || produce(part, tx));
+                rxs.push(rx);
+            }
+            let mut mux = JobMux::new(rxs);
+            let mut merged = Vec::new();
+            for (job, lane) in mux.by_ref() {
+                assert!(lane < 5);
+                merged.push(job);
+            }
+            assert_eq!(merged, jobs, "merge must restore (arrival, id) order");
+            assert_eq!(mux.produced(), 200);
+            assert_eq!(mux.drain(), 0);
+        });
+    }
+
+    #[test]
+    fn drain_counts_everything_not_yet_consumed() {
+        let jobs: Vec<Job> = (0..50).map(|i| job(i, i as f64)).collect();
+        let parts = partition_jobs(jobs, 3, 1);
+        std::thread::scope(|s| {
+            let mut rxs = Vec::new();
+            for part in parts {
+                let (tx, rx) = sync_channel(4);
+                s.spawn(move || produce(part, tx));
+                rxs.push(rx);
+            }
+            let mut mux = JobMux::new(rxs);
+            for _ in 0..20 {
+                mux.next().unwrap();
+            }
+            assert_eq!(mux.drain(), 30, "heads + queued + unsent all count");
+        });
+    }
+}

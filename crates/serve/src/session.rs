@@ -1,0 +1,435 @@
+//! The serving session: producers feed a deterministic multiplexer, the
+//! serving loop drives the engine epoch by epoch, admission control sheds
+//! under overload, and every observable step streams to subscribers and into
+//! a byte-reproducible event log.
+//!
+//! The loop's ordering deliberately mirrors the engine's own streaming
+//! driver (`Simulator::run_source`): advance one epoch, keep exactly one
+//! future arrival buffered, run the decision rounds, compact the view log,
+//! apply the deadlock guard. With admission disabled (a cap the workload
+//! never reaches) a serving run therefore reports the **identical**
+//! [`Summary`] as the batch drivers over the same jobs — the parity pin the
+//! integration tests assert.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::time::Instant;
+
+use tcrm_sim::{
+    Action, ActionOutcome, ClusterSpec, EpochKind, Job, JobClass, Scheduler, SimConfig, Simulator,
+    Summary,
+};
+
+use crate::events::{ServeEvent, ShedPolicy};
+use crate::mux::{partition_jobs, produce, JobMux};
+use crate::telemetry::ServeTelemetry;
+
+/// How the executor experiences time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClockMode {
+    /// Deterministic virtual time: the run is a pure function of
+    /// `(jobs, config, scheduler)` — byte-identical event logs, identical
+    /// percentile reports, never reads the host clock.
+    #[default]
+    Virtual,
+    /// Virtual event time plus real measurement: each decision epoch's
+    /// compute time is measured with the host monotonic clock and recorded
+    /// in [`ServeTelemetry::epoch_compute`]. Job-visible behaviour (event
+    /// log, summary) is identical to [`ClockMode::Virtual`].
+    Wall,
+}
+
+/// Serving-plane configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Number of producer threads feeding the session.
+    pub producers: usize,
+    /// Bounded capacity of each producer's channel (backpressure).
+    pub channel_capacity: usize,
+    /// Hard cap on the admission (pending) queue depth.
+    pub queue_cap: usize,
+    /// What to do when an arrival would push the queue past the cap.
+    pub shed_policy: ShedPolicy,
+    /// Seed for the producer partition (and anything else the session
+    /// randomises).
+    pub seed: u64,
+    /// Virtual-time determinism or wall-clock measurement.
+    pub mode: ClockMode,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            producers: 4,
+            channel_capacity: 64,
+            queue_cap: 64,
+            shed_policy: ShedPolicy::default(),
+            seed: 0,
+            mode: ClockMode::default(),
+        }
+    }
+}
+
+/// Everything a serving run produces.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// The engine's run summary — comparable to the batch drivers'.
+    pub summary: Summary,
+    /// Tail-latency and overload telemetry.
+    pub telemetry: ServeTelemetry,
+    /// The canonical event log: one `seq time event` line per observable
+    /// step. Byte-identical across same-seed virtual runs.
+    pub event_log: String,
+    /// Whether the run aborted (deadlock guard or `max_sim_time`).
+    pub aborted: bool,
+}
+
+/// Per-job bookkeeping the serving loop keeps outside the engine.
+#[derive(Debug, Clone, Copy)]
+struct JobMeta {
+    class: JobClass,
+    arrival: f64,
+    producer: usize,
+}
+
+/// The event fan-out: appends canonical lines to the log and clones each
+/// event to every live subscriber (dead receivers are dropped).
+struct EventSink<'a> {
+    text: String,
+    seq: u64,
+    subscribers: &'a mut Vec<Sender<ServeEvent>>,
+}
+
+impl EventSink<'_> {
+    fn emit(&mut self, time: f64, event: ServeEvent) {
+        // `{}` on f64 is shortest-roundtrip formatting: identical bits render
+        // identical bytes, which is what makes the log `cmp`-able.
+        let _ = writeln!(self.text, "{} {} {}", self.seq, time, event);
+        self.seq += 1;
+        self.subscribers.retain(|tx| tx.send(event.clone()).is_ok());
+    }
+}
+
+/// A reusable serving facade over one simulator.
+///
+/// ```
+/// use tcrm_serve::{ServeConfig, ServeSession};
+/// use tcrm_sim::prelude::*;
+/// use tcrm_workload::{SyntheticSource, WorkloadSpec, WorkloadSource};
+///
+/// struct Greedy;
+/// impl Scheduler for Greedy {
+///     fn name(&self) -> &str { "greedy" }
+///     fn decide(&mut self, view: &ClusterView) -> Vec<Action> {
+///         view.pending.first().map(|j| vec![Action::Start {
+///             job: j.id, class: NodeClassId(0), parallelism: j.min_parallelism,
+///         }]).unwrap_or_default()
+///     }
+/// }
+///
+/// let cluster = ClusterSpec::icpp_default();
+/// let spec = WorkloadSpec::icpp_default().with_num_jobs(20);
+/// let jobs: Vec<Job> = SyntheticSource::new(&spec, &cluster, 7).unwrap().collect();
+/// let mut session = ServeSession::new(cluster, SimConfig::default(), ServeConfig::default());
+/// let report = session.run(jobs, &mut Greedy);
+/// assert_eq!(report.summary.total_jobs, 20);
+/// assert!(!report.event_log.is_empty());
+/// ```
+pub struct ServeSession {
+    sim: Simulator,
+    config: ServeConfig,
+    subscribers: Vec<Sender<ServeEvent>>,
+}
+
+impl ServeSession {
+    /// Build a session over a fresh simulator.
+    pub fn new(spec: ClusterSpec, sim_config: SimConfig, config: ServeConfig) -> Self {
+        Self {
+            sim: Simulator::new(spec, sim_config),
+            config,
+            subscribers: Vec::new(),
+        }
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Subscribe to the event stream of subsequent runs. Events arrive in
+    /// log order; dropping the receiver unsubscribes.
+    pub fn subscribe(&mut self) -> Receiver<ServeEvent> {
+        let (tx, rx) = mpsc::channel();
+        self.subscribers.push(tx);
+        rx
+    }
+
+    /// Serve one workload under `scheduler` and return the report. The
+    /// session (simulator and subscribers) is reusable afterwards.
+    pub fn run<S: Scheduler + ?Sized>(
+        &mut self,
+        mut jobs: Vec<Job>,
+        scheduler: &mut S,
+    ) -> ServeReport {
+        jobs.sort_by(|a, b| {
+            a.arrival
+                .partial_cmp(&b.arrival)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        let expected = jobs.len();
+        let cap = self.config.queue_cap;
+        let policy = self.config.shed_policy;
+        let wall = self.config.mode == ClockMode::Wall;
+
+        let sim = &mut self.sim;
+        sim.reset();
+        scheduler.on_simulation_start();
+        sim.begin_service(expected);
+        let mut view = sim.view();
+        let mut telemetry = ServeTelemetry::new(policy, cap);
+        let mut sink = EventSink {
+            text: String::new(),
+            seq: 0,
+            subscribers: &mut self.subscribers,
+        };
+        let mut meta: HashMap<u64, JobMeta> = HashMap::with_capacity(expected);
+
+        let parts = partition_jobs(jobs, self.config.producers, self.config.seed);
+        let leftover = std::thread::scope(|scope| {
+            let mut receivers = Vec::with_capacity(parts.len());
+            for part in parts {
+                let (tx, rx) = mpsc::sync_channel(self.config.channel_capacity.max(1));
+                scope.spawn(move || produce(part, tx));
+                receivers.push(rx);
+            }
+            let mut mux = JobMux::new(receivers);
+            let mut pull = |sim: &mut Simulator, meta: &mut HashMap<u64, JobMeta>| {
+                if let Some((job, producer)) = mux.next() {
+                    meta.insert(
+                        job.id.0,
+                        JobMeta {
+                            class: job.class,
+                            arrival: job.arrival,
+                            producer,
+                        },
+                    );
+                    sim.submit(job);
+                }
+            };
+            // Prime the single-lookahead invariant: exactly one future
+            // arrival buffered while producers still have work.
+            pull(sim, &mut meta);
+
+            while sim.advance() {
+                let now = sim.time();
+                match sim.last_epoch() {
+                    EpochKind::Arrival(id) => {
+                        let m = meta[&id.0];
+                        let depth = sim.pending_count();
+                        telemetry.classes.submitted[m.class.index()] += 1;
+                        sink.emit(
+                            now,
+                            ServeEvent::Submitted {
+                                job: id,
+                                class: m.class,
+                                producer: m.producer,
+                                depth,
+                            },
+                        );
+                        admission_control(
+                            sim,
+                            id,
+                            depth,
+                            cap,
+                            policy,
+                            &meta,
+                            &mut telemetry,
+                            &mut sink,
+                        );
+                    }
+                    EpochKind::Completion(id) => {
+                        if let Some(m) = meta.get(&id.0) {
+                            telemetry.classes.completed[m.class.index()] += 1;
+                        }
+                        sink.emit(now, ServeEvent::Completed { job: id });
+                    }
+                    EpochKind::Periodic => {}
+                }
+                if sim.buffered_arrivals() == 0 {
+                    pull(sim, &mut meta);
+                }
+                let compute_start = wall.then(Instant::now);
+                let changed = {
+                    let meta = &meta;
+                    let telemetry = &mut telemetry;
+                    let sink = &mut sink;
+                    sim.decision_rounds_hooked(scheduler, &mut view, &mut |action, outcome| {
+                        observe_action(action, outcome, now, meta, telemetry, sink);
+                    })
+                };
+                if let Some(t0) = compute_start {
+                    telemetry.epoch_compute.record(t0.elapsed().as_secs_f64());
+                }
+                sim.compact_log(&view);
+                telemetry.sample_depth(now, sim.pending_count());
+                // Deadlock guard — the bundled drivers' condition verbatim.
+                if !changed
+                    && sim.running_count() == 0
+                    && sim.buffered_arrivals() == 0
+                    && sim.pending_count() > 0
+                {
+                    sim.abort_service();
+                }
+            }
+            mux.drain()
+        });
+
+        // Jobs the producers never got to submit (aborted run) still count
+        // toward the total, mirroring the batch drivers.
+        sim.account_unsubmitted(leftover);
+        let aborted = sim.is_aborted();
+        let summary = sim.finish_service();
+        sink.emit(
+            sim.time(),
+            ServeEvent::Finished {
+                total_jobs: summary.total_jobs,
+                aborted,
+            },
+        );
+        ServeReport {
+            summary,
+            telemetry,
+            event_log: sink.text,
+            aborted,
+        }
+    }
+}
+
+/// Enforce the bounded admission queue at an arrival epoch. `depth` is the
+/// queue depth with the arrival already in it; on exit the depth is ≤ `cap`
+/// (the bound is hard under every policy).
+#[allow(clippy::too_many_arguments)]
+fn admission_control(
+    sim: &mut Simulator,
+    arrival: tcrm_sim::JobId,
+    depth: usize,
+    cap: usize,
+    policy: ShedPolicy,
+    meta: &HashMap<u64, JobMeta>,
+    telemetry: &mut ServeTelemetry,
+    sink: &mut EventSink<'_>,
+) {
+    let now = sim.time();
+    let over = depth > cap;
+    match policy {
+        ShedPolicy::RejectNewest => {
+            if over {
+                shed(sim, arrival, policy, meta, telemetry, sink, now);
+            }
+        }
+        ShedPolicy::RejectLatestDeadline => {
+            if over {
+                let victim = sim
+                    .pending_jobs()
+                    .max_by(|a, b| {
+                        a.deadline
+                            .partial_cmp(&b.deadline)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.id.cmp(&b.id))
+                    })
+                    .map(|job| job.id)
+                    .expect("queue is over cap, so it is non-empty");
+                shed(sim, victim, policy, meta, telemetry, sink, now);
+            }
+        }
+        ShedPolicy::DegradeToRigid => {
+            if over {
+                // The cap is hard even for the soft policy.
+                shed(sim, arrival, policy, meta, telemetry, sink, now);
+            } else if depth * 2 > cap && sim.degrade_pending_to_rigid(arrival) {
+                if let Some(m) = meta.get(&arrival.0) {
+                    telemetry.classes.degraded[m.class.index()] += 1;
+                }
+                sink.emit(now, ServeEvent::Degraded { job: arrival });
+            }
+        }
+    }
+}
+
+fn shed(
+    sim: &mut Simulator,
+    victim: tcrm_sim::JobId,
+    policy: ShedPolicy,
+    meta: &HashMap<u64, JobMeta>,
+    telemetry: &mut ServeTelemetry,
+    sink: &mut EventSink<'_>,
+    now: f64,
+) {
+    if sim.cancel_pending(victim).is_some() {
+        if let Some(m) = meta.get(&victim.0) {
+            telemetry.classes.shed[m.class.index()] += 1;
+        }
+        sink.emit(
+            now,
+            ServeEvent::Shed {
+                job: victim,
+                policy,
+            },
+        );
+    }
+}
+
+/// Translate one applied scheduler action into telemetry and events.
+fn observe_action(
+    action: &Action,
+    outcome: &ActionOutcome,
+    now: f64,
+    meta: &HashMap<u64, JobMeta>,
+    telemetry: &mut ServeTelemetry,
+    sink: &mut EventSink<'_>,
+) {
+    match (action, outcome) {
+        (
+            Action::Start {
+                job,
+                class,
+                parallelism,
+            },
+            ActionOutcome::Started,
+        ) => {
+            let m = meta.get(&job.0);
+            let latency = m.map_or(0.0, |m| (now - m.arrival).max(0.0));
+            telemetry.decision_latency.record(latency);
+            if let Some(m) = m {
+                telemetry.classes.started[m.class.index()] += 1;
+            }
+            sink.emit(
+                now,
+                ServeEvent::Started {
+                    job: *job,
+                    class: *class,
+                    parallelism: *parallelism,
+                    latency,
+                },
+            );
+        }
+        (
+            Action::Scale {
+                job,
+                new_parallelism,
+            },
+            ActionOutcome::Scaled,
+        ) => {
+            sink.emit(
+                now,
+                ServeEvent::Scaled {
+                    job: *job,
+                    parallelism: *new_parallelism,
+                },
+            );
+        }
+        _ => {}
+    }
+}

@@ -1,0 +1,209 @@
+//! Tail-latency and overload telemetry for a serving run: decision-latency
+//! histograms, the queue-depth time series, and per-class admission / shed /
+//! degrade counters — everything the percentile report and the
+//! ResultTable-compatible rows are built from.
+
+use std::fmt::Write as _;
+
+use tcrm_sim::JobClass;
+
+use crate::events::ShedPolicy;
+use crate::hist::LatencyHistogram;
+
+/// Per-class counter block ([`JobClass::ALL`] order).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClassCounters {
+    /// Jobs whose arrival epoch fired (offered to admission).
+    pub submitted: [u64; JobClass::COUNT],
+    /// Jobs dropped by the shed policy.
+    pub shed: [u64; JobClass::COUNT],
+    /// Jobs degraded to rigid service instead of dropped.
+    pub degraded: [u64; JobClass::COUNT],
+    /// Jobs the scheduler started.
+    pub started: [u64; JobClass::COUNT],
+    /// Jobs that finished.
+    pub completed: [u64; JobClass::COUNT],
+}
+
+impl ClassCounters {
+    fn total(counts: &[u64; JobClass::COUNT]) -> u64 {
+        counts.iter().sum()
+    }
+}
+
+/// Everything a serving run measures beyond the engine's own [`Summary`]:
+/// how long decisions kept jobs waiting (histograms), how deep the admission
+/// queue got (time series + high-water mark), and how much work the shed
+/// policy turned away (per-class counters).
+///
+/// [`Summary`]: tcrm_sim::Summary
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeTelemetry {
+    /// Shed policy the run was configured with (labels the report).
+    pub policy: ShedPolicy,
+    /// Admission-queue cap the run was configured with.
+    pub queue_cap: usize,
+    /// Virtual seconds from a job's arrival to its `Start` decision.
+    pub decision_latency: LatencyHistogram,
+    /// Wall-clock seconds each decision epoch took to compute. Only
+    /// populated in wall-clock mode — the virtual-time executor never reads
+    /// the host clock.
+    pub epoch_compute: LatencyHistogram,
+    /// `(virtual time, queue depth)` samples, one per decision epoch whose
+    /// depth differs from the previous sample.
+    pub queue_depth: Vec<(f64, usize)>,
+    /// Deepest the admission queue ever got (≤ cap, property-tested).
+    pub max_queue_depth: usize,
+    /// Per-class admission and shed counters.
+    pub classes: ClassCounters,
+}
+
+impl ServeTelemetry {
+    /// Empty telemetry for a run under `policy` with the given queue cap.
+    pub fn new(policy: ShedPolicy, queue_cap: usize) -> Self {
+        Self {
+            policy,
+            queue_cap,
+            decision_latency: LatencyHistogram::new(),
+            epoch_compute: LatencyHistogram::new(),
+            queue_depth: Vec::new(),
+            max_queue_depth: 0,
+            classes: ClassCounters::default(),
+        }
+    }
+
+    /// Record the admission-queue depth at virtual time `time`, compressing
+    /// runs of equal depth into one sample.
+    pub fn sample_depth(&mut self, time: f64, depth: usize) {
+        self.max_queue_depth = self.max_queue_depth.max(depth);
+        if self.queue_depth.last().map(|&(_, d)| d) != Some(depth) {
+            self.queue_depth.push((time, depth));
+        }
+    }
+
+    /// Jobs offered to admission, across classes.
+    pub fn submitted_total(&self) -> u64 {
+        ClassCounters::total(&self.classes.submitted)
+    }
+
+    /// Jobs dropped, across classes.
+    pub fn shed_total(&self) -> u64 {
+        ClassCounters::total(&self.classes.shed)
+    }
+
+    /// Jobs degraded to rigid service, across classes.
+    pub fn degraded_total(&self) -> u64 {
+        ClassCounters::total(&self.classes.degraded)
+    }
+
+    /// Fraction of offered jobs the shed policy turned away.
+    pub fn shed_rate(&self) -> f64 {
+        let submitted = self.submitted_total();
+        if submitted == 0 {
+            0.0
+        } else {
+            self.shed_total() as f64 / submitted as f64
+        }
+    }
+
+    /// The percentile report: a fixed-format markdown block with the
+    /// decision-latency tail, the overload counters and the per-class
+    /// breakdown. All floats render with `{:.6}` so two identical runs
+    /// produce byte-identical reports (the CI determinism pin `cmp`s them).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### Serving telemetry ({})", self.policy);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| metric | value |");
+        let _ = writeln!(out, "|---|---|");
+        let d = &self.decision_latency;
+        let _ = writeln!(out, "| decision latency p50 (s) | {:.6} |", d.quantile(0.5));
+        let _ = writeln!(
+            out,
+            "| decision latency p99 (s) | {:.6} |",
+            d.quantile(0.99)
+        );
+        let _ = writeln!(
+            out,
+            "| decision latency p999 (s) | {:.6} |",
+            d.quantile(0.999)
+        );
+        let _ = writeln!(out, "| decision latency max (s) | {:.6} |", d.max());
+        if !self.epoch_compute.is_empty() {
+            let e = &self.epoch_compute;
+            let _ = writeln!(out, "| epoch compute p50 (s) | {:.6} |", e.quantile(0.5));
+            let _ = writeln!(out, "| epoch compute p99 (s) | {:.6} |", e.quantile(0.99));
+        }
+        let _ = writeln!(out, "| queue cap | {} |", self.queue_cap);
+        let _ = writeln!(out, "| max queue depth | {} |", self.max_queue_depth);
+        let _ = writeln!(out, "| submitted | {} |", self.submitted_total());
+        let _ = writeln!(out, "| shed | {} |", self.shed_total());
+        let _ = writeln!(out, "| degraded | {} |", self.degraded_total());
+        let _ = writeln!(out, "| shed rate | {:.6} |", self.shed_rate());
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "| class | submitted | shed | degraded | started | completed |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|");
+        for class in JobClass::ALL {
+            let i = class.index();
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} |",
+                class,
+                self.classes.submitted[i],
+                self.classes.shed[i],
+                self.classes.degraded[i],
+                self.classes.started[i],
+                self.classes.completed[i],
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_samples_compress_equal_runs_and_track_the_high_water_mark() {
+        let mut t = ServeTelemetry::new(ShedPolicy::RejectNewest, 8);
+        t.sample_depth(0.0, 1);
+        t.sample_depth(1.0, 1);
+        t.sample_depth(2.0, 3);
+        t.sample_depth(3.0, 2);
+        t.sample_depth(4.0, 2);
+        assert_eq!(t.queue_depth, vec![(0.0, 1), (2.0, 3), (3.0, 2)]);
+        assert_eq!(t.max_queue_depth, 3);
+    }
+
+    #[test]
+    fn shed_rate_counts_over_submissions() {
+        let mut t = ServeTelemetry::new(ShedPolicy::DegradeToRigid, 4);
+        assert_eq!(t.shed_rate(), 0.0);
+        t.classes.submitted[0] = 8;
+        t.classes.submitted[2] = 2;
+        t.classes.shed[0] = 4;
+        t.classes.degraded[2] = 1;
+        assert!((t.shed_rate() - 0.4).abs() < 1e-12);
+        assert_eq!(t.degraded_total(), 1);
+    }
+
+    #[test]
+    fn report_renders_deterministically() {
+        let mut t = ServeTelemetry::new(ShedPolicy::RejectLatestDeadline, 16);
+        t.decision_latency.record(0.25);
+        t.decision_latency.record(2.5);
+        t.sample_depth(0.5, 2);
+        t.classes.submitted[1] = 2;
+        t.classes.started[1] = 2;
+        let a = t.render_markdown();
+        let b = t.render_markdown();
+        assert_eq!(a, b);
+        assert!(a.contains("reject-latest-deadline"));
+        assert!(a.contains("| max queue depth | 2 |"));
+        assert!(a.contains("decision latency p999"));
+    }
+}

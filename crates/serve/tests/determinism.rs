@@ -1,0 +1,192 @@
+//! The serving plane's three load-bearing guarantees, pinned:
+//!
+//! 1. **Determinism** — two same-seed virtual-time runs produce a
+//!    byte-identical event log and an identical percentile report, despite
+//!    real producer threads racing on real channels.
+//! 2. **Batch parity** — with admission effectively disabled, a serving run
+//!    reports the identical [`Summary`] as `Simulator::run` over the same
+//!    jobs (the facade adds observability, never different scheduling).
+//! 3. **Bounded admission** — the queue never exceeds its cap, under every
+//!    shed policy, across random workloads and seeds (property-tested).
+
+use proptest::prelude::*;
+use tcrm_baselines::EdfScheduler;
+use tcrm_serve::{ClockMode, ServeConfig, ServeEvent, ServeSession, ShedPolicy};
+use tcrm_sim::{ClusterSpec, Job, SimConfig, Simulator};
+use tcrm_workload::{ScenarioRegistry, WorkloadSpec};
+
+fn jobs_for(spec_str: &str, n: usize, seed: u64) -> Vec<Job> {
+    let registry = ScenarioRegistry::new();
+    let base = WorkloadSpec::icpp_default().with_num_jobs(n);
+    let cluster = ClusterSpec::icpp_default();
+    registry
+        .build_str(spec_str, &base, &cluster, seed)
+        .unwrap()
+        .collect()
+}
+
+fn session(config: ServeConfig) -> ServeSession {
+    ServeSession::new(ClusterSpec::icpp_default(), SimConfig::default(), config)
+}
+
+#[test]
+fn same_seed_virtual_runs_are_byte_identical() {
+    let jobs = jobs_for("poisson+overload(2x,60s)", 120, 11);
+    let config = ServeConfig {
+        producers: 6,
+        channel_capacity: 8,
+        queue_cap: 12,
+        shed_policy: ShedPolicy::RejectLatestDeadline,
+        seed: 3,
+        mode: ClockMode::Virtual,
+    };
+    let a = session(config).run(jobs.clone(), &mut EdfScheduler::new());
+    let b = session(config).run(jobs, &mut EdfScheduler::new());
+    assert!(!a.event_log.is_empty());
+    assert_eq!(
+        a.event_log, b.event_log,
+        "event logs must be byte-identical"
+    );
+    assert_eq!(
+        a.telemetry.render_markdown(),
+        b.telemetry.render_markdown(),
+        "percentile reports must be identical"
+    );
+    assert_eq!(a.summary, b.summary);
+}
+
+#[test]
+fn producer_count_does_not_change_the_outcome() {
+    // Thread scheduling and channel sizes affect timing only: the merged
+    // arrival order is a pure function of the jobs, so even the *partition*
+    // shape must not leak into scheduling outcomes (only into the
+    // producer= attribution in the log).
+    let jobs = jobs_for("poisson", 80, 5);
+    let mut base = ServeConfig::default();
+    base.queue_cap = usize::MAX / 2;
+    let reference = session(base).run(jobs.clone(), &mut EdfScheduler::new());
+    for (producers, capacity) in [(1, 1), (2, 3), (9, 64)] {
+        let mut config = base;
+        config.producers = producers;
+        config.channel_capacity = capacity;
+        let run = session(config).run(jobs.clone(), &mut EdfScheduler::new());
+        assert_eq!(
+            run.summary, reference.summary,
+            "{producers} producers x cap {capacity} changed the summary"
+        );
+    }
+}
+
+#[test]
+fn serving_matches_the_batch_driver_when_admission_is_disabled() {
+    for scenario in ["poisson", "poisson+spike(10x,5s,at=30)"] {
+        let jobs = jobs_for(scenario, 100, 21);
+        let batch = Simulator::new(ClusterSpec::icpp_default(), SimConfig::default())
+            .run(jobs.clone(), &mut EdfScheduler::new());
+        let mut config = ServeConfig::default();
+        config.queue_cap = usize::MAX / 2; // never sheds
+        let serve = session(config).run(jobs, &mut EdfScheduler::new());
+        assert_eq!(
+            serve.summary, batch.summary,
+            "{scenario}: serving must reproduce the batch summary"
+        );
+        assert_eq!(serve.telemetry.shed_total(), 0);
+        assert!(!serve.aborted);
+    }
+}
+
+#[test]
+fn wall_mode_matches_virtual_mode_job_visible_behaviour() {
+    let jobs = jobs_for("poisson+overload(2x,60s)", 60, 9);
+    let mut config = ServeConfig::default();
+    config.queue_cap = 10;
+    let virt = session(config).run(jobs.clone(), &mut EdfScheduler::new());
+    config.mode = ClockMode::Wall;
+    let wall = session(config).run(jobs, &mut EdfScheduler::new());
+    assert_eq!(virt.event_log, wall.event_log);
+    assert_eq!(virt.summary, wall.summary);
+    assert!(virt.telemetry.epoch_compute.is_empty());
+    assert!(
+        !wall.telemetry.epoch_compute.is_empty(),
+        "wall mode must measure per-epoch compute"
+    );
+}
+
+#[test]
+fn subscribers_see_the_logged_events_in_order() {
+    let jobs = jobs_for("poisson", 30, 2);
+    let mut s = session(ServeConfig::default());
+    let rx = s.subscribe();
+    let report = s.run(jobs, &mut EdfScheduler::new());
+    let events: Vec<ServeEvent> = rx.try_iter().collect();
+    assert_eq!(
+        events.len() as u64,
+        report.event_log.lines().count() as u64,
+        "one streamed event per log line"
+    );
+    assert!(matches!(events.last(), Some(ServeEvent::Finished { .. })));
+    // The log is the rendered event stream.
+    for (line, event) in report.event_log.lines().zip(&events) {
+        assert!(line.ends_with(&event.to_string()), "{line} vs {event}");
+    }
+}
+
+#[test]
+fn overload_run_sheds_and_reports_tails_under_every_policy() {
+    let jobs = jobs_for("poisson+overload(2x,60s)", 150, 13);
+    for policy in ShedPolicy::ALL {
+        let mut config = ServeConfig::default();
+        config.queue_cap = 8;
+        config.shed_policy = policy;
+        let report = session(config).run(jobs.clone(), &mut EdfScheduler::new());
+        assert!(report.telemetry.max_queue_depth <= 8, "{policy}");
+        assert_eq!(
+            report.summary.total_jobs, 150,
+            "{policy}: shed jobs still count toward the total"
+        );
+        let rendered = report.telemetry.render_markdown();
+        assert!(rendered.contains("decision latency p999"), "{policy}");
+        if policy == ShedPolicy::DegradeToRigid {
+            assert!(
+                report.telemetry.degraded_total() > 0,
+                "a 2x overload must trip the degrade threshold"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The admission bound is hard: across policies, caps, seeds and
+    /// workload shapes, the queue never exceeds its cap and the accounting
+    /// always balances (submitted = shed + everything that stayed).
+    #[test]
+    fn queue_depth_never_exceeds_the_cap(
+        seed in 0u64..1000,
+        cap in 1usize..24,
+        policy_pick in 0usize..3,
+        n in 20usize..120,
+        factor in 1.0f64..6.0,
+    ) {
+        let scenario = format!("poisson+overload({factor}x,60s)");
+        let jobs = jobs_for(&scenario, n, seed);
+        let config = ServeConfig {
+            producers: 1 + (seed as usize % 5),
+            channel_capacity: 1 + (seed as usize % 7),
+            queue_cap: cap,
+            shed_policy: ShedPolicy::ALL[policy_pick],
+            seed,
+            mode: ClockMode::Virtual,
+        };
+        let report = session(config).run(jobs, &mut EdfScheduler::new());
+        prop_assert!(
+            report.telemetry.max_queue_depth <= cap,
+            "depth {} over cap {}", report.telemetry.max_queue_depth, cap
+        );
+        prop_assert_eq!(report.summary.total_jobs, n);
+        let t = &report.telemetry;
+        prop_assert_eq!(t.submitted_total(), n as u64);
+        prop_assert!(t.shed_total() <= t.submitted_total());
+    }
+}

@@ -39,6 +39,21 @@ pub struct SimulationResult {
     pub trace: UtilizationTrace,
 }
 
+/// What kind of event produced the decision epoch [`Simulator::advance`]
+/// just returned for. Long-lived step-wise drivers (the serving plane, RL
+/// environments) read this through [`Simulator::last_epoch`] to react to
+/// arrivals (admission control) and completions (event streaming) without
+/// diffing queue lengths between epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochKind {
+    /// A job arrived and was appended to the pending queue.
+    Arrival(JobId),
+    /// A running job completed.
+    Completion(JobId),
+    /// A periodic decision-interval tick.
+    Periodic,
+}
+
 /// Internal bookkeeping for one running job.
 ///
 /// Progress is **lazily reconciled**: between two rate changes (start,
@@ -173,6 +188,8 @@ pub struct Simulator {
     arrival_hint: usize,
     started: bool,
     aborted: bool,
+    /// What produced the most recent decision epoch (see [`EpochKind`]).
+    last_epoch: EpochKind,
     /// Events whose timestamp was behind the simulation clock and was
     /// clamped forward to `self.time` (see [`Self::advance`]).
     clamped_events: u64,
@@ -218,6 +235,7 @@ impl Simulator {
             arrival_hint: 0,
             started: false,
             aborted: false,
+            last_epoch: EpochKind::Periodic,
             clamped_events: 0,
             best_speed_cache,
             sim_id: SimId::fresh(),
@@ -300,6 +318,134 @@ impl Simulator {
         self.schedule_periodic_events();
     }
 
+    // ------------------------------------------------------------------
+    // Service hooks (the `tcrm-serve` serving plane is built on these)
+    // ------------------------------------------------------------------
+
+    /// Begin a run with **no upfront jobs**: arrivals are injected one by one
+    /// through [`Self::submit`] while the run is live. `arrival_hint` seeds
+    /// buffer pre-sizing and the `future_arrivals` count views report, like
+    /// the streaming entry point's size hint.
+    ///
+    /// This is the external-ingress sibling of [`Self::start`]: a serving
+    /// loop that receives jobs from producers (rather than owning an
+    /// iterator) drives the run with `advance`/`apply` and keeps exactly as
+    /// many future arrivals buffered as it wants.
+    pub fn begin_service(&mut self, arrival_hint: usize) {
+        self.begin_run(
+            arrival_hint.min(65_536),
+            arrival_hint.min(u32::MAX as usize),
+        );
+        self.schedule_periodic_events();
+    }
+
+    /// Enqueue one externally submitted job as a future arrival event.
+    /// Jobs must be submitted in non-decreasing arrival order (out-of-order
+    /// arrivals are clamped forward and counted like any other stale event).
+    pub fn submit(&mut self, job: Job) {
+        assert!(self.started, "call Simulator::begin_service first");
+        debug_assert!(job.validate().is_ok(), "invalid job {}", job.id);
+        self.total_jobs += 1;
+        self.arrivals_remaining += 1;
+        self.events.push(job.arrival, EventKind::JobArrival(job));
+    }
+
+    /// Number of submitted-but-not-yet-arrived jobs buffered in the event
+    /// queue. Serving loops keep this at one — the same single-lookahead
+    /// invariant as [`Self::run_source`] — so results stay comparable to the
+    /// batch drivers.
+    pub fn buffered_arrivals(&self) -> usize {
+        self.arrivals_remaining
+    }
+
+    /// What produced the decision epoch the latest [`Self::advance`] returned
+    /// for.
+    pub fn last_epoch(&self) -> EpochKind {
+        self.last_epoch
+    }
+
+    /// Iterate the queued jobs in arrival order (admission policies inspect
+    /// deadlines and classes without building a full view).
+    pub fn pending_jobs(&self) -> impl Iterator<Item = &Job> + '_ {
+        self.pending.iter()
+    }
+
+    /// One queued job by id.
+    pub fn pending_job(&self, id: JobId) -> Option<&Job> {
+        self.pending.get(id)
+    }
+
+    /// Remove a queued job before it ever starts (load shedding). The job's
+    /// maximum utility is charged as forfeited — a shed job counts against
+    /// the policy exactly like one that was never scheduled — and the job is
+    /// returned to the caller for event reporting. Returns `None` when the
+    /// id is not pending.
+    pub fn cancel_pending(&mut self, id: JobId) -> Option<Job> {
+        let (job, pos) = self.pending.remove(id)?;
+        if self.config.incremental_view {
+            self.log.push(ViewDelta::PendingRemoved { pos });
+        }
+        self.metrics.record_unfinished(job.utility.value);
+        Some(job)
+    }
+
+    /// Degrade a queued job to rigid minimum-parallelism service (the
+    /// `degrade-to-rigid` shed policy): the job loses malleability and its
+    /// parallelism range collapses to `min_parallelism`, making it cheaper
+    /// to place and immune to re-scaling churn. The job moves to the tail of
+    /// the arrival order (remove + re-admit), which the incremental view
+    /// protocol records as a removal plus a fresh arrival. Returns `false`
+    /// when the id is not pending.
+    pub fn degrade_pending_to_rigid(&mut self, id: JobId) -> bool {
+        let Some((mut job, pos)) = self.pending.remove(id) else {
+            return false;
+        };
+        if self.config.incremental_view {
+            self.log.push(ViewDelta::PendingRemoved { pos });
+        }
+        job.malleable = false;
+        job.max_parallelism = job.min_parallelism;
+        if self.config.incremental_view {
+            self.log
+                .push(ViewDelta::Arrived(ClusterView::pending_view_of(
+                    &job, self.time,
+                )));
+        }
+        self.pending.push(job);
+        true
+    }
+
+    /// Count jobs that were offered to the service but never reached
+    /// [`Self::submit`] (e.g. a run aborted at `max_sim_time` with producers
+    /// still queued), so truncated serving runs report the same totals as a
+    /// batch run over the full job list — mirroring [`Self::run_source`]'s
+    /// drain accounting.
+    pub fn account_unsubmitted(&mut self, count: usize) {
+        self.total_jobs += count;
+    }
+
+    /// Abort the run from an external driver (the serving loop's deadlock
+    /// guard — the same condition the bundled drivers abort on). The next
+    /// [`Self::advance`] returns `false`.
+    pub fn abort_service(&mut self) {
+        self.abort_run();
+    }
+
+    /// Finish a serving run **without consuming the simulator**: charge
+    /// forfeited utility for unfinished jobs and summarize — exactly what
+    /// [`Self::run_source`] does after its drive loop, so a serving run over
+    /// the same jobs reports the identical [`Summary`]. The simulator stays
+    /// reusable via [`Self::reset`].
+    pub fn finish_service(&mut self) -> Summary {
+        self.charge_unfinished();
+        self.metrics.summarize(self.total_jobs)
+    }
+
+    /// True when the run was aborted (deadlock guard or `max_sim_time`).
+    pub fn is_aborted(&self) -> bool {
+        self.aborted
+    }
+
     /// Run setup shared by [`Self::start`] and the streaming entry point:
     /// flags, buffer pre-sizing and the future-arrival hint. Event
     /// scheduling stays with the callers — their relative ordering of
@@ -366,6 +512,7 @@ impl Simulator {
                 if !self.pending.is_empty() && self.running.is_empty() {
                     self.abort_run();
                 }
+                self.last_epoch = EpochKind::Periodic;
                 return !self.is_done() && !self.aborted;
             };
             if event.time > self.config.max_sim_time {
@@ -402,6 +549,7 @@ impl Simulator {
                                 &job, self.time,
                             )));
                     }
+                    self.last_epoch = EpochKind::Arrival(job.id);
                     self.pending.push(job);
                     self.metrics.record_decision_epoch();
                     return true;
@@ -416,6 +564,7 @@ impl Simulator {
                         continue;
                     }
                     self.complete_job(job);
+                    self.last_epoch = EpochKind::Completion(job);
                     self.metrics.record_decision_epoch();
                     return true;
                 }
@@ -425,6 +574,7 @@ impl Simulator {
                             self.events
                                 .push(self.time + interval, EventKind::DecisionEpoch);
                         }
+                        self.last_epoch = EpochKind::Periodic;
                         self.metrics.record_decision_epoch();
                         return true;
                     }
@@ -690,6 +840,7 @@ impl Simulator {
         self.arrival_hint = 0;
         self.started = false;
         self.aborted = false;
+        self.last_epoch = EpochKind::Periodic;
         self.clamped_events = 0;
         // Views synced to the previous run must rebuild, not replay a
         // cleared change log.
@@ -865,6 +1016,24 @@ impl Simulator {
         scheduler: &mut S,
         view: &mut ClusterView,
     ) -> bool {
+        self.decision_rounds_hooked(scheduler, view, &mut |_, _| {})
+    }
+
+    /// `decision_rounds` semantics (identical round/termination
+    /// logic, so external drivers reproduce the bundled drivers' results
+    /// exactly), with `on_action` observing every `(action, outcome)` pair
+    /// as it is applied — the event hook the serving plane uses to stream
+    /// start/scale decisions and record per-job decision latency.
+    pub fn decision_rounds_hooked<S, F>(
+        &mut self,
+        scheduler: &mut S,
+        view: &mut ClusterView,
+        on_action: &mut F,
+    ) -> bool
+    where
+        S: Scheduler + ?Sized,
+        F: FnMut(&Action, &ActionOutcome),
+    {
         let mut rounds = 0;
         let mut epoch_changed_state = false;
         loop {
@@ -885,6 +1054,7 @@ impl Simulator {
                 }
                 let outcome = self.apply(action);
                 any_change |= outcome.changed_state();
+                on_action(action, &outcome);
             }
             epoch_changed_state |= any_change;
             if all_wait || !any_change {

@@ -73,7 +73,7 @@ pub mod view;
 pub use allocation::{Allocation, Placement};
 pub use cluster::Cluster;
 pub use config::{ClusterSpec, NodeClassSpec, PowerModel, SimConfig};
-pub use engine::{SimulationResult, Simulator};
+pub use engine::{EpochKind, SimulationResult, Simulator};
 pub use event::{Event, EventKind, EventQueue};
 pub use job::{Job, JobBuilder, JobClass, JobId, JobState, SpeedupModel, TimeUtility};
 pub use metrics::{
@@ -83,7 +83,7 @@ pub use metrics::{
 pub use node::{Node, NodeClassId, NodeId};
 pub use pending::PendingQueue;
 pub use resources::{ResourceKind, ResourceVector, NUM_RESOURCES};
-pub use scheduler::{Action, Scheduler};
+pub use scheduler::{Action, ActionOutcome, Scheduler};
 pub use view::{ClusterView, NodeClassView, PendingJobView, RunningJobView};
 
 /// Convenience re-exports for downstream crates and examples.
@@ -91,11 +91,11 @@ pub mod prelude {
     pub use crate::allocation::{Allocation, Placement};
     pub use crate::cluster::Cluster;
     pub use crate::config::{ClusterSpec, NodeClassSpec, PowerModel, SimConfig};
-    pub use crate::engine::{SimulationResult, Simulator};
+    pub use crate::engine::{EpochKind, SimulationResult, Simulator};
     pub use crate::job::{Job, JobBuilder, JobClass, JobId, JobState, SpeedupModel, TimeUtility};
     pub use crate::metrics::{CompletedJob, EnergyReport, Summary, UtilizationTrace};
     pub use crate::node::{Node, NodeClassId, NodeId};
     pub use crate::resources::{ResourceKind, ResourceVector, NUM_RESOURCES};
-    pub use crate::scheduler::{Action, Scheduler};
+    pub use crate::scheduler::{Action, ActionOutcome, Scheduler};
     pub use crate::view::{ClusterView, NodeClassView, PendingJobView, RunningJobView};
 }

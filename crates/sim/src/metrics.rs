@@ -230,10 +230,15 @@ impl UtilizationTrace {
             }
         }
         let total_joules: f64 = per_class_joules.iter().sum();
-        let duration = if self.samples.len() >= 2 {
-            (self.samples.last().unwrap().time - self.samples[0].time).max(0.0)
-        } else {
-            0.0
+        // Structured instead of `last().unwrap()`: zero- and single-sample
+        // traces (a run shorter than one sampling interval) fall through to
+        // a zero-length window rather than risking a panic if the guard and
+        // the access ever drift apart.
+        let duration = match (self.samples.first(), self.samples.last()) {
+            (Some(first), Some(last)) if self.samples.len() >= 2 => {
+                (last.time - first.time).max(0.0)
+            }
+            _ => 0.0,
         };
         EnergyReport {
             total_joules,
@@ -566,6 +571,38 @@ mod tests {
         assert_eq!(s.mean_slowdown, 0.0);
         assert_eq!(s.makespan, 0.0);
         assert_eq!(s.utility_ratio, 0.0);
+    }
+
+    #[test]
+    fn zero_sample_trace_yields_zero_utilization_summary() {
+        // A run shorter than one sampling interval records no samples at
+        // all: every utilisation aggregate must degrade to zero, not panic.
+        let mut c = MetricsCollector::new();
+        c.record_completion(record(1, false, 1.0, 1.0));
+        assert!(c.trace.samples.is_empty());
+        assert_eq!(c.trace.mean_overall(), 0.0);
+        assert_eq!(c.trace.mean_class_overall(0), 0.0);
+        let report = c.trace.energy_report(&spec_for_energy(), 1);
+        assert_eq!(report.duration, 0.0);
+        assert_eq!(report.total_joules, 0.0);
+        assert_eq!(report.mean_watts(), 0.0);
+        let s = c.summarize(1);
+        assert_eq!(s.mean_utilization, 0.0);
+    }
+
+    #[test]
+    fn single_sample_trace_yields_degenerate_utilization_summary() {
+        // One sample means a zero-length integration window: the mean is
+        // that sample's value, but energy and duration stay zero.
+        let mut c = MetricsCollector::new();
+        c.record_sample(sample(10.0, 0.5, 0.25));
+        assert!((c.trace.mean_overall() - 0.375).abs() < 1e-12);
+        assert!((c.trace.mean_class_overall(0) - 0.5).abs() < 1e-12);
+        let report = c.trace.energy_report(&spec_for_energy(), 0);
+        assert_eq!(report.duration, 0.0);
+        assert_eq!(report.total_joules, 0.0);
+        let s = c.summarize(0);
+        assert!((s.mean_utilization - 0.375).abs() < 1e-12);
     }
 
     #[test]

@@ -63,8 +63,8 @@ pub use scenario::{
     DEFAULT_BURST_PERIOD,
 };
 pub use source::{
-    split_seed, FilterClass, FnSource, InjectBurst, Merge, Renumber, ReplaySource, ScaleLoad,
-    SourceExt, SyntheticSource, TightenDeadlines, Truncate, WorkloadSource,
+    split_seed, FilterClass, FnSource, InjectBurst, Merge, RateWindow, Renumber, ReplaySource,
+    ScaleLoad, SourceExt, SyntheticSource, TightenDeadlines, Truncate, WorkloadSource,
 };
 pub use spec::{ArrivalProcess, ClassTemplate, DeadlineSpec, ElasticitySpec, WorkloadSpec};
 pub use sweep::{load_sweep, slack_sweep};

@@ -15,6 +15,8 @@
 //!            | "tighten" "(" <f> ")"                -- multiply relative deadlines
 //!            | "filter" "(" <job class> ")"         -- batch | stream | ml-train | ml-infer
 //!            | "truncate" "(" <n> ")"               -- keep the first n jobs
+//!            | "overload" "(" <f> "x" "," <w> "s" ")"   -- sustained f× rate for a w-second window
+//!            | "spike" "(" <f> "x" "," <w> "s" [, "at=" <t>] ")" -- short f× burst at t
 //! ```
 //!
 //! `"poisson(load=0.8)+burst(3x)"` is a Poisson stream at load 0.8 with
@@ -99,6 +101,28 @@ pub enum TransformSpec {
     Filter(JobClass),
     /// Keep only the first `n` jobs.
     Truncate(usize),
+    /// Sustained overload: multiply the arrival rate by `factor` for the
+    /// first `window` seconds of (output-clock) time — `overload(2x,60s)`
+    /// is one minute of doubled traffic from the start of the stream.
+    Overload {
+        /// Rate multiplier inside the window.
+        factor: f64,
+        /// Elevated-rate window length in seconds, measured on the output
+        /// clock (the duration the service actually observes).
+        window: f64,
+    },
+    /// A short burst: multiply the arrival rate by `factor` for a `window`
+    /// second burst starting at output time `at` (0 when omitted) —
+    /// `spike(10x,5s,at=30)` is five seconds of 10× traffic half a minute
+    /// in.
+    Spike {
+        /// Rate multiplier inside the burst.
+        factor: f64,
+        /// Burst length in seconds on the output clock.
+        window: f64,
+        /// Burst start on the output clock (`None` ⇒ 0).
+        at: Option<f64>,
+    },
 }
 
 /// A parsed scenario: a source plus a stack of transformers, applied left to
@@ -192,6 +216,16 @@ impl fmt::Display for TransformSpec {
             TransformSpec::Tighten(factor) => write!(f, "tighten({factor})"),
             TransformSpec::Filter(class) => write!(f, "filter({})", class.label()),
             TransformSpec::Truncate(n) => write!(f, "truncate({n})"),
+            TransformSpec::Overload { factor, window } => {
+                write!(f, "overload({factor}x,{window}s)")
+            }
+            TransformSpec::Spike { factor, window, at } => {
+                write!(f, "spike({factor}x,{window}s")?;
+                if let Some(t) = at {
+                    write!(f, ",at={t}")?;
+                }
+                write!(f, ")")
+            }
         }
     }
 }
@@ -296,6 +330,17 @@ impl<'a> Parser<'a> {
             return Err(self.err(segment, "the burst factor must be >= 1"));
         }
         Ok(factor)
+    }
+
+    /// `"60s"` → 60.0 (the window-duration argument of overload/spike).
+    fn window_seconds(&self, segment: &str, text: &str) -> Result<f64, WorkloadError> {
+        let Some(number) = text.strip_suffix('s') else {
+            return Err(self.err(
+                segment,
+                "the window must be written '<seconds>s' (e.g. '60s')",
+            ));
+        };
+        self.positive_f64(segment, number, "the window")
     }
 
     fn parse(&self) -> Result<ScenarioSpec, WorkloadError> {
@@ -456,7 +501,8 @@ impl<'a> Parser<'a> {
             return Err(self.err(
                 segment,
                 "unknown transformer (expected scale(<f>), burst(<f>x), tighten(<f>), \
-                 filter(<class>) or truncate(<n>))",
+                 filter(<class>), truncate(<n>), overload(<f>x,<w>s) or \
+                 spike(<f>x,<w>s[,at=<t>]))",
             ));
         };
         match name {
@@ -515,10 +561,55 @@ impl<'a> Parser<'a> {
                 args,
                 "the truncate count",
             )?)),
+            "overload" => {
+                let Some(parts) = split_depth_aware(args, ',') else {
+                    return Err(self.err(segment, "unbalanced parentheses"));
+                };
+                if parts.len() != 2 {
+                    return Err(self.err(
+                        segment,
+                        "overload takes exactly '(<factor>x,<window>s)' (e.g. 'overload(2x,60s)')",
+                    ));
+                }
+                let factor = self.burst_factor(segment, parts[0])?;
+                let window = self.window_seconds(segment, parts[1])?;
+                Ok(TransformSpec::Overload { factor, window })
+            }
+            "spike" => {
+                let Some(parts) = split_depth_aware(args, ',') else {
+                    return Err(self.err(segment, "unbalanced parentheses"));
+                };
+                if parts.len() < 2 {
+                    return Err(self.err(
+                        segment,
+                        "spike takes '(<factor>x,<window>s[,at=<seconds>])' \
+                         (e.g. 'spike(10x,5s)')",
+                    ));
+                }
+                let factor = self.burst_factor(segment, parts[0])?;
+                let window = self.window_seconds(segment, parts[1])?;
+                let mut at = None;
+                for part in &parts[2..] {
+                    let Some(value) = part.strip_prefix("at=") else {
+                        return Err(self.err(
+                            segment,
+                            format!("unknown spike argument '{part}' (expected 'at=<seconds>')"),
+                        ));
+                    };
+                    if at
+                        .replace(self.positive_f64(segment, value, "the spike start")?)
+                        .is_some()
+                    {
+                        return Err(self.err(segment, "duplicate 'at='"));
+                    }
+                }
+                Ok(TransformSpec::Spike { factor, window, at })
+            }
             _ => Err(self.err(
                 segment,
                 "unknown transformer (expected scale(<f>), burst(<f>x), tighten(<f>), \
-                 filter(<class>) or truncate(<n>))",
+                 filter(<class>), truncate(<n>), overload(<f>x,<w>s) or \
+                 spike(<f>x,<w>s[,at=<t>]))",
             )),
         }
     }
@@ -806,6 +897,12 @@ impl ScenarioRegistry {
                 TransformSpec::Tighten(factor) => Box::new(source.tighten_deadlines(*factor)),
                 TransformSpec::Filter(class) => Box::new(source.filter_class(*class)),
                 TransformSpec::Truncate(n) => Box::new(source.truncate(*n)),
+                TransformSpec::Overload { factor, window } => {
+                    Box::new(source.rate_window(*factor, *window, 0.0))
+                }
+                TransformSpec::Spike { factor, window, at } => {
+                    Box::new(source.rate_window(*factor, *window, at.unwrap_or(0.0)))
+                }
             };
         }
         Ok(source)
@@ -842,6 +939,10 @@ mod tests {
             "merge(poisson(load=0.4),replay(t.json))",
             "merge(poisson+burst(2x),bursty(4x))+truncate(80)",
             "poisson+burst(2.5x,period=120)+tighten(0.75)",
+            "poisson+overload(2x,60s)",
+            "poisson+spike(10x,5s)",
+            "poisson+spike(10x,5s,at=30)",
+            "poisson(load=0.8)+overload(1.5x,120s)+truncate(40)",
         ] {
             let parsed: ScenarioSpec = spec.parse().unwrap_or_else(|e| panic!("{spec}: {e}"));
             assert_eq!(parsed.to_string(), spec, "canonical string must re-render");
@@ -875,6 +976,13 @@ mod tests {
             ("poisson+truncate(0)", "truncate(0)"),
             ("poisson+rigid", "rigid"),
             ("bursty", "bursty"),
+            ("poisson+overload(2x)", "overload(2x)"),
+            ("poisson+overload(2x,60)", "overload(2x,60)"),
+            ("poisson+overload(0.5x,60s)", "overload(0.5x,60s)"),
+            ("poisson+spike(10x)", "spike(10x)"),
+            ("poisson+spike(10x,5)", "spike(10x,5)"),
+            ("poisson+spike(10x,5s,at=0)", "spike(10x,5s,at=0)"),
+            ("poisson+spike(10x,5s,when=3)", "spike(10x,5s,when=3)"),
         ] {
             let parsed: Result<ScenarioSpec, _> = spec.parse();
             let Err(err) = parsed else {

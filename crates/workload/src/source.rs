@@ -496,6 +496,56 @@ impl<S: WorkloadSource> WorkloadSource for InjectBurst<S> {
     }
 }
 
+/// A single elevated-rate window — the `overload(2x,60s)` / `spike(10x,5s)`
+/// grammar shapes. Arrivals are warped by a piecewise-linear, monotone time
+/// map: output time runs identically to input time until `at`, then at
+/// `factor`× speed for `window` output seconds (consuming `window * factor`
+/// input seconds), then identically again — so the service observes exactly
+/// `window` seconds of `factor`×-rate traffic and the stream's internal
+/// spacing before and after the window is untouched (later arrivals shift
+/// earlier by the consumed slack). Relative deadlines are preserved. Unlike
+/// [`InjectBurst`] the map is stateless: a pure function of each arrival
+/// time, so it composes deterministically under any transformer stack.
+pub struct RateWindow<S> {
+    inner: S,
+    factor: f64,
+    window: f64,
+    at: f64,
+}
+
+impl<S: WorkloadSource> Iterator for RateWindow<S> {
+    type Item = Job;
+
+    fn next(&mut self) -> Option<Job> {
+        let mut job = self.inner.next()?;
+        let relative = job.deadline - job.arrival;
+        let t = job.arrival;
+        // Input-clock span consumed by the window: `window` output seconds
+        // at `factor`× speed.
+        let end_in = self.at + self.window * self.factor;
+        let out = if t <= self.at {
+            t
+        } else if t < end_in {
+            self.at + (t - self.at) / self.factor
+        } else {
+            t - self.window * (self.factor - 1.0)
+        };
+        job.arrival = out;
+        job.deadline = out + relative;
+        Some(job)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<S: WorkloadSource> WorkloadSource for RateWindow<S> {
+    fn reset(&mut self, seed: u64) {
+        self.inner.reset(seed);
+    }
+}
+
 /// Multiplies every job's *relative* deadline by `factor` (`< 1` tightens).
 pub struct TightenDeadlines<S> {
     inner: S,
@@ -712,6 +762,29 @@ pub trait SourceExt: WorkloadSource + Sized {
         }
     }
 
+    /// See [`RateWindow`]. `factor` must be >= 1, `window` finite and
+    /// positive, `at` finite and non-negative.
+    fn rate_window(self, factor: f64, window: f64, at: f64) -> RateWindow<Self> {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "rate_window factor must be finite and >= 1"
+        );
+        assert!(
+            window.is_finite() && window > 0.0,
+            "rate_window window must be finite and positive"
+        );
+        assert!(
+            at.is_finite() && at >= 0.0,
+            "rate_window start must be finite and non-negative"
+        );
+        RateWindow {
+            inner: self,
+            factor,
+            window,
+            at,
+        }
+    }
+
     /// See [`TightenDeadlines`]. `factor` must be finite and positive.
     fn tighten_deadlines(self, factor: f64) -> TightenDeadlines<Self> {
         assert!(
@@ -859,6 +932,70 @@ mod tests {
             jobs.last().unwrap().arrival < base.last().unwrap().arrival,
             "bursts only compress, so the span must shrink"
         );
+    }
+
+    #[test]
+    fn rate_window_compresses_head_and_preserves_relative_deadlines() {
+        let spec = WorkloadSpec::icpp_default().with_num_jobs(200);
+        let base = jobs_of(&mut SyntheticSource::new(&spec, &cluster(), 5).unwrap());
+        let mut overloaded = SyntheticSource::new(&spec, &cluster(), 5)
+            .unwrap()
+            .rate_window(2.0, 30.0, 0.0);
+        let jobs = jobs_of(&mut overloaded);
+        assert_eq!(jobs.len(), base.len());
+        assert!(jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        for (b, j) in base.iter().zip(jobs.iter()) {
+            // Input span [0, 60) maps onto [0, 30); later arrivals shift
+            // earlier by the 30s the warp saved.
+            let expect = if b.arrival < 60.0 {
+                b.arrival / 2.0
+            } else {
+                b.arrival - 30.0
+            };
+            assert!(
+                (j.arrival - expect).abs() < 1e-9,
+                "{} -> {}",
+                b.arrival,
+                j.arrival
+            );
+            assert!((j.relative_deadline() - b.relative_deadline()).abs() < 1e-9);
+        }
+        // Gaps after the window survive unchanged.
+        let after: Vec<(f64, f64)> = base
+            .iter()
+            .zip(jobs.iter())
+            .filter(|(b, _)| b.arrival >= 60.0)
+            .map(|(b, j)| (b.arrival, j.arrival))
+            .collect();
+        for pair in after.windows(2) {
+            let base_gap = pair[1].0 - pair[0].0;
+            let warped_gap = pair[1].1 - pair[0].1;
+            assert!((warped_gap - base_gap).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rate_window_with_offset_leaves_the_prefix_untouched() {
+        let spec = WorkloadSpec::icpp_default().with_num_jobs(300);
+        let base = jobs_of(&mut SyntheticSource::new(&spec, &cluster(), 7).unwrap());
+        let at = base[base.len() / 2].arrival;
+        let mut spiked = SyntheticSource::new(&spec, &cluster(), 7)
+            .unwrap()
+            .rate_window(10.0, 5.0, at);
+        let jobs = jobs_of(&mut spiked);
+        assert_eq!(jobs.len(), base.len());
+        assert!(jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        for (b, j) in base.iter().zip(jobs.iter()) {
+            if b.arrival <= at {
+                assert_eq!(j.arrival, b.arrival, "pre-spike arrivals must not move");
+            } else if b.arrival < at + 50.0 {
+                let expect = at + (b.arrival - at) / 10.0;
+                assert!((j.arrival - expect).abs() < 1e-9);
+            } else {
+                assert!((j.arrival - (b.arrival - 45.0)).abs() < 1e-9);
+            }
+            assert!((j.relative_deadline() - b.relative_deadline()).abs() < 1e-9);
+        }
     }
 
     #[test]

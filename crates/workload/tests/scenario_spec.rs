@@ -53,7 +53,19 @@ fn transform_from(
         },
         2 => TransformSpec::Tighten(factor),
         3 => TransformSpec::Filter(JobClass::ALL[count % JobClass::ALL.len()]),
-        _ => TransformSpec::Truncate(count.max(1)),
+        4 => TransformSpec::Truncate(count.max(1)),
+        5 => TransformSpec::Overload {
+            // The grammar requires overload factors >= 1 and positive windows.
+            factor: factor.max(1.0),
+            window: period,
+        },
+        _ => TransformSpec::Spike {
+            factor: factor.max(1.0),
+            window: period,
+            // 'at=0' is not canonical ('at' must be positive); omitting it
+            // means "from the start".
+            at: (opts & 1 != 0).then_some(period + 1.0),
+        },
     }
 }
 
@@ -71,7 +83,7 @@ proptest! {
         path_pick in 0usize..3,
         merged in 0usize..2,
         transforms in prop::collection::vec(
-            (0usize..5, 0usize..2, 0.05f64..16.0, 1usize..400, 0.5f64..500.0),
+            (0usize..7, 0usize..2, 0.05f64..16.0, 1usize..400, 0.5f64..500.0),
             0..4,
         ),
     ) {
@@ -115,7 +127,7 @@ proptest! {
     fn corrupted_segments_are_named_in_the_error(
         factor in 1.0f64..9.0,
         position in 0usize..3,
-        bad_pick in 0usize..6,
+        bad_pick in 0usize..10,
     ) {
         // Splice one broken transformer into an otherwise valid chain and
         // check the error blames exactly that segment.
@@ -126,6 +138,10 @@ proptest! {
             "burst(3)",
             "filter(gpu)",
             "truncate(0)",
+            "overload(2x)",
+            "overload(2x,60)",
+            "spike(10x,5)",
+            "spike(10x,5s,at=-1)",
         ][bad_pick];
         let good = [
             format!("scale({factor})"),

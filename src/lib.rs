@@ -3,5 +3,6 @@ pub use tcrm_baselines as baselines;
 pub use tcrm_core as core;
 pub use tcrm_nn as nn;
 pub use tcrm_rl as rl;
+pub use tcrm_serve as serve;
 pub use tcrm_sim as sim;
 pub use tcrm_workload as workload;
