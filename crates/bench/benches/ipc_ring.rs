@@ -1,0 +1,83 @@
+//! Criterion bench: hot-path cost of the shared-memory sweep plane's rings
+//! — SPMC work-ring push/steal round trips and MPSC result-ring
+//! publish/pop with realistic JSON-row payload sizes.
+//!
+//! Gated in `scripts/bench_snapshot.sh`: the per-cell IPC overhead must
+//! stay negligible next to cell simulation time, or the multi-process
+//! sweep stops paying for itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::atomic::AtomicU64;
+use tcrm_ipc::{Plane, PlaneParams, Waiter, NONE};
+
+fn plane(name: &str, params: PlaneParams) -> (Plane, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join("tcrm-ipc-bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{name}-{}.shm", std::process::id()));
+    (Plane::create(&path, params, b"").unwrap(), path)
+}
+
+fn bench_ipc_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ipc_ring");
+
+    // Work ring: the steal-side cost a worker pays per cell, measured as a
+    // push+steal round trip so the ring never drains mid-iteration.
+    let (work_plane, work_path) = plane(
+        "work",
+        PlaneParams {
+            worker_slots: 1,
+            work_capacity: 1 << 20,
+            result_capacity: 16,
+            result_stride: 128,
+        },
+    );
+    let ring = work_plane.work_ring();
+    group.bench_function("work_push_steal", |b| {
+        let mut cell = 0u64;
+        b.iter(|| {
+            ring.push(cell).unwrap();
+            cell += 1;
+            ring.steal().unwrap()
+        })
+    });
+
+    // Result ring: publish+pop round trip at payload sizes bracketing a
+    // serialized result row (~600 bytes of JSON).
+    for payload_len in [64usize, 512, 2048] {
+        let (result_plane, result_path) = plane(
+            &format!("result-{payload_len}"),
+            PlaneParams {
+                worker_slots: 1,
+                work_capacity: 8,
+                result_capacity: 256,
+                result_stride: 4096,
+            },
+        );
+        let ring = result_plane.result_ring();
+        let claim = AtomicU64::new(NONE);
+        let payload = vec![0x5au8; payload_len];
+        group.bench_with_input(
+            BenchmarkId::new("result_publish_pop", payload_len),
+            &payload,
+            |b, payload| {
+                let mut waiter = Waiter::new();
+                let mut buf = Vec::new();
+                let mut cell = 0u64;
+                b.iter(|| {
+                    ring.publish(&claim, cell, payload, &mut waiter).unwrap();
+                    cell += 1;
+                    ring.try_pop(&mut buf).unwrap()
+                })
+            },
+        );
+        drop(result_plane);
+        let _ = std::fs::remove_file(&result_path);
+    }
+
+    drop(work_plane);
+    let _ = std::fs::remove_file(&work_path);
+    group.finish();
+}
+
+criterion_group!(benches, bench_ipc_ring);
+criterion_main!(benches);

@@ -14,6 +14,10 @@
 //!     --scenarios 'poisson;poisson+burst(3x);replay(results/trace.json)' \
 //!     --loads 0.7,0.9 --seeds 1,2 --csv results/sweep.csv
 //!
+//! # Same sweep over 3 crash-tolerant worker processes (shared-memory
+//! # work-stealing plane; output byte-identical to the line above):
+//! expdriver sweep --policies edf,fifo --loads 0.7,0.9 --workers 3 --csv results/sweep.csv
+//!
 //! # Combine shard checkpoints into the full grid:
 //! expdriver merge-checkpoints --out merged.json --csv merged.csv s0.json s1.json
 //!
@@ -30,8 +34,11 @@
 
 use std::env;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 use tcrm_bench::experiments::{ExperimentOutput, Lab, ALL_EXPERIMENTS};
-use tcrm_bench::{EvalSession, PolicyRegistry, ResultRow, ResultTable};
+use tcrm_bench::mproc::{self, MprocFlags, MprocOptions, SweepConfig};
+use tcrm_bench::{cli, EvalSession, PolicyRegistry, ResultRow, ResultTable};
 use tcrm_serve::{ClockMode, ServeConfig, ServeSession, ShedPolicy};
 use tcrm_sim::{ClusterSpec, Job, SimConfig};
 use tcrm_workload::{ScenarioRegistry, SyntheticSource, Trace, WorkloadSpec};
@@ -41,7 +48,8 @@ fn usage() -> ! {
         "usage: expdriver <experiment ...|all> [--quick|--full] [--out <dir>] [--shard <i>/<n>]\n\
          \x20      expdriver sweep --policies <a,b,..> [--scenarios '<s1>;<s2>;..'] \\\n\
          \x20               [--loads <l1,l2,..>] [--jobs <n>] [--seeds <s1,s2,..>] \\\n\
-         \x20               [--shard <i>/<n>] [--checkpoint <path>] [--csv <path>]\n\
+         \x20               [--shard <i>/<n>] [--workers <n> [--plane <path>]] \\\n\
+         \x20               [--checkpoint <path>] [--csv <path>]\n\
          \x20      expdriver serve [--policy <p>] [--scenario <spec>] [--seed <s>] [--jobs <n>] \\\n\
          \x20               [--producers <n>] [--queue-cap <n>] [--shed <p1,p2,..|all>] \\\n\
          \x20               [--mode virtual|wall] [--event-log <path>] [--report <path>] [--csv <path>]\n\
@@ -59,22 +67,27 @@ fn fail(message: impl std::fmt::Display) -> ! {
 }
 
 fn parse_shard(text: &str) -> (usize, usize) {
-    let parsed = text.split_once('/').and_then(|(i, n)| {
-        let index: usize = i.parse().ok()?;
-        let count: usize = n.parse().ok()?;
-        Some((index, count))
-    });
-    match parsed {
-        Some((index, count)) if count >= 1 && index < count => (index, count),
-        _ => fail(format!(
-            "--shard must be '<i>/<n>' with i < n (counting from zero), got '{text}'"
-        )),
+    cli::parse_shard(text).unwrap_or_else(|e| fail(e))
+}
+
+/// Emit a finished sweep table: CSV to `path` (creating parent dirs) when
+/// given, markdown to stdout otherwise.
+fn emit_table(table: &ResultTable, csv: &Option<PathBuf>) {
+    if let Some(path) = csv {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(path, table.to_csv()).unwrap_or_else(|e| fail(e));
+        eprintln!("sweep: wrote {}", path.display());
+    } else {
+        println!("{}", table.to_markdown());
     }
 }
 
 /// `expdriver sweep`: one ad-hoc `(policy × scenario × load × seed)` grid
-/// over the baseline registry, with optional sharding, checkpointing and
-/// CSV output.
+/// over the baseline registry, with optional sharding, checkpointing, CSV
+/// output and — with `--workers` — multi-process execution over the
+/// shared-memory sweep plane.
 fn run_sweep(args: &[String]) {
     let mut policies: Vec<String> = Vec::new();
     let mut scenarios: Vec<String> = Vec::new();
@@ -84,6 +97,7 @@ fn run_sweep(args: &[String]) {
     let mut shard = None;
     let mut checkpoint: Option<PathBuf> = None;
     let mut csv: Option<PathBuf> = None;
+    let mut mflags: Option<MprocFlags> = None;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -129,11 +143,58 @@ fn run_sweep(args: &[String]) {
             "--shard" => shard = Some(parse_shard(&value("--shard"))),
             "--checkpoint" => checkpoint = Some(PathBuf::from(value("--checkpoint"))),
             "--csv" => csv = Some(PathBuf::from(value("--csv"))),
-            other => fail(format!("unknown sweep argument '{other}'")),
+            other => {
+                let flag_value = value(other);
+                let consumed = mproc::parse_mproc_flag(&mut mflags, other, &flag_value)
+                    .unwrap_or_else(|e| fail(e));
+                if !consumed {
+                    fail(format!("unknown sweep argument '{other}'"));
+                }
+            }
         }
     }
     if policies.is_empty() {
         fail("sweep needs --policies");
+    }
+
+    // Multi-process path: same grid, executed by worker processes over the
+    // shared-memory plane. Byte-identical output to the path below.
+    if let Some(flags) = mflags {
+        if flags.workers == 0 {
+            fail("--plane/--kill-worker make no sense without --workers <n>");
+        }
+        if shard.is_some() {
+            fail(
+                "--shard and --workers are mutually exclusive: --workers already \
+                 spreads the whole grid over processes on this machine; use --shard \
+                 plus merge-checkpoints to spread it over machines",
+            );
+        }
+        let config = SweepConfig {
+            policies,
+            scenarios,
+            loads,
+            jobs,
+            seeds,
+        };
+        let exe = std::env::current_exe().unwrap_or_else(|e| fail(e));
+        let mut options = MprocOptions::new(flags.workers, exe);
+        if let Some(path) = flags.plane {
+            options.plane_path = path;
+        }
+        options.kill_worker = flags.kill_worker;
+        options.checkpoint = checkpoint;
+        let report = mproc::run_sweep_parent(&config, &options).unwrap_or_else(|e| fail(e));
+        eprintln!(
+            "sweep: {} rows ({} workers, {} cells computed, {} requeued, {} worker crashes)",
+            report.table.rows.len(),
+            flags.workers,
+            report.computed,
+            report.requeued,
+            report.crashed_workers
+        );
+        emit_table(&report.table, &csv);
+        return;
     }
 
     let registry = PolicyRegistry::with_baselines();
@@ -158,21 +219,65 @@ fn run_sweep(args: &[String]) {
     if let Some(path) = &checkpoint {
         session = session.checkpoint(path.clone());
     }
+    // Progress heartbeat for long sweeps: at most one line per 2 s window,
+    // so quick sweeps stay silent. The multi-process parent emits the same
+    // line shape (with worker liveness appended).
+    let started = Instant::now();
+    let last_tick = AtomicU64::new(0);
+    session = session.on_row(move |_, done, total| {
+        let elapsed = started.elapsed();
+        let tick = elapsed.as_secs() / 2;
+        if tick > 0 && tick > last_tick.swap(tick, Ordering::Relaxed) {
+            let rate = done as f64 / elapsed.as_secs_f64().max(1e-9);
+            eprintln!("sweep: progress {done}/{total} cells ({rate:.1} rows/s)");
+        }
+    });
     let report = session.run().unwrap_or_else(|e| fail(e));
+    if report.stale_checkpoint {
+        eprintln!(
+            "sweep: checkpoint was for a different grid (fingerprint mismatch); \
+             recomputed every row"
+        );
+    }
     eprintln!(
         "sweep: {} rows ({} resumed, {} simulated)",
         report.table.rows.len(),
         report.resumed,
         report.computed
     );
-    if let Some(path) = &csv {
-        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-            let _ = std::fs::create_dir_all(parent);
+    emit_table(&report.table, &csv);
+}
+
+/// `expdriver worker`: the child side of `sweep --workers` — internal, but
+/// a stable interface (the parent may be an older or newer build; the grid
+/// fingerprint in the plane manifest catches disagreement).
+fn run_worker(args: &[String]) {
+    let mut plane: Option<PathBuf> = None;
+    let mut slot: Option<usize> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| fail(format!("{name} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--plane" => plane = Some(PathBuf::from(value("--plane"))),
+            "--slot" => {
+                slot = Some(
+                    value("--slot")
+                        .parse()
+                        .unwrap_or_else(|_| fail("bad --slot value")),
+                );
+            }
+            other => fail(format!("unknown worker argument '{other}'")),
         }
-        std::fs::write(path, report.table.to_csv()).unwrap_or_else(|e| fail(e));
-        eprintln!("sweep: wrote {}", path.display());
-    } else {
-        println!("{}", report.table.to_markdown());
+    }
+    let (Some(plane), Some(slot)) = (plane, slot) else {
+        fail("worker needs --plane <path> and --slot <i>");
+    };
+    if let Err(e) = mproc::run_sweep_worker(&plane, slot) {
+        fail(format!("worker {slot}: {e}"));
     }
 }
 
@@ -435,6 +540,7 @@ fn main() {
     }
     match args[0].as_str() {
         "sweep" => return run_sweep(&args[1..]),
+        "worker" => return run_worker(&args[1..]),
         "serve" => return run_serve(&args[1..]),
         "record-trace" => return run_record_trace(&args[1..]),
         "merge-checkpoints" => return run_merge_checkpoints(&args[1..]),

@@ -320,9 +320,15 @@ impl Lab {
             table,
             computed,
             resumed,
+            stale_checkpoint,
         } = session
             .run()
             .unwrap_or_else(|e| panic!("{experiment}: {e}"));
+        if stale_checkpoint {
+            eprintln!(
+                "  [{experiment}] checkpoint was for a different grid; recomputed from scratch"
+            );
+        }
         if self.verbose && resumed > 0 {
             eprintln!("  [{experiment}] resumed {resumed} cached rows, simulated {computed}");
         }

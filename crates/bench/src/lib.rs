@@ -19,11 +19,13 @@
 //!   training-update cost, workload-generation throughput and the
 //!   flattened-vs-per-point sweep comparison.
 
+pub mod cli;
 pub mod experiments;
+pub mod mproc;
 pub mod policy;
 pub mod results;
 pub mod runner;
 
 pub use policy::{AdapterSpec, PolicyError, PolicyFactory, PolicyRegistry, PolicySpec};
 pub use results::{Aggregate, ResultRow, ResultTable, DEFAULT_SCENARIO, RESULT_SCHEMA_VERSION};
-pub use runner::{EvalReport, EvalSession, ProgressCallback};
+pub use runner::{EvalReport, EvalSession, ProgressCallback, SweepPlan, SweepScratch};

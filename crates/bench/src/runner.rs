@@ -11,6 +11,14 @@
 //! the allocator, streams completed rows through a progress callback,
 //! checkpoints/resumes partial grids as versioned JSON, and shards grids
 //! across processes (`shard(i, n)` + [`ResultTable::merge`]).
+//!
+//! The validated grid itself is a first-class value: [`EvalSession::plan`]
+//! freezes a session into a [`SweepPlan`] — the canonical cell list, the
+//! grid fingerprint and a `run_cell(index)` executor — which is what the
+//! in-process sweep drives with rayon and the multi-process sweep
+//! (`tcrm-ipc` work ring, see [`crate::mproc`]) drives across worker
+//! processes. Both paths execute the *same* cells through the *same* code,
+//! which is why their outputs are byte-identical.
 
 use crate::policy::{PolicyError, PolicyRegistry, PolicySpec};
 use crate::results::{ResultRow, ResultTable, DEFAULT_SCENARIO};
@@ -39,6 +47,13 @@ pub struct EvalReport {
     pub computed: usize,
     /// Rows loaded from the resume checkpoint instead of being re-simulated.
     pub resumed: usize,
+    /// A resume checkpoint existed but carried a different grid
+    /// fingerprint (the cluster, engine config, workloads, scenarios or a
+    /// replay trace changed), so none of its rows were trusted and the
+    /// whole grid was recomputed. Callers should surface this — a user who
+    /// expected a fast resume is otherwise left guessing why the sweep ran
+    /// from scratch.
+    pub stale_checkpoint: bool,
 }
 
 /// One flattened grid cell.
@@ -115,25 +130,199 @@ fn grid_fingerprint(
 /// [`Simulator::run_source`]). This extends the zero-allocation stepping
 /// contract to the sweep loop — steady-state replication reuses the
 /// cluster, event heap, metrics buffers, view and job stream instead of
-/// reconstructing them per cell.
-struct WorkerScratch {
+/// reconstructing them per cell. Create one per worker (thread *or*
+/// process) with [`SweepPlan::make_scratch`].
+pub struct SweepScratch {
     sim: Simulator,
     view: ClusterView,
     schedulers: HashMap<usize, Box<dyn Scheduler>>,
     sources: HashMap<(usize, usize), Box<dyn WorkloadSource>>,
 }
 
-impl WorkerScratch {
+impl SweepScratch {
     fn new(cluster: &ClusterSpec, sim: &SimConfig) -> Self {
         let sim = Simulator::new(cluster.clone(), sim.clone());
         let view = sim.view();
-        WorkerScratch {
+        SweepScratch {
             sim,
             view,
             schedulers: HashMap::new(),
             sources: HashMap::new(),
         }
     }
+}
+
+/// A validated, flattened sweep grid: the canonical cell list plus
+/// everything needed to execute any cell by flat index.
+///
+/// A plan is produced by [`EvalSession::plan`] *after* all up-front
+/// validation (workload specs, scenario builds), so executing its cells can
+/// only fail for genuinely late reasons (a trace deleted mid-sweep, a
+/// seed-dependent custom factory). The flat index is the plan's stable cell
+/// identity: index `i` always names the same `(policy, scenario, point,
+/// seed)` tuple in canonical order, in every process that builds the plan
+/// from the same configuration — which is what lets the multi-process sweep
+/// ship bare indices through a shared-memory ring and still reassemble the
+/// exact sequential table.
+pub struct SweepPlan<'r> {
+    registry: &'r PolicyRegistry,
+    scenario_registry: Option<&'r ScenarioRegistry>,
+    policies: Vec<PolicySpec>,
+    scenarios: Vec<ScenarioSpec>,
+    scenario_labels: Vec<String>,
+    points: Vec<(f64, WorkloadSpec)>,
+    cluster: ClusterSpec,
+    sim: SimConfig,
+    cells: Vec<Cell>,
+    fingerprint: String,
+    reusable: Vec<bool>,
+    parameter_counts: HashMap<u64, usize>,
+    experiment: String,
+    caption: String,
+    parameter_name: String,
+}
+
+impl<'r> SweepPlan<'r> {
+    /// Number of cells in the canonical grid.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The grid's provenance fingerprint (see checkpoint resume).
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// Fresh per-worker scratch for [`SweepPlan::run_cell`].
+    pub fn make_scratch(&self) -> SweepScratch {
+        SweepScratch::new(&self.cluster, &self.sim)
+    }
+
+    /// An empty [`ResultTable`] carrying this plan's naming and
+    /// fingerprint — the shell every driver fills with rows.
+    pub fn table_shell(&self) -> ResultTable {
+        let mut table = ResultTable::new(&self.experiment, &self.caption, &self.parameter_name);
+        table.fingerprint = self.fingerprint.clone();
+        table
+    }
+
+    /// The resume key of cell `index`: `(scheduler, scenario, parameter
+    /// bits, seed)`, matching [`ResultRow::key`].
+    pub fn key(&self, index: usize) -> (String, String, u64, u64) {
+        let cell = &self.cells[index];
+        (
+            self.policies[cell.policy].name(),
+            self.scenario_labels[cell.scenario].clone(),
+            self.points[cell.point].0.to_bits(),
+            cell.seed,
+        )
+    }
+
+    /// Whether two grid points share this parameter value — such rows are
+    /// ambiguous under the resume key and must never be resumed.
+    pub fn ambiguous_parameter(&self, parameter_bits: u64) -> bool {
+        self.parameter_counts
+            .get(&parameter_bits)
+            .copied()
+            .unwrap_or(0)
+            > 1
+    }
+
+    fn scenario_spec(&self, index: usize) -> Option<&ScenarioSpec> {
+        if self.scenarios.is_empty() {
+            None
+        } else {
+            Some(&self.scenarios[index])
+        }
+    }
+
+    /// Execute cell `index` on `scratch` and return its row.
+    ///
+    /// Deterministic: the same plan configuration and index produce the
+    /// same row in any process, on any thread, in any order — all cell
+    /// state is re-armed from the cell's seed.
+    pub fn run_cell(
+        &self,
+        scratch: &mut SweepScratch,
+        index: usize,
+    ) -> Result<ResultRow, PolicyError> {
+        let cell = &self.cells[index];
+        let (parameter, workload) = &self.points[cell.point];
+        let spec = &self.policies[cell.policy];
+
+        // The cell's job stream: one cached source per (scenario, point)
+        // pair per worker, re-armed with reset(seed) and pulled on
+        // demand by the streaming simulator. The up-front probe already
+        // validated every (scenario, point) build, but a build can still
+        // fail here (a seed-dependent custom factory, a trace deleted
+        // mid-sweep) — that surfaces as a Workload error, not a panic.
+        use std::collections::hash_map::Entry;
+        let source = match scratch.sources.entry((cell.scenario, cell.point)) {
+            Entry::Occupied(entry) => entry.into_mut(),
+            Entry::Vacant(slot) => {
+                let built: Box<dyn WorkloadSource> = match self.scenario_spec(cell.scenario) {
+                    None => Box::new(
+                        SyntheticSource::new(workload, &self.cluster, cell.seed).map_err(|e| {
+                            PolicyError::Workload {
+                                context: format!("point {parameter}"),
+                                message: e.to_string(),
+                            }
+                        })?,
+                    ),
+                    Some(scenario) => self
+                        .scenario_registry
+                        .expect("set alongside scenarios")
+                        .build(scenario, workload, &self.cluster, cell.seed)
+                        .map_err(|e| PolicyError::Workload {
+                            context: format!(
+                                "scenario '{}' at point {parameter}",
+                                self.scenario_labels[cell.scenario]
+                            ),
+                            message: e.to_string(),
+                        })?,
+                };
+                slot.insert(built)
+            }
+        };
+        source.reset(cell.seed);
+
+        let mut fresh;
+        let scheduler: &mut Box<dyn Scheduler> = if self.reusable[cell.policy] {
+            let cached = scratch.schedulers.entry(cell.policy).or_insert_with(|| {
+                self.registry
+                    .build(spec, cell.seed)
+                    .expect("spec validated")
+            });
+            cached.reset(cell.seed);
+            cached
+        } else {
+            fresh = self
+                .registry
+                .build(spec, cell.seed)
+                .expect("spec validated");
+            &mut fresh
+        };
+        let summary: Summary =
+            scratch
+                .sim
+                .run_source(source.as_mut(), scheduler, &mut scratch.view);
+        Ok(ResultRow {
+            scheduler: spec.name(),
+            scenario: self.scenario_labels[cell.scenario].clone(),
+            parameter: *parameter,
+            seed: cell.seed,
+            summary,
+        })
+    }
+}
+
+/// Execution options split off a session when it is frozen into a plan.
+struct RunOptions {
+    parallel: bool,
+    shard: Option<(usize, usize)>,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: usize,
+    progress: Option<ProgressCallback>,
 }
 
 /// A builder-style evaluation session over one `(policy × scenario × point
@@ -384,17 +573,17 @@ impl<'r> EvalSession<'r> {
         self
     }
 
-    /// Execute the sweep and return the table plus resume statistics.
-    ///
-    /// The grid is flattened point-major (point, then scenario, then policy,
-    /// then seed) and executed as one self-scheduling parallel sweep; rows
-    /// come back in canonical grid order regardless of thread timing, so the
-    /// rendered CSV/markdown are byte-identical between parallel and
-    /// sequential runs. Every workload and scenario is validated (and every
-    /// scenario source built once) *before* the sweep starts, so
-    /// configuration mistakes — an invalid spec, a missing replay trace —
-    /// surface as a [`PolicyError::Workload`] instead of aborting mid-sweep.
-    pub fn run(self) -> Result<EvalReport, PolicyError> {
+    /// Validate the session and freeze it into a [`SweepPlan`] (dropping
+    /// the execution options — parallelism, sharding, checkpointing stay
+    /// with the driver). Every workload and scenario is validated (and
+    /// every scenario source built once) here, so configuration mistakes —
+    /// an invalid spec, a missing replay trace — surface as a
+    /// [`PolicyError::Workload`] before any cell simulates.
+    pub fn plan(self) -> Result<SweepPlan<'r>, PolicyError> {
+        self.into_plan_and_options().map(|(plan, _)| plan)
+    }
+
+    fn into_plan_and_options(self) -> Result<(SweepPlan<'r>, RunOptions), PolicyError> {
         let EvalSession {
             registry,
             scenario_registry,
@@ -422,15 +611,12 @@ impl<'r> EvalSession<'r> {
 
         // Scenario axis: an explicit list, or the single implicit default
         // scenario (each point's workload streamed as-is).
-        let scenario_specs: Vec<Option<&ScenarioSpec>> = if scenarios.is_empty() {
-            vec![None]
+        let scenario_count = scenarios.len().max(1);
+        let scenario_labels: Vec<String> = if scenarios.is_empty() {
+            vec![DEFAULT_SCENARIO.to_string()]
         } else {
-            scenarios.iter().map(Some).collect()
+            scenarios.iter().map(|s| s.id()).collect()
         };
-        let scenario_labels: Vec<String> = scenario_specs
-            .iter()
-            .map(|s| s.map_or_else(|| DEFAULT_SCENARIO.to_string(), |s| s.id()))
-            .collect();
 
         // Fail fast on invalid configuration: every point workload must
         // validate, and every (scenario, point) source must build. This is
@@ -445,8 +631,7 @@ impl<'r> EvalSession<'r> {
                     message,
                 })?;
         }
-        for (scenario, label) in scenario_specs.iter().zip(&scenario_labels) {
-            let Some(spec) = scenario else { continue };
+        for (spec, label) in scenarios.iter().zip(&scenario_labels) {
             let registry = scenario_registry.expect("set alongside scenarios");
             for (parameter, workload) in &points {
                 registry
@@ -461,9 +646,9 @@ impl<'r> EvalSession<'r> {
         // Canonical cell order: point-major, then scenario, then policy,
         // then seed.
         let mut cells =
-            Vec::with_capacity(points.len() * scenario_specs.len() * policies.len() * seeds.len());
+            Vec::with_capacity(points.len() * scenario_count * policies.len() * seeds.len());
         for point in 0..points.len() {
-            for scenario in 0..scenario_specs.len() {
+            for scenario in 0..scenario_count {
                 for policy in 0..policies.len() {
                     for &seed in &seeds {
                         cells.push(Cell {
@@ -477,20 +662,6 @@ impl<'r> EvalSession<'r> {
             }
         }
 
-        // Sharding: this run owns every cell whose canonical flat index is
-        // congruent to the shard index. The produced table holds only the
-        // owned subset (still in canonical order); ResultTable::merge
-        // reassembles the full grid from the shard checkpoints.
-        let owned: Vec<Cell> = match shard {
-            Some((index, count)) => cells
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| i % count == index)
-                .map(|(_, c)| *c)
-                .collect(),
-            None => cells,
-        };
-
         // Fingerprint of everything that determines a row's value besides
         // its (policy, scenario, parameter, seed) key: the cluster, the
         // engine config, the per-point workloads, the scenario ids and the
@@ -502,7 +673,7 @@ impl<'r> EvalSession<'r> {
         // fresh checkpoint path. Shards deliberately share the full grid's
         // fingerprint so their checkpoints merge.
         let mut trace_paths: Vec<String> = Vec::new();
-        for spec in scenario_specs.iter().flatten() {
+        for spec in &scenarios {
             replay_paths(spec, &mut trace_paths);
         }
         trace_paths.sort();
@@ -526,38 +697,6 @@ impl<'r> EvalSession<'r> {
         for (parameter, _) in &points {
             *parameter_counts.entry(parameter.to_bits()).or_default() += 1;
         }
-        let ambiguous =
-            |parameter_bits: u64| parameter_counts.get(&parameter_bits).copied().unwrap_or(0) > 1;
-
-        // Resume: index previously completed rows by (label, scenario,
-        // parameter, seed).
-        let cached: HashMap<(String, String, u64, u64), ResultRow> = checkpoint
-            .as_deref()
-            .filter(|p| p.exists())
-            .and_then(|p| ResultTable::load_json(p).ok())
-            .filter(|t| t.fingerprint == fingerprint)
-            .map(|t| {
-                t.rows
-                    .into_iter()
-                    .filter(|r| !ambiguous(r.parameter.to_bits()))
-                    .map(|r| (r.key(), r))
-                    .collect()
-            })
-            .unwrap_or_default();
-        let key_of = |cell: &Cell| {
-            (
-                policies[cell.policy].name(),
-                scenario_labels[cell.scenario].clone(),
-                points[cell.point].0.to_bits(),
-                cell.seed,
-            )
-        };
-        let (resumed_cells, todo): (Vec<Cell>, Vec<Cell>) = owned
-            .iter()
-            .copied()
-            .partition(|c| cached.contains_key(&key_of(c)));
-        let resumed = resumed_cells.len();
-        let total = todo.len();
 
         // Whether each policy's worker-cached instance may be reused across
         // replications (see [`crate::policy::PolicyFactory::reusable`]);
@@ -572,76 +711,104 @@ impl<'r> EvalSession<'r> {
             })
             .collect();
 
+        Ok((
+            SweepPlan {
+                registry,
+                scenario_registry,
+                policies,
+                scenarios,
+                scenario_labels,
+                points,
+                cluster,
+                sim,
+                cells,
+                fingerprint,
+                reusable,
+                parameter_counts,
+                experiment,
+                caption,
+                parameter_name,
+            },
+            RunOptions {
+                parallel,
+                shard,
+                checkpoint,
+                checkpoint_every,
+                progress,
+            },
+        ))
+    }
+
+    /// Execute the sweep and return the table plus resume statistics.
+    ///
+    /// The grid is flattened point-major (point, then scenario, then policy,
+    /// then seed) and executed as one self-scheduling parallel sweep; rows
+    /// come back in canonical grid order regardless of thread timing, so the
+    /// rendered CSV/markdown are byte-identical between parallel and
+    /// sequential runs. Every workload and scenario is validated (and every
+    /// scenario source built once) *before* the sweep starts, so
+    /// configuration mistakes — an invalid spec, a missing replay trace —
+    /// surface as a [`PolicyError::Workload`] instead of aborting mid-sweep.
+    pub fn run(self) -> Result<EvalReport, PolicyError> {
+        let (plan, options) = self.into_plan_and_options()?;
+        let RunOptions {
+            parallel,
+            shard,
+            checkpoint,
+            checkpoint_every,
+            progress,
+        } = options;
+
+        // Sharding: this run owns every cell whose canonical flat index is
+        // congruent to the shard index. The produced table holds only the
+        // owned subset (still in canonical order); ResultTable::merge
+        // reassembles the full grid from the shard checkpoints.
+        let owned: Vec<usize> = match shard {
+            Some((index, count)) => (0..plan.cell_count())
+                .filter(|i| i % count == index)
+                .collect(),
+            None => (0..plan.cell_count()).collect(),
+        };
+
+        // Resume: index previously completed rows by (label, scenario,
+        // parameter, seed). A checkpoint from a *different* grid
+        // configuration (fingerprint mismatch) contributes nothing and is
+        // flagged so callers can tell the user why everything recomputed.
+        let mut stale_checkpoint = false;
+        let cached: HashMap<(String, String, u64, u64), ResultRow> = match checkpoint
+            .as_deref()
+            .filter(|p| p.exists())
+            .and_then(|p| ResultTable::load_json(p).ok())
+        {
+            Some(table) if table.fingerprint == plan.fingerprint() => table
+                .rows
+                .into_iter()
+                .filter(|r| !plan.ambiguous_parameter(r.parameter.to_bits()))
+                .map(|r| (r.key(), r))
+                .collect(),
+            Some(_) => {
+                stale_checkpoint = true;
+                HashMap::new()
+            }
+            None => HashMap::new(),
+        };
+        let (resumed_cells, todo): (Vec<usize>, Vec<usize>) = owned
+            .iter()
+            .copied()
+            .partition(|&i| cached.contains_key(&plan.key(i)));
+        let resumed = resumed_cells.len();
+        let total = todo.len();
+
         // Shared flush state for incremental checkpointing.
         let flusher = checkpoint.as_ref().map(|path| {
-            let mut base = ResultTable::new(&experiment, &caption, &parameter_name);
-            base.fingerprint = fingerprint.clone();
+            let mut base = plan.table_shell();
             base.extend(cached.values().cloned().collect());
             (path.clone(), Mutex::new(base))
         });
         let done = AtomicUsize::new(0);
         let run_cell =
-            |scratch: &mut WorkerScratch, cell: &Cell| -> Result<ResultRow, PolicyError> {
-                let (parameter, workload) = &points[cell.point];
-                let spec = &policies[cell.policy];
-
-                // The cell's job stream: one cached source per (scenario, point)
-                // pair per worker, re-armed with reset(seed) and pulled on
-                // demand by the streaming simulator. The up-front probe already
-                // validated every (scenario, point) build, but a build can still
-                // fail here (a seed-dependent custom factory, a trace deleted
-                // mid-sweep) — that surfaces as a Workload error, not a panic.
-                use std::collections::hash_map::Entry;
-                let source = match scratch.sources.entry((cell.scenario, cell.point)) {
-                    Entry::Occupied(entry) => entry.into_mut(),
-                    Entry::Vacant(slot) => {
-                        let built: Box<dyn WorkloadSource> = match scenario_specs[cell.scenario] {
-                            None => Box::new(
-                                SyntheticSource::new(workload, &cluster, cell.seed).map_err(
-                                    |e| PolicyError::Workload {
-                                        context: format!("point {parameter}"),
-                                        message: e.to_string(),
-                                    },
-                                )?,
-                            ),
-                            Some(scenario) => scenario_registry
-                                .expect("set alongside scenarios")
-                                .build(scenario, workload, &cluster, cell.seed)
-                                .map_err(|e| PolicyError::Workload {
-                                    context: format!(
-                                        "scenario '{}' at point {parameter}",
-                                        scenario_labels[cell.scenario]
-                                    ),
-                                    message: e.to_string(),
-                                })?,
-                        };
-                        slot.insert(built)
-                    }
-                };
-                source.reset(cell.seed);
-
-                let mut fresh;
-                let scheduler: &mut Box<dyn Scheduler> = if reusable[cell.policy] {
-                    let cached = scratch.schedulers.entry(cell.policy).or_insert_with(|| {
-                        registry.build(spec, cell.seed).expect("spec validated")
-                    });
-                    cached.reset(cell.seed);
-                    cached
-                } else {
-                    fresh = registry.build(spec, cell.seed).expect("spec validated");
-                    &mut fresh
-                };
-                let summary: Summary =
-                    scratch
-                        .sim
-                        .run_source(source.as_mut(), scheduler, &mut scratch.view);
-                let row = ResultRow {
-                    scheduler: spec.name(),
-                    scenario: scenario_labels[cell.scenario].clone(),
-                    parameter: *parameter,
-                    seed: cell.seed,
-                    summary,
-                };
+            |scratch: &mut SweepScratch, index: usize| -> Result<ResultRow, PolicyError> {
+                let row = plan.run_cell(scratch, index)?;
                 let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
                 if let Some(callback) = progress.as_ref() {
                     callback(&row, completed, total);
@@ -659,23 +826,22 @@ impl<'r> EvalSession<'r> {
         let computed_rows: Vec<Result<ResultRow, PolicyError>> = if parallel {
             todo.par_iter()
                 .map_init(
-                    || WorkerScratch::new(&cluster, &sim),
-                    |scratch, cell| run_cell(scratch, cell),
+                    || plan.make_scratch(),
+                    |scratch, &index| run_cell(scratch, index),
                 )
                 .collect()
         } else {
-            let mut scratch = WorkerScratch::new(&cluster, &sim);
-            todo.iter().map(|c| run_cell(&mut scratch, c)).collect()
+            let mut scratch = plan.make_scratch();
+            todo.iter().map(|&i| run_cell(&mut scratch, i)).collect()
         };
 
         // Merge computed and cached rows back into canonical grid order.
         // A failed cell surfaces here as the sweep's error (completed rows
         // of a checkpointed run were already flushed, so nothing is lost).
         let mut computed_iter = computed_rows.into_iter();
-        let mut table = ResultTable::new(experiment, caption, parameter_name);
-        table.fingerprint = fingerprint;
-        for cell in &owned {
-            match cached.get(&key_of(cell)) {
+        let mut table = plan.table_shell();
+        for &index in &owned {
+            match cached.get(&plan.key(index)) {
                 Some(row) => table.rows.push(row.clone()),
                 None => table.rows.push(
                     computed_iter
@@ -699,6 +865,7 @@ impl<'r> EvalSession<'r> {
             table,
             computed: total,
             resumed,
+            stale_checkpoint,
         })
     }
 }
@@ -731,6 +898,7 @@ mod tests {
             .unwrap();
         assert_eq!(report.computed, 2);
         assert_eq!(report.resumed, 0);
+        assert!(!report.stale_checkpoint);
         let rows = &report.table.rows;
         assert_eq!(rows.len(), 2);
         assert!(rows.iter().all(|r| r.scheduler == "edf"));
@@ -789,6 +957,46 @@ mod tests {
                 .sum::<f64>()
         };
         assert!(miss_of("poisson+tighten(0.7)") >= miss_of("poisson"));
+    }
+
+    #[test]
+    fn plan_cells_match_run_rows_exactly() {
+        // The plan's flat-index executor is the same computation as run():
+        // executing every cell by index in canonical order reproduces the
+        // full table byte for byte. This is the contract the multi-process
+        // sweep (cells shipped as indices over shared memory) rests on.
+        let registry = PolicyRegistry::with_baselines();
+        let scenarios = ScenarioRegistry::new();
+        let build = || {
+            session(&registry)
+                .policies(["edf", "fifo"])
+                .unwrap()
+                .scenarios(&scenarios, ["poisson", "poisson+tighten(0.7)"])
+                .unwrap()
+                .point(0.8, quick_workload(0.8).with_num_jobs(20))
+                .seeds(&[1, 2])
+        };
+        let report = build().run().unwrap();
+        let plan = build().plan().unwrap();
+        assert_eq!(plan.cell_count(), report.table.rows.len());
+        assert_eq!(plan.fingerprint(), report.table.fingerprint);
+
+        let mut scratch = plan.make_scratch();
+        let mut table = plan.table_shell();
+        // Out-of-order execution must not matter: run odd indices first.
+        let mut rows = vec![None; plan.cell_count()];
+        for index in (1..plan.cell_count())
+            .step_by(2)
+            .chain((0..plan.cell_count()).step_by(2))
+        {
+            rows[index] = Some(plan.run_cell(&mut scratch, index).unwrap());
+        }
+        table.rows.extend(rows.into_iter().map(Option::unwrap));
+        assert_eq!(table.to_csv(), report.table.to_csv());
+        for (a, b) in table.rows.iter().zip(&report.table.rows) {
+            assert_eq!(a.key(), b.key());
+            assert_eq!(a.summary, b.summary);
+        }
     }
 
     #[test]
@@ -909,19 +1117,62 @@ mod tests {
         record(7, 20);
         let first = run(&ScenarioRegistry::new());
         assert_eq!(first.computed, 1);
+        assert!(!first.stale_checkpoint);
 
         // Same path, new contents: the fingerprint must change, so nothing
-        // resumes and the row reflects the new trace.
+        // resumes, the row reflects the new trace, and the report says the
+        // checkpoint was stale.
         record(8, 25);
         let second = run(&ScenarioRegistry::new());
         assert_eq!(second.resumed, 0, "stale replay rows must not resume");
         assert_eq!(second.computed, 1);
+        assert!(second.stale_checkpoint, "staleness must be surfaced");
         assert!(second.table.rows.iter().all(|r| r.summary.total_jobs == 25));
 
         // Unchanged contents still resume.
         let third = run(&ScenarioRegistry::new());
         assert_eq!(third.resumed, 1);
         assert_eq!(third.computed, 0);
+        assert!(!third.stale_checkpoint);
+    }
+
+    #[test]
+    fn changed_grid_config_recomputes_and_flags_the_stale_checkpoint() {
+        // Resume against a checkpoint written by a *different grid config*
+        // (different workload sizing at the same parameter/seed keys): the
+        // rows must be recomputed, not resumed, and the report must say so.
+        let dir = std::env::temp_dir().join("tcrm-runner-stale-grid");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("grid.json");
+        let registry = PolicyRegistry::with_baselines();
+        let run = |jobs: usize| {
+            session(&registry)
+                .policies(["edf"])
+                .unwrap()
+                .point(0.8, quick_workload(0.8).with_num_jobs(jobs))
+                .seeds(&[1, 2])
+                .checkpoint(&ckpt)
+                .run()
+                .unwrap()
+        };
+
+        let first = run(20);
+        assert_eq!((first.computed, first.resumed), (2, 0));
+        assert!(!first.stale_checkpoint);
+
+        // Same keys (same parameter 0.8, same seeds), different grid: every
+        // row recomputes against the new workload and the staleness is
+        // flagged.
+        let second = run(25);
+        assert_eq!((second.computed, second.resumed), (2, 0));
+        assert!(second.stale_checkpoint);
+        assert!(second.table.rows.iter().all(|r| r.summary.total_jobs == 25));
+
+        // The rewritten checkpoint now matches the new grid and resumes.
+        let third = run(25);
+        assert_eq!((third.computed, third.resumed), (0, 2));
+        assert!(!third.stale_checkpoint);
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! Payload encoding for ring records and the embedded config blob.
+//!
+//! The rings carry opaque bytes; this module fixes the byte format the
+//! sweep plane actually uses: JSON via the workspace's vendored
+//! `serde_json`. JSON matters here for more than convenience — the
+//! vendored serializer prints `f64` with Rust's shortest-roundtrip
+//! `Display`, so a summary that crosses the ring decodes to bit-identical
+//! floats and the final CSV stays byte-identical to a single-process run.
+
+use serde::{Deserialize, Serialize};
+
+/// Encode a record for transport through a ring or the config region.
+pub fn encode<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, CodecError> {
+    serde_json::to_string(value)
+        .map(String::into_bytes)
+        .map_err(|e| CodecError(e.to_string()))
+}
+
+/// Decode bytes produced by [`encode`].
+pub fn decode<T: Deserialize>(bytes: &[u8]) -> Result<T, CodecError> {
+    let text = std::str::from_utf8(bytes).map_err(|e| CodecError(e.to_string()))?;
+    serde_json::from_str(text).map_err(|e| CodecError(e.to_string()))
+}
+
+/// A serialisation failure (carries the underlying message).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ipc codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Record {
+        cell: u64,
+        mean: f64,
+        label: String,
+    }
+
+    #[test]
+    fn roundtrips_exactly() {
+        let r = Record {
+            cell: 9,
+            mean: 0.1 + 0.2, // a value with no short decimal form
+            label: "p99".into(),
+        };
+        let bytes = encode(&r).unwrap();
+        let back: Record = decode(&bytes).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.mean.to_bits(), r.mean.to_bits());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode::<Record>(b"not json").is_err());
+    }
+}

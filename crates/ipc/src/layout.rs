@@ -1,0 +1,376 @@
+//! Segment layout: one mmap'd file carrying every shared structure.
+//!
+//! ```text
+//! ┌────────────┬──────────────┬─────────────┬───────────┬─────────────┐
+//! │ header     │ config bytes │ lease table │ work ring │ result ring │
+//! │ (1 line)   │ (opaque)     │ (128B/slot) │ (SPMC)    │ (MPSC)      │
+//! └────────────┴──────────────┴─────────────┴───────────┴─────────────┘
+//! ```
+//!
+//! The creator writes the geometry into the header and stores the magic
+//! word *last* (release), so an opener that observes the magic (acquire)
+//! is guaranteed to see fully initialised rings and leases. The config
+//! region carries an opaque byte blob (the sweep plan, serialised by the
+//! caller) so workers need nothing but the segment path to reconstruct
+//! the exact same work list.
+
+use crate::lease::LeaseTable;
+use crate::ring::{ResultRing, WorkRing, CACHE_LINE};
+use crate::shm::ShmSegment;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// `b"TCRMIPC1"` as a little-endian word.
+const MAGIC: u64 = u64::from_le_bytes(*b"TCRMIPC1");
+/// Bumped on any layout-incompatible change.
+const VERSION: u64 = 1;
+
+/// The segment header: geometry plus the two control flags.
+#[repr(C, align(64))]
+struct HeaderRaw {
+    magic: AtomicU64,
+    version: AtomicU64,
+    worker_slots: AtomicU64,
+    work_capacity: AtomicU64,
+    result_capacity: AtomicU64,
+    result_stride: AtomicU64,
+    config_len: AtomicU64,
+    /// Parent → workers: all cells are accounted for, exit your steal loop.
+    shutdown: AtomicU64,
+    /// Parent → workers: abandon the sweep immediately (a peer failed).
+    abort: AtomicU64,
+}
+
+const HEADER_BYTES: usize = 128;
+
+/// Geometry of a plane, validated before any memory is touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlaneParams {
+    /// Number of worker lease slots.
+    pub worker_slots: usize,
+    /// Work-ring capacity (power of two; size it so the ring never wraps).
+    pub work_capacity: usize,
+    /// Result-ring capacity (power of two).
+    pub result_capacity: usize,
+    /// Result-slot stride in bytes (cache-line multiple; payload is
+    /// `stride - 24`).
+    pub result_stride: usize,
+}
+
+impl PlaneParams {
+    fn validate(&self) -> io::Result<()> {
+        let bad = |msg: String| Err(io::Error::new(io::ErrorKind::InvalidInput, msg));
+        if self.worker_slots == 0 {
+            return bad("plane needs at least one worker slot".into());
+        }
+        if !self.work_capacity.is_power_of_two() {
+            return bad(format!(
+                "work ring capacity {} is not a power of two",
+                self.work_capacity
+            ));
+        }
+        if !self.result_capacity.is_power_of_two() {
+            return bad(format!(
+                "result ring capacity {} is not a power of two",
+                self.result_capacity
+            ));
+        }
+        if !self.result_stride.is_multiple_of(CACHE_LINE) || self.result_stride <= CACHE_LINE {
+            return bad(format!(
+                "result slot stride {} must be a cache-line multiple > {CACHE_LINE}",
+                self.result_stride
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Byte offsets of each region, derived from [`PlaneParams`] + config size.
+#[derive(Debug, Clone, Copy)]
+struct SegmentLayout {
+    config: usize,
+    leases: usize,
+    work: usize,
+    result: usize,
+    total: usize,
+}
+
+fn align_up(off: usize, align: usize) -> usize {
+    off.div_ceil(align) * align
+}
+
+impl SegmentLayout {
+    fn compute(params: &PlaneParams, config_len: usize) -> SegmentLayout {
+        let config = HEADER_BYTES;
+        let leases = align_up(config + config_len, 128);
+        let work = align_up(
+            leases + LeaseTable::bytes_for(params.worker_slots),
+            CACHE_LINE,
+        );
+        let result = align_up(work + WorkRing::bytes_for(params.work_capacity), CACHE_LINE);
+        let end = result + ResultRing::bytes_for(params.result_capacity, params.result_stride);
+        SegmentLayout {
+            config,
+            leases,
+            work,
+            result,
+            total: align_up(end, 4096),
+        }
+    }
+}
+
+/// A fully wired plane: the mapped segment plus typed handles to every
+/// region. Create one in the parent, [`Plane::open`] it in each worker.
+pub struct Plane {
+    seg: ShmSegment,
+    params: PlaneParams,
+    layout: SegmentLayout,
+}
+
+impl Plane {
+    /// Create the segment file at `path`, initialise every region and embed
+    /// `config` verbatim. Publishes the magic word last, so concurrent
+    /// openers never observe a half-built plane.
+    pub fn create(path: impl AsRef<Path>, params: PlaneParams, config: &[u8]) -> io::Result<Plane> {
+        params.validate()?;
+        let layout = SegmentLayout::compute(&params, config.len());
+        let seg = ShmSegment::create(path, layout.total)?;
+        let base = seg.as_ptr();
+        // SAFETY: the fresh, exclusively-owned mapping is `layout.total`
+        // bytes; each region init stays inside its computed sub-range and
+        // the page-aligned base makes every region offset 64/128-aligned.
+        unsafe {
+            std::ptr::copy_nonoverlapping(config.as_ptr(), base.add(layout.config), config.len());
+            LeaseTable::init(base.add(layout.leases), params.worker_slots);
+            WorkRing::init(base.add(layout.work), params.work_capacity);
+            ResultRing::init(
+                base.add(layout.result),
+                params.result_capacity,
+                params.result_stride,
+            );
+        }
+        let plane = Plane {
+            seg,
+            params,
+            layout,
+        };
+        let h = plane.header();
+        h.version.store(VERSION, Ordering::Relaxed);
+        h.worker_slots
+            .store(params.worker_slots as u64, Ordering::Relaxed);
+        h.work_capacity
+            .store(params.work_capacity as u64, Ordering::Relaxed);
+        h.result_capacity
+            .store(params.result_capacity as u64, Ordering::Relaxed);
+        h.result_stride
+            .store(params.result_stride as u64, Ordering::Relaxed);
+        h.config_len.store(config.len() as u64, Ordering::Relaxed);
+        h.shutdown.store(0, Ordering::Relaxed);
+        h.abort.store(0, Ordering::Relaxed);
+        h.magic.store(MAGIC, Ordering::Release);
+        Ok(plane)
+    }
+
+    /// Map an existing plane and validate its header.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Plane> {
+        let seg = ShmSegment::open(path)?;
+        let invalid = |msg: String| Err(io::Error::new(io::ErrorKind::InvalidData, msg));
+        if seg.len() < HEADER_BYTES {
+            return invalid("segment shorter than a plane header".into());
+        }
+        // SAFETY: at least HEADER_BYTES mapped, page-aligned base.
+        let h = unsafe { &*(seg.as_ptr() as *const HeaderRaw) };
+        if h.magic.load(Ordering::Acquire) != MAGIC {
+            return invalid("segment is not an initialised tcrm-ipc plane".into());
+        }
+        let version = h.version.load(Ordering::Relaxed);
+        if version != VERSION {
+            return invalid(format!(
+                "plane version {version} is not the supported version {VERSION}"
+            ));
+        }
+        let params = PlaneParams {
+            worker_slots: h.worker_slots.load(Ordering::Relaxed) as usize,
+            work_capacity: h.work_capacity.load(Ordering::Relaxed) as usize,
+            result_capacity: h.result_capacity.load(Ordering::Relaxed) as usize,
+            result_stride: h.result_stride.load(Ordering::Relaxed) as usize,
+        };
+        params.validate().map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("plane header corrupt: {e}"),
+            )
+        })?;
+        let config_len = h.config_len.load(Ordering::Relaxed) as usize;
+        let layout = SegmentLayout::compute(&params, config_len);
+        if seg.len() < layout.total {
+            return invalid(format!(
+                "segment is {} bytes but the declared geometry needs {}",
+                seg.len(),
+                layout.total
+            ));
+        }
+        Ok(Plane {
+            seg,
+            params,
+            layout,
+        })
+    }
+
+    fn header(&self) -> &HeaderRaw {
+        // SAFETY: construction validated the header region.
+        unsafe { &*(self.seg.as_ptr() as *const HeaderRaw) }
+    }
+
+    /// The plane's geometry.
+    pub fn params(&self) -> PlaneParams {
+        self.params
+    }
+
+    /// The opaque config blob embedded at creation.
+    pub fn config(&self) -> &[u8] {
+        let len = self.header().config_len.load(Ordering::Relaxed) as usize;
+        // SAFETY: open/create validated `config + len` within the mapping;
+        // the region is written once before the magic release.
+        unsafe { std::slice::from_raw_parts(self.seg.as_ptr().add(self.layout.config), len) }
+    }
+
+    /// The lease table.
+    pub fn leases(&self) -> LeaseTable<'_> {
+        // SAFETY: region validated at construction, 128-aligned.
+        unsafe {
+            LeaseTable::attach(
+                self.seg.as_ptr().add(self.layout.leases),
+                self.params.worker_slots,
+            )
+        }
+    }
+
+    /// The SPMC work ring.
+    pub fn work_ring(&self) -> WorkRing<'_> {
+        // SAFETY: region validated at construction, 64-aligned.
+        unsafe {
+            WorkRing::attach(
+                self.seg.as_ptr().add(self.layout.work),
+                self.params.work_capacity,
+            )
+        }
+    }
+
+    /// The MPSC result ring.
+    pub fn result_ring(&self) -> ResultRing<'_> {
+        // SAFETY: region validated at construction, 64-aligned.
+        unsafe {
+            ResultRing::attach(
+                self.seg.as_ptr().add(self.layout.result),
+                self.params.result_capacity,
+                self.params.result_stride,
+            )
+        }
+    }
+
+    /// Parent: tell workers every cell is accounted for.
+    pub fn signal_shutdown(&self) {
+        self.header().shutdown.store(1, Ordering::Release);
+    }
+
+    /// Whether shutdown has been signalled.
+    pub fn is_shutdown(&self) -> bool {
+        self.header().shutdown.load(Ordering::Acquire) != 0
+    }
+
+    /// Parent: tell workers to abandon the sweep.
+    pub fn signal_abort(&self) {
+        self.header().abort.store(1, Ordering::Release);
+    }
+
+    /// Whether abort has been signalled.
+    pub fn is_aborted(&self) -> bool {
+        self.header().abort.load(Ordering::Acquire) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("tcrm-ipc-layout-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    fn params() -> PlaneParams {
+        PlaneParams {
+            worker_slots: 3,
+            work_capacity: 64,
+            result_capacity: 16,
+            result_stride: 256,
+        }
+    }
+
+    #[test]
+    fn create_then_open_sees_same_plane() {
+        let path = temp("roundtrip");
+        let config = br#"{"plan":"demo"}"#;
+        let parent = Plane::create(&path, params(), config).unwrap();
+        parent.work_ring().push(41).unwrap();
+        parent.work_ring().push(42).unwrap();
+
+        let worker = Plane::open(&path).unwrap();
+        assert_eq!(worker.params(), params());
+        assert_eq!(worker.config(), config);
+        assert_eq!(worker.work_ring().steal(), Some(41));
+        assert!(worker.leases().slot(0).acquire(7));
+        assert_eq!(parent.leases().slot(0).pid(), 7);
+        assert!(!parent.is_shutdown());
+        parent.signal_shutdown();
+        assert!(worker.is_shutdown());
+        assert!(!worker.is_aborted());
+        parent.signal_abort();
+        assert!(worker.is_aborted());
+
+        drop(parent);
+        drop(worker);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_garbage_and_bad_geometry() {
+        let path = temp("garbage");
+        std::fs::write(&path, vec![0u8; 4096]).unwrap();
+        assert!(Plane::open(&path).is_err(), "zeroed file has no magic");
+        std::fs::remove_file(&path).unwrap();
+
+        let bad = PlaneParams {
+            work_capacity: 63,
+            ..params()
+        };
+        assert!(Plane::create(temp("badcap"), bad, b"").is_err());
+        let bad = PlaneParams {
+            result_stride: 100,
+            ..params()
+        };
+        assert!(Plane::create(temp("badstride"), bad, b"").is_err());
+        let bad = PlaneParams {
+            worker_slots: 0,
+            ..params()
+        };
+        assert!(Plane::create(temp("badslots"), bad, b"").is_err());
+    }
+
+    #[test]
+    fn open_rejects_truncated_segment() {
+        let path = temp("truncated");
+        {
+            Plane::create(&path, params(), b"config-bytes").unwrap();
+        }
+        // Chop the file after the header: geometry no longer fits.
+        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(256).unwrap();
+        drop(file);
+        assert!(Plane::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

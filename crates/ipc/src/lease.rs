@@ -1,0 +1,318 @@
+//! Lease-based worker liveness over shared memory.
+//!
+//! Every worker owns one cache-line-padded lease slot. The worker side
+//! bumps a heartbeat epoch each trip round its steal loop and *announces*
+//! what it is doing — the cell it is executing, the result-ring position it
+//! is publishing to — before doing it; the parent side reads the slots to
+//! decide which cells a dead or wedged worker was holding and must be
+//! requeued. Leases carry no locks: each field is one atomic word, written
+//! by exactly one side.
+
+use crate::ring::NONE;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Lifecycle of a lease slot (the `state` word).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseState {
+    /// Never claimed (or claimed by a worker that has not attached yet).
+    Free,
+    /// A worker holds the lease and is stealing/running cells.
+    Running,
+    /// The worker exited its loop cleanly (shutdown observed).
+    Finished,
+    /// The worker hit an unrecoverable error and gave up.
+    Failed,
+}
+
+impl LeaseState {
+    fn from_word(word: u64) -> LeaseState {
+        match word {
+            1 => LeaseState::Running,
+            2 => LeaseState::Finished,
+            3 => LeaseState::Failed,
+            _ => LeaseState::Free,
+        }
+    }
+
+    fn word(self) -> u64 {
+        match self {
+            LeaseState::Free => 0,
+            LeaseState::Running => 1,
+            LeaseState::Finished => 2,
+            LeaseState::Failed => 3,
+        }
+    }
+}
+
+/// One worker's lease: two cache lines so neighbouring workers never
+/// false-share heartbeat traffic.
+#[repr(C, align(128))]
+struct LeaseSlotRaw {
+    pid: AtomicU64,
+    heartbeat: AtomicU64,
+    state: AtomicU64,
+    cell: AtomicU64,
+    claim: AtomicU64,
+    done: AtomicU64,
+}
+
+/// A borrowed view of one lease slot; worker-side and parent-side methods
+/// live together, the plane's process roles keep them apart.
+#[derive(Clone, Copy)]
+pub struct LeaseSlot<'a>(&'a LeaseSlotRaw);
+
+impl<'a> LeaseSlot<'a> {
+    /// Worker: take the lease (exactly once, at startup).
+    /// Returns `false` if the slot was already claimed — two workers were
+    /// launched with the same slot index, which is a supervisor bug.
+    pub fn acquire(&self, pid: u64) -> bool {
+        if self
+            .0
+            .state
+            .compare_exchange(
+                LeaseState::Free.word(),
+                LeaseState::Running.word(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_err()
+        {
+            return false;
+        }
+        self.0.pid.store(pid, Ordering::Relaxed);
+        self.0.cell.store(NONE, Ordering::Relaxed);
+        self.0.claim.store(NONE, Ordering::Relaxed);
+        self.0.done.store(0, Ordering::Relaxed);
+        self.0.heartbeat.store(1, Ordering::Release);
+        true
+    }
+
+    /// Worker: bump the heartbeat epoch (each steal-loop iteration).
+    pub fn beat(&self) {
+        self.0.heartbeat.fetch_add(1, Ordering::Release);
+    }
+
+    /// Worker: announce the cell now being executed.
+    pub fn announce_cell(&self, cell: u64) {
+        self.0.cell.store(cell, Ordering::Release);
+    }
+
+    /// Worker: the announced cell is done (its row has been published).
+    pub fn clear_cell(&self) {
+        self.0.cell.store(NONE, Ordering::Release);
+        self.0.done.fetch_add(1, Ordering::Release);
+    }
+
+    /// Worker: the claim word handed to [`crate::ResultRing::publish`].
+    pub fn claim_word(&self) -> &'a AtomicU64 {
+        &self.0.claim
+    }
+
+    /// Worker: leave the lease in a terminal state.
+    pub fn finish(&self, state: LeaseState) {
+        debug_assert!(matches!(state, LeaseState::Finished | LeaseState::Failed));
+        self.0.state.store(state.word(), Ordering::Release);
+    }
+
+    /// Parent: pid the worker reported at acquire time (0 before).
+    pub fn pid(&self) -> u64 {
+        self.0.pid.load(Ordering::Acquire)
+    }
+
+    /// Parent: current heartbeat epoch.
+    pub fn heartbeat(&self) -> u64 {
+        self.0.heartbeat.load(Ordering::Acquire)
+    }
+
+    /// Parent: lifecycle state.
+    pub fn state(&self) -> LeaseState {
+        LeaseState::from_word(self.0.state.load(Ordering::Acquire))
+    }
+
+    /// Parent: the announced in-flight cell, if any.
+    pub fn cell(&self) -> Option<u64> {
+        match self.0.cell.load(Ordering::Acquire) {
+            NONE => None,
+            cell => Some(cell),
+        }
+    }
+
+    /// Parent: the announced result-ring claim position, if any.
+    pub fn claim(&self) -> Option<u64> {
+        match self.0.claim.load(Ordering::Acquire) {
+            NONE => None,
+            pos => Some(pos),
+        }
+    }
+
+    /// Parent: cells this worker has completed (published).
+    pub fn done(&self) -> u64 {
+        self.0.done.load(Ordering::Acquire)
+    }
+}
+
+/// The fixed table of lease slots inside the segment.
+#[derive(Clone, Copy)]
+pub struct LeaseTable<'a> {
+    base: *const LeaseSlotRaw,
+    slots: usize,
+    _seg: PhantomData<&'a ()>,
+}
+
+unsafe impl Send for LeaseTable<'_> {}
+unsafe impl Sync for LeaseTable<'_> {}
+
+impl<'a> LeaseTable<'a> {
+    /// Bytes of segment memory a table of `slots` leases occupies.
+    pub fn bytes_for(slots: usize) -> usize {
+        slots * std::mem::size_of::<LeaseSlotRaw>()
+    }
+
+    /// Initialise a fresh table in zeroed memory at `mem`.
+    ///
+    /// # Safety
+    /// `mem` must point to at least [`LeaseTable::bytes_for`] bytes of
+    /// 128-byte-aligned memory valid for `'a` and not yet shared.
+    pub unsafe fn init(mem: *mut u8, slots: usize) -> LeaseTable<'a> {
+        let table = Self::attach(mem, slots);
+        for i in 0..slots {
+            let raw = &*table.base.add(i);
+            raw.pid.store(0, Ordering::Relaxed);
+            raw.heartbeat.store(0, Ordering::Relaxed);
+            raw.state.store(LeaseState::Free.word(), Ordering::Relaxed);
+            raw.cell.store(NONE, Ordering::Relaxed);
+            raw.claim.store(NONE, Ordering::Relaxed);
+            raw.done.store(0, Ordering::Relaxed);
+        }
+        table
+    }
+
+    /// Attach to a table previously [`LeaseTable::init`]-ialised at `mem`.
+    ///
+    /// # Safety
+    /// Same memory contract as [`LeaseTable::init`], with matching `slots`.
+    pub unsafe fn attach(mem: *mut u8, slots: usize) -> LeaseTable<'a> {
+        LeaseTable {
+            base: mem as *const LeaseSlotRaw,
+            slots,
+            _seg: PhantomData,
+        }
+    }
+
+    /// Number of lease slots.
+    pub fn len(&self) -> usize {
+        self.slots
+    }
+
+    /// Whether the table has no slots (never true for a live plane).
+    pub fn is_empty(&self) -> bool {
+        self.slots == 0
+    }
+
+    /// Borrow slot `index`.
+    pub fn slot(&self, index: usize) -> LeaseSlot<'a> {
+        assert!(index < self.slots, "lease slot {index} out of range");
+        // SAFETY: bounds-checked against the attach contract.
+        LeaseSlot(unsafe { &*self.base.add(index) })
+    }
+}
+
+/// Parent-side staleness tracker: remembers when each lease's heartbeat
+/// last *changed* and reports slots whose worker has gone quiet for longer
+/// than a timeout while still nominally `Running`.
+#[derive(Debug)]
+pub struct LeaseMonitor {
+    seen: Vec<(u64, Instant)>,
+}
+
+impl LeaseMonitor {
+    /// A monitor over `slots` leases, starting its clocks now.
+    pub fn new(slots: usize) -> LeaseMonitor {
+        let now = Instant::now();
+        LeaseMonitor {
+            seen: vec![(0, now); slots],
+        }
+    }
+
+    /// Record the current heartbeat of `slot` and report whether it has
+    /// been unchanged for longer than `timeout` with the lease `Running`.
+    pub fn is_stale(&mut self, lease: LeaseSlot<'_>, index: usize, timeout: Duration) -> bool {
+        let beat = lease.heartbeat();
+        let entry = &mut self.seen[index];
+        if beat != entry.0 {
+            *entry = (beat, Instant::now());
+            return false;
+        }
+        lease.state() == LeaseState::Running && entry.1.elapsed() > timeout
+    }
+
+    /// Whether `slot`'s heartbeat has advanced since the last
+    /// [`LeaseMonitor::is_stale`] observation recorded it.
+    pub fn advanced(&self, lease: LeaseSlot<'_>, index: usize) -> bool {
+        lease.heartbeat() != self.seen[index].0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_roundtrip_in_local_memory() {
+        let mut mem = vec![0u8; LeaseTable::bytes_for(2) + 128];
+        let aligned = {
+            let addr = mem.as_mut_ptr() as usize;
+            let off = (128 - addr % 128) % 128;
+            unsafe { mem.as_mut_ptr().add(off) }
+        };
+        let table = unsafe { LeaseTable::init(aligned, 2) };
+        let lease = table.slot(0);
+        assert_eq!(lease.state(), LeaseState::Free);
+        assert!(lease.acquire(42));
+        assert!(!lease.acquire(43), "double-claim must fail");
+        assert_eq!(lease.pid(), 42);
+        assert_eq!(lease.state(), LeaseState::Running);
+        assert_eq!(lease.cell(), None);
+        lease.announce_cell(7);
+        assert_eq!(lease.cell(), Some(7));
+        lease.clear_cell();
+        assert_eq!(lease.cell(), None);
+        assert_eq!(lease.done(), 1);
+        let before = lease.heartbeat();
+        lease.beat();
+        assert_eq!(lease.heartbeat(), before + 1);
+        lease.finish(LeaseState::Finished);
+        assert_eq!(lease.state(), LeaseState::Finished);
+        // Slot 1 is untouched.
+        assert_eq!(table.slot(1).state(), LeaseState::Free);
+    }
+
+    #[test]
+    fn monitor_flags_quiet_running_leases_only() {
+        let mut mem = vec![0u8; LeaseTable::bytes_for(1) + 128];
+        let aligned = {
+            let addr = mem.as_mut_ptr() as usize;
+            let off = (128 - addr % 128) % 128;
+            unsafe { mem.as_mut_ptr().add(off) }
+        };
+        let table = unsafe { LeaseTable::init(aligned, 1) };
+        let lease = table.slot(0);
+        lease.acquire(1);
+        let mut monitor = LeaseMonitor::new(1);
+        let timeout = Duration::from_millis(20);
+        // First observation records the beat.
+        assert!(!monitor.is_stale(lease, 0, timeout));
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(monitor.is_stale(lease, 0, timeout));
+        // A beat resets the clock …
+        lease.beat();
+        assert!(monitor.advanced(lease, 0));
+        assert!(!monitor.is_stale(lease, 0, timeout));
+        // … and terminal states are never stale.
+        std::thread::sleep(Duration::from_millis(40));
+        lease.finish(LeaseState::Finished);
+        assert!(!monitor.is_stale(lease, 0, timeout));
+    }
+}

@@ -1,0 +1,40 @@
+//! `tcrm-ipc` — a shared-memory work-stealing plane for multi-process
+//! parameter sweeps.
+//!
+//! The crate provides the transport layer under `expdriver sweep
+//! --workers N`: one mmap'd segment ([`shm::ShmSegment`], composed by
+//! [`Plane`]) holding
+//!
+//! * a lock-free **SPMC work ring** ([`WorkRing`]) the parent fills with
+//!   cell indices and worker processes steal from,
+//! * a lock-free **MPSC result ring** ([`ResultRing`]) workers publish
+//!   serialised result rows into,
+//! * a **lease table** ([`LeaseTable`]) of per-worker heartbeat/liveness
+//!   slots the parent watches to detect dead or wedged workers, and
+//! * an embedded, opaque **config blob** so a worker can reconstruct the
+//!   exact sweep plan from nothing but the segment path.
+//!
+//! Synchronisation is the bounded-ring sequence-number protocol
+//! (acquire/release atomics on per-slot sequence words — no locks or
+//! syscalls on the hot path), waiting is the futex-free spin → yield →
+//! capped-sleep escalation of [`Waiter`], and crash recovery rests on two
+//! structural guarantees documented on the ring types: the work ring never
+//! wraps, and result-ring producers announce their claim in their lease
+//! before taking it. [`Supervisor`] rounds the story out on the process
+//! side by classifying worker exits (clean / failed / crashed).
+
+pub mod codec;
+pub mod layout;
+pub mod lease;
+pub mod ring;
+pub mod shm;
+pub mod supervisor;
+pub mod waiter;
+
+pub use codec::{decode, encode, CodecError};
+pub use layout::{Plane, PlaneParams};
+pub use lease::{LeaseMonitor, LeaseSlot, LeaseState, LeaseTable};
+pub use ring::{PublishError, ResultRing, RingFull, WorkRing, CACHE_LINE, NONE};
+pub use shm::ShmSegment;
+pub use supervisor::{Supervisor, WorkerExit};
+pub use waiter::Waiter;

@@ -1,0 +1,471 @@
+//! Fixed-slot lock-free rings over raw shared memory.
+//!
+//! Both rings use the classic bounded-queue sequence-number protocol (the
+//! circular-array discipline of cpp-ipc's `circ` buffers): every slot
+//! carries an atomic sequence number, producers claim a position by CAS on
+//! the enqueue cursor and *release* the slot by storing `pos + 1` into its
+//! sequence, consumers accept a slot whose sequence reads `pos + 1` and
+//! recycle it by storing `pos + capacity`. All hot-path synchronisation is
+//! acquire/release on those per-slot sequences — no locks, no syscalls.
+//!
+//! * [`WorkRing`] — single producer (the sweep parent), multiple consumers
+//!   (worker processes *stealing* cells). Values are bare `u64` cell
+//!   indices. The parent sizes it so it never wraps (capacity ≥ every
+//!   enqueue it will ever perform, requeues included), which makes a
+//!   consumer crash between its claim CAS and its sequence release
+//!   harmless: the slot is simply never reused, and the lease table tells
+//!   the parent which cell to requeue.
+//! * [`ResultRing`] — multiple producers (workers publishing result rows),
+//!   single consumer (the parent). Slots carry a byte payload. Producers
+//!   announce the position they are about to claim in their lease's *claim
+//!   word* before the CAS, so the parent can prove an unreleased slot
+//!   belongs to a dead process (and [`ResultRing::skip_head`] it) without
+//!   ever racing a live writer — see the crash-recovery notes on
+//!   [`ResultRing::publish`].
+
+use crate::waiter::Waiter;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sentinel for "no value" in claim words and similar `u64` registers.
+pub const NONE: u64 = u64::MAX;
+
+/// One cache line; slot strides and header fields are padded to it so
+/// cursors and neighbouring slots never false-share.
+pub const CACHE_LINE: usize = 64;
+
+#[repr(C, align(64))]
+struct CachePadded<T>(T);
+
+/// The two ring cursors, one cache line each.
+#[repr(C)]
+struct RingHeader {
+    enqueue: CachePadded<AtomicU64>,
+    dequeue: CachePadded<AtomicU64>,
+}
+
+const RING_HEADER_BYTES: usize = 2 * CACHE_LINE;
+
+#[repr(C, align(64))]
+struct WorkSlot {
+    seq: AtomicU64,
+    value: AtomicU64,
+}
+
+/// Error returned by [`WorkRing::push`] when every slot is occupied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingFull;
+
+/// The SPMC work ring: parent pushes cell indices, workers steal them.
+///
+/// `Copy`-able handle; the backing memory lives in the mapped segment the
+/// lifetime parameter borrows.
+#[derive(Clone, Copy)]
+pub struct WorkRing<'a> {
+    hdr: *const RingHeader,
+    slots: *const WorkSlot,
+    cap: u64,
+    _seg: PhantomData<&'a ()>,
+}
+
+// Handles alias shared memory that is only ever accessed through atomics
+// (plus protocol-ordered payload copies in the result ring).
+unsafe impl Send for WorkRing<'_> {}
+unsafe impl Sync for WorkRing<'_> {}
+
+impl<'a> WorkRing<'a> {
+    /// Bytes of segment memory a work ring of `capacity` slots occupies.
+    pub fn bytes_for(capacity: usize) -> usize {
+        RING_HEADER_BYTES + capacity * std::mem::size_of::<WorkSlot>()
+    }
+
+    /// Initialise a fresh ring in zeroed memory at `mem`.
+    ///
+    /// # Safety
+    /// `mem` must point to at least [`WorkRing::bytes_for`] bytes of
+    /// 64-byte-aligned memory valid (and unmoved) for `'a`, not yet visible
+    /// to any other party. `capacity` must be a power of two.
+    pub unsafe fn init(mem: *mut u8, capacity: usize) -> WorkRing<'a> {
+        let ring = Self::attach(mem, capacity);
+        (*ring.hdr).enqueue.0.store(0, Ordering::Relaxed);
+        (*ring.hdr).dequeue.0.store(0, Ordering::Relaxed);
+        for i in 0..capacity as u64 {
+            ring.slot(i).seq.store(i, Ordering::Relaxed);
+            ring.slot(i).value.store(NONE, Ordering::Relaxed);
+        }
+        ring
+    }
+
+    /// Attach to a ring previously [`WorkRing::init`]-ialised at `mem`.
+    ///
+    /// # Safety
+    /// Same memory contract as [`WorkRing::init`], with matching `capacity`.
+    pub unsafe fn attach(mem: *mut u8, capacity: usize) -> WorkRing<'a> {
+        assert!(capacity.is_power_of_two(), "ring capacity must be 2^k");
+        WorkRing {
+            hdr: mem as *const RingHeader,
+            slots: mem.add(RING_HEADER_BYTES) as *const WorkSlot,
+            cap: capacity as u64,
+            _seg: PhantomData,
+        }
+    }
+
+    fn slot(&self, pos: u64) -> &WorkSlot {
+        // SAFETY: the attach contract guarantees `cap` in-bounds slots.
+        unsafe { &*self.slots.add((pos & (self.cap - 1)) as usize) }
+    }
+
+    fn hdr(&self) -> &RingHeader {
+        // SAFETY: attach contract.
+        unsafe { &*self.hdr }
+    }
+
+    /// Enqueue one cell index. Fails (without blocking) when the ring is
+    /// full — the parent sizes the ring so this is a logic error there.
+    pub fn push(&self, value: u64) -> Result<(), RingFull> {
+        let enq = &self.hdr().enqueue.0;
+        let mut pos = enq.load(Ordering::Relaxed);
+        loop {
+            let slot = self.slot(pos);
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as i64 - pos as i64;
+            if dif == 0 {
+                match enq.compare_exchange_weak(pos, pos + 1, Ordering::AcqRel, Ordering::Relaxed) {
+                    Ok(_) => {
+                        slot.value.store(value, Ordering::Relaxed);
+                        slot.seq.store(pos + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(p) => pos = p,
+                }
+            } else if dif < 0 {
+                return Err(RingFull);
+            } else {
+                pos = enq.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Steal one cell index, competing with every other consumer.
+    pub fn steal(&self) -> Option<u64> {
+        let deq = &self.hdr().dequeue.0;
+        let mut pos = deq.load(Ordering::Relaxed);
+        loop {
+            let slot = self.slot(pos);
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as i64 - (pos + 1) as i64;
+            if dif == 0 {
+                match deq.compare_exchange_weak(pos, pos + 1, Ordering::AcqRel, Ordering::Relaxed) {
+                    Ok(_) => {
+                        let value = slot.value.load(Ordering::Relaxed);
+                        slot.seq.store(pos + self.cap, Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(p) => pos = p,
+                }
+            } else if dif < 0 {
+                return None;
+            } else {
+                pos = deq.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.cap as usize
+    }
+
+    /// Total successful enqueues so far.
+    pub fn produced(&self) -> u64 {
+        self.hdr().enqueue.0.load(Ordering::Acquire)
+    }
+
+    /// Total successful (claimed) dequeues so far.
+    pub fn consumed(&self) -> u64 {
+        self.hdr().dequeue.0.load(Ordering::Acquire)
+    }
+
+    /// Whether every pushed cell has been claimed by some consumer. (A
+    /// claimed cell may still be in flight — the lease table tracks that.)
+    pub fn is_drained(&self) -> bool {
+        self.consumed() >= self.produced()
+    }
+}
+
+/// Header of one result slot; the payload bytes follow it within the slot
+/// stride.
+#[repr(C)]
+struct ResultSlotHeader {
+    seq: AtomicU64,
+    cell: AtomicU64,
+    len: AtomicU64,
+}
+
+const RESULT_SLOT_HEADER_BYTES: usize = std::mem::size_of::<ResultSlotHeader>();
+
+/// Errors from [`ResultRing::publish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PublishError {
+    /// The payload does not fit one slot's payload area.
+    PayloadTooLarge {
+        /// Bytes offered.
+        len: usize,
+        /// Bytes a slot can carry.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for PublishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PublishError::PayloadTooLarge { len, capacity } => write!(
+                f,
+                "result payload of {len} bytes exceeds the ring's {capacity}-byte slot payload"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PublishError {}
+
+/// The MPSC result ring: workers publish `(cell, payload)` records, the
+/// parent pops them in ring order.
+#[derive(Clone, Copy)]
+pub struct ResultRing<'a> {
+    hdr: *const RingHeader,
+    slots: *const u8,
+    cap: u64,
+    stride: usize,
+    _seg: PhantomData<&'a ()>,
+}
+
+unsafe impl Send for ResultRing<'_> {}
+unsafe impl Sync for ResultRing<'_> {}
+
+impl<'a> ResultRing<'a> {
+    /// Bytes of segment memory a result ring occupies.
+    pub fn bytes_for(capacity: usize, stride: usize) -> usize {
+        RING_HEADER_BYTES + capacity * stride
+    }
+
+    /// Initialise a fresh ring in zeroed memory at `mem`.
+    ///
+    /// # Safety
+    /// `mem` must point to at least [`ResultRing::bytes_for`] bytes of
+    /// 64-byte-aligned memory valid for `'a` and not yet shared. `capacity`
+    /// must be a power of two; `stride` a multiple of [`CACHE_LINE`] large
+    /// enough for the slot header.
+    pub unsafe fn init(mem: *mut u8, capacity: usize, stride: usize) -> ResultRing<'a> {
+        let ring = Self::attach(mem, capacity, stride);
+        (*ring.hdr).enqueue.0.store(0, Ordering::Relaxed);
+        (*ring.hdr).dequeue.0.store(0, Ordering::Relaxed);
+        for i in 0..capacity as u64 {
+            ring.slot(i).seq.store(i, Ordering::Relaxed);
+        }
+        ring
+    }
+
+    /// Attach to a ring previously [`ResultRing::init`]-ialised at `mem`.
+    ///
+    /// # Safety
+    /// Same memory contract as [`ResultRing::init`], with matching geometry.
+    pub unsafe fn attach(mem: *mut u8, capacity: usize, stride: usize) -> ResultRing<'a> {
+        assert!(capacity.is_power_of_two(), "ring capacity must be 2^k");
+        assert!(
+            stride.is_multiple_of(CACHE_LINE) && stride > RESULT_SLOT_HEADER_BYTES,
+            "result slot stride must be a cache-line multiple with payload room"
+        );
+        ResultRing {
+            hdr: mem as *const RingHeader,
+            slots: mem.add(RING_HEADER_BYTES),
+            cap: capacity as u64,
+            stride,
+            _seg: PhantomData,
+        }
+    }
+
+    /// Payload bytes one slot can carry.
+    pub fn payload_capacity(&self) -> usize {
+        self.stride - RESULT_SLOT_HEADER_BYTES
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.cap as usize
+    }
+
+    fn slot_base(&self, pos: u64) -> *const u8 {
+        // SAFETY: attach contract; pos is masked into range.
+        unsafe {
+            self.slots
+                .add((pos & (self.cap - 1)) as usize * self.stride)
+        }
+    }
+
+    fn slot(&self, pos: u64) -> &ResultSlotHeader {
+        // SAFETY: slot headers live at every stride boundary.
+        unsafe { &*(self.slot_base(pos) as *const ResultSlotHeader) }
+    }
+
+    fn hdr(&self) -> &RingHeader {
+        // SAFETY: attach contract.
+        unsafe { &*self.hdr }
+    }
+
+    /// Publish one record, spinning on `waiter` while the ring is full.
+    ///
+    /// `claim` is this producer's *claim word* (its lease slot's, for sweep
+    /// workers). The protocol stores the position about to be claimed into
+    /// it **before** the claiming CAS and clears it to [`NONE`] only after
+    /// the slot's sequence release. That gives the single consumer a sound
+    /// crash rule: if the head slot is claimed-but-unreleased, and no live
+    /// producer's claim word names its position (checked *after* observing
+    /// the stuck head — the CAS's release sequence makes the successful
+    /// claimant's earlier claim-store visible), the claimant can only be a
+    /// dead process, so the slot may be reclaimed with
+    /// [`ResultRing::skip_head`] without racing anyone.
+    pub fn publish(
+        &self,
+        claim: &AtomicU64,
+        cell: u64,
+        payload: &[u8],
+        waiter: &mut Waiter,
+    ) -> Result<(), PublishError> {
+        if payload.len() > self.payload_capacity() {
+            return Err(PublishError::PayloadTooLarge {
+                len: payload.len(),
+                capacity: self.payload_capacity(),
+            });
+        }
+        let enq = &self.hdr().enqueue.0;
+        'retry: loop {
+            let mut pos = enq.load(Ordering::Relaxed);
+            loop {
+                claim.store(pos, Ordering::Release);
+                let slot = self.slot(pos);
+                let seq = slot.seq.load(Ordering::Acquire);
+                let dif = seq as i64 - pos as i64;
+                if dif == 0 {
+                    match enq.compare_exchange_weak(
+                        pos,
+                        pos + 1,
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: the CAS made this producer the slot's
+                            // exclusive owner until the seq release below;
+                            // the length was bounds-checked against the
+                            // payload area above.
+                            unsafe {
+                                std::ptr::copy_nonoverlapping(
+                                    payload.as_ptr(),
+                                    (self.slot_base(pos) as *mut u8).add(RESULT_SLOT_HEADER_BYTES),
+                                    payload.len(),
+                                );
+                            }
+                            slot.cell.store(cell, Ordering::Relaxed);
+                            slot.len.store(payload.len() as u64, Ordering::Relaxed);
+                            slot.seq.store(pos + 1, Ordering::Release);
+                            claim.store(NONE, Ordering::Release);
+                            waiter.reset();
+                            return Ok(());
+                        }
+                        Err(p) => pos = p,
+                    }
+                } else if dif < 0 {
+                    // Full: withdraw the claim announcement and back off.
+                    claim.store(NONE, Ordering::Release);
+                    waiter.wait();
+                    continue 'retry;
+                } else {
+                    pos = enq.load(Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Pop the head record into `buf` (single consumer only). Returns the
+    /// record's cell index, or `None` when the head is empty or unreleased.
+    pub fn try_pop(&self, buf: &mut Vec<u8>) -> Option<u64> {
+        let deq = &self.hdr().dequeue.0;
+        let pos = deq.load(Ordering::Relaxed);
+        let slot = self.slot(pos);
+        let seq = slot.seq.load(Ordering::Acquire);
+        if seq as i64 - (pos + 1) as i64 != 0 {
+            return None;
+        }
+        let len = slot.len.load(Ordering::Relaxed) as usize;
+        let cell = slot.cell.load(Ordering::Relaxed);
+        buf.clear();
+        // SAFETY: the Acquire load of `seq == pos + 1` synchronises with the
+        // producer's release, so the payload bytes are ready; `len` was
+        // written by the same producer and is bounded by the slot area.
+        unsafe {
+            buf.extend_from_slice(std::slice::from_raw_parts(
+                self.slot_base(pos).add(RESULT_SLOT_HEADER_BYTES),
+                len.min(self.payload_capacity()),
+            ));
+        }
+        slot.seq.store(pos + self.cap, Ordering::Release);
+        deq.store(pos + 1, Ordering::Release);
+        Some(cell)
+    }
+
+    /// The head position, if it is *stuck*: claimed by some producer
+    /// (the enqueue cursor moved past it) but never released. A stuck head
+    /// means a producer is mid-publish — or died mid-publish.
+    pub fn stuck_head(&self) -> Option<u64> {
+        let pos = self.hdr().dequeue.0.load(Ordering::Relaxed);
+        if self.hdr().enqueue.0.load(Ordering::Acquire) > pos
+            && self.slot(pos).seq.load(Ordering::Acquire) == pos
+        {
+            Some(pos)
+        } else {
+            None
+        }
+    }
+
+    /// Abandon the head slot and recycle it for producers (single consumer
+    /// only). Sound **only** when the caller has proven, via the claim-word
+    /// protocol described on [`ResultRing::publish`], that the claimant is a
+    /// dead process; skipping a live writer's slot would corrupt the ring.
+    pub fn skip_head(&self) {
+        let deq = &self.hdr().dequeue.0;
+        let pos = deq.load(Ordering::Relaxed);
+        self.slot(pos).seq.store(pos + self.cap, Ordering::Release);
+        deq.store(pos + 1, Ordering::Release);
+    }
+
+    /// Claim a slot and never release it — a crashed producer, in one call.
+    /// Chaos/test hook for the [`ResultRing::skip_head`] recovery path.
+    #[doc(hidden)]
+    pub fn abandon_claim(&self, claim: &AtomicU64) {
+        let enq = &self.hdr().enqueue.0;
+        loop {
+            let pos = enq.load(Ordering::Relaxed);
+            claim.store(pos, Ordering::Release);
+            let seq = self.slot(pos).seq.load(Ordering::Acquire);
+            if seq != pos {
+                continue;
+            }
+            if enq
+                .compare_exchange(pos, pos + 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Total successful claims so far.
+    pub fn produced(&self) -> u64 {
+        self.hdr().enqueue.0.load(Ordering::Acquire)
+    }
+
+    /// Total records popped (or skipped) so far.
+    pub fn consumed(&self) -> u64 {
+        self.hdr().dequeue.0.load(Ordering::Acquire)
+    }
+}

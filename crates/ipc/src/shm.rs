@@ -1,0 +1,183 @@
+//! File-backed shared-memory segments.
+//!
+//! A [`ShmSegment`] is a `MAP_SHARED` memory mapping of a regular file:
+//! every process that maps the same file sees the same physical pages, so
+//! atomic operations on the mapped bytes synchronise across processes
+//! exactly as they do across threads. The creator sizes the file with
+//! `ftruncate` (via [`std::fs::File::set_len`], which zero-fills), openers
+//! map whatever length the file already has.
+//!
+//! The mapping itself comes from a two-symbol `mmap`/`munmap` FFI stub
+//! declared below — the build environment has no registry access, so the
+//! `libc` *crate* is unavailable, but the C library itself is always linked
+//! on the targets this runs on and these prototypes are ABI-stable.
+
+use std::ffi::{c_int, c_void};
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::Path;
+
+#[cfg(unix)]
+use std::os::unix::io::AsRawFd;
+
+const PROT_READ: c_int = 0x1;
+const PROT_WRITE: c_int = 0x2;
+const MAP_SHARED: c_int = 0x01;
+
+extern "C" {
+    fn mmap(
+        addr: *mut c_void,
+        length: usize,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: i64,
+    ) -> *mut c_void;
+    fn munmap(addr: *mut c_void, length: usize) -> c_int;
+}
+
+/// A shared, writable memory mapping of a regular file.
+///
+/// The mapping is page-aligned (so any `#[repr(C, align(64))]` structure
+/// placed at a 64-byte-aligned offset is correctly aligned), stays valid for
+/// the lifetime of the value and is unmapped on drop. The backing [`File`]
+/// handle is kept open for the same lifetime; the file itself is *not*
+/// deleted on drop — segment lifecycle (typically: parent creates, workers
+/// open, parent removes after the run) belongs to the caller.
+#[derive(Debug)]
+pub struct ShmSegment {
+    ptr: *mut u8,
+    len: usize,
+    _file: File,
+}
+
+// The raw pointer is the whole point: the mapped bytes are shared mutable
+// state accessed exclusively through atomics (or before any other process
+// can see them). The segment handle itself can safely move between threads.
+unsafe impl Send for ShmSegment {}
+unsafe impl Sync for ShmSegment {}
+
+impl ShmSegment {
+    /// Create (or truncate) `path`, size it to `len` zero-filled bytes and
+    /// map it shared.
+    pub fn create(path: impl AsRef<Path>, len: usize) -> io::Result<ShmSegment> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.set_len(len as u64)?;
+        Self::map(file, len)
+    }
+
+    /// Map an existing segment file shared, at its current length.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<ShmSegment> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len() as usize;
+        if len == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "shared-memory segment file is empty",
+            ));
+        }
+        Self::map(file, len)
+    }
+
+    #[cfg(unix)]
+    fn map(file: File, len: usize) -> io::Result<ShmSegment> {
+        // SAFETY: a fresh MAP_SHARED mapping of `len` bytes over a file of
+        // at least that length; the fd is valid for the duration of the
+        // call and the returned region is exclusively owned by this value.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 || ptr.is_null() {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(ShmSegment {
+            ptr: ptr as *mut u8,
+            len,
+            _file: file,
+        })
+    }
+
+    #[cfg(not(unix))]
+    fn map(_file: File, _len: usize) -> io::Result<ShmSegment> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "shared-memory segments require a unix mmap",
+        ))
+    }
+
+    /// Base address of the mapping (page-aligned).
+    pub fn as_ptr(&self) -> *mut u8 {
+        self.ptr
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is zero-length (never true for a live segment).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for ShmSegment {
+    fn drop(&mut self) {
+        // SAFETY: `ptr`/`len` describe exactly the region mapped in `map`;
+        // after this the pointer is never dereferenced again.
+        unsafe {
+            munmap(self.ptr as *mut c_void, self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("tcrm-ipc-shm-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn create_open_share_bytes() {
+        let path = temp("share");
+        let a = ShmSegment::create(&path, 4096).unwrap();
+        assert_eq!(a.len(), 4096);
+        // Fresh segments are zero-filled.
+        assert_eq!(unsafe { *a.as_ptr() }, 0);
+        unsafe { *a.as_ptr().add(17) = 0xAB };
+        let b = ShmSegment::open(&path).unwrap();
+        assert_eq!(b.len(), 4096);
+        assert_eq!(unsafe { *b.as_ptr().add(17) }, 0xAB);
+        // Writes through either mapping are visible through the other.
+        unsafe { *b.as_ptr().add(18) = 0xCD };
+        assert_eq!(unsafe { *a.as_ptr().add(18) }, 0xCD);
+        drop(a);
+        drop(b);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_missing_or_empty_fails() {
+        assert!(ShmSegment::open(temp("no-such-segment")).is_err());
+        let path = temp("empty");
+        std::fs::write(&path, b"").unwrap();
+        assert!(ShmSegment::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

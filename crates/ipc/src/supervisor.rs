@@ -1,0 +1,202 @@
+//! Child-process supervision for sweep workers.
+//!
+//! The [`Supervisor`] owns the spawned worker [`Child`]ren and classifies
+//! how each one leaves: a clean exit, a self-reported failure (nonzero
+//! status), or a crash (killed by a signal — e.g. `SIGKILL`, OOM). The
+//! classification drives the parent's recovery policy: crashes get their
+//! in-flight work requeued, failures abort the sweep (the worker already
+//! printed why), clean exits need nothing.
+
+use std::io;
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+/// How a worker process left.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerExit {
+    /// Exited with status 0.
+    Clean,
+    /// Exited with the given nonzero status: the worker itself decided the
+    /// sweep cannot continue (bad config, poisoned plane, …).
+    Failed(i32),
+    /// Terminated without an exit status — killed by a signal.
+    Crashed,
+}
+
+/// One supervised worker slot.
+struct Slot {
+    child: Option<Child>,
+    exit: Option<WorkerExit>,
+}
+
+/// Spawns and reaps worker processes, one per lease slot.
+pub struct Supervisor {
+    slots: Vec<Slot>,
+}
+
+impl Default for Supervisor {
+    fn default() -> Self {
+        Supervisor::new()
+    }
+}
+
+impl Supervisor {
+    /// An empty supervisor; [`Supervisor::spawn`] fills the slots in order.
+    pub fn new() -> Supervisor {
+        Supervisor { slots: Vec::new() }
+    }
+
+    /// Spawn the next worker from a prepared command. Returns its slot
+    /// index (dense, starting at 0 — align it with the plane's lease
+    /// slots).
+    pub fn spawn(&mut self, command: &mut Command) -> io::Result<usize> {
+        let child = command.spawn()?;
+        self.slots.push(Slot {
+            child: Some(child),
+            exit: None,
+        });
+        Ok(self.slots.len() - 1)
+    }
+
+    /// Number of supervised slots (live or exited).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no workers were ever spawned.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// OS pid of the worker in `slot`, if it was spawned.
+    pub fn pid(&self, slot: usize) -> Option<u32> {
+        self.slots[slot].child.as_ref().map(|c| c.id())
+    }
+
+    /// Non-blocking reap: returns the slots that exited since the last
+    /// poll, with their classified exits.
+    pub fn poll(&mut self) -> Vec<(usize, WorkerExit)> {
+        let mut newly_dead = Vec::new();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            let Some(child) = slot.child.as_mut() else {
+                continue;
+            };
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    let exit = match status.code() {
+                        Some(0) => WorkerExit::Clean,
+                        Some(code) => WorkerExit::Failed(code),
+                        None => WorkerExit::Crashed,
+                    };
+                    slot.child = None;
+                    slot.exit = Some(exit);
+                    newly_dead.push((i, exit));
+                }
+                Ok(None) => {}
+                Err(_) => {
+                    // The child is unreapable; treat as crashed so its
+                    // work gets requeued rather than lost.
+                    slot.child = None;
+                    slot.exit = Some(WorkerExit::Crashed);
+                    newly_dead.push((i, WorkerExit::Crashed));
+                }
+            }
+        }
+        newly_dead
+    }
+
+    /// How the worker in `slot` exited, if it has.
+    pub fn exit(&self, slot: usize) -> Option<WorkerExit> {
+        self.slots[slot].exit
+    }
+
+    /// Whether the worker in `slot` is still running (as of the last poll).
+    pub fn is_live(&self, slot: usize) -> bool {
+        self.slots[slot].child.is_some()
+    }
+
+    /// Number of workers still running (as of the last poll).
+    pub fn live_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.child.is_some()).count()
+    }
+
+    /// Forcibly kill the worker in `slot` (SIGKILL on unix). The exit is
+    /// classified by a later [`Supervisor::poll`] as a crash.
+    pub fn kill(&mut self, slot: usize) -> io::Result<()> {
+        if let Some(child) = self.slots[slot].child.as_mut() {
+            child.kill()?;
+        }
+        Ok(())
+    }
+
+    /// Wait for every remaining worker to exit, polling with a small sleep,
+    /// up to `timeout`; any worker still alive after that is killed.
+    /// Returns every exit that happened during the join.
+    pub fn join_all(&mut self, timeout: Duration) -> Vec<(usize, WorkerExit)> {
+        let deadline = Instant::now() + timeout;
+        let mut exits = Vec::new();
+        loop {
+            exits.extend(self.poll());
+            if self.live_count() == 0 {
+                return exits;
+            }
+            if Instant::now() >= deadline {
+                for i in 0..self.slots.len() {
+                    let _ = self.kill(i);
+                }
+                // One last blocking reap so no zombies outlive the sweep.
+                for (i, slot) in self.slots.iter_mut().enumerate() {
+                    if let Some(mut child) = slot.child.take() {
+                        let _ = child.wait();
+                        slot.exit = Some(WorkerExit::Crashed);
+                        exits.push((i, WorkerExit::Crashed));
+                    }
+                }
+                return exits;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sh(script: &str) -> Command {
+        let mut c = Command::new("sh");
+        c.arg("-c").arg(script);
+        c
+    }
+
+    #[test]
+    fn classifies_clean_failed_and_crashed() {
+        let mut sup = Supervisor::new();
+        let clean = sup.spawn(&mut sh("exit 0")).unwrap();
+        let failed = sup.spawn(&mut sh("exit 3")).unwrap();
+        let crashed = sup.spawn(&mut sh("sleep 30")).unwrap();
+        assert_eq!(sup.len(), 3);
+        sup.kill(crashed).unwrap();
+        let exits = sup.join_all(Duration::from_secs(10));
+        assert_eq!(exits.len(), 3);
+        assert_eq!(sup.exit(clean), Some(WorkerExit::Clean));
+        assert_eq!(sup.exit(failed), Some(WorkerExit::Failed(3)));
+        assert_eq!(sup.exit(crashed), Some(WorkerExit::Crashed));
+        assert_eq!(sup.live_count(), 0);
+        assert!(!sup.is_live(crashed));
+    }
+
+    #[test]
+    fn poll_is_nonblocking_and_incremental() {
+        let mut sup = Supervisor::new();
+        let slot = sup.spawn(&mut sh("sleep 30")).unwrap();
+        assert!(sup.poll().is_empty());
+        assert!(sup.is_live(slot));
+        assert!(sup.pid(slot).is_some());
+        sup.kill(slot).unwrap();
+        let exits = sup.join_all(Duration::from_secs(10));
+        assert_eq!(exits, vec![(slot, WorkerExit::Crashed)]);
+        // Already-reaped slots do not report again.
+        assert!(sup.poll().is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! Futex-free waiting for cross-process progress.
+//!
+//! The rings never block on a kernel primitive: waiting sides poll with an
+//! escalating backoff — a short busy-spin for the common case where the
+//! other side is mid-operation, a `yield_now` band that keeps single-core
+//! hosts live (the peer *process* needs the CPU to make progress), then
+//! capped micro-sleeps so an idle waiter costs approximately nothing. This
+//! is the "no long blind wait" discipline of cpp-ipc's waiter, minus the
+//! semaphore escalation (which would need a named kernel object per plane).
+
+use std::time::Duration;
+
+/// Escalating spin → yield → sleep backoff. Call [`Waiter::wait`] each time
+/// the awaited condition is found false, and [`Waiter::reset`] after it
+/// turns true so the next wait starts hot again.
+#[derive(Debug)]
+pub struct Waiter {
+    rounds: u32,
+    spin_rounds: u32,
+    yield_rounds: u32,
+    max_sleep: Duration,
+}
+
+impl Default for Waiter {
+    fn default() -> Self {
+        Waiter::new()
+    }
+}
+
+impl Waiter {
+    /// A waiter with the default escalation profile (64 spin rounds, 16
+    /// yield rounds, sleeps capped at 1 ms).
+    pub fn new() -> Waiter {
+        Waiter {
+            rounds: 0,
+            spin_rounds: 64,
+            yield_rounds: 16,
+            max_sleep: Duration::from_millis(1),
+        }
+    }
+
+    /// Back off once. The first `spin_rounds` calls spin on
+    /// [`core::hint::spin_loop`], the next `yield_rounds` yield the CPU, and
+    /// every later call sleeps with exponentially growing (capped) duration.
+    pub fn wait(&mut self) {
+        let r = self.rounds;
+        self.rounds = self.rounds.saturating_add(1);
+        if r < self.spin_rounds {
+            core::hint::spin_loop();
+        } else if r < self.spin_rounds + self.yield_rounds {
+            std::thread::yield_now();
+        } else {
+            let step = (r - self.spin_rounds - self.yield_rounds).min(10);
+            let sleep = Duration::from_micros(50u64 << step.min(5));
+            std::thread::sleep(sleep.min(self.max_sleep));
+        }
+    }
+
+    /// Forget accumulated backoff: the next [`Waiter::wait`] spins again.
+    pub fn reset(&mut self) {
+        self.rounds = 0;
+    }
+
+    /// Whether the waiter has escalated past the busy bands into sleeping —
+    /// i.e. the awaited side has been quiet for a while.
+    pub fn is_sleeping(&self) -> bool {
+        self.rounds > self.spin_rounds + self.yield_rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalates_and_resets() {
+        let mut w = Waiter::new();
+        assert!(!w.is_sleeping());
+        for _ in 0..(64 + 16) {
+            w.wait();
+        }
+        assert!(!w.is_sleeping());
+        w.wait();
+        w.wait();
+        assert!(w.is_sleeping());
+        w.reset();
+        assert!(!w.is_sleeping());
+    }
+
+    #[test]
+    fn sleep_durations_stay_capped() {
+        // Even deep into the backoff the per-wait sleep is bounded, so a
+        // worker notices shutdown promptly.
+        let mut w = Waiter::new();
+        for _ in 0..200 {
+            w.wait();
+        }
+        let t = std::time::Instant::now();
+        w.wait();
+        assert!(t.elapsed() < Duration::from_millis(50));
+    }
+}
