@@ -48,8 +48,8 @@ fn usage() -> ! {
         "usage: expdriver <experiment ...|all> [--quick|--full] [--out <dir>] [--shard <i>/<n>]\n\
          \x20      expdriver sweep --policies <a,b,..> [--scenarios '<s1>;<s2>;..'] \\\n\
          \x20               [--loads <l1,l2,..>] [--jobs <n>] [--seeds <s1,s2,..>] \\\n\
-         \x20               [--shard <i>/<n>] [--workers <n> [--plane <path>]] \\\n\
-         \x20               [--checkpoint <path>] [--csv <path>]\n\
+         \x20               [--shard <i>/<n>] [--workers <n> [--plane <path>] \\\n\
+         \x20               [--heartbeat-timeout <secs>]] [--checkpoint <path>] [--csv <path>]\n\
          \x20      expdriver serve [--policy <p>] [--scenario <spec>] [--seed <s>] [--jobs <n>] \\\n\
          \x20               [--producers <n>] [--queue-cap <n>] [--shed <p1,p2,..|all>] \\\n\
          \x20               [--mode virtual|wall] [--event-log <path>] [--report <path>] [--csv <path>]\n\
@@ -161,7 +161,7 @@ fn run_sweep(args: &[String]) {
     // shared-memory plane. Byte-identical output to the path below.
     if let Some(flags) = mflags {
         if flags.workers == 0 {
-            fail("--plane/--kill-worker make no sense without --workers <n>");
+            fail("--plane/--kill-worker/--heartbeat-timeout make no sense without --workers <n>");
         }
         if shard.is_some() {
             fail(
@@ -183,6 +183,9 @@ fn run_sweep(args: &[String]) {
             options.plane_path = path;
         }
         options.kill_worker = flags.kill_worker;
+        if let Some(timeout) = flags.heartbeat_timeout {
+            options.heartbeat_timeout = timeout;
+        }
         options.checkpoint = checkpoint;
         let report = mproc::run_sweep_parent(&config, &options).unwrap_or_else(|e| fail(e));
         eprintln!(

@@ -48,6 +48,18 @@ pub fn parse_workers(text: &str) -> Result<usize, String> {
     }
 }
 
+/// Parse a duration flag value (e.g. `--heartbeat-timeout <secs>`):
+/// positive seconds, fractions allowed. `flag` names the flag in errors.
+pub fn parse_timeout_secs(flag: &str, text: &str) -> Result<std::time::Duration, String> {
+    match text.trim().parse::<f64>() {
+        Ok(secs) if secs.is_finite() && secs > 0.0 => Ok(std::time::Duration::from_secs_f64(secs)),
+        Ok(_) => Err(format!(
+            "{flag} must be a positive number of seconds, got '{text}'"
+        )),
+        Err(_) => Err(format!("{flag} '{text}' is not a number of seconds")),
+    }
+}
+
 /// Parse a `--kill-worker <slot>@<cells>` chaos spec: SIGKILL worker
 /// `slot` once it has completed `cells` cells. Used by the crash-recovery
 /// tests and CI; hidden from the main usage text.
@@ -110,6 +122,26 @@ mod tests {
         assert!(parse_workers("0").is_err());
         assert!(parse_workers("lots").is_err());
         assert!(parse_workers("-2").is_err());
+    }
+
+    #[test]
+    fn timeout_secs_accepts_positive_seconds_only() {
+        use std::time::Duration;
+        assert_eq!(
+            parse_timeout_secs("--heartbeat-timeout", "60"),
+            Ok(Duration::from_secs(60))
+        );
+        assert_eq!(
+            parse_timeout_secs("--heartbeat-timeout", "0.5"),
+            Ok(Duration::from_millis(500))
+        );
+        for bad in ["0", "-1", "nan", "inf", "soon", ""] {
+            let err = parse_timeout_secs("--heartbeat-timeout", bad).unwrap_err();
+            assert!(
+                err.contains("--heartbeat-timeout"),
+                "error must name the flag: {err}"
+            );
+        }
     }
 
     #[test]

@@ -40,9 +40,17 @@
 //! * A worker that dies mid-`publish` can leave the result ring's head
 //!   slot claimed-but-unreleased, which would wedge the single consumer.
 //!   The claim-word protocol ([`tcrm_ipc::ResultRing::publish`]) lets the
-//!   parent prove the claimant is dead before skipping the slot.
-//! * A worker that goes quiet (stale heartbeat, e.g. wedged rather than
-//!   dead) is SIGKILLed and then handled as a crash.
+//!   parent prove the claimant is dead before skipping the slot: no live
+//!   worker's claim word may name the position (a worker killed between
+//!   its claim-store and its claiming CAS leaves a *stale* claim naming a
+//!   position a different, live worker then wins) and some dead worker's
+//!   claim must name it — see `stuck_head_provably_dead`.
+//! * A worker that goes quiet (stale heartbeat with no cell/done progress,
+//!   e.g. wedged rather than dead) is SIGKILLed and then handled as a
+//!   crash. Workers beat their lease from a sidecar thread every
+//!   [`WORKER_BEAT_PERIOD`], so a single slow cell (or a publish spin on a
+//!   full ring) is never mistaken for a wedge; `--heartbeat-timeout`
+//!   tunes the parent's patience.
 //!
 //! A worker that exits *nonzero* is different: it decided the sweep cannot
 //! continue (bad config, poisoned plane) and the parent aborts rather than
@@ -56,9 +64,10 @@ use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::process::Command;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 use tcrm_ipc::{
-    codec, LeaseMonitor, LeaseState, Plane, PlaneParams, Supervisor, Waiter, WorkerExit,
+    codec, LeaseMonitor, LeaseState, LeaseTable, Plane, PlaneParams, Supervisor, Waiter, WorkerExit,
 };
 use tcrm_sim::{ClusterSpec, SimConfig};
 use tcrm_workload::{ScenarioRegistry, WorkloadSpec};
@@ -126,7 +135,11 @@ pub struct MprocOptions {
     /// The binary to spawn workers from (it must understand
     /// `worker --plane <path> --slot <i>`; normally `current_exe()`).
     pub worker_exe: PathBuf,
-    /// SIGKILL a worker whose heartbeat has not moved for this long.
+    /// SIGKILL a worker that has shown no progress (heartbeat, announced
+    /// cell, completed count) for this long. Workers beat from a sidecar
+    /// thread every [`WORKER_BEAT_PERIOD`] even while a cell runs, so only
+    /// a truly stopped process trips this. `--heartbeat-timeout <secs>`
+    /// overrides the 60 s default.
     pub heartbeat_timeout: Duration,
     /// Emit a progress heartbeat line at this interval.
     pub progress_every: Duration,
@@ -376,6 +389,40 @@ fn drive(
         Ok(())
     };
 
+    // Shared by the main reap site and the stuck-head re-check below:
+    // classify a batch of worker exits. Crashes get their in-flight cell
+    // requeued; a nonzero exit aborts the sweep; a clean exit before
+    // shutdown is treated as a crash (the worker can only exit 0 after
+    // observing shutdown). Returns whether anything was reaped.
+    let handle_exits = |exits: Vec<(usize, WorkerExit)>,
+                        rows: &[Option<ResultRow>],
+                        requeued: &mut usize,
+                        crashed_workers: &mut usize|
+     -> Result<bool, MprocError> {
+        let mut reaped = false;
+        for (slot, exit) in exits {
+            reaped = true;
+            match exit {
+                WorkerExit::Failed(code) => {
+                    return Err(MprocError::WorkerFailed { slot, code });
+                }
+                WorkerExit::Crashed | WorkerExit::Clean => {
+                    if exit == WorkerExit::Clean && plane.is_shutdown() {
+                        continue;
+                    }
+                    *crashed_workers += 1;
+                    eprintln!("sweep: worker {slot} crashed");
+                    if let Some(cell) = leases.slot(slot).cell() {
+                        if rows.get(cell as usize).is_some_and(|r| r.is_none()) {
+                            requeue(cell, requeued, "in flight on crashed worker")?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(reaped)
+    };
+
     while pending > 0 {
         let mut idle = true;
 
@@ -406,42 +453,45 @@ fn drive(
             }
         }
 
-        // Reap exits. Crashes get their in-flight cell requeued; a nonzero
-        // exit aborts the sweep; a clean exit before shutdown is treated as
-        // a crash (the worker can only exit 0 after observing shutdown).
-        for (slot, exit) in supervisor.poll() {
+        // Reap exits.
+        if handle_exits(
+            supervisor.poll(),
+            &rows,
+            &mut requeued,
+            &mut crashed_workers,
+        )? {
             idle = false;
-            match exit {
-                WorkerExit::Failed(code) => {
-                    return Err(MprocError::WorkerFailed { slot, code });
-                }
-                WorkerExit::Crashed | WorkerExit::Clean => {
-                    if exit == WorkerExit::Clean && plane.is_shutdown() {
-                        continue;
-                    }
-                    crashed_workers += 1;
-                    eprintln!("sweep: worker {slot} crashed");
-                    let lease = leases.slot(slot);
-                    if let Some(cell) = lease.cell() {
-                        if rows[cell as usize].is_none() {
-                            requeue(cell, &mut requeued, "in flight on crashed worker")?;
-                        }
-                    }
-                }
-            }
         }
 
         // A producer that died mid-publish leaves the result head claimed
-        // but unreleased. The claim-word protocol makes the recovery proof:
-        // the claimant's lease still names the stuck position, and its
-        // process is gone.
+        // but unreleased. Skipping it is sound only under the full
+        // claim-word rule ([`tcrm_ipc::ResultRing::publish`]): several
+        // claim words can name the same position at once — a worker killed
+        // between its claim-store and its claiming CAS leaves a stale
+        // claim naming the position a different, live worker then wins —
+        // so the first dead claimant alone proves nothing.
         if let Some(stuck) = results.stuck_head() {
-            let claimant = (0..options.workers).find(|&i| leases.slot(i).claim() == Some(stuck));
-            if let Some(slot) = claimant {
-                if !supervisor.is_live(slot) {
+            if stuck_head_provably_dead(stuck, leases, options.workers, |i| supervisor.is_live(i)) {
+                // `is_live` lags reality until a poll reaps the exit, so
+                // reap again (requeueing whatever just died) and re-verify.
+                // The fresh `stuck_head` read, taken *after* the claim
+                // scan, discards the race where the live claimant released
+                // the head between the first read and the scan.
+                if handle_exits(
+                    supervisor.poll(),
+                    &rows,
+                    &mut requeued,
+                    &mut crashed_workers,
+                )? {
+                    idle = false;
+                }
+                if stuck_head_provably_dead(stuck, leases, options.workers, |i| {
+                    supervisor.is_live(i)
+                }) && results.stuck_head() == Some(stuck)
+                {
                     idle = false;
                     eprintln!(
-                        "sweep: worker {slot} died mid-publish; reclaiming result slot {stuck}"
+                        "sweep: result slot {stuck} is claimed by a dead worker; reclaiming it"
                     );
                     results.skip_head();
                     // Its row never arrived; the cell is still announced on
@@ -449,8 +499,8 @@ fn drive(
                     // above (or will be by reconciliation below).
                 }
             }
-            // No claimant visible yet, or a live one: a publish is in
-            // progress — leave the head alone.
+            // A live claimant (publish in progress), or no dead claim
+            // naming the position: leave the head alone.
         }
 
         // Stale-heartbeat kill: a wedged worker is indistinguishable from a
@@ -492,8 +542,11 @@ fn drive(
             while let Some(cell) = results.try_pop(&mut buf) {
                 computed += 1;
                 let row: ResultRow = codec::decode(&buf)?;
-                if rows[cell as usize].is_none() {
-                    rows[cell as usize] = Some(row);
+                let slot = rows
+                    .get_mut(cell as usize)
+                    .ok_or_else(|| MprocError::Codec(format!("row for unknown cell {cell}")))?;
+                if slot.is_none() {
+                    *slot = Some(row);
                     pending -= 1;
                 }
             }
@@ -533,6 +586,44 @@ fn drive(
     Ok((rows, computed, requeued, crashed_workers))
 }
 
+/// The stuck-head skip rule from the claim-word protocol documented on
+/// [`tcrm_ipc::ResultRing::publish`]: the parent may [`skip`] the result
+/// ring's head only when
+///
+/// * **no live `Running` worker's** claim word names the stuck position —
+///   the position's true claimant keeps its claim word set from before its
+///   winning CAS until after its sequence release, so a live claimant is
+///   mid-publish and must not be raced; and
+/// * **some dead worker's** claim word does name it — positive evidence
+///   that a claimant died, rather than a head we merely caught mid-claim.
+///
+/// Both conditions are needed because several claim words can name the
+/// same position at once: a worker killed between its claim-store and its
+/// claiming CAS leaves a stale claim naming a position that a different,
+/// live worker then wins.
+///
+/// [`skip`]: tcrm_ipc::ResultRing::skip_head
+fn stuck_head_provably_dead(
+    stuck: u64,
+    leases: LeaseTable<'_>,
+    workers: usize,
+    is_live: impl Fn(usize) -> bool,
+) -> bool {
+    let live_claimant = (0..workers).any(|i| {
+        is_live(i)
+            && leases.slot(i).state() == LeaseState::Running
+            && leases.slot(i).claim() == Some(stuck)
+    });
+    let dead_claimant = (0..workers).any(|i| !is_live(i) && leases.slot(i).claim() == Some(stuck));
+    !live_claimant && dead_claimant
+}
+
+/// How often a worker's sidecar thread beats its lease. Far inside any
+/// sane `heartbeat_timeout`, so a worker that is merely *slow* — one cell
+/// outlasting the timeout, or a publish spinning on a full result ring —
+/// never reads as wedged to the parent.
+pub const WORKER_BEAT_PERIOD: Duration = Duration::from_millis(50);
+
 /// Run the worker side: open the plane at `plane_path`, verify the grid
 /// fingerprint, take lease `slot`, and steal/execute/publish cells until
 /// the parent signals shutdown (or abort).
@@ -563,34 +654,54 @@ pub fn run_sweep_worker(plane_path: &Path, slot: usize) -> Result<(), MprocError
     let work = plane.work_ring();
     let results = plane.result_ring();
     let mut scratch = plan.make_scratch();
-    let mut steal_waiter = Waiter::new();
-    let mut publish_waiter = Waiter::new();
-    loop {
-        lease.beat();
-        if plane.is_aborted() {
-            break;
-        }
-        match work.steal() {
-            Some(cell) => {
-                steal_waiter.reset();
-                lease.announce_cell(cell);
-                let row = match plan.run_cell(&mut scratch, cell as usize) {
-                    Ok(row) => row,
-                    Err(e) => {
-                        lease.finish(LeaseState::Failed);
-                        return Err(e.into());
-                    }
-                };
-                let payload = codec::encode(&row)?;
-                results
-                    .publish(lease.claim_word(), cell, &payload, &mut publish_waiter)
-                    .map_err(|e| MprocError::Codec(e.to_string()))?;
-                lease.clear_cell();
+    // The steal loop beats once per trip, but a cell's `run_cell` (and a
+    // publish spinning on a full result ring) can legitimately outlast the
+    // parent's heartbeat timeout. A sidecar thread keeps the lease warm
+    // the whole time this process is scheduled, so the parent only kills
+    // workers that are actually stopped.
+    let stop_beating = AtomicBool::new(false);
+    let outcome = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            while !stop_beating.load(Ordering::Acquire) {
+                lease.beat();
+                std::thread::sleep(WORKER_BEAT_PERIOD);
             }
-            None if plane.is_shutdown() && work.is_drained() => break,
-            None => steal_waiter.wait(),
-        }
-    }
+        });
+        let result: Result<(), MprocError> = (|| {
+            let mut steal_waiter = Waiter::new();
+            let mut publish_waiter = Waiter::new();
+            loop {
+                lease.beat();
+                if plane.is_aborted() {
+                    break;
+                }
+                match work.steal() {
+                    Some(cell) => {
+                        steal_waiter.reset();
+                        lease.announce_cell(cell);
+                        let row = match plan.run_cell(&mut scratch, cell as usize) {
+                            Ok(row) => row,
+                            Err(e) => {
+                                lease.finish(LeaseState::Failed);
+                                return Err(e.into());
+                            }
+                        };
+                        let payload = codec::encode(&row)?;
+                        results
+                            .publish(lease.claim_word(), cell, &payload, &mut publish_waiter)
+                            .map_err(|e| MprocError::Codec(e.to_string()))?;
+                        lease.clear_cell();
+                    }
+                    None if plane.is_shutdown() && work.is_drained() => break,
+                    None => steal_waiter.wait(),
+                }
+            }
+            Ok(())
+        })();
+        stop_beating.store(true, Ordering::Release);
+        result
+    });
+    outcome?;
     lease.finish(LeaseState::Finished);
     Ok(())
 }
@@ -617,6 +728,12 @@ pub fn parse_mproc_flag(
                 Some(cli::parse_kill_worker(value)?);
             Ok(true)
         }
+        "--heartbeat-timeout" => {
+            options
+                .get_or_insert_with(MprocFlags::default)
+                .heartbeat_timeout = Some(cli::parse_timeout_secs("--heartbeat-timeout", value)?);
+            Ok(true)
+        }
         _ => Ok(false),
     }
 }
@@ -631,6 +748,9 @@ pub struct MprocFlags {
     pub plane: Option<PathBuf>,
     /// `--kill-worker slot@cells` chaos spec.
     pub kill_worker: Option<(usize, u64)>,
+    /// `--heartbeat-timeout <secs>` override for
+    /// [`MprocOptions::heartbeat_timeout`].
+    pub heartbeat_timeout: Option<Duration>,
 }
 
 #[cfg(test)]
@@ -695,14 +815,72 @@ mod tests {
         assert!(parse_mproc_flag(&mut flags, "--workers", "3").unwrap());
         assert!(parse_mproc_flag(&mut flags, "--plane", "/tmp/p.shm").unwrap());
         assert!(parse_mproc_flag(&mut flags, "--kill-worker", "1@2").unwrap());
+        assert!(parse_mproc_flag(&mut flags, "--heartbeat-timeout", "2.5").unwrap());
         assert!(!parse_mproc_flag(&mut flags, "--csv", "x").unwrap());
         let flags = flags.unwrap();
         assert_eq!(flags.workers, 3);
         assert_eq!(flags.plane.as_deref(), Some(Path::new("/tmp/p.shm")));
         assert_eq!(flags.kill_worker, Some((1, 2)));
+        assert_eq!(flags.heartbeat_timeout, Some(Duration::from_millis(2500)));
 
         let mut flags = None;
         assert!(parse_mproc_flag(&mut flags, "--workers", "0").is_err());
         assert!(parse_mproc_flag(&mut flags, "--kill-worker", "nope").is_err());
+        assert!(parse_mproc_flag(&mut flags, "--heartbeat-timeout", "0").is_err());
+    }
+
+    #[test]
+    fn stuck_head_skip_requires_a_dead_claimant_and_no_live_one() {
+        let path =
+            std::env::temp_dir().join(format!("tcrm-mproc-stuck-test-{}.shm", std::process::id()));
+        let plane = Plane::create(
+            &path,
+            PlaneParams {
+                worker_slots: 2,
+                work_capacity: 8,
+                result_capacity: 8,
+                result_stride: 128,
+            },
+            b"",
+        )
+        .unwrap();
+        let leases = plane.leases();
+        let stale = leases.slot(0);
+        let claimant = leases.slot(1);
+        assert!(stale.acquire(100));
+        assert!(claimant.acquire(101));
+
+        // Worker 1 wins result position 0 and stalls mid-publish (never
+        // releases the slot) …
+        plane.result_ring().abandon_claim(claimant.claim_word());
+        // … while worker 0 was killed between storing position 0 into its
+        // claim word and losing the claiming CAS: a stale claim naming the
+        // same position.
+        stale
+            .claim_word()
+            .store(0, std::sync::atomic::Ordering::Release);
+        let stuck = plane.result_ring().stuck_head().expect("head is stuck");
+        assert_eq!(stuck, 0);
+
+        // The review scenario: the dead worker (lower slot) names the
+        // stuck position, but the true claimant is alive mid-publish —
+        // skipping now would corrupt the ring under a live writer.
+        assert!(!stuck_head_provably_dead(stuck, leases, 2, |i| i == 1));
+        // Everyone alive: a publish is simply in progress.
+        assert!(!stuck_head_provably_dead(stuck, leases, 2, |_| true));
+        // Claimant dead too: now provably safe to skip.
+        assert!(stuck_head_provably_dead(stuck, leases, 2, |_| false));
+        // Dead workers whose claims do not name the position are no
+        // evidence — without a dead claim on the head, never skip.
+        stale
+            .claim_word()
+            .store(tcrm_ipc::NONE, std::sync::atomic::Ordering::Release);
+        claimant
+            .claim_word()
+            .store(tcrm_ipc::NONE, std::sync::atomic::Ordering::Release);
+        assert!(!stuck_head_provably_dead(stuck, leases, 2, |_| false));
+
+        drop(plane);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -64,15 +64,25 @@ fn three_worker_sweep_matches_sequential_byte_for_byte() {
     let out = run(&sweep_args(&seq_csv));
     assert_success(&out, "sequential sweep");
 
+    // A tight heartbeat timeout rides along: workers beat from a sidecar
+    // thread (every 50 ms), so even 1 s of parent patience must never
+    // kill a healthy worker mid-cell.
     let mut args = sweep_args(&par_csv);
     args.extend([
         "--workers".into(),
         "3".into(),
         "--plane".into(),
         dir.join("plane.shm").display().to_string(),
+        "--heartbeat-timeout".into(),
+        "1".into(),
     ]);
     let out = run(&args);
     assert_success(&out, "3-worker sweep");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.contains("heartbeat stale"),
+        "healthy workers must not be killed under a tight timeout:\n{stderr}"
+    );
 
     let seq = std::fs::read(&seq_csv).unwrap();
     let par = std::fs::read(&par_csv).unwrap();

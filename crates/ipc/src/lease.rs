@@ -219,12 +219,15 @@ impl<'a> LeaseTable<'a> {
     }
 }
 
-/// Parent-side staleness tracker: remembers when each lease's heartbeat
-/// last *changed* and reports slots whose worker has gone quiet for longer
-/// than a timeout while still nominally `Running`.
+/// Parent-side staleness tracker: remembers when each lease's observable
+/// progress — heartbeat epoch, announced cell, completed-cell count — last
+/// *changed* and reports slots whose worker has shown none of them for
+/// longer than a timeout while still nominally `Running`. Requiring all
+/// three to stand still means a worker that is visibly switching cells or
+/// finishing work is never killed over a missed heartbeat alone.
 #[derive(Debug)]
 pub struct LeaseMonitor {
-    seen: Vec<(u64, Instant)>,
+    seen: Vec<([u64; 3], Instant)>,
 }
 
 impl LeaseMonitor {
@@ -232,17 +235,22 @@ impl LeaseMonitor {
     pub fn new(slots: usize) -> LeaseMonitor {
         let now = Instant::now();
         LeaseMonitor {
-            seen: vec![(0, now); slots],
+            seen: vec![([0, NONE, 0], now); slots],
         }
     }
 
-    /// Record the current heartbeat of `slot` and report whether it has
-    /// been unchanged for longer than `timeout` with the lease `Running`.
+    /// Record the current progress snapshot of `slot` and report whether it
+    /// has been unchanged for longer than `timeout` with the lease
+    /// `Running`.
     pub fn is_stale(&mut self, lease: LeaseSlot<'_>, index: usize, timeout: Duration) -> bool {
-        let beat = lease.heartbeat();
+        let observed = [
+            lease.heartbeat(),
+            lease.cell().unwrap_or(NONE),
+            lease.done(),
+        ];
         let entry = &mut self.seen[index];
-        if beat != entry.0 {
-            *entry = (beat, Instant::now());
+        if observed != entry.0 {
+            *entry = (observed, Instant::now());
             return false;
         }
         lease.state() == LeaseState::Running && entry.1.elapsed() > timeout
@@ -251,7 +259,7 @@ impl LeaseMonitor {
     /// Whether `slot`'s heartbeat has advanced since the last
     /// [`LeaseMonitor::is_stale`] observation recorded it.
     pub fn advanced(&self, lease: LeaseSlot<'_>, index: usize) -> bool {
-        lease.heartbeat() != self.seen[index].0
+        lease.heartbeat() != self.seen[index].0[0]
     }
 }
 
@@ -314,5 +322,32 @@ mod tests {
         std::thread::sleep(Duration::from_millis(40));
         lease.finish(LeaseState::Finished);
         assert!(!monitor.is_stale(lease, 0, timeout));
+    }
+
+    #[test]
+    fn monitor_counts_cell_and_done_progress_as_liveness() {
+        let mut mem = vec![0u8; LeaseTable::bytes_for(1) + 128];
+        let aligned = {
+            let addr = mem.as_mut_ptr() as usize;
+            let off = (128 - addr % 128) % 128;
+            unsafe { mem.as_mut_ptr().add(off) }
+        };
+        let table = unsafe { LeaseTable::init(aligned, 1) };
+        let lease = table.slot(0);
+        lease.acquire(1);
+        let mut monitor = LeaseMonitor::new(1);
+        let timeout = Duration::from_millis(20);
+        assert!(!monitor.is_stale(lease, 0, timeout));
+        // A new announced cell counts as progress even with no heartbeat…
+        std::thread::sleep(Duration::from_millis(40));
+        lease.announce_cell(3);
+        assert!(!monitor.is_stale(lease, 0, timeout));
+        // … as does completing it …
+        std::thread::sleep(Duration::from_millis(40));
+        lease.clear_cell();
+        assert!(!monitor.is_stale(lease, 0, timeout));
+        // … but standing fully still does not.
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(monitor.is_stale(lease, 0, timeout));
     }
 }
