@@ -9,6 +9,15 @@
 //! incremental sibling is the headline speedup of the incremental
 //! `ClusterView`; the absolute numbers feed the committed snapshot and the
 //! scheduled perf-runner regression gate.
+//!
+//! The scale tiers (`edf_16k`, `edf_64k`) push the same epoch-dense loop to
+//! 16,384- and 65,536-machine clusters — past the old 256-node ceiling —
+//! with the bucketed placement index on (the default) and against the
+//! O(nodes) reference slice walk (`_walk` rows,
+//! `SimConfig::placement_index = false`). The ratio between a `_walk` row
+//! and its indexed sibling is the headline speedup of the placement index.
+//! Set `TCRM_SIM_SCALE=smoke` to run only a small 16k-node tier (fewer
+//! jobs, short budget) — the CI bench-smoke configuration.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
@@ -17,6 +26,11 @@ use tcrm_sim::{ClusterSpec, SimConfig, Simulator};
 use tcrm_workload::{SyntheticSource, WorkloadSpec};
 
 const JOBS: usize = 4096;
+
+/// True when `TCRM_SIM_SCALE=smoke`: run only the quick 16k-node tier.
+fn smoke_only() -> bool {
+    std::env::var("TCRM_SIM_SCALE").is_ok_and(|v| v == "smoke")
+}
 
 /// The default heterogeneous cluster scaled to 256 machines (24 → 256,
 /// class proportions preserved).
@@ -37,6 +51,9 @@ fn scale_config(incremental: bool) -> SimConfig {
 }
 
 fn bench_scale(c: &mut Criterion) {
+    if smoke_only() {
+        return;
+    }
     let mut group = c.benchmark_group("sim_scale");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(8));
@@ -96,5 +113,50 @@ fn bench_scale(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scale);
+/// The 16k/64k scale tiers: indexed placement (default) vs the O(nodes)
+/// reference slice walk. Fewer jobs than the 256-node rows — the point is
+/// per-decision placement cost at node counts where the walk's O(nodes)
+/// scan dominates, not job-stream volume.
+fn bench_scale_tiers(c: &mut Criterion) {
+    let smoke = smoke_only();
+    let mut group = c.benchmark_group("sim_scale");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(if smoke { 2 } else { 8 }));
+    let tiers: &[usize] = if smoke { &[16_384] } else { &[16_384, 65_536] };
+    for &nodes in tiers {
+        let cluster = ClusterSpec::icpp_scaled(nodes as f64 / 24.0);
+        assert_eq!(cluster.num_nodes(), nodes, "scale factor drifted");
+        // 256 jobs keeps the rows in the placement-dominated regime the
+        // index targets (per-decision O(nodes) walk vs O(log n + placed)
+        // index on a huge, mostly-free cluster) rather than job-stream
+        // bookkeeping; it also keeps smoke and full row names identical,
+        // so the CI smoke run diffs cleanly against the snapshot.
+        let jobs = 256;
+        let workload = WorkloadSpec::icpp_default()
+            .with_num_jobs(jobs)
+            .with_load(0.95);
+        let trace: Vec<_> = SyntheticSource::new(&workload, &cluster, 11)
+            .expect("valid spec")
+            .collect();
+        let short = format!("edf_{}k", nodes / 1024);
+        let label = format!("{jobs}x{nodes}");
+        for (suffix, indexed) in [("", true), ("_walk", false)] {
+            let mut cfg = scale_config(true);
+            cfg.placement_index = indexed;
+            let mut sim = Simulator::new(cluster.clone(), cfg);
+            let mut view = sim.view();
+            let name = format!("{short}{suffix}");
+            group.bench_with_input(BenchmarkId::new(name, &label), &trace, |b, trace| {
+                b.iter(|| {
+                    let mut sched = EdfScheduler::new();
+                    sim.run_reusing(trace.clone(), &mut sched, &mut view)
+                        .completed_jobs
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale, bench_scale_tiers);
 criterion_main!(benches);

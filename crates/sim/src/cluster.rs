@@ -2,10 +2,15 @@
 
 use crate::allocation::Placement;
 use crate::config::ClusterSpec;
+use crate::fit_index::{bucket_rank, FitIndex};
 use crate::job::JobClass;
 use crate::node::{Node, NodeClassId, NodeId};
 use crate::resources::{ResourceVector, NUM_RESOURCES};
 use serde::{Deserialize, Serialize};
+
+fn default_indexed_placement() -> bool {
+    true
+}
 
 /// A concrete cluster instantiated from a [`ClusterSpec`].
 ///
@@ -13,8 +18,8 @@ use serde::{Deserialize, Serialize};
 /// It does not know about jobs or time; the [`crate::engine::Simulator`] maps
 /// jobs to placements through it.
 ///
-/// Two pieces of *indexed state* keep the per-epoch cost independent of the
-/// node count:
+/// Three pieces of *indexed state* keep the per-epoch cost independent of
+/// the node count:
 ///
 /// * nodes are stored contiguously per class (the order
 ///   [`ClusterSpec::build_nodes`] emits), so [`Self::nodes_of_class`] is a
@@ -24,8 +29,17 @@ use serde::{Deserialize, Serialize};
 ///   re-summed over the nodes at every read —
 ///   [`Self::free_capacity_of_class`] and everything built on it
 ///   (utilisation sampling, view refills, feature extraction) is O(1) per
-///   class. [`Self::check_invariants`] cross-checks the aggregates against a
-///   fresh per-node sum.
+///   class;
+/// * each class carries a bucketed free-capacity [`FitIndex`]
+///   delta-updated by the same two methods, so [`Self::find_placement`]
+///   visits nodes in worst-fit order without the per-start sort that capped
+///   `sim_scale` at 256 nodes. The pre-index slice walk survives as the
+///   property-tested reference (re-keyed to the same
+///   `(bucket_rank desc, id asc)` order) behind
+///   [`crate::config::SimConfig::placement_index`] = `false`.
+///
+/// [`Self::check_invariants`] cross-checks both the aggregates and the fit
+/// indices against a fresh per-node recomputation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Cluster {
     spec: ClusterSpec,
@@ -34,6 +48,17 @@ pub struct Cluster {
     class_ranges: Vec<(usize, usize)>,
     /// Delta-maintained per-class free capacity (see the type docs).
     free_by_class: Vec<ResourceVector>,
+    /// Delta-maintained per-class bucketed placement index (see the type
+    /// docs). Always kept current — counting queries use it on both configs
+    /// (sums are iteration-order-independent); only the order-sensitive
+    /// [`Self::find_placement`] honours the toggle. Deserialized legacy
+    /// snapshots without the field fall back to the walk until rebuilt.
+    #[serde(default)]
+    fit: Vec<FitIndex>,
+    /// Whether [`Self::find_placement`] uses the index (set from
+    /// [`crate::config::SimConfig::placement_index`] by the engine).
+    #[serde(default = "default_indexed_placement")]
+    indexed_placement: bool,
 }
 
 impl Cluster {
@@ -54,12 +79,52 @@ impl Cluster {
         let free_by_class = (0..spec.num_classes())
             .map(|ci| spec.class_capacity(NodeClassId(ci)))
             .collect();
-        Cluster {
+        let mut cluster = Cluster {
             spec,
             nodes,
             class_ranges,
             free_by_class,
+            fit: Vec::new(),
+            indexed_placement: default_indexed_placement(),
+        };
+        cluster.rebuild_fit_indices();
+        cluster
+    }
+
+    /// Choose whether [`Self::find_placement`] walks the fit index or the
+    /// reference slice walk (the [`crate::config::SimConfig::placement_index`]
+    /// toggle). The index itself stays maintained either way.
+    pub fn set_indexed_placement(&mut self, indexed: bool) {
+        self.indexed_placement = indexed;
+    }
+
+    /// Per-node capacity of one class (uniform within a class by
+    /// construction) — the denominator every bucket rank is computed
+    /// against, on the cluster and the view path alike.
+    pub fn unit_capacity_of_class(&self, class: NodeClassId) -> ResourceVector {
+        self.spec.node_classes[class.0].capacity
+    }
+
+    /// Rebuild every class's fit index from the nodes' current free vectors.
+    fn rebuild_fit_indices(&mut self) {
+        if self.fit.len() != self.spec.num_classes() {
+            self.fit.resize_with(self.spec.num_classes(), FitIndex::new);
         }
+        for ci in 0..self.spec.num_classes() {
+            let cap = self.spec.node_classes[ci].capacity;
+            let (start, end) = self.class_ranges[ci];
+            let frees = self.nodes[start..end].iter().map(|n| n.free());
+            self.fit[ci].rebuild(&cap, frees);
+        }
+    }
+
+    /// True when `class` has a fit index covering every node — always, except
+    /// on a legacy-deserialized cluster that predates the field.
+    fn fit_index_valid(&self, class: NodeClassId) -> bool {
+        let (start, end) = self.class_ranges[class.0];
+        self.fit
+            .get(class.0)
+            .is_some_and(|f| f.len() == end - start)
     }
 
     /// The spec this cluster was built from.
@@ -78,6 +143,8 @@ impl Cluster {
         for (ci, free) in self.free_by_class.iter_mut().enumerate() {
             *free = self.spec.class_capacity(NodeClassId(ci));
         }
+        // O(n) refill of the retained fit-index buffers (no allocation).
+        self.rebuild_fit_indices();
     }
 
     /// All nodes.
@@ -170,25 +237,67 @@ impl Cluster {
 
     /// How many units of `per_unit` demand can still be placed on machines of
     /// `class` (summing per-node fits, i.e. respecting fragmentation).
+    ///
+    /// Saturating: at 64k nodes the raw sum of per-node fits can exceed
+    /// `u32::MAX`, which used to wrap silently in release builds.
     pub fn units_available(&self, class: NodeClassId, per_unit: &ResourceVector) -> u32 {
-        self.nodes_of_class(class)
-            .map(|n| {
+        self.units_available_capped(class, per_unit, u32::MAX)
+    }
+
+    /// `min(units_available, cap)`, returning as soon as the cap is reached.
+    /// The sum is iteration-order-independent, so this walks the fit index in
+    /// emptiest-first order when available (reaching the cap after the fewest
+    /// nodes) and accumulates saturating either way.
+    pub fn units_available_capped(
+        &self,
+        class: NodeClassId,
+        per_unit: &ResourceVector,
+        cap: u32,
+    ) -> u32 {
+        if cap == 0 {
+            return 0;
+        }
+        let mut total = 0u32;
+        if self.fit_index_valid(class) {
+            let slice = self.class_nodes(class);
+            for idx in self.fit[class.0].nodes_desc() {
+                let u = slice[idx].units_that_fit(per_unit);
+                if u == u32::MAX {
+                    continue; // zero-demand jobs are handled by the caller
+                }
+                total = total.saturating_add(u);
+                if total >= cap {
+                    return cap;
+                }
+            }
+        } else {
+            for n in self.nodes_of_class(class) {
                 let u = n.units_that_fit(per_unit);
                 if u == u32::MAX {
-                    0 // zero-demand jobs are handled by the caller
-                } else {
-                    u
+                    continue;
                 }
-            })
-            .sum()
+                total = total.saturating_add(u);
+                if total >= cap {
+                    return cap;
+                }
+            }
+        }
+        total
     }
 
     /// Find a placement for `units` parallel units of `per_unit` demand on
     /// machines of `class`, or `None` if the class cannot host them.
     ///
     /// The policy is worst-fit across the class (fill the emptiest machine
-    /// first) which spreads elastic jobs and leaves room to grow; ties break
-    /// on the lower node id so the search is deterministic.
+    /// first) which spreads elastic jobs and leaves room to grow. "Emptiest"
+    /// is keyed on the node's [`bucket_rank`] — the floor-log2 bucket of its
+    /// scarcest relative free resource, the same demand-independent key the
+    /// [`FitIndex`] maintains — and ties break on the lower node id so the
+    /// search is deterministic. Both implementations (the indexed path and
+    /// the reference slice walk selected by
+    /// [`crate::config::SimConfig::placement_index`]) visit candidates in
+    /// exactly this `(bucket_rank desc, id asc)` order, which keeps their
+    /// placements byte-identical (pinned by `tests/placement_index.rs`).
     pub fn find_placement(
         &self,
         class: NodeClassId,
@@ -205,16 +314,63 @@ impl Cluster {
                 .next()
                 .map(|n| vec![Placement { node: n.id, units }]);
         }
-        let mut candidates: Vec<(&Node, u32)> = self
-            .nodes_of_class(class)
-            .map(|n| (n, n.units_that_fit(per_unit)))
-            .filter(|(_, fit)| *fit > 0)
-            .collect();
-        // Emptiest (largest remaining unit count) first, then lowest id.
-        candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.id.cmp(&b.0.id)));
+        if self.indexed_placement && self.fit_index_valid(class) {
+            self.find_placement_indexed(class, per_unit, units)
+        } else {
+            self.find_placement_walk(class, per_unit, units)
+        }
+    }
+
+    /// Indexed placement: O(placed + skipped) bucket-order traversal, no
+    /// per-start sort.
+    fn find_placement_indexed(
+        &self,
+        class: NodeClassId,
+        per_unit: &ResourceVector,
+        units: u32,
+    ) -> Option<Vec<Placement>> {
+        let slice = self.class_nodes(class);
         let mut remaining = units;
         let mut placements = Vec::new();
-        for (node, fit) in candidates {
+        for idx in self.fit[class.0].nodes_desc() {
+            let node = &slice[idx];
+            let fit = node.units_that_fit(per_unit);
+            if fit == 0 {
+                continue;
+            }
+            let take = fit.min(remaining);
+            placements.push(Placement {
+                node: node.id,
+                units: take,
+            });
+            remaining -= take;
+            if remaining == 0 {
+                return Some(placements);
+            }
+        }
+        None
+    }
+
+    /// Reference placement: the pre-index slice walk, kept property-tested
+    /// against the indexed path. Sorts candidates into the identical
+    /// `(bucket_rank desc, id asc)` worst-fit order.
+    fn find_placement_walk(
+        &self,
+        class: NodeClassId,
+        per_unit: &ResourceVector,
+        units: u32,
+    ) -> Option<Vec<Placement>> {
+        let cap = self.unit_capacity_of_class(class);
+        let mut candidates: Vec<(&Node, u32, u8)> = self
+            .nodes_of_class(class)
+            .map(|n| (n, n.units_that_fit(per_unit), bucket_rank(&n.free(), &cap)))
+            .filter(|(_, fit, _)| *fit > 0)
+            .collect();
+        // Emptiest bucket first, then lowest id.
+        candidates.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.id.cmp(&b.0.id)));
+        let mut remaining = units;
+        let mut placements = Vec::new();
+        for (node, fit, _) in candidates {
             if remaining == 0 {
                 break;
             }
@@ -243,7 +399,7 @@ impl Cluster {
         if per_unit.total() <= 0.0 {
             return max_units;
         }
-        self.units_available(class, per_unit).min(max_units)
+        self.units_available_capped(class, per_unit, max_units)
     }
 
     /// Reserve resources for a placement. Panics in debug builds if the
@@ -260,6 +416,7 @@ impl Cluster {
                 self.nodes[p.node.0].used += demand;
             }
             self.free_by_class[self.nodes[p.node.0].class.0] -= demand;
+            self.reindex_node(p.node);
         }
     }
 
@@ -269,7 +426,21 @@ impl Cluster {
             let demand = per_unit.scaled(p.units as f64);
             self.nodes[p.node.0].release(&demand);
             self.free_by_class[self.nodes[p.node.0].class.0] += demand;
+            self.reindex_node(p.node);
         }
+    }
+
+    /// Delta-update the fit index after one node's usage changed.
+    fn reindex_node(&mut self, node: NodeId) {
+        let n = &self.nodes[node.0];
+        let ci = n.class.0;
+        if !self.fit_index_valid(n.class) {
+            return; // legacy-deserialized cluster without the index
+        }
+        let idx = node.0 - self.class_ranges[ci].0;
+        let free = n.free();
+        let cap = self.spec.node_classes[ci].capacity;
+        self.fit[ci].update(idx, &free, &cap);
     }
 
     /// Speed factor a job class enjoys on a node class.
@@ -310,6 +481,14 @@ impl Cluster {
                     ));
                 }
             }
+            // The fit index must agree with ranks recomputed from the nodes.
+            if !self.fit_index_valid(class) {
+                return Err(format!("{class} has no fit index"));
+            }
+            let cap = self.unit_capacity_of_class(class);
+            self.fit[class.0]
+                .check(&cap, self.nodes_of_class(class).map(|n| n.free()))
+                .map_err(|e| format!("{class}: {e}"))?;
         }
         Ok(())
     }
@@ -381,6 +560,78 @@ mod tests {
         assert!(util > 0.3 && util <= 1.0, "util={util}");
         let class_util = c.class_utilization(NodeClassId(0));
         assert!((class_util.0[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equal_capacity_ties_break_on_node_id_on_both_paths() {
+        // Satellite 3: nodes with identical free capacity (same bucket rank)
+        // must be visited in ascending NodeId order by the indexed path and
+        // the reference walk alike.
+        let mut c = Cluster::new(ClusterSpec::tiny());
+        let per_unit = ResourceVector::of(2.0, 4.0, 0.0, 1.0);
+        for indexed in [true, false] {
+            c.set_indexed_placement(indexed);
+            let placement = c
+                .find_placement(NodeClassId(0), &per_unit, 1)
+                .expect("placement exists");
+            assert_eq!(
+                placement,
+                vec![Placement {
+                    node: NodeId(0),
+                    units: 1
+                }],
+                "indexed={indexed}: equal-rank tie must go to the lowest id"
+            );
+        }
+    }
+
+    #[test]
+    fn indexed_and_walk_placements_are_identical() {
+        // Drive both paths through an allocate/release churn and require
+        // byte-identical placements at every step.
+        let mut c = Cluster::new(ClusterSpec::icpp_default());
+        let demands = [
+            ResourceVector::of(2.0, 4.0, 0.0, 1.0),
+            ResourceVector::of(7.0, 1.0, 0.0, 0.0),
+            ResourceVector::of(1.0, 100.0, 0.0, 0.0),
+            ResourceVector::of(4.0, 16.0, 1.0, 2.0),
+        ];
+        let mut live: Vec<(ResourceVector, Vec<Placement>)> = Vec::new();
+        for step in 0..40usize {
+            let class = NodeClassId(step % c.num_classes());
+            let per_unit = demands[step % demands.len()];
+            let units = 1 + (step % 5) as u32;
+            c.set_indexed_placement(true);
+            let indexed = c.find_placement(class, &per_unit, units);
+            c.set_indexed_placement(false);
+            let walk = c.find_placement(class, &per_unit, units);
+            assert_eq!(indexed, walk, "step {step} diverged");
+            let fresh_sum = c
+                .nodes_of_class(class)
+                .map(|n| n.units_that_fit(&per_unit))
+                .filter(|&u| u != u32::MAX)
+                .fold(0u32, |a, u| a.saturating_add(u));
+            assert_eq!(
+                c.units_available(class, &per_unit),
+                fresh_sum,
+                "step {step}: indexed count disagrees with the fresh per-node sum"
+            );
+            if let Some(p) = indexed {
+                c.apply_placement(&per_unit, &p);
+                live.push((per_unit, p));
+            }
+            // Free the oldest allocation every third step to churn ranks.
+            if step % 3 == 2 && !live.is_empty() {
+                let (d, p) = live.remove(0);
+                c.release_placement(&d, &p);
+            }
+            c.check_invariants().expect("invariants hold");
+        }
+        for (d, p) in live.drain(..) {
+            c.release_placement(&d, &p);
+        }
+        assert_eq!(c.free_capacity(), c.spec().total_capacity());
+        c.check_invariants().expect("invariants hold after drain");
     }
 
     #[test]

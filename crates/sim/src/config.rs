@@ -309,9 +309,21 @@ pub struct SimConfig {
     /// benchmarking the refactor itself.
     #[serde(default = "default_incremental_view")]
     pub incremental_view: bool,
+    /// Serve placement searches from the per-class bucketed free-capacity
+    /// index ([`crate::fit_index::FitIndex`], delta-maintained by the
+    /// cluster) instead of the reference slice walk. `false` forces the
+    /// sorted-walk reference path — the two are property-tested
+    /// byte-identical; the switch exists for differential testing and for
+    /// benchmarking the refactor itself (the `sim_scale/*_walk` rows).
+    #[serde(default = "default_placement_index")]
+    pub placement_index: bool,
 }
 
 fn default_incremental_view() -> bool {
+    true
+}
+
+fn default_placement_index() -> bool {
     true
 }
 
@@ -326,6 +338,7 @@ impl Default for SimConfig {
             max_decisions_per_epoch: 64,
             max_sim_time: 1e6,
             incremental_view: true,
+            placement_index: true,
         }
     }
 }

@@ -219,7 +219,8 @@ impl Simulator {
             best_speed_cache[class.index()] = spec.best_speed_factor(class);
         }
         let spec = Arc::new(spec);
-        let cluster = Cluster::new((*spec).clone());
+        let mut cluster = Cluster::new((*spec).clone());
+        cluster.set_indexed_placement(config.placement_index);
         Simulator {
             spec,
             config,
@@ -653,7 +654,10 @@ impl Simulator {
                     out.running.remove(*pos as usize);
                 }
                 ViewDelta::NodeFree { class, index, free } => {
-                    out.classes[*class as usize].node_free[*index as usize] = *free;
+                    // Routed through the setter so the view's fit index
+                    // tracks the change; the rebuild path re-derives it,
+                    // keeping both paths byte-identical.
+                    out.classes[*class as usize].set_node_free(*index as usize, *free);
                 }
             }
         }
@@ -689,15 +693,22 @@ impl Simulator {
                 .class_ids()
                 .map(|id| {
                     let spec = &self.spec.node_classes[id.0];
-                    NodeClassView {
+                    let mut view = NodeClassView {
                         id,
                         name: spec.name.clone(),
                         node_count: spec.count,
                         total_capacity: self.cluster.total_capacity_of_class(id),
                         free_capacity: self.cluster.free_capacity_of_class(id),
                         node_free: self.cluster.nodes_of_class(id).map(|n| n.free()).collect(),
+                        // Straight from the spec (not derived by division) so
+                        // view-side bucket ranks are bit-identical to the
+                        // cluster's.
+                        unit_capacity: spec.capacity,
+                        fit_index: Default::default(),
                         speed_factors: spec.speed.as_array(),
-                    }
+                    };
+                    view.rebuild_fit_index();
+                    view
                 })
                 .collect();
         } else {
@@ -706,6 +717,10 @@ impl Simulator {
                 class_view
                     .node_free
                     .extend(self.cluster.nodes_of_class(id).map(|n| n.free()));
+                // O(n) refill of the retained index buffers (no allocation
+                // once warmed) — the reference recomputation the incremental
+                // `set_node_free` maintenance is property-tested against.
+                class_view.rebuild_fit_index();
             }
         }
         out.pending.clear();

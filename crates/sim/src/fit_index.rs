@@ -1,0 +1,322 @@
+//! The bucketed free-capacity placement index.
+//!
+//! Worst-fit placement used to be a sorted walk over a class's node slice on
+//! every job start — O(n log n) per decision, the scale ceiling named in the
+//! ROADMAP. The fix is to key worst-fit on a **demand-independent** quantity
+//! that can be maintained incrementally: each node's *scarcest relative free
+//! resource* (the minimum of `free_i / capacity_i` over the dimensions the
+//! class actually has), quantised to its floor-log2 bucket. Nodes of a class
+//! live in one of [`NUM_RANKS`] buckets ordered from full (rank 0) to
+//! completely free ([`MAX_RANK`]); within a bucket they are kept in ascending
+//! node order, so iterating buckets from the top yields the deterministic
+//! worst-fit visit order `(rank desc, node id asc)` without any per-query
+//! sort.
+//!
+//! The index is delta-updated on every allocation/release (an O(log bucket)
+//! membership move) and rebuilt in O(n) when a retained snapshot refills from
+//! scratch. Both the indexed queries and the property-tested reference walk
+//! ([`crate::config::SimConfig::placement_index`] = `false`) order candidates
+//! by the *same* `(bucket_rank desc, id asc)` key, which is what keeps their
+//! placements byte-identical (pinned in `tests/placement_index.rs`).
+//!
+//! Determinism note: `floor(log2(x))` is read straight from the IEEE-754
+//! exponent bits instead of `f64::log2` — exact for every normal positive
+//! double and identical on every platform, so index and walk can never be
+//! split by a libm rounding difference.
+
+use crate::resources::{ResourceVector, NUM_RESOURCES};
+use serde::{Deserialize, Serialize};
+
+/// Number of free-fraction buckets. Rank 0 collects nodes whose scarcest
+/// dimension is below 2^-15 of capacity (effectively full); the top rank
+/// holds completely free nodes. 16 octaves discriminate free fractions down
+/// to ~0.003% of a node, far below any placeable unit demand.
+pub const NUM_RANKS: usize = 16;
+
+/// The rank of a completely free node (`NUM_RANKS - 1`).
+pub const MAX_RANK: u8 = (NUM_RANKS - 1) as u8;
+
+/// Bucket rank of a node with free vector `free` in a class whose per-node
+/// capacity is `unit_capacity`: `MAX_RANK + floor(log2(min_i free_i/cap_i))`
+/// over the dimensions with positive capacity, clamped to `[0, MAX_RANK]`.
+///
+/// Edge cases: a fully free node (fraction ≥ 1, including a class with no
+/// positive-capacity dimension at all, where the fraction stays `+inf`) ranks
+/// [`MAX_RANK`]; zero, negative, subnormal or NaN fractions rank 0.
+#[inline]
+pub fn bucket_rank(free: &ResourceVector, unit_capacity: &ResourceVector) -> u8 {
+    let mut frac = f64::INFINITY;
+    for i in 0..NUM_RESOURCES {
+        let cap = unit_capacity.0[i];
+        if cap > 0.0 {
+            let f = free.0[i] / cap;
+            if f < frac {
+                frac = f;
+            }
+        }
+    }
+    if frac >= 1.0 {
+        return MAX_RANK;
+    }
+    if !(frac > 0.0) {
+        // Zero, negative or NaN scarcest fraction: the node is full.
+        return 0;
+    }
+    // floor(log2(frac)) via the biased exponent — exact for normal doubles.
+    let biased = ((frac.to_bits() >> 52) & 0x7ff) as i32;
+    if biased == 0 {
+        // Subnormal: far below 2^-15 of capacity.
+        return 0;
+    }
+    let rank = MAX_RANK as i32 + (biased - 1023);
+    rank.max(0) as u8
+}
+
+/// Bucketed free-capacity index over one node class.
+///
+/// Node positions are *in-class* indices (dense, node-id order), so the same
+/// structure serves both the [`crate::cluster::Cluster`] (whose classes are
+/// contiguous node ranges) and the per-class
+/// [`crate::view::NodeClassView::node_free`] snapshot rows.
+///
+/// Steady-state maintenance is allocation-free: every bucket is pre-reserved
+/// to the class size at (re)build, so membership moves are binary-searched
+/// `Vec` inserts/removes that never touch the allocator.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FitIndex {
+    /// Current bucket of each in-class node index.
+    rank_of: Vec<u8>,
+    /// Per-rank membership, each sorted ascending by in-class index.
+    /// Invariant: exactly [`NUM_RANKS`] buckets once built (empty when the
+    /// index has never been built, e.g. a deserialized legacy snapshot —
+    /// queries detect that through [`Self::len`] and fall back to a walk).
+    buckets: Vec<Vec<u32>>,
+}
+
+impl FitIndex {
+    /// An empty index (no nodes tracked; [`Self::len`] is 0).
+    pub fn new() -> Self {
+        FitIndex::default()
+    }
+
+    /// Number of nodes tracked.
+    pub fn len(&self) -> usize {
+        self.rank_of.len()
+    }
+
+    /// True when no nodes are tracked (a fresh or legacy-deserialized index).
+    pub fn is_empty(&self) -> bool {
+        self.rank_of.is_empty()
+    }
+
+    /// Current rank of one node.
+    pub fn rank(&self, idx: usize) -> u8 {
+        self.rank_of[idx]
+    }
+
+    /// Rebuild the index from scratch over `frees` (in in-class node order).
+    /// Retains and pre-reserves every buffer: after the first build for a
+    /// given class size, neither rebuilds nor incremental updates allocate.
+    pub fn rebuild<I>(&mut self, unit_capacity: &ResourceVector, frees: I)
+    where
+        I: IntoIterator<Item = ResourceVector>,
+    {
+        if self.buckets.len() != NUM_RANKS {
+            self.buckets.resize_with(NUM_RANKS, Vec::new);
+        }
+        self.rank_of.clear();
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        for (i, free) in frees.into_iter().enumerate() {
+            let rank = bucket_rank(&free, unit_capacity);
+            self.rank_of.push(rank);
+            // In-order pushes keep every bucket ascending.
+            self.buckets[rank as usize].push(i as u32);
+        }
+        // One worst-case reservation per bucket: a membership move may push
+        // any bucket to the full class size, and the steady-state loops must
+        // never allocate.
+        let n = self.rank_of.len();
+        for b in &mut self.buckets {
+            if b.capacity() < n {
+                b.reserve(n - b.len());
+            }
+        }
+    }
+
+    /// Re-rank one node after its free vector changed (an allocation or a
+    /// release touched it). O(log bucket) searches plus two memmoves.
+    pub fn update(&mut self, idx: usize, free: &ResourceVector, unit_capacity: &ResourceVector) {
+        let new_rank = bucket_rank(free, unit_capacity);
+        let old_rank = self.rank_of[idx];
+        if new_rank == old_rank {
+            return;
+        }
+        let key = idx as u32;
+        let old = &mut self.buckets[old_rank as usize];
+        let pos = old
+            .binary_search(&key)
+            .expect("fit index bucket lost a member");
+        old.remove(pos);
+        let new = &mut self.buckets[new_rank as usize];
+        let pos = new.binary_search(&key).unwrap_err();
+        new.insert(pos, key);
+        self.rank_of[idx] = new_rank;
+    }
+
+    /// All tracked in-class node indices in worst-fit visit order: emptiest
+    /// bucket first, ascending node index within a bucket — exactly the
+    /// `(bucket_rank desc, id asc)` order the reference walk sorts into.
+    pub fn nodes_desc(&self) -> impl Iterator<Item = usize> + '_ {
+        self.buckets
+            .iter()
+            .rev()
+            .flat_map(|b| b.iter().map(|&i| i as usize))
+    }
+
+    /// Cross-check the index against freshly computed ranks over `frees`
+    /// (the `check_invariants` hook): every node's stored rank must match a
+    /// recomputation, every bucket must be ascending, and bucket membership
+    /// must agree with `rank_of`.
+    pub fn check<I>(&self, unit_capacity: &ResourceVector, frees: I) -> Result<(), String>
+    where
+        I: IntoIterator<Item = ResourceVector>,
+    {
+        let mut n = 0usize;
+        for (i, free) in frees.into_iter().enumerate() {
+            n += 1;
+            let expect = bucket_rank(&free, unit_capacity);
+            let got = *self
+                .rank_of
+                .get(i)
+                .ok_or_else(|| format!("fit index tracks no node {i}"))?;
+            if got != expect {
+                return Err(format!(
+                    "fit index rank drifted for node {i}: stored {got}, recomputed {expect} (free {free})"
+                ));
+            }
+        }
+        if self.rank_of.len() != n {
+            return Err(format!(
+                "fit index tracks {} nodes, class has {n}",
+                self.rank_of.len()
+            ));
+        }
+        if self.buckets.len() != NUM_RANKS {
+            return Err(format!(
+                "fit index has {} buckets, expected {NUM_RANKS}",
+                self.buckets.len()
+            ));
+        }
+        let mut members = 0usize;
+        for (rank, bucket) in self.buckets.iter().enumerate() {
+            if !bucket.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("fit index bucket {rank} is not strictly ascending"));
+            }
+            for &i in bucket {
+                if self.rank_of[i as usize] as usize != rank {
+                    return Err(format!(
+                        "fit index node {i} sits in bucket {rank} but rank_of says {}",
+                        self.rank_of[i as usize]
+                    ));
+                }
+            }
+            members += bucket.len();
+        }
+        if members != n {
+            return Err(format!(
+                "fit index buckets hold {members} members for {n} nodes"
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap() -> ResourceVector {
+        ResourceVector::of(8.0, 32.0, 0.0, 10.0)
+    }
+
+    #[test]
+    fn rank_edges() {
+        let c = cap();
+        // Completely free and completely full.
+        assert_eq!(bucket_rank(&c, &c), MAX_RANK);
+        assert_eq!(bucket_rank(&ResourceVector::zero(), &c), 0);
+        // Half free on the scarcest dimension: one octave below the top.
+        let half = ResourceVector::of(4.0, 32.0, 0.0, 10.0);
+        assert_eq!(bucket_rank(&half, &c), MAX_RANK - 1);
+        // A quarter free: two octaves.
+        let quarter = ResourceVector::of(8.0, 8.0, 0.0, 10.0);
+        assert_eq!(bucket_rank(&quarter, &c), MAX_RANK - 2);
+        // Vanishingly free clamps to rank 0 instead of underflowing.
+        let sliver = ResourceVector::of(1e-9, 32.0, 0.0, 10.0);
+        assert_eq!(bucket_rank(&sliver, &c), 0);
+        // A class with no positive capacity at all: every node ties at the
+        // top (pure id-order placement, the pre-index behaviour).
+        let none = ResourceVector::zero();
+        assert_eq!(bucket_rank(&none, &none), MAX_RANK);
+        // Zero-capacity dimensions are ignored, not divided by.
+        let gpu_free = ResourceVector::of(8.0, 32.0, 4.0, 10.0);
+        assert_eq!(bucket_rank(&gpu_free, &c), MAX_RANK);
+    }
+
+    #[test]
+    fn rank_is_exact_floor_log2() {
+        let c = ResourceVector::of(1.0, 0.0, 0.0, 0.0);
+        for e in 1..=(MAX_RANK as i32) {
+            let frac = (2.0f64).powi(-e);
+            let at = ResourceVector::of(frac, 0.0, 0.0, 0.0);
+            assert_eq!(bucket_rank(&at, &c), MAX_RANK - e as u8, "at 2^-{e}");
+            // Just below a boundary falls into the bucket beneath it.
+            let below = ResourceVector::of(frac * (1.0 - 1e-12), 0.0, 0.0, 0.0);
+            assert_eq!(
+                bucket_rank(&below, &c),
+                (MAX_RANK as i32 - e - 1).max(0) as u8,
+                "below 2^-{e}"
+            );
+        }
+    }
+
+    #[test]
+    fn rebuild_update_and_order() {
+        let c = cap();
+        let mut index = FitIndex::new();
+        let frees = [
+            c,                                        // node 0: free
+            ResourceVector::of(4.0, 32.0, 0.0, 10.0), // node 1: half
+            c,                                        // node 2: free
+            ResourceVector::zero(),                   // node 3: full
+        ];
+        index.rebuild(&c, frees.iter().copied());
+        assert_eq!(index.len(), 4);
+        assert!(index.check(&c, frees.iter().copied()).is_ok());
+        // Emptiest first, id-ascending within a bucket, full nodes last.
+        let order: Vec<usize> = index.nodes_desc().collect();
+        assert_eq!(order, vec![0, 2, 1, 3]);
+        // Free node 3 entirely: it joins the top bucket after 0 and 2.
+        let mut frees = frees;
+        frees[3] = c;
+        index.update(3, &frees[3], &c);
+        assert!(index.check(&c, frees.iter().copied()).is_ok());
+        let order: Vec<usize> = index.nodes_desc().collect();
+        assert_eq!(order, vec![0, 2, 3, 1]);
+        // No-op update keeps everything in place.
+        index.update(3, &frees[3], &c);
+        assert!(index.check(&c, frees.iter().copied()).is_ok());
+    }
+
+    #[test]
+    fn check_catches_drift() {
+        let c = cap();
+        let mut index = FitIndex::new();
+        let frees = [c, ResourceVector::zero()];
+        index.rebuild(&c, frees.iter().copied());
+        // Lie about node 1's free vector: the cross-check must object.
+        assert!(index.check(&c, [c, c].iter().copied()).is_err());
+    }
+}

@@ -61,6 +61,7 @@ pub mod cluster;
 pub mod config;
 pub mod engine;
 pub mod event;
+pub mod fit_index;
 pub mod job;
 pub mod metrics;
 pub mod node;
@@ -75,6 +76,7 @@ pub use cluster::Cluster;
 pub use config::{ClusterSpec, NodeClassSpec, PowerModel, SimConfig};
 pub use engine::{EpochKind, SimulationResult, Simulator};
 pub use event::{Event, EventKind, EventQueue};
+pub use fit_index::{bucket_rank, FitIndex, MAX_RANK, NUM_RANKS};
 pub use job::{Job, JobBuilder, JobClass, JobId, JobState, SpeedupModel, TimeUtility};
 pub use metrics::{
     CompletedJob, EnergyReport, MetricsCollector, PerClassUtilization, Summary, UtilizationSample,

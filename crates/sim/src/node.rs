@@ -64,21 +64,27 @@ impl Node {
     }
 
     /// How many whole units of `per_unit` demand fit into the free capacity?
+    ///
+    /// `u32::MAX` is reserved as the "no positive demand" sentinel (zero
+    /// demand fits "infinitely"); genuine fits are clamped to
+    /// `u32::MAX - 1` so a saturating float→u32 cast on an absurdly roomy
+    /// node can never be mistaken for the sentinel by counting callers.
     pub fn units_that_fit(&self, per_unit: &ResourceVector) -> u32 {
         let free = self.free();
-        let mut max_units = u32::MAX;
+        let mut max_units = u32::MAX - 1;
+        let mut any_demand = false;
         for i in 0..crate::resources::NUM_RESOURCES {
             let d = per_unit.0[i];
             if d > 0.0 {
+                any_demand = true;
                 let fit = ((free.0[i] + 1e-9) / d).floor();
                 max_units = max_units.min(fit.max(0.0) as u32);
             }
         }
-        if max_units == u32::MAX {
-            // Zero demand fits "infinitely"; cap at a large-but-safe number.
-            u32::MAX
-        } else {
+        if any_demand {
             max_units
+        } else {
+            u32::MAX
         }
     }
 

@@ -5,6 +5,7 @@
 //! it to an RL replay buffer, or serialise it for debugging.
 
 use crate::config::ClusterSpec;
+use crate::fit_index::FitIndex;
 use crate::job::{Job, JobClass, JobId, SpeedupModel};
 use crate::node::NodeClassId;
 use crate::resources::ResourceVector;
@@ -27,21 +28,62 @@ pub struct NodeClassView {
     /// Free capacity of each machine in the class (for fragmentation-aware
     /// feasibility checks), in node-id order.
     pub node_free: Vec<ResourceVector>,
+    /// Per-node capacity (uniform within a class) — the denominator of the
+    /// fit-index bucket ranks, taken straight from the spec so view-side
+    /// ranks are bit-identical to the cluster's. Defaults to zero on
+    /// legacy-deserialized views (every node then ties at the top rank).
+    #[serde(default)]
+    pub unit_capacity: ResourceVector,
+    /// Bucketed free-capacity index over [`Self::node_free`] (same structure
+    /// the cluster maintains), kept current by [`Self::set_node_free`] /
+    /// [`Self::rebuild_fit_index`]. A pure function of `node_free`, so the
+    /// derived `PartialEq` stays a pure state comparison. Counting queries
+    /// walk it emptiest-first to reach their cap after the fewest nodes;
+    /// when it is absent (fabricated or legacy-deserialized views) they
+    /// lawfully fall back to the plain slice walk.
+    #[serde(default)]
+    pub fit_index: FitIndex,
     /// Speed factor per job class ([`JobClass::ALL`] order).
     pub speed_factors: [f64; JobClass::COUNT],
 }
 
 impl NodeClassView {
     /// How many units of `per_unit` demand can still be placed on this class,
-    /// respecting per-node fragmentation.
+    /// respecting per-node fragmentation. Saturating — at 64k nodes the raw
+    /// per-node sum can exceed `u32::MAX`.
     pub fn units_available(&self, per_unit: &ResourceVector) -> u32 {
         if per_unit.total() <= 0.0 {
             return u32::MAX;
         }
-        self.node_free
-            .iter()
-            .map(|free| unit_fit(free, per_unit))
-            .sum()
+        self.node_free.iter().fold(0u32, |acc, free| {
+            acc.saturating_add(unit_fit(free, per_unit))
+        })
+    }
+
+    /// True when the fit index covers every node of the class (always for
+    /// engine-built views; false for fabricated or legacy-deserialized ones,
+    /// which fall back to the plain walk).
+    #[inline]
+    fn fit_index_valid(&self) -> bool {
+        self.fit_index.len() == self.node_free.len()
+    }
+
+    /// Rebuild [`Self::fit_index`] from the current [`Self::node_free`] rows
+    /// (the engine calls this after a full view rebuild; incremental refills
+    /// go through [`Self::set_node_free`]).
+    pub fn rebuild_fit_index(&mut self) {
+        let cap = self.unit_capacity;
+        self.fit_index.rebuild(&cap, self.node_free.iter().copied());
+    }
+
+    /// Update one node's free vector, keeping the fit index in step (the
+    /// incremental-view `NodeFree` delta lands here).
+    pub fn set_node_free(&mut self, index: usize, free: ResourceVector) {
+        let valid = self.fit_index_valid();
+        self.node_free[index] = free;
+        if valid {
+            self.fit_index.update(index, &free, &self.unit_capacity);
+        }
     }
 
     /// Upper bound on placeable units from the class-level free-capacity
@@ -59,12 +101,19 @@ impl NodeClassView {
     /// Feasibility queries never need more than the requested parallelism,
     /// so this replaces the full node walk in the hot scheduler paths with
     /// (a) the O(dims) aggregate screen — which alone rejects requests on
-    /// saturated classes, the common case under load — and (b) a node walk
-    /// that exits as soon as the target is reached (typically after one or
-    /// two machines on an unsaturated class).
+    /// saturated classes, the common case under load — and (b) a walk over
+    /// the fit index in emptiest-first order that exits as soon as the
+    /// target is reached (typically after one or two machines on an
+    /// unsaturated class, and after the *fewest possible* machines because
+    /// the emptiest nodes contribute the most units). The sum is
+    /// iteration-order-independent, so the plain-slice fallback for views
+    /// without an index returns the identical answer.
     pub fn units_available_capped(&self, per_unit: &ResourceVector, cap: u32) -> u32 {
         if per_unit.total() <= 0.0 {
             return cap;
+        }
+        if cap == 0 {
+            return 0;
         }
         let bound = self.aggregate_unit_bound(per_unit);
         if bound == 0 {
@@ -72,10 +121,19 @@ impl NodeClassView {
         }
         let cap = cap.min(bound);
         let mut total = 0u32;
-        for free in &self.node_free {
-            total = total.saturating_add(unit_fit(free, per_unit));
-            if total >= cap {
-                return cap;
+        if self.fit_index_valid() {
+            for idx in self.fit_index.nodes_desc() {
+                total = total.saturating_add(unit_fit(&self.node_free[idx], per_unit));
+                if total >= cap {
+                    return cap;
+                }
+            }
+        } else {
+            for free in &self.node_free {
+                total = total.saturating_add(unit_fit(free, per_unit));
+                if total >= cap {
+                    return cap;
+                }
             }
         }
         total
@@ -113,20 +171,25 @@ impl NodeClassView {
 
 /// Whole units of `per_unit` demand fitting into `free` capacity (0 when
 /// no dimension carries positive demand — callers screen zero-demand
-/// requests first).
+/// requests first). Tracks demand presence with a flag rather than a
+/// `u32::MAX` sentinel: the saturating float→u32 cast legitimately
+/// produces `u32::MAX` on huge aggregates (e.g. 64k nodes × megabyte-scale
+/// capacity against a unit demand), which a sentinel would misread as 0.
 #[inline]
 fn unit_fit(free: &ResourceVector, per_unit: &ResourceVector) -> u32 {
     let mut fit = u32::MAX;
+    let mut any_demand = false;
     for i in 0..crate::resources::NUM_RESOURCES {
         let d = per_unit.0[i];
         if d > 0.0 {
+            any_demand = true;
             fit = fit.min(((free.0[i] + 1e-9) / d).floor().max(0.0) as u32);
         }
     }
-    if fit == u32::MAX {
-        0
-    } else {
+    if any_demand {
         fit
+    } else {
+        0
     }
 }
 
@@ -459,7 +522,7 @@ mod tests {
             ResourceVector::of(8.0, 32.0, 0.0, 10.0),
             SpeedProfile::uniform(2.0),
         )]));
-        let class_view = NodeClassView {
+        let mut class_view = NodeClassView {
             id: NodeClassId(0),
             name: "generic".into(),
             node_count: 2,
@@ -469,8 +532,11 @@ mod tests {
                 ResourceVector::of(4.0, 16.0, 0.0, 6.0),
                 ResourceVector::of(8.0, 32.0, 0.0, 10.0),
             ],
+            unit_capacity: ResourceVector::of(8.0, 32.0, 0.0, 10.0),
+            fit_index: FitIndex::default(),
             speed_factors: [2.0; JobClass::COUNT],
         };
+        class_view.rebuild_fit_index();
         let job = Job::builder(JobId(1), JobClass::Batch)
             .arrival(0.0)
             .total_work(40.0)
@@ -517,6 +583,49 @@ mod tests {
             // The aggregate screen is a true upper bound.
             assert!(class.aggregate_unit_bound(&per_unit) >= full);
         }
+    }
+
+    #[test]
+    fn indexed_and_plain_counting_agree() {
+        // A view without a fit index (fabricated/legacy) must count exactly
+        // like the indexed one — the sum is iteration-order-independent.
+        let view = make_view();
+        let indexed = &view.classes[0];
+        let mut plain = indexed.clone();
+        plain.fit_index = FitIndex::default();
+        for per_unit in [
+            ResourceVector::of(3.0, 4.0, 0.0, 1.0),
+            ResourceVector::of(1.0, 2.0, 0.0, 0.5),
+            ResourceVector::of(100.0, 1.0, 0.0, 0.0),
+        ] {
+            assert_eq!(
+                indexed.units_available(&per_unit),
+                plain.units_available(&per_unit)
+            );
+            for cap in 0..12u32 {
+                assert_eq!(
+                    indexed.units_available_capped(&per_unit, cap),
+                    plain.units_available_capped(&per_unit, cap),
+                    "cap {cap} demand {per_unit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_node_free_keeps_index_in_step() {
+        let mut view = make_view();
+        let class = &mut view.classes[0];
+        // Drain node 1, free node 0 fully: count must track exactly.
+        class.set_node_free(1, ResourceVector::zero());
+        class.set_node_free(0, ResourceVector::of(8.0, 32.0, 0.0, 10.0));
+        let per_unit = ResourceVector::of(3.0, 4.0, 0.0, 1.0);
+        assert_eq!(class.units_available(&per_unit), 2);
+        assert_eq!(class.units_available_capped(&per_unit, 10), 2);
+        // The incrementally maintained index equals a fresh rebuild.
+        let mut rebuilt = class.clone();
+        rebuilt.rebuild_fit_index();
+        assert_eq!(*class, rebuilt);
     }
 
     #[test]

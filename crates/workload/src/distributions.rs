@@ -18,9 +18,13 @@ pub struct Exponential {
 }
 
 impl Exponential {
-    /// Create an exponential distribution. `lambda` must be positive.
+    /// Create an exponential distribution. `lambda` must be finite and
+    /// positive (an infinite rate would make every gap 0/NaN downstream).
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda > 0.0, "lambda must be positive");
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "lambda must be finite and positive"
+        );
         Exponential { lambda }
     }
 
@@ -48,16 +52,28 @@ pub struct LogNormal {
 }
 
 impl LogNormal {
-    /// Create from the underlying normal parameters.
+    /// Create from the underlying normal parameters. Both must be finite
+    /// (`sigma` additionally non-negative): a NaN/infinite `mu` makes every
+    /// sample non-finite, which would poison arrival clocks and panic
+    /// `partial_cmp`-style sorts downstream.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(sigma >= 0.0, "sigma must be non-negative");
+        assert!(mu.is_finite(), "mu must be finite");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be finite and non-negative"
+        );
         LogNormal { mu, sigma }
     }
 
     /// Create a log-normal with a target *arithmetic* mean and coefficient of
     /// variation — the natural way workload specs express job-size spread.
     pub fn from_mean_cv(mean: f64, cv: f64) -> Self {
-        assert!(mean > 0.0, "mean must be positive");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "mean must be finite and positive"
+        );
+        assert!(!cv.is_infinite(), "cv must not be infinite");
+        // NaN cv degrades to 0 (f64::max discards the NaN operand).
         let cv = cv.max(0.0);
         let sigma2 = (1.0 + cv * cv).ln();
         let mu = mean.ln() - sigma2 / 2.0;
@@ -94,9 +110,11 @@ pub struct BoundedPareto {
 }
 
 impl BoundedPareto {
-    /// Create a bounded Pareto distribution.
+    /// Create a bounded Pareto distribution. All parameters must be finite
+    /// (NaNs fail the ordering checks; an infinite bound would emit
+    /// non-finite samples).
     pub fn new(alpha: f64, low: f64, high: f64) -> Self {
-        assert!(alpha > 0.0 && low > 0.0 && high > low);
+        assert!(alpha.is_finite() && alpha > 0.0 && low > 0.0 && high.is_finite() && high > low);
         BoundedPareto { alpha, low, high }
     }
 
@@ -227,7 +245,7 @@ mod tests {
         let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut r)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let mut sorted = samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let median = sorted[sorted.len() / 2];
         assert!(mean > median, "mean {mean} should exceed median {median}");
     }
@@ -251,5 +269,23 @@ mod tests {
     #[should_panic]
     fn weighted_choice_rejects_all_zero() {
         WeightedChoice::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mu must be finite")]
+    fn lognormal_rejects_non_finite_mu() {
+        LogNormal::new(f64::NAN, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn lognormal_mean_cv_rejects_infinite_mean() {
+        LogNormal::from_mean_cv(f64::INFINITY, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn exponential_rejects_infinite_rate() {
+        Exponential::new(f64::INFINITY);
     }
 }

@@ -39,6 +39,17 @@ pub enum WorkloadError {
         /// The underlying error.
         message: String,
     },
+    /// A source would emit non-finite samples — NaN or infinite arrival
+    /// times, work sizes or deadlines, e.g. from a degenerate user-supplied
+    /// distribution parameter or a corrupt trace. Rejected at construction
+    /// so a single NaN can never poison a sweep worker's arrival clock or
+    /// panic a sort downstream.
+    NonFiniteSample {
+        /// Which quantity went non-finite.
+        context: String,
+        /// The offending value (NaN or ±infinity).
+        value: f64,
+    },
 }
 
 impl fmt::Display for WorkloadError {
@@ -84,6 +95,12 @@ impl fmt::Display for WorkloadError {
             ),
             WorkloadError::TraceIo { path, message } => {
                 write!(f, "trace '{path}': {message}")
+            }
+            WorkloadError::NonFiniteSample { context, value } => {
+                write!(
+                    f,
+                    "non-finite {context}: {value} (workload sources must yield finite samples)"
+                )
             }
         }
     }

@@ -95,10 +95,45 @@ impl SyntheticSource {
         seed: u64,
     ) -> Result<Self, WorkloadError> {
         spec.validate().map_err(WorkloadError::InvalidWorkload)?;
+        // Reject anything that would make the stream emit non-finite
+        // arrivals, work sizes or deadlines *before* any distribution
+        // constructor can assert: one NaN in an arrival clock poisons every
+        // later sample and panics `partial_cmp`-style sorts downstream.
+        for c in &spec.classes {
+            if !c.work_mean.is_finite() {
+                return Err(WorkloadError::NonFiniteSample {
+                    context: format!("work_mean of the {} class template", c.class),
+                    value: c.work_mean,
+                });
+            }
+            if c.work_cv.is_infinite() {
+                return Err(WorkloadError::NonFiniteSample {
+                    context: format!("work_cv of the {} class template", c.class),
+                    value: c.work_cv,
+                });
+            }
+        }
+        for (name, value) in [
+            ("deadline slack_min", spec.deadlines.slack_min),
+            ("deadline slack_max", spec.deadlines.slack_max),
+        ] {
+            if !value.is_finite() {
+                return Err(WorkloadError::NonFiniteSample {
+                    context: name.into(),
+                    value,
+                });
+            }
+        }
         let mix = spec.class_mix();
         let capacity = cluster.work_capacity(&mix).max(1e-6);
         let mean_work = spec.mean_work().max(1e-9);
         let arrival_rate = spec.load * capacity / mean_work;
+        if !arrival_rate.is_finite() {
+            return Err(WorkloadError::NonFiniteSample {
+                context: "arrival rate (load × capacity / mean work)".into(),
+                value: arrival_rate,
+            });
+        }
         let mut source = SyntheticSource {
             class_choice: WeightedChoice::new(
                 &spec.classes.iter().map(|c| c.weight).collect::<Vec<f64>>(),
@@ -255,12 +290,9 @@ impl ReplaySource {
     /// Replay an explicit job list. The jobs are sorted by `(arrival, id)`
     /// once so the stream is always arrival-ordered.
     pub fn from_jobs(mut jobs: Vec<Job>) -> Self {
-        jobs.sort_by(|a, b| {
-            a.arrival
-                .partial_cmp(&b.arrival)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.id.cmp(&b.id))
-        });
+        // total_cmp: a NaN arrival (rejected by `load`, but this constructor
+        // accepts arbitrary in-memory lists) must not panic the sort.
+        jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival).then(a.id.cmp(&b.id)));
         ReplaySource {
             jobs: Arc::new(jobs),
             cursor: 0,
@@ -268,13 +300,25 @@ impl ReplaySource {
         }
     }
 
-    /// Load a trace from disk and replay it.
+    /// Load a trace from disk and replay it. Rejects corrupt traces whose
+    /// jobs carry non-finite arrival times or deadlines — replaying those
+    /// would poison the simulator's clock instead of failing loudly here.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, WorkloadError> {
         let path = path.as_ref();
         let trace = Trace::load(path).map_err(|e| WorkloadError::TraceIo {
             path: path.display().to_string(),
             message: e.to_string(),
         })?;
+        for job in &trace.jobs {
+            for (what, value) in [("arrival time", job.arrival), ("deadline", job.deadline)] {
+                if !value.is_finite() {
+                    return Err(WorkloadError::NonFiniteSample {
+                        context: format!("{what} of job {} in trace '{}'", job.id, path.display()),
+                        value,
+                    });
+                }
+            }
+        }
         Ok(Self::from_trace(trace))
     }
 
@@ -863,6 +907,47 @@ mod tests {
         let spec = WorkloadSpec::icpp_default().with_num_jobs(0);
         let err = SyntheticSource::new(&spec, &cluster(), 1).unwrap_err();
         assert!(matches!(err, WorkloadError::InvalidWorkload(_)));
+    }
+
+    #[test]
+    fn synthetic_rejects_non_finite_parameters_with_named_error() {
+        // A degenerate user-supplied distribution must fail loudly at
+        // construction, not emit NaNs that poison the arrival clock.
+        let mut spec = WorkloadSpec::tiny();
+        spec.classes[0].work_mean = f64::INFINITY;
+        let err = SyntheticSource::new(&spec, &ClusterSpec::tiny(), 1).unwrap_err();
+        assert!(
+            matches!(err, WorkloadError::NonFiniteSample { .. }),
+            "got {err}"
+        );
+        assert!(err.to_string().contains("work_mean"), "got {err}");
+
+        let mut spec = WorkloadSpec::tiny();
+        spec.classes[0].work_cv = f64::INFINITY;
+        let err = SyntheticSource::new(&spec, &ClusterSpec::tiny(), 1).unwrap_err();
+        assert!(err.to_string().contains("work_cv"), "got {err}");
+
+        let mut spec = WorkloadSpec::tiny();
+        spec.deadlines.slack_max = f64::INFINITY;
+        let err = SyntheticSource::new(&spec, &ClusterSpec::tiny(), 1).unwrap_err();
+        assert!(err.to_string().contains("slack_max"), "got {err}");
+    }
+
+    #[test]
+    fn replay_sorts_nan_arrivals_without_panicking() {
+        // from_jobs accepts arbitrary in-memory lists; a NaN arrival must
+        // not panic the sort (the old partial_cmp().unwrap() did).
+        let mut jobs = jobs_of(
+            &mut SyntheticSource::new(
+                &WorkloadSpec::tiny().with_num_jobs(5),
+                &ClusterSpec::tiny(),
+                3,
+            )
+            .unwrap(),
+        );
+        jobs[2].arrival = f64::NAN;
+        let replay = ReplaySource::from_jobs(jobs);
+        assert_eq!(replay.len(), 5);
     }
 
     #[test]
