@@ -41,6 +41,7 @@ fn bench_serve(c: &mut Criterion) {
                 shed_policy: ShedPolicy::RejectLatestDeadline,
                 seed: 3,
                 mode: ClockMode::Virtual,
+                ..ServeConfig::default()
             };
             b.iter(|| {
                 let mut session =

@@ -52,7 +52,8 @@ fn usage() -> ! {
          \x20               [--heartbeat-timeout <secs>]] [--checkpoint <path>] [--csv <path>]\n\
          \x20      expdriver serve [--policy <p>] [--scenario <spec>] [--seed <s>] [--jobs <n>] \\\n\
          \x20               [--producers <n>] [--queue-cap <n>] [--shed <p1,p2,..|all>] \\\n\
-         \x20               [--mode virtual|wall] [--event-log <path>] [--report <path>] [--csv <path>]\n\
+         \x20               [--stream [--chunk <n>]] [--mode virtual|wall] \\\n\
+         \x20               [--event-log <path>] [--report <path>] [--csv <path>]\n\
          \x20      expdriver record-trace --out <path> [--jobs <n>] [--load <f>] [--seed <s>]\n\
          \x20      expdriver merge-checkpoints --out <path> [--csv <path>] <in.json> ...\n\
          \x20 experiments: {}",
@@ -296,6 +297,8 @@ fn run_serve(args: &[String]) {
     let mut queue_cap = 32usize;
     let mut sheds = vec![ShedPolicy::RejectNewest];
     let mut mode = ClockMode::Virtual;
+    let mut stream = false;
+    let mut chunk: Option<usize> = None;
     let mut event_log: Option<PathBuf> = None;
     let mut report_path: Option<PathBuf> = None;
     let mut csv: Option<PathBuf> = None;
@@ -347,20 +350,32 @@ fn run_serve(args: &[String]) {
                     other => fail(format!("--mode must be 'virtual' or 'wall', got '{other}'")),
                 };
             }
+            "--stream" => stream = true,
+            "--chunk" => {
+                chunk = Some(cli::parse_chunk(&value("--chunk")).unwrap_or_else(|e| fail(e)))
+            }
             "--event-log" => event_log = Some(PathBuf::from(value("--event-log"))),
             "--report" => report_path = Some(PathBuf::from(value("--report"))),
             "--csv" => csv = Some(PathBuf::from(value("--csv"))),
             other => fail(format!("unknown serve argument '{other}'")),
         }
     }
+    let chunk = cli::resolve_serve_ingest(stream, chunk).unwrap_or_else(|e| fail(e));
 
     let scenario_registry = ScenarioRegistry::new();
     let base = WorkloadSpec::icpp_default().with_num_jobs(jobs);
     let cluster = ClusterSpec::icpp_default();
-    let job_list: Vec<Job> = scenario_registry
-        .build_str(&scenario, &base, &cluster, seed)
-        .unwrap_or_else(|e| fail(e))
-        .collect();
+    let make_source = || {
+        scenario_registry
+            .build_str(&scenario, &base, &cluster, seed)
+            .unwrap_or_else(|e| fail(e))
+    };
+    // Streaming never materializes the workload — that is its whole point.
+    let job_list: Vec<Job> = if stream {
+        Vec::new()
+    } else {
+        make_source().collect()
+    };
     let registry = PolicyRegistry::with_baselines();
 
     let mut table = ResultTable::new(
@@ -382,13 +397,35 @@ fn run_serve(args: &[String]) {
         let config = ServeConfig {
             producers,
             channel_capacity: 64,
+            chunk,
             queue_cap,
             shed_policy: *shed,
             seed,
             mode,
+            ..ServeConfig::default()
         };
         let mut session = ServeSession::new(cluster.clone(), SimConfig::default(), config);
-        let run = session.run(job_list.clone(), scheduler.as_mut());
+        // Progress heartbeat for long serve runs, mirroring the sweep one:
+        // at most one line per 2 s window, so quick runs stay silent.
+        let heartbeat_started = Instant::now();
+        let mut heartbeat_tick = 0u64;
+        session.on_progress(move |p| {
+            let elapsed = heartbeat_started.elapsed();
+            let tick = elapsed.as_secs() / 2;
+            if tick > 0 && tick != heartbeat_tick {
+                heartbeat_tick = tick;
+                let rate = p.submitted as f64 / elapsed.as_secs_f64().max(1e-9);
+                eprintln!(
+                    "serve: progress t={:.1} submitted={} completed={} ({rate:.0} jobs/s)",
+                    p.time, p.submitted, p.completed
+                );
+            }
+        });
+        let run = if stream {
+            session.run_source(make_source, scheduler.as_mut())
+        } else {
+            session.run(job_list.clone(), scheduler.as_mut())
+        };
         let t = &run.telemetry;
         eprintln!(
             "serve: {policy}@{shed} p50={:.6}s p99={:.6}s p999={:.6}s max_depth={} shed_rate={:.4}{}",

@@ -15,7 +15,12 @@
 //!   `(jobs, config, scheduler)` — a given `(seed, scenario, policy)` yields
 //!   a **byte-identical event log** and identical percentile reports every
 //!   run, on every machine. [`ClockMode::Wall`] adds host-clock measurement
-//!   of per-epoch compute without changing job-visible behaviour.
+//!   of per-epoch compute without changing job-visible behaviour. The
+//!   streaming entry point ([`ServeSession::run_source`]) feeds the same
+//!   loop straight from a `WorkloadSource` through recycled job blocks —
+//!   byte-identical output to the materialized path with memory bounded by
+//!   `producers × chunk × channel_capacity + queue_cap`, which is what
+//!   makes million-arrival runs a benchmark row instead of an allocation.
 //! * **Overload robustness**: a hard-bounded admission queue with pluggable
 //!   [`ShedPolicy`]s (reject-newest, reject-latest-deadline,
 //!   degrade-to-rigid) and per-class backpressure counters.
@@ -37,6 +42,8 @@ pub mod telemetry;
 
 pub use events::{ServeEvent, ShedPolicy};
 pub use hist::{LatencyHistogram, MIN_LATENCY, NUM_BUCKETS, SUBBUCKETS_PER_OCTAVE};
-pub use mux::{partition_jobs, JobMux};
-pub use session::{ClockMode, ServeConfig, ServeReport, ServeSession};
+pub use mux::{
+    partition_jobs, produce_blocks, ArrivalFeed, BlockChannel, BlockMux, JobMux, DEFAULT_CHUNK,
+};
+pub use session::{ClockMode, ServeConfig, ServeProgress, ServeReport, ServeSession};
 pub use telemetry::{ClassCounters, ServeTelemetry};

@@ -14,32 +14,30 @@
 use std::sync::mpsc::{Receiver, SyncSender};
 
 use tcrm_sim::Job;
+use tcrm_workload::partition_lane;
 
-/// SplitMix64 — tiny, seedable, and good enough to spread jobs uniformly
-/// across producers (the same generator the engine family uses for seed
-/// derivation).
-fn splitmix64(state: &mut u64) {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-}
+/// Number of jobs per block on the chunked streaming ingest path. Blocks
+/// amortise channel synchronisation: one send/recv rendezvous per
+/// `DEFAULT_CHUNK` jobs instead of per job.
+pub const DEFAULT_CHUNK: usize = 64;
 
-fn splitmix64_mix(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// One streaming lane's channel pair as the consumer holds it: the block
+/// data receiver plus the recycle sender that hands spent buffers back to
+/// the producer.
+pub type BlockChannel = (Receiver<Vec<Job>>, SyncSender<Vec<Job>>);
 
 /// Deterministically split `jobs` (already sorted by `(arrival, id)`) into
 /// `producers` subsequences. Each job lands on the producer chosen by a
-/// seeded hash of its position, so the partition — like everything else in
-/// the virtual-time executor — is a function of `(jobs, producers, seed)`.
+/// seeded hash of its position ([`tcrm_workload::partition_lane`] — the
+/// same hash the streaming path's
+/// [`tcrm_workload::Partition`] filter applies lane-local), so the
+/// partition — like everything else in the virtual-time executor — is a
+/// function of `(jobs, producers, seed)`.
 pub fn partition_jobs(jobs: Vec<Job>, producers: usize, seed: u64) -> Vec<Vec<Job>> {
     let producers = producers.max(1);
     let mut parts: Vec<Vec<Job>> = (0..producers).map(|_| Vec::new()).collect();
-    let mut state = seed ^ 0xD6E8_FEB8_6659_FD93;
-    for job in jobs {
-        splitmix64(&mut state);
-        let pick = (splitmix64_mix(state) % producers as u64) as usize;
-        parts[pick].push(job);
+    for (position, job) in jobs.into_iter().enumerate() {
+        parts[partition_lane(seed, position as u64, producers)].push(job);
     }
     parts
 }
@@ -118,6 +116,195 @@ impl Iterator for JobMux {
     }
 }
 
+/// A merged arrival stream the serving loop can drive: `(job, producer)`
+/// pairs in global `(arrival, id)` order plus end-of-run draining. Both the
+/// per-job [`JobMux`] (materialized path) and the chunked [`BlockMux`]
+/// (streaming path) implement it, which is what lets one epoch loop serve
+/// both entry points byte-identically.
+pub trait ArrivalFeed: Iterator<Item = (Job, usize)> {
+    /// Jobs yielded so far.
+    fn produced(&self) -> usize;
+
+    /// Drain every remaining job (an aborted run counts leftovers toward
+    /// the total) and return how many there were.
+    fn drain(self) -> usize;
+}
+
+impl ArrivalFeed for JobMux {
+    fn produced(&self) -> usize {
+        self.produced()
+    }
+
+    fn drain(self) -> usize {
+        self.drain()
+    }
+}
+
+/// The streaming producer half: pull jobs straight from a source iterator
+/// (typically a [`tcrm_workload::Partition`]-filtered rebuild of the
+/// scenario) into `chunk`-sized blocks on a bounded channel. Spent blocks
+/// come back over the `recycle` channel, so after a warm-up of at most
+/// `budget` fresh allocations the loop reuses the same buffers for the rest
+/// of the run — the steady-state ingest path allocates nothing.
+///
+/// Runs on a scoped thread; a closed data channel (aborted run) ends the
+/// replay, and a closed recycle channel just falls back to fresh buffers so
+/// the drain path can never deadlock a producer.
+pub fn produce_blocks<S: Iterator<Item = Job>>(
+    mut source: S,
+    chunk: usize,
+    tx: SyncSender<Vec<Job>>,
+    recycle: Receiver<Vec<Job>>,
+    budget: usize,
+) {
+    let chunk = chunk.max(1);
+    let mut allocated = 0usize;
+    loop {
+        let mut block = if allocated < budget {
+            match recycle.try_recv() {
+                Ok(spent) => spent,
+                Err(_) => {
+                    allocated += 1;
+                    Vec::with_capacity(chunk)
+                }
+            }
+        } else {
+            // The warm-up budget is spent: block until the consumer hands a
+            // buffer back rather than allocating more.
+            recycle.recv().unwrap_or_else(|_| Vec::with_capacity(chunk))
+        };
+        block.clear();
+        while block.len() < chunk {
+            match source.next() {
+                Some(job) => block.push(job),
+                None => break,
+            }
+        }
+        if block.is_empty() {
+            return;
+        }
+        let len = block.len();
+        if tx.send(block).is_err() {
+            return;
+        }
+        if len < chunk {
+            return;
+        }
+    }
+}
+
+/// One producer lane of the chunked merge: the current block with a cursor,
+/// plus the data/recycle channel pair shared with [`produce_blocks`].
+struct BlockLane {
+    rx: Receiver<Vec<Job>>,
+    recycle: SyncSender<Vec<Job>>,
+    block: Vec<Job>,
+    cursor: usize,
+    done: bool,
+}
+
+impl BlockLane {
+    /// Advance to a non-empty block (or mark the lane done), returning the
+    /// spent buffer to the producer *before* blocking on the next block so
+    /// the producer always has a buffer to fill.
+    fn refill(&mut self) {
+        while !self.done && self.cursor >= self.block.len() {
+            let spent = std::mem::take(&mut self.block);
+            self.cursor = 0;
+            let _ = self.recycle.try_send(spent);
+            match self.rx.recv() {
+                Ok(next) => self.block = next,
+                Err(_) => self.done = true,
+            }
+        }
+    }
+
+    fn head(&self) -> Option<&Job> {
+        self.block.get(self.cursor)
+    }
+}
+
+/// The chunked consumer half: a K-way merge over block channels that always
+/// yields the globally smallest `(arrival, id)` head — the block-iterator
+/// sibling of [`JobMux`], producing the exact same merged order for the
+/// same partitioned stream.
+pub struct BlockMux {
+    lanes: Vec<BlockLane>,
+    produced: usize,
+}
+
+impl BlockMux {
+    /// Build the merge state from per-lane `(data, recycle)` channel pairs,
+    /// blocking for every producer's first block.
+    pub fn new(channels: Vec<BlockChannel>) -> Self {
+        let mut lanes: Vec<BlockLane> = channels
+            .into_iter()
+            .map(|(rx, recycle)| BlockLane {
+                rx,
+                recycle,
+                block: Vec::new(),
+                cursor: 0,
+                done: false,
+            })
+            .collect();
+        for lane in &mut lanes {
+            lane.refill();
+        }
+        Self { lanes, produced: 0 }
+    }
+}
+
+impl Iterator for BlockMux {
+    type Item = (Job, usize);
+
+    /// Pop the next job in global `(arrival, id)` order together with the
+    /// index of the producer that carried it. Blocks only when the owning
+    /// lane's next block has not been sent yet; `None` once every lane has
+    /// drained.
+    fn next(&mut self) -> Option<(Job, usize)> {
+        let lane_index = self
+            .lanes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, lane)| lane.head().map(|job| (i, job)))
+            .min_by(|(_, a), (_, b)| {
+                a.arrival
+                    .partial_cmp(&b.arrival)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.id.cmp(&b.id))
+            })
+            .map(|(i, _)| i)?;
+        let lane = &mut self.lanes[lane_index];
+        // Jobs own no heap state, so this clone out of the reusable block
+        // buffer allocates nothing.
+        let job = lane.block[lane.cursor].clone();
+        lane.cursor += 1;
+        lane.refill();
+        self.produced += 1;
+        Some((job, lane_index))
+    }
+}
+
+impl ArrivalFeed for BlockMux {
+    fn produced(&self) -> usize {
+        self.produced
+    }
+
+    fn drain(self) -> usize {
+        let mut leftover = 0;
+        for lane in self.lanes {
+            leftover += lane.block.len().saturating_sub(lane.cursor);
+            for block in lane.rx.iter() {
+                leftover += block.len();
+                // Keep buffers circulating so a budget-exhausted producer
+                // is never left waiting on a recycle that will not come.
+                let _ = lane.recycle.try_send(block);
+            }
+        }
+        leftover
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +352,54 @@ mod tests {
             assert_eq!(merged, jobs, "merge must restore (arrival, id) order");
             assert_eq!(mux.produced(), 200);
             assert_eq!(mux.drain(), 0);
+        });
+    }
+
+    #[test]
+    fn block_merge_matches_the_per_job_merge() {
+        let jobs: Vec<Job> = (0..300).map(|i| job(i, (i / 4) as f64)).collect();
+        let parts = partition_jobs(jobs.clone(), 4, 9);
+        std::thread::scope(|s| {
+            let mut channels = Vec::new();
+            for part in parts {
+                let (tx, rx) = sync_channel(2);
+                let (recycle_tx, recycle_rx) = sync_channel(8);
+                s.spawn(move || produce_blocks(part.into_iter(), 7, tx, recycle_rx, 4));
+                channels.push((rx, recycle_tx));
+            }
+            let mut mux = BlockMux::new(channels);
+            let mut merged = Vec::new();
+            for (job, lane) in mux.by_ref() {
+                assert!(lane < 4);
+                merged.push(job);
+            }
+            assert_eq!(merged, jobs, "block merge must restore (arrival, id) order");
+            assert_eq!(mux.produced(), 300);
+            assert_eq!(mux.drain(), 0);
+        });
+    }
+
+    #[test]
+    fn block_drain_counts_everything_not_yet_consumed() {
+        let jobs: Vec<Job> = (0..100).map(|i| job(i, i as f64)).collect();
+        let parts = partition_jobs(jobs, 3, 1);
+        std::thread::scope(|s| {
+            let mut channels = Vec::new();
+            for part in parts {
+                let (tx, rx) = sync_channel(2);
+                let (recycle_tx, recycle_rx) = sync_channel(8);
+                s.spawn(move || produce_blocks(part.into_iter(), 8, tx, recycle_rx, 4));
+                channels.push((rx, recycle_tx));
+            }
+            let mut mux = BlockMux::new(channels);
+            for _ in 0..40 {
+                mux.next().unwrap();
+            }
+            assert_eq!(
+                mux.drain(),
+                60,
+                "cursors + queued blocks + unsent all count"
+            );
         });
     }
 

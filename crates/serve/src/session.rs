@@ -10,6 +10,30 @@
 //! never reaches) a serving run therefore reports the **identical**
 //! [`Summary`] as the batch drivers over the same jobs — the parity pin the
 //! integration tests assert.
+//!
+//! # Two entry points, one merged stream
+//!
+//! [`ServeSession::run`] takes a materialized `Vec<Job>` and replays it
+//! through per-job channels; [`ServeSession::run_source`] streams straight
+//! from a [`WorkloadSource`] factory with no intermediate job vector. Both
+//! partition arrivals across producers by the same seeded position hash
+//! ([`tcrm_workload::partition_lane`]) and merge them back in `(arrival,
+//! id)` order, so for the same `(seed, workload, policy, producers)` the
+//! two paths produce **byte-identical** event logs and reports — the
+//! streaming path just never holds more than a few blocks of jobs alive.
+//!
+//! # Memory model of the streaming path
+//!
+//! Peak job-holding state of [`ServeSession::run_source`] is bounded by the
+//! pipeline, not the workload:
+//! `producers × chunk × (channel_capacity + warm-up blocks) + queue_cap`
+//! jobs plus the engine's running set — independent of how many arrivals
+//! the run serves. Pair it with
+//! [`SimConfig::bounded_metrics`](tcrm_sim::SimConfig) (which folds
+//! per-job metrics into fixed-size aggregates) and `log_events: false` to
+//! keep a million-arrival run's footprint flat; block buffers are recycled
+//! through a back-channel, so the steady-state ingest loop allocates
+//! nothing after warm-up.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -20,9 +44,10 @@ use tcrm_sim::{
     Action, ActionOutcome, ClusterSpec, EpochKind, Job, JobClass, Scheduler, SimConfig, Simulator,
     Summary,
 };
+use tcrm_workload::{Partition, WorkloadSource};
 
 use crate::events::{ServeEvent, ShedPolicy};
-use crate::mux::{partition_jobs, produce, JobMux};
+use crate::mux::{partition_jobs, produce, produce_blocks, ArrivalFeed, BlockMux, JobMux};
 use crate::telemetry::ServeTelemetry;
 
 /// How the executor experiences time.
@@ -45,8 +70,13 @@ pub enum ClockMode {
 pub struct ServeConfig {
     /// Number of producer threads feeding the session.
     pub producers: usize,
-    /// Bounded capacity of each producer's channel (backpressure).
+    /// Bounded capacity of each producer's channel (backpressure): job
+    /// slots on the materialized path, block slots on the streaming path.
     pub channel_capacity: usize,
+    /// Jobs per block on the streaming path
+    /// ([`crate::mux::DEFAULT_CHUNK`] by default) — one channel rendezvous
+    /// per `chunk` jobs. Ignored by the materialized path.
+    pub chunk: usize,
     /// Hard cap on the admission (pending) queue depth.
     pub queue_cap: usize,
     /// What to do when an arrival would push the queue past the cap.
@@ -56,6 +86,11 @@ pub struct ServeConfig {
     pub seed: u64,
     /// Virtual-time determinism or wall-clock measurement.
     pub mode: ClockMode,
+    /// Build the canonical event-log text. `false` keeps subscribers and
+    /// every other observable identical but leaves
+    /// [`ServeReport::event_log`] empty — the log grows O(jobs), so
+    /// million-arrival runs turn it off.
+    pub log_events: bool,
 }
 
 impl Default for ServeConfig {
@@ -63,10 +98,12 @@ impl Default for ServeConfig {
         Self {
             producers: 4,
             channel_capacity: 64,
+            chunk: crate::mux::DEFAULT_CHUNK,
             queue_cap: 64,
             shed_policy: ShedPolicy::default(),
             seed: 0,
             mode: ClockMode::default(),
+            log_events: true,
         }
     }
 }
@@ -79,13 +116,27 @@ pub struct ServeReport {
     /// Tail-latency and overload telemetry.
     pub telemetry: ServeTelemetry,
     /// The canonical event log: one `seq time event` line per observable
-    /// step. Byte-identical across same-seed virtual runs.
+    /// step. Byte-identical across same-seed virtual runs; empty when
+    /// [`ServeConfig::log_events`] is off.
     pub event_log: String,
     /// Whether the run aborted (deadlock guard or `max_sim_time`).
     pub aborted: bool,
 }
 
-/// Per-job bookkeeping the serving loop keeps outside the engine.
+/// Live counters handed to the [`ServeSession::on_progress`] hook.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeProgress {
+    /// Current virtual time.
+    pub time: f64,
+    /// Arrival epochs observed so far.
+    pub submitted: u64,
+    /// Completion epochs observed so far.
+    pub completed: u64,
+}
+
+/// Per-job bookkeeping the serving loop keeps outside the engine. Entries
+/// are pruned at completion/shed, so the map holds only live jobs — O(queue
+/// + running), not O(jobs).
 #[derive(Debug, Clone, Copy)]
 struct JobMeta {
     class: JobClass,
@@ -93,11 +144,12 @@ struct JobMeta {
     producer: usize,
 }
 
-/// The event fan-out: appends canonical lines to the log and clones each
-/// event to every live subscriber (dead receivers are dropped).
+/// The event fan-out: appends canonical lines to the log (when enabled) and
+/// clones each event to every live subscriber (dead receivers are dropped).
 struct EventSink<'a> {
     text: String,
     seq: u64,
+    enabled: bool,
     subscribers: &'a mut Vec<Sender<ServeEvent>>,
 }
 
@@ -105,18 +157,28 @@ impl EventSink<'_> {
     fn emit(&mut self, time: f64, event: ServeEvent) {
         // `{}` on f64 is shortest-roundtrip formatting: identical bits render
         // identical bytes, which is what makes the log `cmp`-able.
-        let _ = writeln!(self.text, "{} {} {}", self.seq, time, event);
+        if self.enabled {
+            let _ = writeln!(self.text, "{} {} {}", self.seq, time, event);
+        }
         self.seq += 1;
         self.subscribers.retain(|tx| tx.send(event.clone()).is_ok());
     }
 }
 
+/// Progress-hook epoch stride: frequent enough for a ≤2 s heartbeat on any
+/// realistic run, rare enough to stay invisible in profiles.
+const PROGRESS_STRIDE: u64 = 1024;
+
 /// A reusable serving facade over one simulator.
+///
+/// The recommended entry point streams arrivals straight from a workload
+/// source — no materialized job vector, so memory stays bounded by the
+/// queue and channel capacities however many arrivals the run serves:
 ///
 /// ```
 /// use tcrm_serve::{ServeConfig, ServeSession};
 /// use tcrm_sim::prelude::*;
-/// use tcrm_workload::{SyntheticSource, WorkloadSpec, WorkloadSource};
+/// use tcrm_workload::{SyntheticSource, WorkloadSpec};
 ///
 /// struct Greedy;
 /// impl Scheduler for Greedy {
@@ -130,9 +192,11 @@ impl EventSink<'_> {
 ///
 /// let cluster = ClusterSpec::icpp_default();
 /// let spec = WorkloadSpec::icpp_default().with_num_jobs(20);
-/// let jobs: Vec<Job> = SyntheticSource::new(&spec, &cluster, 7).unwrap().collect();
-/// let mut session = ServeSession::new(cluster, SimConfig::default(), ServeConfig::default());
-/// let report = session.run(jobs, &mut Greedy);
+/// let mut session = ServeSession::new(cluster.clone(), SimConfig::default(), ServeConfig::default());
+/// let report = session.run_source(
+///     || SyntheticSource::new(&spec, &cluster, 7).unwrap(),
+///     &mut Greedy,
+/// );
 /// assert_eq!(report.summary.total_jobs, 20);
 /// assert!(!report.event_log.is_empty());
 /// ```
@@ -140,6 +204,7 @@ pub struct ServeSession {
     sim: Simulator,
     config: ServeConfig,
     subscribers: Vec<Sender<ServeEvent>>,
+    progress: Option<Box<dyn FnMut(ServeProgress)>>,
 }
 
 impl ServeSession {
@@ -149,6 +214,7 @@ impl ServeSession {
             sim: Simulator::new(spec, sim_config),
             config,
             subscribers: Vec::new(),
+            progress: None,
         }
     }
 
@@ -165,8 +231,17 @@ impl ServeSession {
         rx
     }
 
-    /// Serve one workload under `scheduler` and return the report. The
-    /// session (simulator and subscribers) is reusable afterwards.
+    /// Install a progress hook, called from the serving thread every
+    /// `PROGRESS_STRIDE` (1024) epochs with live counters. Long-run drivers hang
+    /// their heartbeat here; the hook observes, it cannot steer.
+    pub fn on_progress(&mut self, hook: impl FnMut(ServeProgress) + 'static) {
+        self.progress = Some(Box::new(hook));
+    }
+
+    /// Serve one **materialized** workload under `scheduler` and return the
+    /// report. The session (simulator and subscribers) is reusable
+    /// afterwards. Prefer [`Self::run_source`] for anything large: this
+    /// path holds every job alive up front.
     pub fn run<S: Scheduler + ?Sized>(
         &mut self,
         mut jobs: Vec<Job>,
@@ -179,131 +254,264 @@ impl ServeSession {
                 .then(a.id.cmp(&b.id))
         });
         let expected = jobs.len();
-        let cap = self.config.queue_cap;
-        let policy = self.config.shed_policy;
-        let wall = self.config.mode == ClockMode::Wall;
-
-        let sim = &mut self.sim;
-        sim.reset();
-        scheduler.on_simulation_start();
-        sim.begin_service(expected);
-        let mut view = sim.view();
-        let mut telemetry = ServeTelemetry::new(policy, cap);
-        let mut sink = EventSink {
-            text: String::new(),
-            seq: 0,
-            subscribers: &mut self.subscribers,
-        };
-        let mut meta: HashMap<u64, JobMeta> = HashMap::with_capacity(expected);
-
         let parts = partition_jobs(jobs, self.config.producers, self.config.seed);
-        let leftover = std::thread::scope(|scope| {
+        let config = self.config;
+        let sim = &mut self.sim;
+        let subscribers = &mut self.subscribers;
+        let progress = &mut self.progress;
+        let channel_capacity = config.channel_capacity.max(1);
+
+        let (leftover, telemetry, sink) = std::thread::scope(|scope| {
             let mut receivers = Vec::with_capacity(parts.len());
             for part in parts {
-                let (tx, rx) = mpsc::sync_channel(self.config.channel_capacity.max(1));
+                let (tx, rx) = mpsc::sync_channel(channel_capacity);
                 scope.spawn(move || produce(part, tx));
                 receivers.push(rx);
             }
-            let mut mux = JobMux::new(receivers);
-            let mut pull = |sim: &mut Simulator, meta: &mut HashMap<u64, JobMeta>| {
-                if let Some((job, producer)) = mux.next() {
-                    meta.insert(
-                        job.id.0,
-                        JobMeta {
-                            class: job.class,
-                            arrival: job.arrival,
-                            producer,
-                        },
-                    );
-                    sim.submit(job);
-                }
-            };
-            // Prime the single-lookahead invariant: exactly one future
-            // arrival buffered while producers still have work.
-            pull(sim, &mut meta);
-
-            while sim.advance() {
-                let now = sim.time();
-                match sim.last_epoch() {
-                    EpochKind::Arrival(id) => {
-                        let m = meta[&id.0];
-                        let depth = sim.pending_count();
-                        telemetry.classes.submitted[m.class.index()] += 1;
-                        sink.emit(
-                            now,
-                            ServeEvent::Submitted {
-                                job: id,
-                                class: m.class,
-                                producer: m.producer,
-                                depth,
-                            },
-                        );
-                        admission_control(
-                            sim,
-                            id,
-                            depth,
-                            cap,
-                            policy,
-                            &meta,
-                            &mut telemetry,
-                            &mut sink,
-                        );
-                    }
-                    EpochKind::Completion(id) => {
-                        if let Some(m) = meta.get(&id.0) {
-                            telemetry.classes.completed[m.class.index()] += 1;
-                        }
-                        sink.emit(now, ServeEvent::Completed { job: id });
-                    }
-                    EpochKind::Periodic => {}
-                }
-                if sim.buffered_arrivals() == 0 {
-                    pull(sim, &mut meta);
-                }
-                let compute_start = wall.then(Instant::now);
-                let changed = {
-                    let meta = &meta;
-                    let telemetry = &mut telemetry;
-                    let sink = &mut sink;
-                    sim.decision_rounds_hooked(scheduler, &mut view, &mut |action, outcome| {
-                        observe_action(action, outcome, now, meta, telemetry, sink);
-                    })
-                };
-                if let Some(t0) = compute_start {
-                    telemetry.epoch_compute.record(t0.elapsed().as_secs_f64());
-                }
-                sim.compact_log(&view);
-                telemetry.sample_depth(now, sim.pending_count());
-                // Deadlock guard — the bundled drivers' condition verbatim.
-                if !changed
-                    && sim.running_count() == 0
-                    && sim.buffered_arrivals() == 0
-                    && sim.pending_count() > 0
-                {
-                    sim.abort_service();
-                }
-            }
-            mux.drain()
+            let mux = JobMux::new(receivers);
+            drive(
+                sim,
+                scheduler,
+                mux,
+                expected,
+                &config,
+                subscribers,
+                progress,
+            )
         });
+        finish(sim, leftover, telemetry, sink)
+    }
 
-        // Jobs the producers never got to submit (aborted run) still count
-        // toward the total, mirroring the batch drivers.
-        sim.account_unsubmitted(leftover);
-        let aborted = sim.is_aborted();
-        let summary = sim.finish_service();
-        sink.emit(
-            sim.time(),
-            ServeEvent::Finished {
-                total_jobs: summary.total_jobs,
-                aborted,
-            },
-        );
-        ServeReport {
-            summary,
-            telemetry,
-            event_log: sink.text,
-            aborted,
+    /// Serve one workload **streamed** from `make_source` under `scheduler`
+    /// — the O(queue) entry point: no intermediate `Vec<Job>` ever exists.
+    ///
+    /// Each producer thread rebuilds the source via `make_source()` and
+    /// keeps only its own slots of the seeded position hash
+    /// ([`tcrm_workload::Partition::pinned`] over
+    /// [`ServeConfig::seed`]), then ships jobs in
+    /// [`ServeConfig::chunk`]-sized recycled blocks. The merged stream the
+    /// engine observes is byte-identical to [`Self::run`] over the
+    /// collected source — for the same `(seed, workload, policy)` the two
+    /// paths produce the same event log, summary and telemetry, for any
+    /// producer count.
+    ///
+    /// The source must yield jobs in `(arrival, id)` order with
+    /// deterministic replay across rebuilds (every
+    /// [`tcrm_workload::ScenarioRegistry`]-built source does); sources with
+    /// an exact size hint avoid an extra counting pass for the arrival
+    /// hint.
+    pub fn run_source<Src, F, S>(&mut self, make_source: F, scheduler: &mut S) -> ServeReport
+    where
+        Src: WorkloadSource,
+        F: Fn() -> Src,
+        S: Scheduler + ?Sized,
+    {
+        // The engine's arrival hint must match the materialized path's job
+        // count exactly (it feeds `future_arrivals` in scheduler views, so
+        // it is part of the byte-identity contract). Sources with an exact
+        // size hint answer for free; anything else costs one counting pass
+        // over a throwaway rebuild — still O(1) memory.
+        let mut probe = make_source();
+        let expected = match probe.size_hint() {
+            (lo, Some(hi)) if lo == hi => lo,
+            _ => probe.by_ref().count(),
+        };
+        drop(probe);
+
+        let config = self.config;
+        let sim = &mut self.sim;
+        let subscribers = &mut self.subscribers;
+        let progress = &mut self.progress;
+        let producers = config.producers.max(1);
+        let chunk = config.chunk.max(1);
+        let channel_capacity = config.channel_capacity.max(1);
+        // Fresh-allocation budget per producer: every channel slot plus the
+        // block being filled and the block being consumed can be in flight
+        // at once. The recycle channel is sized so returning a spent buffer
+        // never blocks the consumer.
+        let budget = channel_capacity + 2;
+
+        let (leftover, telemetry, sink) = std::thread::scope(|scope| {
+            let mut channels = Vec::with_capacity(producers);
+            for slot in 0..producers {
+                let (tx, rx) = mpsc::sync_channel(channel_capacity);
+                let (recycle_tx, recycle_rx) = mpsc::sync_channel(budget + 2);
+                let source = Partition::pinned(make_source(), slot, producers, config.seed);
+                scope.spawn(move || produce_blocks(source, chunk, tx, recycle_rx, budget));
+                channels.push((rx, recycle_tx));
+            }
+            let mux = BlockMux::new(channels);
+            drive(
+                sim,
+                scheduler,
+                mux,
+                expected,
+                &config,
+                subscribers,
+                progress,
+            )
+        });
+        finish(sim, leftover, telemetry, sink)
+    }
+}
+
+/// The serving epoch loop, shared verbatim by both entry points — the feed
+/// is the only thing that differs, which is what pins the streaming path
+/// byte-identical to the materialized one. Returns the drained leftover
+/// count plus the run's telemetry and event sink.
+fn drive<'a, F, S>(
+    sim: &mut Simulator,
+    scheduler: &mut S,
+    mut feed: F,
+    expected: usize,
+    config: &ServeConfig,
+    subscribers: &'a mut Vec<Sender<ServeEvent>>,
+    progress: &mut Option<Box<dyn FnMut(ServeProgress)>>,
+) -> (usize, ServeTelemetry, EventSink<'a>)
+where
+    F: ArrivalFeed,
+    S: Scheduler + ?Sized,
+{
+    let cap = config.queue_cap;
+    let policy = config.shed_policy;
+    let wall = config.mode == ClockMode::Wall;
+
+    sim.reset();
+    scheduler.on_simulation_start();
+    sim.begin_service(expected);
+    let mut view = sim.view();
+    let mut telemetry = ServeTelemetry::new(policy, cap);
+    let mut sink = EventSink {
+        text: String::new(),
+        seq: 0,
+        enabled: config.log_events,
+        subscribers,
+    };
+    // Live jobs only (pruned at completion/shed), so the capacity hint is
+    // bounded: a million-arrival run does not warrant a million-slot map.
+    let mut meta: HashMap<u64, JobMeta> = HashMap::with_capacity(expected.min(4096));
+    let mut submitted = 0u64;
+    let mut completed = 0u64;
+    let mut epochs = 0u64;
+
+    let pull = |sim: &mut Simulator, meta: &mut HashMap<u64, JobMeta>, feed: &mut F| {
+        if let Some((job, producer)) = feed.next() {
+            meta.insert(
+                job.id.0,
+                JobMeta {
+                    class: job.class,
+                    arrival: job.arrival,
+                    producer,
+                },
+            );
+            sim.submit(job);
         }
+    };
+    // Prime the single-lookahead invariant: exactly one future arrival
+    // buffered while producers still have work.
+    pull(sim, &mut meta, &mut feed);
+
+    while sim.advance() {
+        let now = sim.time();
+        match sim.last_epoch() {
+            EpochKind::Arrival(id) => {
+                let m = meta[&id.0];
+                let depth = sim.pending_count();
+                submitted += 1;
+                telemetry.classes.submitted[m.class.index()] += 1;
+                sink.emit(
+                    now,
+                    ServeEvent::Submitted {
+                        job: id,
+                        class: m.class,
+                        producer: m.producer,
+                        depth,
+                    },
+                );
+                admission_control(
+                    sim,
+                    id,
+                    depth,
+                    cap,
+                    policy,
+                    &mut meta,
+                    &mut telemetry,
+                    &mut sink,
+                );
+            }
+            EpochKind::Completion(id) => {
+                completed += 1;
+                if let Some(m) = meta.remove(&id.0) {
+                    telemetry.classes.completed[m.class.index()] += 1;
+                }
+                sink.emit(now, ServeEvent::Completed { job: id });
+            }
+            EpochKind::Periodic => {}
+        }
+        if sim.buffered_arrivals() == 0 {
+            pull(sim, &mut meta, &mut feed);
+        }
+        let compute_start = wall.then(Instant::now);
+        let changed = {
+            let meta = &meta;
+            let telemetry = &mut telemetry;
+            let sink = &mut sink;
+            sim.decision_rounds_hooked(scheduler, &mut view, &mut |action, outcome| {
+                observe_action(action, outcome, now, meta, telemetry, sink);
+            })
+        };
+        if let Some(t0) = compute_start {
+            telemetry.epoch_compute.record(t0.elapsed().as_secs_f64());
+        }
+        sim.compact_log(&view);
+        telemetry.sample_depth(now, sim.pending_count());
+        // Deadlock guard — the bundled drivers' condition verbatim.
+        if !changed
+            && sim.running_count() == 0
+            && sim.buffered_arrivals() == 0
+            && sim.pending_count() > 0
+        {
+            sim.abort_service();
+        }
+        epochs += 1;
+        if epochs.is_multiple_of(PROGRESS_STRIDE) {
+            if let Some(hook) = progress.as_mut() {
+                hook(ServeProgress {
+                    time: now,
+                    submitted,
+                    completed,
+                });
+            }
+        }
+    }
+    (feed.drain(), telemetry, sink)
+}
+
+/// Shared run epilogue: account leftovers, finish the engine run, emit the
+/// terminal event and assemble the report.
+fn finish(
+    sim: &mut Simulator,
+    leftover: usize,
+    telemetry: ServeTelemetry,
+    mut sink: EventSink<'_>,
+) -> ServeReport {
+    // Jobs the producers never got to submit (aborted run) still count
+    // toward the total, mirroring the batch drivers.
+    sim.account_unsubmitted(leftover);
+    let aborted = sim.is_aborted();
+    let summary = sim.finish_service();
+    sink.emit(
+        sim.time(),
+        ServeEvent::Finished {
+            total_jobs: summary.total_jobs,
+            aborted,
+        },
+    );
+    ServeReport {
+        summary,
+        telemetry,
+        event_log: sink.text,
+        aborted,
     }
 }
 
@@ -317,7 +525,7 @@ fn admission_control(
     depth: usize,
     cap: usize,
     policy: ShedPolicy,
-    meta: &HashMap<u64, JobMeta>,
+    meta: &mut HashMap<u64, JobMeta>,
     telemetry: &mut ServeTelemetry,
     sink: &mut EventSink<'_>,
 ) {
@@ -362,13 +570,15 @@ fn shed(
     sim: &mut Simulator,
     victim: tcrm_sim::JobId,
     policy: ShedPolicy,
-    meta: &HashMap<u64, JobMeta>,
+    meta: &mut HashMap<u64, JobMeta>,
     telemetry: &mut ServeTelemetry,
     sink: &mut EventSink<'_>,
     now: f64,
 ) {
     if sim.cancel_pending(victim).is_some() {
-        if let Some(m) = meta.get(&victim.0) {
+        // A shed job will never complete: prune its bookkeeping now so the
+        // meta map stays O(live jobs).
+        if let Some(m) = meta.remove(&victim.0) {
             telemetry.classes.shed[m.class.index()] += 1;
         }
         sink.emit(

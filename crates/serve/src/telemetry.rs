@@ -31,6 +31,13 @@ impl ClassCounters {
     }
 }
 
+/// Cap on stored queue-depth samples. When the series fills, every second
+/// sample is dropped and the recording stride doubles — a deterministic
+/// decimation, so the series of an arbitrarily long run stays bounded at a
+/// resolution proportional to its length and two identical runs still carry
+/// identical telemetry.
+pub const MAX_DEPTH_SAMPLES: usize = 4096;
+
 /// Everything a serving run measures beyond the engine's own [`Summary`]:
 /// how long decisions kept jobs waiting (histograms), how deep the admission
 /// queue got (time series + high-water mark), and how much work the shed
@@ -50,12 +57,18 @@ pub struct ServeTelemetry {
     /// the host clock.
     pub epoch_compute: LatencyHistogram,
     /// `(virtual time, queue depth)` samples, one per decision epoch whose
-    /// depth differs from the previous sample.
+    /// depth differs from the previous stored sample — decimated past
+    /// [`MAX_DEPTH_SAMPLES`] so the series never grows with run length.
     pub queue_depth: Vec<(f64, usize)>,
     /// Deepest the admission queue ever got (≤ cap, property-tested).
     pub max_queue_depth: usize,
     /// Per-class admission and shed counters.
     pub classes: ClassCounters,
+    /// Record every `depth_stride`-th depth change (doubles at each
+    /// decimation).
+    depth_stride: u64,
+    /// Depth changes seen so far (drives the stride).
+    depth_tick: u64,
 }
 
 impl ServeTelemetry {
@@ -69,15 +82,34 @@ impl ServeTelemetry {
             queue_depth: Vec::new(),
             max_queue_depth: 0,
             classes: ClassCounters::default(),
+            depth_stride: 1,
+            depth_tick: 0,
         }
     }
 
     /// Record the admission-queue depth at virtual time `time`, compressing
-    /// runs of equal depth into one sample.
+    /// runs of equal depth into one sample. Past [`MAX_DEPTH_SAMPLES`] the
+    /// series is halved in place and the stride doubles, so memory stays
+    /// bounded for arbitrarily long runs. Deterministic: a pure function of
+    /// the sample sequence.
     pub fn sample_depth(&mut self, time: f64, depth: usize) {
         self.max_queue_depth = self.max_queue_depth.max(depth);
-        if self.queue_depth.last().map(|&(_, d)| d) != Some(depth) {
-            self.queue_depth.push((time, depth));
+        if self.queue_depth.last().map(|&(_, d)| d) == Some(depth) {
+            return;
+        }
+        self.depth_tick += 1;
+        if !self.depth_tick.is_multiple_of(self.depth_stride) {
+            return;
+        }
+        self.queue_depth.push((time, depth));
+        if self.queue_depth.len() >= MAX_DEPTH_SAMPLES {
+            let mut index = 0usize;
+            self.queue_depth.retain(|_| {
+                let keep = index.is_multiple_of(2);
+                index += 1;
+                keep
+            });
+            self.depth_stride *= 2;
         }
     }
 
@@ -177,6 +209,23 @@ mod tests {
         t.sample_depth(4.0, 2);
         assert_eq!(t.queue_depth, vec![(0.0, 1), (2.0, 3), (3.0, 2)]);
         assert_eq!(t.max_queue_depth, 3);
+    }
+
+    #[test]
+    fn depth_series_stays_bounded_and_deterministic() {
+        let run = |n: usize| {
+            let mut t = ServeTelemetry::new(ShedPolicy::RejectNewest, 8);
+            for i in 0..n {
+                t.sample_depth(i as f64, i % 7);
+            }
+            t
+        };
+        let long = run(100_000);
+        assert!(long.queue_depth.len() < MAX_DEPTH_SAMPLES);
+        assert_eq!(long.max_queue_depth, 6);
+        assert_eq!(long, run(100_000), "decimation must be deterministic");
+        // Short series keep full resolution.
+        assert_eq!(run(10).queue_depth.len(), 10);
     }
 
     #[test]

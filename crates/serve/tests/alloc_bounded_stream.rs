@@ -1,0 +1,178 @@
+//! Counting-allocator proof of the streaming serving plane's memory model:
+//!
+//! 1. **Steady-state allocation discipline** — after the pipeline's warm-up
+//!    (block buffers, channels, telemetry, the meta map), the per-job ingest
+//!    cost of [`ServeSession::run_source`] is allocation-free: quadrupling
+//!    the job count adds only a handful of allocations (container growth to
+//!    the warm-up plateau), not O(jobs). Block buffers are recycled through
+//!    the back-channel instead of reallocated.
+//! 2. **Bounded peak** — peak live bytes of a streaming run are a function
+//!    of `producers × chunk × channel_capacity + queue_cap`, not of the
+//!    total arrival count: a 4× longer run peaks within noise of the short
+//!    one, while the materialized path (which must hold every job alive)
+//!    peaks an order of magnitude higher.
+//!
+//! The driving scheduler returns the empty action list (no allocation) so
+//! every measured byte is attributable to the ingest pipeline, and the run
+//! uses `bounded_metrics` + `log_events: false` — the documented
+//! million-arrival configuration. A single `#[test]` in its own binary keeps
+//! concurrent test threads from polluting the counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use tcrm_serve::{ServeConfig, ServeReport, ServeSession, ShedPolicy};
+use tcrm_sim::{Action, ClusterSpec, ClusterView, Scheduler, SimConfig};
+use tcrm_workload::{SyntheticSource, WorkloadSpec};
+
+struct MeteredAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
+static PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+fn on_alloc(size: usize) {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    let live = LIVE_BYTES.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for MeteredAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        on_alloc(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        on_alloc(new_size);
+        LIVE_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: MeteredAllocator = MeteredAllocator;
+
+/// Run `f` and return `(allocations, peak live bytes above the baseline)`.
+fn metered(f: impl FnOnce()) -> (u64, usize) {
+    let live0 = LIVE_BYTES.load(Ordering::SeqCst);
+    PEAK_BYTES.store(live0, Ordering::SeqCst);
+    let allocs0 = ALLOCATIONS.load(Ordering::SeqCst);
+    f();
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst) - allocs0;
+    let peak = PEAK_BYTES.load(Ordering::SeqCst).saturating_sub(live0);
+    (allocs, peak)
+}
+
+/// Never acts: `decide` returns an empty vec (no allocation), so the run is
+/// pure ingest — arrivals, admission, shedding — and ends via the deadlock
+/// guard once producers drain.
+struct Inert;
+impl Scheduler for Inert {
+    fn name(&self) -> &str {
+        "inert"
+    }
+    fn decide(&mut self, _view: &ClusterView) -> Vec<Action> {
+        Vec::new()
+    }
+}
+
+fn sim_config() -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.bounded_metrics = true;
+    cfg.max_sim_time = 1e12;
+    cfg
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        producers: 4,
+        channel_capacity: 4,
+        chunk: 64,
+        queue_cap: 64,
+        shed_policy: ShedPolicy::RejectNewest,
+        seed: 7,
+        log_events: false,
+        ..ServeConfig::default()
+    }
+}
+
+fn streamed(n: usize) -> ServeReport {
+    let cluster = ClusterSpec::icpp_default();
+    let spec = WorkloadSpec::icpp_default().with_num_jobs(n);
+    let mut session = ServeSession::new(cluster.clone(), sim_config(), serve_config());
+    session.run_source(
+        || SyntheticSource::new(&spec, &cluster, 7).unwrap(),
+        &mut Inert,
+    )
+}
+
+fn materialized(n: usize) -> ServeReport {
+    let cluster = ClusterSpec::icpp_default();
+    let spec = WorkloadSpec::icpp_default().with_num_jobs(n);
+    let jobs = SyntheticSource::new(&spec, &cluster, 7).unwrap().collect();
+    let mut session = ServeSession::new(cluster, sim_config(), serve_config());
+    session.run(jobs, &mut Inert)
+}
+
+#[test]
+fn streaming_ingest_is_alloc_disciplined_and_peak_bounded() {
+    const SHORT: usize = 10_000;
+    const LONG: usize = 40_000;
+    // The streaming peak is flat in N (asserted below), so the >10x
+    // comparison is taken at a job count where the materialized buffer
+    // dwarfs the pipeline's fixed warm-up plateau — at 1M (the bench tier)
+    // the ratio only grows.
+    const BIG: usize = 150_000;
+
+    // Warm up thread-local and lazy-init state outside the measurements.
+    assert_eq!(streamed(256).summary.total_jobs, 256);
+
+    let (short_allocs, short_peak) = metered(|| {
+        assert_eq!(streamed(SHORT).summary.total_jobs, SHORT);
+    });
+    let (long_allocs, long_peak) = metered(|| {
+        assert_eq!(streamed(LONG).summary.total_jobs, LONG);
+    });
+    let (_, materialized_peak) = metered(|| {
+        assert_eq!(materialized(BIG).summary.total_jobs, BIG);
+    });
+
+    eprintln!(
+        "streaming {SHORT}: {short_allocs} allocs, peak {short_peak} B; \
+         streaming {LONG}: {long_allocs} allocs, peak {long_peak} B; \
+         materialized {BIG}: peak {materialized_peak} B"
+    );
+
+    // 1. Steady-state allocation discipline: 30k extra jobs must not buy
+    //    30k extra allocations. The slack covers telemetry decimation
+    //    rounds and late container doublings; it is ~0.5% of the extra
+    //    jobs, so any per-job allocation in the ingest loop blows it.
+    let extra_jobs = (LONG - SHORT) as u64;
+    let extra_allocs = long_allocs.saturating_sub(short_allocs);
+    assert!(
+        extra_allocs < extra_jobs / 200,
+        "ingest allocates per job: {extra_allocs} extra allocations for {extra_jobs} extra jobs"
+    );
+
+    // 2. Peak live bytes are a function of the pipeline, not the workload:
+    //    4x the arrivals stays within 2x of the short run's peak (noise
+    //    from thread scheduling), nowhere near the 4x a materialized
+    //    buffer would show.
+    assert!(
+        long_peak < short_peak * 2,
+        "streaming peak grew with job count: {short_peak} B -> {long_peak} B"
+    );
+
+    // 3. The materialized path holds every job alive and pays for it —
+    //    streaming's flat peak means this gap widens linearly with N.
+    assert!(
+        materialized_peak > long_peak.saturating_mul(10),
+        "materialized peak {materialized_peak} B is not >10x streaming peak {long_peak} B"
+    );
+}

@@ -13,7 +13,7 @@ use proptest::prelude::*;
 use tcrm_baselines::EdfScheduler;
 use tcrm_serve::{ClockMode, ServeConfig, ServeEvent, ServeSession, ShedPolicy};
 use tcrm_sim::{ClusterSpec, Job, SimConfig, Simulator};
-use tcrm_workload::{ScenarioRegistry, WorkloadSpec};
+use tcrm_workload::{ScenarioRegistry, WorkloadSource, WorkloadSpec};
 
 fn jobs_for(spec_str: &str, n: usize, seed: u64) -> Vec<Job> {
     let registry = ScenarioRegistry::new();
@@ -23,6 +23,17 @@ fn jobs_for(spec_str: &str, n: usize, seed: u64) -> Vec<Job> {
         .build_str(spec_str, &base, &cluster, seed)
         .unwrap()
         .collect()
+}
+
+/// A rebuildable source factory over the same scenario `jobs_for` collects —
+/// what `run_source` hands each producer thread.
+fn source_for(spec_str: &'static str, n: usize, seed: u64) -> impl Fn() -> Box<dyn WorkloadSource> {
+    move || {
+        let registry = ScenarioRegistry::new();
+        let base = WorkloadSpec::icpp_default().with_num_jobs(n);
+        let cluster = ClusterSpec::icpp_default();
+        registry.build_str(spec_str, &base, &cluster, seed).unwrap()
+    }
 }
 
 fn session(config: ServeConfig) -> ServeSession {
@@ -39,6 +50,7 @@ fn same_seed_virtual_runs_are_byte_identical() {
         shed_policy: ShedPolicy::RejectLatestDeadline,
         seed: 3,
         mode: ClockMode::Virtual,
+        ..ServeConfig::default()
     };
     let a = session(config).run(jobs.clone(), &mut EdfScheduler::new());
     let b = session(config).run(jobs, &mut EdfScheduler::new());
@@ -75,6 +87,114 @@ fn producer_count_does_not_change_the_outcome() {
             "{producers} producers x cap {capacity} changed the summary"
         );
     }
+}
+
+#[test]
+fn streaming_matches_the_materialized_run_byte_for_byte() {
+    // The tentpole pin: for the same `(seed, scenario, policy, producers)`,
+    // `run_source` must be indistinguishable from `run` over the collected
+    // jobs — event log, summary, telemetry, abort flag — because the two
+    // paths share one epoch loop and one seeded position hash.
+    const SCENARIO: &str = "poisson+overload(2x,60s)";
+    const N: usize = 150;
+    const SEED: u64 = 11;
+    let jobs = jobs_for(SCENARIO, N, SEED);
+    for producers in [1usize, 3, 6] {
+        let config = ServeConfig {
+            producers,
+            channel_capacity: 4,
+            chunk: 7,
+            queue_cap: 16,
+            shed_policy: ShedPolicy::RejectLatestDeadline,
+            seed: SEED,
+            mode: ClockMode::Virtual,
+            ..ServeConfig::default()
+        };
+        let materialized = session(config).run(jobs.clone(), &mut EdfScheduler::new());
+        let streamed =
+            session(config).run_source(source_for(SCENARIO, N, SEED), &mut EdfScheduler::new());
+        assert!(!streamed.event_log.is_empty());
+        assert_eq!(
+            streamed.event_log, materialized.event_log,
+            "{producers} producers: event logs must be byte-identical"
+        );
+        assert_eq!(
+            streamed.summary, materialized.summary,
+            "{producers} producers"
+        );
+        assert_eq!(
+            streamed.telemetry, materialized.telemetry,
+            "{producers} producers: telemetry must match field for field"
+        );
+        assert_eq!(streamed.aborted, materialized.aborted);
+    }
+}
+
+#[test]
+fn chunk_size_never_leaks_into_the_streamed_outcome() {
+    // Block size is a transport knob: it changes how many jobs ride each
+    // channel rendezvous, never what the engine observes.
+    const SCENARIO: &str = "poisson+spike(10x,5s,at=30)";
+    let reference = jobs_for(SCENARIO, 90, 5);
+    let mut base = ServeConfig::default();
+    base.producers = 3;
+    base.queue_cap = 10;
+    base.seed = 5;
+    let pinned = session(base).run(reference, &mut EdfScheduler::new());
+    for chunk in [1usize, 5, 64, 1024] {
+        let mut config = base;
+        config.chunk = chunk;
+        let run = session(config).run_source(source_for(SCENARIO, 90, 5), &mut EdfScheduler::new());
+        assert_eq!(run.event_log, pinned.event_log, "chunk {chunk}");
+        assert_eq!(run.summary, pinned.summary, "chunk {chunk}");
+        assert_eq!(run.telemetry, pinned.telemetry, "chunk {chunk}");
+    }
+}
+
+#[test]
+fn disabling_the_event_log_changes_nothing_but_the_log() {
+    const SCENARIO: &str = "poisson+overload(2x,60s)";
+    let mut config = ServeConfig::default();
+    config.queue_cap = 12;
+    config.seed = 9;
+    let logged = session(config).run_source(source_for(SCENARIO, 80, 9), &mut EdfScheduler::new());
+    config.log_events = false;
+    let silent = session(config).run_source(source_for(SCENARIO, 80, 9), &mut EdfScheduler::new());
+    assert!(!logged.event_log.is_empty());
+    assert!(
+        silent.event_log.is_empty(),
+        "log off must leave the log empty"
+    );
+    assert_eq!(silent.summary, logged.summary);
+    assert_eq!(silent.telemetry, logged.telemetry);
+}
+
+#[test]
+fn bounded_metrics_streaming_matches_bounded_materialized() {
+    // The million-run configuration (streaming + folded aggregates) must
+    // itself be pinned: bounded mode changes how the summary is computed,
+    // not which path fed the engine.
+    const SCENARIO: &str = "poisson+overload(2x,60s)";
+    let bounded_session = |config: ServeConfig| {
+        let sim = SimConfig {
+            bounded_metrics: true,
+            ..SimConfig::default()
+        };
+        ServeSession::new(ClusterSpec::icpp_default(), sim, config)
+    };
+    let jobs = jobs_for(SCENARIO, 120, 17);
+    let config = ServeConfig {
+        producers: 4,
+        queue_cap: 14,
+        seed: 17,
+        log_events: false,
+        ..ServeConfig::default()
+    };
+    let materialized = bounded_session(config).run(jobs, &mut EdfScheduler::new());
+    let streamed =
+        bounded_session(config).run_source(source_for(SCENARIO, 120, 17), &mut EdfScheduler::new());
+    assert_eq!(streamed.summary, materialized.summary);
+    assert_eq!(streamed.telemetry, materialized.telemetry);
 }
 
 #[test]
@@ -178,6 +298,7 @@ proptest! {
             shed_policy: ShedPolicy::ALL[policy_pick],
             seed,
             mode: ClockMode::Virtual,
+            ..ServeConfig::default()
         };
         let report = session(config).run(jobs, &mut EdfScheduler::new());
         prop_assert!(

@@ -333,10 +333,12 @@ impl Simulator {
     /// iterator) drives the run with `advance`/`apply` and keeps exactly as
     /// many future arrivals buffered as it wants.
     pub fn begin_service(&mut self, arrival_hint: usize) {
-        self.begin_run(
-            arrival_hint.min(65_536),
-            arrival_hint.min(u32::MAX as usize),
-        );
+        // Serving loops keep at most the queue cap pending plus a one-job
+        // lookahead buffered, so the pre-size is capped far below the hint:
+        // a million-arrival hint must not translate into a million-slot
+        // reservation (the reserve is capacity only — the hint itself still
+        // sizes `future_arrivals` in scheduler views via `arrival_hint`).
+        self.begin_run(arrival_hint.min(1024), arrival_hint.min(u32::MAX as usize));
         self.schedule_periodic_events();
     }
 
@@ -456,6 +458,7 @@ impl Simulator {
         assert!(!self.started, "Simulator::start called twice");
         self.started = true;
         self.arrival_hint = arrival_hint;
+        self.metrics.configure(self.config.bounded_metrics);
         // Pre-size the per-run collections so steady-state stepping does not
         // grow them (part of the allocation-free stepping contract).
         self.pending.reserve(expected_jobs);
@@ -471,10 +474,13 @@ impl Simulator {
         // Budget the utilisation trace: enough for the horizon the workload
         // plausibly covers, capped so pathological sampling intervals cannot
         // reserve unbounded memory. Runs that outlive the budget fall back to
-        // amortised growth.
-        let sample_budget = (self.config.max_sim_time / self.config.util_sample_interval)
-            .clamp(16.0, 1024.0) as usize;
-        self.metrics.reserve_samples(sample_budget);
+        // amortised growth. Bounded-metrics runs fold samples into fixed
+        // state instead of storing them, so the trace stays unallocated.
+        if !self.config.bounded_metrics {
+            let sample_budget = (self.config.max_sim_time / self.config.util_sample_interval)
+                .clamp(16.0, 1024.0) as usize;
+            self.metrics.reserve_samples(sample_budget);
+        }
     }
 
     /// Schedule the first periodic decision epoch and utilisation sample.

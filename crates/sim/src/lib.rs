@@ -79,8 +79,8 @@ pub use event::{Event, EventKind, EventQueue};
 pub use fit_index::{bucket_rank, FitIndex, MAX_RANK, NUM_RANKS};
 pub use job::{Job, JobBuilder, JobClass, JobId, JobState, SpeedupModel, TimeUtility};
 pub use metrics::{
-    CompletedJob, EnergyReport, MetricsCollector, PerClassUtilization, Summary, UtilizationSample,
-    UtilizationTrace, MAX_NODE_CLASSES,
+    BoundedStats, CompletedJob, EnergyReport, MetricsCollector, PerClassUtilization, Summary,
+    UtilizationSample, UtilizationTrace, MAX_NODE_CLASSES,
 };
 pub use node::{Node, NodeClassId, NodeId};
 pub use pending::PendingQueue;

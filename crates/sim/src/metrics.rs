@@ -410,6 +410,242 @@ impl Summary {
             decision_epochs: c.decision_epochs,
         }
     }
+
+    /// Compute a summary from the bounded streaming aggregates. Every field
+    /// replicates [`Self::from_collector`]'s formula exactly from the folded
+    /// sums (`mean = Σx / n`, Jain fairness `(Σx)² / (n·Σx²)`, makespan from
+    /// the running extrema) except the slowdown percentiles, which come from
+    /// the log-bucketed histogram.
+    fn from_bounded(c: &MetricsCollector, b: &BoundedStats, total_jobs: usize) -> Summary {
+        let n = b.completed;
+        let mean = |sum: f64| if n > 0 { sum / n as f64 } else { 0.0 };
+        let unfinished = total_jobs.saturating_sub(n);
+        let max_total_utility = b.completed_max_utility + c.unfinished_max_utility;
+        let mut per_class_miss_rate = [0.0; JobClass::COUNT];
+        let mut per_class_mean_slowdown = [0.0; JobClass::COUNT];
+        for class in JobClass::ALL {
+            let i = class.index();
+            if b.per_class_count[i] > 0 {
+                per_class_miss_rate[i] = b.per_class_missed[i] as f64 / b.per_class_count[i] as f64;
+                per_class_mean_slowdown[i] =
+                    b.per_class_sum_slowdown[i] / b.per_class_count[i] as f64;
+            }
+        }
+        let effective_missed = b.missed + unfinished;
+        Summary {
+            total_jobs,
+            completed_jobs: n,
+            unfinished_jobs: unfinished,
+            missed_jobs: b.missed,
+            miss_rate: if total_jobs > 0 {
+                effective_missed as f64 / total_jobs as f64
+            } else {
+                0.0
+            },
+            mean_slowdown: mean(b.sum_slowdown),
+            p50_slowdown: b.slowdown_percentile(50.0),
+            p95_slowdown: b.slowdown_percentile(95.0),
+            p99_slowdown: b.slowdown_percentile(99.0),
+            mean_wait: mean(b.sum_wait),
+            mean_response: mean(b.sum_response),
+            total_utility: b.total_utility,
+            max_total_utility,
+            utility_ratio: if max_total_utility > 0.0 {
+                b.total_utility / max_total_utility
+            } else {
+                0.0
+            },
+            makespan: if n == 0 {
+                0.0
+            } else {
+                (b.last_finish - b.first_arrival).max(0.0)
+            },
+            mean_utilization: if b.util_samples > 0 {
+                b.util_sum / b.util_samples as f64
+            } else {
+                0.0
+            },
+            per_class_miss_rate,
+            per_class_mean_slowdown,
+            slowdown_fairness: if n == 0 || b.sum_slowdown_sq <= 0.0 {
+                1.0
+            } else {
+                (b.sum_slowdown * b.sum_slowdown) / (n as f64 * b.sum_slowdown_sq)
+            },
+            mean_parallelism: mean(b.sum_parallelism),
+            scale_events: c.scale_events,
+            invalid_actions: c.invalid_actions,
+            decision_epochs: c.decision_epochs,
+        }
+    }
+}
+
+/// Smallest bucketed slowdown; samples at or below land in bucket 0.
+/// Bounded slowdown is `response / max(best_case, 1s)`, so values below 1
+/// are rare and values below this are impossible in practice.
+const MIN_SLOWDOWN: f64 = 1e-3;
+
+/// Sub-buckets per factor-of-two octave of the bounded slowdown histogram.
+const SLOWDOWN_SUBBUCKETS: u32 = 32;
+
+/// Total bucket count of the bounded slowdown histogram: 64 octaves cover
+/// `[1e-3, ~1.8e16)`.
+const SLOWDOWN_BUCKETS: usize = 64 * SLOWDOWN_SUBBUCKETS as usize;
+
+/// Fixed-size streaming replacement for the per-job completion log, used
+/// when [`crate::SimConfig::bounded_metrics`] is on. Every [`Summary`]
+/// aggregate is folded incrementally — sums, per-class arrays, extrema and
+/// a log-bucketed slowdown histogram — so the metric footprint of a run is
+/// O(1) in the number of jobs. All summary fields are exact except the
+/// slowdown percentiles, whose bucket resolution bounds the relative error
+/// at `2^(1/64) ≈ 1.1%` (clamped to the observed min/max, so degenerate
+/// distributions stay exact).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundedStats {
+    completed: usize,
+    missed: usize,
+    sum_slowdown: f64,
+    sum_slowdown_sq: f64,
+    min_slowdown: f64,
+    max_slowdown: f64,
+    sum_wait: f64,
+    sum_response: f64,
+    sum_parallelism: f64,
+    total_utility: f64,
+    completed_max_utility: f64,
+    first_arrival: f64,
+    last_finish: f64,
+    per_class_count: [usize; JobClass::COUNT],
+    per_class_missed: [usize; JobClass::COUNT],
+    per_class_sum_slowdown: [f64; JobClass::COUNT],
+    slowdown_hist: Box<[u64; SLOWDOWN_BUCKETS]>,
+    util_sum: f64,
+    util_samples: u64,
+}
+
+impl Default for BoundedStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BoundedStats {
+    /// An empty accumulator. The histogram box is the only allocation this
+    /// type ever performs; [`Self::reset`] reuses it across runs.
+    pub fn new() -> Self {
+        BoundedStats {
+            completed: 0,
+            missed: 0,
+            sum_slowdown: 0.0,
+            sum_slowdown_sq: 0.0,
+            min_slowdown: f64::INFINITY,
+            max_slowdown: f64::NEG_INFINITY,
+            sum_wait: 0.0,
+            sum_response: 0.0,
+            sum_parallelism: 0.0,
+            total_utility: 0.0,
+            completed_max_utility: 0.0,
+            first_arrival: f64::INFINITY,
+            last_finish: f64::NEG_INFINITY,
+            per_class_count: [0; JobClass::COUNT],
+            per_class_missed: [0; JobClass::COUNT],
+            per_class_sum_slowdown: [0.0; JobClass::COUNT],
+            slowdown_hist: Box::new([0; SLOWDOWN_BUCKETS]),
+            util_sum: 0.0,
+            util_samples: 0,
+        }
+    }
+
+    /// Clear every aggregate in place, keeping the histogram allocation.
+    pub fn reset(&mut self) {
+        self.completed = 0;
+        self.missed = 0;
+        self.sum_slowdown = 0.0;
+        self.sum_slowdown_sq = 0.0;
+        self.min_slowdown = f64::INFINITY;
+        self.max_slowdown = f64::NEG_INFINITY;
+        self.sum_wait = 0.0;
+        self.sum_response = 0.0;
+        self.sum_parallelism = 0.0;
+        self.total_utility = 0.0;
+        self.completed_max_utility = 0.0;
+        self.first_arrival = f64::INFINITY;
+        self.last_finish = f64::NEG_INFINITY;
+        self.per_class_count = [0; JobClass::COUNT];
+        self.per_class_missed = [0; JobClass::COUNT];
+        self.per_class_sum_slowdown = [0.0; JobClass::COUNT];
+        self.slowdown_hist.fill(0);
+        self.util_sum = 0.0;
+        self.util_samples = 0;
+    }
+
+    /// Number of completions folded in.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    fn bucket_index(value: f64) -> usize {
+        if !(value > MIN_SLOWDOWN) {
+            return 0;
+        }
+        let idx = ((value / MIN_SLOWDOWN).log2() * SLOWDOWN_SUBBUCKETS as f64) as usize;
+        idx.min(SLOWDOWN_BUCKETS - 1)
+    }
+
+    fn bucket_mid(index: usize) -> f64 {
+        MIN_SLOWDOWN * ((index as f64 + 0.5) / SLOWDOWN_SUBBUCKETS as f64).exp2()
+    }
+
+    /// Fold one completion record in. O(1), allocation-free.
+    fn fold(&mut self, job: &CompletedJob) {
+        self.completed += 1;
+        if job.missed {
+            self.missed += 1;
+            self.per_class_missed[job.class.index()] += 1;
+        }
+        self.sum_slowdown += job.slowdown;
+        self.sum_slowdown_sq += job.slowdown * job.slowdown;
+        self.min_slowdown = self.min_slowdown.min(job.slowdown);
+        self.max_slowdown = self.max_slowdown.max(job.slowdown);
+        self.sum_wait += job.wait;
+        self.sum_response += job.response;
+        self.sum_parallelism += job.avg_parallelism;
+        self.total_utility += job.utility;
+        self.completed_max_utility += job.max_utility;
+        self.first_arrival = self.first_arrival.min(job.arrival);
+        self.last_finish = self.last_finish.max(job.finish);
+        self.per_class_count[job.class.index()] += 1;
+        self.per_class_sum_slowdown[job.class.index()] += job.slowdown;
+        let v = if job.slowdown.is_finite() {
+            job.slowdown.max(0.0)
+        } else {
+            0.0
+        };
+        self.slowdown_hist[Self::bucket_index(v)] += 1;
+    }
+
+    /// Fold one utilisation sample's overall scalar in.
+    fn fold_sample(&mut self, overall: f64) {
+        self.util_sum += overall;
+        self.util_samples += 1;
+    }
+
+    /// Nearest-rank percentile estimate (`p` in `[0, 100]`) from the
+    /// histogram, clamped to the observed extrema; 0 when empty.
+    fn slowdown_percentile(&self, p: f64) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        let rank = ((p.clamp(0.0, 100.0) / 100.0 * self.completed as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.slowdown_hist.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_mid(i).clamp(self.min_slowdown, self.max_slowdown);
+            }
+        }
+        self.max_slowdown
+    }
 }
 
 /// Accumulates metrics while a simulation runs.
@@ -428,6 +664,10 @@ pub struct MetricsCollector {
     /// Maximum utility of jobs that never finished (filled in at the end of a
     /// run for jobs still pending/running when the engine gave up).
     pub unfinished_max_utility: f64,
+    /// Streaming aggregation used instead of `completed`/`trace` when
+    /// [`crate::SimConfig::bounded_metrics`] is on (see
+    /// [`MetricsCollector::configure`]).
+    bounded: Option<BoundedStats>,
 }
 
 impl MetricsCollector {
@@ -436,10 +676,32 @@ impl MetricsCollector {
         Self::default()
     }
 
+    /// Switch between the exact per-job completion log (`bounded == false`,
+    /// the default) and the fixed-size [`BoundedStats`] aggregation. Called
+    /// by the engine at the start of every run from
+    /// [`crate::SimConfig::bounded_metrics`]; the bounded accumulator is
+    /// reused across runs, so flipping the mode allocates at most once.
+    pub fn configure(&mut self, bounded: bool) {
+        match (bounded, &mut self.bounded) {
+            (true, Some(stats)) => stats.reset(),
+            (true, None) => self.bounded = Some(BoundedStats::new()),
+            (false, _) => self.bounded = None,
+        }
+    }
+
+    /// True when completions are folded into [`BoundedStats`] rather than
+    /// logged per job (`completed` and `trace` stay empty in this mode).
+    pub fn is_bounded(&self) -> bool {
+        self.bounded.is_some()
+    }
+
     /// Pre-size the completion log for a run of `total_jobs` jobs so
-    /// steady-state recording never grows the buffer.
+    /// steady-state recording never grows the buffer. No-op in bounded mode,
+    /// where the footprint must stay independent of the job count.
     pub fn reserve(&mut self, total_jobs: usize) {
-        self.completed.reserve(total_jobs);
+        if self.bounded.is_none() {
+            self.completed.reserve(total_jobs);
+        }
     }
 
     /// Pre-size the utilisation trace for roughly `samples` samples so
@@ -460,16 +722,25 @@ impl MetricsCollector {
         self.scale_events = 0;
         self.decision_epochs = 0;
         self.unfinished_max_utility = 0.0;
+        if let Some(stats) = &mut self.bounded {
+            stats.reset();
+        }
     }
 
     /// Record a finished job.
     pub fn record_completion(&mut self, job: CompletedJob) {
-        self.completed.push(job);
+        match &mut self.bounded {
+            Some(stats) => stats.fold(&job),
+            None => self.completed.push(job),
+        }
     }
 
     /// Record a utilisation sample.
     pub fn record_sample(&mut self, sample: UtilizationSample) {
-        self.trace.samples.push(sample);
+        match &mut self.bounded {
+            Some(stats) => stats.fold_sample(sample.overall),
+            None => self.trace.samples.push(sample),
+        }
     }
 
     /// Count an invalid action.
@@ -494,7 +765,10 @@ impl MetricsCollector {
 
     /// Produce the summary for `total_jobs` submitted jobs.
     pub fn summarize(&self, total_jobs: usize) -> Summary {
-        Summary::from_collector(self, total_jobs)
+        match &self.bounded {
+            Some(stats) => Summary::from_bounded(self, stats, total_jobs),
+            None => Summary::from_collector(self, total_jobs),
+        }
     }
 }
 
@@ -711,6 +985,85 @@ mod tests {
         assert_eq!(report.total_joules, 0.0);
         assert_eq!(report.duration, 0.0);
         assert_eq!(report.mean_watts(), 0.0);
+    }
+
+    #[test]
+    fn bounded_mode_matches_exact_aggregates() {
+        // Every summary field except the percentiles must be bit-identical
+        // between the per-job log and the streaming aggregation.
+        let mut exact = MetricsCollector::new();
+        let mut bounded = MetricsCollector::new();
+        bounded.configure(true);
+        assert!(bounded.is_bounded() && !exact.is_bounded());
+        for i in 0..50u64 {
+            let mut job = record(i, i % 7 == 0, 1.0 + (i % 13) as f64 * 0.5, 0.8);
+            job.class = JobClass::ALL[(i % 4) as usize];
+            job.arrival = i as f64;
+            job.finish = i as f64 + 20.0;
+            exact.record_completion(job.clone());
+            bounded.record_completion(job);
+        }
+        for t in 0..6 {
+            let s = sample(t as f64 * 5.0, 0.1 * t as f64, 0.3);
+            exact.record_sample(s.clone());
+            bounded.record_sample(s);
+        }
+        exact.record_unfinished(2.5);
+        bounded.record_unfinished(2.5);
+        let se = exact.summarize(55);
+        let sb = bounded.summarize(55);
+        assert!(bounded.completed.is_empty() && bounded.trace.samples.is_empty());
+        assert_eq!(se.total_jobs, sb.total_jobs);
+        assert_eq!(se.completed_jobs, sb.completed_jobs);
+        assert_eq!(se.unfinished_jobs, sb.unfinished_jobs);
+        assert_eq!(se.missed_jobs, sb.missed_jobs);
+        assert_eq!(se.miss_rate, sb.miss_rate);
+        assert_eq!(se.mean_slowdown, sb.mean_slowdown);
+        assert_eq!(se.mean_wait, sb.mean_wait);
+        assert_eq!(se.mean_response, sb.mean_response);
+        assert_eq!(se.total_utility, sb.total_utility);
+        assert_eq!(se.max_total_utility, sb.max_total_utility);
+        assert_eq!(se.utility_ratio, sb.utility_ratio);
+        assert_eq!(se.makespan, sb.makespan);
+        assert_eq!(se.mean_utilization, sb.mean_utilization);
+        assert_eq!(se.per_class_miss_rate, sb.per_class_miss_rate);
+        assert_eq!(se.per_class_mean_slowdown, sb.per_class_mean_slowdown);
+        assert!((se.slowdown_fairness - sb.slowdown_fairness).abs() < 1e-12);
+        assert_eq!(se.mean_parallelism, sb.mean_parallelism);
+        // Percentiles are approximate, within the bucket resolution.
+        for (e, b) in [
+            (se.p50_slowdown, sb.p50_slowdown),
+            (se.p95_slowdown, sb.p95_slowdown),
+            (se.p99_slowdown, sb.p99_slowdown),
+        ] {
+            assert!((b / e - 1.0).abs() < 0.05, "percentile {b} vs exact {e}");
+        }
+    }
+
+    #[test]
+    fn bounded_mode_degenerate_cases() {
+        let mut c = MetricsCollector::new();
+        c.configure(true);
+        let empty = c.summarize(0);
+        assert_eq!(empty.mean_slowdown, 0.0);
+        assert_eq!(empty.p99_slowdown, 0.0);
+        assert_eq!(empty.makespan, 0.0);
+        assert_eq!(empty.slowdown_fairness, 1.0);
+        assert_eq!(empty.mean_utilization, 0.0);
+        // A single completion reports its own slowdown exactly (min/max
+        // clamping collapses the bucket error).
+        c.record_completion(record(1, false, 3.25, 1.0));
+        let one = c.summarize(1);
+        assert_eq!(one.p50_slowdown, 3.25);
+        assert_eq!(one.p99_slowdown, 3.25);
+        assert!((one.slowdown_fairness - 1.0).abs() < 1e-12);
+        // Reset clears the aggregates in place; configure(false) restores
+        // the exact path.
+        c.reset();
+        assert_eq!(c.summarize(0).completed_jobs, 0);
+        c.configure(false);
+        c.record_completion(record(2, false, 1.0, 1.0));
+        assert_eq!(c.completed.len(), 1);
     }
 
     #[test]

@@ -63,8 +63,9 @@ pub use scenario::{
     DEFAULT_BURST_PERIOD,
 };
 pub use source::{
-    split_seed, FilterClass, FnSource, InjectBurst, Merge, RateWindow, Renumber, ReplaySource,
-    ScaleLoad, SourceExt, SyntheticSource, TightenDeadlines, Truncate, WorkloadSource,
+    partition_lane, split_seed, FilterClass, FnSource, InjectBurst, Merge, Partition, RateWindow,
+    Renumber, ReplaySource, ScaleLoad, SourceExt, SyntheticSource, TightenDeadlines, Truncate,
+    WorkloadSource,
 };
 pub use spec::{ArrivalProcess, ClassTemplate, DeadlineSpec, ElasticitySpec, WorkloadSpec};
 pub use sweep::{load_sweep, slack_sweep};

@@ -17,6 +17,7 @@
 //!            | "truncate" "(" <n> ")"               -- keep the first n jobs
 //!            | "overload" "(" <f> "x" "," <w> "s" ")"   -- sustained f× rate for a w-second window
 //!            | "spike" "(" <f> "x" "," <w> "s" [, "at=" <t>] ")" -- short f× burst at t
+//!            | "partition" "(" <i> "/" <n> ")"     -- keep slot i of an n-way position-hash split
 //! ```
 //!
 //! `"poisson(load=0.8)+burst(3x)"` is a Poisson stream at load 0.8 with
@@ -123,6 +124,16 @@ pub enum TransformSpec {
         /// Burst start on the output clock (`None` ⇒ 0).
         at: Option<f64>,
     },
+    /// Keep only slot `slot` of an `lanes`-way deterministic split by
+    /// stream position ([`crate::source::partition_lane`]) —
+    /// `partition(0/4)` is the first of four disjoint sub-streams whose
+    /// union, re-merged by `(arrival, id)`, is the whole stream.
+    Partition {
+        /// The slot to keep (`0..lanes`).
+        slot: usize,
+        /// Total number of lanes in the split.
+        lanes: usize,
+    },
 }
 
 /// A parsed scenario: a source plus a stack of transformers, applied left to
@@ -226,6 +237,7 @@ impl fmt::Display for TransformSpec {
                 }
                 write!(f, ")")
             }
+            TransformSpec::Partition { slot, lanes } => write!(f, "partition({slot}/{lanes})"),
         }
     }
 }
@@ -501,8 +513,8 @@ impl<'a> Parser<'a> {
             return Err(self.err(
                 segment,
                 "unknown transformer (expected scale(<f>), burst(<f>x), tighten(<f>), \
-                 filter(<class>), truncate(<n>), overload(<f>x,<w>s) or \
-                 spike(<f>x,<w>s[,at=<t>]))",
+                 filter(<class>), truncate(<n>), overload(<f>x,<w>s), \
+                 spike(<f>x,<w>s[,at=<t>]) or partition(<i>/<n>))",
             ));
         };
         match name {
@@ -605,11 +617,34 @@ impl<'a> Parser<'a> {
                 }
                 Ok(TransformSpec::Spike { factor, window, at })
             }
+            "partition" => {
+                let Some((slot_text, lanes_text)) = args.split_once('/') else {
+                    return Err(self.err(
+                        segment,
+                        "partition takes '(<slot>/<lanes>)' (e.g. 'partition(0/4)')",
+                    ));
+                };
+                let slot: usize = slot_text.trim().parse().map_err(|_| {
+                    self.err(segment, "the partition slot is not a non-negative integer")
+                })?;
+                let lanes = self.positive_usize(segment, lanes_text.trim(), "the lane count")?;
+                if slot >= lanes {
+                    return Err(self.err(
+                        segment,
+                        format!(
+                            "slot {slot} is out of range: slots count from zero, so the valid \
+                             slots for /{lanes} are 0..={}",
+                            lanes - 1
+                        ),
+                    ));
+                }
+                Ok(TransformSpec::Partition { slot, lanes })
+            }
             _ => Err(self.err(
                 segment,
                 "unknown transformer (expected scale(<f>), burst(<f>x), tighten(<f>), \
-                 filter(<class>), truncate(<n>), overload(<f>x,<w>s) or \
-                 spike(<f>x,<w>s[,at=<t>]))",
+                 filter(<class>), truncate(<n>), overload(<f>x,<w>s), \
+                 spike(<f>x,<w>s[,at=<t>]) or partition(<i>/<n>))",
             )),
         }
     }
@@ -903,6 +938,9 @@ impl ScenarioRegistry {
                 TransformSpec::Spike { factor, window, at } => {
                     Box::new(source.rate_window(*factor, *window, at.unwrap_or(0.0)))
                 }
+                TransformSpec::Partition { slot, lanes } => {
+                    Box::new(source.partition_slot(*slot, *lanes, seed))
+                }
             };
         }
         Ok(source)
@@ -943,6 +981,8 @@ mod tests {
             "poisson+spike(10x,5s)",
             "poisson+spike(10x,5s,at=30)",
             "poisson(load=0.8)+overload(1.5x,120s)+truncate(40)",
+            "poisson+partition(0/4)",
+            "poisson(load=0.8)+overload(2x,60s)+partition(3/8)",
         ] {
             let parsed: ScenarioSpec = spec.parse().unwrap_or_else(|e| panic!("{spec}: {e}"));
             assert_eq!(parsed.to_string(), spec, "canonical string must re-render");
@@ -983,6 +1023,10 @@ mod tests {
             ("poisson+spike(10x,5)", "spike(10x,5)"),
             ("poisson+spike(10x,5s,at=0)", "spike(10x,5s,at=0)"),
             ("poisson+spike(10x,5s,when=3)", "spike(10x,5s,when=3)"),
+            ("poisson+partition(4)", "partition(4)"),
+            ("poisson+partition(4/4)", "partition(4/4)"),
+            ("poisson+partition(0/0)", "partition(0/0)"),
+            ("poisson+partition(x/2)", "partition(x/2)"),
         ] {
             let parsed: Result<ScenarioSpec, _> = spec.parse();
             let Err(err) = parsed else {
@@ -998,6 +1042,23 @@ mod tests {
                 other => panic!("'{spec}': unexpected error {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn grammar_partitions_cover_the_stream() {
+        let whole = build_jobs("poisson", 7);
+        let union: Vec<Job> = (0..3)
+            .flat_map(|slot| build_jobs(&format!("poisson+partition({slot}/3)"), 7))
+            .collect();
+        assert_eq!(union.len(), whole.len());
+        // The registry's outer renumber re-ids each partition densely, so
+        // compare payload multisets rather than whole jobs.
+        let key = |j: &Job| (j.arrival.to_bits(), j.total_work.to_bits(), j.class as u8);
+        let mut union_keys: Vec<_> = union.iter().map(key).collect();
+        let mut whole_keys: Vec<_> = whole.iter().map(key).collect();
+        union_keys.sort_unstable();
+        whole_keys.sort_unstable();
+        assert_eq!(union_keys, whole_keys);
     }
 
     #[test]

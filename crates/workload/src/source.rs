@@ -18,7 +18,8 @@
 //! Transformers ([`SourceExt`]) wrap any source without changing its type
 //! discipline: [`SourceExt::scale_load`], [`SourceExt::inject_burst`],
 //! [`SourceExt::tighten_deadlines`], [`SourceExt::filter_class`],
-//! [`SourceExt::truncate`], [`SourceExt::merge`] and [`SourceExt::renumber`].
+//! [`SourceExt::truncate`], [`SourceExt::merge`], [`SourceExt::renumber`]
+//! and [`SourceExt::partition_slot`].
 //! All transformers preserve arrival order for arrival-ordered inputs. The
 //! string-addressable form of all of this lives in [`crate::scenario`].
 
@@ -59,6 +60,25 @@ pub fn split_seed(seed: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// Which of `lanes` partitions the job at 0-based stream `position` belongs
+/// to, under `seed`. This is the **closed form** of the serving plane's
+/// sequential partitioner (seed XOR'd with a domain constant, one SplitMix64
+/// gamma step per job, finalizer mix): the `i`-th step of that walk lands on
+/// state `(seed ^ C) + (i + 1) * GAMMA`, so any position can be hashed
+/// independently — which is what lets a streaming producer rebuild only *its*
+/// lane of a source with a filter instead of materialising the whole stream.
+/// `tcrm-serve`'s `partition_jobs` is pinned byte-compatible with this
+/// function.
+pub fn partition_lane(seed: u64, position: u64, lanes: usize) -> usize {
+    let state = (seed ^ 0xD6E8_FEB8_6659_FD93)
+        .wrapping_add(position.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut z = state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z % lanes.max(1) as u64) as usize
 }
 
 // ---------------------------------------------------------------------------
@@ -772,6 +792,86 @@ impl<S: WorkloadSource> WorkloadSource for Renumber<S> {
     }
 }
 
+/// Keeps only the jobs whose stream *position* hashes to `slot` under
+/// [`partition_lane`] — one deterministic lane of an `lanes`-way split.
+///
+/// The union of the `lanes` partitions of a source (re-merged by
+/// `(arrival, id)`) is exactly the unpartitioned stream: every position maps
+/// to exactly one lane, jobs pass through unmodified, and relative order
+/// within a lane is preserved. This is the streaming twin of the serving
+/// plane's materialized `partition_jobs`: `n` producers each rebuild the
+/// same source and wrap it in `Partition` with their own `slot`, and the
+/// engine-visible merged stream is byte-identical to splitting a collected
+/// `Vec<Job>`.
+///
+/// Two seeding flavours:
+/// * [`SourceExt::partition_slot`] — the hash seed **follows** [`reset`]: like
+///   every other transformer, `reset(s)` re-derives all seed-dependence from
+///   `s`. This is what the scenario grammar's `partition(<slot>/<lanes>)`
+///   builds.
+/// * [`Partition::pinned`] — the hash seed is **fixed** at construction and
+///   survives `reset`: the serving plane partitions by its own session seed,
+///   decoupled from the workload seed.
+///
+/// [`reset`]: WorkloadSource::reset
+pub struct Partition<S> {
+    inner: S,
+    slot: usize,
+    lanes: usize,
+    hash_seed: u64,
+    pinned: bool,
+    position: u64,
+}
+
+impl<S: WorkloadSource> Partition<S> {
+    /// A partition whose hash seed is fixed forever: `reset(s)` re-seeds the
+    /// inner source with `s` but keeps hashing positions with `seed`.
+    pub fn pinned(inner: S, slot: usize, lanes: usize, seed: u64) -> Self {
+        assert!(lanes >= 1, "partition needs at least one lane");
+        assert!(
+            slot < lanes,
+            "partition slot must be below the lane count (slots count from zero)"
+        );
+        Partition {
+            inner,
+            slot,
+            lanes,
+            hash_seed: seed,
+            pinned: true,
+            position: 0,
+        }
+    }
+}
+
+impl<S: WorkloadSource> Iterator for Partition<S> {
+    type Item = Job;
+
+    fn next(&mut self) -> Option<Job> {
+        loop {
+            let job = self.inner.next()?;
+            let lane = partition_lane(self.hash_seed, self.position, self.lanes);
+            self.position += 1;
+            if lane == self.slot {
+                return Some(job);
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, self.inner.size_hint().1)
+    }
+}
+
+impl<S: WorkloadSource> WorkloadSource for Partition<S> {
+    fn reset(&mut self, seed: u64) {
+        self.inner.reset(seed);
+        self.position = 0;
+        if !self.pinned {
+            self.hash_seed = seed;
+        }
+    }
+}
+
 /// Combinator sugar: wrap any [`WorkloadSource`] in a transformer. All
 /// factor arguments are validated with assertions — the string-driven
 /// scenario grammar (the usual entry point) validates them with proper
@@ -871,6 +971,24 @@ pub trait SourceExt: WorkloadSource + Sized {
         Renumber {
             inner: self,
             next_id: 0,
+        }
+    }
+
+    /// See [`Partition`]. The hash seed starts at `seed` and follows
+    /// [`WorkloadSource::reset`] thereafter. `slot` must be below `lanes`.
+    fn partition_slot(self, slot: usize, lanes: usize, seed: u64) -> Partition<Self> {
+        assert!(lanes >= 1, "partition needs at least one lane");
+        assert!(
+            slot < lanes,
+            "partition slot must be below the lane count (slots count from zero)"
+        );
+        Partition {
+            inner: self,
+            slot,
+            lanes,
+            hash_seed: seed,
+            pinned: false,
+            position: 0,
         }
     }
 }
@@ -1131,6 +1249,80 @@ mod tests {
         // Reset re-derives the split seeds: the stream reproduces.
         merged.reset(2);
         assert_eq!(jobs_of(&mut merged), jobs);
+    }
+
+    #[test]
+    fn partition_union_reassembles_the_stream_exactly() {
+        let spec = WorkloadSpec::icpp_default().with_num_jobs(120);
+        let whole = jobs_of(&mut SyntheticSource::new(&spec, &cluster(), 4).unwrap());
+        for lanes in [1usize, 2, 5] {
+            let mut union: Vec<Job> = Vec::new();
+            for slot in 0..lanes {
+                let mut lane = SyntheticSource::new(&spec, &cluster(), 4)
+                    .unwrap()
+                    .partition_slot(slot, lanes, 77);
+                union.extend(jobs_of(&mut lane));
+            }
+            union.sort_by(|a, b| {
+                a.arrival
+                    .partial_cmp(&b.arrival)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.id.cmp(&b.id))
+            });
+            assert_eq!(union, whole, "{lanes} lanes must reassemble the stream");
+        }
+    }
+
+    #[test]
+    fn partition_matches_the_closed_form_hash() {
+        let spec = WorkloadSpec::tiny().with_num_jobs(60);
+        let whole = jobs_of(&mut SyntheticSource::new(&spec, &ClusterSpec::tiny(), 3).unwrap());
+        let expected: Vec<Job> = whole
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| partition_lane(9, *i as u64, 4) == 2)
+            .map(|(_, j)| j.clone())
+            .collect();
+        let mut lane = SyntheticSource::new(&spec, &ClusterSpec::tiny(), 3)
+            .unwrap()
+            .partition_slot(2, 4, 9);
+        assert_eq!(jobs_of(&mut lane), expected);
+    }
+
+    #[test]
+    fn partition_reset_follows_or_pins_the_hash_seed() {
+        let spec = WorkloadSpec::tiny().with_num_jobs(40);
+        // Follow-reset: reset(s) re-derives the hash seed from s, so the
+        // lane of a fresh seed-11 source and a reset-to-11 source agree.
+        let mut following = SyntheticSource::new(&spec, &ClusterSpec::tiny(), 5)
+            .unwrap()
+            .partition_slot(1, 3, 5);
+        let _ = jobs_of(&mut following);
+        following.reset(11);
+        let after_reset = jobs_of(&mut following);
+        let mut fresh = SyntheticSource::new(&spec, &ClusterSpec::tiny(), 11)
+            .unwrap()
+            .partition_slot(1, 3, 11);
+        assert_eq!(after_reset, jobs_of(&mut fresh));
+        // Pinned: the hash seed survives reset; only the inner stream
+        // re-seeds.
+        let mut pinned = Partition::pinned(
+            SyntheticSource::new(&spec, &ClusterSpec::tiny(), 5).unwrap(),
+            1,
+            3,
+            5,
+        );
+        let _ = jobs_of(&mut pinned);
+        pinned.reset(11);
+        let pinned_jobs = jobs_of(&mut pinned);
+        let base = jobs_of(&mut SyntheticSource::new(&spec, &ClusterSpec::tiny(), 11).unwrap());
+        let expected: Vec<Job> = base
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| partition_lane(5, *i as u64, 3) == 1)
+            .map(|(_, j)| j.clone())
+            .collect();
+        assert_eq!(pinned_jobs, expected);
     }
 
     #[test]

@@ -52,6 +52,33 @@ proptest! {
     }
 
     #[test]
+    fn partition_union_equals_the_unpartitioned_stream(
+        seed in 0u64..2_000,
+        hash_seed in 0u64..2_000,
+        lanes in 1usize..6,
+        num_jobs in 1usize..200,
+    ) {
+        let cluster = ClusterSpec::icpp_default();
+        let spec = WorkloadSpec::icpp_default().with_num_jobs(num_jobs);
+        let whole = stream(&spec, &cluster, seed);
+        let mut union: Vec<Job> = (0..lanes)
+            .flat_map(|slot| {
+                SyntheticSource::new(&spec, &cluster, seed)
+                    .unwrap()
+                    .partition_slot(slot, lanes, hash_seed)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        union.sort_by(|a, b| {
+            a.arrival
+                .partial_cmp(&b.arrival)
+                .unwrap()
+                .then(a.id.cmp(&b.id))
+        });
+        prop_assert_eq!(union, whole);
+    }
+
+    #[test]
     fn deadlines_respect_the_slack_floor(
         seed in 0u64..500,
         slack_min in 1.1f64..2.0,

@@ -11,7 +11,7 @@
 # With --diff-against FILE the fresh run is additionally compared to the
 # committed snapshot FILE: any gated entry (nn_forward/, nn_kernels/,
 # decision_latency/, sim_scale/, train_throughput/, serve_latency/,
-# ipc_ring/) whose median regresses by more than
+# serve_scale/, ipc_ring/) whose median regresses by more than
 # --max-regress percent (default 25) fails the script. The comparison only makes sense
 # between runs on the same machine, so it is skipped (with a warning) when
 # FILE's host differs from this one — which lets CI wire the invocation
@@ -51,7 +51,7 @@ while [ $# -gt 0 ]; do
     esac
 done
 if [ ${#BENCHES[@]} -eq 0 ]; then
-    BENCHES=(nn_forward training_step train_throughput decision_latency sim_engine sim_scale workload_gen extended_schedulers serve_latency ipc_ring)
+    BENCHES=(nn_forward training_step train_throughput decision_latency sim_engine sim_scale workload_gen extended_schedulers serve_latency serve_scale ipc_ring)
 fi
 
 LINES_FILE="$(mktemp)"
@@ -115,7 +115,7 @@ if [ -n "$DIFF_AGAINST" ]; then
             gsub(/.*"name":"/, "", line); name = line; gsub(/".*/, "", name)
             line = $0
             gsub(/.*"median_ns":/, "", line); gsub(/[,}].*/, "", line)
-            if (name !~ /^(nn_forward|nn_kernels|decision_latency|sim_scale|train_throughput|serve_latency|ipc_ring)\//) next
+            if (name !~ /^(nn_forward|nn_kernels|decision_latency|sim_scale|train_throughput|serve_latency|serve_scale|ipc_ring)\//) next
             if (NR == FNR) { base[name] = line + 0; next }
             if (!(name in base) || base[name] <= 0) next
             pct = (line / base[name] - 1) * 100
